@@ -1,0 +1,105 @@
+// Ablation: PSA method comparison on unevenly sampled RR data.
+//
+// The paper (Section II.A) motivates the Lomb method against traditional
+// estimators that need interpolation/resampling.  This bench runs four
+// estimators on the same patient windows and reports the recovered
+// LFP/HFP ratio and the operation cost of each: direct Lomb (reference),
+// Fast-Lomb (deployed), traditional resample+FFT, and Burg AR.
+#include <iostream>
+
+#include "common.hpp"
+#include "qpsa/dsp/burg.hpp"
+#include "qpsa/lomb/lomb_direct.hpp"
+#include "qpsa/lomb/resampled_psd.hpp"
+#include "qpsa/util/stats.hpp"
+
+using namespace qpsa;
+
+int main() {
+    util::print_section(std::cout,
+                        "ablation -- spectral estimators on uneven RR data "
+                        "(LFP/HFP per method, ops per window)");
+
+    const auto windows = bench::paper_windows(4, 900.0, 24);
+    std::cout << "workload: " << windows.size() << " two-minute windows\n\n";
+
+    struct acc {
+        util::running_stats ratio;
+        util::running_stats ops;
+    };
+    acc direct;
+    acc fast;
+    acc resampled;
+    acc burg;
+
+    const auto engine = lomb::make_split_radix_engine(512);
+    lomb::fast_lomb_options fopt;
+    fopt.ofac = 1.0;
+    fopt.mesh = lomb::mesh_mode::staircase_hold;
+    fopt.mesh_size = 512;
+
+    for (const auto& w : windows) {
+        auto ratio_of = [](const dsp::sampled_spectrum& s) {
+            return dsp::band_power(s, 0.04, 0.15) / dsp::band_power(s, 0.15, 0.40);
+        };
+
+        {
+            counting::op_counts ops;
+            counting::count_scope scope(ops);
+            const auto freqs = lomb::lomb_frequency_grid(w.span_s(), 120, 2.0);
+            const auto s = lomb::lomb_direct(w.t, w.rr, freqs);
+            direct.ratio.add(ratio_of(s));
+            direct.ops.add(static_cast<real>(ops.total()));
+        }
+        {
+            counting::op_counts ops;
+            counting::count_scope scope(ops);
+            const auto res = lomb::fast_lomb(w.t, w.rr, *engine, fopt);
+            fast.ratio.add(ratio_of(res.spectrum));
+            fast.ops.add(static_cast<real>(ops.total()));
+        }
+        {
+            counting::op_counts ops;
+            counting::count_scope scope(ops);
+            const auto s = lomb::resampled_psd(w.t, w.rr);
+            resampled.ratio.add(ratio_of(s));
+            resampled.ops.add(static_cast<real>(ops.total()));
+        }
+        {
+            counting::op_counts ops;
+            counting::count_scope scope(ops);
+            auto grid = lomb::resample_linear(w.t, w.rr, 4.0, 512);
+            const real mu = util::mean(grid);
+            for (auto& v : grid) v -= mu;
+            const auto model = dsp::burg_fit(grid, 12);
+            std::vector<real> freqs;
+            for (int k = 1; k <= 120; ++k)
+                freqs.push_back(0.5 * static_cast<real>(k) / 120.0);
+            const auto s = dsp::burg_psd(model, 4.0, freqs);
+            burg.ratio.add(ratio_of(s));
+            burg.ops.add(static_cast<real>(ops.total()));
+        }
+    }
+
+    util::table t({"method", "mean LFP/HFP", "vs direct Lomb", "ops/window"});
+    auto row = [&](const char* name, const acc& a) {
+        t.add_row({name, util::table::fmt(a.ratio.mean(), 3),
+                   util::table::fmt_pct(std::abs(a.ratio.mean() -
+                                                 direct.ratio.mean()) /
+                                            direct.ratio.mean(),
+                                        1),
+                   util::table::fmt_int(static_cast<long long>(a.ops.mean()))});
+    };
+    row("direct Lomb (reference)", direct);
+    row("Fast-Lomb (deployed)", fast);
+    row("resample+FFT (traditional)", resampled);
+    row("Burg AR(12)", burg);
+    t.print(std::cout);
+
+    std::cout << "\nreading: the Fast-Lomb pipeline tracks the direct Lomb "
+                 "ratio at a fraction of its cost (the direct method pays "
+              << util::table::fmt(direct.ops.mean() / fast.ops.mean(), 1)
+              << "x more operations, dominated by per-frequency trig); the "
+                 "traditional and AR estimators carry interpolation bias.\n";
+    return 0;
+}

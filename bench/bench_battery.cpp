@@ -1,0 +1,85 @@
+// WBSN battery-lifetime projection (extension experiment).
+//
+// Converts the paper's per-window energy savings into the designer-facing
+// metric: days of continuous HRV monitoring on a coin cell, for the
+// conventional system and each approximation mode, with and without VFS.
+#include <iostream>
+
+#include "common.hpp"
+#include "qpsa/energy/battery.hpp"
+#include "qpsa/util/stats.hpp"
+
+using namespace qpsa;
+
+int main() {
+    util::print_section(std::cout,
+                        "battery -- monitoring lifetime on a 225 mAh coin "
+                        "cell (one PSA window per minute)");
+
+    const energy::node_model node;
+    const auto records = bench::arrhythmia_records(4, 900.0);
+
+    struct mode_def {
+        std::string name;
+        core::psa_config cfg;
+    };
+    std::vector<mode_def> modes;
+    modes.push_back({"conventional", core::psa_config::conventional()});
+    modes.push_back({"band drop", core::psa_config::proposed(
+                                      wfft::plan::band_dropped(
+                                          512, wavelet::basis::haar))});
+    modes.push_back(
+        {"band+set3", core::psa_config::proposed(wfft::plan::static_pruned(
+                          512, wavelet::basis::haar, wfft::twiddle_set::set3))});
+
+    // Conventional per-window time defines the VFS deadline.
+    real deadline = 0.0;
+    util::table t({"mode", "PSA uJ/window", "PSA share", "lifetime (days)",
+                   "lifetime +VFS (days)"});
+    for (const auto& m : modes) {
+        const core::psa_system sys(m.cfg);
+        counting::op_counts window_ops;
+        std::size_t windows = 0;
+        for (const auto& rec : records) {
+            const auto res = sys.analyze_record(rec.beat_time_s, rec.rr_s);
+            window_ops += res.ops.total();
+            windows += res.segments;
+        }
+        // Average ops per window.
+        counting::op_counts avg = window_ops;
+        avg.adds /= windows;
+        avg.muls /= windows;
+        avg.divs /= windows;
+        avg.sqrts /= windows;
+        avg.cmps /= windows;
+        avg.trigs /= windows;
+
+        if (deadline == 0.0) deadline = node.run_nominal(avg).time_s;
+        const auto nominal = energy::estimate_lifetime(node, avg);
+        const auto vfs = energy::estimate_lifetime_vfs(node, avg, deadline);
+        t.add_row({m.name,
+                   util::table::fmt(nominal.psa_energy_per_window_j * 1e6, 2),
+                   util::table::fmt_pct(nominal.psa_share),
+                   util::table::fmt(nominal.lifetime_days, 1),
+                   util::table::fmt(vfs.lifetime_days, 1)});
+    }
+    t.print(std::cout);
+
+    // Why local analysis exists at all: streaming the raw ECG costs
+    // orders of magnitude more radio energy than sending band summaries.
+    const real stream_j = energy::streaming_radio_j_per_window();
+    const energy::battery_config cfg;
+    std::cout << "\narchitecture comparison (radio energy per window):\n"
+              << "  stream raw ECG for off-node PSA: "
+              << util::table::fmt(stream_j * 1e6, 0) << " uJ\n"
+              << "  local PSA + summary packet:      "
+              << util::table::fmt(cfg.radio_j * 1e6, 0) << " uJ  ("
+              << util::table::fmt(stream_j / cfg.radio_j, 0) << "x less)\n";
+    std::cout << "\nreading: local PSA removes the dominant streaming-radio "
+                 "cost; within the remaining on-node budget the paper's "
+                 "pruning + VFS trims the compute share further.  Absolute "
+                 "deltas are small here because a single 512-point window "
+                 "is cheap on this core -- the savings scale with analysis "
+                 "density (multi-lead, higher cadence).\n";
+    return 0;
+}

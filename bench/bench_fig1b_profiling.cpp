@@ -1,0 +1,60 @@
+// Fig. 1(b): energy profile of the conventional split-radix PSA system.
+//
+// Paper: "the FFT block consumes most of the overall system power, which
+// also accounts for the majority of the total computational cycles."
+// This bench runs the conventional pipeline over patient windows on the
+// sensor-node model and prints per-block cycles / energy / shares.
+#include <iostream>
+
+#include "common.hpp"
+#include "qpsa/energy/profiler.hpp"
+
+int main() {
+    using namespace qpsa;
+    util::print_section(std::cout,
+                        "Fig. 1(b) -- energy profile of the conventional PSA "
+                        "(split-radix, N=512, 2-min windows, 50% overlap)");
+
+    const core::psa_system sys(core::psa_config::conventional());
+    const energy::node_model node;
+
+    // Accumulate the per-phase breakdown over several patients.
+    lomb::lomb_breakdown total;
+    std::size_t windows = 0;
+    for (const auto& rec : bench::arrhythmia_records(6, 900.0)) {
+        const auto res = sys.analyze_record(rec.beat_time_s, rec.rr_s);
+        total.moments += res.ops.moments;
+        total.extirpolation += res.ops.extirpolation;
+        total.fft += res.ops.fft;
+        total.combine += res.ops.combine;
+        windows += res.segments;
+    }
+    std::cout << "workload: " << windows << " two-minute windows\n\n";
+
+    const auto prof = energy::profile_pipeline(total, node);
+    util::table t({"block", "cycles", "energy (uJ)", "share", ""});
+    for (const auto& b : prof.blocks) {
+        t.add_row({b.name,
+                   util::table::fmt_int(static_cast<long long>(b.cycles)),
+                   util::table::fmt(b.energy_j * 1e6, 1),
+                   util::table::fmt_pct(b.share),
+                   util::ascii_bar(b.share, 1.0, 30)});
+    }
+    t.print(std::cout);
+    std::cout << "\ntotal: " << static_cast<long long>(prof.total_cycles)
+              << " cycles, " << util::table::fmt(prof.total_energy_j * 1e6, 1)
+              << " uJ\n";
+
+    const auto* fft = prof.find("fft");
+    std::cout << "\npaper: FFT dominates power and cycles | measured: FFT = "
+              << util::table::fmt_pct(fft->share) << " of pipeline energy "
+              << (fft->share > 0.5 ? "(dominant, shape holds)"
+                                   : "(NOT dominant -- check config)")
+              << "\n";
+
+    // Memory footprint against the node's 64 KB SRAM.
+    const std::size_t bytes = energy::pipeline_memory_bytes(512, 240, 4);
+    std::cout << "pipeline working set: " << bytes / 1024
+              << " KB of 64 KB SRAM\n";
+    return 0;
+}

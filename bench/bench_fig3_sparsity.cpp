@@ -1,0 +1,78 @@
+// Fig. 3: approximate sparsity of RR intervals in the wavelet domain.
+//
+// Paper: a 117-beat RR window extrapolated to 256 values; the lowpass
+// (approximation) outputs carry the signal, the highpass (detail) outputs
+// are distributed around zero.  This bench reproduces the exact setup and
+// prints the magnitude statistics per subband and basis.
+#include <iostream>
+
+#include "common.hpp"
+#include "qpsa/lomb/extirpolate.hpp"
+#include "qpsa/util/stats.hpp"
+#include "qpsa/wavelet/dwt.hpp"
+
+int main() {
+    using namespace qpsa;
+    util::print_section(std::cout,
+                        "Fig. 3 -- RR window extrapolated to a fixed mesh; "
+                        "wavelet subband statistics");
+
+    // A 2-minute window of ~117 beats from the first arrhythmia patient.
+    const auto windows = bench::paper_windows(1, 400.0, 1);
+    const auto& w = windows.front();
+    std::cout << "window: " << w.beats() << " beats over "
+              << util::table::fmt(w.span_s(), 1) << " s, extrapolated to 256 "
+              << "values (staircase redistribution, as plotted in the paper)\n\n";
+
+    const auto mesh = lomb::redistribute_hold(w.rr, 256);
+
+    util::table t({"basis", "band", "mean|.|", "max|.|", "rms", "energy frac"});
+    for (const auto basis :
+         {wavelet::basis::haar, wavelet::basis::db2, wavelet::basis::db4}) {
+        std::vector<real> a(mesh.size() / 2);
+        std::vector<real> d(mesh.size() / 2);
+        wavelet::dwt_level(std::span<const real>(mesh), basis, a, d);
+
+        auto stats_row = [&](const char* band, const std::vector<real>& v,
+                             real other_energy) {
+            std::vector<real> mags(v.size());
+            real energy = 0.0;
+            for (std::size_t i = 0; i < v.size(); ++i) {
+                mags[i] = std::abs(v[i]);
+                energy += v[i] * v[i];
+            }
+            t.add_row({std::string(wavelet::basis_name(basis)), band,
+                       util::table::fmt(util::mean(mags), 4),
+                       util::table::fmt(util::max_value(mags), 4),
+                       util::table::fmt(util::rms(v), 4),
+                       util::table::fmt_pct(energy / (energy + other_energy), 2)});
+        };
+        real ea = 0.0;
+        real ed = 0.0;
+        for (real v : a) ea += v * v;
+        for (real v : d) ed += v * v;
+        stats_row("lowpass (approx)", a, ed);
+        stats_row("highpass (detail)", d, ea);
+    }
+    t.print(std::cout);
+
+    // The headline sparsity claim, averaged over many windows.
+    std::cout << "\nsparsity over 2-minute windows (Haar, 60 windows):\n";
+    util::table s({"metric", "value"});
+    util::running_stats frac;
+    for (const auto& win : bench::paper_windows(6, 900.0, 60)) {
+        const auto m = lomb::redistribute_hold(win.rr, 256);
+        const auto r = wavelet::dwt(std::span<const real>(m),
+                                    wavelet::basis::haar, 1);
+        frac.add(wavelet::approx_energy_fraction(r));
+    }
+    s.add_row({"mean approximation-band energy fraction",
+               util::table::fmt_pct(frac.mean(), 2)});
+    s.add_row({"min over windows", util::table::fmt_pct(frac.min(), 2)});
+    s.print(std::cout);
+    std::cout << "\npaper: highpass outputs 'distributed around zero' -> "
+                 "prunable | measured: approximation band carries "
+              << util::table::fmt_pct(frac.mean(), 1)
+              << " of the energy on average (shape holds)\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+// Fig. 6: distribution of the twiddle-factor magnitudes of the A_{N/2}
+// and C_{N/2} diagonal matrices at N = 512, with the three pruning-set
+// boundaries.
+//
+// Paper: the factors do not lie on the unit circle; |A_kk| decreases,
+// |C_kk| increases, many are near zero, and thresholds carve out Set1
+// (20 %), Set2 (40 %), Set3 (60 %).
+#include <iostream>
+
+#include "common.hpp"
+#include "qpsa/util/stats.hpp"
+#include "qpsa/wfft/prune.hpp"
+#include "qpsa/wfft/twiddle_tables.hpp"
+
+using namespace qpsa;
+
+int main() {
+    const std::size_t n = 512;
+    util::print_section(std::cout,
+                        "Fig. 6 -- twiddle-factor magnitudes of A and C "
+                        "(Haar, N=512, band-dropped configuration)");
+
+    const auto tables = wfft::make_twiddle_tables(wavelet::basis::haar, n, false);
+    const auto mags = wfft::factor_magnitudes(tables, /*highpass_kept=*/false);
+
+    // Monotonicity check of the diagonals (the property the paper uses).
+    bool a_monotone = true;
+    bool c_monotone = true;
+    for (std::size_t m = 1; m < tables.half(); ++m) {
+        a_monotone &= std::abs(tables.a[m]) <= std::abs(tables.a[m - 1]) + 1e-12;
+        c_monotone &= std::abs(tables.c[m]) >= std::abs(tables.c[m - 1]) - 1e-12;
+    }
+    std::cout << "|A_kk| decreasing: " << (a_monotone ? "yes" : "NO")
+              << ", |C_kk| increasing: " << (c_monotone ? "yes" : "NO")
+              << " (paper: A11>A22>...; C51<C62<...)\n\n";
+
+    util::histogram hist(0.0, 1.5, 15);
+    for (real m : mags) hist.add(m);
+    util::table t({"|factor| bin", "count", ""});
+    for (std::size_t b = 0; b < hist.bins(); ++b) {
+        t.add_row({util::table::fmt(hist.bin_lo(b), 2) + " - " +
+                       util::table::fmt(hist.bin_hi(b), 2),
+                   util::table::fmt_int(static_cast<long long>(hist.bin_count(b))),
+                   util::ascii_bar(static_cast<double>(hist.bin_count(b)),
+                                   static_cast<double>(mags.size()) / 4.0, 30)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\npruning-set thresholds over this population ("
+              << mags.size() << " factors):\n";
+    util::table s({"set", "pruned fraction", "|factor| threshold"});
+    for (const auto set : {wfft::twiddle_set::set1, wfft::twiddle_set::set2,
+                           wfft::twiddle_set::set3}) {
+        s.add_row({wfft::set_name(set),
+                   util::table::fmt_pct(wfft::set_fraction(set), 0),
+                   util::table::fmt(
+                       wfft::magnitude_threshold(mags, wfft::set_fraction(set)), 4)});
+    }
+    s.print(std::cout);
+
+    // Appendix: longer filters concentrate more factors near zero (the
+    // paper's stage-1 vs stage-2 trade-off).
+    std::cout << "\nfraction of factors below 0.2 by basis (N=512):\n";
+    util::table f({"basis", "frac |f| < 0.2"});
+    for (const auto basis : {wavelet::basis::haar, wavelet::basis::db2,
+                             wavelet::basis::db3, wavelet::basis::db4,
+                             wavelet::basis::sym4}) {
+        const auto tb = wfft::make_twiddle_tables(basis, n, false);
+        const auto ms = wfft::factor_magnitudes(tb, false);
+        std::size_t below = 0;
+        for (real m : ms)
+            if (m < 0.2) ++below;
+        f.add_row({std::string(wavelet::basis_name(basis)),
+                   util::table::fmt_pct(static_cast<double>(below) /
+                                            static_cast<double>(ms.size()),
+                                        1)});
+    }
+    f.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 7: mean-square error of the transform output for the various
+// 2nd-stage approximations, measured over cardiac-sample meshes.
+//
+// Paper: MSE "deteriorates slightly" as pruning deepens; three factor
+// sets were defined from this sensitivity analysis.
+#include <iostream>
+
+#include "common.hpp"
+#include "qpsa/util/stats.hpp"
+#include "qpsa/wfft/wavelet_fft.hpp"
+
+using namespace qpsa;
+
+int main() {
+    const std::size_t n = 512;
+    util::print_section(std::cout,
+                        "Fig. 7 -- output MSE vs 2nd-stage pruning depth "
+                        "(real extirpolated RR meshes, 3 patients)");
+
+    const auto inputs = bench::harvest_fft_inputs(3, 900.0, n);
+    std::cout << "workload: " << inputs.size() << " transform inputs\n\n";
+
+    // The PSA output reads bins up to ~0.5 Hz: bins 1..100 of the 512
+    // mesh over a 2-minute window.  The paper's MSE is measured on the
+    // system output, so the in-band error is the comparable number; the
+    // full-spectrum error (including bins no HRV band uses) is reported
+    // alongside for transparency.
+    constexpr std::size_t band_bins = 100;
+    util::table t({"basis", "mode", "in-band MSE", "in-band rel err",
+                   "full-spectrum rel err"});
+    for (const auto basis :
+         {wavelet::basis::haar, wavelet::basis::db2, wavelet::basis::db4}) {
+        const wfft::wavelet_fft exact(wfft::plan::exact(n, basis));
+        struct mode_def {
+            const char* name;
+            wfft::plan plan;
+        };
+        const mode_def modes[] = {
+            {"band drop", wfft::plan::band_dropped(n, basis)},
+            {"drop+set1",
+             wfft::plan::static_pruned(n, basis, wfft::twiddle_set::set1)},
+            {"drop+set2",
+             wfft::plan::static_pruned(n, basis, wfft::twiddle_set::set2)},
+            {"drop+set3",
+             wfft::plan::static_pruned(n, basis, wfft::twiddle_set::set3)},
+        };
+        for (const auto& mode : modes) {
+            const wfft::wavelet_fft approx(mode.plan);
+            util::running_stats band_mse;
+            real bnum = 0.0;
+            real bden = 0.0;
+            real fnum = 0.0;
+            real fden = 0.0;
+            for (const auto& x : inputs) {
+                const auto ref = exact.forward_copy(x);
+                const auto got = approx.forward_copy(x);
+                real acc = 0.0;
+                for (std::size_t i = 1; i <= band_bins; ++i) {
+                    acc += sqr_mag(got[i] - ref[i]);
+                    bnum += sqr_mag(got[i] - ref[i]);
+                    bden += sqr_mag(ref[i]);
+                }
+                band_mse.add(acc / static_cast<real>(band_bins));
+                for (std::size_t i = 0; i < ref.size(); ++i) {
+                    fnum += sqr_mag(got[i] - ref[i]);
+                    fden += sqr_mag(ref[i]);
+                }
+            }
+            t.add_row({std::string(wavelet::basis_name(basis)), mode.name,
+                       util::table::fmt(band_mse.mean(), 5),
+                       util::table::fmt_pct(std::sqrt(bnum / bden), 2),
+                       util::table::fmt_pct(std::sqrt(fnum / fden), 1)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\npaper: MSE grows slightly with deeper sets and stays "
+                 "small | measured: in-band error (the bins the PSA reads) "
+                 "stays in the percent range; the full-spectrum column shows "
+                 "the pruned out-of-band bins\n";
+    return 0;
+}

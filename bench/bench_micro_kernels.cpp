@@ -1,0 +1,139 @@
+// Wall-clock microbenchmarks of all spectral kernels (google-benchmark).
+//
+// Operation counts drive the paper's energy model; this binary provides
+// the complementary host-time view: split-radix vs radix-2 vs the wavelet
+// FFT in its exact / band-dropped / pruned configurations, the DWT, the
+// extirpolation, and the end-to-end Fast-Lomb window.
+#include <benchmark/benchmark.h>
+
+#include "qpsa/dsp/fft_radix2.hpp"
+#include "qpsa/dsp/fft_split_radix.hpp"
+#include "qpsa/lomb/extirpolate.hpp"
+#include "qpsa/lomb/fast_lomb.hpp"
+#include "qpsa/util/random.hpp"
+#include "qpsa/wavelet/dwt.hpp"
+#include "qpsa/wfft/wavelet_fft.hpp"
+
+using namespace qpsa;
+
+namespace {
+
+std::vector<cplx> random_signal(std::size_t n) {
+    util::rng r(42);
+    std::vector<cplx> x(n);
+    for (auto& v : x) v = cplx{r.uniform(-1, 1), r.uniform(-1, 1)};
+    return x;
+}
+
+void bm_split_radix(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = random_signal(n);
+    dsp::fft_split_radix fft(n);
+    std::vector<cplx> out(n);
+    for (auto _ : state) {
+        fft.forward(x, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(bm_split_radix)->Arg(256)->Arg(512)->Arg(1024);
+
+void bm_radix2(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto x = random_signal(n);
+    dsp::fft_radix2 fft(n);
+    std::vector<cplx> buf(n);
+    for (auto _ : state) {
+        buf = x;
+        fft.forward(buf);
+        benchmark::DoNotOptimize(buf.data());
+    }
+}
+BENCHMARK(bm_radix2)->Arg(512);
+
+void bm_wavelet_fft(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const int mode = static_cast<int>(state.range(1));
+    wfft::plan p = mode == 0 ? wfft::plan::exact(n, wavelet::basis::haar)
+                   : mode == 1
+                       ? wfft::plan::band_dropped(n, wavelet::basis::haar)
+                       : wfft::plan::static_pruned(n, wavelet::basis::haar,
+                                                   wfft::twiddle_set::set3);
+    const wfft::wavelet_fft fft(p);
+    const auto x = random_signal(n);
+    std::vector<cplx> out(n);
+    for (auto _ : state) {
+        fft.forward(x, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(bm_wavelet_fft)
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({1024, 2});
+
+void bm_dwt_level(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto basis = static_cast<wavelet::basis>(state.range(1));
+    util::rng r(1);
+    std::vector<real> x(n);
+    for (auto& v : x) v = r.uniform(-1, 1);
+    std::vector<real> a(n / 2);
+    std::vector<real> d(n / 2);
+    for (auto _ : state) {
+        wavelet::dwt_level(std::span<const real>(x), basis, a, d);
+        benchmark::DoNotOptimize(a.data());
+    }
+}
+BENCHMARK(bm_dwt_level)
+    ->Args({512, static_cast<long>(wavelet::basis::haar)})
+    ->Args({512, static_cast<long>(wavelet::basis::db2)})
+    ->Args({512, static_cast<long>(wavelet::basis::db4)});
+
+void bm_extirpolate(benchmark::State& state) {
+    const int order = static_cast<int>(state.range(0));
+    util::rng r(2);
+    std::vector<real> t;
+    std::vector<real> v;
+    real acc = 0.0;
+    for (int i = 0; i < 140; ++i) {
+        acc += r.uniform(0.6, 1.0);
+        t.push_back(acc);
+        v.push_back(r.uniform(-1, 1));
+    }
+    for (auto _ : state) {
+        auto mesh = lomb::extirpolate(t, v, 512, order, t.front(), acc * 2.0);
+        benchmark::DoNotOptimize(mesh.data());
+    }
+}
+BENCHMARK(bm_extirpolate)->Arg(1)->Arg(2)->Arg(4);
+
+void bm_fast_lomb_window(benchmark::State& state) {
+    const bool pruned = state.range(0) != 0;
+    util::rng r(3);
+    std::vector<real> t;
+    std::vector<real> x;
+    real acc = 0.0;
+    for (int i = 0; i < 140; ++i) {
+        acc += 0.8 + r.uniform(-0.1, 0.1);
+        t.push_back(acc);
+        x.push_back(0.85 + 0.05 * std::sin(0.25 * acc) + r.gaussian(0.01));
+    }
+    lomb::fast_lomb_options opt;
+    opt.ofac = 2.0;
+    opt.macc = 4;
+    const auto engine =
+        pruned ? lomb::make_wavelet_engine(wfft::plan::static_pruned(
+                     512, wavelet::basis::haar, wfft::twiddle_set::set3))
+               : lomb::make_split_radix_engine(512);
+    for (auto _ : state) {
+        auto res = lomb::fast_lomb(t, x, *engine, opt);
+        benchmark::DoNotOptimize(res.spectrum.power.data());
+    }
+}
+BENCHMARK(bm_fast_lomb_window)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

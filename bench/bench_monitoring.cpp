@@ -1,0 +1,80 @@
+// §VI.A monitoring experiment: hourly time-frequency analysis of 16
+// sinus-arrhythmia patients.
+//
+// Paper: "by using a sliding window configuration ... we obtained
+// time-frequency distributions of hourly monitoring of various sinus
+// arrhythmia patients.  By obtaining the LFP over HFP ratios for the
+// various time intervals ... using heart rate samples of 16 patients we
+// find that on average our approach results in approximately 4.9 % of
+// error in such ratio and in all cases we could correctly identify the
+// sinus-arrhythmia condition."
+#include <iostream>
+
+#include "common.hpp"
+#include "qpsa/util/stats.hpp"
+
+using namespace qpsa;
+
+int main() {
+    util::print_section(std::cout,
+                        "paper VI.A -- hourly monitoring: per-window "
+                        "LFP/HFP ratio error over 16 patients");
+
+    const core::psa_system conventional(core::psa_config::conventional());
+    const core::psa_system proposed(core::psa_config::proposed(
+        wfft::plan::static_pruned(512, wavelet::basis::haar,
+                                  wfft::twiddle_set::set3)));
+
+    const real hour = 3600.0;
+    util::running_stats window_err;
+    util::running_stats record_err;
+    unsigned detected = 0;
+    unsigned patients = 16;
+    std::size_t windows_total = 0;
+    std::size_t windows_flagged_both = 0;
+
+    util::table t({"patient", "windows", "mean window err%", "record ratio",
+                   "identified"});
+    for (unsigned i = 0; i < patients; ++i) {
+        const auto rec = physio::record_for(
+            physio::make_patient(physio::cohort::sinus_arrhythmia, i), hour);
+        const auto rc = conventional.analyze_record(rec.beat_time_s, rec.rr_s);
+        const auto rp = proposed.analyze_record(rec.beat_time_s, rec.rr_s);
+
+        util::running_stats patient_err;
+        const std::size_t n =
+            std::min(rc.segment_bands.size(), rp.segment_bands.size());
+        for (std::size_t w = 0; w < n; ++w) {
+            const real r0 = rc.segment_bands[w].lf_hf_ratio();
+            const real r1 = rp.segment_bands[w].lf_hf_ratio();
+            if (r0 <= 0.0) continue;
+            const real err = 100.0 * std::abs(r1 - r0) / r0;
+            patient_err.add(err);
+            window_err.add(err);
+            ++windows_total;
+            if (r0 < 1.0 && r1 < 1.0) ++windows_flagged_both;
+        }
+        record_err.add(100.0 *
+                       std::abs(rp.lf_hf_ratio() - rc.lf_hf_ratio()) /
+                       rc.lf_hf_ratio());
+        const bool ok = rp.diagnosis == hrv::diagnosis::sinus_arrhythmia;
+        detected += ok;
+        t.add_row({"sa" + std::to_string(i),
+                   util::table::fmt_int(static_cast<long long>(n)),
+                   util::table::fmt(patient_err.mean(), 2),
+                   util::table::fmt(rp.lf_hf_ratio(), 3), ok ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nper-window ratio error: mean "
+              << util::table::fmt(window_err.mean(), 2) << "%, max "
+              << util::table::fmt(window_err.max(), 2) << "% over "
+              << windows_total << " windows (paper: ~4.9% average)\n"
+              << "record-level ratio error: mean "
+              << util::table::fmt(record_err.mean(), 2) << "%\n"
+              << "identified: " << detected << "/" << patients
+              << " patients (paper: all)\n"
+              << "windows flagged by both systems: " << windows_flagged_both
+              << "/" << windows_total << "\n";
+    return 0;
+}

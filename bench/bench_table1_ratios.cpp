@@ -1,0 +1,141 @@
+// Table I: average LFP/HFP ratio under static and dynamic pruning.
+//
+// Paper row "Static":  orig 0.45 | band drop 0.465 | Set1 0.465 |
+//                      Set2 0.483 | Set3 0.492
+// Paper row "Dynamic": orig 0.45 | band drop 0.465 | Set1 0.467 |
+//                      Set2 0.470 | Set3 0.471
+// plus the monitoring claim: ~4.9 % average ratio error over 16 patients
+// with the arrhythmia identified in every case.
+#include <iostream>
+
+#include "common.hpp"
+#include "qpsa/util/stats.hpp"
+#include "qpsa/wfft/calibration.hpp"
+
+using namespace qpsa;
+
+namespace {
+
+struct mode_result {
+    util::running_stats ratio;
+    util::running_stats err_pct;
+    unsigned detected = 0;
+    unsigned total = 0;
+};
+
+}  // namespace
+
+int main() {
+    const std::size_t n = 512;
+    const unsigned patients = 16;
+    const real seconds = 1800.0;
+    util::print_section(std::cout,
+                        "Table I -- average LFP/HFP ratio under static and "
+                        "dynamic pruning (16 sinus-arrhythmia patients)");
+
+    // Dynamic thresholds come from design-time calibration on a training
+    // subset (first 6 patients), exactly like the paper's flow.
+    const auto train_inputs = bench::harvest_fft_inputs(6, 900.0, n);
+    const auto cal =
+        wfft::calibrate(wfft::plan::exact(n, wavelet::basis::haar), train_inputs);
+
+    struct mode_def {
+        std::string label;
+        bool dynamic;
+        wfft::twiddle_set set;
+        bool band_only;
+    };
+    std::vector<mode_def> defs = {
+        {"band drop", false, wfft::twiddle_set::none, true},
+        {"set1", false, wfft::twiddle_set::set1, false},
+        {"set2", false, wfft::twiddle_set::set2, false},
+        {"set3", false, wfft::twiddle_set::set3, false},
+        {"band drop", true, wfft::twiddle_set::none, true},
+        {"set1", true, wfft::twiddle_set::set1, false},
+        {"set2", true, wfft::twiddle_set::set2, false},
+        {"set3", true, wfft::twiddle_set::set3, false},
+    };
+
+    auto make_plan = [&](const mode_def& d) {
+        if (!d.dynamic)
+            return d.band_only
+                       ? wfft::plan::band_dropped(n, wavelet::basis::haar)
+                       : wfft::plan::static_pruned(n, wavelet::basis::haar, d.set);
+        wfft::plan p = wfft::plan::dynamic_pruned(n, wavelet::basis::haar, d.set,
+                                                  0.0, cal.band_threshold);
+        if (!d.band_only)
+            p.prune.data_threshold = wfft::tune_data_threshold(
+                p, wfft::set_fraction(d.set), train_inputs, cal);
+        return p;
+    };
+
+    const core::psa_system conventional(core::psa_config::conventional(n));
+    std::vector<core::psa_system> systems;
+    systems.reserve(defs.size());
+    for (const auto& d : defs)
+        systems.emplace_back(core::psa_config::proposed(make_plan(d)));
+
+    util::running_stats orig_ratio;
+    std::vector<mode_result> results(defs.size());
+    unsigned orig_detected = 0;
+
+    for (unsigned i = 0; i < patients; ++i) {
+        const auto rec = physio::record_for(
+            physio::make_patient(physio::cohort::sinus_arrhythmia, i), seconds);
+        const auto rc = conventional.analyze_record(rec.beat_time_s, rec.rr_s);
+        orig_ratio.add(rc.lf_hf_ratio());
+        orig_detected += rc.diagnosis == hrv::diagnosis::sinus_arrhythmia;
+        for (std::size_t m = 0; m < systems.size(); ++m) {
+            const auto rp = systems[m].analyze_record(rec.beat_time_s, rec.rr_s);
+            results[m].ratio.add(rp.lf_hf_ratio());
+            results[m].err_pct.add(100.0 *
+                                   std::abs(rp.lf_hf_ratio() - rc.lf_hf_ratio()) /
+                                   rc.lf_hf_ratio());
+            results[m].detected +=
+                rp.diagnosis == hrv::diagnosis::sinus_arrhythmia;
+            ++results[m].total;
+        }
+    }
+
+    auto print_row = [&](util::table& t, const char* label, bool dynamic) {
+        std::vector<std::string> row = {label,
+                                        util::table::fmt(orig_ratio.mean(), 3)};
+        for (std::size_t m = 0; m < defs.size(); ++m) {
+            if (defs[m].dynamic != dynamic) continue;
+            row.push_back(util::table::fmt(results[m].ratio.mean(), 3));
+        }
+        t.add_row(std::move(row));
+    };
+
+    util::table t({"LFP/HFP ratio", "orig FFT PSA", "1st-stage band drop",
+                   "Set1", "Set2", "Set3"});
+    print_row(t, "static pruning", false);
+    print_row(t, "dynamic pruning", true);
+    t.print(std::cout);
+    std::cout << "(paper: static 0.45 | 0.465 | 0.465 | 0.483 | 0.492; "
+                 "dynamic 0.45 | 0.465 | 0.467 | 0.470 | 0.471)\n\n";
+
+    util::table e({"mode", "pruning", "mean err%", "max err%", "detected"});
+    for (std::size_t m = 0; m < defs.size(); ++m) {
+        e.add_row({defs[m].label, defs[m].dynamic ? "dynamic" : "static",
+                   util::table::fmt(results[m].err_pct.mean(), 2),
+                   util::table::fmt(results[m].err_pct.max(), 2),
+                   util::table::fmt_int(results[m].detected) + "/" +
+                       util::table::fmt_int(results[m].total)});
+    }
+    e.print(std::cout);
+
+    // The monitoring headline: average error over all modes ~4.9 %.
+    util::running_stats all_err;
+    for (const auto& r : results) all_err.add(r.err_pct.mean());
+    std::cout << "\naverage ratio error across modes: "
+              << util::table::fmt(all_err.mean(), 2)
+              << "% (paper: ~4.9% average)\n"
+              << "dynamic vs static at Set3: "
+              << util::table::fmt(results[7].err_pct.mean(), 2) << "% vs "
+              << util::table::fmt(results[3].err_pct.mean(), 2)
+              << "% (paper: dynamic limits the distortion)\n"
+              << "conventional detection: " << orig_detected << "/" << patients
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,48 @@
+#include "common.hpp"
+
+#include "qpsa/lomb/welch_lomb.hpp"
+
+namespace qpsa::bench {
+
+namespace {
+
+class capture_engine final : public lomb::fft_engine {
+public:
+    explicit capture_engine(std::size_t n) : inner_(n) {}
+    std::size_t size() const noexcept override { return inner_.size(); }
+    std::string name() const override { return "capture"; }
+    void forward(std::span<const cplx> in, std::span<cplx> out,
+                 wfft::exec_stats* stats) const override {
+        captured.emplace_back(in.begin(), in.end());
+        if (stats != nullptr) {
+            counting::count_scope scope(stats->ops);
+            inner_.forward(in, out);
+        } else {
+            inner_.forward(in, out);
+        }
+    }
+    mutable std::vector<std::vector<cplx>> captured;
+
+private:
+    dsp::fft_split_radix inner_;
+};
+
+}  // namespace
+
+std::vector<std::vector<cplx>> harvest_fft_inputs(unsigned patients, real seconds,
+                                                  std::size_t mesh) {
+    capture_engine engine(mesh);
+    const core::psa_config cfg = core::psa_config::conventional(mesh);
+    lomb::welch_options wopt;
+    wopt.window_seconds = cfg.window_seconds;
+    wopt.overlap = cfg.overlap;
+    wopt.taper = cfg.taper;
+    wopt.lomb = cfg.lomb;
+    wopt.min_beats = cfg.min_beats;
+    wopt.max_freq_hz = cfg.max_freq_hz;
+    for (const auto& rec : arrhythmia_records(patients, seconds))
+        (void)lomb::welch_lomb(rec.beat_time_s, rec.rr_s, engine, wopt);
+    return std::move(engine.captured);
+}
+
+}  // namespace qpsa::bench

@@ -1,0 +1,60 @@
+// Shared helpers for the experiment harness.
+//
+// Each bench binary reproduces one table/figure of the paper; they share
+// the synthetic patient workloads and a few formatting conveniences.
+#pragma once
+
+#include <iostream>
+#include <vector>
+
+#include "qpsa/core/psa_system.hpp"
+#include "qpsa/counting/op_counter.hpp"
+#include "qpsa/hrv/rr.hpp"
+#include "qpsa/physio/patients.hpp"
+#include "qpsa/util/table.hpp"
+
+namespace qpsa::bench {
+
+/// Training / evaluation records: `n` sinus-arrhythmia patients.
+inline std::vector<physio::rr_record> arrhythmia_records(unsigned n,
+                                                         real seconds) {
+    std::vector<physio::rr_record> out;
+    out.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        out.push_back(physio::record_for(
+            physio::make_patient(physio::cohort::sinus_arrhythmia, i), seconds));
+    return out;
+}
+
+/// 2-minute RR windows cut from patient records, as used per segment.
+inline std::vector<hrv::rr_window> paper_windows(unsigned patients,
+                                                 real seconds,
+                                                 std::size_t max_windows) {
+    std::vector<hrv::rr_window> out;
+    for (const auto& rec : arrhythmia_records(patients, seconds)) {
+        const auto ws =
+            hrv::sliding_windows(rec.beat_time_s, rec.rr_s, 120.0, 0.5, 32);
+        for (const auto& w : ws) {
+            if (out.size() >= max_windows) return out;
+            out.push_back(w);
+        }
+    }
+    return out;
+}
+
+/// Realistic complex FFT inputs (extirpolated meshes) harvested by running
+/// the conventional pipeline over patient windows.
+std::vector<std::vector<cplx>> harvest_fft_inputs(unsigned patients,
+                                                  real seconds,
+                                                  std::size_t mesh);
+
+/// Ratio "ops vs baseline" as a signed percentage string (+36%, -28%).
+inline std::string vs_baseline(std::uint64_t ops, std::uint64_t baseline) {
+    const double delta =
+        100.0 * (static_cast<double>(ops) / static_cast<double>(baseline) - 1.0);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", delta);
+    return buf;
+}
+
+}  // namespace qpsa::bench

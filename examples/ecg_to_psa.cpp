@@ -1,0 +1,68 @@
+// ecg_to_psa -- the full WBSN chain (paper Fig. 1(a) end to end).
+//
+// Synthesizes a continuous ECG for a patient, runs the R-peak delineation
+// substrate to recover beat times, feeds the detected RR series into the
+// quality-scalable PSA, and compares against the ground-truth RR path.
+//
+// Usage: ecg_to_psa [record_seconds] [noise_mv]
+#include <cstdlib>
+#include <iostream>
+
+#include "qpsa/core/psa_system.hpp"
+#include "qpsa/physio/ecg_synth.hpp"
+#include "qpsa/physio/patients.hpp"
+#include "qpsa/physio/rpeak.hpp"
+#include "qpsa/util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace qpsa;
+    const double seconds = argc > 1 ? std::atof(argv[1]) : 600.0;
+    const double noise = argc > 2 ? std::atof(argv[2]) : 0.03;
+
+    const auto patient =
+        physio::make_patient(physio::cohort::sinus_arrhythmia, 2);
+    const auto truth = physio::record_for(patient, seconds);
+
+    physio::ecg_options eopt;
+    eopt.noise_sigma = noise;
+    util::rng rng(patient.seed ^ 0xEC6);
+    const auto ecg = physio::synthesize_ecg(truth, eopt, rng);
+    std::cout << "synthesized " << ecg.duration_s() << " s of ECG at "
+              << ecg.sample_rate_hz << " Hz (" << ecg.mv.size()
+              << " samples, noise sigma " << noise << " mV)\n";
+
+    const auto detected = physio::detect_rpeaks(ecg);
+    const double sens = physio::detection_sensitivity(truth, detected);
+    std::cout << "delineation: " << detected.beats() << " beats detected vs "
+              << truth.beats() << " true ("
+              << util::table::fmt_pct(sens, 2) << " sensitivity)\n\n";
+
+    const core::psa_system proposed(core::psa_config::proposed(
+        wfft::plan::static_pruned(512, wavelet::basis::haar,
+                                  wfft::twiddle_set::set2)));
+    const auto res_truth =
+        proposed.analyze_record(truth.beat_time_s, truth.rr_s);
+    const auto res_chain =
+        proposed.analyze_record(detected.beat_time_s, detected.rr_s);
+
+    util::table t({"RR source", "LFP/HFP", "diagnosis", "segments"});
+    t.add_row({"ground truth", util::table::fmt(res_truth.lf_hf_ratio(), 3),
+               hrv::diagnosis_name(res_truth.diagnosis),
+               util::table::fmt_int(static_cast<long long>(res_truth.segments))});
+    t.add_row({"ECG delineation", util::table::fmt(res_chain.lf_hf_ratio(), 3),
+               hrv::diagnosis_name(res_chain.diagnosis),
+               util::table::fmt_int(static_cast<long long>(res_chain.segments))});
+    t.print(std::cout);
+
+    std::cout << "\nchain ratio deviation: "
+              << util::table::fmt(100.0 *
+                                      std::abs(res_chain.lf_hf_ratio() -
+                                               res_truth.lf_hf_ratio()) /
+                                      res_truth.lf_hf_ratio(),
+                                  1)
+              << "% -- diagnosis "
+              << (res_chain.diagnosis == res_truth.diagnosis ? "preserved"
+                                                             : "CHANGED")
+              << "\n";
+    return 0;
+}

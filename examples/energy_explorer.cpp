@@ -1,0 +1,55 @@
+// energy_explorer -- QDES-driven run-time adaptation.
+//
+// Builds the quality controller (design-time calibration over a training
+// cohort, as in the paper's Fig. 2 flow), prints the measured mode table
+// (distortion / savings / savings+VFS per approximation mode), and then
+// walks a range of quality budgets (QDES) showing which mode the
+// controller would deploy for each.
+//
+// Usage: energy_explorer [training_patients] [record_seconds]
+#include <cstdlib>
+#include <iostream>
+
+#include "qpsa/core/quality_controller.hpp"
+#include "qpsa/util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace qpsa;
+    core::controller_build_options opt;
+    opt.training_patients = argc > 1 ? std::atoi(argv[1]) : 4u;
+    opt.record_seconds = argc > 2 ? std::atof(argv[2]) : 900.0;
+
+    const energy::node_model node;
+    std::cout << "calibrating over " << opt.training_patients
+              << " training patients (" << opt.record_seconds
+              << " s records)...\n\n";
+    const auto controller = core::build_quality_controller(opt, node);
+
+    std::cout << "measured mode table (design-time calibration):\n";
+    util::table t({"mode", "err%", "savings", "savings+VFS", "detection"});
+    for (const auto& m : controller.profiles()) {
+        t.add_row({m.name, util::table::fmt(m.expected_error_pct, 2),
+                   util::table::fmt_pct(m.expected_savings),
+                   util::table::fmt_pct(m.expected_savings_vfs),
+                   util::table::fmt_pct(m.detection_agreement)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nQDES sweep (allowed ratio distortion -> deployed mode):\n";
+    util::table q({"QDES (err%)", "selected mode", "expected savings+VFS"});
+    for (const double qdes : {0.5, 1.0, 2.0, 4.0, 6.0, 10.0, 15.0}) {
+        const auto& mode = controller.select(qdes);
+        q.add_row({util::table::fmt(qdes, 1), mode.name,
+                   util::table::fmt_pct(mode.expected_savings_vfs)});
+    }
+    q.print(std::cout);
+
+    std::cout << "\nnode operating points for the deepest mode:\n";
+    const auto& deep = controller.select(100.0);
+    std::cout << "  " << deep.name << ": expected "
+              << util::table::fmt_pct(deep.expected_savings_vfs)
+              << " energy savings with VFS at "
+              << util::table::fmt(deep.expected_error_pct, 2)
+              << "% ratio error\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+// Configuration of the end-to-end PSA system (paper Fig. 1(a) / Fig. 2).
+#pragma once
+
+#include <string>
+
+#include "qpsa/dsp/window.hpp"
+#include "qpsa/hrv/bands.hpp"
+#include "qpsa/lomb/fast_lomb.hpp"
+#include "qpsa/lomb/welch_lomb.hpp"
+#include "qpsa/wfft/plan.hpp"
+
+namespace qpsa::core {
+
+enum class engine_kind {
+    conventional,  ///< split-radix FFT (the paper's baseline system)
+    wavelet,       ///< quality-scalable DWT-based FFT
+};
+
+struct psa_config {
+    engine_kind engine = engine_kind::conventional;
+    /// Wavelet-FFT plan (used when engine == wavelet).  plan.n must equal
+    /// lomb.mesh_size.
+    wfft::plan wplan = wfft::plan::exact(512, wavelet::basis::haar);
+
+    /// Welch segmentation (paper: 2-minute windows, 50 % overlap).
+    real window_seconds = 120.0;
+    real overlap = 0.5;
+    dsp::window_kind taper = dsp::window_kind::hann;
+    std::size_t min_beats = 32;
+    real max_freq_hz = 0.5;
+
+    /// Per-segment Fast-Lomb parameters -- the paper's deployed pipeline:
+    /// the RR window is "extrapolated ... to size N in order to meet the
+    /// fixed size N (e.g. 512) of the FFT": a sample-and-hold staircase
+    /// over the full window (Fig. 3 shows the same redistribution at 256),
+    /// then two complex FFTs as in Fig. 1(a).  At 512 cells per 2-minute
+    /// window each beat spans ~3.6 cells, which is what makes the wavelet
+    /// detail band near-zero and band-drop pruning benign.
+    lomb::fast_lomb_options lomb{
+        .ofac = 1.0,
+        .hifac = 1.0,
+        .macc = 4,
+        .mesh = lomb::mesh_mode::staircase_hold,
+        .packing = lomb::fft_packing::two_transforms,
+        .mesh_size = 512,
+    };
+
+    hrv::band_limits bands;
+
+    /// Named paper configurations.
+    static psa_config conventional(std::size_t mesh = 512);
+    static psa_config proposed(const wfft::plan& p);
+
+    std::string describe() const;
+    void validate() const;
+};
+
+}  // namespace qpsa::core

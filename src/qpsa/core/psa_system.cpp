@@ -1,0 +1,102 @@
+#include "qpsa/core/psa_system.hpp"
+
+#include <sstream>
+
+namespace qpsa::core {
+
+psa_config psa_config::conventional(std::size_t mesh) {
+    psa_config c;
+    c.engine = engine_kind::conventional;
+    c.lomb.mesh_size = mesh;
+    c.wplan = wfft::plan::exact(mesh, wavelet::basis::haar);
+    c.validate();
+    return c;
+}
+
+psa_config psa_config::proposed(const wfft::plan& p) {
+    psa_config c;
+    c.engine = engine_kind::wavelet;
+    c.wplan = p;
+    c.lomb.mesh_size = p.n;
+    c.validate();
+    return c;
+}
+
+void psa_config::validate() const {
+    QPSA_EXPECTS(lomb.mesh_size >= 64 && is_pow2(lomb.mesh_size));
+    QPSA_EXPECTS(window_seconds > 10.0);
+    QPSA_EXPECTS(overlap >= 0.0 && overlap < 1.0);
+    if (engine == engine_kind::wavelet) QPSA_EXPECTS(wplan.n == lomb.mesh_size);
+}
+
+std::string psa_config::describe() const {
+    std::ostringstream ss;
+    if (engine == engine_kind::conventional) {
+        ss << "conventional(split-radix," << lomb.mesh_size << ")";
+    } else {
+        ss << "proposed(" << wavelet::basis_name(wplan.basis);
+        switch (wplan.prune.mode) {
+            case wfft::prune_mode::none:
+                ss << ",exact";
+                break;
+            case wfft::prune_mode::fixed:
+                ss << ",static";
+                break;
+            case wfft::prune_mode::dynamic:
+                ss << ",dynamic";
+                break;
+        }
+        if (wplan.prune.band_drop_levels > 0) ss << ",band-drop";
+        if (wplan.prune.twiddle_fraction > 0.0)
+            ss << "," << static_cast<int>(wplan.prune.twiddle_fraction * 100) << "%";
+        ss << "," << wplan.n << ")";
+    }
+    return ss.str();
+}
+
+psa_system::psa_system(psa_config cfg) : cfg_(std::move(cfg)) {
+    cfg_.validate();
+    if (cfg_.engine == engine_kind::conventional) {
+        engine_ = lomb::make_split_radix_engine(cfg_.lomb.mesh_size);
+    } else {
+        // With one FFT per (real) mesh the DWT stage may exploit real
+        // arithmetic; the packed-pair optimization feeds genuinely complex
+        // data and must not.
+        cfg_.wplan.assume_real_input =
+            cfg_.lomb.packing == lomb::fft_packing::two_transforms;
+        engine_ = lomb::make_wavelet_engine(cfg_.wplan);
+    }
+}
+
+record_analysis psa_system::analyze_record(std::span<const real> beat_times,
+                                           std::span<const real> rr) const {
+    lomb::welch_options wopt;
+    wopt.window_seconds = cfg_.window_seconds;
+    wopt.overlap = cfg_.overlap;
+    wopt.taper = cfg_.taper;
+    wopt.lomb = cfg_.lomb;
+    wopt.min_beats = cfg_.min_beats;
+    wopt.max_freq_hz = cfg_.max_freq_hz;
+
+    const lomb::welch_result w = lomb::welch_lomb(beat_times, rr, *engine_, wopt);
+
+    record_analysis out;
+    out.averaged_spectrum = w.averaged;
+    out.bands = hrv::compute_band_powers(w.averaged, cfg_.bands);
+    out.segment_bands.reserve(w.segments.size());
+    for (const auto& seg : w.segments)
+        out.segment_bands.push_back(hrv::compute_band_powers(seg, cfg_.bands));
+    out.segment_start_s = w.segment_start;
+    out.diagnosis = hrv::classify(out.bands);
+    out.ops = w.ops;
+    out.segments = w.segments_used;
+    return out;
+}
+
+lomb::lomb_result psa_system::analyze_window(std::span<const real> t,
+                                             std::span<const real> x,
+                                             lomb::lomb_breakdown* bd) const {
+    return lomb::fast_lomb(t, x, *engine_, cfg_.lomb, bd);
+}
+
+}  // namespace qpsa::core

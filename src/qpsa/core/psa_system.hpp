@@ -1,0 +1,58 @@
+// End-to-end quality-scalable PSA system.
+//
+// Owns the FFT engine (conventional or wavelet), runs the Welch-Lomb
+// analysis over an RR record, integrates band powers per segment and
+// averaged, and reports the operation/energy footprint -- one object per
+// "system" the paper compares.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "qpsa/core/psa_config.hpp"
+#include "qpsa/hrv/detector.hpp"
+#include "qpsa/hrv/quality.hpp"
+
+namespace qpsa::core {
+
+struct record_analysis {
+    /// Averaged spectrum over all segments.
+    dsp::sampled_spectrum averaged_spectrum;
+    /// Band powers of the averaged spectrum.
+    hrv::band_powers bands;
+    /// Per-segment band powers (the time-frequency ratio series of the
+    /// paper's hourly monitoring experiment).
+    std::vector<hrv::band_powers> segment_bands;
+    std::vector<real> segment_start_s;
+    hrv::diagnosis diagnosis = hrv::diagnosis::normal;
+    /// Operation breakdown accumulated over the record.
+    lomb::lomb_breakdown ops;
+    std::size_t segments = 0;
+
+    real lf_hf_ratio() const { return bands.lf_hf_ratio(); }
+};
+
+class psa_system {
+public:
+    explicit psa_system(psa_config cfg);
+
+    const psa_config& config() const noexcept { return cfg_; }
+    const lomb::fft_engine& engine() const noexcept { return *engine_; }
+    std::string name() const { return cfg_.describe(); }
+
+    /// Analyze a full RR record (beat times + intervals).
+    record_analysis analyze_record(std::span<const real> beat_times,
+                                   std::span<const real> rr) const;
+
+    /// Analyze a single already-cut window; returns the periodogram and,
+    /// optionally, the per-phase op breakdown.
+    lomb::lomb_result analyze_window(std::span<const real> t,
+                                     std::span<const real> x,
+                                     lomb::lomb_breakdown* bd = nullptr) const;
+
+private:
+    psa_config cfg_;
+    std::unique_ptr<lomb::fft_engine> engine_;
+};
+
+}  // namespace qpsa::core

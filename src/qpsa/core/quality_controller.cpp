@@ -1,0 +1,169 @@
+#include "qpsa/core/quality_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qpsa/lomb/welch_lomb.hpp"
+#include "qpsa/util/stats.hpp"
+#include "qpsa/wfft/calibration.hpp"
+
+namespace qpsa::core {
+
+namespace {
+
+/// Engine decorator that records every transform input; used to harvest
+/// realistic FFT inputs for threshold calibration without duplicating the
+/// mesh-construction code.
+class capturing_engine final : public lomb::fft_engine {
+public:
+    explicit capturing_engine(const lomb::fft_engine& inner) : inner_(inner) {}
+
+    std::size_t size() const noexcept override { return inner_.size(); }
+    std::string name() const override { return "capture(" + inner_.name() + ")"; }
+    void forward(std::span<const cplx> in, std::span<cplx> out,
+                 wfft::exec_stats* stats) const override {
+        captured_.emplace_back(in.begin(), in.end());
+        inner_.forward(in, out, stats);
+    }
+
+    const std::vector<std::vector<cplx>>& captured() const noexcept {
+        return captured_;
+    }
+
+private:
+    const lomb::fft_engine& inner_;
+    mutable std::vector<std::vector<cplx>> captured_;
+};
+
+struct reference_run {
+    std::vector<real> ratios;                 // per patient
+    std::vector<counting::op_counts> ops;     // per patient
+    std::vector<std::vector<cplx>> fft_inputs;
+};
+
+lomb::welch_options welch_options_of(const psa_config& cfg) {
+    lomb::welch_options w;
+    w.window_seconds = cfg.window_seconds;
+    w.overlap = cfg.overlap;
+    w.taper = cfg.taper;
+    w.lomb = cfg.lomb;
+    w.min_beats = cfg.min_beats;
+    w.max_freq_hz = cfg.max_freq_hz;
+    return w;
+}
+
+}  // namespace
+
+quality_controller::quality_controller(std::vector<mode_profile> table)
+    : table_(std::move(table)) {
+    QPSA_EXPECTS(!table_.empty());
+}
+
+const mode_profile& quality_controller::select(real qdes_error_pct) const {
+    const mode_profile* best = nullptr;
+    for (const auto& m : table_) {
+        if (m.expected_error_pct > qdes_error_pct) continue;
+        if (best == nullptr || m.expected_savings_vfs > best->expected_savings_vfs)
+            best = &m;
+    }
+    // The least aggressive mode is the fallback when even it violates the
+    // budget (caller asked for tighter quality than any mode delivers).
+    if (best == nullptr) {
+        best = &table_.front();
+        for (const auto& m : table_)
+            if (m.expected_error_pct < best->expected_error_pct) best = &m;
+    }
+    return *best;
+}
+
+quality_controller build_quality_controller(const controller_build_options& opt,
+                                            const energy::node_model& node) {
+    QPSA_EXPECTS(opt.training_patients >= 1);
+
+    // --- training records -------------------------------------------------
+    std::vector<physio::rr_record> records;
+    for (unsigned i = 0; i < opt.training_patients; ++i) {
+        const physio::patient p =
+            physio::make_patient(physio::cohort::sinus_arrhythmia, i);
+        records.push_back(physio::record_for(p, opt.record_seconds));
+    }
+
+    // --- conventional reference + captured FFT inputs ----------------------
+    const psa_config conv_cfg = psa_config::conventional(opt.mesh);
+    const auto conv_engine = lomb::make_split_radix_engine(opt.mesh);
+    capturing_engine capture(*conv_engine);
+
+    reference_run ref;
+    for (const auto& rec : records) {
+        const auto w = lomb::welch_lomb(rec.beat_time_s, rec.rr_s, capture,
+                                        welch_options_of(conv_cfg));
+        const auto bands = hrv::compute_band_powers(w.averaged, conv_cfg.bands);
+        ref.ratios.push_back(bands.lf_hf_ratio());
+        ref.ops.push_back(w.ops.total());
+    }
+    ref.fft_inputs = capture.captured();
+
+    // --- wavelet calibration over the captured inputs ----------------------
+    const wfft::plan exact_plan =
+        wfft::plan::exact(opt.mesh, opt.basis);
+    const wfft::calibration_result cal =
+        wfft::calibrate(exact_plan, ref.fft_inputs);
+
+    // --- assemble the mode list --------------------------------------------
+    struct mode_def {
+        std::string name;
+        wfft::plan plan;
+    };
+    std::vector<mode_def> defs;
+    defs.push_back({"exact-wavelet", exact_plan});
+    defs.push_back({"band-drop", wfft::plan::band_dropped(opt.mesh, opt.basis)});
+    const wfft::twiddle_set sets[] = {wfft::twiddle_set::set1,
+                                      wfft::twiddle_set::set2,
+                                      wfft::twiddle_set::set3};
+    for (const auto s : sets)
+        defs.push_back({std::string("static+") + wfft::set_name(s),
+                        wfft::plan::static_pruned(opt.mesh, opt.basis, s)});
+    if (opt.include_dynamic) {
+        for (const auto s : sets) {
+            wfft::plan p = wfft::plan::dynamic_pruned(
+                opt.mesh, opt.basis, s, /*data_thr=*/0.0, cal.band_threshold);
+            p.prune.data_threshold = wfft::tune_data_threshold(
+                p, wfft::set_fraction(s), ref.fft_inputs, cal);
+            defs.push_back({std::string("dynamic+") + wfft::set_name(s), p});
+        }
+    }
+
+    // --- measure every mode -------------------------------------------------
+    std::vector<mode_profile> table;
+    for (const auto& def : defs) {
+        mode_profile prof;
+        prof.name = def.name;
+        prof.config = psa_config::proposed(def.plan);
+        const psa_system sys(prof.config);
+
+        std::vector<real> errors;
+        std::vector<real> savings;
+        std::vector<real> savings_vfs;
+        std::size_t agree = 0;
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            const auto res =
+                sys.analyze_record(records[i].beat_time_s, records[i].rr_s);
+            const real ratio = res.lf_hf_ratio();
+            errors.push_back(100.0 * std::abs(ratio - ref.ratios[i]) /
+                             ref.ratios[i]);
+            const auto ops = res.ops.total();
+            savings.push_back(node.savings_nominal(ops, ref.ops[i]));
+            savings_vfs.push_back(node.savings_with_vfs(ops, ref.ops[i]));
+            if ((ratio < 1.0) == (ref.ratios[i] < 1.0)) ++agree;
+        }
+        prof.expected_error_pct = util::mean(errors);
+        prof.expected_savings = util::mean(savings);
+        prof.expected_savings_vfs = util::mean(savings_vfs);
+        prof.detection_agreement =
+            static_cast<real>(agree) / static_cast<real>(records.size());
+        table.push_back(std::move(prof));
+    }
+    return quality_controller(std::move(table));
+}
+
+}  // namespace qpsa::core

@@ -1,0 +1,56 @@
+// QDES-driven quality controller (paper Fig. 2, bottom block, and VI.C:
+// "the degree of pruning could be tuned for obtaining maximum energy
+// savings based on the acceptable distortion (QDES)").
+//
+// At design time, a calibration run measures every approximation mode's
+// expected LFP/HFP distortion and energy savings over a training cohort.
+// At run time, the controller picks the deepest-saving mode whose expected
+// distortion stays within the caller's quality budget.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qpsa/core/psa_system.hpp"
+#include "qpsa/energy/node_model.hpp"
+#include "qpsa/physio/patients.hpp"
+
+namespace qpsa::core {
+
+struct mode_profile {
+    std::string name;
+    psa_config config;
+    real expected_error_pct = 0.0;     ///< mean LFP/HFP ratio error
+    real expected_savings = 0.0;       ///< energy savings (nominal V/f)
+    real expected_savings_vfs = 0.0;   ///< energy savings with VFS
+    real detection_agreement = 1.0;    ///< diagnosis agreement fraction
+};
+
+class quality_controller {
+public:
+    explicit quality_controller(std::vector<mode_profile> table);
+
+    /// Deepest-saving mode with expected_error_pct <= qdes_error_pct
+    /// (VFS-aware ordering).  The exact mode always qualifies.
+    const mode_profile& select(real qdes_error_pct) const;
+
+    std::span<const mode_profile> profiles() const noexcept { return table_; }
+
+private:
+    std::vector<mode_profile> table_;
+};
+
+struct controller_build_options {
+    real record_seconds = 1200.0;   ///< training record length per patient
+    unsigned training_patients = 6; ///< sinus-arrhythmia patients used
+    wavelet::basis basis = wavelet::basis::haar;
+    std::size_t mesh = 512;
+    bool include_dynamic = true;
+};
+
+/// Measure all paper modes (exact wavelet, band drop, band+Set1..3 static
+/// and dynamic) against the conventional system and assemble a controller.
+quality_controller build_quality_controller(const controller_build_options& opt,
+                                            const energy::node_model& node);
+
+}  // namespace qpsa::core

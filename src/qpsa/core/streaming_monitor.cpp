@@ -1,0 +1,92 @@
+#include "qpsa/core/streaming_monitor.hpp"
+
+#include <algorithm>
+
+namespace qpsa::core {
+
+streaming_monitor::streaming_monitor(psa_config cfg, monitor_options opt)
+    : opt_(opt), system_(std::make_unique<psa_system>(std::move(cfg))) {
+    QPSA_EXPECTS(opt_.hop_seconds > 0.0);
+    QPSA_EXPECTS(opt_.window_seconds >= opt_.hop_seconds);
+    QPSA_EXPECTS(opt_.min_beats >= 8);
+}
+
+void streaming_monitor::push_beat(real beat_time_s, real rr_s) {
+    QPSA_EXPECTS(rr_s > 0.0);
+    if (!buffer_.empty()) QPSA_EXPECTS(beat_time_s > buffer_.back().first);
+    if (!started_) {
+        started_ = true;
+        next_window_start_ = beat_time_s;
+    }
+    buffer_.emplace_back(beat_time_s, rr_s);
+    ++beats_seen_;
+    try_close_windows();
+}
+
+void streaming_monitor::try_close_windows() {
+    // A window [w0, w0 + W) closes once a beat arrives at or beyond its
+    // end; hop defines the next start.
+    while (started_ &&
+           buffer_.back().first >= next_window_start_ + opt_.window_seconds) {
+        const real w0 = next_window_start_;
+        const real w1 = w0 + opt_.window_seconds;
+
+        std::vector<real> t;
+        std::vector<real> x;
+        for (const auto& [bt, rr] : buffer_) {
+            if (bt < w0) continue;
+            if (bt >= w1) break;
+            t.push_back(bt);
+            x.push_back(rr);
+        }
+
+        if (t.size() >= opt_.min_beats) {
+            window_report rep;
+            rep.t_start = w0;
+            rep.t_end = w1;
+            rep.beats = t.size();
+            lomb::lomb_breakdown bd;
+            try {
+                const auto res = system_->analyze_window(t, x, &bd);
+                rep.bands = hrv::compute_band_powers(res.spectrum,
+                                                     system_->config().bands);
+                rep.diagnosis = hrv::classify(rep.bands);
+                rep.ops = bd.total();
+                pending_.push_back(rep);
+                ++completed_;
+                history_.push_back(rep);
+                if (history_.size() > opt_.history_limit)
+                    history_.erase(history_.begin());
+            } catch (const contract_error&) {
+                // Degenerate window (e.g. zero variance): skip silently,
+                // as a node would.
+            }
+        }
+        next_window_start_ += opt_.hop_seconds;
+
+        // Drop beats no future window can use.
+        while (!buffer_.empty() && buffer_.front().first < next_window_start_)
+            buffer_.pop_front();
+    }
+}
+
+std::optional<window_report> streaming_monitor::poll() {
+    if (pending_.empty()) return std::nullopt;
+    window_report rep = pending_.front();
+    pending_.pop_front();
+    return rep;
+}
+
+void streaming_monitor::set_config(psa_config cfg) {
+    system_ = std::make_unique<psa_system>(std::move(cfg));
+}
+
+real streaming_monitor::arrhythmia_fraction() const {
+    if (history_.empty()) return 0.0;
+    std::size_t flagged = 0;
+    for (const auto& rep : history_)
+        if (rep.diagnosis == hrv::diagnosis::sinus_arrhythmia) ++flagged;
+    return static_cast<real>(flagged) / static_cast<real>(history_.size());
+}
+
+}  // namespace qpsa::core

@@ -1,0 +1,79 @@
+// Streaming HRV monitor: the run-time face of the quality-scalable PSA.
+//
+// A WBSN node does not see whole records -- it sees one beat at a time.
+// The monitor buffers beats, emits a spectral analysis every hop interval
+// (Welch windowing online), tracks the LFP/HFP ratio series, and lets a
+// QDES policy switch the approximation mode between windows (the paper's
+// "prune & adjust based on accepted distortion" loop of Fig. 9).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "qpsa/core/psa_system.hpp"
+
+namespace qpsa::core {
+
+struct monitor_options {
+    real window_seconds = 120.0;
+    real hop_seconds = 60.0;       ///< 50 % overlap of the paper
+    std::size_t min_beats = 32;
+    std::size_t history_limit = 256;  ///< retained window results
+};
+
+/// Result of one completed analysis window.
+struct window_report {
+    real t_start = 0.0;
+    real t_end = 0.0;
+    hrv::band_powers bands;
+    hrv::diagnosis diagnosis = hrv::diagnosis::normal;
+    counting::op_counts ops;
+    std::size_t beats = 0;
+
+    real ratio() const { return bands.lf_hf_ratio(); }
+};
+
+class streaming_monitor {
+public:
+    streaming_monitor(psa_config cfg, monitor_options opt = {});
+
+    /// Feed one beat (absolute time + RR interval).  Returns a report
+    /// whenever a window completes (possibly referencing several pending
+    /// windows; they are queued and returned one per call to poll()).
+    void push_beat(real beat_time_s, real rr_s);
+
+    /// Next completed window report, if any.
+    std::optional<window_report> poll();
+
+    /// Completed-window history (oldest first, bounded).
+    std::span<const window_report> history() const noexcept {
+        return {history_.data(), history_.size()};
+    }
+
+    /// Swap the analysis configuration (e.g. a QDES mode change); takes
+    /// effect from the next window.
+    void set_config(psa_config cfg);
+    const psa_config& config() const noexcept { return system_->config(); }
+
+    /// Fraction of completed windows flagged as sinus arrhythmia.
+    real arrhythmia_fraction() const;
+
+    std::size_t windows_completed() const noexcept { return completed_; }
+    std::size_t beats_seen() const noexcept { return beats_seen_; }
+
+private:
+    void try_close_windows();
+
+    monitor_options opt_;
+    std::unique_ptr<psa_system> system_;
+    std::deque<std::pair<real, real>> buffer_;  ///< (beat time, rr)
+    std::deque<window_report> pending_;
+    std::vector<window_report> history_;
+    real next_window_start_ = 0.0;
+    bool started_ = false;
+    std::size_t completed_ = 0;
+    std::size_t beats_seen_ = 0;
+};
+
+}  // namespace qpsa::core

@@ -1,0 +1,93 @@
+#include "qpsa/dsp/burg.hpp"
+
+#include <cmath>
+
+#include "qpsa/counting/op_counter.hpp"
+
+namespace qpsa::dsp {
+
+burg_model burg_fit(std::span<const real> x, std::size_t order) {
+    const std::size_t n = x.size();
+    QPSA_EXPECTS(order >= 1);
+    QPSA_EXPECTS(n > 2 * order);
+
+    burg_model model;
+    model.a.assign(order, 0.0);
+
+    // Forward/backward prediction errors.
+    std::vector<real> f(x.begin(), x.end());
+    std::vector<real> b(x.begin(), x.end());
+    std::vector<real> a(order + 1, 0.0);
+    a[0] = 1.0;
+
+    real e = 0.0;
+    for (real v : x) e += v * v;
+    e /= static_cast<real>(n);
+
+    for (std::size_t m = 1; m <= order; ++m) {
+        // Reflection coefficient k_m = -2 sum f_i b_{i-1} / (sum f^2 + b^2).
+        real num = 0.0;
+        real den = 0.0;
+        for (std::size_t i = m; i < n; ++i) {
+            num += f[i] * b[i - 1];
+            den += f[i] * f[i] + b[i - 1] * b[i - 1];
+        }
+        counting::count_muls(3 * (n - m));
+        counting::count_adds(3 * (n - m));
+        const real k = den > 0.0 ? -2.0 * num / den : 0.0;
+        counting::count_divs(1);
+
+        // Update AR coefficients: a'_j = a_j + k a_{m-j}.
+        std::vector<real> prev(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(m));
+        for (std::size_t j = 1; j <= m; ++j) {
+            const real rev = (j == m) ? 1.0 : prev[m - j];
+            a[j] = (j < m ? prev[j] : 0.0) + k * rev;
+        }
+        counting::count_muls(m);
+        counting::count_adds(m);
+
+        // Update prediction errors (descending i keeps b[i-1] intact).
+        for (std::size_t i = n - 1; i >= m; --i) {
+            const real fi = f[i];
+            const real bi = b[i - 1];
+            f[i] = fi + k * bi;
+            b[i] = bi + k * fi;
+            if (i == m) break;
+        }
+        counting::count_muls(2 * (n - m));
+        counting::count_adds(2 * (n - m));
+
+        e *= (1.0 - k * k);
+        counting::count_muls(2);
+        counting::count_adds(1);
+    }
+
+    for (std::size_t j = 1; j <= order; ++j) model.a[j - 1] = a[j];
+    model.noise_var = e;
+    return model;
+}
+
+dsp::sampled_spectrum burg_psd(const burg_model& model, real fs_hz,
+                               std::span<const real> freqs_hz) {
+    QPSA_EXPECTS(fs_hz > 0.0);
+    dsp::sampled_spectrum s;
+    s.freq_hz.assign(freqs_hz.begin(), freqs_hz.end());
+    s.power.resize(freqs_hz.size());
+    for (std::size_t i = 0; i < freqs_hz.size(); ++i) {
+        const real w = two_pi * freqs_hz[i] / fs_hz;
+        cplx den{1.0, 0.0};
+        for (std::size_t k = 0; k < model.order(); ++k) {
+            const real ang = -w * static_cast<real>(k + 1);
+            den += model.a[k] * cplx{std::cos(ang), std::sin(ang)};
+        }
+        counting::count_trigs(2 * model.order());
+        counting::count_muls(2 * model.order());
+        counting::count_adds(2 * model.order());
+        const real mag2 = std::max(sqr_mag(den), real{1e-15});
+        s.power[i] = model.noise_var / (fs_hz * mag2);
+        counting::count_divs(1);
+    }
+    return s;
+}
+
+}  // namespace qpsa::dsp

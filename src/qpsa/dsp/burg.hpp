@@ -1,0 +1,32 @@
+// Burg autoregressive (maximum-entropy) spectral estimation.
+//
+// The third classic HRV spectral estimator next to FFT periodograms and
+// the Lomb method: fit an AR(p) model by Burg's reflection-coefficient
+// recursion and evaluate  P(f) = s2 / |1 + sum_k a_k e^{-2 pi i f k}|^2.
+// Operates on uniformly resampled data; included as a baseline for the
+// method-comparison ablation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qpsa/dsp/spectrum.hpp"
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::dsp {
+
+struct burg_model {
+    std::vector<real> a;    ///< AR coefficients a_1..a_p (sign convention: 1 + sum a_k z^-k)
+    real noise_var = 0.0;   ///< driving-noise variance
+    std::size_t order() const noexcept { return a.size(); }
+};
+
+/// Fit an AR(p) model with Burg's method.  x must be zero-mean-ish and
+/// longer than 2p.
+burg_model burg_fit(std::span<const real> x, std::size_t order);
+
+/// Evaluate the AR PSD at the given frequencies for sample rate fs.
+dsp::sampled_spectrum burg_psd(const burg_model& model, real fs_hz,
+                               std::span<const real> freqs_hz);
+
+}  // namespace qpsa::dsp

@@ -1,0 +1,45 @@
+#include "qpsa/dsp/dft.hpp"
+
+#include <cmath>
+
+namespace qpsa::dsp {
+
+std::vector<cplx> dft(std::span<const cplx> x) {
+    QPSA_EXPECTS(!x.empty());
+    const std::size_t n = x.size();
+    std::vector<cplx> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        cplx acc{0.0, 0.0};
+        for (std::size_t j = 0; j < n; ++j) {
+            const real ang = -two_pi * static_cast<real>(k) * static_cast<real>(j) /
+                             static_cast<real>(n);
+            acc += x[j] * cplx{std::cos(ang), std::sin(ang)};
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+std::vector<cplx> idft(std::span<const cplx> x) {
+    QPSA_EXPECTS(!x.empty());
+    const std::size_t n = x.size();
+    std::vector<cplx> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        cplx acc{0.0, 0.0};
+        for (std::size_t j = 0; j < n; ++j) {
+            const real ang = two_pi * static_cast<real>(k) * static_cast<real>(j) /
+                             static_cast<real>(n);
+            acc += x[j] * cplx{std::cos(ang), std::sin(ang)};
+        }
+        out[k] = acc / static_cast<real>(n);
+    }
+    return out;
+}
+
+std::vector<cplx> dft_real(std::span<const real> x) {
+    std::vector<cplx> cx(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) cx[i] = cplx{x[i], 0.0};
+    return dft(cx);
+}
+
+}  // namespace qpsa::dsp

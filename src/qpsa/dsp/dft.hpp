@@ -1,0 +1,24 @@
+// Reference O(N^2) discrete Fourier transform.
+//
+// This is the ground truth every fast transform in qpsa (radix-2,
+// split-radix, and the DWT-based FFT) is tested against.  It is never used
+// on the energy-critical path.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::dsp {
+
+/// Forward DFT: X[k] = sum_n x[n] * exp(-2*pi*i*k*n/N).  Any N >= 1.
+std::vector<cplx> dft(std::span<const cplx> x);
+
+/// Inverse DFT (includes the 1/N normalization).
+std::vector<cplx> idft(std::span<const cplx> x);
+
+/// Forward DFT of a real sequence (convenience for tests).
+std::vector<cplx> dft_real(std::span<const real> x);
+
+}  // namespace qpsa::dsp

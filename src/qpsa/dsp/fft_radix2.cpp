@@ -1,0 +1,91 @@
+#include "qpsa/dsp/fft_radix2.hpp"
+
+#include <cmath>
+
+#include "qpsa/counting/op_counter.hpp"
+
+namespace qpsa::dsp {
+
+namespace {
+
+std::vector<std::size_t> make_bitrev(std::size_t n, unsigned levels) {
+    std::vector<std::size_t> rev(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t r = 0;
+        std::size_t v = i;
+        for (unsigned b = 0; b < levels; ++b) {
+            r = (r << 1) | (v & 1);
+            v >>= 1;
+        }
+        rev[i] = r;
+    }
+    return rev;
+}
+
+}  // namespace
+
+fft_radix2::fft_radix2(std::size_t n)
+    : n_(n), levels_(log2_exact(n)), bitrev_(make_bitrev(n, levels_)), twiddles_(n / 2) {
+    QPSA_EXPECTS(is_pow2(n) && n >= 2);
+    for (std::size_t k = 0; k < n / 2; ++k) {
+        const real ang = -two_pi * static_cast<real>(k) / static_cast<real>(n);
+        twiddles_[k] = cplx{std::cos(ang), std::sin(ang)};
+    }
+}
+
+void fft_radix2::transform(std::span<cplx> data, bool inverse) const {
+    QPSA_EXPECTS(data.size() == n_);
+    using counting::count_adds;
+    using counting::count_cadd;
+    using counting::count_cmul;
+
+    for (std::size_t i = 0; i < n_; ++i) {
+        const std::size_t j = bitrev_[i];
+        if (j > i) std::swap(data[i], data[j]);
+    }
+
+    for (std::size_t len = 2; len <= n_; len <<= 1) {
+        const std::size_t half = len / 2;
+        const std::size_t step = n_ / len;
+        for (std::size_t base = 0; base < n_; base += len) {
+            for (std::size_t k = 0; k < half; ++k) {
+                cplx w = twiddles_[k * step];
+                if (inverse) w = std::conj(w);
+                const std::size_t i0 = base + k;
+                const std::size_t i1 = base + k + half;
+                cplx t;
+                if (k == 0) {
+                    t = data[i1];  // W^0 = 1: no multiply
+                } else if (4 * k == len) {
+                    // W^{N/4} = -i (or +i inverse): swap/negate, no multiply
+                    const cplx v = data[i1];
+                    t = inverse ? cplx{-v.imag(), v.real()} : cplx{v.imag(), -v.real()};
+                } else {
+                    t = w * data[i1];
+                    count_cmul();
+                }
+                data[i1] = data[i0] - t;
+                data[i0] = data[i0] + t;
+                count_cadd(2);
+            }
+        }
+    }
+
+    if (inverse) {
+        const real inv_n = 1.0 / static_cast<real>(n_);
+        for (auto& v : data) v *= inv_n;
+        counting::count_cscale(n_);
+    }
+}
+
+void fft_radix2::forward(std::span<cplx> data) const { transform(data, false); }
+
+void fft_radix2::inverse(std::span<cplx> data) const { transform(data, true); }
+
+std::vector<cplx> fft_radix2::forward_copy(std::span<const cplx> in) const {
+    std::vector<cplx> out(in.begin(), in.end());
+    forward(out);
+    return out;
+}
+
+}  // namespace qpsa::dsp

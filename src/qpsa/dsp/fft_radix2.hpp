@@ -1,0 +1,41 @@
+// Iterative radix-2 decimation-in-time FFT with precomputed twiddles and
+// operation counting.  Secondary baseline next to split-radix; also the
+// inverse-transform workhorse for round-trip tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::dsp {
+
+/// Reusable radix-2 plan for a fixed power-of-two size.
+class fft_radix2 {
+public:
+    explicit fft_radix2(std::size_t n);
+
+    std::size_t size() const noexcept { return n_; }
+
+    /// In-place forward transform.  data.size() must equal size().
+    /// Counts real adds/muls into the active counting scope; twiddles
+    /// W^0 = 1 and W^{N/4} = -i are applied without multiplications, as a
+    /// production implementation would.
+    void forward(std::span<cplx> data) const;
+
+    /// In-place inverse transform including the 1/N scaling.
+    void inverse(std::span<cplx> data) const;
+
+    /// Out-of-place convenience.
+    std::vector<cplx> forward_copy(std::span<const cplx> in) const;
+
+private:
+    void transform(std::span<cplx> data, bool inverse) const;
+
+    std::size_t n_;
+    unsigned levels_;
+    std::vector<std::size_t> bitrev_;
+    std::vector<cplx> twiddles_;  ///< W_N^k = exp(-2 pi i k / N), k < N/2
+};
+
+}  // namespace qpsa::dsp

@@ -1,0 +1,93 @@
+#include "qpsa/dsp/fft_split_radix.hpp"
+
+#include <cmath>
+
+#include "qpsa/counting/op_counter.hpp"
+
+namespace qpsa::dsp {
+
+fft_split_radix::fft_split_radix(std::size_t n) : n_(n), wtab_(n) {
+    QPSA_EXPECTS(is_pow2(n) && n >= 2);
+    for (std::size_t k = 0; k < n; ++k) {
+        const real ang = -two_pi * static_cast<real>(k) / static_cast<real>(n);
+        wtab_[k] = cplx{std::cos(ang), std::sin(ang)};
+    }
+}
+
+void fft_split_radix::forward(std::span<const cplx> in, std::span<cplx> out) const {
+    QPSA_EXPECTS(in.size() == n_);
+    QPSA_EXPECTS(out.size() == n_);
+    std::vector<cplx> scratch(2 * n_);
+    recurse(in.data(), 1, out.data(), n_, scratch.data());
+}
+
+std::vector<cplx> fft_split_radix::forward_copy(std::span<const cplx> in) const {
+    std::vector<cplx> out(n_);
+    forward(in, out);
+    return out;
+}
+
+void fft_split_radix::recurse(const cplx* x, std::size_t stride, cplx* out,
+                              std::size_t n, cplx* scratch) const {
+    using counting::count_adds;
+    using counting::count_cadd;
+    using counting::count_cmul;
+    using counting::count_muls;
+
+    if (n == 1) {
+        out[0] = x[0];
+        return;
+    }
+    if (n == 2) {
+        out[0] = x[0] + x[stride];
+        out[1] = x[0] - x[stride];
+        count_cadd(2);
+        return;
+    }
+
+    const std::size_t q = n / 4;
+    const std::size_t h = n / 2;
+    cplx* const e = scratch;           // E: half-size transform of evens
+    cplx* const o1 = scratch + h;      // O1: quarter-size of x[4m+1]
+    cplx* const o3 = scratch + h + q;  // O3: quarter-size of x[4m+3]
+    cplx* const child = scratch + n;
+
+    recurse(x, 2 * stride, e, h, child);
+    recurse(x + stride, 4 * stride, o1, q, child);
+    recurse(x + 3 * stride, 4 * stride, o3, q, child);
+
+    const std::size_t tstep = n_ / n;  // twiddle stride for this level
+    for (std::size_t k = 0; k < q; ++k) {
+        cplx t1;
+        cplx t3;
+        if (k == 0) {
+            t1 = o1[0];
+            t3 = o3[0];
+        } else if (8 * k == n) {
+            // W^(N/8) = (1 - i)/sqrt(2): (a+bi)(1-i)/sqrt2 needs 2 muls, 2 adds.
+            const cplx z1 = o1[k];
+            t1 = cplx{inv_sqrt2 * (z1.real() + z1.imag()),
+                      inv_sqrt2 * (z1.imag() - z1.real())};
+            // W^(3N/8) = (-1 - i)/sqrt(2).
+            const cplx z3 = o3[k];
+            t3 = cplx{inv_sqrt2 * (z3.imag() - z3.real()),
+                      inv_sqrt2 * (-z3.real() - z3.imag())};
+            count_muls(4);
+            count_adds(4);
+        } else {
+            t1 = wtab_[k * tstep] * o1[k];
+            t3 = wtab_[3 * k * tstep] * o3[k];
+            count_cmul(2);
+        }
+        const cplx s = t1 + t3;
+        const cplx d = t1 - t3;
+        const cplx jd{d.imag(), -d.real()};  // -i * d: free rotation
+        out[k] = e[k] + s;
+        out[k + h] = e[k] - s;
+        out[k + q] = e[k + q] + jd;
+        out[k + 3 * q] = e[k + q] - jd;
+        count_cadd(6);
+    }
+}
+
+}  // namespace qpsa::dsp

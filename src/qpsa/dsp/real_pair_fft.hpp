@@ -1,0 +1,38 @@
+// Two real FFTs for the price of one complex FFT.
+//
+// The Fast-Lomb algorithm needs the spectra of two real meshes (the
+// extirpolated data and the extirpolated unit weights).  Packing them as
+// real/imaginary parts of one complex sequence and unpacking with the
+// Hermitian symmetry
+//
+//   A[k] =      (Z[k] + conj(Z[N-k])) / 2
+//   B[k] = -i * (Z[k] - conj(Z[N-k])) / 2
+//
+// halves the transform work.  The paper's "two complex FFTs" per window
+// map onto exactly this packing.  The unpack step is linear, so it
+// commutes with any (possibly approximate/pruned) linear FFT engine.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::dsp {
+
+/// Interleave two equally sized real arrays into a complex array
+/// (z[i] = a[i] + i*b[i]).
+std::vector<cplx> pack_real_pair(std::span<const real> a, std::span<const real> b);
+
+/// Recover spectrum bin k of both packed arrays from the transform z of
+/// the packed sequence.  k in [0, z.size()).  Counts 8 adds + 4 muls.
+struct real_pair_bin {
+    cplx a;
+    cplx b;
+};
+real_pair_bin unpack_bin(std::span<const cplx> z, std::size_t k);
+
+/// Recover full spectra of both arrays (sizes equal to z.size()).
+void unpack_real_pair(std::span<const cplx> z, std::span<cplx> a, std::span<cplx> b);
+
+}  // namespace qpsa::dsp

@@ -1,0 +1,56 @@
+#include "qpsa/dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qpsa::dsp {
+
+std::vector<real> power_spectrum(std::span<const cplx> x) {
+    std::vector<real> p(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) p[i] = sqr_mag(x[i]);
+    return p;
+}
+
+real band_power(const sampled_spectrum& s, real f_lo, real f_hi) {
+    QPSA_EXPECTS(s.freq_hz.size() == s.power.size());
+    QPSA_EXPECTS(f_hi > f_lo);
+    if (s.size() < 2) return 0.0;
+    real acc = 0.0;
+    for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+        const real a = s.freq_hz[i];
+        const real b = s.freq_hz[i + 1];
+        if (b <= a) continue;  // skip degenerate grid steps
+        const real lo = std::max(a, f_lo);
+        const real hi = std::min(b, f_hi);
+        if (hi <= lo) continue;
+        // Linear interpolation of power across the [a, b] segment.
+        auto interp = [&](real f) {
+            const real t = (f - a) / (b - a);
+            return s.power[i] * (1.0 - t) + s.power[i + 1] * t;
+        };
+        acc += 0.5 * (interp(lo) + interp(hi)) * (hi - lo);
+    }
+    return acc;
+}
+
+real peak_frequency(const sampled_spectrum& s, real f_lo, real f_hi) {
+    QPSA_EXPECTS(s.freq_hz.size() == s.power.size());
+    real best_p = -1.0;
+    real best_f = 0.0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s.freq_hz[i] < f_lo || s.freq_hz[i] >= f_hi) continue;
+        if (s.power[i] > best_p) {
+            best_p = s.power[i];
+            best_f = s.freq_hz[i];
+        }
+    }
+    QPSA_EXPECTS(best_p >= 0.0);
+    return best_f;
+}
+
+real total_power(const sampled_spectrum& s) {
+    if (s.size() < 2) return 0.0;
+    return band_power(s, s.freq_hz.front(), s.freq_hz.back() + 1e-12);
+}
+
+}  // namespace qpsa::dsp

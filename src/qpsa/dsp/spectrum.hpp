@@ -1,0 +1,36 @@
+// Spectrum utilities: power spectra, band integration over an arbitrary
+// frequency grid, and simple spectral summaries shared by tests and the
+// HRV band-power analysis.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::dsp {
+
+/// |X[k]|^2 of a complex spectrum.
+std::vector<real> power_spectrum(std::span<const cplx> x);
+
+/// A sampled one-sided spectrum: power[i] estimated at freq_hz[i].
+struct sampled_spectrum {
+    std::vector<real> freq_hz;
+    std::vector<real> power;
+
+    std::size_t size() const noexcept { return freq_hz.size(); }
+};
+
+/// Integrate spectrum power over [f_lo, f_hi) with the trapezoidal rule on
+/// the (possibly non-uniform) frequency grid.  Bins straddling the band
+/// edge contribute proportionally.
+real band_power(const sampled_spectrum& s, real f_lo, real f_hi);
+
+/// Index of the maximum-power bin within [f_lo, f_hi); returns the grid
+/// frequency of the peak.  Used by tests to verify tone recovery.
+real peak_frequency(const sampled_spectrum& s, real f_lo, real f_hi);
+
+/// Total power over the whole grid.
+real total_power(const sampled_spectrum& s);
+
+}  // namespace qpsa::dsp

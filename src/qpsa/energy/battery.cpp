@@ -1,0 +1,41 @@
+#include "qpsa/energy/battery.hpp"
+
+namespace qpsa::energy {
+
+namespace {
+
+lifetime_estimate finish(const battery_config& cfg, real psa_j) {
+    lifetime_estimate est;
+    est.psa_energy_per_window_j = psa_j;
+    est.total_energy_per_window_j = psa_j + cfg.acquisition_j + cfg.radio_j;
+    est.psa_share = est.total_energy_per_window_j > 0.0
+                        ? psa_j / est.total_energy_per_window_j
+                        : 0.0;
+    est.average_power_w =
+        est.total_energy_per_window_j / cfg.window_period_s + cfg.sleep_power_w;
+    QPSA_EXPECTS(est.average_power_w > 0.0);
+    est.lifetime_days = cfg.capacity_j / est.average_power_w / 86400.0;
+    return est;
+}
+
+}  // namespace
+
+lifetime_estimate estimate_lifetime(const node_model& node,
+                                    const counting::op_counts& window_ops,
+                                    const battery_config& cfg) {
+    return finish(cfg, node.run_nominal(window_ops).energy_j);
+}
+
+lifetime_estimate estimate_lifetime_vfs(const node_model& node,
+                                        const counting::op_counts& window_ops,
+                                        real deadline_s,
+                                        const battery_config& cfg) {
+    return finish(cfg, node.run_vfs(window_ops, deadline_s).energy_j);
+}
+
+real streaming_radio_j_per_window(real sample_rate_hz, real bits_per_sample,
+                                  real window_period_s, real radio_j_per_bit) {
+    return sample_rate_hz * bits_per_sample * window_period_s * radio_j_per_bit;
+}
+
+}  // namespace qpsa::energy

@@ -1,0 +1,76 @@
+#include "qpsa/energy/node_model.hpp"
+
+#include <cmath>
+
+namespace qpsa::energy {
+
+real node_model::e_cycle_j(real v) const {
+    const real r = v / cfg_.vfs.v_nom;
+    return cfg_.e_cycle_nom_j * r * r;
+}
+
+real node_model::p_leak_w(real v) const {
+    const real r = v / cfg_.vfs.v_nom;
+    return cfg_.p_leak_nom_w * r * r * r;
+}
+
+run_summary node_model::run_nominal(const counting::op_counts& ops) const {
+    run_summary s;
+    s.cycles = cycles(ops);
+    s.voltage = cfg_.vfs.v_nom;
+    s.frequency_hz = cfg_.vfs.f_nom_hz;
+    s.time_s = s.cycles / s.frequency_hz;
+    s.energy_dynamic_j = s.cycles * e_cycle_j(s.voltage);
+    s.energy_leakage_j = p_leak_w(s.voltage) * s.time_s;
+    s.energy_j = s.energy_dynamic_j + s.energy_leakage_j;
+    return s;
+}
+
+run_summary node_model::run_vfs(const counting::op_counts& ops,
+                                real deadline_s) const {
+    QPSA_EXPECTS(deadline_s > 0.0);
+    run_summary s;
+    s.cycles = cycles(ops);
+    const real f_req = s.cycles / deadline_s;
+    s.voltage = min_voltage_for(cfg_.vfs, f_req);
+    s.frequency_hz = max_frequency_hz(cfg_.vfs, s.voltage);
+    // The workload runs at f_max(V); if that exceeds f_req the core idles
+    // (leaks) for the rest of the deadline -- energy is charged over the
+    // full deadline, as the node cannot power-gate mid-window.
+    s.time_s = deadline_s;
+    s.energy_dynamic_j = s.cycles * e_cycle_j(s.voltage);
+    s.energy_leakage_j = p_leak_w(s.voltage) * deadline_s;
+    s.energy_j = s.energy_dynamic_j + s.energy_leakage_j;
+    return s;
+}
+
+real node_model::savings_nominal(const counting::op_counts& ops,
+                                 const counting::op_counts& baseline_ops) const {
+    const real e = run_nominal(ops).energy_j;
+    const real e0 = run_nominal(baseline_ops).energy_j;
+    QPSA_EXPECTS(e0 > 0.0);
+    return 1.0 - e / e0;
+}
+
+real node_model::savings_with_vfs(const counting::op_counts& ops,
+                                  const counting::op_counts& baseline_ops) const {
+    const run_summary base = run_nominal(baseline_ops);
+    QPSA_EXPECTS(base.energy_j > 0.0);
+    const run_summary scaled = run_vfs(ops, base.time_s);
+    return 1.0 - scaled.energy_j / base.energy_j;
+}
+
+std::size_t pipeline_memory_bytes(std::size_t mesh_size, std::size_t nout,
+                                  std::size_t word_bytes) {
+    // Two real meshes, one complex FFT buffer (in-place), twiddle/factor
+    // tables (complex, size mesh), the output spectrum and frequency grid,
+    // and the RR window staging buffer (256 beats max).
+    const std::size_t meshes = 2 * mesh_size * word_bytes;
+    const std::size_t fft_buf = 2 * mesh_size * word_bytes;
+    const std::size_t tables = 2 * mesh_size * word_bytes;
+    const std::size_t spectrum = 2 * nout * word_bytes;
+    const std::size_t staging = 2 * 256 * word_bytes;
+    return meshes + fft_buf + tables + spectrum + staging;
+}
+
+}  // namespace qpsa::energy

@@ -1,0 +1,81 @@
+// Sensor-node energy model: cycles -> time -> energy, with optional VFS.
+//
+// Constants model a 90 nm low-leakage embedded core (the paper's [14]):
+// ~30 pJ/cycle dynamic energy at the nominal 1.2 V / 100 MHz point and a
+// small leakage floor.  Dynamic energy scales with V^2, leakage with an
+// empirical V^3 fit.  A 64 KB SRAM budget mirrors the paper's node
+// configuration and is checked against the pipeline's working set.
+#pragma once
+
+#include <cstdint>
+
+#include "qpsa/counting/op_counter.hpp"
+#include "qpsa/energy/op_costs.hpp"
+#include "qpsa/energy/vfs.hpp"
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::energy {
+
+struct node_config {
+    op_costs costs = op_costs::typical_sensor_node();
+    vfs_params vfs;
+    real e_cycle_nom_j = 30e-12;  ///< dynamic energy per cycle at v_nom
+    real p_leak_nom_w = 40e-6;    ///< leakage power at v_nom
+    std::size_t sram_bytes = 64 * 1024;
+};
+
+/// Outcome of executing a counted workload on the node.
+struct run_summary {
+    double cycles = 0.0;
+    real voltage = 0.0;
+    real frequency_hz = 0.0;
+    real time_s = 0.0;
+    real energy_j = 0.0;
+    real energy_dynamic_j = 0.0;
+    real energy_leakage_j = 0.0;
+};
+
+class node_model {
+public:
+    explicit node_model(node_config cfg = {}) : cfg_(cfg) {}
+
+    const node_config& config() const noexcept { return cfg_; }
+
+    double cycles(const counting::op_counts& ops) const {
+        return cycles_for(ops, cfg_.costs);
+    }
+
+    /// Dynamic energy per cycle at supply v.
+    real e_cycle_j(real v) const;
+    /// Leakage power at supply v.
+    real p_leak_w(real v) const;
+
+    /// Run at the nominal operating point.
+    run_summary run_nominal(const counting::op_counts& ops) const;
+
+    /// Run under VFS: clock relaxed so the workload finishes exactly at
+    /// `deadline_s`, at the lowest feasible voltage (paper: "relax the
+    /// frequency of operation allowing us to also reduce the supply").
+    run_summary run_vfs(const counting::op_counts& ops, real deadline_s) const;
+
+    /// Energy saved by `ops` relative to `baseline_ops`, both nominal.
+    real savings_nominal(const counting::op_counts& ops,
+                         const counting::op_counts& baseline_ops) const;
+
+    /// Energy saved when the pruned workload additionally applies VFS
+    /// against the baseline's nominal execution time as deadline.
+    real savings_with_vfs(const counting::op_counts& ops,
+                          const counting::op_counts& baseline_ops) const;
+
+private:
+    node_config cfg_;
+};
+
+/// Working-set estimate (bytes) of a Fast-Lomb PSA pipeline on the node:
+/// two meshes, the transform buffers and twiddle tables, the spectrum and
+/// window state, assuming `word_bytes` per scalar (4 = single precision /
+/// Q31 fixed point, which is what a node deployment would use).
+std::size_t pipeline_memory_bytes(std::size_t mesh_size, std::size_t nout,
+                                  std::size_t word_bytes = 4);
+
+}  // namespace qpsa::energy

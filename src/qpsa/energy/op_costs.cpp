@@ -1,0 +1,21 @@
+#include "qpsa/energy/op_costs.hpp"
+
+namespace qpsa::energy {
+
+double cycles_for(const counting::op_counts& ops, const op_costs& costs) {
+    const auto adds = static_cast<double>(ops.adds);
+    const auto muls = static_cast<double>(ops.muls);
+    const auto divs = static_cast<double>(ops.divs);
+    const auto sqrts = static_cast<double>(ops.sqrts);
+    const auto cmps = static_cast<double>(ops.cmps);
+    const auto trigs = static_cast<double>(ops.trigs);
+    const auto loads = static_cast<double>(ops.loads);
+    const auto stores = static_cast<double>(ops.stores);
+
+    const double alu = adds + muls + cmps;
+    return adds * costs.add + muls * costs.mul + divs * costs.div +
+           sqrts * costs.sqrt + cmps * costs.cmp + trigs * costs.trig +
+           loads * costs.load + stores * costs.store + alu * costs.per_op_overhead;
+}
+
+}  // namespace qpsa::energy

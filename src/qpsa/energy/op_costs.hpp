@@ -1,0 +1,37 @@
+// Operation -> cycle cost model of the target sensor-node RISC core.
+//
+// The paper maps both PSA systems onto "a single RISC processor simulator
+// configured with typical, available sensor node characteristics"
+// [13,14].  qpsa substitutes an operation-level cycle model: each counted
+// arithmetic operation is priced in core cycles (single-cycle ALU and MAC,
+// iterative divide/sqrt, software trig), which is the granularity at
+// which the paper's pruning actually saves work.
+#pragma once
+
+#include <cstdint>
+
+#include "qpsa/counting/op_counter.hpp"
+
+namespace qpsa::energy {
+
+struct op_costs {
+    double add = 1.0;    ///< ALU add/sub
+    double mul = 1.0;    ///< single-cycle MAC (typical DSP-enabled MCU)
+    double div = 6.0;    ///< iterative divider
+    double sqrt = 8.0;   ///< iterative square root
+    double cmp = 1.0;    ///< compare-and-branch (dynamic pruning overhead)
+    double trig = 25.0;  ///< software sin/cos (direct Lomb only)
+    double load = 1.0;
+    double store = 1.0;
+    /// Fixed per-operation overhead (operand fetch / address generation)
+    /// applied to every counted ALU op; models the memory-bound nature of
+    /// streaming DSP kernels on a load/store machine.
+    double per_op_overhead = 0.5;
+
+    static op_costs typical_sensor_node() { return {}; }
+};
+
+/// Total core cycles implied by an operation tally.
+double cycles_for(const counting::op_counts& ops, const op_costs& costs);
+
+}  // namespace qpsa::energy

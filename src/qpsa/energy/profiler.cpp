@@ -1,0 +1,39 @@
+#include "qpsa/energy/profiler.hpp"
+
+namespace qpsa::energy {
+
+const block_profile* pipeline_profile::find(const std::string& name) const {
+    for (const auto& b : blocks)
+        if (b.name == name) return &b;
+    return nullptr;
+}
+
+pipeline_profile profile_pipeline(const lomb::lomb_breakdown& bd,
+                                  const node_model& node) {
+    pipeline_profile prof;
+    auto add_block = [&](const std::string& name,
+                         const counting::op_counts& ops) {
+        block_profile b;
+        b.name = name;
+        b.cycles = node.cycles(ops);
+        // Per-block energy at the nominal operating point.
+        b.energy_j = node.run_nominal(ops).energy_j;
+        prof.blocks.push_back(b);
+    };
+    add_block("window+moments", bd.moments);
+    add_block("extrapolation", bd.extirpolation);
+    add_block("fft", bd.fft);
+    add_block("lomb-calculator", bd.combine);
+
+    for (const auto& b : prof.blocks) {
+        prof.total_cycles += b.cycles;
+        prof.total_energy_j += b.energy_j;
+    }
+    for (auto& b : prof.blocks)
+        b.share = prof.total_energy_j > 0.0
+                      ? static_cast<double>(b.energy_j / prof.total_energy_j)
+                      : 0.0;
+    return prof;
+}
+
+}  // namespace qpsa::energy

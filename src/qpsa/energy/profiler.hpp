@@ -1,0 +1,36 @@
+// Per-block energy profiler for the PSA pipeline (paper Fig. 1(b)).
+//
+// Converts a lomb_breakdown (per-phase operation counts) into per-block
+// cycles, energy and shares on a node model -- the experiment that
+// motivates attacking the FFT block in the first place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qpsa/energy/node_model.hpp"
+#include "qpsa/lomb/fast_lomb.hpp"
+
+namespace qpsa::energy {
+
+struct block_profile {
+    std::string name;
+    double cycles = 0.0;
+    real energy_j = 0.0;
+    double share = 0.0;  ///< fraction of total energy
+};
+
+struct pipeline_profile {
+    std::vector<block_profile> blocks;
+    double total_cycles = 0.0;
+    real total_energy_j = 0.0;
+
+    const block_profile* find(const std::string& name) const;
+};
+
+/// Profile the standard PSA blocks: windowing/moments, extrapolation,
+/// FFT, Lomb calculator.
+pipeline_profile profile_pipeline(const lomb::lomb_breakdown& bd,
+                                  const node_model& node);
+
+}  // namespace qpsa::energy

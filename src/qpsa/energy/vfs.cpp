@@ -1,0 +1,30 @@
+#include "qpsa/energy/vfs.hpp"
+
+#include <cmath>
+
+namespace qpsa::energy {
+
+real max_frequency_hz(const vfs_params& p, real v) {
+    QPSA_EXPECTS(v > p.v_th);
+    const real num = std::pow(v - p.v_th, p.alpha);
+    const real den = std::pow(p.v_nom - p.v_th, p.alpha);
+    return p.f_nom_hz * (num / den) * (p.v_nom / v);
+}
+
+real min_voltage_for(const vfs_params& p, real f_req_hz) {
+    QPSA_EXPECTS(f_req_hz > 0.0);
+    if (f_req_hz >= max_frequency_hz(p, p.v_nom)) return p.v_nom;
+    if (f_req_hz <= max_frequency_hz(p, p.v_min)) return p.v_min;
+    real lo = p.v_min;
+    real hi = p.v_nom;
+    for (int i = 0; i < 60; ++i) {
+        const real mid = 0.5 * (lo + hi);
+        if (max_frequency_hz(p, mid) >= f_req_hz)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+}  // namespace qpsa::energy

@@ -1,0 +1,32 @@
+// Voltage-frequency scaling model (paper Section VI.B).
+//
+// Alpha-power-law delay model of a 90 nm low-leakage core:
+//
+//   f_max(V) = f_nom * ((V - V_th) / (V_nom - V_th))^alpha * (V_nom / V)
+//
+// Static pruning shortens the critical workload, so the clock can be
+// relaxed and the supply dropped to the lowest voltage still meeting the
+// original deadline -- yielding the quadratic dynamic-energy savings the
+// paper reports (up to 82 % combined with pruning).
+#pragma once
+
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::energy {
+
+struct vfs_params {
+    real f_nom_hz = 100e6;
+    real v_nom = 1.2;
+    real v_th = 0.32;
+    real v_min = 0.55;  ///< lowest safe operating voltage
+    real alpha = 1.5;   ///< velocity-saturation exponent
+};
+
+/// Maximum clock at supply voltage v (v in [v_min, v_nom]).
+real max_frequency_hz(const vfs_params& p, real v);
+
+/// Lowest voltage whose f_max reaches f_req (clamped to [v_min, v_nom]).
+/// Monotone bisection; f_req above f_nom returns v_nom.
+real min_voltage_for(const vfs_params& p, real f_req_hz);
+
+}  // namespace qpsa::energy

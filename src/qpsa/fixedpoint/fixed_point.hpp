@@ -1,0 +1,131 @@
+// Templated fixed-point arithmetic for precision-scalable kernels.
+//
+// The paper trades quality for energy by pruning operations; an orthogonal
+// quality knob on embedded targets is the datapath wordlength.  qpsa's
+// spectral kernels are templated on the scalar type, and fixed_point<F>
+// lets experiments sweep fractional precision (Q1.15, Q1.12, ...) and
+// observe the MSE / band-ratio impact (bench_ablation_precision).
+//
+// Representation: value = raw / 2^F stored in a 32-bit integer with
+// 64-bit intermediates, round-to-nearest on multiply, and saturating
+// conversions.  This mirrors the DSP datapath of a sensor-node MCU.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::fp {
+
+template <unsigned FracBits>
+class fixed_point {
+    static_assert(FracBits >= 1 && FracBits <= 30, "fractional bits out of range");
+
+public:
+    using raw_type = std::int32_t;
+    using wide_type = std::int64_t;
+    static constexpr unsigned frac_bits = FracBits;
+    static constexpr raw_type one_raw = raw_type{1} << FracBits;
+
+    constexpr fixed_point() = default;
+
+    /// Convert from floating point with round-to-nearest and saturation.
+    explicit fixed_point(double v) : raw_(saturate_wide(to_raw_wide(v))) {}
+
+    static constexpr fixed_point from_raw(raw_type r) noexcept {
+        fixed_point f;
+        f.raw_ = r;
+        return f;
+    }
+
+    constexpr raw_type raw() const noexcept { return raw_; }
+    double to_double() const noexcept {
+        return static_cast<double>(raw_) / static_cast<double>(one_raw);
+    }
+
+    /// Smallest representable increment.
+    static double resolution() noexcept { return 1.0 / static_cast<double>(one_raw); }
+    static double max_value() noexcept {
+        return static_cast<double>(std::numeric_limits<raw_type>::max()) /
+               static_cast<double>(one_raw);
+    }
+
+    friend fixed_point operator+(fixed_point a, fixed_point b) noexcept {
+        return from_raw(saturate_wide(static_cast<wide_type>(a.raw_) + b.raw_));
+    }
+    friend fixed_point operator-(fixed_point a, fixed_point b) noexcept {
+        return from_raw(saturate_wide(static_cast<wide_type>(a.raw_) - b.raw_));
+    }
+    friend fixed_point operator*(fixed_point a, fixed_point b) noexcept {
+        const wide_type prod = static_cast<wide_type>(a.raw_) * b.raw_;
+        // Round to nearest: add half an LSB before the arithmetic shift.
+        const wide_type rounded = (prod + (wide_type{1} << (FracBits - 1))) >> FracBits;
+        return from_raw(saturate_wide(rounded));
+    }
+    friend fixed_point operator/(fixed_point a, fixed_point b) {
+        QPSA_EXPECTS(b.raw_ != 0);
+        const wide_type num = static_cast<wide_type>(a.raw_) << FracBits;
+        return from_raw(saturate_wide(num / b.raw_));
+    }
+    friend fixed_point operator-(fixed_point a) noexcept {
+        return from_raw(saturate_wide(-static_cast<wide_type>(a.raw_)));
+    }
+
+    fixed_point& operator+=(fixed_point o) noexcept { return *this = *this + o; }
+    fixed_point& operator-=(fixed_point o) noexcept { return *this = *this - o; }
+    fixed_point& operator*=(fixed_point o) noexcept { return *this = *this * o; }
+
+    friend bool operator==(fixed_point a, fixed_point b) noexcept = default;
+    friend auto operator<=>(fixed_point a, fixed_point b) noexcept {
+        return a.raw_ <=> b.raw_;
+    }
+
+    fixed_point abs() const noexcept { return raw_ < 0 ? -*this : *this; }
+
+private:
+    static wide_type to_raw_wide(double v) noexcept {
+        return static_cast<wide_type>(std::llround(v * static_cast<double>(one_raw)));
+    }
+    static raw_type saturate_wide(wide_type w) noexcept {
+        constexpr wide_type lo = std::numeric_limits<raw_type>::min();
+        constexpr wide_type hi = std::numeric_limits<raw_type>::max();
+        return static_cast<raw_type>(std::clamp(w, lo, hi));
+    }
+
+    raw_type raw_ = 0;
+};
+
+/// Complex number over an arbitrary scalar (fixed_point or float/double),
+/// with the 4-mul/2-add multiply the op-counting model assumes.
+template <typename S>
+struct basic_complex {
+    S re{};
+    S im{};
+
+    friend basic_complex operator+(basic_complex a, basic_complex b) {
+        return {a.re + b.re, a.im + b.im};
+    }
+    friend basic_complex operator-(basic_complex a, basic_complex b) {
+        return {a.re - b.re, a.im - b.im};
+    }
+    friend basic_complex operator*(basic_complex a, basic_complex b) {
+        return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+    }
+};
+
+/// Quantize a double-precision vector through fixed_point<F> and back,
+/// returning the dequantized values.  Used to measure wordlength-induced
+/// distortion without rewriting a kernel.
+template <unsigned F>
+std::vector<double> quantize_roundtrip(std::span<const double> xs) {
+    std::vector<double> out(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        out[i] = fixed_point<F>(xs[i]).to_double();
+    return out;
+}
+
+}  // namespace qpsa::fp

@@ -1,0 +1,36 @@
+#include "qpsa/hrv/bands.hpp"
+
+#include <cmath>
+
+namespace qpsa::hrv {
+
+band_powers compute_band_powers(const dsp::sampled_spectrum& s,
+                                const band_limits& limits) {
+    band_powers bp;
+    bp.ulf = dsp::band_power(s, 0.0, limits.ulf_hi);
+    bp.lf = dsp::band_power(s, limits.lf_lo, limits.lf_hi);
+    bp.hf = dsp::band_power(s, limits.hf_lo, limits.hf_hi);
+    bp.total = dsp::total_power(s);
+    return bp;
+}
+
+real spectral_entropy(const dsp::sampled_spectrum& s, real f_lo, real f_hi) {
+    QPSA_EXPECTS(f_hi > f_lo);
+    std::vector<real> in_band;
+    real total = 0.0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s.freq_hz[i] < f_lo || s.freq_hz[i] >= f_hi) continue;
+        if (s.power[i] <= 0.0) continue;
+        in_band.push_back(s.power[i]);
+        total += s.power[i];
+    }
+    if (in_band.size() < 2 || total <= 0.0) return 0.0;
+    real h = 0.0;
+    for (real p : in_band) {
+        const real q = p / total;
+        h -= q * std::log(q);
+    }
+    return h / std::log(static_cast<real>(in_band.size()));
+}
+
+}  // namespace qpsa::hrv

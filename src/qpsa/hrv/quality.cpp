@@ -1,0 +1,48 @@
+#include "qpsa/hrv/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qpsa/hrv/detector.hpp"
+#include "qpsa/util/stats.hpp"
+
+namespace qpsa::hrv {
+
+real spectrum_mse(const dsp::sampled_spectrum& approx,
+                  const dsp::sampled_spectrum& reference) {
+    QPSA_EXPECTS(approx.power.size() == reference.power.size());
+    return util::mse(std::span<const real>(approx.power),
+                     std::span<const real>(reference.power));
+}
+
+real ratio_error_percent(const band_powers& approx, const band_powers& reference) {
+    const real ref = reference.lf_hf_ratio();
+    QPSA_EXPECTS(ref > 0.0);
+    return 100.0 * std::abs(approx.lf_hf_ratio() - ref) / ref;
+}
+
+quality_summary summarize_quality(std::span<const band_powers> reference,
+                                  std::span<const band_powers> approx,
+                                  std::span<const real> spectrum_mses) {
+    QPSA_EXPECTS(reference.size() == approx.size());
+    QPSA_EXPECTS(!reference.empty());
+
+    quality_summary q;
+    std::vector<real> ref_ratios(reference.size());
+    std::vector<real> app_ratios(reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        ref_ratios[i] = reference[i].lf_hf_ratio();
+        app_ratios[i] = approx[i].lf_hf_ratio();
+        const real err = ratio_error_percent(approx[i], reference[i]);
+        q.mean_ratio_error_pct += err;
+        q.max_ratio_error_pct = std::max(q.max_ratio_error_pct, err);
+    }
+    q.mean_ratio_error_pct /= static_cast<real>(reference.size());
+    q.mean_ratio_reference = util::mean(ref_ratios);
+    q.mean_ratio_approx = util::mean(app_ratios);
+    if (!spectrum_mses.empty()) q.mean_spectrum_mse = util::mean(spectrum_mses);
+    q.detection_agreement = diagnosis_agreement(ref_ratios, app_ratios);
+    return q;
+}
+
+}  // namespace qpsa::hrv

@@ -1,0 +1,35 @@
+// Quality metrics comparing approximate PSA outputs against the
+// conventional reference (paper Sections V.B and VI.A).
+#pragma once
+
+#include <span>
+
+#include "qpsa/dsp/spectrum.hpp"
+#include "qpsa/hrv/bands.hpp"
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::hrv {
+
+/// MSE between two spectra on the same grid (the paper's Fig. 7 metric).
+real spectrum_mse(const dsp::sampled_spectrum& approx,
+                  const dsp::sampled_spectrum& reference);
+
+/// Relative error of the LFP/HFP ratio in percent (the paper reports
+/// 3-9.2 % depending on pruning, 4.9 % on average).
+real ratio_error_percent(const band_powers& approx, const band_powers& reference);
+
+/// Summary of a reference-vs-approximate comparison over many windows.
+struct quality_summary {
+    real mean_ratio_reference = 0.0;
+    real mean_ratio_approx = 0.0;
+    real mean_ratio_error_pct = 0.0;
+    real max_ratio_error_pct = 0.0;
+    real mean_spectrum_mse = 0.0;
+    real detection_agreement = 1.0;
+};
+
+quality_summary summarize_quality(std::span<const band_powers> reference,
+                                  std::span<const band_powers> approx,
+                                  std::span<const real> spectrum_mses);
+
+}  // namespace qpsa::hrv

@@ -1,0 +1,62 @@
+#include "qpsa/hrv/rr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qpsa::hrv {
+
+bool is_valid(const rr_window& w) {
+    if (w.t.size() != w.rr.size() || w.t.size() < 2) return false;
+    for (std::size_t i = 1; i < w.t.size(); ++i)
+        if (w.t[i] <= w.t[i - 1]) return false;
+    for (real rr : w.rr)
+        if (rr < 0.2 || rr > 2.5) return false;
+    return true;
+}
+
+rr_window slice(std::span<const real> beat_times, std::span<const real> rr,
+                real t0, real len) {
+    QPSA_EXPECTS(beat_times.size() == rr.size());
+    QPSA_EXPECTS(len > 0.0);
+    rr_window w;
+    for (std::size_t i = 0; i < beat_times.size(); ++i) {
+        if (beat_times[i] < t0) continue;
+        if (beat_times[i] >= t0 + len) break;
+        w.t.push_back(beat_times[i]);
+        w.rr.push_back(rr[i]);
+    }
+    return w;
+}
+
+std::vector<rr_window> sliding_windows(std::span<const real> beat_times,
+                                       std::span<const real> rr, real len,
+                                       real overlap, std::size_t min_beats) {
+    QPSA_EXPECTS(overlap >= 0.0 && overlap < 1.0);
+    std::vector<rr_window> out;
+    if (beat_times.empty()) return out;
+    const real hop = len * (1.0 - overlap);
+    for (real t0 = beat_times.front(); t0 + len <= beat_times.back() + 1e-9;
+         t0 += hop) {
+        rr_window w = slice(beat_times, rr, t0, len);
+        if (w.beats() >= min_beats) out.push_back(std::move(w));
+    }
+    return out;
+}
+
+std::size_t filter_ectopic(rr_window& w, real fraction) {
+    if (w.rr.size() < 5) return 0;
+    std::size_t corrected = 0;
+    // Running median over a 5-beat neighborhood.
+    for (std::size_t i = 2; i + 2 < w.rr.size(); ++i) {
+        real win[5] = {w.rr[i - 2], w.rr[i - 1], w.rr[i], w.rr[i + 1], w.rr[i + 2]};
+        std::nth_element(win, win + 2, win + 5);
+        const real med = win[2];
+        if (std::abs(w.rr[i] - med) > fraction * med) {
+            w.rr[i] = med;
+            ++corrected;
+        }
+    }
+    return corrected;
+}
+
+}  // namespace qpsa::hrv

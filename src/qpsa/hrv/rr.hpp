@@ -1,0 +1,38 @@
+// RR-interval series utilities: validation, windowing, and the
+// fixed-size redistribution used for sparsity analysis.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::hrv {
+
+/// A window of RR samples: beat instants + interval values.
+struct rr_window {
+    std::vector<real> t;   ///< beat times (s), strictly increasing
+    std::vector<real> rr;  ///< RR intervals (s)
+
+    std::size_t beats() const noexcept { return rr.size(); }
+    real span_s() const { return t.empty() ? 0.0 : t.back() - t.front(); }
+};
+
+/// Basic physiological sanity checks (monotonic time, RR in [0.2, 2.5] s).
+bool is_valid(const rr_window& w);
+
+/// Cut [t0, t0+len) out of a full record.
+rr_window slice(std::span<const real> beat_times, std::span<const real> rr,
+                real t0, real len);
+
+/// All sliding windows of a record (length `len`, fractional overlap).
+std::vector<rr_window> sliding_windows(std::span<const real> beat_times,
+                                       std::span<const real> rr, real len,
+                                       real overlap, std::size_t min_beats);
+
+/// Simple ectopic-beat filter: replaces intervals deviating more than
+/// `fraction` from the running median with the median (standard HRV
+/// pre-processing).  Returns the number of corrected beats.
+std::size_t filter_ectopic(rr_window& w, real fraction = 0.3);
+
+}  // namespace qpsa::hrv

@@ -1,0 +1,60 @@
+#include "qpsa/hrv/time_domain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "qpsa/util/stats.hpp"
+
+namespace qpsa::hrv {
+
+time_domain_metrics compute_time_domain(std::span<const real> rr_s) {
+    QPSA_EXPECTS(rr_s.size() >= 2);
+    time_domain_metrics m;
+    m.mean_rr_s = util::mean(rr_s);
+    m.mean_hr_bpm = 60.0 / m.mean_rr_s;
+    m.sdnn_s = util::stddev(rr_s);
+    m.cv = m.sdnn_s / m.mean_rr_s;
+
+    // Successive differences.
+    std::vector<real> diffs(rr_s.size() - 1);
+    std::size_t over50 = 0;
+    for (std::size_t i = 1; i < rr_s.size(); ++i) {
+        const real d = rr_s[i] - rr_s[i - 1];
+        diffs[i - 1] = d;
+        if (std::abs(d) > 0.050) ++over50;
+    }
+    m.rmssd_s = util::rms(diffs);
+    m.sdsd_s = diffs.size() >= 2 ? util::stddev(diffs) : 0.0;
+    m.pnn50 = static_cast<real>(over50) / static_cast<real>(diffs.size());
+
+    // HRV triangular index: total beat count divided by the height of the
+    // RR histogram at the standard 1/128 s bin width.
+    constexpr real bin = 1.0 / 128.0;
+    std::map<long, std::size_t> hist;
+    for (real rr : rr_s) ++hist[static_cast<long>(std::floor(rr / bin))];
+    std::size_t peak = 0;
+    for (const auto& [k, c] : hist) peak = std::max(peak, c);
+    m.triangular_index =
+        static_cast<real>(rr_s.size()) / static_cast<real>(peak);
+    return m;
+}
+
+poincare_metrics compute_poincare(std::span<const real> rr_s) {
+    QPSA_EXPECTS(rr_s.size() >= 3);
+    // Rotate the (RR_n, RR_{n+1}) scatter by 45 degrees: SD1/SD2 are the
+    // standard deviations of (x - y)/sqrt(2) and (x + y)/sqrt(2).
+    std::vector<real> perp(rr_s.size() - 1);
+    std::vector<real> along(rr_s.size() - 1);
+    for (std::size_t i = 0; i + 1 < rr_s.size(); ++i) {
+        perp[i] = (rr_s[i] - rr_s[i + 1]) * inv_sqrt2;
+        along[i] = (rr_s[i] + rr_s[i + 1]) * inv_sqrt2;
+    }
+    poincare_metrics p;
+    p.sd1_s = util::stddev(perp);
+    p.sd2_s = util::stddev(along);
+    p.sd1_sd2_ratio = p.sd2_s > 0.0 ? p.sd1_s / p.sd2_s : 0.0;
+    return p;
+}
+
+}  // namespace qpsa::hrv

@@ -1,0 +1,41 @@
+// Time-domain HRV metrics.
+//
+// The standard companions of spectral HRV analysis (Task Force of the
+// ESC/NASPE guidelines): statistical measures over the RR series that a
+// monitoring node reports next to the band powers.  RMSSD and pNN50 are
+// short-term (respiratory-coupled) measures that correlate with HF power;
+// SDNN tracks total variability.
+#pragma once
+
+#include <span>
+
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::hrv {
+
+struct time_domain_metrics {
+    real mean_rr_s = 0.0;    ///< mean RR interval
+    real mean_hr_bpm = 0.0;  ///< mean heart rate
+    real sdnn_s = 0.0;       ///< standard deviation of RR intervals
+    real rmssd_s = 0.0;      ///< RMS of successive differences
+    real sdsd_s = 0.0;       ///< SD of successive differences
+    real pnn50 = 0.0;        ///< fraction of |successive diff| > 50 ms
+    real cv = 0.0;           ///< coefficient of variation (sdnn / mean)
+    real triangular_index = 0.0;  ///< count / mode of the 7.8125 ms histogram
+};
+
+/// Compute all metrics over an RR series (seconds).  Needs >= 2 beats.
+time_domain_metrics compute_time_domain(std::span<const real> rr_s);
+
+/// Poincare-plot descriptors: SD1 (short-term, perpendicular spread of
+/// the RR_{n+1} vs RR_n scatter) and SD2 (long-term, along the identity
+/// line).  SD1 relates to RMSSD by SD1 = RMSSD / sqrt(2).
+struct poincare_metrics {
+    real sd1_s = 0.0;
+    real sd2_s = 0.0;
+    real sd1_sd2_ratio = 0.0;
+};
+
+poincare_metrics compute_poincare(std::span<const real> rr_s);
+
+}  // namespace qpsa::hrv

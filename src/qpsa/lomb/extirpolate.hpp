@@ -1,0 +1,38 @@
+// Extirpolation: redistribute unevenly sampled values onto a regular mesh.
+//
+// The Fast-Lomb algorithm (Press & Rybicki 1989, the paper's ref. [10])
+// "extrapolates (i.e., redistributes to the needed order)" each sample
+// onto a power-of-two mesh using Lagrange-interpolation weights, so that
+// the trigonometric sums of the Lomb formula become FFT bins.  This is
+// the "Extrapolation" block of the paper's Fig. 1(a), feeding the fixed
+// size-N FFTs.
+//
+// Also provided: the zero-order staircase redistribution used to
+// visualize RR windows on a fixed grid (paper Fig. 3(a): "117
+// RR-intervals extrapolated to 256 values").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::lomb {
+
+/// Spread value y onto mesh around (0-based, fractional) position x with
+/// an `order`-point Lagrange kernel (order in [1, 8]; NR's MACC = 4).
+/// If x is integral the value is deposited exactly.  Counted.
+void spread(real y, std::span<real> mesh, real x, int order);
+
+/// Extirpolate samples (t, v) onto a mesh of the given size covering
+/// [t0, t0 + span): position of t is (t - t0) / span * mesh_size, wrapped
+/// circularly (the FFT treats the mesh as periodic).
+std::vector<real> extirpolate(std::span<const real> t, std::span<const real> v,
+                              std::size_t mesh_size, int order, real t0, real span);
+
+/// Zero-order staircase: resample a beat-indexed series onto m points by
+/// index (sample-and-hold).  Matches the visual "extrapolation" of the
+/// paper's Fig. 3(a) and is the cheapest redistribution possible.
+std::vector<real> redistribute_hold(std::span<const real> values, std::size_t m);
+
+}  // namespace qpsa::lomb

@@ -1,0 +1,185 @@
+#include "qpsa/lomb/fast_lomb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qpsa/dsp/real_pair_fft.hpp"
+#include "qpsa/lomb/extirpolate.hpp"
+#include "qpsa/util/stats.hpp"
+
+namespace qpsa::lomb {
+
+std::size_t fast_lomb_nout(std::size_t n_samples, const fast_lomb_options& opt) {
+    const std::size_t mesh = opt.mesh_size != 0
+                                 ? opt.mesh_size
+                                 : 2 * next_pow2(static_cast<std::size_t>(
+                                           opt.ofac * opt.hifac *
+                                           static_cast<real>(n_samples) *
+                                           static_cast<real>(opt.macc)));
+    const std::size_t by_data =
+        opt.nout_override != 0
+            ? opt.nout_override
+            : static_cast<std::size_t>(0.5 * opt.ofac * opt.hifac *
+                                       static_cast<real>(n_samples));
+    return std::min(by_data, mesh / 2 - 1);
+}
+
+lomb_result fast_lomb(std::span<const real> t, std::span<const real> x,
+                      const fft_engine& engine, const fast_lomb_options& opt,
+                      lomb_breakdown* breakdown) {
+    QPSA_EXPECTS(t.size() == x.size());
+    QPSA_EXPECTS(t.size() >= 2);
+    QPSA_EXPECTS(opt.ofac >= 1.0);
+    const std::size_t n = t.size();
+
+    lomb_breakdown local;
+    lomb_breakdown& bd = breakdown ? *breakdown : local;
+
+    // --- moments of the window ------------------------------------------
+    real avg = 0.0;
+    real var = 0.0;
+    {
+        counting::count_scope scope(bd.moments);
+        avg = util::mean(x);
+        var = util::variance(x);
+        counting::count_adds(3 * n);
+        counting::count_muls(n);
+        counting::count_divs(2);
+    }
+    QPSA_EXPECTS(var > 0.0);
+
+    const real t0 = t.front();
+    const real span = opt.span_override > 0.0 ? opt.span_override : t.back() - t0;
+    QPSA_EXPECTS(span > 0.0);
+
+    const std::size_t mesh =
+        opt.mesh_size != 0
+            ? opt.mesh_size
+            : 2 * next_pow2(static_cast<std::size_t>(
+                      opt.ofac * opt.hifac * static_cast<real>(n) *
+                      static_cast<real>(opt.macc)));
+    QPSA_EXPECTS(is_pow2(mesh));
+    QPSA_EXPECTS(engine.size() == mesh);
+
+    const std::size_t nout = fast_lomb_nout(n, opt);
+    QPSA_EXPECTS(nout >= 1);
+
+    // --- redistribution onto the oversampled periodic mesh ----------------
+    // The mesh covers span * ofac seconds so that df = 1 / (span * ofac).
+    const bool staircase = opt.mesh == mesh_mode::staircase_hold;
+    std::size_t n_eff = n;  // sample count entering the Lomb denominators
+    std::vector<real> wk1;
+    std::vector<real> wk2;
+    {
+        counting::count_scope scope(bd.extirpolation);
+        if (staircase) {
+            // Sample-and-hold onto mesh/ofac even cells; the remaining
+            // (ofac-1)/ofac of the mesh stays zero (spectral oversampling).
+            const auto n_data =
+                static_cast<std::size_t>(static_cast<real>(mesh) / opt.ofac);
+            QPSA_EXPECTS(n_data >= 8 && n_data <= mesh);
+            const real delta = span / static_cast<real>(n_data);
+            wk1.assign(mesh, 0.0);
+            wk2.assign(mesh, 0.0);
+            std::size_t j = 0;
+            for (std::size_t p = 0; p < n_data; ++p) {
+                const real tp = t0 + static_cast<real>(p) * delta;
+                while (j + 1 < n && t[j + 1] <= tp) ++j;
+                wk1[p] = x[j] - avg;
+                wk2[(2 * p) % mesh] += 1.0;
+            }
+            // Per cell: hold-advance compare, centering add, weight add.
+            counting::count_cmps(n_data);
+            counting::count_adds(2 * n_data);
+            n_eff = n_data;
+        } else {
+            std::vector<real> centered(n);
+            for (std::size_t j = 0; j < n; ++j) centered[j] = x[j] - avg;
+            counting::count_adds(n);
+            wk1 = extirpolate(t, centered, mesh, opt.macc, t0, span * opt.ofac);
+            // Unit weights at doubled angle positions (for the 2*w*t sums).
+            std::vector<real> t2(n);
+            std::vector<real> ones(n, 1.0);
+            for (std::size_t j = 0; j < n; ++j) t2[j] = 2.0 * (t[j] - t0);
+            counting::count_adds(n);
+            counting::count_muls(n);
+            wk2 = extirpolate(t2, ones, mesh, opt.macc, 0.0, span * opt.ofac);
+        }
+    }
+
+    // --- transform the two meshes -----------------------------------------
+    // The engine counts into its stats sink, and nested count scopes
+    // propagate outward, so bd.fft receives the same operations.
+    std::vector<cplx> zfft;   // packed_single result
+    std::vector<cplx> z1fft;  // two_transforms results
+    std::vector<cplx> z2fft;
+    const bool packed = opt.packing == fft_packing::packed_single;
+    {
+        counting::count_scope scope(bd.fft);
+        if (packed) {
+            zfft.resize(mesh);
+            const std::vector<cplx> z = dsp::pack_real_pair(wk1, wk2);
+            engine.forward(z, zfft, &bd.fft_stats);
+        } else {
+            z1fft.resize(mesh);
+            z2fft.resize(mesh);
+            std::vector<cplx> z(mesh);
+            for (std::size_t i = 0; i < mesh; ++i) z[i] = cplx{wk1[i], 0.0};
+            engine.forward(z, z1fft, &bd.fft_stats);
+            for (std::size_t i = 0; i < mesh; ++i) z[i] = cplx{wk2[i], 0.0};
+            engine.forward(z, z2fft, &bd.fft_stats);
+        }
+    }
+
+    // --- Lomb calculator ---------------------------------------------------
+    lomb_result res;
+    res.n_samples = n;
+    res.mesh_span = span;
+    res.spectrum.freq_hz.resize(nout);
+    res.spectrum.power.resize(nout);
+    const real df = 1.0 / (span * opt.ofac);
+    const auto nf = static_cast<real>(n_eff);
+    {
+        counting::count_scope scope(bd.combine);
+        for (std::size_t k = 1; k <= nout; ++k) {
+            cplx s1;
+            cplx s2;
+            if (packed) {
+                const dsp::real_pair_bin bin = dsp::unpack_bin(zfft, k);
+                s1 = bin.a;
+                s2 = bin.b;
+            } else {
+                s1 = z1fft[k];
+                s2 = z2fft[k];
+            }
+            // Our FFT kernel uses exp(-i...): sum cos = Re, sum sin = -Im.
+            const real re1 = s1.real();
+            const real im1 = -s1.imag();
+            const real re2 = s2.real();
+            const real im2 = -s2.imag();
+
+            real hypo = std::sqrt(re2 * re2 + im2 * im2);
+            if (hypo < 1e-12) hypo = 1e-12;
+            const real hc2wt = 0.5 * re2 / hypo;
+            const real hs2wt = 0.5 * im2 / hypo;
+            const real cwt = std::sqrt(0.5 + hc2wt);
+            const real swt = std::copysign(std::sqrt(0.5 - hc2wt), hs2wt);
+            real den = 0.5 * nf + hc2wt * re2 + hs2wt * im2;
+            den = std::max(den, 1e-9);
+            const real cterm = (cwt * re1 + swt * im1) * (cwt * re1 + swt * im1) / den;
+            const real den2 = std::max(nf - den, 1e-9);
+            const real sterm =
+                (cwt * im1 - swt * re1) * (cwt * im1 - swt * re1) / den2;
+
+            res.spectrum.freq_hz[k - 1] = static_cast<real>(k) * df;
+            res.spectrum.power[k - 1] = (cterm + sterm) / (2.0 * var);
+            counting::count_sqrts(3);
+            counting::count_muls(13);
+            counting::count_adds(10);
+            counting::count_divs(4);
+        }
+    }
+    return res;
+}
+
+}  // namespace qpsa::lomb

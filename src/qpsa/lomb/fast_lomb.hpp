@@ -1,0 +1,95 @@
+// Fast-Lomb periodogram (Press & Rybicki 1989, the paper's ref. [10]).
+//
+// Pipeline per the paper's Fig. 1(a): the RR window is extirpolated onto a
+// fixed power-of-two mesh, the mesh pair (data, unit weights) is packed
+// into one complex sequence and transformed by the pluggable FFT engine,
+// and the "Lomb calculator" combines the four trigonometric sums into the
+// normalized periodogram.  The FFT engine is where the conventional
+// (split-radix) and proposed (pruned wavelet) systems differ.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qpsa/counting/op_counter.hpp"
+#include "qpsa/dsp/spectrum.hpp"
+#include "qpsa/lomb/fft_engine.hpp"
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::lomb {
+
+/// How samples are redistributed onto the FFT mesh.
+enum class mesh_mode {
+    /// Press-Rybicki Lagrange extirpolation (NR's fasper): exact fast
+    /// approximation of the true Lomb sums on irregular times.
+    lagrange_extirpolation,
+    /// Sample-and-hold staircase onto mesh/ofac evenly spaced cells,
+    /// zero-padded to the mesh (paper Fig. 3: "117 RR-intervals
+    /// extrapolated to 256 values", then the 512 FFT).  The piecewise
+    /// constant mesh is what makes the detail band near-zero and the
+    /// paper's band-drop pruning benign.
+    staircase_hold,
+};
+
+/// How the two real meshes are transformed.
+enum class fft_packing {
+    /// Two complex FFTs, one per mesh -- the structure of the paper's
+    /// Fig. 1(a) ("The FFTs then calculate the four sums").
+    two_transforms,
+    /// One complex FFT of the packed pair + Hermitian unpack: halves the
+    /// FFT work (offered as an optimization ablation).
+    packed_single,
+};
+
+struct fast_lomb_options {
+    /// Oversampling factor of the frequency grid (typ. 4).
+    real ofac = 4.0;
+    /// Highest frequency as multiple of the mean Nyquist rate.
+    real hifac = 1.0;
+    /// Extirpolation kernel order (NR's MACC); lagrange mode only.
+    int macc = 4;
+    mesh_mode mesh = mesh_mode::lagrange_extirpolation;
+    fft_packing packing = fft_packing::two_transforms;
+    /// Fixed mesh (= FFT) size; 0 derives the size from ofac/hifac/n.
+    /// The paper fixes 512.
+    std::size_t mesh_size = 512;
+    /// Fixed window span in seconds; 0 uses t.back() - t.front().  Fixing
+    /// the span gives every Welch segment the same frequency grid.
+    real span_override = 0.0;
+    /// Fixed number of output frequencies; 0 derives it from the sample
+    /// count (0.5 * ofac * hifac * n).  Welch segmentation fixes it so all
+    /// segments share one grid.
+    std::size_t nout_override = 0;
+};
+
+/// Per-phase operation breakdown (for the Fig. 1(b) profiling experiment).
+struct lomb_breakdown {
+    counting::op_counts moments;        ///< mean/variance of the window
+    counting::op_counts extirpolation;  ///< mesh redistribution
+    counting::op_counts fft;            ///< the two packed real FFTs
+    counting::op_counts combine;        ///< Lomb calculator
+    wfft::exec_stats fft_stats;         ///< pruning stats of the FFT engine
+
+    counting::op_counts total() const {
+        return moments + extirpolation + fft + combine;
+    }
+};
+
+struct lomb_result {
+    dsp::sampled_spectrum spectrum;
+    std::size_t n_samples = 0;
+    real mesh_span = 0.0;
+};
+
+/// Compute the normalized Lomb periodogram of (t, x) through `engine`.
+/// engine.size() must equal the effective mesh size.  If `breakdown` is
+/// non-null the per-phase operation counts are stored there.
+lomb_result fast_lomb(std::span<const real> t, std::span<const real> x,
+                      const fft_engine& engine, const fast_lomb_options& opt,
+                      lomb_breakdown* breakdown = nullptr);
+
+/// Number of output frequencies for a given configuration and sample
+/// count (bounded by the mesh's usable bins).
+std::size_t fast_lomb_nout(std::size_t n_samples, const fast_lomb_options& opt);
+
+}  // namespace qpsa::lomb

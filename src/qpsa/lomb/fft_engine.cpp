@@ -1,0 +1,54 @@
+#include "qpsa/lomb/fft_engine.hpp"
+
+#include "qpsa/counting/op_counter.hpp"
+#include "qpsa/wavelet/filters.hpp"
+
+namespace qpsa::lomb {
+
+void split_radix_engine::forward(std::span<const cplx> in, std::span<cplx> out,
+                                 wfft::exec_stats* stats) const {
+    if (stats != nullptr) {
+        counting::count_scope scope(stats->ops);
+        fft_.forward(in, out);
+    } else {
+        fft_.forward(in, out);
+    }
+}
+
+std::string wavelet_engine::name() const {
+    const auto& p = fft_.get_plan();
+    std::string n = "wavelet-fft(";
+    n += wavelet::basis_name(p.basis);
+    switch (p.prune.mode) {
+        case wfft::prune_mode::none:
+            n += ",exact";
+            break;
+        case wfft::prune_mode::fixed:
+            n += ",static";
+            break;
+        case wfft::prune_mode::dynamic:
+            n += ",dynamic";
+            break;
+    }
+    if (p.prune.band_drop_levels > 0) n += ",band-drop";
+    if (p.prune.twiddle_fraction > 0.0)
+        n += "," + std::to_string(static_cast<int>(p.prune.twiddle_fraction * 100.0)) +
+             "%";
+    n += ")";
+    return n;
+}
+
+void wavelet_engine::forward(std::span<const cplx> in, std::span<cplx> out,
+                             wfft::exec_stats* stats) const {
+    fft_.forward(in, out, stats);
+}
+
+std::unique_ptr<fft_engine> make_split_radix_engine(std::size_t n) {
+    return std::make_unique<split_radix_engine>(n);
+}
+
+std::unique_ptr<fft_engine> make_wavelet_engine(wfft::plan p) {
+    return std::make_unique<wavelet_engine>(std::move(p));
+}
+
+}  // namespace qpsa::lomb

@@ -1,0 +1,63 @@
+// Pluggable FFT engine for the Fast-Lomb pipeline.
+//
+// The paper's controlled comparison swaps only the FFT block: the
+// conventional PSA uses a split-radix FFT, the proposed PSA the pruned
+// DWT-based FFT.  Everything else (extirpolation, Lomb combine, band
+// powers) is shared.  This interface is that swap point.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "qpsa/dsp/fft_split_radix.hpp"
+#include "qpsa/util/common.hpp"
+#include "qpsa/wfft/wavelet_fft.hpp"
+
+namespace qpsa::lomb {
+
+class fft_engine {
+public:
+    virtual ~fft_engine() = default;
+
+    virtual std::size_t size() const noexcept = 0;
+    virtual std::string name() const = 0;
+
+    /// Out-of-place forward transform of `size()` points.  Implementations
+    /// count their operations into the active counting scope; approximate
+    /// engines additionally report pruning statistics.
+    virtual void forward(std::span<const cplx> in, std::span<cplx> out,
+                         wfft::exec_stats* stats) const = 0;
+};
+
+/// Conventional engine: split-radix FFT (the paper's baseline).
+class split_radix_engine final : public fft_engine {
+public:
+    explicit split_radix_engine(std::size_t n) : fft_(n) {}
+    std::size_t size() const noexcept override { return fft_.size(); }
+    std::string name() const override { return "split-radix"; }
+    void forward(std::span<const cplx> in, std::span<cplx> out,
+                 wfft::exec_stats* stats) const override;
+
+private:
+    dsp::fft_split_radix fft_;
+};
+
+/// Proposed engine: quality-scalable wavelet FFT.
+class wavelet_engine final : public fft_engine {
+public:
+    explicit wavelet_engine(wfft::plan p) : fft_(std::move(p)) {}
+    std::size_t size() const noexcept override { return fft_.size(); }
+    std::string name() const override;
+    void forward(std::span<const cplx> in, std::span<cplx> out,
+                 wfft::exec_stats* stats) const override;
+    const wfft::wavelet_fft& transform() const noexcept { return fft_; }
+
+private:
+    wfft::wavelet_fft fft_;
+};
+
+std::unique_ptr<fft_engine> make_split_radix_engine(std::size_t n);
+std::unique_ptr<fft_engine> make_wavelet_engine(wfft::plan p);
+
+}  // namespace qpsa::lomb

@@ -1,0 +1,71 @@
+#include "qpsa/lomb/lomb_direct.hpp"
+
+#include <cmath>
+
+#include "qpsa/counting/op_counter.hpp"
+#include "qpsa/util/stats.hpp"
+
+namespace qpsa::lomb {
+
+dsp::sampled_spectrum lomb_direct(std::span<const real> t, std::span<const real> x,
+                                  std::span<const real> freqs_hz) {
+    QPSA_EXPECTS(t.size() == x.size());
+    QPSA_EXPECTS(t.size() >= 2);
+    const std::size_t n = t.size();
+
+    const real avg = util::mean(x);
+    const real var = util::variance(x);
+    QPSA_EXPECTS(var > 0.0);
+    counting::count_adds(2 * n);
+    counting::count_muls(n);
+    counting::count_divs(2);
+
+    dsp::sampled_spectrum s;
+    s.freq_hz.assign(freqs_hz.begin(), freqs_hz.end());
+    s.power.resize(freqs_hz.size());
+
+    for (std::size_t i = 0; i < freqs_hz.size(); ++i) {
+        const real w = two_pi * freqs_hz[i];
+        // tau makes the periodogram invariant to time shifts:
+        // tan(2 w tau) = sum sin(2 w t) / sum cos(2 w t).
+        real s2 = 0.0;
+        real c2 = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            s2 += std::sin(2.0 * w * t[j]);
+            c2 += std::cos(2.0 * w * t[j]);
+        }
+        const real tau = 0.5 * std::atan2(s2, c2) / w;
+        real cs = 0.0;
+        real ss = 0.0;
+        real cc = 0.0;
+        real s_s = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            const real arg = w * (t[j] - tau);
+            const real c = std::cos(arg);
+            const real sn = std::sin(arg);
+            const real xc = x[j] - avg;
+            cs += xc * c;
+            ss += xc * sn;
+            cc += c * c;
+            s_s += sn * sn;
+        }
+        counting::count_trigs(4 * n + 1);
+        counting::count_muls(8 * n + 2);
+        counting::count_adds(8 * n);
+        counting::count_divs(3);
+        s.power[i] = (cs * cs / cc + ss * ss / s_s) / (2.0 * var);
+    }
+    return s;
+}
+
+std::vector<real> lomb_frequency_grid(real span_seconds, std::size_t nout,
+                                      real ofac) {
+    QPSA_EXPECTS(span_seconds > 0.0);
+    QPSA_EXPECTS(ofac >= 1.0);
+    std::vector<real> f(nout);
+    const real df = 1.0 / (span_seconds * ofac);
+    for (std::size_t k = 0; k < nout; ++k) f[k] = static_cast<real>(k + 1) * df;
+    return f;
+}
+
+}  // namespace qpsa::lomb

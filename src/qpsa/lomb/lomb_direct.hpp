@@ -1,0 +1,30 @@
+// Direct O(N * Nfreq) Lomb-Scargle periodogram (paper eq. (1)).
+//
+// The Lomb method least-squares-fits sinusoids to unevenly sampled data,
+// avoiding the interpolation/resampling that distorts the spectrum of RR
+// intervals.  This direct evaluation is the accuracy reference for the
+// Fast-Lomb implementation; it is far too expensive for a sensor node
+// (every frequency costs O(N) trig evaluations), which is exactly why the
+// paper works on the FFT-based fast variant.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qpsa/dsp/spectrum.hpp"
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::lomb {
+
+/// Normalized Lomb periodogram of samples x at times t, evaluated at the
+/// given frequencies (Hz).  t must be strictly increasing; sizes equal.
+/// Counts arithmetic + trig operations into the active scope.
+dsp::sampled_spectrum lomb_direct(std::span<const real> t, std::span<const real> x,
+                                  std::span<const real> freqs_hz);
+
+/// Conventional evenly spaced frequency grid for a record of span T
+/// seconds: f_k = k / (T * ofac), k = 1..nout.
+std::vector<real> lomb_frequency_grid(real span_seconds, std::size_t nout,
+                                      real ofac);
+
+}  // namespace qpsa::lomb

@@ -1,0 +1,81 @@
+#include "qpsa/lomb/resampled_psd.hpp"
+
+#include <cmath>
+
+#include "qpsa/counting/op_counter.hpp"
+#include "qpsa/dsp/fft_split_radix.hpp"
+#include "qpsa/util/stats.hpp"
+
+namespace qpsa::lomb {
+
+std::vector<real> resample_linear(std::span<const real> t,
+                                  std::span<const real> x, real rate_hz,
+                                  std::size_t max_points) {
+    QPSA_EXPECTS(t.size() == x.size());
+    QPSA_EXPECTS(t.size() >= 2);
+    QPSA_EXPECTS(rate_hz > 0.0);
+    const real t0 = t.front();
+    const real t1 = t.back();
+    const auto count = std::min<std::size_t>(
+        max_points, static_cast<std::size_t>((t1 - t0) * rate_hz) + 1);
+    std::vector<real> out(count);
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const real ti = t0 + static_cast<real>(i) / rate_hz;
+        while (j + 1 < t.size() && t[j + 1] < ti) ++j;
+        if (j + 1 >= t.size()) {
+            out[i] = x.back();
+            continue;
+        }
+        const real span = t[j + 1] - t[j];
+        const real u = span > 0.0 ? (ti - t[j]) / span : 0.0;
+        out[i] = x[j] * (1.0 - u) + x[j + 1] * u;
+        counting::count_muls(2);
+        counting::count_adds(3);
+        counting::count_divs(1);
+        counting::count_cmps(1);
+    }
+    return out;
+}
+
+dsp::sampled_spectrum resampled_psd(std::span<const real> t,
+                                    std::span<const real> x,
+                                    const resampled_psd_options& opt) {
+    QPSA_EXPECTS(is_pow2(opt.fft_size));
+    std::vector<real> grid =
+        resample_linear(t, x, opt.resample_hz, opt.fft_size);
+    QPSA_EXPECTS(grid.size() >= 8);
+
+    // Detrend (remove mean), taper, zero-pad to the transform size.
+    const real mu = util::mean(grid);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const real u = static_cast<real>(i) / static_cast<real>(grid.size() - 1);
+        grid[i] = (grid[i] - mu) * dsp::window_value(opt.taper, u);
+    }
+    counting::count_adds(grid.size());
+    counting::count_muls(grid.size());
+
+    std::vector<cplx> buf(opt.fft_size, cplx{0.0, 0.0});
+    for (std::size_t i = 0; i < grid.size(); ++i) buf[i] = cplx{grid[i], 0.0};
+    dsp::fft_split_radix fft(opt.fft_size);
+    const auto spec = fft.forward_copy(buf);
+
+    // One-sided PSD up to Nyquist, normalized by the taper power gain and
+    // the effective record length.
+    const real df = opt.resample_hz / static_cast<real>(opt.fft_size);
+    const real norm = 2.0 / (opt.resample_hz * static_cast<real>(grid.size()) *
+                             dsp::window_power_gain(opt.taper));
+    dsp::sampled_spectrum out;
+    const std::size_t half = opt.fft_size / 2;
+    out.freq_hz.resize(half);
+    out.power.resize(half);
+    for (std::size_t k = 0; k < half; ++k) {
+        out.freq_hz[k] = static_cast<real>(k) * df;
+        out.power[k] = sqr_mag(spec[k]) * norm;
+        counting::count_muls(3);
+        counting::count_adds(1);
+    }
+    return out;
+}
+
+}  // namespace qpsa::lomb

@@ -1,0 +1,37 @@
+// "Traditional" PSA baseline: interpolation + resampling + FFT periodogram.
+//
+// The paper motivates the Lomb method because traditional approaches
+// "were not suitable for unevenly sampled data ... interpolation and
+// re-sampling ... may alter the frequency content" (Section II.A).  This
+// module implements that traditional estimator -- linear interpolation of
+// the RR series onto a uniform grid followed by a tapered FFT
+// periodogram -- so the distortion it introduces can be quantified
+// against the Lomb estimate (bench_ablation_methods).
+#pragma once
+
+#include <span>
+
+#include "qpsa/dsp/spectrum.hpp"
+#include "qpsa/dsp/window.hpp"
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::lomb {
+
+struct resampled_psd_options {
+    real resample_hz = 4.0;  ///< uniform resampling rate (typical HRV: 4 Hz)
+    dsp::window_kind taper = dsp::window_kind::hann;
+    std::size_t fft_size = 512;  ///< zero-padded transform length
+};
+
+/// Linear interpolation of samples (t, x) onto a uniform grid.
+std::vector<real> resample_linear(std::span<const real> t,
+                                  std::span<const real> x, real rate_hz,
+                                  std::size_t max_points);
+
+/// One-sided PSD of the unevenly sampled series via the traditional
+/// resample + FFT route.  Counts operations like the other estimators.
+dsp::sampled_spectrum resampled_psd(std::span<const real> t,
+                                    std::span<const real> x,
+                                    const resampled_psd_options& opt = {});
+
+}  // namespace qpsa::lomb

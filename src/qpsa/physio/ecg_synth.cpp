@@ -1,0 +1,65 @@
+#include "qpsa/physio/ecg_synth.hpp"
+
+#include <cmath>
+
+namespace qpsa::physio {
+
+namespace {
+
+/// One PQRST complex: Gaussian bumps at offsets relative to the R peak,
+/// widths and amplitudes loosely after the McSharry dynamical ECG model.
+struct wave {
+    real offset_s;
+    real width_s;
+    real amp;
+};
+
+constexpr wave k_waves[] = {
+    {-0.200, 0.045, 0.12},   // P
+    {-0.035, 0.012, -0.14},  // Q
+    {0.000, 0.016, 1.00},    // R (scaled by r_amplitude)
+    {0.035, 0.014, -0.22},   // S
+    {0.250, 0.070, 0.30},    // T
+};
+
+}  // namespace
+
+ecg_signal synthesize_ecg(const rr_record& beats, const ecg_options& opt,
+                          util::rng& rng) {
+    QPSA_EXPECTS(!beats.beat_time_s.empty());
+    QPSA_EXPECTS(opt.sample_rate_hz >= 100.0);
+
+    ecg_signal sig;
+    sig.sample_rate_hz = opt.sample_rate_hz;
+    const real duration = beats.beat_time_s.back() + 0.6;
+    const auto n = static_cast<std::size_t>(duration * opt.sample_rate_hz);
+    sig.mv.assign(n, 0.0);
+
+    const real dt = 1.0 / opt.sample_rate_hz;
+    for (real beat_t : beats.beat_time_s) {
+        for (const wave& w : k_waves) {
+            const real center = beat_t + w.offset_s;
+            const real amp = w.amp * (w.amp == 1.0 ? opt.r_amplitude : 1.0);
+            // Only touch samples within +/- 4 sigma of the bump.
+            const auto lo = static_cast<std::ptrdiff_t>(
+                (center - 4.0 * w.width_s) * opt.sample_rate_hz);
+            const auto hi = static_cast<std::ptrdiff_t>(
+                (center + 4.0 * w.width_s) * opt.sample_rate_hz);
+            for (std::ptrdiff_t i = std::max<std::ptrdiff_t>(lo, 0);
+                 i <= hi && i < static_cast<std::ptrdiff_t>(n); ++i) {
+                const real t = static_cast<real>(i) * dt;
+                const real z = (t - center) / w.width_s;
+                sig.mv[static_cast<std::size_t>(i)] += amp * std::exp(-0.5 * z * z);
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const real t = static_cast<real>(i) * dt;
+        sig.mv[i] += opt.wander_amp * std::sin(two_pi * opt.wander_freq_hz * t) +
+                     rng.gaussian(opt.noise_sigma);
+    }
+    return sig;
+}
+
+}  // namespace qpsa::physio

@@ -1,0 +1,40 @@
+// Synthetic single-lead ECG waveform generator.
+//
+// Stands in for the continuous ECG that a WBSN node records before
+// delineation (paper Fig. 1(a)).  Each beat is synthesized as a sum of
+// Gaussian bumps (P, Q, R, S, T waves) placed at the IPFM beat instants,
+// plus baseline wander and measurement noise -- enough structure for the
+// R-peak detector substrate to exercise the full ECG -> RR -> PSA chain
+// in examples/ecg_to_psa.
+#pragma once
+
+#include <vector>
+
+#include "qpsa/physio/ipfm.hpp"
+#include "qpsa/util/common.hpp"
+#include "qpsa/util/random.hpp"
+
+namespace qpsa::physio {
+
+struct ecg_options {
+    real sample_rate_hz = 250.0;  ///< typical WBSN front-end rate
+    real noise_sigma = 0.02;      ///< additive measurement noise (mV)
+    real wander_amp = 0.08;       ///< baseline wander amplitude (mV)
+    real wander_freq_hz = 0.28;   ///< respiration-coupled wander
+    real r_amplitude = 1.0;       ///< R wave amplitude (mV)
+};
+
+struct ecg_signal {
+    real sample_rate_hz = 0.0;
+    std::vector<real> mv;  ///< samples in millivolts
+
+    real duration_s() const {
+        return static_cast<real>(mv.size()) / sample_rate_hz;
+    }
+};
+
+/// Render an ECG from a beat-time record.
+ecg_signal synthesize_ecg(const rr_record& beats, const ecg_options& opt,
+                          util::rng& rng);
+
+}  // namespace qpsa::physio

@@ -1,0 +1,80 @@
+#include "qpsa/physio/ipfm.hpp"
+
+#include <cmath>
+
+namespace qpsa::physio {
+
+rr_record generate_ipfm(const ipfm_params& p, real duration_s, util::rng& rng) {
+    QPSA_EXPECTS(duration_s > 2.0 * p.mean_rr_s);
+    QPSA_EXPECTS(p.mean_rr_s > 0.2 && p.mean_rr_s < 2.0);
+    QPSA_EXPECTS(p.a_lf >= 0.0 && p.a_lf < 0.5);
+    QPSA_EXPECTS(p.a_hf >= 0.0 && p.a_hf < 0.5);
+
+    // Pre-sample the VLF drift on a coarse grid (it is band-limited well
+    // below 0.04 Hz, so 1 s resolution is ample).
+    const real drift_dt = 1.0;
+    const auto drift_len = static_cast<std::size_t>(duration_s / drift_dt) + 2;
+    const std::vector<real> vlf =
+        p.vlf_sigma > 0.0
+            ? util::drift_noise(rng, drift_len, drift_dt, 0.003, 0.035, p.vlf_sigma)
+            : std::vector<real>(drift_len, 0.0);
+    auto drift_at = [&](real t) {
+        const auto i = static_cast<std::size_t>(t / drift_dt);
+        const real frac = t / drift_dt - static_cast<real>(i);
+        const std::size_t j = std::min(i + 1, vlf.size() - 1);
+        return vlf[i] * (1.0 - frac) + vlf[j] * frac;
+    };
+
+    // HF (respiratory) phase with frequency drift: the instantaneous
+    // frequency is f_hf * (1 + d * sin(2 pi t / P)), so the phase is its
+    // integral -- naively writing sin(2 pi f(t) t) would chirp the tone
+    // out of the HF band as t grows.
+    auto hf_phase = [&](real t) {
+        real phase = two_pi * p.f_hf_hz * t;
+        if (p.hf_drift_fraction > 0.0)
+            phase += p.f_hf_hz * p.hf_drift_fraction * p.hf_drift_period_s *
+                     (1.0 - std::cos(two_pi * t / p.hf_drift_period_s));
+        return phase + p.phase_hf;
+    };
+    auto modulation = [&](real t) {
+        return 1.0 + p.a_lf * std::sin(two_pi * p.f_lf_hz * t + p.phase_lf) +
+               p.a_hf * std::sin(hf_phase(t)) + drift_at(t);
+    };
+
+    // Integrate m(t)/T with small fixed steps; a beat fires at each unit
+    // crossing of the integral (linear interpolation inside the step).
+    rr_record rec;
+    const real dt = 0.01;
+    real integral = 0.0;
+    real t = 0.0;
+    real last_beat = 0.0;
+    bool first = true;
+    while (t < duration_s) {
+        const real rate = modulation(t) / p.mean_rr_s;
+        const real next = integral + rate * dt;
+        if (next >= 1.0) {
+            const real frac = (1.0 - integral) / (rate * dt);
+            real beat_t = t + frac * dt;
+            if (p.jitter_sigma > 0.0) beat_t += rng.gaussian(p.jitter_sigma);
+            if (!first) {
+                const real rr = beat_t - last_beat;
+                if (rr > 0.2) {  // guard against jitter-induced inversions
+                    rec.beat_time_s.push_back(beat_t);
+                    rec.rr_s.push_back(rr);
+                    last_beat = beat_t;
+                }
+            } else {
+                last_beat = beat_t;
+                first = false;
+            }
+            integral = next - 1.0;
+        } else {
+            integral = next;
+        }
+        t += dt;
+    }
+    QPSA_ENSURES(rec.beats() > 10);
+    return rec;
+}
+
+}  // namespace qpsa::physio

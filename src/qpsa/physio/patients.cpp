@@ -1,0 +1,62 @@
+#include "qpsa/physio/patients.hpp"
+
+namespace qpsa::physio {
+
+namespace {
+constexpr std::uint64_t k_bank_seed = 0x9e3779b97f4a7c15ULL;
+}
+
+patient make_patient(cohort group, unsigned index) {
+    patient p;
+    p.group = group;
+    p.seed = k_bank_seed ^ (static_cast<std::uint64_t>(group) << 32) ^
+             (static_cast<std::uint64_t>(index) * 0x2545F4914F6CDD1DULL);
+    p.id = std::string(group == cohort::sinus_arrhythmia ? "sa" : "hc") +
+           (index < 10 ? "0" : "") + std::to_string(index);
+
+    // A dedicated parameter RNG keeps patient parameters independent of
+    // the record-generation stream.
+    util::rng prng(p.seed);
+    p.params.mean_rr_s = prng.uniform(0.70, 1.00);
+    p.params.f_lf_hz = prng.uniform(0.085, 0.110);
+    p.params.f_hf_hz = prng.uniform(0.21, 0.31);
+    p.params.phase_lf = prng.uniform(0.0, two_pi);
+    p.params.phase_hf = prng.uniform(0.0, two_pi);
+    p.params.vlf_sigma = prng.uniform(0.004, 0.008);
+    p.params.jitter_sigma = prng.uniform(0.002, 0.004);
+    p.params.hf_drift_fraction = prng.uniform(0.03, 0.10);
+    p.params.hf_drift_period_s = prng.uniform(400.0, 900.0);
+
+    if (group == cohort::sinus_arrhythmia) {
+        // HF (respiratory) dominant; amplitudes tuned so the conventional
+        // system reads LFP/HFP near the paper's 0.45 operating point.
+        p.params.a_hf = prng.uniform(0.070, 0.090);
+        p.params.a_lf = p.params.a_hf * prng.uniform(0.52, 0.60);
+    } else {
+        // LF dominant: LFP/HFP well above 1.
+        p.params.a_lf = prng.uniform(0.055, 0.075);
+        p.params.a_hf = p.params.a_lf * prng.uniform(0.35, 0.55);
+    }
+    return p;
+}
+
+std::vector<patient> patient_bank(unsigned per_cohort) {
+    std::vector<patient> bank;
+    bank.reserve(2 * per_cohort);
+    for (unsigned i = 0; i < per_cohort; ++i)
+        bank.push_back(make_patient(cohort::sinus_arrhythmia, i));
+    for (unsigned i = 0; i < per_cohort; ++i)
+        bank.push_back(make_patient(cohort::healthy, i));
+    return bank;
+}
+
+rr_record record_for(const patient& p, real duration_s) {
+    util::rng rng(p.seed ^ 0xA5A5A5A55A5A5A5AULL);
+    return generate_ipfm(p.params, duration_s, rng);
+}
+
+const char* cohort_name(cohort c) {
+    return c == cohort::sinus_arrhythmia ? "sinus-arrhythmia" : "healthy";
+}
+
+}  // namespace qpsa::physio

@@ -1,0 +1,103 @@
+#include "qpsa/physio/rpeak.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qpsa::physio {
+
+rr_record detect_rpeaks(const ecg_signal& ecg, const rpeak_options& opt) {
+    QPSA_EXPECTS(!ecg.mv.empty());
+    const real fs = ecg.sample_rate_hz;
+    const std::size_t n = ecg.mv.size();
+
+    // High-pass by first difference (kills baseline wander), then square:
+    // the classic energy emphasis of embedded QRS detectors.
+    std::vector<real> feat(n, 0.0);
+    for (std::size_t i = 1; i < n; ++i) {
+        const real d = ecg.mv[i] - ecg.mv[i - 1];
+        feat[i] = d * d;
+    }
+    // Short moving-average integration (~60 ms).
+    const auto win = std::max<std::size_t>(1, static_cast<std::size_t>(0.06 * fs));
+    std::vector<real> integ(n, 0.0);
+    real acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += feat[i];
+        if (i >= win) acc -= feat[i - win];
+        integ[i] = acc / static_cast<real>(win);
+    }
+
+    // Adaptive threshold with decay + refractory period.
+    const auto refractory =
+        static_cast<std::size_t>(opt.refractory_s * fs);
+    real peak_est = *std::max_element(integ.begin(),
+                                      integ.begin() + std::min<std::size_t>(
+                                                          n, static_cast<std::size_t>(
+                                                                 2.0 * fs)));
+    std::vector<std::size_t> peaks;
+    std::size_t last_peak = 0;
+    bool has_peak = false;
+    const real decay = std::pow(1.0 - opt.decay_per_s, 1.0 / fs);
+
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+        peak_est *= decay;
+        const real thr = opt.threshold_fraction * peak_est;
+        const bool local_max = integ[i] >= integ[i - 1] && integ[i] >= integ[i + 1];
+        if (!local_max || integ[i] < thr) continue;
+        if (has_peak && i - last_peak < refractory) {
+            // Keep the larger of the two competing peaks.
+            if (integ[i] > integ[last_peak]) {
+                peaks.back() = i;
+                last_peak = i;
+                peak_est = std::max(peak_est, integ[i]);
+            }
+            continue;
+        }
+        peaks.push_back(i);
+        last_peak = i;
+        has_peak = true;
+        peak_est = std::max(peak_est, integ[i]);
+    }
+
+    // Refine each peak to the local ECG maximum (the R wave itself) within
+    // +/- 80 ms of the integrated-energy peak.
+    const auto radius = static_cast<std::size_t>(0.08 * fs);
+    rr_record rec;
+    real prev_t = -1.0;
+    for (std::size_t p : peaks) {
+        const std::size_t lo = p > radius ? p - radius : 0;
+        const std::size_t hi = std::min(n - 1, p + radius);
+        std::size_t best = lo;
+        for (std::size_t i = lo; i <= hi; ++i)
+            if (ecg.mv[i] > ecg.mv[best]) best = i;
+        const real t = static_cast<real>(best) / fs;
+        if (prev_t >= 0.0) {
+            if (t - prev_t < opt.refractory_s) continue;
+            rec.beat_time_s.push_back(t);
+            rec.rr_s.push_back(t - prev_t);
+        }
+        prev_t = t;
+    }
+    return rec;
+}
+
+real detection_sensitivity(const rr_record& truth, const rr_record& detected,
+                           real tolerance_s) {
+    QPSA_EXPECTS(!truth.beat_time_s.empty());
+    if (detected.beat_time_s.empty()) return 0.0;
+    std::size_t hits = 0;
+    std::size_t j = 0;
+    for (real t : truth.beat_time_s) {
+        while (j + 1 < detected.beat_time_s.size() &&
+               detected.beat_time_s[j] < t - tolerance_s)
+            ++j;
+        if (std::abs(detected.beat_time_s[j] - t) <= tolerance_s)
+            ++hits;
+        else if (j + 1 < detected.beat_time_s.size() &&
+                 std::abs(detected.beat_time_s[j + 1] - t) <= tolerance_s)
+            ++hits;
+    }
+    return static_cast<real>(hits) / static_cast<real>(truth.beat_time_s.size());
+}
+
+}  // namespace qpsa::physio

@@ -1,0 +1,31 @@
+// R-peak detection (delineation substrate).
+//
+// A deliberately simple detector in the spirit of embedded WBSN
+// delineation: bandpass-difference preprocessing, adaptive threshold with
+// exponential decay, and a physiological refractory period.  Its output
+// feeds the PSA exactly like the wavelet delineators the paper cites [6].
+#pragma once
+
+#include <vector>
+
+#include "qpsa/physio/ecg_synth.hpp"
+#include "qpsa/physio/ipfm.hpp"
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::physio {
+
+struct rpeak_options {
+    real refractory_s = 0.30;      ///< minimum beat distance
+    real threshold_fraction = 0.5; ///< of the running peak estimate
+    real decay_per_s = 0.35;       ///< threshold decay rate
+};
+
+/// Detect R peaks; returns beat times and the derived RR series.
+rr_record detect_rpeaks(const ecg_signal& ecg, const rpeak_options& opt = {});
+
+/// Match detected beats against ground truth within a tolerance; returns
+/// the fraction detected (sensitivity).  Used by tests and the example.
+real detection_sensitivity(const rr_record& truth, const rr_record& detected,
+                           real tolerance_s = 0.05);
+
+}  // namespace qpsa::physio

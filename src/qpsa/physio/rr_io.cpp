@@ -1,0 +1,101 @@
+#include "qpsa/physio/rr_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "qpsa/util/stats.hpp"
+
+namespace qpsa::physio {
+
+namespace {
+
+bool parse_row(const std::string& line, real& a, real& b, bool& two_cols) {
+    std::string cleaned = line;
+    std::replace(cleaned.begin(), cleaned.end(), ',', ' ');
+    std::istringstream ss(cleaned);
+    if (!(ss >> a)) return false;
+    two_cols = static_cast<bool>(ss >> b);
+    return true;
+}
+
+}  // namespace
+
+rr_load_result load_rr(std::istream& in) {
+    std::vector<real> col1;
+    std::vector<real> col2;
+    bool any_two_cols = false;
+    std::string line;
+    std::size_t row = 0;
+    while (std::getline(in, line)) {
+        ++row;
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#') continue;
+        real a = 0.0;
+        real b = 0.0;
+        bool two = false;
+        if (!parse_row(line, a, b, two))
+            throw std::runtime_error("rr_io: malformed row " + std::to_string(row) +
+                                     ": '" + line + "'");
+        col1.push_back(a);
+        col2.push_back(two ? b : 0.0);
+        any_two_cols = any_two_cols || two;
+    }
+    if (col1.size() < 2) throw std::runtime_error("rr_io: fewer than 2 samples");
+
+    rr_load_result res;
+    res.had_time_column = any_two_cols;
+
+    // Which column holds the intervals?
+    std::vector<real> rr = any_two_cols ? col2 : col1;
+    // Unit heuristic: median RR in milliseconds is in the hundreds.
+    const real med = util::quantile(rr, 0.5);
+    res.was_milliseconds = med > 10.0;
+    if (res.was_milliseconds)
+        for (real& v : rr) v /= 1000.0;
+
+    real t = 0.0;
+    for (std::size_t i = 0; i < rr.size(); ++i) {
+        const real interval = rr[i];
+        if (interval < 0.2 || interval > 3.0) {
+            ++res.skipped_rows;
+            continue;
+        }
+        if (any_two_cols) {
+            const real bt = res.was_milliseconds ? col1[i] / 1000.0 : col1[i];
+            // Accept only monotone time stamps.
+            if (!res.record.beat_time_s.empty() &&
+                bt <= res.record.beat_time_s.back()) {
+                ++res.skipped_rows;
+                continue;
+            }
+            res.record.beat_time_s.push_back(bt);
+        } else {
+            t += interval;
+            res.record.beat_time_s.push_back(t);
+        }
+        res.record.rr_s.push_back(interval);
+    }
+    if (res.record.beats() < 2)
+        throw std::runtime_error("rr_io: no plausible RR intervals found");
+    return res;
+}
+
+rr_load_result load_rr_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("rr_io: cannot open " + path);
+    return load_rr(in);
+}
+
+void save_rr(std::ostream& out, const rr_record& rec) {
+    out << "# beat_time_s rr_s\n";
+    char buf[64];
+    for (std::size_t i = 0; i < rec.beats(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%.6f %.6f\n", rec.beat_time_s[i],
+                      rec.rr_s[i]);
+        out << buf;
+    }
+}
+
+}  // namespace qpsa::physio

@@ -1,0 +1,37 @@
+// RR-interval file I/O.
+//
+// Lets the pipeline run on real recordings (e.g. RR series exported from
+// PhysioNet's `ann2rr`) in the two common text layouts:
+//   * one RR interval per line (seconds or milliseconds, auto-detected);
+//   * two columns "beat_time rr_interval" (whitespace or comma separated).
+// Lines starting with '#' and blank lines are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "qpsa/physio/ipfm.hpp"
+
+namespace qpsa::physio {
+
+/// Parse an RR record from a stream.  Single-column inputs reconstruct
+/// beat times by cumulative summation.  Values with a median above 10 are
+/// interpreted as milliseconds and converted.  Throws std::runtime_error
+/// on malformed input; physiologically implausible rows (RR outside
+/// [0.2 s, 3 s]) are skipped and counted.
+struct rr_load_result {
+    rr_record record;
+    std::size_t skipped_rows = 0;
+    bool was_milliseconds = false;
+    bool had_time_column = false;
+};
+
+rr_load_result load_rr(std::istream& in);
+
+/// Convenience: load from a file path.
+rr_load_result load_rr_file(const std::string& path);
+
+/// Write "beat_time rr" rows (seconds, 6 decimals).
+void save_rr(std::ostream& out, const rr_record& rec);
+
+}  // namespace qpsa::physio

@@ -1,0 +1,99 @@
+// Common small utilities shared by every qpsa subsystem.
+//
+// qpsa follows the C++ Core Guidelines: contracts are checked with
+// QPSA_EXPECTS / QPSA_ENSURES (enabled in all build types -- the library is
+// a research instrument, and silent contract violations would invalidate
+// experiments), resources are owned by standard containers, and interfaces
+// take std::span.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <numbers>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qpsa {
+
+/// Real scalar used by the floating-point reference paths.
+using real = double;
+/// Complex scalar used by the spectral kernels.
+using cplx = std::complex<real>;
+
+inline constexpr real pi = std::numbers::pi_v<real>;
+inline constexpr real two_pi = 2.0 * std::numbers::pi_v<real>;
+inline constexpr real inv_sqrt2 = 0.70710678118654752440;
+inline constexpr real sqrt2 = 1.41421356237309504880;
+
+/// Thrown when a caller violates a documented precondition.
+class contract_error : public std::logic_error {
+public:
+    explicit contract_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line) {
+    throw contract_error(std::string(kind) + " violated: " + cond + " at " +
+                         file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+#define QPSA_EXPECTS(cond)                                                     \
+    ((cond) ? static_cast<void>(0)                                             \
+            : ::qpsa::detail::contract_fail("precondition", #cond, __FILE__,   \
+                                            __LINE__))
+#define QPSA_ENSURES(cond)                                                     \
+    ((cond) ? static_cast<void>(0)                                             \
+            : ::qpsa::detail::contract_fail("postcondition", #cond, __FILE__,  \
+                                            __LINE__))
+
+/// True iff n is a power of two (n >= 1).
+constexpr bool is_pow2(std::size_t n) noexcept {
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Integer log2 for exact powers of two.
+constexpr unsigned log2_exact(std::size_t n) noexcept {
+    unsigned l = 0;
+    while (n > 1) {
+        n >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+/// Smallest power of two >= n (n >= 1).
+constexpr std::size_t next_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+/// Euclidean modulo that is non-negative for negative arguments.
+constexpr std::ptrdiff_t mod_floor(std::ptrdiff_t a, std::ptrdiff_t m) noexcept {
+    const std::ptrdiff_t r = a % m;
+    return r < 0 ? r + m : r;
+}
+
+/// L1 magnitude |re| + |im|: the cheap significance proxy used by the
+/// run-time (dynamic) pruning comparisons, mirroring what a sensor node
+/// would compute instead of a full square root.
+inline real l1_mag(cplx v) noexcept { return std::abs(v.real()) + std::abs(v.imag()); }
+
+/// Convenience: squared magnitude.
+inline real sqr_mag(cplx v) noexcept {
+    return v.real() * v.real() + v.imag() * v.imag();
+}
+
+/// Copy helper: materialize a span into a vector.
+template <typename T>
+std::vector<T> to_vector(std::span<const T> s) {
+    return std::vector<T>(s.begin(), s.end());
+}
+
+}  // namespace qpsa

@@ -1,0 +1,48 @@
+#include "qpsa/util/random.hpp"
+
+#include <cmath>
+
+namespace qpsa::util {
+
+std::vector<real> gaussian_vector(rng& r, std::size_t n, real sigma) {
+    std::vector<real> out(n);
+    for (auto& v : out) v = r.gaussian(sigma);
+    return out;
+}
+
+std::vector<real> uniform_vector(rng& r, std::size_t n, real lo, real hi) {
+    std::vector<real> out(n);
+    for (auto& v : out) v = r.uniform(lo, hi);
+    return out;
+}
+
+std::vector<real> drift_noise(rng& r, std::size_t n, real dt, real f_lo, real f_hi,
+                              real sigma) {
+    QPSA_EXPECTS(f_hi > f_lo && f_lo > 0.0);
+    QPSA_EXPECTS(dt > 0.0);
+    // Sum octave-spaced tones between f_lo and f_hi with 1/f amplitude
+    // weighting and random phases, then normalize to the requested sigma.
+    std::vector<real> out(n, 0.0);
+    std::vector<real> freqs;
+    for (real f = f_lo; f <= f_hi; f *= 2.0) freqs.push_back(f);
+    if (freqs.empty()) freqs.push_back(f_lo);
+    real power = 0.0;
+    std::vector<real> amps(freqs.size());
+    std::vector<real> phases(freqs.size());
+    for (std::size_t k = 0; k < freqs.size(); ++k) {
+        amps[k] = 1.0 / freqs[k];
+        phases[k] = r.uniform(0.0, two_pi);
+        power += 0.5 * amps[k] * amps[k];
+    }
+    const real scale = sigma / std::sqrt(power);
+    for (std::size_t i = 0; i < n; ++i) {
+        const real t = static_cast<real>(i) * dt;
+        real v = 0.0;
+        for (std::size_t k = 0; k < freqs.size(); ++k)
+            v += amps[k] * std::sin(two_pi * freqs[k] * t + phases[k]);
+        out[i] = v * scale;
+    }
+    return out;
+}
+
+}  // namespace qpsa::util

@@ -1,0 +1,179 @@
+#include "qpsa/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qpsa::util {
+
+real mean(std::span<const real> xs) {
+    QPSA_EXPECTS(!xs.empty());
+    real acc = 0.0;
+    for (real x : xs) acc += x;
+    return acc / static_cast<real>(xs.size());
+}
+
+real variance(std::span<const real> xs) {
+    QPSA_EXPECTS(!xs.empty());
+    const real m = mean(xs);
+    real acc = 0.0;
+    for (real x : xs) acc += (x - m) * (x - m);
+    return acc / static_cast<real>(xs.size());
+}
+
+real sample_variance(std::span<const real> xs) {
+    QPSA_EXPECTS(xs.size() >= 2);
+    const real m = mean(xs);
+    real acc = 0.0;
+    for (real x : xs) acc += (x - m) * (x - m);
+    return acc / static_cast<real>(xs.size() - 1);
+}
+
+real stddev(std::span<const real> xs) { return std::sqrt(variance(xs)); }
+
+real min_value(std::span<const real> xs) {
+    QPSA_EXPECTS(!xs.empty());
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+real max_value(std::span<const real> xs) {
+    QPSA_EXPECTS(!xs.empty());
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+real quantile(std::span<const real> xs, real q) {
+    QPSA_EXPECTS(!xs.empty());
+    QPSA_EXPECTS(q >= 0.0 && q <= 1.0);
+    std::vector<real> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted.front();
+    const real pos = q * static_cast<real>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const real frac = pos - static_cast<real>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+real median_abs(std::span<const real> xs) {
+    QPSA_EXPECTS(!xs.empty());
+    std::vector<real> mags(xs.size());
+    std::transform(xs.begin(), xs.end(), mags.begin(),
+                   [](real v) { return std::abs(v); });
+    return quantile(mags, 0.5);
+}
+
+real mse(std::span<const real> a, std::span<const real> b) {
+    QPSA_EXPECTS(a.size() == b.size());
+    QPSA_EXPECTS(!a.empty());
+    real acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const real d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc / static_cast<real>(a.size());
+}
+
+real mse(std::span<const cplx> a, std::span<const cplx> b) {
+    QPSA_EXPECTS(a.size() == b.size());
+    QPSA_EXPECTS(!a.empty());
+    real acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) acc += sqr_mag(a[i] - b[i]);
+    return acc / static_cast<real>(a.size());
+}
+
+real rms(std::span<const real> xs) {
+    QPSA_EXPECTS(!xs.empty());
+    real acc = 0.0;
+    for (real x : xs) acc += x * x;
+    return std::sqrt(acc / static_cast<real>(xs.size()));
+}
+
+real nrmse(std::span<const real> a, std::span<const real> b) {
+    const real ref = rms(b);
+    QPSA_EXPECTS(ref > 0.0);
+    QPSA_EXPECTS(a.size() == b.size());
+    real acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const real d = a[i] - b[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<real>(a.size())) / ref;
+}
+
+real correlation(std::span<const real> a, std::span<const real> b) {
+    QPSA_EXPECTS(a.size() == b.size());
+    QPSA_EXPECTS(a.size() >= 2);
+    const real ma = mean(a);
+    const real mb = mean(b);
+    real sab = 0.0;
+    real saa = 0.0;
+    real sbb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const real da = a[i] - ma;
+        const real db = b[i] - mb;
+        sab += da * db;
+        saa += da * da;
+        sbb += db * db;
+    }
+    QPSA_EXPECTS(saa > 0.0 && sbb > 0.0);
+    return sab / std::sqrt(saa * sbb);
+}
+
+void running_stats::add(real x) noexcept {
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const real delta = x - mean_;
+    mean_ += delta / static_cast<real>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void running_stats::merge(const running_stats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const real delta = other.mean_ - mean_;
+    const auto n = static_cast<real>(n_);
+    const auto m = static_cast<real>(other.n_);
+    mean_ += delta * m / (n + m);
+    m2_ += other.m2_ + delta * delta * n * m / (n + m);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+real running_stats::stddev() const noexcept { return std::sqrt(variance()); }
+
+histogram::histogram(real lo, real hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<real>(bins)), counts_(bins, 0) {
+    QPSA_EXPECTS(hi > lo);
+    QPSA_EXPECTS(bins >= 1);
+}
+
+void histogram::add(real x) noexcept {
+    auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+std::size_t histogram::bin_count(std::size_t i) const {
+    QPSA_EXPECTS(i < counts_.size());
+    return counts_[i];
+}
+
+real histogram::bin_lo(std::size_t i) const {
+    QPSA_EXPECTS(i < counts_.size());
+    return lo_ + width_ * static_cast<real>(i);
+}
+
+real histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+}  // namespace qpsa::util

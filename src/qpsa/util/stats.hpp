@@ -1,0 +1,94 @@
+// Descriptive statistics used across calibration, quality metrics and the
+// experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::util {
+
+/// Arithmetic mean.  Empty input is a contract violation.
+real mean(std::span<const real> xs);
+
+/// Population variance (divides by N, like the Lomb literature).
+real variance(std::span<const real> xs);
+
+/// Sample variance (divides by N-1).  Requires at least two elements.
+real sample_variance(std::span<const real> xs);
+
+real stddev(std::span<const real> xs);
+
+real min_value(std::span<const real> xs);
+real max_value(std::span<const real> xs);
+
+/// Linear-interpolated quantile, q in [0, 1].
+real quantile(std::span<const real> xs, real q);
+
+/// Median absolute value; robust scale estimate used for threshold
+/// calibration.
+real median_abs(std::span<const real> xs);
+
+/// Mean squared error between two equally sized sequences.
+real mse(std::span<const real> a, std::span<const real> b);
+
+/// MSE between complex sequences (mean of |a-b|^2).
+real mse(std::span<const cplx> a, std::span<const cplx> b);
+
+/// Root-mean-square of a sequence.
+real rms(std::span<const real> xs);
+
+/// Normalized RMS error: rms(a-b) / rms(b).  b is the reference.
+real nrmse(std::span<const real> a, std::span<const real> b);
+
+/// Pearson correlation coefficient.
+real correlation(std::span<const real> a, std::span<const real> b);
+
+/// Streaming accumulator (Welford) for mean/variance of long runs, used by
+/// the design-time calibration pass over the patient corpus.
+class running_stats {
+public:
+    void add(real x) noexcept;
+    void merge(const running_stats& other) noexcept;
+
+    std::size_t count() const noexcept { return n_; }
+    real mean() const noexcept { return n_ ? mean_ : 0.0; }
+    /// Population variance.
+    real variance() const noexcept { return n_ ? m2_ / static_cast<real>(n_) : 0.0; }
+    real stddev() const noexcept;
+    real min() const noexcept { return min_; }
+    real max() const noexcept { return max_; }
+
+private:
+    std::size_t n_ = 0;
+    real mean_ = 0.0;
+    real m2_ = 0.0;
+    real min_ = 0.0;
+    real max_ = 0.0;
+};
+
+/// Simple fixed-width histogram over [lo, hi); values outside are clamped
+/// into the edge bins.  Used to reproduce the paper's Fig. 6 twiddle-factor
+/// distribution.
+class histogram {
+public:
+    histogram(real lo, real hi, std::size_t bins);
+
+    void add(real x) noexcept;
+    std::size_t bin_count(std::size_t i) const;
+    std::size_t bins() const noexcept { return counts_.size(); }
+    real bin_lo(std::size_t i) const;
+    real bin_hi(std::size_t i) const;
+    std::size_t total() const noexcept { return total_; }
+
+private:
+    real lo_;
+    real hi_;
+    real width_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+}  // namespace qpsa::util

@@ -1,0 +1,76 @@
+#include "qpsa/util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::util {
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    QPSA_EXPECTS(!headers_.empty());
+}
+
+void table::add_row(std::vector<std::string> row) {
+    QPSA_EXPECTS(row.size() == headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+void table::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << " " << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+        os << "\n";
+    };
+    auto print_rule = [&] {
+        os << "|";
+        for (std::size_t c = 0; c < widths.size(); ++c)
+            os << std::string(widths[c] + 2, '-') << "|";
+        os << "\n";
+    };
+
+    print_row(headers_);
+    print_rule();
+    for (const auto& row : rows_) print_row(row);
+}
+
+std::string table::fmt(double v, int precision) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+std::string table::fmt_int(long long v) {
+    std::ostringstream ss;
+    ss << v;
+    return ss.str();
+}
+
+std::string table::fmt_pct(double fraction, int precision) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+    return ss.str();
+}
+
+void print_section(std::ostream& os, const std::string& title) {
+    os << "\n### " << title << "\n\n";
+}
+
+std::string ascii_bar(double value, double max, std::size_t width) {
+    if (max <= 0.0) return {};
+    const double frac = std::clamp(value / max, 0.0, 1.0);
+    const auto n = static_cast<std::size_t>(std::lround(frac * static_cast<double>(width)));
+    return std::string(n, '#') + std::string(width - n, ' ');
+}
+
+}  // namespace qpsa::util

@@ -1,0 +1,145 @@
+#include "qpsa/wavelet/dwt.hpp"
+
+#include <cmath>
+
+#include "qpsa/counting/op_counter.hpp"
+
+namespace qpsa::wavelet {
+
+namespace {
+
+template <typename T>
+void dwt_level_impl(std::span<const T> x, basis b, std::span<T> out_a,
+                    std::span<T> out_d) {
+    const std::size_t n = x.size();
+    QPSA_EXPECTS(n >= 2 && n % 2 == 0);
+    QPSA_EXPECTS(out_a.size() == n / 2);
+    QPSA_EXPECTS(out_d.size() == n / 2);
+    const auto& fb = filters(b);
+    const std::size_t len = fb.length();
+
+    for (std::size_t k = 0; k < n / 2; ++k) {
+        T a{};
+        T d{};
+        for (std::size_t t = 0; t < len; ++t) {
+            const std::size_t idx = (2 * k + t) % n;
+            a += x[idx] * fb.lowpass[t];
+            d += x[idx] * fb.highpass[t];
+        }
+        out_a[k] = a;
+        out_d[k] = d;
+    }
+    // Real data: per output sample L muls + (L-1) adds, two bands.
+    // Complex data costs twice that (filters are real).
+    const std::uint64_t scale = std::is_same_v<T, cplx> ? 2 : 1;
+    counting::count_muls(scale * n * len);
+    counting::count_adds(scale * n * (len - 1));
+}
+
+template <typename T>
+void idwt_level_impl(std::span<const T> a, std::span<const T> d, basis b,
+                     std::span<T> out_x) {
+    const std::size_t half = a.size();
+    QPSA_EXPECTS(d.size() == half);
+    QPSA_EXPECTS(out_x.size() == 2 * half);
+    const std::size_t n = 2 * half;
+    const auto& fb = filters(b);
+    const std::size_t len = fb.length();
+
+    for (auto& v : out_x) v = T{};
+    for (std::size_t k = 0; k < half; ++k) {
+        for (std::size_t t = 0; t < len; ++t) {
+            const std::size_t idx = (2 * k + t) % n;
+            out_x[idx] += a[k] * fb.lowpass[t] + d[k] * fb.highpass[t];
+        }
+    }
+    const std::uint64_t scale = std::is_same_v<T, cplx> ? 2 : 1;
+    counting::count_muls(scale * n * len);
+    counting::count_adds(scale * n * len);
+}
+
+}  // namespace
+
+void dwt_level(std::span<const real> x, basis b, std::span<real> out_a,
+               std::span<real> out_d) {
+    dwt_level_impl(x, b, out_a, out_d);
+}
+
+void dwt_level(std::span<const cplx> x, basis b, std::span<cplx> out_a,
+               std::span<cplx> out_d) {
+    dwt_level_impl(x, b, out_a, out_d);
+}
+
+void idwt_level(std::span<const real> a, std::span<const real> d, basis b,
+                std::span<real> out_x) {
+    idwt_level_impl(a, d, b, out_x);
+}
+
+void idwt_level(std::span<const cplx> a, std::span<const cplx> d, basis b,
+                std::span<cplx> out_x) {
+    idwt_level_impl(a, d, b, out_x);
+}
+
+std::span<const real> dwt_result::approx() const {
+    const std::size_t alen = input_size >> levels;
+    return std::span<const real>(coeffs).subspan(0, alen);
+}
+
+std::span<const real> dwt_result::detail(std::size_t l) const {
+    QPSA_EXPECTS(l >= 1 && l <= levels);
+    // Layout: [a_L | d_L | d_{L-1} | ... | d_1]; band d_l has size
+    // input_size >> l and starts after a_L and all deeper details.
+    std::size_t offset = input_size >> levels;  // a_L
+    for (std::size_t j = levels; j > l; --j) offset += input_size >> j;
+    return std::span<const real>(coeffs).subspan(offset, input_size >> l);
+}
+
+dwt_result dwt(std::span<const real> x, basis b, std::size_t levels) {
+    QPSA_EXPECTS(levels >= 1);
+    QPSA_EXPECTS(x.size() % (std::size_t{1} << levels) == 0);
+    QPSA_EXPECTS((x.size() >> levels) >= 1);
+
+    dwt_result r;
+    r.levels = levels;
+    r.input_size = x.size();
+    r.coeffs.resize(x.size());
+
+    std::vector<real> cur(x.begin(), x.end());
+    // Fill detail bands from the back of the layout (finest first).
+    std::size_t write_end = x.size();
+    for (std::size_t l = 1; l <= levels; ++l) {
+        const std::size_t half = cur.size() / 2;
+        std::vector<real> a(half);
+        std::vector<real> d(half);
+        dwt_level(cur, b, a, d);
+        std::copy(d.begin(), d.end(), r.coeffs.begin() + static_cast<std::ptrdiff_t>(write_end - half));
+        write_end -= half;
+        cur = std::move(a);
+    }
+    std::copy(cur.begin(), cur.end(), r.coeffs.begin());
+    return r;
+}
+
+std::vector<real> idwt(const dwt_result& r, basis b) {
+    std::vector<real> cur(r.approx().begin(), r.approx().end());
+    for (std::size_t l = r.levels; l >= 1; --l) {
+        const auto d = r.detail(l);
+        QPSA_EXPECTS(d.size() == cur.size());
+        std::vector<real> next(2 * cur.size());
+        idwt_level(cur, d, b, next);
+        cur = std::move(next);
+    }
+    QPSA_ENSURES(cur.size() == r.input_size);
+    return cur;
+}
+
+real approx_energy_fraction(const dwt_result& r) {
+    real total = 0.0;
+    for (real c : r.coeffs) total += c * c;
+    if (total == 0.0) return 0.0;
+    real approx = 0.0;
+    for (real c : r.approx()) approx += c * c;
+    return approx / total;
+}
+
+}  // namespace qpsa::wavelet

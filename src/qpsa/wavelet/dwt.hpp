@@ -1,0 +1,60 @@
+// Periodized (circular) discrete wavelet transform.
+//
+// Analysis convention (matching the derivation in wfft/twiddle_tables.hpp):
+//   a[k] = sum_n h[n] x[(2k + n) mod N]      (approximation / lowpass)
+//   d[k] = sum_n g[n] x[(2k + n) mod N]      (detail / highpass)
+// With orthonormal filters the stacked transform matrix W_N = [Wa; Wd] is
+// orthogonal, so the inverse is the transpose:
+//   x[n] = sum_k a[k] h[(n - 2k) mod N] + d[k] g[(n - 2k) mod N].
+//
+// Both real and complex inputs are supported: the wavelet-based FFT
+// processes complex (packed) meshes, whereas the sparsity analysis of
+// paper Fig. 3 runs on real RR meshes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qpsa/util/common.hpp"
+#include "qpsa/wavelet/filters.hpp"
+
+namespace qpsa::wavelet {
+
+/// One analysis level on real data.  out_a/out_d must each hold n/2.
+void dwt_level(std::span<const real> x, basis b, std::span<real> out_a,
+               std::span<real> out_d);
+
+/// One analysis level on complex data (used by the wavelet FFT).
+void dwt_level(std::span<const cplx> x, basis b, std::span<cplx> out_a,
+               std::span<cplx> out_d);
+
+/// One synthesis level (transpose): x must hold 2 * a.size().
+void idwt_level(std::span<const real> a, std::span<const real> d, basis b,
+                std::span<real> out_x);
+void idwt_level(std::span<const cplx> a, std::span<const cplx> d, basis b,
+                std::span<cplx> out_x);
+
+/// Multi-level decomposition of the approximation chain (standard DWT,
+/// not a packet tree).  Output layout: [a_L | d_L | d_{L-1} | ... | d_1],
+/// same total length as the input.
+struct dwt_result {
+    std::vector<real> coeffs;
+    std::size_t levels = 0;
+    std::size_t input_size = 0;
+
+    /// Approximation band at the deepest level.
+    std::span<const real> approx() const;
+    /// Detail band of level l (1 = finest).
+    std::span<const real> detail(std::size_t l) const;
+};
+
+dwt_result dwt(std::span<const real> x, basis b, std::size_t levels);
+
+/// Inverse of dwt().
+std::vector<real> idwt(const dwt_result& r, basis b);
+
+/// Fraction of total coefficient energy carried by the approximation band;
+/// the "approximate sparsity" measure motivating the paper's pruning.
+real approx_energy_fraction(const dwt_result& r);
+
+}  // namespace qpsa::wavelet

@@ -1,0 +1,109 @@
+#include "qpsa/wavelet/filters.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace qpsa::wavelet {
+
+namespace {
+
+// Canonical orthonormal Daubechies / Symlet analysis lowpass coefficients
+// (sum = sqrt(2), energy = 1).
+const std::vector<real> k_haar = {inv_sqrt2, inv_sqrt2};
+
+const std::vector<real> k_db2 = {
+    0.48296291314469025, 0.83651630373746899, 0.22414386804185735,
+    -0.12940952255092145};
+
+const std::vector<real> k_db3 = {
+    0.33267055295095688, 0.80689150931333875, 0.45987750211933132,
+    -0.13501102001039084, -0.08544127388224149, 0.03522629188210562};
+
+const std::vector<real> k_db4 = {
+    0.23037781330885523, 0.71484657055254153, 0.63088076792959036,
+    -0.02798376941698385, -0.18703481171888114, 0.03084138183598697,
+    0.03288301166698295, -0.01059740178499728};
+
+const std::vector<real> k_sym4 = {
+    -0.07576571478927333, -0.02963552764599851, 0.49761866763201545,
+    0.80373875180591614, 0.29785779560527736, -0.09921954357684722,
+    -0.01260396726203783, 0.03222310060404270};
+
+filter_bank make_bank(const std::vector<real>& h) {
+    filter_bank fb;
+    fb.lowpass = h;
+    fb.highpass = qmf_highpass(h);
+    return fb;
+}
+
+}  // namespace
+
+std::vector<real> qmf_highpass(std::span<const real> h) {
+    QPSA_EXPECTS(!h.empty());
+    const std::size_t len = h.size();
+    std::vector<real> g(len);
+    for (std::size_t n = 0; n < len; ++n) {
+        const real sign = (n % 2 == 0) ? 1.0 : -1.0;
+        g[n] = sign * h[len - 1 - n];
+    }
+    return g;
+}
+
+const filter_bank& filters(basis b) {
+    static const filter_bank haar = make_bank(k_haar);
+    static const filter_bank db2 = make_bank(k_db2);
+    static const filter_bank db3 = make_bank(k_db3);
+    static const filter_bank db4 = make_bank(k_db4);
+    static const filter_bank sym4 = make_bank(k_sym4);
+    switch (b) {
+        case basis::haar:
+            return haar;
+        case basis::db2:
+            return db2;
+        case basis::db3:
+            return db3;
+        case basis::db4:
+            return db4;
+        case basis::sym4:
+            return sym4;
+    }
+    throw std::logic_error("unhandled basis");
+}
+
+std::span<const real> lowpass(basis b) { return filters(b).lowpass; }
+
+std::span<const real> highpass(basis b) { return filters(b).highpass; }
+
+std::span<const basis> all_bases() {
+    static const std::array<basis, 5> bases = {basis::haar, basis::db2, basis::db4,
+                                               basis::db3, basis::sym4};
+    return bases;
+}
+
+std::string_view basis_name(basis b) {
+    switch (b) {
+        case basis::haar:
+            return "haar";
+        case basis::db2:
+            return "db2";
+        case basis::db3:
+            return "db3";
+        case basis::db4:
+            return "db4";
+        case basis::sym4:
+            return "sym4";
+    }
+    return "?";
+}
+
+basis parse_basis(std::string_view name) {
+    if (name == "haar" || name == "db1") return basis::haar;
+    if (name == "db2") return basis::db2;
+    if (name == "db3") return basis::db3;
+    if (name == "db4") return basis::db4;
+    if (name == "sym4") return basis::sym4;
+    throw std::invalid_argument("unknown wavelet basis: " + std::string(name));
+}
+
+}  // namespace qpsa::wavelet

@@ -1,0 +1,58 @@
+// Orthonormal wavelet filter banks.
+//
+// The paper evaluates Haar, Db2 and Db4 bases (Section IV/V); Db3 and
+// Sym4 are included for the basis-ablation bench.  Conventions:
+//   * analysis lowpass h: sum(h) = sqrt(2), sum(h^2) = 1
+//   * analysis highpass g[n] = (-1)^n * h[L-1-n]  (quadrature mirror)
+// These satisfy the orthonormality conditions
+//   sum_n h[n] h[n+2m] = delta_m,  sum_n h[n] g[n+2m] = 0,
+// which make the periodized DWT matrix W_N orthogonal -- the property the
+// Guo-Burrus factorization (paper eq. (6)) relies on.
+//
+// Naming: "dbK" = Daubechies wavelet with K vanishing moments (2K taps),
+// so db1 = Haar (2 taps), db2 = 4 taps, db4 = 8 taps, matching the paper.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::wavelet {
+
+enum class basis {
+    haar,  ///< db1, 2 taps
+    db2,   ///< 4 taps
+    db3,   ///< 6 taps
+    db4,   ///< 8 taps
+    sym4,  ///< 8 taps, near-symmetric
+};
+
+/// Analysis filter pair of an orthonormal wavelet.
+struct filter_bank {
+    std::vector<real> lowpass;   ///< h
+    std::vector<real> highpass;  ///< g
+
+    std::size_t length() const noexcept { return lowpass.size(); }
+};
+
+/// Filter bank of a named basis.
+const filter_bank& filters(basis b);
+
+/// Analysis lowpass coefficients of a named basis.
+std::span<const real> lowpass(basis b);
+
+/// Analysis highpass coefficients (QMF of the lowpass).
+std::span<const real> highpass(basis b);
+
+/// Derive the QMF highpass from any lowpass: g[n] = (-1)^n h[L-1-n].
+std::vector<real> qmf_highpass(std::span<const real> h);
+
+/// All bases, in paper order first.
+std::span<const basis> all_bases();
+
+std::string_view basis_name(basis b);
+basis parse_basis(std::string_view name);
+
+}  // namespace qpsa::wavelet

@@ -1,0 +1,73 @@
+#include "qpsa/wavelet/lifting.hpp"
+
+#include <cmath>
+
+#include "qpsa/counting/op_counter.hpp"
+
+namespace qpsa::wavelet {
+
+namespace {
+const real k_sqrt3 = std::sqrt(3.0);
+const real k_c1 = k_sqrt3 / 4.0;
+const real k_c2 = (k_sqrt3 - 2.0) / 4.0;
+const real k_sa = (k_sqrt3 - 1.0) / sqrt2;  // final scale of s
+const real k_sd = (k_sqrt3 + 1.0) / sqrt2;  // final scale of d
+}  // namespace
+
+void lifting_db2_analysis(std::span<const real> x, std::span<real> out_a,
+                          std::span<real> out_d) {
+    const std::size_t n = x.size();
+    QPSA_EXPECTS(n >= 4 && n % 2 == 0);
+    const std::size_t half = n / 2;
+    QPSA_EXPECTS(out_a.size() == half);
+    QPSA_EXPECTS(out_d.size() == half);
+
+    std::vector<real> s1(half);
+    std::vector<real> d1(half);
+    for (std::size_t l = 0; l < half; ++l) s1[l] = x[2 * l] + k_sqrt3 * x[2 * l + 1];
+    for (std::size_t l = 0; l < half; ++l) {
+        const std::size_t lm1 = (l + half - 1) % half;
+        d1[l] = x[2 * l + 1] - k_c1 * s1[l] - k_c2 * s1[lm1];
+    }
+    for (std::size_t l = 0; l < half; ++l) {
+        const std::size_t lp1 = (l + 1) % half;
+        out_a[l] = k_sa * (s1[l] - d1[lp1]);
+        out_d[l] = k_sd * d1[l];
+    }
+    counting::count_muls(5 * half);
+    counting::count_adds(4 * half);
+}
+
+void lifting_db2_analysis_conv(std::span<const real> x, std::span<real> out_a,
+                               std::span<real> out_d) {
+    const std::size_t half = x.size() / 2;
+    std::vector<real> d_lift(half);
+    lifting_db2_analysis(x, out_a, d_lift);
+    for (std::size_t j = 0; j < half; ++j) out_d[j] = -d_lift[(j + 1) % half];
+}
+
+void lifting_db2_synthesis(std::span<const real> a, std::span<const real> d,
+                           std::span<real> out_x) {
+    const std::size_t half = a.size();
+    QPSA_EXPECTS(d.size() == half);
+    QPSA_EXPECTS(out_x.size() == 2 * half);
+
+    std::vector<real> s1(half);
+    std::vector<real> d1(half);
+    for (std::size_t l = 0; l < half; ++l) d1[l] = d[l] / k_sd;
+    for (std::size_t l = 0; l < half; ++l) {
+        const std::size_t lp1 = (l + 1) % half;
+        s1[l] = a[l] / k_sa + d1[lp1];
+    }
+    for (std::size_t l = 0; l < half; ++l) {
+        const std::size_t lm1 = (l + half - 1) % half;
+        const real odd = d1[l] + k_c1 * s1[l] + k_c2 * s1[lm1];
+        out_x[2 * l + 1] = odd;
+        out_x[2 * l] = s1[l] - k_sqrt3 * odd;
+    }
+    counting::count_muls(5 * half);
+    counting::count_adds(4 * half);
+    counting::count_divs(0);
+}
+
+}  // namespace qpsa::wavelet

@@ -1,0 +1,46 @@
+#include "qpsa/wavelet/packet.hpp"
+
+#include <cmath>
+
+#include "qpsa/wavelet/dwt.hpp"
+
+namespace qpsa::wavelet {
+
+std::vector<packet_level> wavelet_packet(std::span<const real> x, basis b,
+                                         std::size_t levels) {
+    QPSA_EXPECTS(levels >= 1);
+    QPSA_EXPECTS(x.size() % (std::size_t{1} << levels) == 0);
+
+    std::vector<packet_level> out;
+    std::vector<std::vector<real>> cur;
+    cur.emplace_back(x.begin(), x.end());
+
+    for (std::size_t l = 0; l < levels; ++l) {
+        packet_level next;
+        next.bands.reserve(cur.size() * 2);
+        for (const auto& band : cur) {
+            const std::size_t half = band.size() / 2;
+            std::vector<real> a(half);
+            std::vector<real> d(half);
+            dwt_level(band, b, a, d);
+            next.bands.push_back(std::move(a));
+            next.bands.push_back(std::move(d));
+        }
+        out.push_back(next);
+        cur = out.back().bands;
+    }
+    return out;
+}
+
+std::vector<real> band_mean_abs(const packet_level& level) {
+    std::vector<real> out;
+    out.reserve(level.bands.size());
+    for (const auto& band : level.bands) {
+        real acc = 0.0;
+        for (real v : band) acc += std::abs(v);
+        out.push_back(band.empty() ? 0.0 : acc / static_cast<real>(band.size()));
+    }
+    return out;
+}
+
+}  // namespace qpsa::wavelet

@@ -1,0 +1,35 @@
+// Full binary wavelet-packet decomposition.
+//
+// The unpruned DWT-based FFT is "equivalent to a binary tree wavelet
+// packet followed by modified FFT butterfly operations" (paper Section
+// IV.B).  This module provides the packet tree on its own so tests can
+// check the wavelet-FFT stage-1 against an independent implementation,
+// and so the sparsity statistics of subbands can be analyzed directly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qpsa/util/common.hpp"
+#include "qpsa/wavelet/filters.hpp"
+
+namespace qpsa::wavelet {
+
+/// One level of a packet tree: every subband (not only the approximation
+/// chain) is split again.  `bands` holds 2^level contiguous subbands, each
+/// of size n / 2^level, ordered [a..., d...] recursively: index bit j of a
+/// band selects lowpass (0) or highpass (1) at level j+1.
+struct packet_level {
+    std::vector<std::vector<real>> bands;
+};
+
+/// Decompose x into `levels` packet levels; returns one packet_level per
+/// depth (index 0 = one split).
+std::vector<packet_level> wavelet_packet(std::span<const real> x, basis b,
+                                         std::size_t levels);
+
+/// Per-band mean absolute value at the deepest level; the statistic used
+/// to classify bands as significant / less significant (paper eq. (3)).
+std::vector<real> band_mean_abs(const packet_level& level);
+
+}  // namespace qpsa::wavelet

@@ -1,0 +1,83 @@
+#include "qpsa/wavelet/wavelet_matrix.hpp"
+
+#include <cmath>
+
+namespace qpsa::wavelet {
+
+dense_matrix analysis_matrix(basis b, std::size_t n) {
+    QPSA_EXPECTS(n >= 2 && n % 2 == 0);
+    const auto& fb = filters(b);
+    dense_matrix m;
+    m.rows = n;
+    m.cols = n;
+    m.data.assign(n * n, 0.0);
+    for (std::size_t k = 0; k < n / 2; ++k) {
+        for (std::size_t t = 0; t < fb.length(); ++t) {
+            const std::size_t col = (2 * k + t) % n;
+            m.at(k, col) += fb.lowpass[t];
+            m.at(k + n / 2, col) += fb.highpass[t];
+        }
+    }
+    return m;
+}
+
+std::vector<real> apply(const dense_matrix& m, std::span<const real> x) {
+    QPSA_EXPECTS(x.size() == m.cols);
+    std::vector<real> y(m.rows, 0.0);
+    for (std::size_t r = 0; r < m.rows; ++r) {
+        real acc = 0.0;
+        for (std::size_t c = 0; c < m.cols; ++c) acc += m.at(r, c) * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+std::vector<cplx> apply(const dense_matrix& m, std::span<const cplx> x) {
+    QPSA_EXPECTS(x.size() == m.cols);
+    std::vector<cplx> y(m.rows, cplx{0.0, 0.0});
+    for (std::size_t r = 0; r < m.rows; ++r) {
+        cplx acc{0.0, 0.0};
+        for (std::size_t c = 0; c < m.cols; ++c) acc += x[c] * m.at(r, c);
+        y[r] = acc;
+    }
+    return y;
+}
+
+dense_matrix transpose(const dense_matrix& m) {
+    dense_matrix t;
+    t.rows = m.cols;
+    t.cols = m.rows;
+    t.data.assign(t.rows * t.cols, 0.0);
+    for (std::size_t r = 0; r < m.rows; ++r)
+        for (std::size_t c = 0; c < m.cols; ++c) t.at(c, r) = m.at(r, c);
+    return t;
+}
+
+dense_matrix multiply(const dense_matrix& a, const dense_matrix& b) {
+    QPSA_EXPECTS(a.cols == b.rows);
+    dense_matrix out;
+    out.rows = a.rows;
+    out.cols = b.cols;
+    out.data.assign(out.rows * out.cols, 0.0);
+    for (std::size_t r = 0; r < a.rows; ++r)
+        for (std::size_t k = 0; k < a.cols; ++k) {
+            const real arv = a.at(r, k);
+            if (arv == 0.0) continue;
+            for (std::size_t c = 0; c < b.cols; ++c)
+                out.at(r, c) += arv * b.at(k, c);
+        }
+    return out;
+}
+
+real max_deviation_from_identity(const dense_matrix& m) {
+    QPSA_EXPECTS(m.rows == m.cols);
+    real worst = 0.0;
+    for (std::size_t r = 0; r < m.rows; ++r)
+        for (std::size_t c = 0; c < m.cols; ++c) {
+            const real expect = (r == c) ? 1.0 : 0.0;
+            worst = std::max(worst, std::abs(m.at(r, c) - expect));
+        }
+    return worst;
+}
+
+}  // namespace qpsa::wavelet

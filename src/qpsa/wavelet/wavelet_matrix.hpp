@@ -1,0 +1,46 @@
+// Dense matrix form of the periodized single-level DWT.
+//
+// Used by tests (orthogonality W W^T = I, equivalence of the filter-bank
+// and matrix formulations) and by the derivation checks behind the
+// Guo-Burrus factorization F_N = G_N W_N (paper eq. (2)/(6)).  Never used
+// on the energy-critical path.
+#pragma once
+
+#include <vector>
+
+#include "qpsa/util/common.hpp"
+#include "qpsa/wavelet/filters.hpp"
+
+namespace qpsa::wavelet {
+
+/// Dense row-major real matrix.
+struct dense_matrix {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<real> data;
+
+    real& at(std::size_t r, std::size_t c) { return data[r * cols + c]; }
+    real at(std::size_t r, std::size_t c) const { return data[r * cols + c]; }
+};
+
+/// Single-level periodized analysis matrix W_N (rows 0..N/2-1 lowpass,
+/// rows N/2..N-1 highpass):  row k of the lowpass block is h shifted by
+/// 2k (circularly), matching dwt_level().
+dense_matrix analysis_matrix(basis b, std::size_t n);
+
+/// y = M x for real vectors.
+std::vector<real> apply(const dense_matrix& m, std::span<const real> x);
+
+/// y = M x for complex vectors (M real).
+std::vector<cplx> apply(const dense_matrix& m, std::span<const cplx> x);
+
+/// M^T.
+dense_matrix transpose(const dense_matrix& m);
+
+/// A * B.
+dense_matrix multiply(const dense_matrix& a, const dense_matrix& b);
+
+/// max |A - I|.
+real max_deviation_from_identity(const dense_matrix& m);
+
+}  // namespace qpsa::wavelet

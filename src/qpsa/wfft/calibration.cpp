@@ -1,0 +1,102 @@
+#include "qpsa/wfft/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qpsa/util/stats.hpp"
+
+namespace qpsa::wfft {
+
+real calibration_result::data_threshold_for(double fraction) const {
+    QPSA_EXPECTS(!data_l1_quantiles.empty());
+    const double f = std::clamp(fraction, 0.0, 1.0);
+    const double pos = f * static_cast<double>(data_l1_quantiles.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, data_l1_quantiles.size() - 1);
+    const double t = pos - static_cast<double>(lo);
+    return data_l1_quantiles[lo] * (1.0 - t) + data_l1_quantiles[hi] * t;
+}
+
+calibration_result calibrate(const plan& base,
+                             std::span<const std::vector<cplx>> training) {
+    QPSA_EXPECTS(!training.empty());
+    plan exact = base;
+    exact.prune = prune_config::exact();
+    const wavelet_fft engine(exact);
+
+    util::running_stats band_means;
+    util::running_stats approx_means;
+    std::vector<real> l1_samples;
+    std::vector<real> raw_band_means;
+
+    for (const auto& w : training) {
+        QPSA_EXPECTS(w.size() == base.n);
+        const auto sub = engine.analyze(w);
+        band_means.add(sub.d_mean_l1);
+        raw_band_means.push_back(sub.d_mean_l1);
+        real a_acc = 0.0;
+        for (const cplx& v : sub.a_fft) {
+            const real l1 = l1_mag(v);
+            a_acc += l1;
+            l1_samples.push_back(l1);
+        }
+        for (const cplx& v : sub.d_fft) l1_samples.push_back(l1_mag(v));
+        approx_means.add(a_acc / static_cast<real>(sub.a_fft.size()));
+    }
+
+    calibration_result r;
+    r.band_mean_l1 = band_means.mean();
+    r.approx_mean_l1 = approx_means.mean();
+    // Above the 95th percentile of observed band means with 20 % margin:
+    // typical windows drop, HF-heavy outliers keep the band.
+    r.band_threshold = util::quantile(raw_band_means, 0.95) * 1.2;
+    r.data_l1_quantiles.resize(101);
+    for (std::size_t q = 0; q <= 100; ++q)
+        r.data_l1_quantiles[q] =
+            util::quantile(l1_samples, static_cast<real>(q) / 100.0);
+    return r;
+}
+
+real measure_pruned_fraction(const plan& p,
+                             std::span<const std::vector<cplx>> inputs) {
+    QPSA_EXPECTS(!inputs.empty());
+    const wavelet_fft engine(p);
+    double acc = 0.0;
+    for (const auto& w : inputs) {
+        exec_stats st;
+        std::vector<cplx> out(p.n);
+        engine.forward(w, out, &st);
+        acc += st.pruned_fraction();
+    }
+    return acc / static_cast<double>(inputs.size());
+}
+
+real tune_data_threshold(plan p, double target_fraction,
+                         std::span<const std::vector<cplx>> training,
+                         const calibration_result& cal, double tolerance) {
+    QPSA_EXPECTS(p.prune.mode == prune_mode::dynamic);
+    QPSA_EXPECTS(target_fraction >= 0.0 && target_fraction < 1.0);
+
+    // The product criterion compares |factor| * L1(data); factors top out
+    // near sqrt(2), so scale the data quantile accordingly for the upper
+    // bisection bracket.
+    real lo = 0.0;
+    real hi = 3.0 * cal.data_threshold_for(0.98);
+    if (hi <= 0.0) return 0.0;
+
+    real best = 0.0;
+    for (int iter = 0; iter < 24; ++iter) {
+        const real mid = 0.5 * (lo + hi);
+        p.prune.data_threshold = mid;
+        const real f = measure_pruned_fraction(p, training);
+        if (std::abs(f - target_fraction) <= tolerance) return mid;
+        if (f < target_fraction)
+            lo = mid;
+        else
+            hi = mid;
+        best = mid;
+    }
+    return best;
+}
+
+}  // namespace qpsa::wfft

@@ -1,0 +1,60 @@
+// Design-time calibration of pruning thresholds (paper eq. (3)).
+//
+// The paper determines thresholds "by performing several experiments with
+// numerous cardiac samples": the expectation of intermediate magnitudes
+// over a training corpus picks the static thresholds, and the dynamic
+// (run-time) thresholds are tuned so dynamic pruning reaches the same
+// operation savings as a given static set, but with finer per-sample
+// selectivity.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qpsa/util/common.hpp"
+#include "qpsa/wfft/plan.hpp"
+#include "qpsa/wfft/wavelet_fft.hpp"
+
+namespace qpsa::wfft {
+
+/// Summary of a training pass over representative transform inputs.
+struct calibration_result {
+    /// Expectation of the mean L1 highpass-band magnitude; the static
+    /// band-drop decision is justified when this is small relative to the
+    /// lowpass band (the paper's approximate sparsity).
+    real band_mean_l1 = 0.0;
+    /// Same for the lowpass band (for the sparsity ratio).
+    real approx_mean_l1 = 0.0;
+    /// Threshold for the run-time band decision: above nearly all observed
+    /// band means, so typical windows drop the band while atypical
+    /// HF-heavy windows keep it.
+    real band_threshold = 0.0;
+    /// Quantiles (0..100) of the L1 magnitudes of sub-spectrum samples,
+    /// used to seed run-time data thresholds.
+    std::vector<real> data_l1_quantiles;
+
+    /// Data threshold whose quantile position is `fraction`.
+    real data_threshold_for(double fraction) const;
+    /// Sparsity ratio E{|d|}/E{|a|} (small => band drop is safe).
+    real sparsity_ratio() const {
+        return approx_mean_l1 > 0.0 ? band_mean_l1 / approx_mean_l1 : 0.0;
+    }
+};
+
+/// Collect statistics over training inputs (each of size base.n).
+calibration_result calibrate(const plan& base,
+                             std::span<const std::vector<cplx>> training);
+
+/// Mean fraction of combine terms pruned when running `p` over `inputs`.
+real measure_pruned_fraction(const plan& p,
+                             std::span<const std::vector<cplx>> inputs);
+
+/// Bisection-tune the dynamic data threshold of `p` (which must be in
+/// dynamic mode) until the measured pruned fraction over the training set
+/// reaches `target_fraction` within `tolerance`.  Returns the threshold.
+real tune_data_threshold(plan p, double target_fraction,
+                         std::span<const std::vector<cplx>> training,
+                         const calibration_result& cal,
+                         double tolerance = 0.02);
+
+}  // namespace qpsa::wfft

@@ -1,0 +1,56 @@
+#include "qpsa/wfft/plan.hpp"
+
+namespace qpsa::wfft {
+
+namespace {
+plan base_plan(std::size_t n, wavelet::basis b, tree_mode t) {
+    plan p;
+    p.n = n;
+    p.basis = b;
+    p.tree = t;
+    return p;
+}
+}  // namespace
+
+plan plan::exact(std::size_t n, wavelet::basis b, tree_mode t) {
+    plan p = base_plan(n, b, t);
+    p.prune = prune_config::exact();
+    p.validate();
+    return p;
+}
+
+plan plan::band_dropped(std::size_t n, wavelet::basis b, tree_mode t) {
+    plan p = base_plan(n, b, t);
+    p.prune = prune_config::static_mode(twiddle_set::none, 1);
+    p.validate();
+    return p;
+}
+
+plan plan::static_pruned(std::size_t n, wavelet::basis b, twiddle_set s,
+                         tree_mode t) {
+    plan p = base_plan(n, b, t);
+    p.prune = prune_config::static_mode(s, 1);
+    p.validate();
+    return p;
+}
+
+plan plan::dynamic_pruned(std::size_t n, wavelet::basis b, twiddle_set s,
+                          real data_thr, real band_thr, tree_mode t) {
+    plan p = base_plan(n, b, t);
+    p.prune = prune_config::dynamic_mode(s, data_thr, band_thr, 1);
+    p.validate();
+    return p;
+}
+
+void plan::validate() const {
+    QPSA_EXPECTS(is_pow2(n) && n >= 8);
+    QPSA_EXPECTS(is_pow2(leaf_size) && leaf_size >= 2 && leaf_size < n);
+    QPSA_EXPECTS(prune.twiddle_fraction >= 0.0 && prune.twiddle_fraction < 1.0);
+    QPSA_EXPECTS(prune.dynamic_factor_fraction >= 0.0 &&
+                 prune.dynamic_factor_fraction < 1.0);
+    // The filter must fit into the sub-transform of the deepest level.
+    const std::size_t filter_len = wavelet::filters(basis).length();
+    QPSA_EXPECTS(filter_len <= (tree == tree_mode::recursive ? leaf_size * 2 : n));
+}
+
+}  // namespace qpsa::wfft

@@ -1,0 +1,60 @@
+// Transform configuration ("plan") for the DWT-based FFT.
+#pragma once
+
+#include <cstddef>
+
+#include "qpsa/util/common.hpp"
+#include "qpsa/wavelet/filters.hpp"
+#include "qpsa/wfft/prune.hpp"
+
+namespace qpsa::wfft {
+
+/// How the two F_{N/2} sub-transforms of eq. (6) are computed.
+enum class tree_mode {
+    /// One wavelet factorization level; the sub-transforms run as
+    /// split-radix FFTs.  This matches the structure the paper analyzes
+    /// (Fig. 4 caption: "two stages: i) DWT, ii) twiddle factors"; all
+    /// pruned factors belong to the A/B/C/D diagonals of eq. (6)/(7)).
+    single_level,
+    /// Full recursion: each sub-transform is again a wavelet FFT, yielding
+    /// the binary-tree wavelet packet of Fig. 4.  More expensive, exposed
+    /// for the complexity ablation.
+    recursive,
+};
+
+struct plan {
+    std::size_t n = 512;
+    wavelet::basis basis = wavelet::basis::haar;
+    tree_mode tree = tree_mode::single_level;
+    /// Base-case size for recursive mode (direct DFT below this).
+    std::size_t leaf_size = 4;
+    /// Fold the Haar 1/sqrt(2) into the twiddle tables so the Haar DWT
+    /// stage is multiplication-free (no effect for other bases).
+    bool fold_haar_scale = true;
+    /// The Fast-Lomb pipeline feeds *real* extirpolated meshes into the
+    /// transform (paper Fig. 1(a)); with this flag the DWT stage runs
+    /// real-data arithmetic (half the operations), which is the
+    /// configuration the paper's complexity numbers describe.  Inputs
+    /// must then have zero imaginary parts (contract-checked).
+    bool assume_real_input = false;
+    /// Evaluate the Db2 stage with the Daubechies-Sweldens lifting
+    /// factorization (5 muls + 4 adds per output pair instead of 8 + 6).
+    bool use_db2_lifting = true;
+    prune_config prune;
+
+    /// The conventional comparison point is a split-radix FFT, not a plan.
+    /// These factories produce the paper's named configurations:
+    static plan exact(std::size_t n, wavelet::basis b,
+                      tree_mode t = tree_mode::single_level);
+    static plan band_dropped(std::size_t n, wavelet::basis b,
+                             tree_mode t = tree_mode::single_level);
+    static plan static_pruned(std::size_t n, wavelet::basis b, twiddle_set s,
+                              tree_mode t = tree_mode::single_level);
+    static plan dynamic_pruned(std::size_t n, wavelet::basis b, twiddle_set s,
+                               real data_thr, real band_thr,
+                               tree_mode t = tree_mode::single_level);
+
+    void validate() const;
+};
+
+}  // namespace qpsa::wfft

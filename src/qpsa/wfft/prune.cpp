@@ -1,0 +1,52 @@
+#include "qpsa/wfft/prune.hpp"
+
+#include "qpsa/util/stats.hpp"
+
+namespace qpsa::wfft {
+
+const char* set_name(twiddle_set s) {
+    switch (s) {
+        case twiddle_set::none:
+            return "none";
+        case twiddle_set::set1:
+            return "set1(20%)";
+        case twiddle_set::set2:
+            return "set2(40%)";
+        case twiddle_set::set3:
+            return "set3(60%)";
+    }
+    return "?";
+}
+
+prune_config prune_config::static_mode(twiddle_set s, unsigned band_levels) {
+    prune_config c;
+    c.mode = prune_mode::fixed;
+    c.band_drop_levels = band_levels;
+    c.twiddle_fraction = set_fraction(s);
+    return c;
+}
+
+prune_config prune_config::dynamic_mode(twiddle_set s, real data_thr, real band_thr,
+                                        unsigned band_levels) {
+    prune_config c;
+    c.mode = prune_mode::dynamic;
+    c.band_drop_levels = band_levels;
+    c.dynamic_band_decision = true;
+    c.band_threshold = band_thr;
+    c.data_threshold = data_thr;
+    // Dynamic mode relies entirely on the run-time |factor|*|data| product
+    // checks: at the same pruned-op fraction this is strictly finer than
+    // design-time factor thresholds (the paper's Fig. 9 distortion gap),
+    // paid for with one multiply + compare per candidate term.
+    c.dynamic_factor_fraction = 0.0;
+    c.twiddle_fraction = set_fraction(s);
+    return c;
+}
+
+real magnitude_threshold(std::span<const real> magnitudes, double fraction) {
+    QPSA_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+    if (fraction == 0.0 || magnitudes.empty()) return -1.0;  // below any |.|
+    return util::quantile(magnitudes, fraction);
+}
+
+}  // namespace qpsa::wfft

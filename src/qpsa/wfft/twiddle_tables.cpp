@@ -1,0 +1,55 @@
+#include "qpsa/wfft/twiddle_tables.hpp"
+
+#include <cmath>
+
+#include "qpsa/dsp/dft.hpp"
+
+namespace qpsa::wfft {
+
+twiddle_tables make_twiddle_tables(wavelet::basis b, std::size_t n,
+                                   bool fold_haar_scale) {
+    QPSA_EXPECTS(is_pow2(n) && n >= 4);
+    const auto& fb = wavelet::filters(b);
+    QPSA_EXPECTS(fb.length() <= n);
+
+    std::vector<real> h(n, 0.0);
+    std::vector<real> g(n, 0.0);
+    for (std::size_t i = 0; i < fb.length(); ++i) {
+        h[i] = fb.lowpass[i];
+        g[i] = fb.highpass[i];
+    }
+    const std::vector<cplx> hf = dsp::dft_real(h);
+    const std::vector<cplx> gf = dsp::dft_real(g);
+
+    const bool fold = fold_haar_scale && b == wavelet::basis::haar;
+    const real scale = fold ? inv_sqrt2 : 1.0;
+
+    twiddle_tables t;
+    t.folded = fold;
+    const std::size_t half = n / 2;
+    t.a.resize(half);
+    t.b.resize(half);
+    t.c.resize(half);
+    t.d.resize(half);
+    for (std::size_t m = 0; m < half; ++m) {
+        t.a[m] = hf[m] * scale;
+        t.b[m] = gf[m] * scale;
+        t.c[m] = hf[m + half] * scale;
+        t.d[m] = gf[m + half] * scale;
+    }
+    return t;
+}
+
+std::vector<real> factor_magnitudes(const twiddle_tables& t, bool highpass_kept) {
+    std::vector<real> mags;
+    mags.reserve(t.half() * (highpass_kept ? 4 : 2));
+    for (const cplx& v : t.a) mags.push_back(std::abs(v));
+    for (const cplx& v : t.c) mags.push_back(std::abs(v));
+    if (highpass_kept) {
+        for (const cplx& v : t.b) mags.push_back(std::abs(v));
+        for (const cplx& v : t.d) mags.push_back(std::abs(v));
+    }
+    return mags;
+}
+
+}  // namespace qpsa::wfft

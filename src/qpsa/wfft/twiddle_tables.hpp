@@ -1,0 +1,56 @@
+// Diagonal "twiddle factor" tables of the Guo-Burrus factorization.
+//
+// Writing one DWT stage as x -> [a; d] (lowpass / highpass, each N/2) and
+// using the synthesis identity x[n] = sum_k a[k] h[(n-2k) mod N]
+//                                   + sum_k d[k] g[(n-2k) mod N],
+// the DFT of x becomes, for m in [0, N):
+//
+//   X[m] = H[m] * A[m mod N/2] + G[m] * D[m mod N/2]
+//
+// with H/G the length-N DFTs of the zero-padded filters and A/D the
+// length-N/2 DFTs of the subbands.  Splitting m into the two halves gives
+// exactly the paper's eq. (6):
+//
+//   factor_a[m] = H[m]        (diagonal of A_{N/2}),  m in [0, N/2)
+//   factor_b[m] = G[m]        (diagonal of B_{N/2})
+//   factor_c[m] = H[m + N/2]  (diagonal of C_{N/2})
+//   factor_d[m] = G[m + N/2]  (diagonal of D_{N/2})
+//
+// For Haar, |factor_a| decreases monotonically sqrt(2) -> 0 while
+// |factor_c| increases 0 -> sqrt(2): the property behind the paper's
+// significance-driven twiddle pruning (Fig. 6).
+//
+// The tables optionally fold the Haar 1/sqrt(2) normalization into the
+// factors ("folded" mode) so the Haar DWT stage runs multiplication-free.
+#pragma once
+
+#include <vector>
+
+#include "qpsa/util/common.hpp"
+#include "qpsa/wavelet/filters.hpp"
+
+namespace qpsa::wfft {
+
+struct twiddle_tables {
+    std::vector<cplx> a;  ///< H[m],        m in [0, N/2)
+    std::vector<cplx> b;  ///< G[m]
+    std::vector<cplx> c;  ///< H[m + N/2]
+    std::vector<cplx> d;  ///< G[m + N/2]
+    bool folded = false;  ///< true if the DWT stage omits its 1/sqrt(2)
+
+    std::size_t half() const noexcept { return a.size(); }
+};
+
+/// Build the tables for transform size n and the given basis.
+/// `fold_haar_scale`: divide all factors by sqrt(2) and run the Haar DWT
+/// stage unnormalized (only meaningful for basis::haar).
+twiddle_tables make_twiddle_tables(wavelet::basis b, std::size_t n,
+                                   bool fold_haar_scale);
+
+/// Magnitudes of all factors that participate under a given band
+/// configuration: A and C always; B and D only when the highpass band is
+/// kept.  This is the population the pruning quantiles (Set1/2/3) are
+/// computed over, matching the paper's Fig. 6.
+std::vector<real> factor_magnitudes(const twiddle_tables& t, bool highpass_kept);
+
+}  // namespace qpsa::wfft

@@ -1,0 +1,98 @@
+// Quality-scalable DWT-based FFT (the paper's core contribution).
+//
+// Structure per eq. (6)/(7): one orthonormal DWT stage splits the input
+// into lowpass/highpass subbands; two half-size FFTs transform the
+// subbands; a diagonal combine (the A/B/C/D "twiddle factor" matrices)
+// assembles the full spectrum.  Approximation hooks:
+//
+//   * band drop     -- skip the highpass subband, its FFT and its combine
+//                      terms (stage-1 pruning, eq. (7));
+//   * factor sets   -- zero the smallest-magnitude diagonal factors
+//                      (stage-2 pruning, Sets 1-3 = 20/40/60 %);
+//   * dynamic mode  -- run-time comparisons decide the band drop and the
+//                      per-term skips from live data magnitudes, at the
+//                      cost of counted comparison instructions.
+//
+// Every arithmetic operation executed is recorded into the active
+// counting scope, so complexity tables (Fig. 5) and the energy model
+// (Fig. 9) are measured, not estimated.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "qpsa/dsp/fft_split_radix.hpp"
+#include "qpsa/util/common.hpp"
+#include "qpsa/wfft/plan.hpp"
+#include "qpsa/wfft/twiddle_tables.hpp"
+
+namespace qpsa::wfft {
+
+class wavelet_fft {
+public:
+    explicit wavelet_fft(plan p);
+
+    const plan& get_plan() const noexcept { return plan_; }
+    std::size_t size() const noexcept { return plan_.n; }
+    const twiddle_tables& tables() const noexcept { return tables_; }
+
+    /// Magnitude threshold below which factors are statically pruned
+    /// (-1 when no static pruning is active).
+    real factor_threshold() const noexcept { return static_threshold_; }
+
+    /// Effective (post-pruning) top-level factors; zeroed entries are the
+    /// statically pruned ones.  Exposed for Fig. 6 and calibration.
+    std::span<const cplx> effective_factor_a() const noexcept { return eff_a_; }
+    std::span<const cplx> effective_factor_b() const noexcept { return eff_b_; }
+    std::span<const cplx> effective_factor_c() const noexcept { return eff_c_; }
+    std::span<const cplx> effective_factor_d() const noexcept { return eff_d_; }
+
+    /// Out-of-place forward transform.  in/out must both have size n.
+    void forward(std::span<const cplx> in, std::span<cplx> out,
+                 exec_stats* stats = nullptr) const;
+
+    std::vector<cplx> forward_copy(std::span<const cplx> in,
+                                   exec_stats* stats = nullptr) const;
+
+    /// Sub-spectrum of the lowpass band (A = F_{N/2} a) of the last
+    /// forward() call is not retained; calibration instead uses
+    /// subband_spectra() to observe intermediate magnitudes.
+    struct subband_spectra {
+        std::vector<cplx> a_fft;  ///< F_{N/2} of the lowpass band
+        std::vector<cplx> d_fft;  ///< F_{N/2} of the highpass band
+        real d_mean_l1 = 0.0;     ///< mean L1 magnitude of the highpass band
+    };
+    /// Exact (unpruned) intermediate values for calibration/analysis.
+    subband_spectra analyze(std::span<const cplx> in) const;
+
+private:
+    void forward_impl(std::span<const cplx> in, std::span<cplx> out,
+                      exec_stats& stats) const;
+    void dwt_stage(std::span<const cplx> x, std::span<cplx> a,
+                   std::span<cplx> d) const;
+    void dwt_stage_lowpass(std::span<const cplx> x, std::span<cplx> a) const;
+    void sub_transform_a(std::span<const cplx> in, std::span<cplx> out,
+                         exec_stats& stats) const;
+    void sub_transform_d(std::span<const cplx> in, std::span<cplx> out,
+                         exec_stats& stats) const;
+    void combine(std::span<const cplx> a_fft, const cplx* d_fft,
+                 std::span<cplx> out, exec_stats& stats) const;
+
+    plan plan_;
+    twiddle_tables tables_;
+    real static_threshold_ = -1.0;
+    std::vector<cplx> eff_a_, eff_b_, eff_c_, eff_d_;
+    std::vector<bool> free_a_, free_b_, free_c_, free_d_;  ///< |f| == 1 rotations
+    std::vector<real> mag_a_, mag_b_, mag_c_, mag_d_;      ///< |factor| tables
+
+    std::unique_ptr<dsp::fft_split_radix> sub_split_radix_;  // single_level
+    std::unique_ptr<wavelet_fft> sub_a_;  // recursive lowpass child
+    std::unique_ptr<wavelet_fft> sub_d_;  // recursive highpass child (exact)
+};
+
+/// Direct small DFT used at recursion leaves (counted; sizes 2 and 4 are
+/// multiplication-free).
+void leaf_dft(std::span<const cplx> in, std::span<cplx> out);
+
+}  // namespace qpsa::wfft

@@ -1,0 +1,73 @@
+// Umbrella-header compile check plus cross-module API smoke tests for the
+// metrics added as extensions (normalized units, spectral entropy,
+// Poincare descriptors).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qpsa/qpsa.hpp"
+
+using qpsa::real;
+
+TEST(ApiTest, UmbrellaHeaderExposesEverything) {
+    // One symbol per subsystem proves the umbrella header wires up.
+    EXPECT_TRUE(qpsa::is_pow2(512));
+    EXPECT_EQ(qpsa::wavelet::basis_name(qpsa::wavelet::basis::haar), "haar");
+    EXPECT_EQ(qpsa::wfft::set_fraction(qpsa::wfft::twiddle_set::set2), 0.4);
+    EXPECT_GT(qpsa::energy::vfs_params{}.f_nom_hz, 0.0);
+    EXPECT_EQ(qpsa::dsp::parse_window("hann"), qpsa::dsp::window_kind::hann);
+    const auto cfg = qpsa::core::psa_config::conventional();
+    EXPECT_EQ(cfg.lomb.mesh_size, 512u);
+}
+
+TEST(ApiTest, NormalizedUnitsSumToOne) {
+    qpsa::hrv::band_powers bp;
+    bp.lf = 0.3;
+    bp.hf = 0.7;
+    EXPECT_NEAR(bp.lf_nu() + bp.hf_nu(), 1.0, 1e-12);
+    EXPECT_NEAR(bp.lf_nu(), 0.3, 1e-12);
+}
+
+TEST(ApiTest, SpectralEntropyExtremes) {
+    // Single tone -> low entropy; flat spectrum -> entropy 1.
+    qpsa::dsp::sampled_spectrum tone;
+    qpsa::dsp::sampled_spectrum flat;
+    for (int i = 1; i <= 80; ++i) {
+        const real f = 0.005 * i;
+        tone.freq_hz.push_back(f);
+        flat.freq_hz.push_back(f);
+        tone.power.push_back(i == 40 ? 100.0 : 1e-6);
+        flat.power.push_back(2.0);
+    }
+    EXPECT_LT(qpsa::hrv::spectral_entropy(tone), 0.3);
+    EXPECT_NEAR(qpsa::hrv::spectral_entropy(flat), 1.0, 1e-9);
+}
+
+TEST(ApiTest, PoincareMatchesRmssdIdentity) {
+    // SD1 == RMSSD / sqrt(2) for any series (population statistics).
+    std::vector<real> rr;
+    for (int i = 0; i < 200; ++i)
+        rr.push_back(0.85 + 0.05 * std::sin(0.3 * i) + 0.01 * std::sin(1.7 * i));
+    const auto td = qpsa::hrv::compute_time_domain(rr);
+    const auto pc = qpsa::hrv::compute_poincare(rr);
+    // SD1 uses the stddev of (rr_n - rr_{n+1})/sqrt2; RMSSD is the RMS of
+    // differences.  They coincide when the mean difference is ~0.
+    EXPECT_NEAR(pc.sd1_s, td.rmssd_s * qpsa::inv_sqrt2, 2e-4);
+    EXPECT_GT(pc.sd2_s, 0.0);
+    EXPECT_GT(pc.sd1_sd2_ratio, 0.0);
+}
+
+TEST(ApiTest, PoincareShortVsLongTermStructure) {
+    // A slow oscillation gives SD2 >> SD1; beat-to-beat alternans gives
+    // SD1 on par with (or above) SD2.
+    std::vector<real> slow;
+    std::vector<real> alternans;
+    for (int i = 0; i < 300; ++i) {
+        slow.push_back(0.85 + 0.08 * std::sin(0.05 * i));
+        alternans.push_back(0.85 + (i % 2 == 0 ? 0.04 : -0.04));
+    }
+    const auto p_slow = qpsa::hrv::compute_poincare(slow);
+    const auto p_alt = qpsa::hrv::compute_poincare(alternans);
+    EXPECT_LT(p_slow.sd1_sd2_ratio, 0.3);
+    EXPECT_GT(p_alt.sd1_sd2_ratio, 3.0);
+}

@@ -1,0 +1,167 @@
+// Core PSA-system tests: configuration, end-to-end record analysis,
+// conventional-vs-proposed agreement, quality controller.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qpsa/core/psa_system.hpp"
+#include "qpsa/core/quality_controller.hpp"
+#include "qpsa/physio/patients.hpp"
+
+using qpsa::real;
+namespace qcore = qpsa::core;
+namespace qp = qpsa::physio;
+namespace qf = qpsa::wfft;
+namespace qw = qpsa::wavelet;
+
+namespace {
+const qp::rr_record& arrhythmia_record() {
+    static const qp::rr_record rec =
+        qp::record_for(qp::make_patient(qp::cohort::sinus_arrhythmia, 0), 900.0);
+    return rec;
+}
+const qp::rr_record& healthy_record() {
+    static const qp::rr_record rec =
+        qp::record_for(qp::make_patient(qp::cohort::healthy, 0), 900.0);
+    return rec;
+}
+}  // namespace
+
+TEST(PsaConfigTest, FactoriesAndValidation) {
+    const auto conv = qcore::psa_config::conventional();
+    EXPECT_EQ(conv.engine, qcore::engine_kind::conventional);
+    EXPECT_EQ(conv.lomb.mesh_size, 512u);
+    EXPECT_NE(conv.describe().find("split-radix"), std::string::npos);
+
+    const auto prop = qcore::psa_config::proposed(
+        qf::plan::static_pruned(512, qw::basis::haar, qf::twiddle_set::set3));
+    EXPECT_EQ(prop.engine, qcore::engine_kind::wavelet);
+    EXPECT_NE(prop.describe().find("haar"), std::string::npos);
+    EXPECT_NE(prop.describe().find("60%"), std::string::npos);
+
+    auto bad = prop;
+    bad.lomb.mesh_size = 256;  // mismatch with wplan.n
+    EXPECT_THROW(bad.validate(), qpsa::contract_error);
+}
+
+TEST(PsaSystemTest, ArrhythmiaRecordFlagsCondition) {
+    const qcore::psa_system sys(qcore::psa_config::conventional());
+    const auto& rec = arrhythmia_record();
+    const auto res = sys.analyze_record(rec.beat_time_s, rec.rr_s);
+    EXPECT_GT(res.segments, 5u);
+    EXPECT_LT(res.lf_hf_ratio(), 1.0);
+    EXPECT_EQ(res.diagnosis, qpsa::hrv::diagnosis::sinus_arrhythmia);
+}
+
+TEST(PsaSystemTest, HealthyRecordIsNormal) {
+    const qcore::psa_system sys(qcore::psa_config::conventional());
+    const auto& rec = healthy_record();
+    const auto res = sys.analyze_record(rec.beat_time_s, rec.rr_s);
+    EXPECT_GT(res.lf_hf_ratio(), 1.0);
+    EXPECT_EQ(res.diagnosis, qpsa::hrv::diagnosis::normal);
+}
+
+TEST(PsaSystemTest, ExactWaveletMatchesConventional) {
+    const qcore::psa_system conv(qcore::psa_config::conventional());
+    const qcore::psa_system wave(qcore::psa_config::proposed(
+        qf::plan::exact(512, qw::basis::haar)));
+    const auto& rec = arrhythmia_record();
+    const auto rc = conv.analyze_record(rec.beat_time_s, rec.rr_s);
+    const auto rw = wave.analyze_record(rec.beat_time_s, rec.rr_s);
+    EXPECT_NEAR(rc.lf_hf_ratio(), rw.lf_hf_ratio(), 1e-6);
+}
+
+TEST(PsaSystemTest, PrunedSystemStaysCloseAndCheaper) {
+    const qcore::psa_system conv(qcore::psa_config::conventional());
+    const qcore::psa_system pruned(qcore::psa_config::proposed(
+        qf::plan::static_pruned(512, qw::basis::haar, qf::twiddle_set::set3)));
+    const auto& rec = arrhythmia_record();
+    const auto rc = conv.analyze_record(rec.beat_time_s, rec.rr_s);
+    const auto rp = pruned.analyze_record(rec.beat_time_s, rec.rr_s);
+
+    // Quality: the ratio error stays within ~15 % and the diagnosis is
+    // unchanged (the paper reports 3-9.2 % ratio error for these modes).
+    const real err = std::abs(rp.lf_hf_ratio() - rc.lf_hf_ratio()) /
+                     rc.lf_hf_ratio();
+    EXPECT_LT(err, 0.15);
+    EXPECT_EQ(rp.diagnosis, rc.diagnosis);
+
+    // Cost: the FFT block ops must shrink substantially.
+    EXPECT_LT(rp.ops.fft.arithmetic() * 10, rc.ops.fft.arithmetic() * 8);
+}
+
+TEST(PsaSystemTest, SegmentRatiosAreFinite) {
+    const qcore::psa_system sys(qcore::psa_config::conventional());
+    const auto& rec = arrhythmia_record();
+    const auto res = sys.analyze_record(rec.beat_time_s, rec.rr_s);
+    ASSERT_EQ(res.segment_bands.size(), res.segments);
+    for (const auto& bp : res.segment_bands) {
+        EXPECT_GT(bp.hf, 0.0);
+        EXPECT_GT(bp.lf, 0.0);
+        EXPECT_TRUE(std::isfinite(bp.lf_hf_ratio()));
+    }
+}
+
+TEST(PsaSystemTest, AnalyzeWindowReturnsSpectrum) {
+    const qcore::psa_system sys(qcore::psa_config::conventional());
+    const auto& rec = arrhythmia_record();
+    std::vector<real> t(rec.beat_time_s.begin(), rec.beat_time_s.begin() + 140);
+    std::vector<real> x(rec.rr_s.begin(), rec.rr_s.begin() + 140);
+    qpsa::lomb::lomb_breakdown bd;
+    const auto res = sys.analyze_window(t, x, &bd);
+    EXPECT_GT(res.spectrum.size(), 50u);
+    EXPECT_GT(bd.fft.arithmetic(), 0u);
+}
+
+TEST(QualityControllerTest, SelectsByBudget) {
+    std::vector<qcore::mode_profile> table(3);
+    table[0].name = "exact";
+    table[0].expected_error_pct = 0.0;
+    table[0].expected_savings_vfs = 0.3;
+    table[1].name = "mild";
+    table[1].expected_error_pct = 3.0;
+    table[1].expected_savings_vfs = 0.6;
+    table[2].name = "aggressive";
+    table[2].expected_error_pct = 9.0;
+    table[2].expected_savings_vfs = 0.8;
+    const qcore::quality_controller ctl(table);
+
+    EXPECT_EQ(ctl.select(0.5).name, "exact");
+    EXPECT_EQ(ctl.select(5.0).name, "mild");
+    EXPECT_EQ(ctl.select(10.0).name, "aggressive");
+}
+
+TEST(QualityControllerTest, FallsBackToLeastDistortion) {
+    std::vector<qcore::mode_profile> table(2);
+    table[0].name = "a";
+    table[0].expected_error_pct = 4.0;
+    table[1].name = "b";
+    table[1].expected_error_pct = 2.0;
+    const qcore::quality_controller ctl(table);
+    EXPECT_EQ(ctl.select(1.0).name, "b");
+}
+
+TEST(QualityControllerTest, BuildMeasuresAllModes) {
+    // Small build (2 patients, short records) to keep the test fast; the
+    // full-size build is exercised by the benches.
+    qcore::controller_build_options opt;
+    opt.training_patients = 2;
+    opt.record_seconds = 400.0;
+    opt.include_dynamic = false;
+    const qpsa::energy::node_model node;
+    const auto ctl = qcore::build_quality_controller(opt, node);
+
+    const auto profiles = ctl.profiles();
+    ASSERT_EQ(profiles.size(), 5u);  // exact, band-drop, 3 static sets
+    // Exact wavelet: no distortion, no savings worth mentioning.
+    EXPECT_LT(profiles[0].expected_error_pct, 0.5);
+    // Aggressive modes save more than mild ones (VFS-aware).
+    EXPECT_GT(profiles[4].expected_savings_vfs, profiles[1].expected_savings_vfs);
+    // All modes keep the diagnosis on all training records.
+    for (const auto& p : profiles)
+        EXPECT_DOUBLE_EQ(p.detection_agreement, 1.0) << p.name;
+    // Selection respects the measured table.
+    const auto& chosen = ctl.select(100.0);
+    EXPECT_GE(chosen.expected_savings_vfs,
+              profiles[1].expected_savings_vfs - 1e-12);
+}

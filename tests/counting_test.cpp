@@ -1,0 +1,89 @@
+// Tests for the operation-counting instrumentation.
+#include <gtest/gtest.h>
+
+#include "qpsa/counting/op_counter.hpp"
+
+namespace qc = qpsa::counting;
+
+TEST(CountingTest, InactiveByDefault) {
+    EXPECT_FALSE(qc::counting_active());
+    qc::count_adds(100);  // must be a harmless no-op
+}
+
+TEST(CountingTest, ScopeCollectsCounts) {
+    qc::op_counts c;
+    {
+        qc::count_scope scope(c);
+        EXPECT_TRUE(qc::counting_active());
+        qc::count_adds(3);
+        qc::count_muls(2);
+        qc::count_divs(1);
+        qc::count_sqrts(4);
+        qc::count_cmps(5);
+        qc::count_trigs(6);
+    }
+    EXPECT_FALSE(qc::counting_active());
+    EXPECT_EQ(c.adds, 3u);
+    EXPECT_EQ(c.muls, 2u);
+    EXPECT_EQ(c.divs, 1u);
+    EXPECT_EQ(c.sqrts, 4u);
+    EXPECT_EQ(c.cmps, 5u);
+    EXPECT_EQ(c.trigs, 6u);
+    EXPECT_EQ(c.total(), 21u);
+    EXPECT_EQ(c.arithmetic(), 5u);
+}
+
+TEST(CountingTest, NestedScopesBothReceiveCounts) {
+    qc::op_counts outer;
+    qc::op_counts inner;
+    {
+        qc::count_scope so(outer);
+        qc::count_adds(1);
+        {
+            qc::count_scope si(inner);
+            qc::count_adds(10);
+        }
+        qc::count_adds(100);
+    }
+    EXPECT_EQ(inner.adds, 10u);
+    EXPECT_EQ(outer.adds, 111u);
+}
+
+TEST(CountingTest, ComplexOpConventions) {
+    qc::op_counts c;
+    {
+        qc::count_scope scope(c);
+        qc::count_cmul();    // 4 muls + 2 adds
+        qc::count_cadd(2);   // 4 adds
+        qc::count_cscale();  // 2 muls
+    }
+    EXPECT_EQ(c.muls, 6u);
+    EXPECT_EQ(c.adds, 6u);
+}
+
+TEST(CountingTest, ArithmeticOnCounts) {
+    qc::op_counts a;
+    a.adds = 5;
+    a.muls = 3;
+    qc::op_counts b;
+    b.adds = 2;
+    b.muls = 1;
+    b.cmps = 7;
+    const qc::op_counts sum = a + b;
+    EXPECT_EQ(sum.adds, 7u);
+    EXPECT_EQ(sum.muls, 4u);
+    EXPECT_EQ(sum.cmps, 7u);
+    const qc::op_counts diff = sum - b;
+    EXPECT_EQ(diff, a);
+}
+
+TEST(CountingTest, ToStringMentionsNonZeroFields) {
+    qc::op_counts c;
+    c.adds = 1;
+    c.muls = 2;
+    c.cmps = 3;
+    const std::string s = c.to_string();
+    EXPECT_NE(s.find("adds=1"), std::string::npos);
+    EXPECT_NE(s.find("muls=2"), std::string::npos);
+    EXPECT_NE(s.find("cmps=3"), std::string::npos);
+}

@@ -1,0 +1,76 @@
+// Window-function tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qpsa/dsp/window.hpp"
+
+namespace qd = qpsa::dsp;
+using qpsa::real;
+
+class WindowKindTest : public ::testing::TestWithParam<qd::window_kind> {};
+
+TEST_P(WindowKindTest, EndpointsAndPeak) {
+    const auto kind = GetParam();
+    const real w0 = qd::window_value(kind, 0.0);
+    const real w1 = qd::window_value(kind, 1.0);
+    const real wm = qd::window_value(kind, 0.5);
+    EXPECT_NEAR(w0, w1, 1e-12) << "window must be symmetric at endpoints";
+    EXPECT_GE(wm, w0);
+    if (kind != qd::window_kind::rectangular) EXPECT_GT(wm, 0.9 * wm);
+}
+
+TEST_P(WindowKindTest, ValuesInUnitRange) {
+    const auto kind = GetParam();
+    for (int i = 0; i <= 100; ++i) {
+        const real v = qd::window_value(kind, i / 100.0);
+        EXPECT_GE(v, -1e-12);
+        EXPECT_LE(v, 1.0 + 1e-12);
+    }
+}
+
+TEST_P(WindowKindTest, PowerGainMatchesNumericIntegral) {
+    const auto kind = GetParam();
+    real acc = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const real u = (i + 0.5) / n;
+        const real w = qd::window_value(kind, u);
+        acc += w * w;
+    }
+    acc /= n;
+    EXPECT_NEAR(acc, qd::window_power_gain(kind), 1e-4);
+}
+
+TEST_P(WindowKindTest, NameParsesBack) {
+    const auto kind = GetParam();
+    EXPECT_EQ(qd::parse_window(qd::window_name(kind)), kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWindows, WindowKindTest,
+                         ::testing::Values(qd::window_kind::rectangular,
+                                           qd::window_kind::hann,
+                                           qd::window_kind::hamming,
+                                           qd::window_kind::welch,
+                                           qd::window_kind::blackman));
+
+TEST(WindowTest, HannKnownValues) {
+    EXPECT_NEAR(qd::window_value(qd::window_kind::hann, 0.5), 1.0, 1e-12);
+    EXPECT_NEAR(qd::window_value(qd::window_kind::hann, 0.25), 0.5, 1e-12);
+}
+
+TEST(WindowTest, SampledWindowHasRequestedLength) {
+    const auto w = qd::make_window(qd::window_kind::hamming, 33);
+    EXPECT_EQ(w.size(), 33u);
+    EXPECT_NEAR(w.front(), 0.08, 1e-12);
+    EXPECT_NEAR(w[16], 1.0, 1e-12);
+}
+
+TEST(WindowTest, UnknownNameThrows) {
+    EXPECT_THROW(qd::parse_window("kaiser"), std::invalid_argument);
+}
+
+TEST(WindowTest, OutOfRangePositionViolatesContract) {
+    EXPECT_THROW(qd::window_value(qd::window_kind::hann, 1.5),
+                 qpsa::contract_error);
+}

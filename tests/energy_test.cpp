@@ -1,0 +1,168 @@
+// Energy-model tests: cycle pricing, VFS solver, node model, profiler,
+// and the quantitative shape of the paper's VFS argument.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qpsa/energy/node_model.hpp"
+#include "qpsa/energy/profiler.hpp"
+#include "qpsa/energy/vfs.hpp"
+
+using qpsa::real;
+namespace qe = qpsa::energy;
+namespace qc = qpsa::counting;
+
+namespace {
+qc::op_counts make_ops(std::uint64_t adds, std::uint64_t muls,
+                       std::uint64_t divs = 0, std::uint64_t cmps = 0) {
+    qc::op_counts c;
+    c.adds = adds;
+    c.muls = muls;
+    c.divs = divs;
+    c.cmps = cmps;
+    return c;
+}
+}  // namespace
+
+TEST(OpCostsTest, CyclePricing) {
+    const qe::op_costs costs;  // defaults
+    const auto ops = make_ops(100, 50, 10, 20);
+    const double cycles = qe::cycles_for(ops, costs);
+    // 100*1 + 50*1 + 10*6 + 20*1 + (170)*0.5 overhead = 315
+    EXPECT_NEAR(cycles, 100.0 + 50.0 + 60.0 + 20.0 + 85.0, 1e-9);
+}
+
+TEST(OpCostsTest, DivAndSqrtAreExpensive) {
+    const qe::op_costs costs;
+    EXPECT_GT(costs.div, costs.mul);
+    EXPECT_GT(costs.sqrt, costs.div);
+    EXPECT_GT(costs.trig, costs.sqrt);
+}
+
+TEST(VfsTest, FrequencyIsMonotoneInVoltage) {
+    const qe::vfs_params p;
+    real prev = 0.0;
+    for (real v = p.v_min; v <= p.v_nom + 1e-9; v += 0.05) {
+        const real f = qe::max_frequency_hz(p, v);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(VfsTest, NominalPointIsConsistent) {
+    const qe::vfs_params p;
+    EXPECT_NEAR(qe::max_frequency_hz(p, p.v_nom), p.f_nom_hz, 1.0);
+}
+
+TEST(VfsTest, MinVoltageInvertsMaxFrequency) {
+    const qe::vfs_params p;
+    for (real f_frac : {0.3, 0.5, 0.7, 0.9}) {
+        const real f = f_frac * p.f_nom_hz;
+        const real v = qe::min_voltage_for(p, f);
+        EXPECT_GE(qe::max_frequency_hz(p, v), f * (1.0 - 1e-9));
+        // Must be minimal: a slightly lower voltage misses the deadline
+        // (unless clamped at v_min).
+        if (v > p.v_min + 1e-6)
+            EXPECT_LT(qe::max_frequency_hz(p, v - 0.01), f);
+    }
+}
+
+TEST(VfsTest, ClampsToRails) {
+    const qe::vfs_params p;
+    EXPECT_DOUBLE_EQ(qe::min_voltage_for(p, 2.0 * p.f_nom_hz), p.v_nom);
+    EXPECT_DOUBLE_EQ(qe::min_voltage_for(p, 1.0), p.v_min);
+}
+
+TEST(NodeModelTest, EnergyScalesQuadraticallyWithVoltage) {
+    const qe::node_model node;
+    const real e_nom = node.e_cycle_j(1.2);
+    const real e_low = node.e_cycle_j(0.6);
+    EXPECT_NEAR(e_low / e_nom, 0.25, 1e-9);
+}
+
+TEST(NodeModelTest, NominalRunAccounting) {
+    const qe::node_model node;
+    const auto ops = make_ops(1000, 500);
+    const auto run = node.run_nominal(ops);
+    EXPECT_GT(run.cycles, 1500.0);
+    EXPECT_NEAR(run.time_s, run.cycles / 100e6, 1e-12);
+    EXPECT_NEAR(run.energy_j, run.energy_dynamic_j + run.energy_leakage_j, 1e-18);
+    EXPECT_GT(run.energy_dynamic_j, run.energy_leakage_j);
+}
+
+TEST(NodeModelTest, FewerOpsNeverCostMore) {
+    const qe::node_model node;
+    const auto big = make_ops(10000, 5000);
+    const auto small = make_ops(5000, 2500);
+    EXPECT_GT(node.run_nominal(big).energy_j, node.run_nominal(small).energy_j);
+    EXPECT_GT(node.savings_nominal(small, big), 0.0);
+}
+
+TEST(NodeModelTest, VfsMeetsDeadlineAtLowerVoltage) {
+    const qe::node_model node;
+    const auto baseline = make_ops(100000, 40000);
+    const auto pruned = make_ops(50000, 20000);
+    const auto base_run = node.run_nominal(baseline);
+    const auto vfs_run = node.run_vfs(pruned, base_run.time_s);
+    EXPECT_LT(vfs_run.voltage, 1.2);
+    EXPECT_LE(vfs_run.cycles / vfs_run.frequency_hz,
+              base_run.time_s * (1.0 + 1e-9));
+    EXPECT_LT(vfs_run.energy_j, base_run.energy_j);
+}
+
+TEST(NodeModelTest, PaperHeadline51PercentCyclesGivesRoughly80PercentSavings) {
+    // The paper: 51 % performance improvement + VFS -> ~82 % energy
+    // savings.  Verify the model lands in that neighbourhood.
+    const qe::node_model node;
+    const auto baseline = make_ops(1000000, 0);
+    const auto pruned = make_ops(490000, 0);  // 51 % fewer cycles
+    const real savings = node.savings_with_vfs(pruned, baseline);
+    EXPECT_GT(savings, 0.75);
+    EXPECT_LT(savings, 0.88);
+}
+
+TEST(NodeModelTest, VfsAlwaysBeatsNominalForPrunedWorkload) {
+    const qe::node_model node;
+    const auto baseline = make_ops(200000, 100000);
+    for (double frac : {0.9, 0.7, 0.5, 0.3}) {
+        const auto pruned =
+            make_ops(static_cast<std::uint64_t>(200000 * frac),
+                     static_cast<std::uint64_t>(100000 * frac));
+        const real plain = node.savings_nominal(pruned, baseline);
+        const real vfs = node.savings_with_vfs(pruned, baseline);
+        EXPECT_GT(vfs, plain) << "frac=" << frac;
+    }
+}
+
+TEST(NodeModelTest, SramBudgetHoldsForPaperConfiguration) {
+    // N = 512 mesh, ~240 output bins, 4-byte node words: must fit the
+    // paper's 64 KB SRAM with room for code/stack.
+    const std::size_t bytes = qe::pipeline_memory_bytes(512, 240, 4);
+    EXPECT_LT(bytes, 48u * 1024u);
+    const qe::node_model node;
+    EXPECT_LT(bytes, node.config().sram_bytes);
+}
+
+TEST(ProfilerTest, SharesSumToOne) {
+    qpsa::lomb::lomb_breakdown bd;
+    bd.moments = make_ops(100, 0);
+    bd.extirpolation = make_ops(500, 300);
+    bd.fft = make_ops(10000, 4000);
+    bd.combine = make_ops(2000, 1500, 400);
+    const qe::node_model node;
+    const auto prof = qe::profile_pipeline(bd, node);
+    ASSERT_EQ(prof.blocks.size(), 4u);
+    double total = 0.0;
+    for (const auto& b : prof.blocks) total += b.share;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_NE(prof.find("fft"), nullptr);
+    EXPECT_GT(prof.find("fft")->share, prof.find("extrapolation")->share);
+}
+
+TEST(ProfilerTest, FindReturnsNullForUnknownBlock) {
+    qpsa::lomb::lomb_breakdown bd;
+    bd.fft = make_ops(10, 10);
+    const qe::node_model node;
+    const auto prof = qe::profile_pipeline(bd, node);
+    EXPECT_EQ(prof.find("radio"), nullptr);
+}

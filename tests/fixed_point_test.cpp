@@ -1,0 +1,106 @@
+// Tests for the templated fixed-point scalar (precision-scaling substrate).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qpsa/fixedpoint/fixed_point.hpp"
+
+namespace qf = qpsa::fp;
+
+using q15 = qf::fixed_point<15>;
+using q24 = qf::fixed_point<24>;
+
+TEST(FixedPointTest, RoundTripWithinResolution) {
+    for (double v : {0.0, 0.5, -0.5, 0.123456, -0.98765, 3.25}) {
+        EXPECT_NEAR(q15(v).to_double(), v, q15::resolution());
+        EXPECT_NEAR(q24(v).to_double(), v, q24::resolution());
+    }
+}
+
+TEST(FixedPointTest, HigherPrecisionHasFinerResolution) {
+    EXPECT_LT(q24::resolution(), q15::resolution());
+    EXPECT_DOUBLE_EQ(q15::resolution(), 1.0 / 32768.0);
+}
+
+TEST(FixedPointTest, AdditionAndSubtraction) {
+    const q15 a(0.25);
+    const q15 b(0.125);
+    EXPECT_NEAR((a + b).to_double(), 0.375, q15::resolution());
+    EXPECT_NEAR((a - b).to_double(), 0.125, q15::resolution());
+    EXPECT_NEAR((-a).to_double(), -0.25, q15::resolution());
+}
+
+TEST(FixedPointTest, MultiplicationRoundsToNearest) {
+    const q15 a(0.5);
+    const q15 b(0.5);
+    EXPECT_NEAR((a * b).to_double(), 0.25, q15::resolution());
+    // Small-value products keep relative accuracy within the LSB.
+    const q15 c(0.001);
+    const q15 d(0.9);
+    EXPECT_NEAR((c * d).to_double(), 0.0009, 2.0 * q15::resolution());
+}
+
+TEST(FixedPointTest, DivisionMatchesDouble) {
+    const q15 a(0.75);
+    const q15 b(0.25);
+    EXPECT_NEAR((a / b).to_double(), 3.0, 4.0 * q15::resolution());
+    EXPECT_THROW(a / q15(0.0), qpsa::contract_error);
+}
+
+TEST(FixedPointTest, SaturatesInsteadOfWrapping) {
+    const double big = q15::max_value();
+    const q15 a(big);
+    const q15 sum = a + a;
+    EXPECT_NEAR(sum.to_double(), big, 1e-3);  // clamped, not wrapped negative
+    const q15 neg(-big);
+    EXPECT_LT((neg + neg).to_double(), 0.0);
+}
+
+TEST(FixedPointTest, ComparisonOperators) {
+    EXPECT_LT(q15(0.1), q15(0.2));
+    EXPECT_EQ(q15(0.5), q15(0.5));
+    EXPECT_GT(q15(-0.1), q15(-0.2));
+}
+
+TEST(FixedPointTest, AbsoluteValue) {
+    EXPECT_EQ(q15(-0.25).abs(), q15(0.25));
+    EXPECT_EQ(q15(0.25).abs(), q15(0.25));
+}
+
+TEST(FixedPointTest, ComplexMultiplyMatchesDouble) {
+    qf::basic_complex<q15> a{q15(0.3), q15(-0.4)};
+    qf::basic_complex<q15> b{q15(0.6), q15(0.2)};
+    const auto p = a * b;
+    // (0.3 - 0.4i)(0.6 + 0.2i) = 0.26 - 0.18i
+    EXPECT_NEAR(p.re.to_double(), 0.26, 4.0 * q15::resolution());
+    EXPECT_NEAR(p.im.to_double(), -0.18, 4.0 * q15::resolution());
+}
+
+TEST(FixedPointTest, QuantizeRoundtripErrorShrinksWithPrecision) {
+    std::vector<double> xs;
+    for (int i = 0; i < 256; ++i) xs.push_back(std::sin(0.1 * i) * 0.9);
+    const auto r12 = qf::quantize_roundtrip<12>(xs);
+    const auto r20 = qf::quantize_roundtrip<20>(xs);
+    double e12 = 0.0;
+    double e20 = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        e12 += std::abs(r12[i] - xs[i]);
+        e20 += std::abs(r20[i] - xs[i]);
+    }
+    EXPECT_LT(e20, e12 / 50.0);
+}
+
+// Property sweep: a*b == b*a and (a+b)-b == a within one LSB across a grid.
+class FixedPointPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FixedPointPropertyTest, CommutativityAndInverse) {
+    const double v = GetParam();
+    const q15 a(v);
+    const q15 b(0.37);
+    EXPECT_EQ((a * b).raw(), (b * a).raw());
+    EXPECT_NEAR(((a + b) - b).to_double(), a.to_double(), q15::resolution());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, FixedPointPropertyTest,
+                         ::testing::Values(-0.9, -0.5, -0.1, 0.0, 0.1, 0.33, 0.5,
+                                           0.77, 0.9));

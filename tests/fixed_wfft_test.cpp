@@ -1,0 +1,168 @@
+// Tests for the fixed-point wavelet FFT (precision-scalable datapath).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qpsa/dsp/dft.hpp"
+#include "qpsa/util/random.hpp"
+#include "qpsa/wfft/fixed_wavelet_fft.hpp"
+
+using qpsa::cplx;
+using qpsa::real;
+namespace qf = qpsa::wfft;
+
+namespace {
+
+std::vector<double> random_real(std::size_t n, std::uint64_t seed, double amp) {
+    qpsa::util::rng r(seed);
+    std::vector<double> x(n);
+    for (auto& v : x) v = r.uniform(-amp, amp);
+    return x;
+}
+
+/// Relative L2 error of the fixed-point transform against the exact DFT,
+/// accounting for the deterministic 1/N block-floating scale.
+template <unsigned F>
+double transform_error(const qf::fixed_wavelet_fft<F>& fft,
+                       std::span<const double> xs) {
+    const std::size_t n = xs.size();
+    const auto fin = qf::fixed_wavelet_fft<F>::from_real(xs);
+    std::vector<typename qf::fixed_wavelet_fft<F>::fcplx> fout(n);
+    fft.forward(fin, fout);
+
+    std::vector<cplx> dx(n);
+    for (std::size_t i = 0; i < n; ++i) dx[i] = cplx{xs[i], 0.0};
+    const auto ref = qpsa::dsp::dft(dx);
+
+    double num = 0.0;
+    double den = 0.0;
+    const double scale = static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const cplx got{fout[i].re.to_double() * scale,
+                       fout[i].im.to_double() * scale};
+        num += qpsa::sqr_mag(got - ref[i]);
+        den += qpsa::sqr_mag(ref[i]);
+    }
+    return std::sqrt(num / den);
+}
+
+}  // namespace
+
+TEST(FixedWfftTest, Q23MatchesDftClosely) {
+    const std::size_t n = 128;
+    const auto xs = random_real(n, 1, 0.3);
+    qf::fixed_wavelet_fft<23> fft({.n = n});
+    EXPECT_LT(transform_error(fft, xs), 2e-4);
+}
+
+TEST(FixedWfftTest, ErrorGrowsAsPrecisionShrinks) {
+    const std::size_t n = 128;
+    const auto xs = random_real(n, 2, 0.3);
+    const double e23 = transform_error(qf::fixed_wavelet_fft<23>({.n = n}), xs);
+    const double e15 = transform_error(qf::fixed_wavelet_fft<15>({.n = n}), xs);
+    const double e11 = transform_error(qf::fixed_wavelet_fft<11>({.n = n}), xs);
+    EXPECT_LT(e23, e15);
+    EXPECT_LT(e15, e11);
+    // Q1.15 on a 128-point transform stays comfortably sub-percent.
+    EXPECT_LT(e15, 0.01);
+}
+
+TEST(FixedWfftTest, BandDropBehavesLikeDoubleEngine) {
+    // Band drop on a smooth signal: small extra error on top of
+    // quantization, exactly as in the double-precision engine.
+    const std::size_t n = 128;
+    std::vector<double> xs(n);
+    for (std::size_t i = 0; i < n; ++i)
+        xs[i] = 0.3 * std::sin(qpsa::two_pi * 3.0 * i / n) +
+                0.1 * std::sin(qpsa::two_pi * 7.0 * i / n);
+    const double exact =
+        transform_error(qf::fixed_wavelet_fft<15>({.n = n}), xs);
+    const double dropped = transform_error(
+        qf::fixed_wavelet_fft<15>({.n = n, .band_drop = true}), xs);
+    EXPECT_GT(dropped, exact);
+    EXPECT_LT(dropped, 0.2);
+}
+
+TEST(FixedWfftTest, TwiddlePruningReducesSpectrumTail) {
+    const std::size_t n = 128;
+    const auto xs = random_real(n, 3, 0.3);
+    qf::fixed_wavelet_fft<15> full({.n = n, .band_drop = true});
+    qf::fixed_wavelet_fft<15> pruned(
+        {.n = n, .band_drop = true, .twiddle_fraction = 0.6});
+    const auto p_full = full.power(qf::fixed_wavelet_fft<15>::from_real(xs));
+    const auto p_pruned = pruned.power(qf::fixed_wavelet_fft<15>::from_real(xs));
+    // Pruned factors zero entire bins; total power must not increase.
+    double s_full = 0.0;
+    double s_pruned = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        s_full += p_full[i];
+        s_pruned += p_pruned[i];
+    }
+    EXPECT_LT(s_pruned, s_full + 1e-12);
+    // And some bins are exactly zero.
+    std::size_t zeros = 0;
+    for (double p : p_pruned)
+        if (p == 0.0) ++zeros;
+    EXPECT_GT(zeros, n / 8);
+}
+
+TEST(FixedWfftTest, NoSaturationForBoundedInput) {
+    // Near-full-scale input through all stages: the interstage shifts
+    // must prevent wrap/saturation artifacts (error stays small).
+    const std::size_t n = 512;
+    const auto xs = random_real(n, 4, 0.45);
+    const double err = transform_error(qf::fixed_wavelet_fft<15>({.n = n}), xs);
+    EXPECT_LT(err, 0.02);
+}
+
+TEST(FixedWfftTest, ToneBinLocatesCorrectly) {
+    const std::size_t n = 256;
+    std::vector<double> xs(n);
+    for (std::size_t i = 0; i < n; ++i)
+        xs[i] = 0.4 * std::sin(qpsa::two_pi * 10.0 * i / n);
+    qf::fixed_wavelet_fft<15> fft({.n = n});
+    const auto p = fft.power(qf::fixed_wavelet_fft<15>::from_real(xs));
+    std::size_t best = 1;
+    for (std::size_t i = 1; i < n / 2; ++i)
+        if (p[i] > p[best]) best = i;
+    EXPECT_EQ(best, 10u);
+}
+
+class FixedWfftPrecisionSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FixedWfftPrecisionSweep, BandDropPlusQuantizationStaysBounded) {
+    // Property: for every precision in the sweep, the combined band-drop +
+    // quantization error on a smooth signal stays below 25 %.
+    const unsigned bits = GetParam();
+    const std::size_t n = 128;
+    std::vector<double> xs(n);
+    for (std::size_t i = 0; i < n; ++i)
+        xs[i] = 0.25 * std::sin(qpsa::two_pi * 2.0 * i / n) +
+                0.05 * std::sin(qpsa::two_pi * 9.0 * i / n);
+    double err = 0.0;
+    switch (bits) {
+        case 11:
+            err = transform_error(
+                qf::fixed_wavelet_fft<11>({.n = n, .band_drop = true}), xs);
+            break;
+        case 15:
+            err = transform_error(
+                qf::fixed_wavelet_fft<15>({.n = n, .band_drop = true}), xs);
+            break;
+        case 19:
+            err = transform_error(
+                qf::fixed_wavelet_fft<19>({.n = n, .band_drop = true}), xs);
+            break;
+        case 23:
+            err = transform_error(
+                qf::fixed_wavelet_fft<23>({.n = n, .band_drop = true}), xs);
+            break;
+        default:
+            FAIL() << "unhandled precision";
+    }
+    EXPECT_LT(err, 0.25) << "F=" << bits;
+    EXPECT_GT(err, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, FixedWfftPrecisionSweep,
+                         ::testing::Values(11u, 15u, 19u, 23u));

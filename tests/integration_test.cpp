@@ -1,0 +1,150 @@
+// End-to-end integration tests crossing all subsystems: the experiments
+// of the paper in miniature, plus the full ECG -> RR -> PSA chain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qpsa/core/psa_system.hpp"
+#include "qpsa/energy/node_model.hpp"
+#include "qpsa/energy/profiler.hpp"
+#include "qpsa/physio/ecg_synth.hpp"
+#include "qpsa/physio/patients.hpp"
+#include "qpsa/physio/rpeak.hpp"
+#include "qpsa/util/stats.hpp"
+
+using qpsa::real;
+namespace qcore = qpsa::core;
+namespace qp = qpsa::physio;
+namespace qf = qpsa::wfft;
+namespace qw = qpsa::wavelet;
+namespace qe = qpsa::energy;
+
+TEST(IntegrationTest, CohortSeparationAcrossPatientBank) {
+    // Table-I-style experiment in miniature: arrhythmia cohort ratios sit
+    // below 1, healthy above, for the conventional system.
+    const qcore::psa_system sys(qcore::psa_config::conventional());
+    for (unsigned i = 0; i < 3; ++i) {
+        const auto sa = qp::record_for(
+            qp::make_patient(qp::cohort::sinus_arrhythmia, i), 600.0);
+        const auto hc =
+            qp::record_for(qp::make_patient(qp::cohort::healthy, i), 600.0);
+        EXPECT_LT(sys.analyze_record(sa.beat_time_s, sa.rr_s).lf_hf_ratio(), 1.0)
+            << "sa" << i;
+        EXPECT_GT(sys.analyze_record(hc.beat_time_s, hc.rr_s).lf_hf_ratio(), 1.0)
+            << "hc" << i;
+    }
+}
+
+TEST(IntegrationTest, PrunedModesPreserveDiagnosisOnBothCohorts) {
+    const qcore::psa_system conv(qcore::psa_config::conventional());
+    const qcore::psa_system pruned(qcore::psa_config::proposed(
+        qf::plan::static_pruned(512, qw::basis::haar, qf::twiddle_set::set3)));
+    for (unsigned i = 0; i < 2; ++i) {
+        for (const auto cohort :
+             {qp::cohort::sinus_arrhythmia, qp::cohort::healthy}) {
+            const auto rec = qp::record_for(qp::make_patient(cohort, i), 600.0);
+            const auto rc = conv.analyze_record(rec.beat_time_s, rec.rr_s);
+            const auto rp = pruned.analyze_record(rec.beat_time_s, rec.rr_s);
+            EXPECT_EQ(rc.diagnosis, rp.diagnosis)
+                << qp::cohort_name(cohort) << i;
+        }
+    }
+}
+
+TEST(IntegrationTest, EnergySavingsOrderingAcrossModes) {
+    // Fig. 9's monotone staircase: deeper pruning -> more energy savings
+    // (and VFS on top of each).
+    const qcore::psa_system conv(qcore::psa_config::conventional());
+    const auto rec = qp::record_for(
+        qp::make_patient(qp::cohort::sinus_arrhythmia, 1), 600.0);
+    const auto base = conv.analyze_record(rec.beat_time_s, rec.rr_s);
+    const qe::node_model node;
+
+    real prev_savings = -1.0;
+    for (const auto set : {qf::twiddle_set::none, qf::twiddle_set::set1,
+                           qf::twiddle_set::set2, qf::twiddle_set::set3}) {
+        const qcore::psa_system sys(qcore::psa_config::proposed(
+            qf::plan::static_pruned(512, qw::basis::haar, set)));
+        const auto res = sys.analyze_record(rec.beat_time_s, rec.rr_s);
+        const real s =
+            node.savings_nominal(res.ops.total(), base.ops.total());
+        EXPECT_GT(s, prev_savings) << qf::set_name(set);
+        const real sv = node.savings_with_vfs(res.ops.total(), base.ops.total());
+        EXPECT_GT(sv, s) << "VFS must add savings for " << qf::set_name(set);
+        prev_savings = s;
+    }
+}
+
+TEST(IntegrationTest, DynamicPruningCostsComparisons) {
+    const auto rec = qp::record_for(
+        qp::make_patient(qp::cohort::sinus_arrhythmia, 2), 600.0);
+    qf::plan dyn = qf::plan::dynamic_pruned(512, qw::basis::haar,
+                                            qf::twiddle_set::set2,
+                                            /*data_thr=*/0.5,
+                                            /*band_thr=*/1e9);
+    const qcore::psa_system sys(qcore::psa_config::proposed(dyn));
+    const auto res = sys.analyze_record(rec.beat_time_s, rec.rr_s);
+    EXPECT_GT(res.ops.fft.cmps, 0u);
+}
+
+TEST(IntegrationTest, ProfileShowsFftDominance) {
+    // Fig. 1(b) in miniature: on the conventional system the FFT block
+    // carries the majority of the pipeline energy.
+    const qcore::psa_system sys(qcore::psa_config::conventional());
+    const auto rec = qp::record_for(
+        qp::make_patient(qp::cohort::sinus_arrhythmia, 3), 600.0);
+    const auto res = sys.analyze_record(rec.beat_time_s, rec.rr_s);
+    const qe::node_model node;
+    const auto prof = qe::profile_pipeline(res.ops, node);
+    const auto* fft = prof.find("fft");
+    ASSERT_NE(fft, nullptr);
+    EXPECT_GT(fft->share, 0.5);
+}
+
+TEST(IntegrationTest, FullEcgChainReachesSameDiagnosis) {
+    // ECG synthesis -> R-peak delineation -> PSA, versus the direct RR
+    // path: both must flag the arrhythmia patient.
+    const auto patient = qp::make_patient(qp::cohort::sinus_arrhythmia, 4);
+    const auto truth = qp::record_for(patient, 600.0);
+
+    qp::ecg_options eopt;
+    eopt.noise_sigma = 0.02;
+    qpsa::util::rng rng(patient.seed ^ 0xECC);
+    const auto ecg = qp::synthesize_ecg(truth, eopt, rng);
+    const auto detected = qp::detect_rpeaks(ecg);
+    ASSERT_GT(qp::detection_sensitivity(truth, detected), 0.9);
+
+    const qcore::psa_system sys(qcore::psa_config::conventional());
+    const auto res_truth = sys.analyze_record(truth.beat_time_s, truth.rr_s);
+    const auto res_chain =
+        sys.analyze_record(detected.beat_time_s, detected.rr_s);
+    EXPECT_EQ(res_truth.diagnosis, qpsa::hrv::diagnosis::sinus_arrhythmia);
+    EXPECT_EQ(res_chain.diagnosis, res_truth.diagnosis);
+    EXPECT_NEAR(res_chain.lf_hf_ratio(), res_truth.lf_hf_ratio(),
+                0.35 * res_truth.lf_hf_ratio());
+}
+
+TEST(IntegrationTest, OperationTotalsAreDeterministic) {
+    const qcore::psa_system sys(qcore::psa_config::conventional());
+    const auto rec = qp::record_for(
+        qp::make_patient(qp::cohort::sinus_arrhythmia, 5), 400.0);
+    const auto r1 = sys.analyze_record(rec.beat_time_s, rec.rr_s);
+    const auto r2 = sys.analyze_record(rec.beat_time_s, rec.rr_s);
+    EXPECT_EQ(r1.ops.total(), r2.ops.total());
+    EXPECT_DOUBLE_EQ(r1.lf_hf_ratio(), r2.lf_hf_ratio());
+}
+
+TEST(IntegrationTest, HourlyMonitoringRatioSeries) {
+    // One-hour record: per-segment ratio series must stay below the
+    // detection threshold for an arrhythmia patient in every window
+    // (paper VI.A: "in all cases we could correctly identify").
+    const auto rec = qp::record_for(
+        qp::make_patient(qp::cohort::sinus_arrhythmia, 6), 3600.0);
+    const qcore::psa_system sys(qcore::psa_config::conventional());
+    const auto res = sys.analyze_record(rec.beat_time_s, rec.rr_s);
+    EXPECT_GE(res.segments, 50u);
+    std::size_t below = 0;
+    for (const auto& bp : res.segment_bands)
+        if (bp.lf_hf_ratio() < 1.0) ++below;
+    EXPECT_GT(static_cast<double>(below) / res.segment_bands.size(), 0.9);
+}

@@ -1,0 +1,288 @@
+// Lomb periodogram tests: direct method, extirpolation, and the Fast-Lomb
+// pipeline with both FFT engines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qpsa/lomb/extirpolate.hpp"
+#include "qpsa/lomb/fast_lomb.hpp"
+#include "qpsa/lomb/lomb_direct.hpp"
+#include "qpsa/util/random.hpp"
+#include "qpsa/util/stats.hpp"
+
+using qpsa::real;
+namespace ql = qpsa::lomb;
+namespace qw = qpsa::wavelet;
+
+namespace {
+
+/// Unevenly sampled sinusoid: y = A sin(2 pi f t) with jittered sampling.
+struct uneven_tone {
+    std::vector<real> t;
+    std::vector<real> x;
+};
+
+uneven_tone make_tone(std::size_t n, real f_hz, real amp, real noise,
+                      std::uint64_t seed) {
+    qpsa::util::rng r(seed);
+    uneven_tone out;
+    real t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        t += 0.8 + r.uniform(-0.25, 0.25);  // ~1.25 Hz mean rate, uneven
+        out.t.push_back(t);
+        out.x.push_back(amp * std::sin(qpsa::two_pi * f_hz * t) +
+                        r.gaussian(noise));
+    }
+    return out;
+}
+
+}  // namespace
+
+TEST(LombDirectTest, RecoversToneFrequency) {
+    const auto tone = make_tone(200, 0.21, 1.0, 0.05, 1);
+    const auto freqs = ql::lomb_frequency_grid(tone.t.back() - tone.t.front(),
+                                               200, 4.0);
+    const auto spec = ql::lomb_direct(tone.t, tone.x, freqs);
+    const real peak = qpsa::dsp::peak_frequency(spec, 0.05, 0.5);
+    EXPECT_NEAR(peak, 0.21, 0.01);
+}
+
+TEST(LombDirectTest, PeakPowerScalesWithSnr) {
+    const auto strong = make_tone(150, 0.25, 1.0, 0.01, 2);
+    const auto weak = make_tone(150, 0.25, 0.2, 0.3, 2);
+    const auto freqs = ql::lomb_frequency_grid(strong.t.back() - strong.t.front(),
+                                               150, 4.0);
+    const auto sp_strong = ql::lomb_direct(strong.t, strong.x, freqs);
+    const auto sp_weak = ql::lomb_direct(weak.t, weak.x, freqs);
+    const real p_strong =
+        qpsa::dsp::band_power(sp_strong, 0.2, 0.3) /
+        qpsa::dsp::total_power(sp_strong);
+    const real p_weak = qpsa::dsp::band_power(sp_weak, 0.2, 0.3) /
+                        qpsa::dsp::total_power(sp_weak);
+    EXPECT_GT(p_strong, p_weak);
+}
+
+TEST(LombDirectTest, InvariantToTimeShift) {
+    const auto tone = make_tone(120, 0.18, 1.0, 0.0, 3);
+    auto shifted = tone;
+    for (real& t : shifted.t) t += 1234.5;
+    const auto freqs = ql::lomb_frequency_grid(tone.t.back() - tone.t.front(),
+                                               100, 4.0);
+    const auto a = ql::lomb_direct(tone.t, tone.x, freqs);
+    const auto b = ql::lomb_direct(shifted.t, shifted.x, freqs);
+    for (std::size_t i = 0; i < a.power.size(); ++i)
+        EXPECT_NEAR(a.power[i], b.power[i], 1e-6 * (1.0 + a.power[i]));
+}
+
+TEST(SpreadTest, IntegralPositionDepositsExactly) {
+    std::vector<real> mesh(16, 0.0);
+    ql::spread(2.5, mesh, 4.0, 4);
+    EXPECT_DOUBLE_EQ(mesh[4], 2.5);
+    for (std::size_t i = 0; i < mesh.size(); ++i)
+        if (i != 4) EXPECT_DOUBLE_EQ(mesh[i], 0.0);
+}
+
+TEST(SpreadTest, MassIsConserved) {
+    // Lagrange extirpolation weights sum to 1 at any fractional position.
+    for (const int order : {1, 2, 3, 4, 6}) {
+        std::vector<real> mesh(32, 0.0);
+        ql::spread(1.0, mesh, 7.37, order);
+        real sum = 0.0;
+        for (real v : mesh) sum += v;
+        EXPECT_NEAR(sum, 1.0, 1e-9) << "order=" << order;
+    }
+}
+
+TEST(SpreadTest, LinearOrderSplitsBetweenNeighbors) {
+    std::vector<real> mesh(8, 0.0);
+    ql::spread(1.0, mesh, 2.25, 2);
+    EXPECT_NEAR(mesh[2], 0.75, 1e-12);
+    EXPECT_NEAR(mesh[3], 0.25, 1e-12);
+}
+
+TEST(SpreadTest, WrapsCircularly) {
+    std::vector<real> mesh(8, 0.0);
+    ql::spread(1.0, mesh, 7.5, 2);
+    EXPECT_NEAR(mesh[7], 0.5, 1e-12);
+    EXPECT_NEAR(mesh[0], 0.5, 1e-12);
+}
+
+TEST(ExtirpolateTest, PreservesTotalMass) {
+    qpsa::util::rng r(5);
+    std::vector<real> t;
+    std::vector<real> v;
+    real acc = 0.0;
+    for (int i = 0; i < 50; ++i) {
+        acc += r.uniform(0.5, 1.5);
+        t.push_back(acc);
+        v.push_back(r.uniform(-1.0, 1.0));
+    }
+    const auto mesh = ql::extirpolate(t, v, 256, 4, t.front(), 4.0 * acc);
+    real sum_mesh = 0.0;
+    for (real m : mesh) sum_mesh += m;
+    real sum_v = 0.0;
+    for (real x : v) sum_v += x;
+    EXPECT_NEAR(sum_mesh, sum_v, 1e-9);
+}
+
+TEST(RedistributeHoldTest, StaircaseShape) {
+    const std::vector<real> v = {1.0, 2.0, 3.0, 4.0};
+    const auto out = ql::redistribute_hold(v, 8);
+    ASSERT_EQ(out.size(), 8u);
+    EXPECT_DOUBLE_EQ(out[0], 1.0);
+    EXPECT_DOUBLE_EQ(out[1], 1.0);
+    EXPECT_DOUBLE_EQ(out[2], 2.0);
+    EXPECT_DOUBLE_EQ(out[7], 4.0);
+}
+
+TEST(RedistributeHoldTest, PaperFig3Shape117To256) {
+    // The exact configuration of paper Fig. 3(a): value range preserved.
+    qpsa::util::rng r(6);
+    std::vector<real> rr(117);
+    for (auto& v : rr) v = 0.8 + r.uniform(-0.2, 0.3);
+    const auto mesh = ql::redistribute_hold(rr, 256);
+    EXPECT_EQ(mesh.size(), 256u);
+    EXPECT_NEAR(qpsa::util::min_value(mesh), qpsa::util::min_value(rr), 1e-12);
+    EXPECT_NEAR(qpsa::util::max_value(mesh), qpsa::util::max_value(rr), 1e-12);
+}
+
+class FastLombAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastLombAccuracyTest, MatchesDirectLomb) {
+    // High-accuracy configuration: auto mesh, MACC = 4 Lagrange kernels.
+    const auto tone = make_tone(120, 0.22, 1.0, 0.1, 10 + GetParam());
+    ql::fast_lomb_options opt;
+    opt.ofac = 4.0;
+    opt.macc = 4;
+    opt.mesh_size = 0;  // derive (accuracy mode)
+    // Pre-compute the mesh the options will derive to build the engine.
+    const std::size_t mesh =
+        2 * qpsa::next_pow2(static_cast<std::size_t>(4.0 * 120 * 4));
+    const auto engine = ql::make_split_radix_engine(mesh);
+    const auto fast = ql::fast_lomb(tone.t, tone.x, *engine, opt);
+
+    const auto direct =
+        ql::lomb_direct(tone.t, tone.x, fast.spectrum.freq_hz);
+    // Compare on the lower 80 % of the grid (extirpolation degrades near
+    // the mesh Nyquist).
+    const std::size_t upto = fast.spectrum.size() * 8 / 10;
+    for (std::size_t i = 0; i < upto; ++i) {
+        EXPECT_NEAR(fast.spectrum.power[i], direct.power[i],
+                    0.03 * (1.0 + direct.power[i]))
+            << "bin " << i << " f=" << fast.spectrum.freq_hz[i];
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastLombAccuracyTest, ::testing::Values(0, 1, 2));
+
+TEST(FastLombTest, FixedMesh512RecoversTone) {
+    // The paper's deployed configuration: mesh fixed to 512.
+    const auto tone = make_tone(140, 0.3, 1.0, 0.05, 20);
+    ql::fast_lomb_options opt;  // defaults: mesh 512, two transforms
+    opt.ofac = 2.0;
+    opt.macc = 2;
+    const auto engine = ql::make_split_radix_engine(512);
+    const auto res = ql::fast_lomb(tone.t, tone.x, *engine, opt);
+    const real peak = qpsa::dsp::peak_frequency(res.spectrum, 0.1, 0.45);
+    EXPECT_NEAR(peak, 0.3, 0.02);
+}
+
+TEST(FastLombTest, PackedSingleMatchesTwoTransforms) {
+    const auto tone = make_tone(100, 0.15, 1.0, 0.05, 21);
+    ql::fast_lomb_options two;
+    two.ofac = 2.0;
+    two.macc = 2;
+    two.packing = ql::fft_packing::two_transforms;
+    ql::fast_lomb_options packed = two;
+    packed.packing = ql::fft_packing::packed_single;
+
+    const auto engine = ql::make_split_radix_engine(512);
+    const auto r2 = ql::fast_lomb(tone.t, tone.x, *engine, two);
+    const auto rp = ql::fast_lomb(tone.t, tone.x, *engine, packed);
+    ASSERT_EQ(r2.spectrum.size(), rp.spectrum.size());
+    for (std::size_t i = 0; i < r2.spectrum.size(); ++i)
+        EXPECT_NEAR(r2.spectrum.power[i], rp.spectrum.power[i],
+                    1e-9 * (1.0 + r2.spectrum.power[i]));
+}
+
+TEST(FastLombTest, PackedSingleHalvesFftOps) {
+    const auto tone = make_tone(100, 0.15, 1.0, 0.05, 22);
+    ql::fast_lomb_options two;
+    two.ofac = 2.0;
+    two.macc = 2;
+    ql::fast_lomb_options packed = two;
+    packed.packing = ql::fft_packing::packed_single;
+
+    const auto engine = ql::make_split_radix_engine(512);
+    ql::lomb_breakdown bd2;
+    ql::lomb_breakdown bdp;
+    (void)ql::fast_lomb(tone.t, tone.x, *engine, two, &bd2);
+    (void)ql::fast_lomb(tone.t, tone.x, *engine, packed, &bdp);
+    const double ratio = static_cast<double>(bdp.fft.arithmetic()) /
+                         static_cast<double>(bd2.fft.arithmetic());
+    EXPECT_NEAR(ratio, 0.5, 0.05);
+}
+
+TEST(FastLombTest, WaveletEngineExactMatchesSplitRadix) {
+    const auto tone = make_tone(130, 0.25, 1.0, 0.08, 23);
+    ql::fast_lomb_options opt;
+    opt.ofac = 2.0;
+    opt.macc = 2;
+    const auto conv = ql::make_split_radix_engine(512);
+    const auto wave = ql::make_wavelet_engine(
+        qpsa::wfft::plan::exact(512, qw::basis::haar));
+    const auto rc = ql::fast_lomb(tone.t, tone.x, *conv, opt);
+    const auto rw = ql::fast_lomb(tone.t, tone.x, *wave, opt);
+    for (std::size_t i = 0; i < rc.spectrum.size(); ++i)
+        EXPECT_NEAR(rc.spectrum.power[i], rw.spectrum.power[i],
+                    1e-7 * (1.0 + rc.spectrum.power[i]));
+}
+
+TEST(FastLombTest, PrunedWaveletEngineKeepsPeak) {
+    const auto tone = make_tone(130, 0.25, 1.0, 0.08, 24);
+    ql::fast_lomb_options opt;
+    opt.ofac = 2.0;
+    opt.macc = 2;
+    const auto wave = ql::make_wavelet_engine(qpsa::wfft::plan::static_pruned(
+        512, qw::basis::haar, qpsa::wfft::twiddle_set::set3));
+    const auto res = ql::fast_lomb(tone.t, tone.x, *wave, opt);
+    const real peak = qpsa::dsp::peak_frequency(res.spectrum, 0.1, 0.45);
+    EXPECT_NEAR(peak, 0.25, 0.02)
+        << "60 % pruning must not destroy the dominant peak";
+}
+
+TEST(FastLombTest, BreakdownCoversAllPhases) {
+    const auto tone = make_tone(100, 0.2, 1.0, 0.05, 25);
+    ql::fast_lomb_options opt;
+    opt.ofac = 2.0;
+    opt.macc = 2;
+    const auto engine = ql::make_split_radix_engine(512);
+    ql::lomb_breakdown bd;
+    (void)ql::fast_lomb(tone.t, tone.x, *engine, opt, &bd);
+    EXPECT_GT(bd.moments.arithmetic(), 0u);
+    EXPECT_GT(bd.extirpolation.arithmetic(), 0u);
+    EXPECT_GT(bd.fft.arithmetic(), 0u);
+    EXPECT_GT(bd.combine.arithmetic(), 0u);
+    EXPECT_GT(bd.combine.sqrts, 0u);
+    // FFT dominates the conventional pipeline (paper Fig. 1(b) premise).
+    EXPECT_GT(bd.fft.arithmetic(), bd.combine.arithmetic());
+}
+
+TEST(FastLombTest, NoutOverrideFixesGridLength) {
+    const auto tone = make_tone(100, 0.2, 1.0, 0.05, 26);
+    ql::fast_lomb_options opt;
+    opt.ofac = 2.0;
+    opt.macc = 2;
+    opt.nout_override = 64;
+    const auto engine = ql::make_split_radix_engine(512);
+    const auto res = ql::fast_lomb(tone.t, tone.x, *engine, opt);
+    EXPECT_EQ(res.spectrum.size(), 64u);
+}
+
+TEST(FastLombTest, ConstantSignalViolatesVarianceContract) {
+    std::vector<real> t(32);
+    std::vector<real> x(32, 1.0);
+    for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<real>(i);
+    const auto engine = ql::make_split_radix_engine(512);
+    EXPECT_THROW(ql::fast_lomb(t, x, *engine, {}), qpsa::contract_error);
+}

@@ -1,0 +1,187 @@
+// Physiological data substrate tests: IPFM generator, patient bank,
+// synthetic ECG and R-peak delineation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qpsa/lomb/lomb_direct.hpp"
+#include "qpsa/physio/ecg_synth.hpp"
+#include "qpsa/physio/ipfm.hpp"
+#include "qpsa/physio/patients.hpp"
+#include "qpsa/physio/rpeak.hpp"
+#include "qpsa/util/stats.hpp"
+
+using qpsa::real;
+namespace qp = qpsa::physio;
+
+TEST(IpfmTest, MeanRateMatchesConfiguredPeriod) {
+    qp::ipfm_params params;
+    params.mean_rr_s = 0.8;
+    params.vlf_sigma = 0.0;
+    params.jitter_sigma = 0.0;
+    qpsa::util::rng rng(1);
+    const auto rec = qp::generate_ipfm(params, 300.0, rng);
+    EXPECT_NEAR(qpsa::util::mean(rec.rr_s), 0.8, 0.02);
+    EXPECT_GT(rec.beats(), 300u);
+}
+
+TEST(IpfmTest, BeatTimesAreStrictlyIncreasing) {
+    qp::ipfm_params params;
+    qpsa::util::rng rng(2);
+    const auto rec = qp::generate_ipfm(params, 200.0, rng);
+    for (std::size_t i = 1; i < rec.beat_time_s.size(); ++i)
+        EXPECT_GT(rec.beat_time_s[i], rec.beat_time_s[i - 1]);
+}
+
+TEST(IpfmTest, RrAndBeatTimesAreConsistent) {
+    qp::ipfm_params params;
+    qpsa::util::rng rng(3);
+    const auto rec = qp::generate_ipfm(params, 120.0, rng);
+    for (std::size_t i = 1; i < rec.beat_time_s.size(); ++i)
+        EXPECT_NEAR(rec.rr_s[i], rec.beat_time_s[i] - rec.beat_time_s[i - 1],
+                    1e-9);
+}
+
+TEST(IpfmTest, ModulationShowsUpAtConfiguredFrequencies) {
+    qp::ipfm_params params;
+    params.mean_rr_s = 0.8;
+    params.f_lf_hz = 0.1;
+    params.a_lf = 0.08;
+    params.f_hf_hz = 0.26;
+    params.a_hf = 0.04;
+    params.vlf_sigma = 0.0;
+    params.jitter_sigma = 0.0;
+    qpsa::util::rng rng(4);
+    const auto rec = qp::generate_ipfm(params, 600.0, rng);
+
+    // Grid must reach past the HF band: df = 1/(span*ofac), so ~1500 bins
+    // cover up to ~0.6 Hz for a 600 s record at ofac = 4.
+    const auto freqs = qpsa::lomb::lomb_frequency_grid(
+        rec.beat_time_s.back() - rec.beat_time_s.front(), 1500, 4.0);
+    const auto spec = qpsa::lomb::lomb_direct(rec.beat_time_s, rec.rr_s, freqs);
+    const real lf_peak = qpsa::dsp::peak_frequency(spec, 0.05, 0.15);
+    const real hf_peak = qpsa::dsp::peak_frequency(spec, 0.18, 0.35);
+    EXPECT_NEAR(lf_peak, 0.1, 0.015);
+    EXPECT_NEAR(hf_peak, 0.26, 0.02);
+}
+
+TEST(IpfmTest, AmplitudeRatioControlsBandRatio) {
+    // HF-dominant parameters must give LF/HF well below 1, LF-dominant
+    // well above -- the ground truth the detection experiments rely on.
+    auto band_ratio = [](real a_lf, real a_hf, std::uint64_t seed) {
+        qp::ipfm_params params;
+        params.a_lf = a_lf;
+        params.a_hf = a_hf;
+        params.vlf_sigma = 0.0;
+        params.jitter_sigma = 0.001;
+        qpsa::util::rng rng(seed);
+        const auto rec = qp::generate_ipfm(params, 600.0, rng);
+        const auto freqs = qpsa::lomb::lomb_frequency_grid(
+            rec.beat_time_s.back() - rec.beat_time_s.front(), 1500, 4.0);
+        const auto spec =
+            qpsa::lomb::lomb_direct(rec.beat_time_s, rec.rr_s, freqs);
+        return qpsa::dsp::band_power(spec, 0.04, 0.15) /
+               qpsa::dsp::band_power(spec, 0.15, 0.4);
+    };
+    EXPECT_LT(band_ratio(0.04, 0.08, 5), 0.8);
+    EXPECT_GT(band_ratio(0.08, 0.03, 6), 2.0);
+}
+
+TEST(PatientBankTest, DeterministicAndDistinct) {
+    const auto p1 = qp::make_patient(qp::cohort::sinus_arrhythmia, 3);
+    const auto p2 = qp::make_patient(qp::cohort::sinus_arrhythmia, 3);
+    const auto p3 = qp::make_patient(qp::cohort::sinus_arrhythmia, 4);
+    EXPECT_EQ(p1.seed, p2.seed);
+    EXPECT_DOUBLE_EQ(p1.params.mean_rr_s, p2.params.mean_rr_s);
+    EXPECT_NE(p1.seed, p3.seed);
+    EXPECT_NE(p1.params.mean_rr_s, p3.params.mean_rr_s);
+}
+
+TEST(PatientBankTest, CohortParameterStructure) {
+    for (unsigned i = 0; i < 16; ++i) {
+        const auto sa = qp::make_patient(qp::cohort::sinus_arrhythmia, i);
+        EXPECT_LT(sa.params.a_lf, sa.params.a_hf)
+            << "arrhythmia cohort is HF-dominant";
+        const auto hc = qp::make_patient(qp::cohort::healthy, i);
+        EXPECT_GT(hc.params.a_lf, hc.params.a_hf)
+            << "healthy cohort is LF-dominant";
+    }
+}
+
+TEST(PatientBankTest, BankSizeAndIds) {
+    const auto bank = qp::patient_bank(16);
+    EXPECT_EQ(bank.size(), 32u);
+    EXPECT_EQ(bank[0].id, "sa00");
+    EXPECT_EQ(bank[16].id, "hc00");
+    // All ids unique.
+    for (std::size_t i = 0; i < bank.size(); ++i)
+        for (std::size_t j = i + 1; j < bank.size(); ++j)
+            EXPECT_NE(bank[i].id, bank[j].id);
+}
+
+TEST(PatientBankTest, RecordsAreReproducible) {
+    const auto p = qp::make_patient(qp::cohort::healthy, 7);
+    const auto r1 = qp::record_for(p, 180.0);
+    const auto r2 = qp::record_for(p, 180.0);
+    ASSERT_EQ(r1.beats(), r2.beats());
+    for (std::size_t i = 0; i < r1.beats(); ++i)
+        EXPECT_DOUBLE_EQ(r1.rr_s[i], r2.rr_s[i]);
+}
+
+TEST(EcgSynthTest, WaveformHasOneQrsPerBeat) {
+    qp::ipfm_params params;
+    params.jitter_sigma = 0.0;
+    qpsa::util::rng rng(8);
+    const auto beats = qp::generate_ipfm(params, 60.0, rng);
+    qp::ecg_options eopt;
+    eopt.noise_sigma = 0.0;
+    eopt.wander_amp = 0.0;
+    qpsa::util::rng rng2(9);
+    const auto ecg = qp::synthesize_ecg(beats, eopt, rng2);
+    EXPECT_EQ(ecg.sample_rate_hz, 250.0);
+    EXPECT_GT(ecg.mv.size(), 10000u);
+    // Peak amplitude near the configured R amplitude.
+    real peak = 0.0;
+    for (real v : ecg.mv) peak = std::max(peak, v);
+    EXPECT_NEAR(peak, 1.0, 0.2);
+}
+
+TEST(RpeakTest, DetectsNearlyAllBeatsOnCleanEcg) {
+    qp::ipfm_params params;
+    params.jitter_sigma = 0.0;
+    qpsa::util::rng rng(10);
+    const auto truth = qp::generate_ipfm(params, 120.0, rng);
+    qp::ecg_options eopt;
+    eopt.noise_sigma = 0.01;
+    qpsa::util::rng rng2(11);
+    const auto ecg = qp::synthesize_ecg(truth, eopt, rng2);
+    const auto detected = qp::detect_rpeaks(ecg);
+    EXPECT_GT(qp::detection_sensitivity(truth, detected), 0.95);
+}
+
+TEST(RpeakTest, RobustToModerateNoise) {
+    qp::ipfm_params params;
+    qpsa::util::rng rng(12);
+    const auto truth = qp::generate_ipfm(params, 120.0, rng);
+    qp::ecg_options eopt;
+    eopt.noise_sigma = 0.05;
+    eopt.wander_amp = 0.15;
+    qpsa::util::rng rng2(13);
+    const auto ecg = qp::synthesize_ecg(truth, eopt, rng2);
+    const auto detected = qp::detect_rpeaks(ecg);
+    EXPECT_GT(qp::detection_sensitivity(truth, detected), 0.85);
+}
+
+TEST(RpeakTest, RrSeriesFromDetectionTracksTruth) {
+    qp::ipfm_params params;
+    params.a_hf = 0.07;
+    qpsa::util::rng rng(14);
+    const auto truth = qp::generate_ipfm(params, 180.0, rng);
+    qp::ecg_options eopt;
+    eopt.noise_sigma = 0.02;
+    qpsa::util::rng rng2(15);
+    const auto ecg = qp::synthesize_ecg(truth, eopt, rng2);
+    const auto detected = qp::detect_rpeaks(ecg);
+    EXPECT_NEAR(qpsa::util::mean(detected.rr_s), qpsa::util::mean(truth.rr_s),
+                0.02);
+}

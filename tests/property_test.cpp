@@ -1,0 +1,253 @@
+// Property-based sweeps and fuzz tests across the configuration space:
+// every valid plan must produce a finite, correct (or bounded-error)
+// transform; pruning must never increase cost; pipelines must never
+// produce non-finite spectra.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qpsa/counting/op_counter.hpp"
+#include "qpsa/dsp/dft.hpp"
+#include "qpsa/energy/node_model.hpp"
+#include "qpsa/lomb/fast_lomb.hpp"
+#include "qpsa/physio/ipfm.hpp"
+#include "qpsa/util/random.hpp"
+#include "qpsa/wfft/wavelet_fft.hpp"
+
+using qpsa::cplx;
+using qpsa::real;
+namespace qf = qpsa::wfft;
+namespace qw = qpsa::wavelet;
+namespace ql = qpsa::lomb;
+namespace qc = qpsa::counting;
+
+namespace {
+
+std::vector<cplx> random_signal(std::size_t n, std::uint64_t seed, bool real_only) {
+    qpsa::util::rng r(seed);
+    std::vector<cplx> x(n);
+    for (auto& v : x)
+        v = cplx{r.uniform(-1, 1), real_only ? 0.0 : r.uniform(-1, 1)};
+    return x;
+}
+
+real max_abs_diff(std::span<const cplx> a, std::span<const cplx> b) {
+    real worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    return worst;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Exactness sweep over the full (basis, tree, fold, real-input, lifting, n)
+// configuration grid: the unpruned factorization is an identity everywhere.
+struct exact_case {
+    qw::basis basis;
+    qf::tree_mode tree;
+    bool fold;
+    bool real_input;
+    bool lifting;
+    std::size_t n;
+};
+
+class WfftConfigSweep : public ::testing::TestWithParam<exact_case> {};
+
+TEST_P(WfftConfigSweep, UnprunedIsExact) {
+    const auto c = GetParam();
+    qf::plan p = qf::plan::exact(c.n, c.basis, c.tree);
+    p.fold_haar_scale = c.fold;
+    p.assume_real_input = c.real_input;
+    p.use_db2_lifting = c.lifting;
+    const qf::wavelet_fft fft(p);
+    const auto x = random_signal(c.n, 77 + c.n, c.real_input);
+    const auto got = fft.forward_copy(x);
+    const auto ref = qpsa::dsp::dft(x);
+    EXPECT_LT(max_abs_diff(got, ref), 1e-8 * static_cast<real>(c.n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WfftConfigSweep,
+    ::testing::Values(
+        exact_case{qw::basis::haar, qf::tree_mode::single_level, true, false, true, 64},
+        exact_case{qw::basis::haar, qf::tree_mode::single_level, false, true, true, 64},
+        exact_case{qw::basis::haar, qf::tree_mode::recursive, true, true, true, 128},
+        exact_case{qw::basis::db2, qf::tree_mode::single_level, true, false, true, 64},
+        exact_case{qw::basis::db2, qf::tree_mode::single_level, true, true, false, 64},
+        exact_case{qw::basis::db2, qf::tree_mode::recursive, true, false, true, 128},
+        exact_case{qw::basis::db3, qf::tree_mode::single_level, true, true, true, 128},
+        exact_case{qw::basis::db4, qf::tree_mode::single_level, true, false, true, 256},
+        exact_case{qw::basis::sym4, qf::tree_mode::single_level, true, true, true, 256}));
+
+// ---------------------------------------------------------------------------
+// Fuzz: random pruning configurations never crash, never produce NaN, and
+// never cost more than the exact transform.
+TEST(WfftFuzzTest, RandomPruneConfigsAreSane) {
+    qpsa::util::rng r(99);
+    const std::size_t n = 128;
+    const auto x = random_signal(n, 5, false);
+
+    qc::op_counts exact_ops;
+    {
+        const qf::wavelet_fft exact(qf::plan::exact(n, qw::basis::haar));
+        qc::count_scope s(exact_ops);
+        (void)exact.forward_copy(x);
+    }
+
+    for (int trial = 0; trial < 60; ++trial) {
+        qf::plan p = qf::plan::exact(n, qw::basis::haar);
+        const int mode = static_cast<int>(r.uniform_int(0, 2));
+        p.prune.mode = mode == 0 ? qf::prune_mode::none
+                       : mode == 1 ? qf::prune_mode::fixed
+                                   : qf::prune_mode::dynamic;
+        p.prune.band_drop_levels =
+            static_cast<unsigned>(r.uniform_int(0, 2));
+        p.prune.twiddle_fraction = r.uniform(0.0, 0.9);
+        p.prune.dynamic_factor_fraction = r.uniform(0.0, 0.5);
+        p.prune.dynamic_band_decision = r.uniform(0.0, 1.0) > 0.5;
+        p.prune.band_threshold = r.uniform(0.0, 2.0);
+        p.prune.data_threshold = r.uniform(0.0, 5.0);
+        const qf::wavelet_fft fft(p);
+
+        qf::exec_stats st;
+        qc::op_counts ops;
+        std::vector<cplx> out(n);
+        {
+            qc::count_scope s(ops);
+            fft.forward(x, out, &st);
+        }
+        for (const auto& v : out) {
+            EXPECT_TRUE(std::isfinite(v.real())) << "trial " << trial;
+            EXPECT_TRUE(std::isfinite(v.imag())) << "trial " << trial;
+        }
+        EXPECT_LE(st.pruned_fraction(), 1.0);
+        if (p.prune.mode != qf::prune_mode::dynamic)
+            EXPECT_LE(ops.arithmetic(), exact_ops.arithmetic())
+                << "static pruning must never add arithmetic";
+    }
+}
+
+// Deeper band-drop levels keep reducing cost.
+TEST(WfftPropertyTest, DeeperBandDropCostsLess) {
+    const std::size_t n = 256;
+    const auto x = random_signal(n, 6, false);
+    std::uint64_t prev = UINT64_MAX;
+    for (unsigned levels = 0; levels <= 3; ++levels) {
+        qf::plan p = qf::plan::exact(n, qw::basis::haar, qf::tree_mode::recursive);
+        p.prune.mode = qf::prune_mode::fixed;
+        p.prune.band_drop_levels = levels;
+        const qf::wavelet_fft fft(p);
+        qc::op_counts ops;
+        {
+            qc::count_scope s(ops);
+            (void)fft.forward_copy(x);
+        }
+        EXPECT_LT(ops.arithmetic(), prev) << "levels=" << levels;
+        prev = ops.arithmetic();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fast-Lomb fuzz: random uneven series in both mesh modes produce finite,
+// non-negative periodograms.
+TEST(LombFuzzTest, RandomSeriesProduceFiniteSpectra) {
+    const auto engine = ql::make_split_radix_engine(512);
+    for (int trial = 0; trial < 25; ++trial) {
+        qpsa::util::rng r(1000 + trial);
+        std::vector<real> t;
+        std::vector<real> x;
+        real now = r.uniform(0.0, 100.0);
+        const std::size_t beats = 40 + static_cast<std::size_t>(r.uniform_int(0, 160));
+        for (std::size_t i = 0; i < beats; ++i) {
+            now += r.uniform(0.4, 1.6);
+            t.push_back(now);
+            x.push_back(r.uniform(0.4, 1.4));
+        }
+        for (const auto mesh :
+             {ql::mesh_mode::lagrange_extirpolation, ql::mesh_mode::staircase_hold}) {
+            ql::fast_lomb_options opt;
+            opt.ofac = mesh == ql::mesh_mode::staircase_hold ? 1.0 : 2.0;
+            opt.macc = 2 + static_cast<int>(r.uniform_int(0, 1)) * 2;
+            opt.mesh = mesh;
+            opt.mesh_size = 512;
+            const auto res = ql::fast_lomb(t, x, *engine, opt);
+            for (real p : res.spectrum.power) {
+                EXPECT_TRUE(std::isfinite(p));
+                EXPECT_GE(p, 0.0);
+            }
+            EXPECT_FALSE(res.spectrum.freq_hz.empty());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IPFM fuzz: every physiologically plausible parameter draw produces a
+// valid record.
+TEST(IpfmFuzzTest, RandomParamsProduceValidRecords) {
+    for (int trial = 0; trial < 20; ++trial) {
+        qpsa::util::rng r(2000 + trial);
+        qpsa::physio::ipfm_params p;
+        p.mean_rr_s = r.uniform(0.5, 1.3);
+        p.f_lf_hz = r.uniform(0.05, 0.14);
+        p.f_hf_hz = r.uniform(0.16, 0.38);
+        p.a_lf = r.uniform(0.0, 0.15);
+        p.a_hf = r.uniform(0.0, 0.15);
+        p.vlf_sigma = r.uniform(0.0, 0.03);
+        p.jitter_sigma = r.uniform(0.0, 0.008);
+        p.hf_drift_fraction = r.uniform(0.0, 0.2);
+        qpsa::util::rng gen(3000 + trial);
+        const auto rec = qpsa::physio::generate_ipfm(p, 200.0, gen);
+        EXPECT_GT(rec.beats(), 100u);
+        for (std::size_t i = 1; i < rec.beat_time_s.size(); ++i)
+            EXPECT_GT(rec.beat_time_s[i], rec.beat_time_s[i - 1]);
+        for (real rr : rec.rr_s) {
+            EXPECT_GT(rr, 0.15);
+            EXPECT_LT(rr, 3.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Energy model properties: energy strictly increases with any op-class
+// increment; VFS savings are bounded by (0, 1).
+TEST(EnergyPropertyTest, EnergyMonotoneInEveryOpClass) {
+    const qpsa::energy::node_model node;
+    qc::op_counts base;
+    base.adds = 1000;
+    base.muls = 500;
+    base.divs = 50;
+    base.sqrts = 20;
+    base.cmps = 100;
+    base.trigs = 10;
+    const real e0 = node.run_nominal(base).energy_j;
+    for (int cls = 0; cls < 6; ++cls) {
+        qc::op_counts bumped = base;
+        switch (cls) {
+            case 0: bumped.adds += 100; break;
+            case 1: bumped.muls += 100; break;
+            case 2: bumped.divs += 100; break;
+            case 3: bumped.sqrts += 100; break;
+            case 4: bumped.cmps += 100; break;
+            case 5: bumped.trigs += 100; break;
+        }
+        EXPECT_GT(node.run_nominal(bumped).energy_j, e0) << "class " << cls;
+    }
+}
+
+TEST(EnergyPropertyTest, VfsSavingsBounded) {
+    const qpsa::energy::node_model node;
+    qpsa::util::rng r(4000);
+    for (int trial = 0; trial < 30; ++trial) {
+        qc::op_counts baseline;
+        baseline.adds = static_cast<std::uint64_t>(r.uniform_int(10000, 2000000));
+        baseline.muls = static_cast<std::uint64_t>(r.uniform_int(1000, 800000));
+        qc::op_counts pruned;
+        const double frac = r.uniform(0.3, 1.0);
+        pruned.adds = static_cast<std::uint64_t>(baseline.adds * frac);
+        pruned.muls = static_cast<std::uint64_t>(baseline.muls * frac);
+        const real s = node.savings_with_vfs(pruned, baseline);
+        EXPECT_GE(s, 0.0);
+        EXPECT_LT(s, 1.0);
+    }
+}

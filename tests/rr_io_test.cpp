@@ -1,0 +1,85 @@
+// RR file I/O tests: format auto-detection, unit heuristics, round trips,
+// and malformed-input handling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "qpsa/physio/patients.hpp"
+#include "qpsa/physio/rr_io.hpp"
+
+using qpsa::real;
+namespace qp = qpsa::physio;
+
+TEST(RrIoTest, SingleColumnSeconds) {
+    std::istringstream in("0.8\n0.85\n0.9\n0.82\n");
+    const auto res = qp::load_rr(in);
+    EXPECT_FALSE(res.was_milliseconds);
+    EXPECT_FALSE(res.had_time_column);
+    ASSERT_EQ(res.record.beats(), 4u);
+    EXPECT_DOUBLE_EQ(res.record.rr_s[0], 0.8);
+    // Beat times are cumulative sums.
+    EXPECT_NEAR(res.record.beat_time_s[1], 1.65, 1e-12);
+    EXPECT_NEAR(res.record.beat_time_s[3], 3.37, 1e-12);
+}
+
+TEST(RrIoTest, SingleColumnMilliseconds) {
+    std::istringstream in("800\n850\n900\n820\n");
+    const auto res = qp::load_rr(in);
+    EXPECT_TRUE(res.was_milliseconds);
+    ASSERT_EQ(res.record.beats(), 4u);
+    EXPECT_NEAR(res.record.rr_s[0], 0.8, 1e-12);
+}
+
+TEST(RrIoTest, TwoColumnWithTimes) {
+    std::istringstream in("# t rr\n10.0 0.8\n10.85 0.85\n11.75, 0.9\n");
+    const auto res = qp::load_rr(in);
+    EXPECT_TRUE(res.had_time_column);
+    ASSERT_EQ(res.record.beats(), 3u);
+    EXPECT_DOUBLE_EQ(res.record.beat_time_s[0], 10.0);
+    EXPECT_DOUBLE_EQ(res.record.rr_s[2], 0.9);
+}
+
+TEST(RrIoTest, SkipsImplausibleAndComments) {
+    std::istringstream in("# header\n0.8\n9.0\n\n0.85\n0.05\n0.9\n");
+    const auto res = qp::load_rr(in);
+    EXPECT_EQ(res.skipped_rows, 2u);  // 9.0 s and 0.05 s are implausible
+    EXPECT_EQ(res.record.beats(), 3u);
+}
+
+TEST(RrIoTest, NonMonotoneTimesSkipped) {
+    std::istringstream in("1.0 0.8\n0.5 0.85\n2.0 0.9\n");
+    const auto res = qp::load_rr(in);
+    EXPECT_EQ(res.skipped_rows, 1u);
+    ASSERT_EQ(res.record.beats(), 2u);
+    EXPECT_DOUBLE_EQ(res.record.beat_time_s[1], 2.0);
+}
+
+TEST(RrIoTest, MalformedRowThrows) {
+    std::istringstream in("0.8\nhello\n0.9\n");
+    EXPECT_THROW(qp::load_rr(in), std::runtime_error);
+}
+
+TEST(RrIoTest, TooFewSamplesThrows) {
+    std::istringstream in("0.8\n");
+    EXPECT_THROW(qp::load_rr(in), std::runtime_error);
+}
+
+TEST(RrIoTest, MissingFileThrows) {
+    EXPECT_THROW(qp::load_rr_file("/nonexistent/path/to/rr.txt"),
+                 std::runtime_error);
+}
+
+TEST(RrIoTest, SaveLoadRoundTrip) {
+    const auto rec = qp::record_for(
+        qp::make_patient(qp::cohort::sinus_arrhythmia, 0), 120.0);
+    std::ostringstream out;
+    qp::save_rr(out, rec);
+    std::istringstream in(out.str());
+    const auto res = qp::load_rr(in);
+    ASSERT_EQ(res.record.beats(), rec.beats());
+    EXPECT_TRUE(res.had_time_column);
+    for (std::size_t i = 0; i < rec.beats(); ++i) {
+        EXPECT_NEAR(res.record.beat_time_s[i], rec.beat_time_s[i], 1e-5);
+        EXPECT_NEAR(res.record.rr_s[i], rec.rr_s[i], 1e-5);
+    }
+}

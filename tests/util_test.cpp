@@ -1,0 +1,176 @@
+// Tests for qpsa/util: statistics, histogram, table, RNG helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "qpsa/util/common.hpp"
+#include "qpsa/util/random.hpp"
+#include "qpsa/util/stats.hpp"
+#include "qpsa/util/table.hpp"
+
+namespace qu = qpsa::util;
+using qpsa::real;
+
+TEST(CommonTest, PowerOfTwoPredicates) {
+    EXPECT_TRUE(qpsa::is_pow2(1));
+    EXPECT_TRUE(qpsa::is_pow2(2));
+    EXPECT_TRUE(qpsa::is_pow2(512));
+    EXPECT_FALSE(qpsa::is_pow2(0));
+    EXPECT_FALSE(qpsa::is_pow2(3));
+    EXPECT_FALSE(qpsa::is_pow2(511));
+}
+
+TEST(CommonTest, Log2Exact) {
+    EXPECT_EQ(qpsa::log2_exact(1), 0u);
+    EXPECT_EQ(qpsa::log2_exact(2), 1u);
+    EXPECT_EQ(qpsa::log2_exact(512), 9u);
+}
+
+TEST(CommonTest, NextPow2) {
+    EXPECT_EQ(qpsa::next_pow2(1), 1u);
+    EXPECT_EQ(qpsa::next_pow2(3), 4u);
+    EXPECT_EQ(qpsa::next_pow2(512), 512u);
+    EXPECT_EQ(qpsa::next_pow2(513), 1024u);
+}
+
+TEST(CommonTest, ModFloorIsNonNegative) {
+    EXPECT_EQ(qpsa::mod_floor(-1, 8), 7);
+    EXPECT_EQ(qpsa::mod_floor(-9, 8), 7);
+    EXPECT_EQ(qpsa::mod_floor(9, 8), 1);
+    EXPECT_EQ(qpsa::mod_floor(0, 8), 0);
+}
+
+TEST(CommonTest, L1Magnitude) {
+    EXPECT_DOUBLE_EQ(qpsa::l1_mag({3.0, -4.0}), 7.0);
+    EXPECT_DOUBLE_EQ(qpsa::sqr_mag({3.0, -4.0}), 25.0);
+}
+
+TEST(CommonTest, ContractViolationThrows) {
+    auto bad = [] { QPSA_EXPECTS(1 == 2); };
+    EXPECT_THROW(bad(), qpsa::contract_error);
+}
+
+TEST(StatsTest, MeanVariance) {
+    const std::vector<real> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(qu::mean(xs), 2.5);
+    EXPECT_DOUBLE_EQ(qu::variance(xs), 1.25);
+    EXPECT_NEAR(qu::sample_variance(xs), 5.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, EmptyMeanViolatesContract) {
+    const std::vector<real> xs;
+    EXPECT_THROW(qu::mean(xs), qpsa::contract_error);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+    const std::vector<real> xs = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(qu::quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(qu::quantile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(qu::quantile(xs, 0.5), 2.5);
+}
+
+TEST(StatsTest, MseAndNrmse) {
+    const std::vector<real> a = {1.0, 2.0};
+    const std::vector<real> b = {2.0, 4.0};
+    EXPECT_DOUBLE_EQ(qu::mse(std::span<const real>(a), std::span<const real>(b)),
+                     (1.0 + 4.0) / 2.0);
+    EXPECT_GT(qu::nrmse(a, b), 0.0);
+    EXPECT_DOUBLE_EQ(qu::nrmse(b, b), 0.0);
+}
+
+TEST(StatsTest, CorrelationOfLinearSeriesIsOne) {
+    const std::vector<real> a = {1.0, 2.0, 3.0, 4.0};
+    const std::vector<real> b = {2.0, 4.0, 6.0, 8.0};
+    EXPECT_NEAR(qu::correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch) {
+    const std::vector<real> xs = {0.3, -1.2, 2.5, 0.0, 4.4, -0.7};
+    qu::running_stats rs;
+    for (real x : xs) rs.add(x);
+    EXPECT_EQ(rs.count(), xs.size());
+    EXPECT_NEAR(rs.mean(), qu::mean(xs), 1e-12);
+    EXPECT_NEAR(rs.variance(), qu::variance(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(rs.min(), -1.2);
+    EXPECT_DOUBLE_EQ(rs.max(), 4.4);
+}
+
+TEST(StatsTest, RunningStatsMerge) {
+    const std::vector<real> xs = {0.3, -1.2, 2.5, 0.0, 4.4, -0.7, 1.1, 9.0};
+    qu::running_stats all;
+    qu::running_stats lo;
+    qu::running_stats hi;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        all.add(xs[i]);
+        (i < 3 ? lo : hi).add(xs[i]);
+    }
+    lo.merge(hi);
+    EXPECT_EQ(lo.count(), all.count());
+    EXPECT_NEAR(lo.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(lo.variance(), all.variance(), 1e-12);
+}
+
+TEST(StatsTest, HistogramBinsAndClamping) {
+    qu::histogram h(0.0, 1.0, 10);
+    h.add(0.05);
+    h.add(0.05);
+    h.add(0.95);
+    h.add(-5.0);  // clamps into bin 0
+    h.add(5.0);   // clamps into bin 9
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.bin_count(0), 3u);
+    EXPECT_EQ(h.bin_count(9), 2u);
+    EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+    EXPECT_NEAR(h.bin_hi(9), 1.0, 1e-12);
+}
+
+TEST(TableTest, RendersAlignedRows) {
+    qu::table t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"beta", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("beta"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, RowArityIsChecked) {
+    qu::table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), qpsa::contract_error);
+}
+
+TEST(TableTest, Formatters) {
+    EXPECT_EQ(qu::table::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(qu::table::fmt_int(42), "42");
+    EXPECT_EQ(qu::table::fmt_pct(0.515, 1), "51.5%");
+}
+
+TEST(RandomTest, DeterministicForSameSeed) {
+    qu::rng a(42);
+    qu::rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(RandomTest, GaussianMomentsRoughlyCorrect) {
+    qu::rng r(7);
+    const auto xs = qu::gaussian_vector(r, 20000, 2.0);
+    EXPECT_NEAR(qu::mean(xs), 0.0, 0.1);
+    EXPECT_NEAR(qu::stddev(xs), 2.0, 0.1);
+}
+
+TEST(RandomTest, DriftNoiseHasRequestedScale) {
+    qu::rng r(11);
+    const auto xs = qu::drift_noise(r, 4000, 1.0, 0.004, 0.03, 0.05);
+    // Sinusoid-sum construction: RMS should match sigma within ~30 %.
+    EXPECT_NEAR(qu::rms(xs), 0.05, 0.02);
+}
+
+TEST(RandomTest, UniformVectorInRange) {
+    qu::rng r(3);
+    const auto xs = qu::uniform_vector(r, 1000, -2.0, 3.0);
+    EXPECT_GE(qu::min_value(xs), -2.0);
+    EXPECT_LT(qu::max_value(xs), 3.0);
+}

@@ -1,0 +1,259 @@
+// Wavelet library tests: filter properties, DWT correctness, perfect
+// reconstruction, packet tree, matrix form, lifting equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qpsa/util/random.hpp"
+#include "qpsa/wavelet/dwt.hpp"
+#include "qpsa/wavelet/filters.hpp"
+#include "qpsa/wavelet/lifting.hpp"
+#include "qpsa/wavelet/packet.hpp"
+#include "qpsa/wavelet/wavelet_matrix.hpp"
+
+using qpsa::real;
+namespace qw = qpsa::wavelet;
+
+namespace {
+std::vector<real> random_vec(std::size_t n, std::uint64_t seed) {
+    qpsa::util::rng r(seed);
+    std::vector<real> x(n);
+    for (auto& v : x) v = r.uniform(-1.0, 1.0);
+    return x;
+}
+}  // namespace
+
+class BasisTest : public ::testing::TestWithParam<qw::basis> {};
+
+TEST_P(BasisTest, LowpassSumsToSqrt2) {
+    const auto h = qw::lowpass(GetParam());
+    real sum = 0.0;
+    for (real v : h) sum += v;
+    EXPECT_NEAR(sum, qpsa::sqrt2, 1e-10);
+}
+
+TEST_P(BasisTest, UnitEnergyFilters) {
+    const auto& fb = qw::filters(GetParam());
+    real eh = 0.0;
+    real eg = 0.0;
+    for (real v : fb.lowpass) eh += v * v;
+    for (real v : fb.highpass) eg += v * v;
+    EXPECT_NEAR(eh, 1.0, 1e-10);
+    EXPECT_NEAR(eg, 1.0, 1e-10);
+}
+
+TEST_P(BasisTest, HighpassSumsToZero) {
+    const auto g = qw::highpass(GetParam());
+    real sum = 0.0;
+    for (real v : g) sum += v;
+    EXPECT_NEAR(sum, 0.0, 1e-10);
+}
+
+TEST_P(BasisTest, ShiftOrthogonality) {
+    // sum_n h[n] h[n+2m] = delta_m and cross-orthogonality with g.
+    const auto& fb = qw::filters(GetParam());
+    const auto len = static_cast<std::ptrdiff_t>(fb.length());
+    for (std::ptrdiff_t m = 0; 2 * m < len; ++m) {
+        real hh = 0.0;
+        real hg = 0.0;
+        for (std::ptrdiff_t n = 0; n + 2 * m < len; ++n) {
+            hh += fb.lowpass[static_cast<std::size_t>(n)] *
+                  fb.lowpass[static_cast<std::size_t>(n + 2 * m)];
+            hg += fb.lowpass[static_cast<std::size_t>(n)] *
+                  fb.highpass[static_cast<std::size_t>(n + 2 * m)];
+        }
+        EXPECT_NEAR(hh, m == 0 ? 1.0 : 0.0, 1e-10);
+        if (m == 0) EXPECT_NEAR(hg, 0.0, 1e-10);
+    }
+}
+
+TEST_P(BasisTest, AnalysisMatrixIsOrthogonal) {
+    const auto m = qw::analysis_matrix(GetParam(), 32);
+    const auto prod = qw::multiply(m, qw::transpose(m));
+    EXPECT_LT(qw::max_deviation_from_identity(prod), 1e-10);
+}
+
+TEST_P(BasisTest, MatrixAndFilterBankAgree) {
+    const std::size_t n = 64;
+    const auto x = random_vec(n, 21);
+    const auto m = qw::analysis_matrix(GetParam(), n);
+    const auto y_mat = qw::apply(m, std::span<const real>(x));
+    std::vector<real> a(n / 2);
+    std::vector<real> d(n / 2);
+    qw::dwt_level(std::span<const real>(x), GetParam(), a, d);
+    for (std::size_t i = 0; i < n / 2; ++i) {
+        EXPECT_NEAR(y_mat[i], a[i], 1e-10);
+        EXPECT_NEAR(y_mat[i + n / 2], d[i], 1e-10);
+    }
+}
+
+TEST_P(BasisTest, SingleLevelPerfectReconstruction) {
+    const std::size_t n = 64;
+    const auto x = random_vec(n, 22);
+    std::vector<real> a(n / 2);
+    std::vector<real> d(n / 2);
+    qw::dwt_level(std::span<const real>(x), GetParam(), a, d);
+    std::vector<real> back(n);
+    qw::idwt_level(a, d, GetParam(), back);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], x[i], 1e-10);
+}
+
+TEST_P(BasisTest, MultiLevelPerfectReconstruction) {
+    const std::size_t n = 128;
+    const auto x = random_vec(n, 23);
+    const auto r = qw::dwt(std::span<const real>(x), GetParam(), 3);
+    EXPECT_EQ(r.coeffs.size(), n);
+    const auto back = qw::idwt(r, GetParam());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
+}
+
+TEST_P(BasisTest, EnergyPreservedAcrossDwt) {
+    const std::size_t n = 128;
+    const auto x = random_vec(n, 24);
+    const auto r = qw::dwt(std::span<const real>(x), GetParam(), 2);
+    real ex = 0.0;
+    real ec = 0.0;
+    for (real v : x) ex += v * v;
+    for (real v : r.coeffs) ec += v * v;
+    EXPECT_NEAR(ec, ex, 1e-9 * ex);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBases, BasisTest,
+                         ::testing::Values(qw::basis::haar, qw::basis::db2,
+                                           qw::basis::db3, qw::basis::db4,
+                                           qw::basis::sym4));
+
+TEST(WaveletTest, HaarKnownDecomposition) {
+    const std::vector<real> x = {1.0, 3.0, 5.0, 7.0};
+    std::vector<real> a(2);
+    std::vector<real> d(2);
+    qw::dwt_level(std::span<const real>(x), qw::basis::haar, a, d);
+    EXPECT_NEAR(a[0], (1.0 + 3.0) * qpsa::inv_sqrt2, 1e-12);
+    EXPECT_NEAR(a[1], (5.0 + 7.0) * qpsa::inv_sqrt2, 1e-12);
+    // Haar highpass g = {1/sqrt2, -1/sqrt2} from g[n] = (-1)^n h[L-1-n].
+    EXPECT_NEAR(d[0], (1.0 - 3.0) * qpsa::inv_sqrt2, 1e-12);
+    EXPECT_NEAR(d[1], (5.0 - 7.0) * qpsa::inv_sqrt2, 1e-12);
+}
+
+TEST(WaveletTest, SmoothSignalConcentratesInApproximation) {
+    // A smooth low-frequency signal must put almost all energy into the
+    // approximation band -- the paper's premise for pruning.
+    std::vector<real> x(256);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = std::sin(qpsa::two_pi * 3.0 * static_cast<real>(i) / 256.0);
+    const auto r = qw::dwt(std::span<const real>(x), qw::basis::haar, 1);
+    EXPECT_GT(qw::approx_energy_fraction(r), 0.99);
+}
+
+TEST(WaveletTest, DetailBandLayout) {
+    const std::size_t n = 64;
+    const auto x = random_vec(n, 25);
+    const auto r = qw::dwt(std::span<const real>(x), qw::basis::haar, 3);
+    EXPECT_EQ(r.approx().size(), n / 8);
+    EXPECT_EQ(r.detail(3).size(), n / 8);
+    EXPECT_EQ(r.detail(2).size(), n / 4);
+    EXPECT_EQ(r.detail(1).size(), n / 2);
+}
+
+TEST(WaveletTest, PacketTreeBandCountsAndSizes) {
+    const auto x = random_vec(64, 26);
+    const auto levels = qw::wavelet_packet(std::span<const real>(x),
+                                           qw::basis::db2, 3);
+    ASSERT_EQ(levels.size(), 3u);
+    EXPECT_EQ(levels[0].bands.size(), 2u);
+    EXPECT_EQ(levels[1].bands.size(), 4u);
+    EXPECT_EQ(levels[2].bands.size(), 8u);
+    EXPECT_EQ(levels[2].bands[0].size(), 8u);
+}
+
+TEST(WaveletTest, PacketTreePreservesEnergy) {
+    const auto x = random_vec(64, 27);
+    const auto levels =
+        qw::wavelet_packet(std::span<const real>(x), qw::basis::db4, 2);
+    real ex = 0.0;
+    for (real v : x) ex += v * v;
+    real ep = 0.0;
+    for (const auto& band : levels.back().bands)
+        for (real v : band) ep += v * v;
+    EXPECT_NEAR(ep, ex, 1e-9 * ex);
+}
+
+TEST(WaveletTest, BandMeanAbsOrdersLowpassFirst) {
+    // Smooth input: first (lowpass) band mean-|.| far exceeds the rest.
+    std::vector<real> x(128);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = 1.0 + 0.2 * std::sin(qpsa::two_pi * 2.0 * i / 128.0);
+    const auto levels =
+        qw::wavelet_packet(std::span<const real>(x), qw::basis::haar, 1);
+    const auto mags = qw::band_mean_abs(levels[0]);
+    ASSERT_EQ(mags.size(), 2u);
+    EXPECT_GT(mags[0], 20.0 * mags[1]);
+}
+
+TEST(LiftingTest, Db2LiftingMatchesConvolutionUpToShift) {
+    const std::size_t n = 64;
+    const auto x = random_vec(n, 28);
+    std::vector<real> a_ref(n / 2);
+    std::vector<real> d_ref(n / 2);
+    qw::dwt_level(std::span<const real>(x), qw::basis::db2, a_ref, d_ref);
+
+    std::vector<real> a_lift(n / 2);
+    std::vector<real> d_lift(n / 2);
+    qw::lifting_db2_analysis(x, a_lift, d_lift);
+
+    // The lifting factorization produces the same subbands up to a fixed
+    // per-band circular shift and sign (both are valid orthogonal DWT
+    // conventions).  Find the alignment of each band independently.
+    auto find_alignment = [n](const std::vector<real>& got,
+                              const std::vector<real>& ref) {
+        for (const real sign : {1.0, -1.0}) {
+            for (std::size_t s = 0; s < n / 2; ++s) {
+                real worst = 0.0;
+                for (std::size_t k = 0; k < n / 2; ++k) {
+                    const std::size_t j = (k + s) % (n / 2);
+                    worst = std::max(worst, std::abs(got[k] - sign * ref[j]));
+                }
+                if (worst < 1e-9) return true;
+            }
+        }
+        return false;
+    };
+    EXPECT_TRUE(find_alignment(a_lift, a_ref))
+        << "approximation bands do not align";
+    EXPECT_TRUE(find_alignment(d_lift, d_ref)) << "detail bands do not align";
+}
+
+TEST(LiftingTest, PerfectReconstruction) {
+    const std::size_t n = 64;
+    const auto x = random_vec(n, 29);
+    std::vector<real> a(n / 2);
+    std::vector<real> d(n / 2);
+    qw::lifting_db2_analysis(x, a, d);
+    std::vector<real> back(n);
+    qw::lifting_db2_synthesis(a, d, back);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], x[i], 1e-10);
+}
+
+TEST(LiftingTest, CostAdvantageOverConvolution) {
+    const auto lift = qw::db2_lifting_cost();
+    const auto conv = qw::db2_convolution_cost();
+    EXPECT_LT(lift.muls, conv.muls);
+    EXPECT_LT(lift.adds, conv.adds);
+}
+
+TEST(FiltersTest, ParseRoundTrip) {
+    for (const auto b : qw::all_bases())
+        EXPECT_EQ(qw::parse_basis(qw::basis_name(b)), b);
+    EXPECT_EQ(qw::parse_basis("db1"), qw::basis::haar);
+    EXPECT_THROW(qw::parse_basis("db17"), std::invalid_argument);
+}
+
+TEST(FiltersTest, QmfHighpassDefinition) {
+    const std::vector<real> h = {0.1, 0.2, 0.3, 0.4};
+    const auto g = qw::qmf_highpass(h);
+    ASSERT_EQ(g.size(), 4u);
+    EXPECT_DOUBLE_EQ(g[0], 0.4);
+    EXPECT_DOUBLE_EQ(g[1], -0.3);
+    EXPECT_DOUBLE_EQ(g[2], 0.2);
+    EXPECT_DOUBLE_EQ(g[3], -0.1);
+}

@@ -1,0 +1,178 @@
+// Welch-Lomb segmentation tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qpsa/lomb/welch_lomb.hpp"
+#include "qpsa/util/random.hpp"
+
+using qpsa::real;
+namespace ql = qpsa::lomb;
+
+namespace {
+
+/// Long uneven record with a known tone in the RR series.
+struct record {
+    std::vector<real> t;
+    std::vector<real> rr;
+};
+
+record make_record(real duration_s, real f_hz, real amp, std::uint64_t seed) {
+    qpsa::util::rng r(seed);
+    record out;
+    real t = 0.0;
+    while (t < duration_s) {
+        const real rr =
+            0.85 + amp * std::sin(qpsa::two_pi * f_hz * t) + r.gaussian(0.005);
+        t += rr;
+        out.t.push_back(t);
+        out.rr.push_back(rr);
+    }
+    return out;
+}
+
+ql::welch_options default_options() {
+    ql::welch_options opt;
+    opt.window_seconds = 120.0;
+    opt.overlap = 0.5;
+    opt.lomb.ofac = 2.0;
+    opt.lomb.macc = 2;
+    opt.lomb.mesh_size = 512;
+    return opt;
+}
+
+}  // namespace
+
+TEST(WelchTest, SegmentCountMatchesOverlap) {
+    const auto rec = make_record(600.0, 0.2, 0.05, 1);
+    const auto engine = ql::make_split_radix_engine(512);
+    const auto res = ql::welch_lomb(rec.t, rec.rr, *engine, default_options());
+    // 600 s record, 120 s windows, 60 s hop: floor((600-120)/60)+1 = 9
+    // (the last partial window is dropped).
+    EXPECT_GE(res.segments_used, 7u);
+    EXPECT_LE(res.segments_used, 9u);
+    EXPECT_EQ(res.segments.size(), res.segments_used);
+    EXPECT_EQ(res.segment_start.size(), res.segments_used);
+}
+
+TEST(WelchTest, AllSegmentsShareTheGrid) {
+    const auto rec = make_record(600.0, 0.25, 0.05, 2);
+    const auto engine = ql::make_split_radix_engine(512);
+    const auto res = ql::welch_lomb(rec.t, rec.rr, *engine, default_options());
+    for (const auto& seg : res.segments) {
+        ASSERT_EQ(seg.freq_hz.size(), res.averaged.freq_hz.size());
+        for (std::size_t i = 0; i < seg.freq_hz.size(); ++i)
+            EXPECT_DOUBLE_EQ(seg.freq_hz[i], res.averaged.freq_hz[i]);
+    }
+}
+
+TEST(WelchTest, AveragedSpectrumIsMeanOfSegments) {
+    const auto rec = make_record(480.0, 0.22, 0.05, 3);
+    const auto engine = ql::make_split_radix_engine(512);
+    const auto res = ql::welch_lomb(rec.t, rec.rr, *engine, default_options());
+    for (std::size_t i = 0; i < res.averaged.power.size(); ++i) {
+        real acc = 0.0;
+        for (const auto& seg : res.segments) acc += seg.power[i];
+        acc /= static_cast<real>(res.segments.size());
+        EXPECT_NEAR(res.averaged.power[i], acc, 1e-9 * (1.0 + acc));
+    }
+}
+
+TEST(WelchTest, RecoversModulationTone) {
+    const auto rec = make_record(900.0, 0.24, 0.06, 4);
+    const auto engine = ql::make_split_radix_engine(512);
+    const auto res = ql::welch_lomb(rec.t, rec.rr, *engine, default_options());
+    const real peak = qpsa::dsp::peak_frequency(res.averaged, 0.1, 0.4);
+    EXPECT_NEAR(peak, 0.24, 0.02);
+}
+
+TEST(WelchTest, AveragingReducesVariance) {
+    // With more segments, the spectral estimate of a noisy record gets
+    // smoother: compare the power variability in a tone-free band.
+    const auto rec_long = make_record(1800.0, 0.24, 0.05, 5);
+    const auto engine = ql::make_split_radix_engine(512);
+
+    auto opt = default_options();
+    const auto res_long = ql::welch_lomb(rec_long.t, rec_long.rr, *engine, opt);
+
+    // Single-segment estimate from the first ~140 s (enough margin for one
+    // full 120 s window regardless of where the last beat falls).
+    std::vector<real> t1;
+    std::vector<real> rr1;
+    for (std::size_t i = 0; i < rec_long.t.size() && rec_long.t[i] < 140.0; ++i) {
+        t1.push_back(rec_long.t[i]);
+        rr1.push_back(rec_long.rr[i]);
+    }
+    const auto res_one = ql::welch_lomb(t1, rr1, *engine, opt);
+    ASSERT_EQ(res_one.segments_used, 1u);
+
+    auto noise_variability = [](const qpsa::dsp::sampled_spectrum& s) {
+        // Coefficient of variation over 0.3-0.45 Hz (away from the tone).
+        std::vector<real> vals;
+        for (std::size_t i = 0; i < s.size(); ++i)
+            if (s.freq_hz[i] > 0.3 && s.freq_hz[i] < 0.45)
+                vals.push_back(s.power[i]);
+        real m = 0.0;
+        for (real v : vals) m += v;
+        m /= static_cast<real>(vals.size());
+        real var = 0.0;
+        for (real v : vals) var += (v - m) * (v - m);
+        var /= static_cast<real>(vals.size());
+        return std::sqrt(var) / m;
+    };
+    EXPECT_LT(noise_variability(res_long.averaged),
+              noise_variability(res_one.averaged));
+}
+
+TEST(WelchTest, TimeFrequencyTracksDriftingTone) {
+    // Tone drifts from 0.2 to 0.3 Hz across the record; early segments
+    // peak low, late segments peak high.
+    qpsa::util::rng r(6);
+    std::vector<real> t;
+    std::vector<real> rr;
+    real now = 0.0;
+    const real dur = 900.0;
+    while (now < dur) {
+        const real f = 0.2 + 0.1 * (now / dur);
+        const real v = 0.85 + 0.06 * std::sin(qpsa::two_pi * f * now) +
+                       r.gaussian(0.004);
+        now += v;
+        t.push_back(now);
+        rr.push_back(v);
+    }
+    const auto engine = ql::make_split_radix_engine(512);
+    const auto res = ql::welch_lomb(t, rr, *engine, default_options());
+    ASSERT_GE(res.segments.size(), 4u);
+    const real early = qpsa::dsp::peak_frequency(res.segments.front(), 0.1, 0.45);
+    const real late = qpsa::dsp::peak_frequency(res.segments.back(), 0.1, 0.45);
+    EXPECT_LT(early, late);
+}
+
+TEST(WelchTest, OpsAccumulateAcrossSegments) {
+    const auto rec = make_record(600.0, 0.2, 0.05, 7);
+    const auto engine = ql::make_split_radix_engine(512);
+    const auto res = ql::welch_lomb(rec.t, rec.rr, *engine, default_options());
+    // Each segment runs two 512 FFTs: at least segments * 2 * 15368 ops.
+    EXPECT_GE(res.ops.fft.arithmetic(),
+              res.segments_used * 2ull * 15000ull);
+}
+
+TEST(WelchTest, ShortRecordViolatesContract) {
+    const auto rec = make_record(60.0, 0.2, 0.05, 8);  // shorter than window
+    const auto engine = ql::make_split_radix_engine(512);
+    EXPECT_THROW(ql::welch_lomb(rec.t, rec.rr, *engine, default_options()),
+                 qpsa::contract_error);
+}
+
+TEST(WelchTest, TaperChoiceChangesLeakageNotPeak) {
+    const auto rec = make_record(900.0, 0.25, 0.06, 9);
+    const auto engine = ql::make_split_radix_engine(512);
+    auto opt_rect = default_options();
+    opt_rect.taper = qpsa::dsp::window_kind::rectangular;
+    auto opt_hann = default_options();
+    opt_hann.taper = qpsa::dsp::window_kind::hann;
+    const auto r_rect = ql::welch_lomb(rec.t, rec.rr, *engine, opt_rect);
+    const auto r_hann = ql::welch_lomb(rec.t, rec.rr, *engine, opt_hann);
+    EXPECT_NEAR(qpsa::dsp::peak_frequency(r_rect.averaged, 0.1, 0.4),
+                qpsa::dsp::peak_frequency(r_hann.averaged, 0.1, 0.4), 0.02);
+}

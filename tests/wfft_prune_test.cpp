@@ -1,0 +1,339 @@
+// Pruning behaviour of the wavelet FFT: band drop, twiddle sets, static
+// vs dynamic thresholds, calibration, and the monotone quality/complexity
+// trade-off the paper's design flow relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qpsa/counting/op_counter.hpp"
+#include "qpsa/dsp/dft.hpp"
+#include "qpsa/util/random.hpp"
+#include "qpsa/util/stats.hpp"
+#include "qpsa/wfft/calibration.hpp"
+#include "qpsa/wfft/wavelet_fft.hpp"
+
+using qpsa::cplx;
+using qpsa::real;
+namespace qw = qpsa::wavelet;
+namespace qf = qpsa::wfft;
+namespace qc = qpsa::counting;
+
+namespace {
+
+/// Smooth-ish test signal (what RR meshes look like): a few low-frequency
+/// tones + small noise, as a complex vector.
+std::vector<cplx> smooth_signal(std::size_t n, std::uint64_t seed) {
+    qpsa::util::rng r(seed);
+    std::vector<cplx> x(n);
+    const real f1 = r.uniform(1.5, 4.0);
+    const real f2 = r.uniform(5.0, 9.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const real u = static_cast<real>(i) / static_cast<real>(n);
+        x[i] = cplx{std::sin(qpsa::two_pi * f1 * u) +
+                        0.4 * std::sin(qpsa::two_pi * f2 * u) +
+                        r.gaussian(0.02),
+                    0.0};
+    }
+    return x;
+}
+
+real rel_error(std::span<const cplx> approx, std::span<const cplx> exact) {
+    real num = 0.0;
+    real den = 0.0;
+    for (std::size_t i = 0; i < approx.size(); ++i) {
+        num += qpsa::sqr_mag(approx[i] - exact[i]);
+        den += qpsa::sqr_mag(exact[i]);
+    }
+    return std::sqrt(num / den);
+}
+
+std::uint64_t count_ops(const qf::wavelet_fft& fft, std::span<const cplx> x) {
+    qc::op_counts ops;
+    {
+        qc::count_scope s(ops);
+        (void)fft.forward_copy(x);
+    }
+    return ops.arithmetic();
+}
+
+}  // namespace
+
+TEST(PruneConfigTest, FactoriesSetExpectedFields) {
+    const auto s = qf::prune_config::static_mode(qf::twiddle_set::set2);
+    EXPECT_EQ(s.mode, qf::prune_mode::fixed);
+    EXPECT_EQ(s.band_drop_levels, 1u);
+    EXPECT_DOUBLE_EQ(s.twiddle_fraction, 0.40);
+
+    const auto d = qf::prune_config::dynamic_mode(qf::twiddle_set::set3, 0.5, 0.1);
+    EXPECT_EQ(d.mode, qf::prune_mode::dynamic);
+    EXPECT_TRUE(d.dynamic_band_decision);
+    EXPECT_DOUBLE_EQ(d.data_threshold, 0.5);
+    EXPECT_DOUBLE_EQ(d.band_threshold, 0.1);
+    EXPECT_LT(d.dynamic_factor_fraction, qf::set_fraction(qf::twiddle_set::set3));
+}
+
+TEST(PruneConfigTest, SetFractions) {
+    EXPECT_DOUBLE_EQ(qf::set_fraction(qf::twiddle_set::none), 0.0);
+    EXPECT_DOUBLE_EQ(qf::set_fraction(qf::twiddle_set::set1), 0.2);
+    EXPECT_DOUBLE_EQ(qf::set_fraction(qf::twiddle_set::set2), 0.4);
+    EXPECT_DOUBLE_EQ(qf::set_fraction(qf::twiddle_set::set3), 0.6);
+}
+
+TEST(PruneConfigTest, MagnitudeThresholdQuantile) {
+    const std::vector<real> mags = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                    0.6, 0.7, 0.8, 0.9, 1.0};
+    EXPECT_LT(qf::magnitude_threshold(mags, 0.0), 0.0);  // prune nothing
+    const real thr = qf::magnitude_threshold(mags, 0.4);
+    std::size_t below = 0;
+    for (real m : mags)
+        if (m <= thr) ++below;
+    EXPECT_NEAR(static_cast<double>(below) / 10.0, 0.4, 0.11);
+}
+
+TEST(BandDropTest, SavesOpsAndKeepsSmallError) {
+    const std::size_t n = 256;
+    const auto x = smooth_signal(n, 70);
+    const qf::wavelet_fft exact(qf::plan::exact(n, qw::basis::haar));
+    const qf::wavelet_fft dropped(qf::plan::band_dropped(n, qw::basis::haar));
+
+    const auto y_exact = exact.forward_copy(x);
+    qf::exec_stats st;
+    const auto y_drop = dropped.forward_copy(x, &st);
+    EXPECT_TRUE(st.band_dropped);
+
+    EXPECT_LT(count_ops(dropped, x), count_ops(exact, x));
+    // Smooth signal: dropping the near-zero detail band distorts little.
+    EXPECT_LT(rel_error(y_drop, y_exact), 0.12);
+}
+
+TEST(BandDropTest, BandDropIsExactForPerfectlySmoothInput) {
+    // Constant input has an exactly zero Haar detail band; dropping it
+    // must not change the transform at all.
+    const std::size_t n = 64;
+    std::vector<cplx> x(n, cplx{1.0, 0.5});
+    const qf::wavelet_fft exact(qf::plan::exact(n, qw::basis::haar));
+    const qf::wavelet_fft dropped(qf::plan::band_dropped(n, qw::basis::haar));
+    const auto y0 = exact.forward_copy(x);
+    const auto y1 = dropped.forward_copy(x);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_LT(std::abs(y0[i] - y1[i]), 1e-9);
+}
+
+class TwiddleSetTest : public ::testing::TestWithParam<qf::twiddle_set> {};
+
+TEST_P(TwiddleSetTest, PrunedFractionTracksSet) {
+    const std::size_t n = 512;
+    const auto x = smooth_signal(n, 71);
+    const qf::wavelet_fft fft(
+        qf::plan::static_pruned(n, qw::basis::haar, GetParam()));
+    qf::exec_stats st;
+    (void)fft.forward_copy(x, &st);
+    // Band dropped -> only A/C terms counted; pruned fraction should be
+    // within a few points of the set fraction (quantile granularity).
+    EXPECT_NEAR(st.pruned_fraction(), qf::set_fraction(GetParam()), 0.06);
+}
+
+TEST_P(TwiddleSetTest, MoreOpsSavedThanBandDropAlone) {
+    const std::size_t n = 512;
+    const auto x = smooth_signal(n, 72);
+    const qf::wavelet_fft dropped(qf::plan::band_dropped(n, qw::basis::haar));
+    const qf::wavelet_fft pruned(
+        qf::plan::static_pruned(n, qw::basis::haar, GetParam()));
+    EXPECT_LT(count_ops(pruned, x), count_ops(dropped, x));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sets, TwiddleSetTest,
+                         ::testing::Values(qf::twiddle_set::set1,
+                                           qf::twiddle_set::set2,
+                                           qf::twiddle_set::set3));
+
+TEST(PruneMonotonicityTest, OpsMonotoneAndErrorsBounded) {
+    // Operation counts must fall monotonically with deeper pruning.  The
+    // error is NOT strictly monotone: after the band drop, the bins whose
+    // exact value was dominated by the dropped detail term contain mostly
+    // residual garbage, and zeroing them (what set pruning does) can
+    // *reduce* the error -- consistent with the paper's Table I where
+    // Set1 shows the same ratio as the band drop alone.
+    const std::size_t n = 512;
+    std::vector<real> errors;
+    std::vector<std::uint64_t> ops;
+    const auto x = smooth_signal(n, 73);
+    const qf::wavelet_fft exact(qf::plan::exact(n, qw::basis::haar));
+    const auto y_exact = exact.forward_copy(x);
+    for (const auto set :
+         {qf::twiddle_set::none, qf::twiddle_set::set1, qf::twiddle_set::set2,
+          qf::twiddle_set::set3}) {
+        const qf::wavelet_fft fft(qf::plan::static_pruned(n, qw::basis::haar, set));
+        errors.push_back(rel_error(fft.forward_copy(x), y_exact));
+        ops.push_back(count_ops(fft, x));
+    }
+    for (std::size_t i = 1; i < ops.size(); ++i) EXPECT_LT(ops[i], ops[i - 1]);
+    for (const real e : errors) {
+        EXPECT_GT(e, 0.0);
+        EXPECT_LT(e, 0.35) << "pruning must keep the bulk of the spectrum";
+    }
+}
+
+TEST(DynamicPruneTest, DynamicMatchesStaticOnTypicalInputs) {
+    // At equal pruned-op fractions on typical (smooth) inputs, run-time
+    // product pruning tracks the distortion of design-time factor pruning
+    // closely.  (Static can even edge ahead on such inputs because its
+    // pruned bins are exactly those whose band-drop residual favours
+    // zeroing -- see OpsMonotoneAndErrorsBounded.)  Dynamic pruning's
+    // advantage is adaptivity, tested separately on atypical inputs.
+    const std::size_t n = 512;
+    std::vector<std::vector<cplx>> train;
+    for (int i = 0; i < 12; ++i) train.push_back(smooth_signal(n, 80 + i));
+
+    const qf::plan exact_plan = qf::plan::exact(n, qw::basis::haar);
+    const auto cal = qf::calibrate(exact_plan, train);
+
+    qf::plan dyn = qf::plan::dynamic_pruned(n, qw::basis::haar,
+                                            qf::twiddle_set::set3, 0.0,
+                                            cal.band_threshold);
+    dyn.prune.dynamic_band_decision = false;  // static drop, like `stat`
+    dyn.prune.data_threshold = qf::tune_data_threshold(
+        dyn, qf::set_fraction(qf::twiddle_set::set3), train, cal);
+
+    const qf::plan stat =
+        qf::plan::static_pruned(n, qw::basis::haar, qf::twiddle_set::set3);
+
+    const qf::wavelet_fft f_exact(exact_plan);
+    const qf::wavelet_fft f_dyn(dyn);
+    const qf::wavelet_fft f_stat(stat);
+
+    real err_dyn = 0.0;
+    real err_stat = 0.0;
+    double frac_dyn = 0.0;
+    double frac_stat = 0.0;
+    for (const auto& x : train) {
+        const auto ref = f_exact.forward_copy(x);
+        qf::exec_stats sd;
+        qf::exec_stats ss;
+        err_dyn += rel_error(f_dyn.forward_copy(x, &sd), ref);
+        err_stat += rel_error(f_stat.forward_copy(x, &ss), ref);
+        frac_dyn += sd.pruned_fraction();
+        frac_stat += ss.pruned_fraction();
+    }
+    const auto m = static_cast<real>(train.size());
+    // Comparable savings...
+    EXPECT_NEAR(frac_dyn / m, frac_stat / m, 0.08);
+    // ...with comparable distortion on typical inputs.
+    EXPECT_LT(err_dyn / m, 1.6 * err_stat / m);
+}
+
+TEST(DynamicPruneTest, DynamicProtectsAtypicalInputs) {
+    // The paper's "fine-grained approximations on a sample by sample
+    // case": a window with a genuinely busy detail band blindsides the
+    // static configuration (which drops the band unconditionally), while
+    // the dynamic mode keeps it and bounds the distortion.
+    const std::size_t n = 512;
+    std::vector<std::vector<cplx>> train;
+    for (int i = 0; i < 8; ++i) train.push_back(smooth_signal(n, 130 + i));
+    const qf::plan exact_plan = qf::plan::exact(n, qw::basis::haar);
+    const auto cal = qf::calibrate(exact_plan, train);
+
+    // Atypical input: strong near-Nyquist content.
+    std::vector<cplx> busy = smooth_signal(n, 140);
+    for (std::size_t i = 0; i < n; ++i)
+        busy[i] += cplx{0.8 * ((i % 2 == 0) ? 1.0 : -1.0), 0.0};
+
+    const qf::wavelet_fft f_exact(exact_plan);
+    const qf::wavelet_fft f_stat(
+        qf::plan::static_pruned(n, qw::basis::haar, qf::twiddle_set::set1));
+    qf::plan dyn = qf::plan::dynamic_pruned(n, qw::basis::haar,
+                                            qf::twiddle_set::set1, 0.0,
+                                            cal.band_threshold);
+    dyn.prune.data_threshold = cal.data_threshold_for(0.2);
+    const qf::wavelet_fft f_dyn(dyn);
+
+    const auto ref = f_exact.forward_copy(busy);
+    qf::exec_stats sd;
+    qf::exec_stats ss;
+    const real err_stat = rel_error(f_stat.forward_copy(busy, &ss), ref);
+    const real err_dyn = rel_error(f_dyn.forward_copy(busy, &sd), ref);
+    EXPECT_TRUE(ss.band_dropped) << "static mode drops blindly";
+    EXPECT_FALSE(sd.band_dropped) << "dynamic mode must keep the busy band";
+    EXPECT_LT(err_dyn, 0.25 * err_stat);
+}
+
+TEST(DynamicPruneTest, ComparisonsAreCounted) {
+    const std::size_t n = 256;
+    const auto x = smooth_signal(n, 90);
+    qf::plan dyn = qf::plan::dynamic_pruned(n, qw::basis::haar,
+                                            qf::twiddle_set::set1, 0.05, 1e9);
+    const qf::wavelet_fft fft(dyn);
+    qc::op_counts ops;
+    {
+        qc::count_scope s(ops);
+        (void)fft.forward_copy(x);
+    }
+    EXPECT_GT(ops.cmps, 0u) << "dynamic mode must pay for its comparisons";
+}
+
+TEST(DynamicPruneTest, DynamicBandDecisionKeepsBusyBand) {
+    // A highly oscillatory signal has a large detail band; the run-time
+    // decision must keep it (band_dropped == false), unlike static drop.
+    const std::size_t n = 128;
+    std::vector<cplx> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = cplx{(i % 2 == 0) ? 1.0 : -1.0, 0.0};  // Nyquist tone
+    qf::plan dyn = qf::plan::dynamic_pruned(n, qw::basis::haar,
+                                            qf::twiddle_set::none, 0.0,
+                                            /*band_thr=*/0.5);
+    const qf::wavelet_fft fft(dyn);
+    qf::exec_stats st;
+    const auto y = fft.forward_copy(x, &st);
+    EXPECT_FALSE(st.band_dropped);
+    // And the transform of the Nyquist tone is preserved (all energy in
+    // the detail path).
+    const auto ref = qpsa::dsp::dft(x);
+    EXPECT_LT(rel_error(y, ref), 1e-9);
+}
+
+TEST(DynamicPruneTest, DynamicBandDecisionDropsQuietBand) {
+    const std::size_t n = 128;
+    std::vector<cplx> x(n, cplx{1.0, 0.0});  // constant: zero detail band
+    qf::plan dyn = qf::plan::dynamic_pruned(n, qw::basis::haar,
+                                            qf::twiddle_set::none, 0.0,
+                                            /*band_thr=*/0.01);
+    const qf::wavelet_fft fft(dyn);
+    qf::exec_stats st;
+    (void)fft.forward_copy(x, &st);
+    EXPECT_TRUE(st.band_dropped);
+}
+
+TEST(CalibrationTest, SparsityRatioSmallForSmoothInputs) {
+    const std::size_t n = 256;
+    std::vector<std::vector<cplx>> train;
+    for (int i = 0; i < 8; ++i) train.push_back(smooth_signal(n, 100 + i));
+    const auto cal = qf::calibrate(qf::plan::exact(n, qw::basis::haar), train);
+    EXPECT_GT(cal.band_mean_l1, 0.0);
+    EXPECT_LT(cal.sparsity_ratio(), 0.2)
+        << "detail band should carry a small fraction of the magnitude";
+    EXPECT_GT(cal.band_threshold, cal.band_mean_l1);
+}
+
+TEST(CalibrationTest, DataThresholdQuantilesAreMonotone) {
+    const std::size_t n = 128;
+    std::vector<std::vector<cplx>> train;
+    for (int i = 0; i < 4; ++i) train.push_back(smooth_signal(n, 110 + i));
+    const auto cal = qf::calibrate(qf::plan::exact(n, qw::basis::haar), train);
+    for (double f = 0.1; f < 1.0; f += 0.1)
+        EXPECT_LE(cal.data_threshold_for(f - 0.1), cal.data_threshold_for(f));
+}
+
+TEST(CalibrationTest, MeasuredFractionResolvesTuning) {
+    const std::size_t n = 128;
+    std::vector<std::vector<cplx>> train;
+    for (int i = 0; i < 6; ++i) train.push_back(smooth_signal(n, 120 + i));
+    const auto cal = qf::calibrate(qf::plan::exact(n, qw::basis::haar), train);
+
+    qf::plan dyn = qf::plan::dynamic_pruned(n, qw::basis::haar,
+                                            qf::twiddle_set::set2, 0.0,
+                                            cal.band_threshold);
+    const double target = qf::set_fraction(qf::twiddle_set::set2);
+    dyn.prune.data_threshold = qf::tune_data_threshold(dyn, target, train, cal);
+    const double achieved = qf::measure_pruned_fraction(dyn, train);
+    EXPECT_NEAR(achieved, target, 0.05);
+}
