@@ -1,0 +1,235 @@
+// Service-layer throughput: concurrent multi-patient HRV analysis.
+//
+// Drives the qpsa::service engine with fleets of 1, 8, 64 and 512
+// simulated patients (physio::patients records), measures sessions/sec,
+// windows/sec and beats/sec, reports the shared plan-cache hit rate and
+// the fleet energy roll-up, and verifies that every session's window
+// series is bit-identical (<= 1e-9) to a serial streaming_monitor run of
+// the same record.  Emits BENCH_service.json for the perf trajectory.
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+
+#include "common.hpp"
+#include "qpsa/service/service.hpp"
+#include "qpsa/util/table.hpp"
+
+using namespace qpsa;
+using clock_type = std::chrono::steady_clock;
+
+namespace {
+
+struct fleet_result {
+    unsigned patients = 0;
+    std::uint64_t beats = 0;
+    std::uint64_t windows = 0;
+    double wall_ms = 0.0;
+    double sessions_per_s = 0.0;
+    double windows_per_s = 0.0;
+    double beats_per_s = 0.0;
+    double cache_hit_rate = 0.0;
+    std::size_t cache_entries = 0;
+    double max_abs_diff = 0.0;
+    bool identical = true;
+    double energy_nominal_j = 0.0;
+    double energy_vfs_j = 0.0;
+    double arrhythmia_fraction = 0.0;
+    std::size_t workers = 0;
+};
+
+core::monitor_options paper_monitor() {
+    core::monitor_options opt;
+    opt.window_seconds = 120.0;
+    opt.hop_seconds = 60.0;
+    return opt;
+}
+
+/// The paper's standard mode mix a fleet would actually run.
+std::vector<core::psa_config> mode_mix() {
+    return {
+        core::psa_config::conventional(),
+        core::psa_config::proposed(wfft::plan::exact(512, wavelet::basis::haar)),
+        core::psa_config::proposed(wfft::plan::static_pruned(
+            512, wavelet::basis::haar, wfft::twiddle_set::set2)),
+        core::psa_config::proposed(
+            wfft::plan::band_dropped(512, wavelet::basis::haar)),
+    };
+}
+
+std::vector<core::window_report> serial_reports(const physio::rr_record& rec,
+                                                core::psa_config cfg) {
+    core::streaming_monitor mon(std::move(cfg), paper_monitor());
+    for (std::size_t i = 0; i < rec.beats(); ++i)
+        mon.push_beat(rec.beat_time_s[i], rec.rr_s[i]);
+    std::vector<core::window_report> out;
+    while (auto rep = mon.poll()) out.push_back(*rep);
+    return out;
+}
+
+fleet_result run_fleet(unsigned n_patients, real record_seconds) {
+    const auto configs = mode_mix();
+
+    // Records are generated up front so only service work is timed.
+    std::vector<physio::rr_record> records;
+    records.reserve(n_patients);
+    std::uint64_t total_beats = 0;
+    for (unsigned i = 0; i < n_patients; ++i) {
+        const auto group = i % 2 == 0 ? physio::cohort::sinus_arrhythmia
+                                      : physio::cohort::healthy;
+        records.push_back(physio::record_for(
+            physio::make_patient(group, i % 64), record_seconds));
+        total_beats += records.back().beats();
+    }
+
+    service::service_options opt;
+    opt.vfs_deadline_s = paper_monitor().hop_seconds;
+    service::plan_cache cache;
+    service::session_manager mgr(opt, &cache);
+
+    const auto t0 = clock_type::now();
+    for (unsigned i = 0; i < n_patients; ++i) {
+        service::session_config cfg;
+        cfg.patient_id = physio::make_patient(
+                             i % 2 == 0 ? physio::cohort::sinus_arrhythmia
+                                        : physio::cohort::healthy,
+                             i % 64)
+                             .id;
+        cfg.analysis = configs[i % configs.size()];
+        cfg.monitor = paper_monitor();
+        cfg.ingest_capacity = 512;
+        mgr.add_session(std::move(cfg));
+    }
+
+    // Stream beats round-robin in bounded chunks, pumping between rounds
+    // -- the arrival pattern of a real ingest edge, and it keeps every
+    // ring well under capacity.
+    constexpr std::size_t chunk = 256;
+    std::size_t offset = 0;
+    bool remaining = true;
+    while (remaining) {
+        remaining = false;
+        for (unsigned i = 0; i < n_patients; ++i) {
+            const auto& rec = records[i];
+            const std::size_t end = std::min(offset + chunk, rec.beats());
+            for (std::size_t b = offset; b < end; ++b)
+                while (!mgr.ingest(i, rec.beat_time_s[b], rec.rr_s[b]))
+                    mgr.pump();
+            if (end < rec.beats()) remaining = true;
+        }
+        offset += chunk;
+        mgr.pump();
+    }
+    mgr.drain_all();
+    const auto t1 = clock_type::now();
+
+    fleet_result r;
+    r.patients = n_patients;
+    r.beats = total_beats;
+    r.workers = mgr.worker_count();
+    r.wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            t1 - t0)
+            .count();
+
+    const auto fleet = mgr.fleet();
+    r.windows = fleet.windows;
+    r.sessions_per_s = n_patients / (r.wall_ms / 1000.0);
+    r.windows_per_s = fleet.windows / (r.wall_ms / 1000.0);
+    r.beats_per_s = total_beats / (r.wall_ms / 1000.0);
+    const auto cs = mgr.cache_stats();
+    r.cache_hit_rate = cs.hit_rate();
+    r.cache_entries = cs.entries;
+    r.energy_nominal_j = fleet.energy.energy_nominal_j;
+    r.energy_vfs_j = fleet.energy.energy_vfs_j;
+    r.arrhythmia_fraction = fleet.arrhythmia_fraction();
+
+    // Verification pass (untimed): every session must match its serial
+    // reference bit-for-bit (the 1e-9 bound is the acceptance ceiling).
+    for (unsigned i = 0; i < n_patients; ++i) {
+        const auto want = serial_reports(records[i], configs[i % configs.size()]);
+        const auto got = mgr.at(i).reports();
+        if (got.size() != want.size()) {
+            r.identical = false;
+            r.max_abs_diff = std::numeric_limits<double>::infinity();
+            break;
+        }
+        for (std::size_t w = 0; w < want.size(); ++w) {
+            const double diffs[] = {
+                std::abs(got[w].bands.lf - want[w].bands.lf),
+                std::abs(got[w].bands.hf - want[w].bands.hf),
+                std::abs(got[w].bands.total - want[w].bands.total),
+                std::abs(got[w].ratio() - want[w].ratio()),
+            };
+            for (const double d : diffs) r.max_abs_diff = std::max(r.max_abs_diff, d);
+            if (got[w].ops != want[w].ops) r.identical = false;
+        }
+    }
+    if (r.max_abs_diff > 1e-9) r.identical = false;
+    return r;
+}
+
+}  // namespace
+
+int main() {
+    util::print_section(std::cout,
+                        "Service throughput -- concurrent multi-patient HRV "
+                        "analysis over the shared plan cache");
+
+    const real record_seconds = 300.0;
+    const unsigned fleets[] = {1, 8, 64, 512};
+
+    util::table tab({"patients", "beats", "windows", "wall ms", "sessions/s",
+                     "windows/s", "beats/s", "cache hit", "engines",
+                     "max|diff|", "E nominal (mJ)", "E vfs (mJ)"});
+    std::vector<fleet_result> results;
+    for (const unsigned n : fleets) {
+        const auto r = run_fleet(n, record_seconds);
+        results.push_back(r);
+        tab.add_row({util::table::fmt_int(r.patients),
+                     util::table::fmt_int(static_cast<long long>(r.beats)),
+                     util::table::fmt_int(static_cast<long long>(r.windows)),
+                     util::table::fmt(r.wall_ms, 1),
+                     util::table::fmt(r.sessions_per_s, 1),
+                     util::table::fmt(r.windows_per_s, 1),
+                     util::table::fmt(r.beats_per_s, 0),
+                     util::table::fmt_pct(r.cache_hit_rate),
+                     util::table::fmt_int(static_cast<long long>(r.cache_entries)),
+                     util::table::fmt(r.max_abs_diff, 12),
+                     util::table::fmt(r.energy_nominal_j * 1e3, 3),
+                     util::table::fmt(r.energy_vfs_j * 1e3, 3)});
+    }
+    tab.print(std::cout);
+
+    bool all_identical = true;
+    for (const auto& r : results) all_identical = all_identical && r.identical;
+    std::cout << "\nverification: "
+              << (all_identical ? "all sessions bit-identical to serial runs"
+                                : "MISMATCH vs serial runs")
+              << "\n";
+
+    std::ofstream json("BENCH_service.json");
+    json << "{\n  \"bench\": \"service_throughput\",\n  \"record_seconds\": "
+         << record_seconds << ",\n  \"workers\": " << results.front().workers
+         << ",\n  \"fleets\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        json << "    {\"patients\": " << r.patients << ", \"beats\": " << r.beats
+             << ", \"windows\": " << r.windows << ", \"wall_ms\": " << r.wall_ms
+             << ", \"sessions_per_s\": " << r.sessions_per_s
+             << ", \"windows_per_s\": " << r.windows_per_s
+             << ", \"beats_per_s\": " << r.beats_per_s
+             << ", \"cache_hit_rate\": " << r.cache_hit_rate
+             << ", \"cache_entries\": " << r.cache_entries
+             << ", \"max_abs_diff\": " << r.max_abs_diff
+             << ", \"identical\": " << (r.identical ? "true" : "false")
+             << ", \"energy_nominal_j\": " << r.energy_nominal_j
+             << ", \"energy_vfs_j\": " << r.energy_vfs_j
+             << ", \"arrhythmia_fraction\": " << r.arrhythmia_fraction << "}"
+             << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote BENCH_service.json\n";
+
+    return all_identical ? 0 : 1;
+}

@@ -53,6 +53,18 @@ struct psa_config {
 
     std::string describe() const;
     void validate() const;
+
+    /// The wavelet plan as the engine will actually run it: with one FFT
+    /// per real mesh (two_transforms packing) the DWT stage may exploit
+    /// real arithmetic; the packed-pair optimization feeds genuinely
+    /// complex data and must not.  Engine construction and engine cache
+    /// keys both go through this so identical configurations always
+    /// resolve to the same transform.
+    wfft::plan effective_plan() const;
+
+    /// Canonical identity of the FFT engine this config builds; configs
+    /// with equal keys are served by one shared engine instance.
+    std::string engine_key() const;
 };
 
 }  // namespace qpsa::core

@@ -54,18 +54,41 @@ std::string psa_config::describe() const {
     return ss.str();
 }
 
+wfft::plan psa_config::effective_plan() const {
+    wfft::plan p = wplan;
+    p.assume_real_input = lomb.packing == lomb::fft_packing::two_transforms;
+    return p;
+}
+
+std::string psa_config::engine_key() const {
+    if (engine == engine_kind::conventional)
+        return "split-radix:n=" + std::to_string(lomb.mesh_size);
+    return effective_plan().cache_key();
+}
+
+std::shared_ptr<const lomb::fft_engine> psa_system::build_engine(
+    const psa_config& cfg) {
+    cfg.validate();
+    if (cfg.engine == engine_kind::conventional)
+        return lomb::make_split_radix_engine(cfg.lomb.mesh_size);
+    return lomb::make_wavelet_engine(cfg.effective_plan());
+}
+
 psa_system::psa_system(psa_config cfg) : cfg_(std::move(cfg)) {
     cfg_.validate();
-    if (cfg_.engine == engine_kind::conventional) {
-        engine_ = lomb::make_split_radix_engine(cfg_.lomb.mesh_size);
-    } else {
-        // With one FFT per (real) mesh the DWT stage may exploit real
-        // arithmetic; the packed-pair optimization feeds genuinely complex
-        // data and must not.
-        cfg_.wplan.assume_real_input =
-            cfg_.lomb.packing == lomb::fft_packing::two_transforms;
-        engine_ = lomb::make_wavelet_engine(cfg_.wplan);
-    }
+    if (cfg_.engine == engine_kind::wavelet)
+        cfg_.wplan = cfg_.effective_plan();
+    engine_ = build_engine(cfg_);
+}
+
+psa_system::psa_system(psa_config cfg,
+                       std::shared_ptr<const lomb::fft_engine> engine)
+    : cfg_(std::move(cfg)), engine_(std::move(engine)) {
+    cfg_.validate();
+    QPSA_EXPECTS(engine_ != nullptr);
+    QPSA_EXPECTS(engine_->size() == cfg_.lomb.mesh_size);
+    if (cfg_.engine == engine_kind::wavelet)
+        cfg_.wplan = cfg_.effective_plan();
 }
 
 record_analysis psa_system::analyze_record(std::span<const real> beat_times,

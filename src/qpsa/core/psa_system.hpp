@@ -36,8 +36,25 @@ class psa_system {
 public:
     explicit psa_system(psa_config cfg);
 
+    /// Construct around a prebuilt (possibly shared) engine.  The engine
+    /// must match the config (same mesh size / plan); the service-layer
+    /// plan cache uses this so a whole fleet of identically configured
+    /// sessions reuses one immutable engine instead of rebuilding twiddle
+    /// state per session.  Engines are stateless across forward() calls,
+    /// so concurrent use from many threads is safe.
+    psa_system(psa_config cfg, std::shared_ptr<const lomb::fft_engine> engine);
+
+    /// Build the engine a config describes, without a psa_system around
+    /// it (the swap point shared by both constructors and the plan cache).
+    static std::shared_ptr<const lomb::fft_engine> build_engine(
+        const psa_config& cfg);
+
     const psa_config& config() const noexcept { return cfg_; }
     const lomb::fft_engine& engine() const noexcept { return *engine_; }
+    /// The engine as a shareable handle (aliasable by other systems).
+    std::shared_ptr<const lomb::fft_engine> shared_engine() const noexcept {
+        return engine_;
+    }
     std::string name() const { return cfg_.describe(); }
 
     /// Analyze a full RR record (beat times + intervals).
@@ -52,7 +69,7 @@ public:
 
 private:
     psa_config cfg_;
-    std::unique_ptr<lomb::fft_engine> engine_;
+    std::shared_ptr<const lomb::fft_engine> engine_;
 };
 
 }  // namespace qpsa::core

@@ -4,8 +4,18 @@
 
 namespace qpsa::core {
 
-streaming_monitor::streaming_monitor(psa_config cfg, monitor_options opt)
-    : opt_(opt), system_(std::make_unique<psa_system>(std::move(cfg))) {
+namespace {
+std::shared_ptr<const psa_system> default_factory(const psa_config& cfg) {
+    return std::make_shared<const psa_system>(cfg);
+}
+}  // namespace
+
+streaming_monitor::streaming_monitor(psa_config cfg, monitor_options opt,
+                                     system_factory factory)
+    : opt_(opt),
+      factory_(factory ? std::move(factory) : system_factory(default_factory)),
+      system_(factory_(cfg)) {
+    QPSA_EXPECTS(system_ != nullptr);
     QPSA_EXPECTS(opt_.hop_seconds > 0.0);
     QPSA_EXPECTS(opt_.window_seconds >= opt_.hop_seconds);
     QPSA_EXPECTS(opt_.min_beats >= 8);
@@ -78,7 +88,8 @@ std::optional<window_report> streaming_monitor::poll() {
 }
 
 void streaming_monitor::set_config(psa_config cfg) {
-    system_ = std::make_unique<psa_system>(std::move(cfg));
+    system_ = factory_(cfg);
+    QPSA_EXPECTS(system_ != nullptr);
 }
 
 real streaming_monitor::arrhythmia_fraction() const {

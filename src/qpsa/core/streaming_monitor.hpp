@@ -34,9 +34,16 @@ struct window_report {
     real ratio() const { return bands.lf_hf_ratio(); }
 };
 
+/// Builds (or fetches from a cache) the analysis system for a config.
+/// Injected by the service layer so every monitor in a fleet shares
+/// engines/twiddle state; the default builds a private system.
+using system_factory =
+    std::function<std::shared_ptr<const psa_system>(const psa_config&)>;
+
 class streaming_monitor {
 public:
-    streaming_monitor(psa_config cfg, monitor_options opt = {});
+    streaming_monitor(psa_config cfg, monitor_options opt = {},
+                      system_factory factory = {});
 
     /// Feed one beat (absolute time + RR interval).  Returns a report
     /// whenever a window completes (possibly referencing several pending
@@ -52,9 +59,12 @@ public:
     }
 
     /// Swap the analysis configuration (e.g. a QDES mode change); takes
-    /// effect from the next window.
+    /// effect from the next window.  Routed through the injected factory,
+    /// so cached engines are reused.
     void set_config(psa_config cfg);
     const psa_config& config() const noexcept { return system_->config(); }
+    /// The (shared, immutable) analysis system currently in use.
+    const psa_system& system() const noexcept { return *system_; }
 
     /// Fraction of completed windows flagged as sinus arrhythmia.
     real arrhythmia_fraction() const;
@@ -66,7 +76,8 @@ private:
     void try_close_windows();
 
     monitor_options opt_;
-    std::unique_ptr<psa_system> system_;
+    system_factory factory_;
+    std::shared_ptr<const psa_system> system_;
     std::deque<std::pair<real, real>> buffer_;  ///< (beat time, rr)
     std::deque<window_report> pending_;
     std::vector<window_report> history_;

@@ -1,0 +1,59 @@
+#include "qpsa/energy/fleet.hpp"
+
+#include <algorithm>
+
+namespace qpsa::energy {
+
+fleet_energy_totals& fleet_energy_totals::operator+=(
+    const fleet_energy_totals& o) {
+    windows += o.windows;
+    ops += o.ops;
+    cycles += o.cycles;
+    time_nominal_s += o.time_nominal_s;
+    energy_nominal_j += o.energy_nominal_j;
+    energy_vfs_j += o.energy_vfs_j;
+    return *this;
+}
+
+fleet_energy_accumulator::fleet_energy_accumulator(node_model model,
+                                                   real window_deadline_s)
+    : model_(model), deadline_s_(window_deadline_s) {
+    QPSA_EXPECTS(window_deadline_s >= 0.0);
+}
+
+fleet_energy_totals fleet_energy_accumulator::price_window(
+    const counting::op_counts& ops) const {
+    fleet_energy_totals t;
+    t.windows = 1;
+    t.ops = ops;
+    const run_summary nominal = model_.run_nominal(ops);
+    t.cycles = nominal.cycles;
+    t.time_nominal_s = nominal.time_s;
+    t.energy_nominal_j = nominal.energy_j;
+    if (deadline_s_ > 0.0 && nominal.time_s < deadline_s_) {
+        // A node applies VFS only when it wins: for very light windows the
+        // leakage charged over the full relaxed deadline can exceed the
+        // nominal run-and-sleep energy, in which case it stays nominal.
+        t.energy_vfs_j =
+            std::min(nominal.energy_j, model_.run_vfs(ops, deadline_s_).energy_j);
+    } else {
+        t.energy_vfs_j = nominal.energy_j;
+    }
+    return t;
+}
+
+void fleet_energy_accumulator::add_window(const counting::op_counts& ops) {
+    merge(price_window(ops));
+}
+
+void fleet_energy_accumulator::merge(const fleet_energy_totals& partial) {
+    std::lock_guard<std::mutex> lock(mu_);
+    totals_ += partial;
+}
+
+fleet_energy_totals fleet_energy_accumulator::totals() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return totals_;
+}
+
+}  // namespace qpsa::energy

@@ -1,0 +1,37 @@
+#include "qpsa/service/batch_scheduler.hpp"
+
+#include <atomic>
+#include <vector>
+
+namespace qpsa::service {
+
+batch_scheduler::batch_scheduler(thread_pool& pool, scheduler_options opt)
+    : pool_(pool), opt_(opt) {
+    QPSA_EXPECTS(opt_.batch_size >= 1);
+}
+
+std::size_t batch_scheduler::run_once(
+    std::span<const std::unique_ptr<session>> sessions, fleet_stats& fleet) {
+    std::vector<session*> ready;
+    ready.reserve(sessions.size());
+    for (const auto& s : sessions)
+        if (s->has_pending()) ready.push_back(s.get());
+    if (ready.empty()) return 0;
+
+    std::atomic<std::size_t> windows{0};
+    for (std::size_t begin = 0; begin < ready.size(); begin += opt_.batch_size) {
+        const std::size_t end =
+            std::min(begin + opt_.batch_size, ready.size());
+        ++batches_;
+        pool_.submit([&, begin, end] {
+            std::size_t local = 0;
+            for (std::size_t i = begin; i < end; ++i)
+                local += ready[i]->drain(fleet);
+            windows.fetch_add(local, std::memory_order_relaxed);
+        });
+    }
+    pool_.wait_idle();
+    return windows.load(std::memory_order_relaxed);
+}
+
+}  // namespace qpsa::service

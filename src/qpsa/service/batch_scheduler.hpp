@@ -1,0 +1,46 @@
+// Batch scheduler: drains ready sessions across the fleet.
+//
+// Each pass scans for sessions with buffered ingest, groups them into
+// batches and dispatches one pool task per batch.  A session is always
+// drained whole by a single task, so its windows complete in ingest order
+// and its monitor state is never touched by two threads -- parallelism
+// comes from running different patients on different workers, which is
+// safe because all heavy analysis state (FFT engines, twiddle tables) is
+// shared immutably via the plan cache.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "qpsa/service/fleet_stats.hpp"
+#include "qpsa/service/session.hpp"
+#include "qpsa/service/thread_pool.hpp"
+
+namespace qpsa::service {
+
+struct scheduler_options {
+    /// Sessions per dispatched task.  Larger batches amortize queue
+    /// overhead; smaller ones balance better when a few sessions are much
+    /// busier than the rest.
+    std::size_t batch_size = 16;
+};
+
+class batch_scheduler {
+public:
+    batch_scheduler(thread_pool& pool, scheduler_options opt = {});
+
+    /// One pass: dispatch every session with pending ingest, wait for the
+    /// batch barrier, return the number of windows completed fleet-wide.
+    std::size_t run_once(std::span<const std::unique_ptr<session>> sessions,
+                         fleet_stats& fleet);
+
+    std::size_t batches_dispatched() const noexcept { return batches_; }
+
+private:
+    thread_pool& pool_;
+    scheduler_options opt_;
+    std::size_t batches_ = 0;
+};
+
+}  // namespace qpsa::service

@@ -1,0 +1,31 @@
+#include "qpsa/service/fleet_stats.hpp"
+
+namespace qpsa::service {
+
+fleet_stats::fleet_stats(energy::node_model node, real vfs_deadline_s)
+    : pricer_(node, vfs_deadline_s) {}
+
+void fleet_stats::add_report(const core::window_report& rep) {
+    // Price the window outside the tally lock (pure computation), then
+    // fold everything -- energy included -- under the one mutex, so a
+    // snapshot never sees the band tallies and the energy column at
+    // different window counts.
+    const energy::fleet_energy_totals priced = pricer_.price_window(rep.ops);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++agg_.windows;
+    agg_.beats += rep.beats;
+    if (rep.diagnosis == hrv::diagnosis::sinus_arrhythmia)
+        ++agg_.arrhythmia_windows;
+    agg_.lf_sum += rep.bands.lf;
+    agg_.hf_sum += rep.bands.hf;
+    agg_.ratio_sum += rep.ratio();
+    agg_.energy += priced;
+}
+
+fleet_snapshot fleet_stats::snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return agg_;
+}
+
+}  // namespace qpsa::service

@@ -1,0 +1,65 @@
+// Fleet-wide roll-up of analysis results.
+//
+// Every window any session completes lands here: op counts and energy
+// (priced on the shared node model, nominal and VFS), band-power sums and
+// the arrhythmia census.  One mutex guards the tallies -- a window arrives
+// every ~60 s per patient, so even a million-patient fleet averages well
+// under 20k add_report() calls per second.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "qpsa/core/streaming_monitor.hpp"
+#include "qpsa/energy/fleet.hpp"
+#include "qpsa/hrv/detector.hpp"
+
+namespace qpsa::service {
+
+/// Consistent snapshot of the fleet tallies.  The summed op counts live
+/// in energy.ops (priced and tallied in one place; no second copy that
+/// could diverge).
+struct fleet_snapshot {
+    std::uint64_t windows = 0;
+    std::uint64_t beats = 0;
+    std::uint64_t arrhythmia_windows = 0;
+    energy::fleet_energy_totals energy;
+
+    // Sums over windows; use the mean_* helpers for averages.
+    real lf_sum = 0.0;
+    real hf_sum = 0.0;
+    real ratio_sum = 0.0;
+
+    real mean_lf() const { return windows ? lf_sum / real(windows) : 0.0; }
+    real mean_hf() const { return windows ? hf_sum / real(windows) : 0.0; }
+    real mean_ratio() const {
+        return windows ? ratio_sum / real(windows) : 0.0;
+    }
+    real arrhythmia_fraction() const {
+        return windows ? real(arrhythmia_windows) / real(windows) : 0.0;
+    }
+};
+
+class fleet_stats {
+public:
+    /// `vfs_deadline_s`: per-window real-time budget used for the VFS
+    /// energy column (typically the monitor hop); 0 disables VFS pricing.
+    explicit fleet_stats(energy::node_model node = energy::node_model{},
+                         real vfs_deadline_s = 0.0);
+
+    /// Thread-safe: called by scheduler workers as windows complete.
+    void add_report(const core::window_report& rep);
+
+    fleet_snapshot snapshot() const;
+    const energy::node_model& node() const noexcept { return pricer_.model(); }
+
+private:
+    /// Used for (lock-free, const) pricing only; all totals -- energy
+    /// included -- live in agg_ under the one mutex so snapshots are
+    /// consistent across columns.
+    energy::fleet_energy_accumulator pricer_;
+    mutable std::mutex mu_;
+    fleet_snapshot agg_;
+};
+
+}  // namespace qpsa::service

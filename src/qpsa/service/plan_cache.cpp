@@ -1,0 +1,24 @@
+#include "qpsa/service/plan_cache.hpp"
+
+namespace qpsa::service {
+
+std::shared_ptr<const lomb::fft_engine> plan_cache::engine_for(
+    const core::psa_config& cfg) {
+    cfg.validate();
+    return memo_.get_or_build(cfg.engine_key(), [&] {
+        return std::shared_ptr<const lomb::fft_engine>(
+            core::psa_system::build_engine(cfg));
+    });
+}
+
+std::shared_ptr<const core::psa_system> plan_cache::system_for(
+    const core::psa_config& cfg) {
+    return std::make_shared<const core::psa_system>(cfg, engine_for(cfg));
+}
+
+plan_cache& global_plan_cache() {
+    static plan_cache cache;
+    return cache;
+}
+
+}  // namespace qpsa::service

@@ -1,0 +1,11 @@
+// Umbrella header for the qpsa::service subsystem: concurrent
+// multi-patient HRV analysis over shared, cached spectral engines.
+#pragma once
+
+#include "qpsa/service/batch_scheduler.hpp"
+#include "qpsa/service/fleet_stats.hpp"
+#include "qpsa/service/plan_cache.hpp"
+#include "qpsa/service/ring_buffer.hpp"
+#include "qpsa/service/session.hpp"
+#include "qpsa/service/session_manager.hpp"
+#include "qpsa/service/thread_pool.hpp"

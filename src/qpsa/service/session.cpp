@@ -1,0 +1,58 @@
+#include "qpsa/service/session.hpp"
+
+#include "qpsa/service/fleet_stats.hpp"
+
+namespace qpsa::service {
+
+namespace {
+
+/// Resolve the configuration a session starts with: the QDES-selected
+/// mode when a controller and budget are present, else the configured one.
+core::psa_config initial_config(const session_config& cfg) {
+    if (cfg.controller && cfg.qdes_error_pct > 0.0)
+        return cfg.controller->select(cfg.qdes_error_pct).config;
+    return cfg.analysis;
+}
+
+}  // namespace
+
+session::session(std::uint64_t id, session_config cfg,
+                 core::system_factory factory)
+    : id_(id),
+      cfg_(std::move(cfg)),
+      ring_(cfg_.ingest_capacity),
+      monitor_(initial_config(cfg_), cfg_.monitor, std::move(factory)) {}
+
+std::size_t session::drain(fleet_stats& fleet) {
+    beat_sample s;
+    while (ring_.pop(s)) {
+        try {
+            monitor_.push_beat(s.t, s.rr);
+            ++beats_ingested_;
+        } catch (const contract_error&) {
+            // Malformed beat (non-positive RR, non-monotonic time): a
+            // fleet node drops it rather than poisoning the worker.
+            ++beats_rejected_;
+        }
+    }
+    std::size_t completed = 0;
+    while (auto rep = monitor_.poll()) {
+        ++completed;
+        ++windows_;
+        fleet.add_report(*rep);
+        if (cfg_.keep_reports) reports_.push_back(std::move(*rep));
+    }
+    return completed;
+}
+
+void session::set_quality_budget(real qdes_error_pct) {
+    cfg_.qdes_error_pct = qdes_error_pct;
+    if (!cfg_.controller) return;
+    // Budget <= 0 disables QDES entirely: back to the configured mode,
+    // mirroring what a freshly admitted session would run.
+    monitor_.set_config(qdes_error_pct > 0.0
+                            ? cfg_.controller->select(qdes_error_pct).config
+                            : cfg_.analysis);
+}
+
+}  // namespace qpsa::service

@@ -1,0 +1,105 @@
+// One monitored patient inside the service.
+//
+// A session owns the patient's ingest ring, their streaming_monitor (built
+// over shared cached engines) and their QDES quality state.  Threading
+// contract: the ingest edge (one producer thread) calls ingest();
+// everything else -- drain(), mode changes, accessors below -- runs on at
+// most one scheduler worker at a time (the batch scheduler never assigns a
+// session to two tasks concurrently).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qpsa/core/quality_controller.hpp"
+#include "qpsa/core/streaming_monitor.hpp"
+#include "qpsa/service/ring_buffer.hpp"
+#include "qpsa/util/random.hpp"
+
+namespace qpsa::service {
+
+class fleet_stats;
+
+struct session_config {
+    std::string patient_id;
+    /// Initial analysis configuration (possibly replaced by QDES below).
+    core::psa_config analysis;
+    core::monitor_options monitor;
+
+    /// Optional per-patient QDES state: when a controller is present and
+    /// the budget is positive, the session runs the deepest-saving mode
+    /// whose expected distortion fits the budget (paper Fig. 2 loop).
+    std::shared_ptr<const core::quality_controller> controller;
+    real qdes_error_pct = 0.0;
+
+    /// Ingest ring capacity (rounded up to a power of two).
+    std::size_t ingest_capacity = 1024;
+
+    /// Per-session random stream seed; 0 lets the manager derive one from
+    /// its base seed and the session id (util::derive_stream_seed), so a
+    /// fleet is reproducible regardless of scheduling order.
+    std::uint64_t seed = 0;
+
+    /// Retain every completed window_report on the session (tests and the
+    /// bench compare them against serial runs).  Long-running deployments
+    /// turn this off and read the bounded monitor history instead.
+    bool keep_reports = true;
+};
+
+class session {
+public:
+    session(std::uint64_t id, session_config cfg, core::system_factory factory);
+
+    std::uint64_t id() const noexcept { return id_; }
+    const std::string& patient_id() const noexcept { return cfg_.patient_id; }
+    std::uint64_t seed() const noexcept { return cfg_.seed; }
+    util::rng make_rng(std::uint64_t stream) const {
+        return util::rng::for_stream(cfg_.seed, stream);
+    }
+
+    /// Producer side: enqueue one beat.  Never blocks; returns false when
+    /// the ring is full (the beat is dropped and counted).
+    bool ingest(real beat_time_s, real rr_s) noexcept {
+        return ring_.push({beat_time_s, rr_s});
+    }
+
+    /// Beats waiting in the ring (cheap; the scheduler polls this).
+    bool has_pending() const noexcept { return !ring_.empty(); }
+
+    /// Consumer side: pop all buffered beats into the monitor, collect
+    /// every window that completed into `fleet` (and the local report log
+    /// when keep_reports).  Returns the number of windows completed.
+    std::size_t drain(fleet_stats& fleet);
+
+    /// Re-select the analysis mode for a new distortion budget via the
+    /// session's controller (no-op without one); takes effect from the
+    /// next window.  Scheduler-thread only.
+    void set_quality_budget(real qdes_error_pct);
+
+    const core::streaming_monitor& monitor() const noexcept { return monitor_; }
+    const core::psa_config& config() const noexcept { return monitor_.config(); }
+
+    std::span<const core::window_report> reports() const noexcept {
+        return {reports_.data(), reports_.size()};
+    }
+    std::uint64_t beats_ingested() const noexcept { return beats_ingested_; }
+    std::uint64_t beats_dropped() const noexcept { return ring_.dropped(); }
+    /// Beats discarded because they violated the monitor's contract
+    /// (non-positive RR, non-monotonic time).
+    std::uint64_t beats_rejected() const noexcept { return beats_rejected_; }
+    std::uint64_t windows_completed() const noexcept { return windows_; }
+
+private:
+    std::uint64_t id_;
+    session_config cfg_;
+    beat_ring ring_;
+    core::streaming_monitor monitor_;
+    std::vector<core::window_report> reports_;
+    std::uint64_t beats_ingested_ = 0;
+    std::uint64_t beats_rejected_ = 0;
+    std::uint64_t windows_ = 0;
+};
+
+}  // namespace qpsa::service

@@ -1,0 +1,71 @@
+#include "qpsa/service/session_manager.hpp"
+
+namespace qpsa::service {
+
+session_manager::session_manager(service_options opt, plan_cache* cache)
+    : opt_(opt),
+      cache_(cache != nullptr ? cache : &global_plan_cache()),
+      pool_(opt.threads),
+      scheduler_(pool_, opt.scheduler),
+      stats_(opt.node, opt.vfs_deadline_s) {
+    QPSA_EXPECTS(opt_.max_sessions >= 1);
+    // Reserved once: ingest() indexes this storage without a lock, so it
+    // must never reallocate while sessions are being admitted.
+    sessions_.reserve(opt_.max_sessions);
+}
+
+core::system_factory session_manager::factory() {
+    plan_cache* cache = cache_;
+    return [cache](const core::psa_config& cfg) {
+        return cache->system_for(cfg);
+    };
+}
+
+std::uint64_t session_manager::add_session(session_config cfg) {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    QPSA_EXPECTS(sessions_.size() < opt_.max_sessions);
+    const std::uint64_t id = sessions_.size();
+    if (cfg.seed == 0)
+        cfg.seed = util::derive_stream_seed(opt_.base_seed, id);
+    sessions_.push_back(
+        std::make_unique<session>(id, std::move(cfg), factory()));
+    // Publish after the slot is fully constructed; ingest()/pump() pair
+    // this with an acquire load.
+    session_count_.store(sessions_.size(), std::memory_order_release);
+    return id;
+}
+
+session& session_manager::at(std::uint64_t id) {
+    QPSA_EXPECTS(id < session_count());
+    return *sessions_[id];
+}
+
+const session& session_manager::at(std::uint64_t id) const {
+    QPSA_EXPECTS(id < session_count());
+    return *sessions_[id];
+}
+
+std::size_t session_manager::pump() {
+    // One pass at a time: overlapping passes would hand the same session
+    // to two workers, violating the single-drainer contract.
+    std::lock_guard<std::mutex> lock(pump_mu_);
+    return scheduler_.run_once({sessions_.data(), session_count()}, stats_);
+}
+
+std::size_t session_manager::drain_all() {
+    std::size_t total = 0;
+    for (;;) {
+        const std::size_t w = pump();
+        total += w;
+        bool pending = false;
+        const std::size_t n = session_count();
+        for (std::size_t i = 0; i < n; ++i)
+            if (sessions_[i]->has_pending()) {
+                pending = true;
+                break;
+            }
+        if (!pending) return total;
+    }
+}
+
+}  // namespace qpsa::service

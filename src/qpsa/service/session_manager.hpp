@@ -1,0 +1,108 @@
+// The multi-patient HRV analysis engine: N concurrent sessions, one
+// shared plan cache, a fixed worker pool and fleet-wide accounting.
+//
+// Threading contract:
+//   * admission -- add_session() is mutex-guarded and publishes the new
+//     session with a release store, so it may run concurrently with
+//     ingest() and pump(); session storage is reserved up front
+//     (service_options::max_sessions) and never reallocates.  A session
+//     admitted mid-pass joins the next scheduler pass;
+//   * ingest plane -- one producer thread per session may call ingest()
+//     at any time, including while pump() runs;
+//   * analysis plane -- pump() dispatches batches onto the pool and
+//     blocks until the pass completes; destruction must not be
+//     concurrent with any of the above.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "qpsa/service/batch_scheduler.hpp"
+#include "qpsa/service/fleet_stats.hpp"
+#include "qpsa/service/plan_cache.hpp"
+#include "qpsa/service/session.hpp"
+#include "qpsa/service/thread_pool.hpp"
+
+namespace qpsa::service {
+
+struct service_options {
+    /// Worker threads (0 = hardware concurrency).
+    std::size_t threads = 0;
+    scheduler_options scheduler;
+
+    /// Node model used to price every completed window.
+    energy::node_model node = energy::node_model{};
+    /// Per-window real-time budget for the VFS energy column; 0 disables
+    /// (a deployment would pass the monitor hop interval).
+    real vfs_deadline_s = 0.0;
+
+    /// Base seed from which per-session random streams are derived.
+    std::uint64_t base_seed = 0x9b4e5eedULL;
+
+    /// Admission ceiling.  Session storage is reserved once so the
+    /// lock-free ingest path can index it while add_session() runs
+    /// (8 bytes per reserved slot).
+    std::size_t max_sessions = 1 << 16;
+};
+
+class session_manager {
+public:
+    /// `cache == nullptr` uses the process-wide global_plan_cache().
+    explicit session_manager(service_options opt = {},
+                             plan_cache* cache = nullptr);
+
+    /// Register a patient; returns the session id (dense, starting at 0).
+    /// When cfg.seed == 0 a per-session stream seed is derived from the
+    /// manager base seed and the id.
+    std::uint64_t add_session(session_config cfg);
+
+    std::size_t session_count() const noexcept {
+        return session_count_.load(std::memory_order_acquire);
+    }
+    session& at(std::uint64_t id);
+    const session& at(std::uint64_t id) const;
+
+    /// Producer-side ingest for session `id` (lock-free, never blocks).
+    /// Unknown ids are rejected like a full ring rather than faulting.
+    /// Safe concurrently with add_session(): the count is published with
+    /// release ordering after the slot is fully constructed, and the
+    /// reserved storage never moves.
+    bool ingest(std::uint64_t id, real beat_time_s, real rr_s) noexcept {
+        if (id >= session_count()) return false;
+        return sessions_[id]->ingest(beat_time_s, rr_s);
+    }
+
+    /// One scheduler pass over the fleet; returns windows completed.
+    /// Serialized internally: concurrent callers (e.g. a pumper thread
+    /// racing a final drain_all()) queue up rather than dispatching the
+    /// same session to two workers.
+    std::size_t pump();
+
+    /// Pump until no session has buffered ingest (the batch barrier makes
+    /// this terminate once producers stop).
+    std::size_t drain_all();
+
+    /// The engine factory sessions are built over -- exposed so callers
+    /// can build matching serial systems from the same cache.
+    core::system_factory factory();
+
+    fleet_snapshot fleet() const { return stats_.snapshot(); }
+    plan_cache_stats cache_stats() const { return cache_->stats(); }
+    std::size_t worker_count() const noexcept { return pool_.size(); }
+
+private:
+    service_options opt_;
+    plan_cache* cache_;
+    thread_pool pool_;
+    batch_scheduler scheduler_;
+    fleet_stats stats_;
+    std::mutex admit_mu_;  ///< serializes add_session()
+    std::mutex pump_mu_;   ///< serializes scheduler passes
+    std::vector<std::unique_ptr<session>> sessions_;  ///< reserved, no realloc
+    std::atomic<std::size_t> session_count_{0};       ///< published size
+};
+
+}  // namespace qpsa::service

@@ -1,0 +1,57 @@
+#include "qpsa/service/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace qpsa::service {
+
+thread_pool::thread_pool(std::size_t threads) {
+    if (threads == 0)
+        threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+thread_pool::~thread_pool() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void thread_pool::submit(std::function<void()> task) {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+    }
+    cv_work_.notify_one();
+}
+
+void thread_pool::wait_idle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void thread_pool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (stop_ && queue_.empty()) return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --active_;
+            if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+        }
+    }
+}
+
+}  // namespace qpsa::service

@@ -1,0 +1,49 @@
+// Fixed-size worker pool for the batch scheduler.
+//
+// Deliberately minimal: submit() enqueues a task, wait_idle() blocks
+// until the queue is drained AND every worker is parked.  The scheduler
+// uses wait_idle() as its batch barrier, so tasks must not submit further
+// tasks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qpsa::service {
+
+class thread_pool {
+public:
+    /// `threads == 0` selects hardware_concurrency (min 1).
+    explicit thread_pool(std::size_t threads = 0);
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Enqueue a task.  Tasks must not throw (workers terminate on
+    /// escaped exceptions) and must not call submit()/wait_idle().
+    void submit(std::function<void()> task);
+
+    /// Block until the queue is empty and all workers are parked.
+    void wait_idle();
+
+private:
+    void worker_loop();
+
+    std::mutex mu_;
+    std::condition_variable cv_work_;   ///< signals workers: work or stop
+    std::condition_variable cv_idle_;   ///< signals waiters: all drained
+    std::deque<std::function<void()>> queue_;
+    std::size_t active_ = 0;  ///< tasks currently executing
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace qpsa::service

@@ -1,0 +1,75 @@
+// Mutex-guarded memo of immutable shared values.
+//
+// The pattern both engine-level caches need: look up under the lock,
+// build outside it (construction can be expensive and must not serialize
+// unrelated lookups), and let a racing builder of the same key lose the
+// insert and adopt the winner's value.  Values are handed out as
+// shared_ptr<const T> and never mutated after insertion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace qpsa::util {
+
+struct memo_counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+
+    double hit_rate() const {
+        const std::uint64_t total = hits + misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits) / static_cast<double>(total);
+    }
+};
+
+template <typename Key, typename T, typename Hash = std::hash<Key>>
+class shared_memo {
+public:
+    /// Cached value for `key`, building it via `build()` on first use.
+    template <typename Builder>
+    std::shared_ptr<const T> get_or_build(const Key& key, Builder&& build) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = entries_.find(key);
+            if (it != entries_.end()) {
+                ++hits_;
+                return it->second;
+            }
+        }
+        std::shared_ptr<const T> built = build();
+        std::lock_guard<std::mutex> lock(mu_);
+        auto [it, inserted] = entries_.emplace(key, std::move(built));
+        if (inserted)
+            ++misses_;
+        else
+            ++hits_;
+        return it->second;
+    }
+
+    memo_counters stats() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return {hits_, misses_, entries_.size()};
+    }
+
+    /// Drop all entries (outstanding shared_ptrs stay valid) and reset
+    /// the counters.
+    void clear() {
+        std::lock_guard<std::mutex> lock(mu_);
+        entries_.clear();
+        hits_ = 0;
+        misses_ = 0;
+    }
+
+private:
+    mutable std::mutex mu_;
+    std::unordered_map<Key, std::shared_ptr<const T>, Hash> entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace qpsa::util

@@ -1,5 +1,7 @@
 #include "qpsa/wfft/plan.hpp"
 
+#include <sstream>
+
 namespace qpsa::wfft {
 
 namespace {
@@ -51,6 +53,20 @@ void plan::validate() const {
     // The filter must fit into the sub-transform of the deepest level.
     const std::size_t filter_len = wavelet::filters(basis).length();
     QPSA_EXPECTS(filter_len <= (tree == tree_mode::recursive ? leaf_size * 2 : n));
+}
+
+std::string plan::cache_key() const {
+    std::ostringstream ss;
+    ss.precision(17);
+    ss << "wfft:n=" << n << ":b=" << static_cast<int>(basis)
+       << ":t=" << static_cast<int>(tree) << ":leaf=" << leaf_size
+       << ":fold=" << fold_haar_scale << ":real=" << assume_real_input
+       << ":lift=" << use_db2_lifting << ":pm=" << static_cast<int>(prune.mode)
+       << ":bd=" << prune.band_drop_levels << ":tf=" << prune.twiddle_fraction
+       << ":dyn=" << prune.dynamic_band_decision << ":bt=" << prune.band_threshold
+       << ":dt=" << prune.data_threshold
+       << ":df=" << prune.dynamic_factor_fraction;
+    return ss.str();
 }
 
 }  // namespace qpsa::wfft

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "qpsa/util/common.hpp"
 #include "qpsa/wavelet/filters.hpp"
@@ -55,6 +56,14 @@ struct plan {
                                tree_mode t = tree_mode::single_level);
 
     void validate() const;
+
+    /// Canonical identity of the transform this plan builds: two plans
+    /// with equal keys produce bit-identical wavelet FFTs, so a shared
+    /// engine cache may serve both from one instance.  Covers every field
+    /// that affects the computation (size, basis, tree shape, pruning
+    /// knobs, arithmetic options); thresholds are printed in full
+    /// precision so distinct calibrations never collide.
+    std::string cache_key() const;
 };
 
 }  // namespace qpsa::wfft

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "qpsa/dsp/dft.hpp"
+#include "qpsa/util/memo.hpp"
 
 namespace qpsa::wfft {
 
@@ -51,5 +52,50 @@ std::vector<real> factor_magnitudes(const twiddle_tables& t, bool highpass_kept)
     }
     return mags;
 }
+
+std::uint64_t twiddle_key::hash() const noexcept {
+    // splitmix64-style mix of the three fields.
+    std::uint64_t h = static_cast<std::uint64_t>(basis) * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<std::uint64_t>(n) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= (folded ? 0xbf58476d1ce4e5b9ULL : 0x94d049bb133111ebULL) + (h << 6) +
+         (h >> 2);
+    return h;
+}
+
+namespace {
+
+struct twiddle_key_hasher {
+    std::size_t operator()(const twiddle_key& k) const noexcept {
+        return static_cast<std::size_t>(k.hash());
+    }
+};
+
+using twiddle_memo =
+    util::shared_memo<twiddle_key, twiddle_tables, twiddle_key_hasher>;
+
+twiddle_memo& global_twiddle_cache() {
+    static twiddle_memo cache;
+    return cache;
+}
+
+}  // namespace
+
+std::shared_ptr<const twiddle_tables> shared_twiddle_tables(wavelet::basis b,
+                                                            std::size_t n,
+                                                            bool fold_haar_scale) {
+    const bool fold = fold_haar_scale && b == wavelet::basis::haar;
+    return global_twiddle_cache().get_or_build(twiddle_key{b, n, fold}, [&] {
+        // Built outside the memo lock: construction is O(n^2) and must
+        // not serialize unrelated lookups.
+        return std::make_shared<const twiddle_tables>(
+            make_twiddle_tables(b, n, fold_haar_scale));
+    });
+}
+
+twiddle_cache_counters twiddle_cache_stats() noexcept {
+    return global_twiddle_cache().stats();
+}
+
+void clear_twiddle_cache() noexcept { global_twiddle_cache().clear(); }
 
 }  // namespace qpsa::wfft

@@ -24,9 +24,12 @@
 // factors ("folded" mode) so the Haar DWT stage runs multiplication-free.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "qpsa/util/common.hpp"
+#include "qpsa/util/memo.hpp"
 #include "qpsa/wavelet/filters.hpp"
 
 namespace qpsa::wfft {
@@ -46,6 +49,34 @@ struct twiddle_tables {
 /// stage unnormalized (only meaningful for basis::haar).
 twiddle_tables make_twiddle_tables(wavelet::basis b, std::size_t n,
                                    bool fold_haar_scale);
+
+/// Identity of a twiddle table build: two transforms with equal keys use
+/// bit-identical tables, so one shared immutable copy serves both.
+struct twiddle_key {
+    wavelet::basis basis = wavelet::basis::haar;
+    std::size_t n = 0;
+    bool folded = false;
+
+    bool operator==(const twiddle_key&) const = default;
+    std::uint64_t hash() const noexcept;
+};
+
+/// Process-wide, mutex-guarded memo of immutable twiddle tables.  Table
+/// construction runs two direct length-n DFTs (O(n^2)); a fleet of
+/// sessions sharing a mesh size pays that once instead of per engine.
+/// Thread-safe; the returned tables are const-shared and never mutated.
+std::shared_ptr<const twiddle_tables> shared_twiddle_tables(wavelet::basis b,
+                                                            std::size_t n,
+                                                            bool fold_haar_scale);
+
+/// Hit/miss counters of the process-wide table memo (for tests and the
+/// service-layer cache statistics).
+using twiddle_cache_counters = util::memo_counters;
+twiddle_cache_counters twiddle_cache_stats() noexcept;
+
+/// Drop all memoized tables (outstanding shared_ptrs stay valid) and
+/// reset the counters.  Intended for tests.
+void clear_twiddle_cache() noexcept;
 
 /// Magnitudes of all factors that participate under a given band
 /// configuration: A and C always; B and D only when the highpass band is

@@ -76,7 +76,7 @@ void leaf_dft(std::span<const cplx> in, std::span<cplx> out) {
 
 wavelet_fft::wavelet_fft(plan p) : plan_(std::move(p)) {
     plan_.validate();
-    tables_ = make_twiddle_tables(plan_.basis, plan_.n, plan_.fold_haar_scale);
+    tables_ = shared_twiddle_tables(plan_.basis, plan_.n, plan_.fold_haar_scale);
 
     // Static factor-magnitude threshold: the paper's design-time "sets".
     const bool highpass_kept = plan_.prune.band_drop_levels == 0;
@@ -85,7 +85,7 @@ wavelet_fft::wavelet_fft(plan p) : plan_(std::move(p)) {
         fraction = plan_.prune.twiddle_fraction;
     else if (plan_.prune.mode == prune_mode::dynamic)
         fraction = plan_.prune.dynamic_factor_fraction;
-    const std::vector<real> mags = factor_magnitudes(tables_, highpass_kept);
+    const std::vector<real> mags = factor_magnitudes(*tables_, highpass_kept);
     static_threshold_ = magnitude_threshold(mags, fraction);
 
     auto build_effective = [&](const std::vector<cplx>& src, std::vector<cplx>& dst,
@@ -101,10 +101,10 @@ wavelet_fft::wavelet_fft(plan p) : plan_(std::move(p)) {
                 free[i] = is_free_rotation(src[i]);
         }
     };
-    build_effective(tables_.a, eff_a_, free_a_, mag_a_);
-    build_effective(tables_.b, eff_b_, free_b_, mag_b_);
-    build_effective(tables_.c, eff_c_, free_c_, mag_c_);
-    build_effective(tables_.d, eff_d_, free_d_, mag_d_);
+    build_effective(tables_->a, eff_a_, free_a_, mag_a_);
+    build_effective(tables_->b, eff_b_, free_b_, mag_b_);
+    build_effective(tables_->c, eff_c_, free_c_, mag_c_);
+    build_effective(tables_->d, eff_d_, free_d_, mag_d_);
 
     const std::size_t half = plan_.n / 2;
     if (plan_.tree == tree_mode::single_level) {
@@ -133,7 +133,7 @@ void wavelet_fft::dwt_stage(std::span<const cplx> x, std::span<cplx> a,
     const std::size_t half = n / 2;
     const bool real_in = plan_.assume_real_input;
 
-    if (tables_.folded) {
+    if (tables_->folded) {
         // Unnormalized Haar butterflies; the 1/sqrt(2) lives in the tables.
         if (real_in) {
             for (std::size_t k = 0; k < half; ++k) {
@@ -204,7 +204,7 @@ void wavelet_fft::dwt_stage_lowpass(std::span<const cplx> x,
     const std::size_t half = n / 2;
     const bool real_in = plan_.assume_real_input;
 
-    if (tables_.folded) {
+    if (tables_->folded) {
         if (real_in) {
             for (std::size_t k = 0; k < half; ++k)
                 a[k] = cplx{x[2 * k].real() + x[2 * k + 1].real(), 0.0};
@@ -318,10 +318,10 @@ void wavelet_fft::combine(std::span<const cplx> a_fft, const cplx* d_fft,
         bool ua = false;
         bool ub = false;
         const cplx ta =
-            term(tables_.a, eff_a_, free_a_, mag_a_, a_fft[m], l1a, &ua);
+            term(tables_->a, eff_a_, free_a_, mag_a_, a_fft[m], l1a, &ua);
         cplx tb{0.0, 0.0};
         if (d_fft != nullptr)
-            tb = term(tables_.b, eff_b_, free_b_, mag_b_, d_fft[m], l1d, &ub);
+            tb = term(tables_->b, eff_b_, free_b_, mag_b_, d_fft[m], l1d, &ub);
         if (ua && ub) {
             out[m] = ta + tb;
             counting::count_cadd();
@@ -332,10 +332,10 @@ void wavelet_fft::combine(std::span<const cplx> a_fft, const cplx* d_fft,
         bool uc = false;
         bool ud = false;
         const cplx tc =
-            term(tables_.c, eff_c_, free_c_, mag_c_, a_fft[m], l1a, &uc);
+            term(tables_->c, eff_c_, free_c_, mag_c_, a_fft[m], l1a, &uc);
         cplx td{0.0, 0.0};
         if (d_fft != nullptr)
-            td = term(tables_.d, eff_d_, free_d_, mag_d_, d_fft[m], l1d, &ud);
+            td = term(tables_->d, eff_d_, free_d_, mag_d_, d_fft[m], l1d, &ud);
         if (uc && ud) {
             out[m + half] = tc + td;
             counting::count_cadd();
@@ -378,7 +378,7 @@ void wavelet_fft::forward_impl(std::span<const cplx> in, std::span<cplx> out,
             // normalized DWT, so the folded (unnormalized) Haar stage
             // compares against a sqrt(2)-scaled threshold.
             const real thr = plan_.prune.band_threshold *
-                             (tables_.folded ? sqrt2 : 1.0);
+                             (tables_->folded ? sqrt2 : 1.0);
             real acc = 0.0;
             for (const cplx& v : d) acc += l1_mag(v);
             counting::count_adds(2 * half - 1);

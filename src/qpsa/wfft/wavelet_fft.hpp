@@ -35,7 +35,12 @@ public:
 
     const plan& get_plan() const noexcept { return plan_; }
     std::size_t size() const noexcept { return plan_.n; }
-    const twiddle_tables& tables() const noexcept { return tables_; }
+    const twiddle_tables& tables() const noexcept { return *tables_; }
+    /// The process-shared immutable table this transform reads from
+    /// (identical keys alias the same object; see shared_twiddle_tables).
+    std::shared_ptr<const twiddle_tables> shared_tables() const noexcept {
+        return tables_;
+    }
 
     /// Magnitude threshold below which factors are statically pruned
     /// (-1 when no static pruning is active).
@@ -80,7 +85,7 @@ private:
                  std::span<cplx> out, exec_stats& stats) const;
 
     plan plan_;
-    twiddle_tables tables_;
+    std::shared_ptr<const twiddle_tables> tables_;
     real static_threshold_ = -1.0;
     std::vector<cplx> eff_a_, eff_b_, eff_c_, eff_d_;
     std::vector<bool> free_a_, free_b_, free_c_, free_d_;  ///< |f| == 1 rotations

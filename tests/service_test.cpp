@@ -1,0 +1,479 @@
+// qpsa::service tests: ingest ring, worker pool, shared plan cache,
+// session lifecycle, fleet determinism vs serial analysis, and a
+// multi-threaded 32-session smoke test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "qpsa/physio/patients.hpp"
+#include "qpsa/service/service.hpp"
+
+using qpsa::real;
+namespace qcore = qpsa::core;
+namespace qp = qpsa::physio;
+namespace qs = qpsa::service;
+namespace qf = qpsa::wfft;
+namespace qw = qpsa::wavelet;
+
+namespace {
+
+qcore::monitor_options paper_monitor() {
+    qcore::monitor_options opt;
+    opt.window_seconds = 120.0;
+    opt.hop_seconds = 60.0;
+    return opt;
+}
+
+qs::session_config patient_session(qp::cohort group, unsigned index,
+                                   qcore::psa_config analysis) {
+    qs::session_config cfg;
+    cfg.patient_id = qp::make_patient(group, index).id;
+    cfg.analysis = std::move(analysis);
+    cfg.monitor = paper_monitor();
+    cfg.ingest_capacity = 4096;
+    return cfg;
+}
+
+/// Serial reference: the same record through a standalone monitor.
+std::vector<qcore::window_report> serial_reports(const qp::rr_record& rec,
+                                                 qcore::psa_config cfg) {
+    qcore::streaming_monitor mon(std::move(cfg), paper_monitor());
+    for (std::size_t i = 0; i < rec.beats(); ++i)
+        mon.push_beat(rec.beat_time_s[i], rec.rr_s[i]);
+    std::vector<qcore::window_report> out;
+    while (auto rep = mon.poll()) out.push_back(*rep);
+    return out;
+}
+
+void expect_reports_identical(std::span<const qcore::window_report> got,
+                              std::span<const qcore::window_report> want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].t_start, want[i].t_start);
+        EXPECT_EQ(got[i].t_end, want[i].t_end);
+        EXPECT_EQ(got[i].beats, want[i].beats);
+        EXPECT_EQ(got[i].diagnosis, want[i].diagnosis);
+        // Bit-identical arithmetic: same engine algorithm, same windows,
+        // same order -- no tolerance needed.
+        EXPECT_EQ(got[i].bands.lf, want[i].bands.lf);
+        EXPECT_EQ(got[i].bands.hf, want[i].bands.hf);
+        EXPECT_EQ(got[i].bands.total, want[i].bands.total);
+        EXPECT_EQ(got[i].ops, want[i].ops);
+    }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- ring
+
+TEST(BeatRingTest, FifoOrderAndOverflow) {
+    qs::beat_ring ring(4);
+    EXPECT_EQ(ring.capacity(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(ring.push({static_cast<real>(i), 0.8}));
+    EXPECT_FALSE(ring.push({99.0, 0.8}));  // full -> dropped
+    EXPECT_EQ(ring.dropped(), 1u);
+
+    qs::beat_sample s;
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(ring.pop(s));
+        EXPECT_EQ(s.t, static_cast<real>(i));
+    }
+    EXPECT_FALSE(ring.pop(s));
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(BeatRingTest, SpscThreaded) {
+    qs::beat_ring ring(64);
+    constexpr int n = 20000;
+    std::thread producer([&] {
+        for (int i = 0; i < n; ++i)
+            while (!ring.push({static_cast<real>(i), 1.0})) std::this_thread::yield();
+    });
+    int expected = 0;
+    qs::beat_sample s;
+    while (expected < n) {
+        if (ring.pop(s)) {
+            ASSERT_EQ(s.t, static_cast<real>(expected));
+            ++expected;
+        }
+    }
+    producer.join();
+    // dropped() counts rejected push attempts; the busy-retrying producer
+    // may have generated some, but no accepted beat was lost or reordered.
+}
+
+// ----------------------------------------------------------------- pool
+
+TEST(ThreadPoolTest, RunsAllTasksAndWaitsIdle) {
+    qs::thread_pool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&done] { done.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 100);
+}
+
+// ---------------------------------------------------------- plan cache
+
+TEST(PlanCacheTest, HitMissCountsAndEngineIdentity) {
+    qs::plan_cache cache;
+    const auto cfg = qcore::psa_config::conventional(512);
+
+    const auto e1 = cache.engine_for(cfg);
+    const auto e2 = cache.engine_for(cfg);
+    EXPECT_EQ(e1.get(), e2.get());  // one shared instance
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+
+    // A different configuration builds (and memoizes) a new engine.
+    const auto prop = qcore::psa_config::proposed(
+        qf::plan::static_pruned(512, qw::basis::haar, qf::twiddle_set::set2));
+    const auto e3 = cache.engine_for(prop);
+    EXPECT_NE(e3.get(), e1.get());
+    stats = cache.stats();
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.entries, 2u);
+
+    // Systems wrap the cached engine rather than rebuilding it.
+    const auto sys = cache.system_for(prop);
+    EXPECT_EQ(sys->shared_engine().get(), e3.get());
+    EXPECT_GT(cache.stats().hit_rate(), 0.4);
+
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(PlanCacheTest, DistinctPruneConfigsGetDistinctKeys) {
+    const auto a = qcore::psa_config::proposed(
+        qf::plan::static_pruned(512, qw::basis::haar, qf::twiddle_set::set1));
+    const auto b = qcore::psa_config::proposed(
+        qf::plan::static_pruned(512, qw::basis::haar, qf::twiddle_set::set3));
+    EXPECT_NE(a.engine_key(), b.engine_key());
+    EXPECT_EQ(a.engine_key(), a.engine_key());
+    EXPECT_NE(a.engine_key(), qcore::psa_config::conventional(512).engine_key());
+}
+
+TEST(TwiddleCacheTest, TablesAreSharedAcrossEngines) {
+    qf::clear_twiddle_cache();
+    const qf::wavelet_fft fft1(qf::plan::exact(256, qw::basis::haar));
+    const qf::wavelet_fft fft2(qf::plan::exact(256, qw::basis::haar));
+    EXPECT_EQ(fft1.shared_tables().get(), fft2.shared_tables().get());
+    const auto stats = qf::twiddle_cache_stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_GE(stats.hits, 1u);
+
+    // Different basis -> different table.
+    const qf::wavelet_fft fft3(qf::plan::exact(256, qw::basis::db2));
+    EXPECT_NE(fft3.shared_tables().get(), fft1.shared_tables().get());
+}
+
+// -------------------------------------------------------------- session
+
+TEST(SessionTest, LifecycleMatchesSerialMonitor) {
+    const auto patient = qp::make_patient(qp::cohort::sinus_arrhythmia, 1);
+    const auto rec = qp::record_for(patient, 600.0);
+
+    qs::service_options opt;
+    opt.threads = 2;
+    qs::plan_cache cache;
+    qs::session_manager mgr(opt, &cache);
+    const auto id = mgr.add_session(patient_session(
+        qp::cohort::sinus_arrhythmia, 1, qcore::psa_config::conventional()));
+    ASSERT_EQ(mgr.session_count(), 1u);
+
+    // Feed in chunks with pumps interleaved: window closing is per-beat,
+    // so chunking must not change the results.
+    for (std::size_t i = 0; i < rec.beats(); ++i) {
+        ASSERT_TRUE(mgr.ingest(id, rec.beat_time_s[i], rec.rr_s[i]));
+        if (i % 100 == 0) mgr.pump();
+    }
+    mgr.drain_all();
+
+    const auto& sess = mgr.at(id);
+    EXPECT_EQ(sess.beats_ingested(), rec.beats());
+    EXPECT_EQ(sess.beats_dropped(), 0u);
+    EXPECT_GT(sess.windows_completed(), 5u);
+
+    const auto want = serial_reports(rec, qcore::psa_config::conventional());
+    expect_reports_identical(sess.reports(), want);
+
+    const auto fleet = mgr.fleet();
+    EXPECT_EQ(fleet.windows, sess.windows_completed());
+    EXPECT_GT(fleet.energy.energy_nominal_j, 0.0);
+    EXPECT_GT(fleet.energy.ops.arithmetic(), 0u);
+}
+
+TEST(SessionTest, MalformedBeatsAreRejectedNotFatal) {
+    qs::plan_cache cache;
+    qs::session_manager mgr({}, &cache);
+    const auto id = mgr.add_session(patient_session(
+        qp::cohort::healthy, 0, qcore::psa_config::conventional()));
+    EXPECT_TRUE(mgr.ingest(id, 1.0, 0.9));
+    EXPECT_TRUE(mgr.ingest(id, 0.5, 0.9));   // non-monotonic -> rejected
+    EXPECT_TRUE(mgr.ingest(id, 2.0, -1.0));  // negative RR -> rejected
+    EXPECT_TRUE(mgr.ingest(id, 2.0, 0.9));
+    mgr.drain_all();
+    EXPECT_EQ(mgr.at(id).beats_rejected(), 2u);
+    EXPECT_EQ(mgr.at(id).beats_ingested(), 2u);
+}
+
+TEST(SessionTest, QdesControllerSelectsModeWithinBudget) {
+    // Hand-built controller: exact mode plus one pruned mode with 5 %
+    // expected distortion and 40 % savings.
+    qcore::mode_profile exact;
+    exact.name = "exact";
+    exact.config = qcore::psa_config::proposed(
+        qf::plan::exact(512, qw::basis::haar));
+    qcore::mode_profile pruned;
+    pruned.name = "band+set2";
+    pruned.config = qcore::psa_config::proposed(
+        qf::plan::static_pruned(512, qw::basis::haar, qf::twiddle_set::set2));
+    pruned.expected_error_pct = 5.0;
+    pruned.expected_savings = 0.4;
+    pruned.expected_savings_vfs = 0.7;  // select() orders by VFS savings
+    auto controller = std::make_shared<const qcore::quality_controller>(
+        std::vector<qcore::mode_profile>{exact, pruned});
+
+    qs::plan_cache cache;
+    qs::session_manager mgr({}, &cache);
+
+    auto cfg = patient_session(qp::cohort::healthy, 2,
+                               qcore::psa_config::conventional());
+    cfg.controller = controller;
+    cfg.qdes_error_pct = 10.0;  // generous budget -> pruned mode
+    const auto id = mgr.add_session(std::move(cfg));
+    EXPECT_EQ(mgr.at(id).config().engine, qcore::engine_kind::wavelet);
+    EXPECT_EQ(mgr.at(id).config().wplan.prune.twiddle_fraction, 0.40);
+
+    // Tightening the budget to below the pruned mode's distortion must
+    // fall back to the exact mode, via the shared cache.
+    mgr.at(id).set_quality_budget(1.0);
+    EXPECT_EQ(mgr.at(id).config().wplan.prune.twiddle_fraction, 0.0);
+
+    // Budget <= 0 disables QDES: back to the originally configured mode.
+    mgr.at(id).set_quality_budget(10.0);
+    EXPECT_EQ(mgr.at(id).config().engine, qcore::engine_kind::wavelet);
+    mgr.at(id).set_quality_budget(0.0);
+    EXPECT_EQ(mgr.at(id).config().engine, qcore::engine_kind::conventional);
+}
+
+TEST(SessionTest, AdmissionConcurrentWithIngestAndPump) {
+    qs::service_options opt;
+    opt.threads = 2;
+    opt.max_sessions = 64;
+    qs::plan_cache cache;
+    qs::session_manager mgr(opt, &cache);
+
+    // One thread admits sessions and feeds each a few beats while the
+    // main thread pumps continuously -- admission must be safe against
+    // the concurrent lock-free readers.
+    std::atomic<bool> done{false};
+    std::thread admitter([&] {
+        for (unsigned i = 0; i < 48; ++i) {
+            const auto id = mgr.add_session(patient_session(
+                qp::cohort::healthy, i % 16, qcore::psa_config::conventional()));
+            for (unsigned b = 0; b < 8; ++b)
+                mgr.ingest(id, 1.0 + 0.8 * b, 0.8);
+        }
+        done.store(true);
+    });
+    while (!done.load()) mgr.pump();
+    admitter.join();
+    mgr.drain_all();
+
+    EXPECT_EQ(mgr.session_count(), 48u);
+    std::uint64_t beats = 0;
+    for (unsigned i = 0; i < 48; ++i) beats += mgr.at(i).beats_ingested();
+    EXPECT_EQ(beats, 48u * 8u);
+}
+
+// ------------------------------------------------- fleet determinism
+
+TEST(FleetTest, EightMixedSessionsBitIdenticalToSerial) {
+    const real seconds = 480.0;
+    std::vector<qcore::psa_config> configs = {
+        qcore::psa_config::conventional(),
+        qcore::psa_config::proposed(qf::plan::exact(512, qw::basis::haar)),
+        qcore::psa_config::proposed(
+            qf::plan::static_pruned(512, qw::basis::haar, qf::twiddle_set::set2)),
+        qcore::psa_config::proposed(qf::plan::band_dropped(512, qw::basis::haar)),
+    };
+
+    qs::service_options opt;
+    opt.threads = 4;
+    opt.scheduler.batch_size = 2;
+    qs::plan_cache cache;
+    qs::session_manager mgr(opt, &cache);
+
+    std::vector<qp::rr_record> records;
+    for (unsigned i = 0; i < 8; ++i) {
+        const auto group =
+            i % 2 == 0 ? qp::cohort::sinus_arrhythmia : qp::cohort::healthy;
+        records.push_back(qp::record_for(qp::make_patient(group, i), seconds));
+        mgr.add_session(
+            patient_session(group, i, configs[i % configs.size()]));
+    }
+
+    // Interleave ingest round-robin across sessions, pumping as we go --
+    // worst case for scheduling-order dependence.
+    std::size_t max_beats = 0;
+    for (const auto& r : records) max_beats = std::max(max_beats, r.beats());
+    for (std::size_t b = 0; b < max_beats; ++b) {
+        for (unsigned i = 0; i < 8; ++i) {
+            if (b < records[i].beats()) {
+                ASSERT_TRUE(
+                    mgr.ingest(i, records[i].beat_time_s[b], records[i].rr_s[b]));
+            }
+        }
+        if (b % 50 == 0) mgr.pump();
+    }
+    mgr.drain_all();
+
+    std::uint64_t total_windows = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        const auto want = serial_reports(records[i], configs[i % configs.size()]);
+        expect_reports_identical(mgr.at(i).reports(), want);
+        total_windows += mgr.at(i).windows_completed();
+    }
+    EXPECT_EQ(mgr.fleet().windows, total_windows);
+
+    // 8 sessions, 4 distinct configurations: the cache holds 4 engines
+    // and every other session construction hit.
+    const auto cs = mgr.cache_stats();
+    EXPECT_EQ(cs.entries, 4u);
+    EXPECT_EQ(cs.misses, 4u);
+    EXPECT_GE(cs.hits, 4u);
+}
+
+// --------------------------------------------------- concurrent smoke
+
+TEST(FleetTest, ThirtyTwoSessionsConcurrentProducers) {
+    constexpr unsigned n_sessions = 32;
+    const real seconds = 300.0;
+
+    qs::service_options opt;
+    opt.threads = 4;
+    opt.vfs_deadline_s = 60.0;
+    qs::plan_cache cache;
+    qs::session_manager mgr(opt, &cache);
+
+    std::vector<qp::rr_record> records;
+    for (unsigned i = 0; i < n_sessions; ++i) {
+        const auto group =
+            i % 2 == 0 ? qp::cohort::sinus_arrhythmia : qp::cohort::healthy;
+        records.push_back(
+            qp::record_for(qp::make_patient(group, i % 16), seconds));
+        mgr.add_session(patient_session(
+            group, i % 16,
+            i % 2 == 0 ? qcore::psa_config::conventional()
+                       : qcore::psa_config::proposed(
+                             qf::plan::static_pruned(512, qw::basis::haar,
+                                                     qf::twiddle_set::set1))));
+    }
+
+    // Four producer threads feed 8 sessions each while the main thread
+    // pumps the scheduler concurrently.
+    std::atomic<bool> done{false};
+    std::vector<std::thread> producers;
+    for (unsigned p = 0; p < 4; ++p) {
+        producers.emplace_back([&, p] {
+            for (unsigned i = p * 8; i < (p + 1) * 8; ++i) {
+                const auto& rec = records[i];
+                for (std::size_t b = 0; b < rec.beats(); ++b)
+                    while (!mgr.ingest(i, rec.beat_time_s[b], rec.rr_s[b]))
+                        std::this_thread::yield();
+            }
+        });
+    }
+    std::thread pumper([&] {
+        while (!done.load()) mgr.pump();
+    });
+    for (auto& t : producers) t.join();
+    done.store(true);
+    pumper.join();
+    mgr.drain_all();
+
+    std::uint64_t windows = 0;
+    for (unsigned i = 0; i < n_sessions; ++i) {
+        EXPECT_EQ(mgr.at(i).beats_ingested(), records[i].beats()) << i;
+        EXPECT_GT(mgr.at(i).windows_completed(), 0u) << i;
+        windows += mgr.at(i).windows_completed();
+    }
+    const auto fleet = mgr.fleet();
+    EXPECT_EQ(fleet.windows, windows);
+    EXPECT_GT(fleet.energy.energy_nominal_j, 0.0);
+    EXPECT_GE(fleet.energy.vfs_savings(), 0.0);
+    EXPECT_LE(fleet.energy.energy_vfs_j, fleet.energy.energy_nominal_j);
+    EXPECT_GT(fleet.arrhythmia_fraction(), 0.0);
+
+    // Two distinct configurations across 32 sessions.
+    EXPECT_EQ(mgr.cache_stats().entries, 2u);
+    EXPECT_GT(mgr.cache_stats().hit_rate(), 0.9);
+}
+
+// ------------------------------------------------- energy accumulation
+
+TEST(FleetEnergyTest, AccumulatorRollsUpWindowsAndPartials) {
+    qpsa::energy::fleet_energy_accumulator acc(qpsa::energy::node_model{},
+                                               60.0);
+    qpsa::counting::op_counts ops;
+    ops.adds = 10000;
+    ops.muls = 8000;
+
+    acc.add_window(ops);
+    acc.add_window(ops);
+    // A per-thread partial merged in afterwards.
+    const auto partial = acc.price_window(ops);
+    acc.merge(partial);
+
+    const auto t = acc.totals();
+    EXPECT_EQ(t.windows, 3u);
+    EXPECT_EQ(t.ops.adds, 30000u);
+    EXPECT_EQ(t.ops.muls, 24000u);
+    EXPECT_GT(t.cycles, 0.0);
+    EXPECT_GT(t.energy_nominal_j, 0.0);
+    EXPECT_LE(t.energy_vfs_j, t.energy_nominal_j);
+    EXPECT_NEAR(t.energy_nominal_j, 3.0 * partial.energy_nominal_j, 1e-18);
+    EXPECT_EQ(t.mean_energy_per_window_j(), t.energy_nominal_j / 3.0);
+}
+
+// ------------------------------------------------------- random streams
+
+TEST(RandomStreamTest, DerivedSeedsAreStableAndDistinct) {
+    const std::uint64_t base = 42;
+    EXPECT_EQ(qpsa::util::derive_stream_seed(base, 0),
+              qpsa::util::derive_stream_seed(base, 0));
+    EXPECT_NE(qpsa::util::derive_stream_seed(base, 0),
+              qpsa::util::derive_stream_seed(base, 1));
+    EXPECT_NE(qpsa::util::derive_stream_seed(base, 0),
+              qpsa::util::derive_stream_seed(base + 1, 0));
+
+    // Session seeds depend only on (base, id): two managers assign the
+    // same streams regardless of construction history.
+    qs::plan_cache cache;
+    qs::session_manager a({}, &cache);
+    qs::session_manager b({}, &cache);
+    const auto cfg = [] {
+        qs::session_config c;
+        c.patient_id = "p";
+        c.analysis = qcore::psa_config::conventional();
+        c.monitor = paper_monitor();
+        return c;
+    };
+    const auto ida = a.add_session(cfg());
+    b.add_session(cfg());
+    const auto idb = b.add_session(cfg());
+    (void)idb;
+    EXPECT_EQ(a.at(ida).seed(), b.at(0).seed());
+    EXPECT_NE(b.at(0).seed(), b.at(1).seed());
+
+    // Draws from a forked stream are reproducible.
+    auto r1 = a.at(ida).make_rng(7);
+    auto r2 = a.at(ida).make_rng(7);
+    EXPECT_EQ(r1.uniform(0.0, 1.0), r2.uniform(0.0, 1.0));
+}
