@@ -1,11 +1,14 @@
 // Service-layer throughput: concurrent multi-patient HRV analysis.
 //
 // Drives the qpsa::service engine with fleets of 1, 8, 64 and 512
-// simulated patients (physio::patients records), measures sessions/sec,
-// windows/sec and beats/sec, reports the shared plan-cache hit rate and
-// the fleet energy roll-up, and verifies that every session's window
-// series is bit-identical (<= 1e-9) to a serial streaming_monitor run of
-// the same record.  Emits BENCH_service.json for the perf trajectory.
+// simulated patients (physio::patients records) over a six-kind engine
+// mix (double conventional/wavelet/pruned, Q15 and Q31 fixed point, Burg
+// AR), measures sessions/sec, windows/sec and beats/sec, reports the
+// shared plan-cache hit rate, the per-engine-kind window split and the
+// fleet energy roll-up, and verifies that every session's window series
+// is bit-identical (<= 1e-9) to a serial streaming_monitor run of the
+// same record.  Emits BENCH_service.json for the perf trajectory.
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <fstream>
@@ -36,6 +39,9 @@ struct fleet_result {
     double energy_vfs_j = 0.0;
     double arrhythmia_fraction = 0.0;
     std::size_t workers = 0;
+    std::uint64_t beats_dropped = 0;
+    std::array<qpsa::service::engine_tally, qpsa::core::engine_class_count>
+        by_engine{};
 };
 
 core::monitor_options paper_monitor() {
@@ -45,15 +51,18 @@ core::monitor_options paper_monitor() {
     return opt;
 }
 
-/// The paper's standard mode mix a fleet would actually run.
+/// The standard mode mix a fleet would actually run: the paper's double
+/// pair plus a pruned mode, both fixed-point wordlengths and the Burg AR
+/// baseline -- six engine kinds through one plan cache.
 std::vector<core::psa_config> mode_mix() {
     return {
         core::psa_config::conventional(),
         core::psa_config::proposed(wfft::plan::exact(512, wavelet::basis::haar)),
         core::psa_config::proposed(wfft::plan::static_pruned(
             512, wavelet::basis::haar, wfft::twiddle_set::set2)),
-        core::psa_config::proposed(
-            wfft::plan::band_dropped(512, wavelet::basis::haar)),
+        core::psa_config::fixed_wavelet(core::fixed_format::q15),
+        core::psa_config::fixed_wavelet(core::fixed_format::q31),
+        core::psa_config::burg_ar(),
     };
 }
 
@@ -143,6 +152,8 @@ fleet_result run_fleet(unsigned n_patients, real record_seconds) {
     r.energy_nominal_j = fleet.energy.energy_nominal_j;
     r.energy_vfs_j = fleet.energy.energy_vfs_j;
     r.arrhythmia_fraction = fleet.arrhythmia_fraction();
+    r.beats_dropped = fleet.beats_dropped;
+    r.by_engine = fleet.by_engine;
 
     // Verification pass (untimed): every session must match its serial
     // reference bit-for-bit (the 1e-9 bound is the acceptance ceiling).
@@ -208,6 +219,23 @@ int main() {
                                 : "MISMATCH vs serial runs")
               << "\n";
 
+    // Per-engine-kind split of the largest fleet (the mixed-engine
+    // roll-up the service reports for capacity planning).
+    {
+        const auto& big = results.back();
+        std::cout << "engine mix (" << big.patients << " patients): ";
+        bool first = true;
+        for (std::size_t i = 0; i < big.by_engine.size(); ++i) {
+            if (big.by_engine[i].windows == 0) continue;
+            if (!first) std::cout << ", ";
+            std::cout << qpsa::core::engine_class_name(
+                             static_cast<qpsa::core::engine_class>(i))
+                      << "=" << big.by_engine[i].windows;
+            first = false;
+        }
+        std::cout << " windows; dropped beats: " << big.beats_dropped << "\n";
+    }
+
     std::ofstream json("BENCH_service.json");
     json << "{\n  \"bench\": \"service_throughput\",\n  \"record_seconds\": "
          << record_seconds << ",\n  \"workers\": " << results.front().workers
@@ -225,8 +253,20 @@ int main() {
              << ", \"identical\": " << (r.identical ? "true" : "false")
              << ", \"energy_nominal_j\": " << r.energy_nominal_j
              << ", \"energy_vfs_j\": " << r.energy_vfs_j
-             << ", \"arrhythmia_fraction\": " << r.arrhythmia_fraction << "}"
-             << (i + 1 < results.size() ? "," : "") << "\n";
+             << ", \"arrhythmia_fraction\": " << r.arrhythmia_fraction
+             << ", \"beats_dropped\": " << r.beats_dropped
+             << ", \"engine_windows\": {";
+        bool first = true;
+        for (std::size_t e = 0; e < r.by_engine.size(); ++e) {
+            if (r.by_engine[e].windows == 0) continue;
+            if (!first) json << ", ";
+            json << "\""
+                 << qpsa::core::engine_class_name(
+                        static_cast<qpsa::core::engine_class>(e))
+                 << "\": " << r.by_engine[e].windows;
+            first = false;
+        }
+        json << "}}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     json << "  ]\n}\n";
     std::cout << "wrote BENCH_service.json\n";

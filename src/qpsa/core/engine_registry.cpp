@@ -1,0 +1,49 @@
+#include "qpsa/core/engine_registry.hpp"
+
+#include "qpsa/core/psa_config.hpp"
+#include "qpsa/lomb/engine_builders.hpp"
+
+namespace qpsa::core {
+
+engine_registry& engine_registry::storage() {
+    static engine_registry reg;
+    return reg;
+}
+
+engine_registry& engine_registry::instance() {
+    engine_registry& reg = storage();
+    // The built-in builders live in a lomb/ leaf file; referencing the
+    // registration entry point here also guarantees the static-library
+    // linker keeps that translation unit.
+    static std::once_flag builtin_once;
+    std::call_once(builtin_once, [&reg] { lomb::register_builtin_engines(reg); });
+    return reg;
+}
+
+void engine_registry::register_builder(std::size_t spec_index, builder b) {
+    QPSA_EXPECTS(spec_index < engine_spec_count);
+    QPSA_EXPECTS(b != nullptr);
+    std::lock_guard<std::mutex> lock(mu_);
+    builders_[spec_index] = std::move(b);
+}
+
+bool engine_registry::has_builder(std::size_t spec_index) const {
+    if (spec_index >= engine_spec_count) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    return builders_[spec_index] != nullptr;
+}
+
+std::shared_ptr<const lomb::fft_engine> engine_registry::build(
+    const psa_config& cfg) const {
+    builder b;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        b = builders_[cfg.spec.index()];
+    }
+    QPSA_EXPECTS(b != nullptr);  // no builder registered for this spec
+    auto engine = b(cfg);
+    QPSA_ENSURES(engine != nullptr);
+    return engine;
+}
+
+}  // namespace qpsa::core

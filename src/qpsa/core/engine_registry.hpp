@@ -1,0 +1,62 @@
+// Registry of engine builders: spec alternative -> fft_engine factory.
+//
+// psa_system::build_engine and the service plan cache construct engines
+// exclusively through this table, so adding an estimator is a leaf-file
+// operation: define the engine, add a spec alternative, and register a
+// builder -- core never learns the estimator's internals.  The built-in
+// six (split-radix, wavelet, Q15/Q31 fixed point, Burg AR, direct Lomb,
+// resampled) self-register on first use; builders can be replaced at
+// runtime (e.g. to interpose instrumentation) from any thread.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "qpsa/core/engine_spec.hpp"
+
+namespace qpsa::lomb {
+class fft_engine;
+}
+
+namespace qpsa::core {
+
+struct psa_config;
+
+class engine_registry {
+public:
+    /// Builds the immutable engine a validated config describes.  The
+    /// spec alternative is already dispatched; the builder reads its own
+    /// spec struct out of cfg.spec plus the shared pipeline fields
+    /// (mesh size, packing) it needs.
+    using builder =
+        std::function<std::shared_ptr<const lomb::fft_engine>(const psa_config&)>;
+
+    /// The process-wide registry, with built-in engines registered.
+    static engine_registry& instance();
+
+    /// Install (or replace) the builder for a spec alternative.
+    void register_builder(std::size_t spec_index, builder b);
+    template <typename Spec>
+    void register_spec(builder b) {
+        register_builder(engine_spec_index<Spec>, std::move(b));
+    }
+
+    bool has_builder(std::size_t spec_index) const;
+
+    /// Construct the engine for cfg.spec; contract failure when no
+    /// builder is registered for the alternative.
+    std::shared_ptr<const lomb::fft_engine> build(const psa_config& cfg) const;
+
+private:
+    /// Raw singleton storage; instance() layers the one-time built-in
+    /// registration on top (kept separate so that registration can call
+    /// back into the registry without re-entering the once-flag).
+    static engine_registry& storage();
+
+    mutable std::mutex mu_;
+    std::array<builder, engine_spec_count> builders_{};
+};
+
+}  // namespace qpsa::core

@@ -1,0 +1,94 @@
+#include "qpsa/core/engine_spec.hpp"
+
+#include <functional>
+
+namespace qpsa::core {
+
+namespace {
+
+void hash_combine(std::size_t& h, std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+std::size_t hash_real(real v) { return std::hash<real>{}(v); }
+
+}  // namespace
+
+std::string_view fixed_format_name(fixed_format f) {
+    switch (f) {
+        case fixed_format::q15:
+            return "q15";
+        case fixed_format::q31:
+            return "q31";
+    }
+    return "q?";
+}
+
+engine_class classify(const engine_spec& spec) {
+    return std::visit(
+        overloaded{
+            [](const conventional_spec&) { return engine_class::conventional; },
+            [](const wavelet_spec&) { return engine_class::wavelet; },
+            [](const fixed_wavelet_spec& s) {
+                return s.format == fixed_format::q15 ? engine_class::fixed_q15
+                                                     : engine_class::fixed_q31;
+            },
+            [](const burg_spec&) { return engine_class::burg; },
+            [](const direct_lomb_spec&) { return engine_class::direct_lomb; },
+            [](const resampled_spec&) { return engine_class::resampled; },
+        },
+        spec);
+}
+
+std::string_view engine_class_name(engine_class c) {
+    switch (c) {
+        case engine_class::conventional:
+            return "conventional";
+        case engine_class::wavelet:
+            return "wavelet";
+        case engine_class::fixed_q15:
+            return "fixed-q15";
+        case engine_class::fixed_q31:
+            return "fixed-q31";
+        case engine_class::burg:
+            return "burg-ar";
+        case engine_class::direct_lomb:
+            return "direct-lomb";
+        case engine_class::resampled:
+            return "resampled";
+    }
+    return "unknown";
+}
+
+std::size_t engine_key_hash::operator()(const engine_key& k) const {
+    std::size_t h = std::hash<std::size_t>{}(k.mesh);
+    hash_combine(h, k.spec.index());
+    std::visit(
+        overloaded{
+            [&](const conventional_spec&) {},
+            [&](const wavelet_spec& s) {
+                // The plan's canonical serialization covers every field
+                // that affects the transform; hashing it keeps this in
+                // lockstep with plan equality without a second field list.
+                hash_combine(h, std::hash<std::string>{}(s.plan.cache_key()));
+            },
+            [&](const fixed_wavelet_spec& s) {
+                hash_combine(h, static_cast<std::size_t>(s.format));
+                hash_combine(h, static_cast<std::size_t>(s.band_drop));
+                hash_combine(h, hash_real(s.twiddle_fraction));
+            },
+            [&](const burg_spec& s) {
+                hash_combine(h, s.order);
+                hash_combine(h, hash_real(s.resample_hz));
+            },
+            [&](const direct_lomb_spec&) {},
+            [&](const resampled_spec& s) {
+                hash_combine(h, hash_real(s.resample_hz));
+                hash_combine(h, static_cast<std::size_t>(s.taper));
+            },
+        },
+        k.spec);
+    return h;
+}
+
+}  // namespace qpsa::core

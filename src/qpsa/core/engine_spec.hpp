@@ -1,0 +1,134 @@
+// Typed, extensible identity of a spectral engine.
+//
+// The paper's central move is swapping the spectral engine under a fixed
+// Welch-Lomb pipeline; the service layer scales that move to fleets by
+// sharing one immutable engine per distinct configuration.  Both need a
+// precise notion of "which engine is this": engine_spec is that notion --
+// a variant of small per-engine config structs, one alternative per
+// estimator family.  New estimators add an alternative here and register
+// a builder with core::engine_registry; nothing else in core changes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "qpsa/dsp/window.hpp"
+#include "qpsa/util/common.hpp"
+#include "qpsa/wfft/plan.hpp"
+
+namespace qpsa::core {
+
+/// Conventional baseline: split-radix FFT under Fast-Lomb.  The transform
+/// size is the pipeline's mesh size (psa_config.lomb.mesh_size), so the
+/// spec itself carries no state.
+struct conventional_spec {
+    bool operator==(const conventional_spec&) const = default;
+};
+
+/// Proposed engine: quality-scalable wavelet FFT running `plan`.
+/// plan.n must equal the pipeline mesh size.
+struct wavelet_spec {
+    wfft::plan plan;
+    bool operator==(const wavelet_spec&) const = default;
+};
+
+/// Datapath wordlength of a fixed-point engine (Q1.F formats).
+enum class fixed_format : std::uint8_t {
+    q15,  ///< 16-bit sensor-node datapath (F = 15)
+    q31,  ///< 32-bit MAC datapath (F = 31)
+};
+
+std::string_view fixed_format_name(fixed_format f);
+
+/// Node-faithful engine: the wavelet FFT executed entirely in Q-format
+/// fixed point (wfft::fixed_wavelet_fft), with the paper's band-drop and
+/// static factor-pruning knobs.
+struct fixed_wavelet_spec {
+    fixed_format format = fixed_format::q15;
+    bool band_drop = false;
+    real twiddle_fraction = 0.0;  ///< static factor pruning fraction
+    bool operator==(const fixed_wavelet_spec&) const = default;
+};
+
+/// Burg autoregressive (maximum-entropy) estimator over the uniformly
+/// resampled window -- the classic third HRV method next to the FFT
+/// periodogram and the Lomb family.
+struct burg_spec {
+    std::size_t order = 16;
+    real resample_hz = 4.0;
+    bool operator==(const burg_spec&) const = default;
+};
+
+/// Direct O(N * Nfreq) Lomb-Scargle evaluation (the accuracy reference).
+struct direct_lomb_spec {
+    bool operator==(const direct_lomb_spec&) const = default;
+};
+
+/// Traditional estimator: linear interpolation + uniform resampling +
+/// tapered FFT periodogram, interpolated onto the pipeline's grid.
+struct resampled_spec {
+    real resample_hz = 4.0;
+    dsp::window_kind taper = dsp::window_kind::hann;
+    bool operator==(const resampled_spec&) const = default;
+};
+
+using engine_spec =
+    std::variant<conventional_spec, wavelet_spec, fixed_wavelet_spec,
+                 burg_spec, direct_lomb_spec, resampled_spec>;
+
+namespace detail {
+template <typename T, typename V>
+struct index_of;
+template <typename T, typename... Ts>
+struct index_of<T, std::variant<T, Ts...>>
+    : std::integral_constant<std::size_t, 0> {};
+template <typename T, typename U, typename... Ts>
+struct index_of<T, std::variant<U, Ts...>>
+    : std::integral_constant<std::size_t,
+                             1 + index_of<T, std::variant<Ts...>>::value> {};
+}  // namespace detail
+
+/// Compile-time variant index of a spec alternative (the registry slot).
+template <typename Spec>
+inline constexpr std::size_t engine_spec_index =
+    detail::index_of<Spec, engine_spec>::value;
+
+inline constexpr std::size_t engine_spec_count =
+    std::variant_size_v<engine_spec>;
+
+/// Runtime classification used for fleet roll-ups: one slot per servable
+/// engine kind (the two fixed-point wordlengths count separately, since
+/// they are distinct engines with distinct quality/energy points).
+enum class engine_class : std::uint8_t {
+    conventional,
+    wavelet,
+    fixed_q15,
+    fixed_q31,
+    burg,
+    direct_lomb,
+    resampled,
+};
+
+inline constexpr std::size_t engine_class_count = 7;
+
+engine_class classify(const engine_spec& spec);
+std::string_view engine_class_name(engine_class c);
+
+/// Canonical identity of the engine a (spec, mesh) pair builds: a
+/// structured key with value equality and a hash, replacing the seed's
+/// fragile string keys.  Configs with equal keys are served by one shared
+/// engine instance (service::plan_cache).
+struct engine_key {
+    std::size_t mesh = 0;
+    engine_spec spec;
+    bool operator==(const engine_key&) const = default;
+};
+
+struct engine_key_hash {
+    std::size_t operator()(const engine_key& k) const;
+};
+
+}  // namespace qpsa::core

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "qpsa/core/engine_spec.hpp"
 #include "qpsa/dsp/window.hpp"
 #include "qpsa/hrv/bands.hpp"
 #include "qpsa/lomb/fast_lomb.hpp"
@@ -11,16 +12,11 @@
 
 namespace qpsa::core {
 
-enum class engine_kind {
-    conventional,  ///< split-radix FFT (the paper's baseline system)
-    wavelet,       ///< quality-scalable DWT-based FFT
-};
-
 struct psa_config {
-    engine_kind engine = engine_kind::conventional;
-    /// Wavelet-FFT plan (used when engine == wavelet).  plan.n must equal
-    /// lomb.mesh_size.
-    wfft::plan wplan = wfft::plan::exact(512, wavelet::basis::haar);
+    /// Which spectral engine runs under the fixed pipeline -- the paper's
+    /// swap point, now a typed spec (see engine_spec.hpp).  Engines are
+    /// built from it through core::engine_registry.
+    engine_spec spec = conventional_spec{};
 
     /// Welch segmentation (paper: 2-minute windows, 50 % overlap).
     real window_seconds = 120.0;
@@ -47,9 +43,18 @@ struct psa_config {
 
     hrv::band_limits bands;
 
-    /// Named paper configurations.
+    /// Named configurations, one per servable engine kind.
     static psa_config conventional(std::size_t mesh = 512);
     static psa_config proposed(const wfft::plan& p);
+    static psa_config fixed_wavelet(fixed_format format, std::size_t mesh = 512,
+                                    bool band_drop = false,
+                                    real twiddle_fraction = 0.0);
+    static psa_config burg_ar(std::size_t order = 16, std::size_t mesh = 512);
+    static psa_config direct_lomb(std::size_t mesh = 512);
+    static psa_config resampled(real resample_hz = 4.0, std::size_t mesh = 512);
+
+    /// Fleet roll-up slot of the configured engine.
+    engine_class kind() const { return classify(spec); }
 
     std::string describe() const;
     void validate() const;
@@ -59,12 +64,17 @@ struct psa_config {
     /// real arithmetic; the packed-pair optimization feeds genuinely
     /// complex data and must not.  Engine construction and engine cache
     /// keys both go through this so identical configurations always
-    /// resolve to the same transform.
+    /// resolve to the same transform.  Wavelet-engine configs only.
     wfft::plan effective_plan() const;
 
-    /// Canonical identity of the FFT engine this config builds; configs
-    /// with equal keys are served by one shared engine instance.
-    std::string engine_key() const;
+    /// The spec with pipeline-derived normalizations folded in (today:
+    /// the wavelet plan's real-input flag); two configs with equal
+    /// normalized specs and mesh sizes run bit-identical engines.
+    engine_spec normalized_spec() const;
+
+    /// Canonical identity of the engine this config builds; configs with
+    /// equal keys are served by one shared engine instance.
+    core::engine_key engine_key() const;
 };
 
 }  // namespace qpsa::core

@@ -2,22 +2,59 @@
 
 #include <sstream>
 
+#include "qpsa/core/engine_registry.hpp"
+
 namespace qpsa::core {
 
-psa_config psa_config::conventional(std::size_t mesh) {
+namespace {
+
+psa_config base_config(std::size_t mesh) {
     psa_config c;
-    c.engine = engine_kind::conventional;
     c.lomb.mesh_size = mesh;
-    c.wplan = wfft::plan::exact(mesh, wavelet::basis::haar);
+    return c;
+}
+
+}  // namespace
+
+psa_config psa_config::conventional(std::size_t mesh) {
+    psa_config c = base_config(mesh);
+    c.spec = conventional_spec{};
     c.validate();
     return c;
 }
 
 psa_config psa_config::proposed(const wfft::plan& p) {
-    psa_config c;
-    c.engine = engine_kind::wavelet;
-    c.wplan = p;
-    c.lomb.mesh_size = p.n;
+    psa_config c = base_config(p.n);
+    c.spec = wavelet_spec{p};
+    c.validate();
+    return c;
+}
+
+psa_config psa_config::fixed_wavelet(fixed_format format, std::size_t mesh,
+                                     bool band_drop, real twiddle_fraction) {
+    psa_config c = base_config(mesh);
+    c.spec = fixed_wavelet_spec{format, band_drop, twiddle_fraction};
+    c.validate();
+    return c;
+}
+
+psa_config psa_config::burg_ar(std::size_t order, std::size_t mesh) {
+    psa_config c = base_config(mesh);
+    c.spec = burg_spec{order, 4.0};
+    c.validate();
+    return c;
+}
+
+psa_config psa_config::direct_lomb(std::size_t mesh) {
+    psa_config c = base_config(mesh);
+    c.spec = direct_lomb_spec{};
+    c.validate();
+    return c;
+}
+
+psa_config psa_config::resampled(real resample_hz, std::size_t mesh) {
+    psa_config c = base_config(mesh);
+    c.spec = resampled_spec{resample_hz, dsp::window_kind::hann};
     c.validate();
     return c;
 }
@@ -26,58 +63,108 @@ void psa_config::validate() const {
     QPSA_EXPECTS(lomb.mesh_size >= 64 && is_pow2(lomb.mesh_size));
     QPSA_EXPECTS(window_seconds > 10.0);
     QPSA_EXPECTS(overlap >= 0.0 && overlap < 1.0);
-    if (engine == engine_kind::wavelet) QPSA_EXPECTS(wplan.n == lomb.mesh_size);
+    std::visit(
+        overloaded{
+            [](const conventional_spec&) {},
+            [&](const wavelet_spec& s) {
+                s.plan.validate();
+                QPSA_EXPECTS(s.plan.n == lomb.mesh_size);
+            },
+            [](const fixed_wavelet_spec& s) {
+                QPSA_EXPECTS(s.twiddle_fraction >= 0.0 &&
+                             s.twiddle_fraction < 1.0);
+            },
+            [&](const burg_spec& s) {
+                QPSA_EXPECTS(s.order >= 2);
+                QPSA_EXPECTS(s.resample_hz > 0.0);
+                QPSA_EXPECTS(2 * s.order <
+                             static_cast<std::size_t>(window_seconds *
+                                                      s.resample_hz));
+            },
+            [](const direct_lomb_spec&) {},
+            [](const resampled_spec& s) { QPSA_EXPECTS(s.resample_hz > 0.0); },
+        },
+        spec);
 }
 
 std::string psa_config::describe() const {
     std::ostringstream ss;
-    if (engine == engine_kind::conventional) {
-        ss << "conventional(split-radix," << lomb.mesh_size << ")";
-    } else {
-        ss << "proposed(" << wavelet::basis_name(wplan.basis);
-        switch (wplan.prune.mode) {
-            case wfft::prune_mode::none:
-                ss << ",exact";
-                break;
-            case wfft::prune_mode::fixed:
-                ss << ",static";
-                break;
-            case wfft::prune_mode::dynamic:
-                ss << ",dynamic";
-                break;
-        }
-        if (wplan.prune.band_drop_levels > 0) ss << ",band-drop";
-        if (wplan.prune.twiddle_fraction > 0.0)
-            ss << "," << static_cast<int>(wplan.prune.twiddle_fraction * 100) << "%";
-        ss << "," << wplan.n << ")";
-    }
+    std::visit(
+        overloaded{
+            [&](const conventional_spec&) {
+                ss << "conventional(split-radix," << lomb.mesh_size << ")";
+            },
+            [&](const wavelet_spec& s) {
+                ss << "proposed(" << wavelet::basis_name(s.plan.basis);
+                switch (s.plan.prune.mode) {
+                    case wfft::prune_mode::none:
+                        ss << ",exact";
+                        break;
+                    case wfft::prune_mode::fixed:
+                        ss << ",static";
+                        break;
+                    case wfft::prune_mode::dynamic:
+                        ss << ",dynamic";
+                        break;
+                }
+                if (s.plan.prune.band_drop_levels > 0) ss << ",band-drop";
+                if (s.plan.prune.twiddle_fraction > 0.0)
+                    ss << ","
+                       << static_cast<int>(s.plan.prune.twiddle_fraction * 100)
+                       << "%";
+                ss << "," << s.plan.n << ")";
+            },
+            [&](const fixed_wavelet_spec& s) {
+                ss << "fixed(" << fixed_format_name(s.format);
+                if (s.band_drop) ss << ",band-drop";
+                if (s.twiddle_fraction > 0.0)
+                    ss << "," << static_cast<int>(s.twiddle_fraction * 100)
+                       << "%";
+                ss << "," << lomb.mesh_size << ")";
+            },
+            [&](const burg_spec& s) {
+                ss << "burg-ar(order=" << s.order << "," << s.resample_hz
+                   << "Hz)";
+            },
+            [&](const direct_lomb_spec&) {
+                ss << "direct-lomb(" << lomb.mesh_size << ")";
+            },
+            [&](const resampled_spec& s) {
+                ss << "resampled(" << s.resample_hz << "Hz,"
+                   << lomb.mesh_size << ")";
+            },
+        },
+        spec);
     return ss.str();
 }
 
 wfft::plan psa_config::effective_plan() const {
-    wfft::plan p = wplan;
+    const auto* s = std::get_if<wavelet_spec>(&spec);
+    QPSA_EXPECTS(s != nullptr);
+    wfft::plan p = s->plan;
     p.assume_real_input = lomb.packing == lomb::fft_packing::two_transforms;
     return p;
 }
 
-std::string psa_config::engine_key() const {
-    if (engine == engine_kind::conventional)
-        return "split-radix:n=" + std::to_string(lomb.mesh_size);
-    return effective_plan().cache_key();
+engine_spec psa_config::normalized_spec() const {
+    if (std::holds_alternative<wavelet_spec>(spec))
+        return wavelet_spec{effective_plan()};
+    return spec;
+}
+
+core::engine_key psa_config::engine_key() const {
+    return core::engine_key{lomb.mesh_size, normalized_spec()};
 }
 
 std::shared_ptr<const lomb::fft_engine> psa_system::build_engine(
     const psa_config& cfg) {
     cfg.validate();
-    if (cfg.engine == engine_kind::conventional)
-        return lomb::make_split_radix_engine(cfg.lomb.mesh_size);
-    return lomb::make_wavelet_engine(cfg.effective_plan());
+    return engine_registry::instance().build(cfg);
 }
 
 psa_system::psa_system(psa_config cfg) : cfg_(std::move(cfg)) {
     cfg_.validate();
-    if (cfg_.engine == engine_kind::wavelet)
-        cfg_.wplan = cfg_.effective_plan();
+    cfg_.spec = cfg_.normalized_spec();
     engine_ = build_engine(cfg_);
 }
 
@@ -87,8 +174,7 @@ psa_system::psa_system(psa_config cfg,
     cfg_.validate();
     QPSA_EXPECTS(engine_ != nullptr);
     QPSA_EXPECTS(engine_->size() == cfg_.lomb.mesh_size);
-    if (cfg_.engine == engine_kind::wavelet)
-        cfg_.wplan = cfg_.effective_plan();
+    cfg_.spec = cfg_.normalized_spec();
 }
 
 record_analysis psa_system::analyze_record(std::span<const real> beat_times,

@@ -55,6 +55,7 @@ void streaming_monitor::try_close_windows() {
             rep.t_start = w0;
             rep.t_end = w1;
             rep.beats = t.size();
+            rep.engine = system_->config().kind();
             lomb::lomb_breakdown bd;
             try {
                 const auto res = system_->analyze_window(t, x, &bd);

@@ -30,6 +30,8 @@ struct window_report {
     hrv::diagnosis diagnosis = hrv::diagnosis::normal;
     counting::op_counts ops;
     std::size_t beats = 0;
+    /// Engine kind that produced the window (fleet roll-ups tally by it).
+    engine_class engine = engine_class::conventional;
 
     real ratio() const { return bands.lf_hf_ratio(); }
 };

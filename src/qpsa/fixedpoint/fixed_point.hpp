@@ -9,6 +9,9 @@
 // Representation: value = raw / 2^F stored in a 32-bit integer with
 // 64-bit intermediates, round-to-nearest on multiply, and saturating
 // conversions.  This mirrors the DSP datapath of a sensor-node MCU.
+// Above 30 fractional bits (e.g. Q1.31, the format of a 32x32->64 MAC
+// datapath) the raw value widens to 64 bits with 128-bit intermediates,
+// so the same template covers both the Q15 and Q31 service engines.
 #pragma once
 
 #include <algorithm>
@@ -23,11 +26,16 @@ namespace qpsa::fp {
 
 template <unsigned FracBits>
 class fixed_point {
-    static_assert(FracBits >= 1 && FracBits <= 30, "fractional bits out of range");
+    static_assert(FracBits >= 1 && FracBits <= 62, "fractional bits out of range");
 
 public:
-    using raw_type = std::int32_t;
+    using raw_type = std::conditional_t<(FracBits <= 30), std::int32_t, std::int64_t>;
+#if defined(__SIZEOF_INT128__)
+    using wide_type = std::conditional_t<(FracBits <= 30), std::int64_t, __int128>;
+#else
+    static_assert(FracBits <= 30, "wide formats need 128-bit intermediates");
     using wide_type = std::int64_t;
+#endif
     static constexpr unsigned frac_bits = FracBits;
     static constexpr raw_type one_raw = raw_type{1} << FracBits;
 
@@ -88,7 +96,19 @@ public:
 
 private:
     static wide_type to_raw_wide(double v) noexcept {
-        return static_cast<wide_type>(std::llround(v * static_cast<double>(one_raw)));
+        const double scaled = v * static_cast<double>(one_raw);
+        // llround's result is unspecified once the scaled value leaves
+        // the long long range (which for the wide formats happens exactly
+        // at the format ceiling), so saturate in the double domain first.
+        const double hi =
+            static_cast<double>(std::numeric_limits<raw_type>::max());
+        const double lo =
+            static_cast<double>(std::numeric_limits<raw_type>::min());
+        if (scaled >= hi)
+            return static_cast<wide_type>(std::numeric_limits<raw_type>::max());
+        if (scaled <= lo)
+            return static_cast<wide_type>(std::numeric_limits<raw_type>::min());
+        return static_cast<wide_type>(std::llround(scaled));
     }
     static raw_type saturate_wide(wide_type w) noexcept {
         constexpr wide_type lo = std::numeric_limits<raw_type>::min();

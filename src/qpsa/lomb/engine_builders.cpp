@@ -1,0 +1,54 @@
+#include "qpsa/lomb/engine_builders.hpp"
+
+#include "qpsa/core/engine_registry.hpp"
+#include "qpsa/core/psa_config.hpp"
+#include "qpsa/lomb/estimator_engines.hpp"
+#include "qpsa/lomb/fixed_engine.hpp"
+
+namespace qpsa::lomb {
+
+namespace {
+
+using engine_ptr = std::shared_ptr<const fft_engine>;
+
+template <unsigned FracBits>
+engine_ptr make_fixed(const core::fixed_wavelet_spec& s, std::size_t mesh) {
+    typename wfft::fixed_wavelet_fft<FracBits>::config cfg;
+    cfg.n = mesh;
+    cfg.band_drop = s.band_drop;
+    cfg.twiddle_fraction = s.twiddle_fraction;
+    return std::make_shared<const fixed_wavelet_engine<FracBits>>(cfg);
+}
+
+}  // namespace
+
+void register_builtin_engines(core::engine_registry& reg) {
+    reg.register_spec<core::conventional_spec>([](const core::psa_config& cfg) {
+        return engine_ptr(make_split_radix_engine(cfg.lomb.mesh_size));
+    });
+    reg.register_spec<core::wavelet_spec>([](const core::psa_config& cfg) {
+        return engine_ptr(make_wavelet_engine(cfg.effective_plan()));
+    });
+    reg.register_spec<core::fixed_wavelet_spec>([](const core::psa_config& cfg) {
+        const auto& s = std::get<core::fixed_wavelet_spec>(cfg.spec);
+        return s.format == core::fixed_format::q15
+                   ? make_fixed<15>(s, cfg.lomb.mesh_size)
+                   : make_fixed<31>(s, cfg.lomb.mesh_size);
+    });
+    reg.register_spec<core::burg_spec>([](const core::psa_config& cfg) {
+        const auto& s = std::get<core::burg_spec>(cfg.spec);
+        return engine_ptr(std::make_shared<const burg_engine>(
+            cfg.lomb.mesh_size, s.order, s.resample_hz));
+    });
+    reg.register_spec<core::direct_lomb_spec>([](const core::psa_config& cfg) {
+        return engine_ptr(
+            std::make_shared<const direct_lomb_engine>(cfg.lomb.mesh_size));
+    });
+    reg.register_spec<core::resampled_spec>([](const core::psa_config& cfg) {
+        const auto& s = std::get<core::resampled_spec>(cfg.spec);
+        return engine_ptr(std::make_shared<const resampled_engine>(
+            cfg.lomb.mesh_size, s.resample_hz, s.taper));
+    });
+}
+
+}  // namespace qpsa::lomb

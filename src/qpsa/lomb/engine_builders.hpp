@@ -1,0 +1,16 @@
+// Built-in spec -> engine builders for core::engine_registry.
+#pragma once
+
+namespace qpsa::core {
+class engine_registry;
+}
+
+namespace qpsa::lomb {
+
+/// Register the builders for the six built-in engine kinds (split-radix,
+/// wavelet, Q15/Q31 fixed-point wavelet, Burg AR, direct Lomb, resampled
+/// periodogram).  Called once by engine_registry::instance(); replacing a
+/// builder afterwards is allowed.
+void register_builtin_engines(core::engine_registry& reg);
+
+}  // namespace qpsa::lomb

@@ -1,0 +1,132 @@
+#include "qpsa/lomb/estimator_engines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "qpsa/counting/op_counter.hpp"
+#include "qpsa/dsp/burg.hpp"
+#include "qpsa/lomb/lomb_direct.hpp"
+#include "qpsa/lomb/resampled_psd.hpp"
+#include "qpsa/util/stats.hpp"
+
+namespace qpsa::lomb {
+
+namespace {
+
+std::vector<real> grid_freqs(const estimate_grid& grid) {
+    QPSA_EXPECTS(grid.df > 0.0 && grid.nout >= 1);
+    std::vector<real> f(grid.nout);
+    for (std::size_t k = 0; k < grid.nout; ++k)
+        f[k] = static_cast<real>(k + 1) * grid.df;
+    return f;
+}
+
+/// Count into the engine's stats sink in addition to the caller's active
+/// scopes (mirrors what forward() engines do via count_scope).
+class stats_scope {
+public:
+    explicit stats_scope(wfft::exec_stats* stats) {
+        if (stats != nullptr) scope_.emplace(stats->ops);
+    }
+
+private:
+    std::optional<counting::count_scope> scope_;
+};
+
+}  // namespace
+
+std::string burg_engine::name() const {
+    return "burg-ar(order=" + std::to_string(order_) + ")";
+}
+
+dsp::sampled_spectrum burg_engine::estimate(std::span<const real> t,
+                                            std::span<const real> x,
+                                            const estimate_grid& grid,
+                                            wfft::exec_stats* stats) const {
+    stats_scope scope(stats);
+    const auto freqs = grid_freqs(grid);
+
+    // Uniform resampling (AR models need evenly spaced data), then mean
+    // removal -- Burg assumes a zero-mean process.
+    std::vector<real> series =
+        resample_linear(t, x, resample_hz_, 8 * size());
+    const real mu = util::mean(series);
+    for (real& v : series) v -= mu;
+    counting::count_adds(2 * series.size());
+    counting::count_divs(1);
+
+    // Clamp the order so short windows stay inside burg_fit's contract.
+    const std::size_t max_order = series.size() / 2 - 1;
+    const auto model = dsp::burg_fit(series, std::min(order_, max_order));
+    dsp::sampled_spectrum s = dsp::burg_psd(model, resample_hz_, freqs);
+
+    // Match the Fast-Lomb output convention (normalized periodogram:
+    // PSD * N / (2 sigma^2) of the analyzed window) so the Welch layer's
+    // de-normalization applies uniformly across engine kinds.
+    const real var = util::variance(x);
+    QPSA_EXPECTS(var > 0.0);
+    const real norm = static_cast<real>(x.size()) / (2.0 * var);
+    for (real& p : s.power) p *= norm;
+    counting::count_muls(s.power.size());
+    counting::count_divs(1);
+    return s;
+}
+
+dsp::sampled_spectrum direct_lomb_engine::estimate(
+    std::span<const real> t, std::span<const real> x,
+    const estimate_grid& grid, wfft::exec_stats* stats) const {
+    stats_scope scope(stats);
+    const auto freqs = grid_freqs(grid);
+    // lomb_direct already emits the normalized periodogram on its grid.
+    return lomb_direct(t, x, freqs);
+}
+
+std::string resampled_engine::name() const {
+    return "resampled(" + std::to_string(resample_hz_) + "Hz)";
+}
+
+dsp::sampled_spectrum resampled_engine::estimate(std::span<const real> t,
+                                                 std::span<const real> x,
+                                                 const estimate_grid& grid,
+                                                 wfft::exec_stats* stats) const {
+    stats_scope scope(stats);
+    resampled_psd_options opt;
+    opt.resample_hz = resample_hz_;
+    opt.taper = taper_;
+    opt.fft_size = size();
+    const dsp::sampled_spectrum raw = resampled_psd(t, x, opt);
+
+    // Interpolate the uniform-rate PSD onto the pipeline grid and apply
+    // the same normalized-periodogram convention as the Burg engine.
+    const real var = util::variance(x);
+    QPSA_EXPECTS(var > 0.0);
+    const real norm = static_cast<real>(x.size()) / (2.0 * var);
+
+    dsp::sampled_spectrum s;
+    s.freq_hz = grid_freqs(grid);
+    s.power.resize(s.freq_hz.size());
+    const real raw_df = raw.freq_hz.size() >= 2
+                            ? raw.freq_hz[1] - raw.freq_hz[0]
+                            : grid.df;
+    for (std::size_t k = 0; k < s.freq_hz.size(); ++k) {
+        const real f = s.freq_hz[k];
+        const real pos = f / raw_df;
+        const auto lo = static_cast<std::size_t>(pos);
+        real p;
+        if (lo + 1 >= raw.power.size()) {
+            p = raw.power.back();
+        } else {
+            const real u = pos - static_cast<real>(lo);
+            p = raw.power[lo] * (1.0 - u) + raw.power[lo + 1] * u;
+        }
+        s.power[k] = p * norm;
+    }
+    counting::count_muls(3 * s.power.size());
+    counting::count_adds(2 * s.power.size());
+    counting::count_divs(s.power.size() + 1);
+    return s;
+}
+
+}  // namespace qpsa::lomb

@@ -1,0 +1,81 @@
+// Whole-window spectral estimators behind the fft_engine seam.
+//
+// Burg AR, the direct Lomb evaluation and the traditional resample+FFT
+// periodogram do not factor into "extirpolate, transform, combine" -- they
+// estimate the window's spectrum in one piece.  Each is wrapped as a
+// whole_window() engine so the unchanged Welch pipeline (and therefore the
+// streaming monitor, sessions and fleet scheduler) can serve them exactly
+// like the mesh-FFT engines: same frequency grid, same normalized output
+// convention, same operation accounting.
+#pragma once
+
+#include "qpsa/dsp/window.hpp"
+#include "qpsa/lomb/fft_engine.hpp"
+
+namespace qpsa::lomb {
+
+/// Common scaffolding: nominal size() (the pipeline mesh the engine is
+/// keyed to), contract-failing forward().
+class whole_window_engine : public fft_engine {
+public:
+    explicit whole_window_engine(std::size_t mesh) : mesh_(mesh) {}
+    std::size_t size() const noexcept final { return mesh_; }
+    bool whole_window() const noexcept final { return true; }
+    void forward(std::span<const cplx>, std::span<cplx>,
+                 wfft::exec_stats*) const final {
+        QPSA_EXPECTS(false);  // whole-window engines have no mesh-FFT path
+    }
+
+private:
+    std::size_t mesh_;
+};
+
+/// Burg maximum-entropy estimator: uniform resampling, AR(p) fit,
+/// evaluation of the model PSD on the pipeline grid.
+class burg_engine final : public whole_window_engine {
+public:
+    burg_engine(std::size_t mesh, std::size_t order, real resample_hz)
+        : whole_window_engine(mesh), order_(order), resample_hz_(resample_hz) {}
+    std::string name() const override;
+    dsp::sampled_spectrum estimate(std::span<const real> t,
+                                   std::span<const real> x,
+                                   const estimate_grid& grid,
+                                   wfft::exec_stats* stats) const override;
+
+private:
+    std::size_t order_;
+    real resample_hz_;
+};
+
+/// Direct O(N * Nfreq) Lomb-Scargle evaluation (accuracy reference).
+class direct_lomb_engine final : public whole_window_engine {
+public:
+    explicit direct_lomb_engine(std::size_t mesh)
+        : whole_window_engine(mesh) {}
+    std::string name() const override { return "direct-lomb"; }
+    dsp::sampled_spectrum estimate(std::span<const real> t,
+                                   std::span<const real> x,
+                                   const estimate_grid& grid,
+                                   wfft::exec_stats* stats) const override;
+};
+
+/// Traditional estimator: interpolation + resampling + tapered FFT
+/// periodogram, interpolated onto the pipeline grid.
+class resampled_engine final : public whole_window_engine {
+public:
+    resampled_engine(std::size_t mesh, real resample_hz, dsp::window_kind taper)
+        : whole_window_engine(mesh),
+          resample_hz_(resample_hz),
+          taper_(taper) {}
+    std::string name() const override;
+    dsp::sampled_spectrum estimate(std::span<const real> t,
+                                   std::span<const real> x,
+                                   const estimate_grid& grid,
+                                   wfft::exec_stats* stats) const override;
+
+private:
+    real resample_hz_;
+    dsp::window_kind taper_;
+};
+
+}  // namespace qpsa::lomb

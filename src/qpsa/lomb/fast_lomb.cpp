@@ -64,6 +64,22 @@ lomb_result fast_lomb(std::span<const real> t, std::span<const real> x,
     const std::size_t nout = fast_lomb_nout(n, opt);
     QPSA_EXPECTS(nout >= 1);
 
+    // --- whole-window estimators (AR, direct Lomb, resampled) -------------
+    // These engines consume the raw window and produce the normalized
+    // periodogram on the same grid directly; the mesh pipeline below is
+    // exclusive to forward()-style FFT engines.
+    if (engine.whole_window()) {
+        lomb_result res;
+        res.n_samples = n;
+        res.mesh_span = span;
+        counting::count_scope scope(bd.fft);
+        res.spectrum =
+            engine.estimate(t, x, {1.0 / (span * opt.ofac), nout},
+                            &bd.fft_stats);
+        QPSA_ENSURES(res.spectrum.power.size() == nout);
+        return res;
+    }
+
     // --- redistribution onto the oversampled periodic mesh ----------------
     // The mesh covers span * ofac seconds so that df = 1 / (span * ofac).
     const bool staircase = opt.mesh == mesh_mode::staircase_hold;

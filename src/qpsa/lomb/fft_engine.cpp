@@ -5,6 +5,14 @@
 
 namespace qpsa::lomb {
 
+dsp::sampled_spectrum fft_engine::estimate(std::span<const real>,
+                                           std::span<const real>,
+                                           const estimate_grid&,
+                                           wfft::exec_stats*) const {
+    QPSA_EXPECTS(whole_window());  // mesh-FFT engines have no estimator path
+    return {};
+}
+
 void split_radix_engine::forward(std::span<const cplx> in, std::span<cplx> out,
                                  wfft::exec_stats* stats) const {
     if (stats != nullptr) {

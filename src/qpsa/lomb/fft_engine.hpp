@@ -11,10 +11,19 @@
 #include <string>
 
 #include "qpsa/dsp/fft_split_radix.hpp"
+#include "qpsa/dsp/spectrum.hpp"
 #include "qpsa/util/common.hpp"
 #include "qpsa/wfft/wavelet_fft.hpp"
 
 namespace qpsa::lomb {
+
+/// Frequency grid a whole-window estimator must fill: f_k = k * df for
+/// k = 1..nout (the Fast-Lomb grid, so every engine kind lands on the
+/// same bins and band integration is engine-agnostic).
+struct estimate_grid {
+    real df = 0.0;
+    std::size_t nout = 0;
+};
 
 class fft_engine {
 public:
@@ -28,6 +37,18 @@ public:
     /// engines additionally report pruning statistics.
     virtual void forward(std::span<const cplx> in, std::span<cplx> out,
                          wfft::exec_stats* stats) const = 0;
+
+    /// Whole-window estimators (Burg AR, direct Lomb, resampled
+    /// periodogram) are not mesh FFTs: they see the raw (t, x) window and
+    /// return the normalized periodogram on the grid directly, bypassing
+    /// extirpolation and the Lomb combine.  Exactly one of the two paths
+    /// is live per engine: whole_window() selects which, and the inactive
+    /// entry point is a contract violation.
+    virtual bool whole_window() const noexcept { return false; }
+    virtual dsp::sampled_spectrum estimate(std::span<const real> t,
+                                           std::span<const real> x,
+                                           const estimate_grid& grid,
+                                           wfft::exec_stats* stats) const;
 };
 
 /// Conventional engine: split-radix FFT (the paper's baseline).

@@ -1,0 +1,133 @@
+// Fixed-point wavelet-FFT engine: the node-faithful datapath behind the
+// standard fft_engine seam.
+//
+// The double-precision engines *price* a sensor node's arithmetic; this
+// one *computes* like one, running wfft::fixed_wavelet_fft (Q-format with
+// saturating rounds and block-floating interstage shifts) under the
+// unchanged Fast-Lomb pipeline.  The adapter scales each input block into
+// the Q range (deterministically, from the block's own peak, so fleet and
+// serial runs stay bit-identical), runs the fixed transform, and undoes
+// both the input scale and the transform's 1/N block-floating scale on
+// the way out -- the Lomb combine then sees values on the mathematical
+// DFT scale it expects.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "qpsa/counting/op_counter.hpp"
+#include "qpsa/lomb/fft_engine.hpp"
+#include "qpsa/wfft/fixed_wavelet_fft.hpp"
+
+namespace qpsa::lomb {
+
+template <unsigned FracBits>
+class fixed_wavelet_engine final : public fft_engine {
+public:
+    using transform = wfft::fixed_wavelet_fft<FracBits>;
+
+    explicit fixed_wavelet_engine(typename transform::config cfg)
+        : fft_(cfg), ops_per_forward_(count_ops(fft_)) {
+        // The restore factor below assumes the 1/N block-floating scale;
+        // without interstage shifting a 512-point transform would also
+        // saturate the Q range long before the combine stage.
+        QPSA_EXPECTS(cfg.interstage_shift);
+    }
+
+    std::size_t size() const noexcept override {
+        return fft_.get_config().n;
+    }
+
+    std::string name() const override {
+        const auto& c = fft_.get_config();
+        std::string n = "fixed-wavelet-q" + std::to_string(FracBits);
+        if (c.band_drop) n += ",band-drop";
+        if (c.twiddle_fraction > 0.0)
+            n += "," +
+                 std::to_string(static_cast<int>(c.twiddle_fraction * 100.0)) +
+                 "%";
+        return n + "(" + std::to_string(c.n) + ")";
+    }
+
+    void forward(std::span<const cplx> in, std::span<cplx> out,
+                 wfft::exec_stats* stats) const override {
+        const std::size_t n = size();
+        QPSA_EXPECTS(in.size() == n && out.size() == n);
+
+        // Peak-normalize into the Q range.  0.2 leaves headroom over the
+        // |x| < ~0.25 bound the transform's interstage shifting assumes.
+        real peak = 0.0;
+        for (const cplx& v : in)
+            peak = std::max({peak, std::abs(v.real()), std::abs(v.imag())});
+        const real scale = peak > 0.0 ? 0.2 / peak : 1.0;
+
+        std::vector<typename transform::fcplx> fin(n);
+        for (std::size_t i = 0; i < n; ++i)
+            fin[i] = {typename transform::scalar(in[i].real() * scale),
+                      typename transform::scalar(in[i].imag() * scale)};
+        std::vector<typename transform::fcplx> fout(n);
+        fft_.forward(fin, fout);
+
+        // Undo the input scale and the transform's 1/N block-floating
+        // scale so downstream sees the mathematical DFT.
+        const real restore = static_cast<real>(n) / scale;
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = cplx{fout[i].re.to_double() * restore,
+                          fout[i].im.to_double() * restore};
+
+        // The fixed kernel is not instrumented internally (a node would
+        // not be); charge the structural op count computed at build time.
+        counting::add_to_active(ops_per_forward_);
+        if (stats != nullptr) {
+            counting::op_counts& sink = stats->ops;
+            sink += ops_per_forward_;
+            stats->terms_total += fft_.combine_terms();
+            stats->terms_pruned_factor += fft_.pruned_terms();
+            stats->band_dropped =
+                stats->band_dropped || fft_.get_config().band_drop;
+        }
+    }
+
+    const transform& fixed_transform() const noexcept { return fft_; }
+
+private:
+    /// Structural operation count of one forward(): Haar stage, the
+    /// sub-FFT butterflies (with interstage halving scales), the pruned
+    /// diagonal combine, and the two scaling passes of the adapter.
+    static counting::op_counts count_ops(const transform& fft) {
+        const auto& c = fft.get_config();
+        const std::size_t n = c.n;
+        const std::size_t half = n / 2;
+        const auto m = static_cast<std::uint64_t>(half);
+        const std::uint64_t stages = log2_exact(half);
+
+        counting::op_counts ops;
+        // Adapter scaling passes (in and out): one real mul per component.
+        ops.muls += 4 * static_cast<std::uint64_t>(n);
+        // Haar butterflies: complex add + sub per pair, halved in place.
+        ops.adds += 4 * m;
+        if (c.interstage_shift) ops.muls += 4 * m;
+        // Sub-FFTs: (m/2)*log2(m) radix-2 butterflies, each one complex
+        // multiply (4 mul + 2 add) plus complex +/- (4 adds), plus the
+        // interstage halving of both outputs (4 muls).
+        const std::uint64_t subffts = c.band_drop ? 1 : 2;
+        const std::uint64_t butterflies = subffts * (m / 2) * stages;
+        ops.muls += butterflies * (c.interstage_shift ? 8 : 4);
+        ops.adds += butterflies * 6;
+        // Combine: one complex multiply per surviving diagonal term, and
+        // two complex adds per pair when the detail band contributes.
+        const std::uint64_t live = static_cast<std::uint64_t>(
+            fft.combine_terms() - fft.pruned_terms());
+        ops.muls += live * 4;
+        ops.adds += live * 2;
+        if (!c.band_drop) ops.adds += 4 * m;
+        return ops;
+    }
+
+    transform fft_;
+    counting::op_counts ops_per_forward_;
+};
+
+}  // namespace qpsa::lomb

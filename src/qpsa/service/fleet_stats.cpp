@@ -2,6 +2,23 @@
 
 namespace qpsa::service {
 
+fleet_snapshot& fleet_snapshot::operator+=(const fleet_snapshot& o) {
+    windows += o.windows;
+    beats += o.beats;
+    arrhythmia_windows += o.arrhythmia_windows;
+    energy += o.energy;
+    for (std::size_t i = 0; i < by_engine.size(); ++i)
+        by_engine[i] += o.by_engine[i];
+    beats_dropped += o.beats_dropped;
+    beats_rejected += o.beats_rejected;
+    drop_alarms.insert(drop_alarms.end(), o.drop_alarms.begin(),
+                       o.drop_alarms.end());
+    lf_sum += o.lf_sum;
+    hf_sum += o.hf_sum;
+    ratio_sum += o.ratio_sum;
+    return *this;
+}
+
 fleet_stats::fleet_stats(energy::node_model node, real vfs_deadline_s)
     : pricer_(node, vfs_deadline_s) {}
 
@@ -21,6 +38,11 @@ void fleet_stats::add_report(const core::window_report& rep) {
     agg_.hf_sum += rep.bands.hf;
     agg_.ratio_sum += rep.ratio();
     agg_.energy += priced;
+
+    engine_tally& slot = agg_.by_engine[static_cast<std::size_t>(rep.engine)];
+    ++slot.windows;
+    slot.beats += rep.beats;
+    slot.energy_nominal_j += priced.energy_nominal_j;
 }
 
 fleet_snapshot fleet_stats::snapshot() const {

@@ -1,20 +1,46 @@
 // Fleet-wide roll-up of analysis results.
 //
 // Every window any session completes lands here: op counts and energy
-// (priced on the shared node model, nominal and VFS), band-power sums and
-// the arrhythmia census.  One mutex guards the tallies -- a window arrives
-// every ~60 s per patient, so even a million-patient fleet averages well
-// under 20k add_report() calls per second.
+// (priced on the shared node model, nominal and VFS), band-power sums,
+// the arrhythmia census, and per-engine-kind tallies.  One mutex guards
+// the tallies -- a window arrives every ~60 s per patient, so even a
+// million-patient fleet averages well under 20k add_report() calls per
+// second.  Snapshots are mergeable (operator+=), which is what lets
+// sharded deployments roll K managers up losslessly.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <mutex>
+#include <vector>
 
 #include "qpsa/core/streaming_monitor.hpp"
 #include "qpsa/energy/fleet.hpp"
 #include "qpsa/hrv/detector.hpp"
 
 namespace qpsa::service {
+
+/// Per-engine-kind tally (one slot per core::engine_class).
+struct engine_tally {
+    std::uint64_t windows = 0;
+    std::uint64_t beats = 0;
+    real energy_nominal_j = 0.0;
+
+    engine_tally& operator+=(const engine_tally& o) {
+        windows += o.windows;
+        beats += o.beats;
+        energy_nominal_j += o.energy_nominal_j;
+        return *this;
+    }
+};
+
+/// Ingest-health alarm for one session: beats the ring rejected on
+/// overflow plus beats the monitor rejected as malformed.
+struct session_drop_alarm {
+    std::uint64_t session_id = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t rejected = 0;
+};
 
 /// Consistent snapshot of the fleet tallies.  The summed op counts live
 /// in energy.ops (priced and tallied in one place; no second copy that
@@ -25,10 +51,24 @@ struct fleet_snapshot {
     std::uint64_t arrhythmia_windows = 0;
     energy::fleet_energy_totals energy;
 
+    /// Windows/beats/energy split by the engine kind that produced them.
+    std::array<engine_tally, core::engine_class_count> by_engine{};
+
+    /// Ingest-drop roll-up (filled by session_manager::fleet(); plain
+    /// fleet_stats snapshots have no ingest visibility and report 0).
+    std::uint64_t beats_dropped = 0;
+    std::uint64_t beats_rejected = 0;
+    /// Per-session alarms for every session with a nonzero drop count.
+    std::vector<session_drop_alarm> drop_alarms;
+
     // Sums over windows; use the mean_* helpers for averages.
     real lf_sum = 0.0;
     real hf_sum = 0.0;
     real ratio_sum = 0.0;
+
+    const engine_tally& engine(core::engine_class c) const {
+        return by_engine[static_cast<std::size_t>(c)];
+    }
 
     real mean_lf() const { return windows ? lf_sum / real(windows) : 0.0; }
     real mean_hf() const { return windows ? hf_sum / real(windows) : 0.0; }
@@ -38,6 +78,12 @@ struct fleet_snapshot {
     real arrhythmia_fraction() const {
         return windows ? real(arrhythmia_windows) / real(windows) : 0.0;
     }
+
+    /// Lossless merge of another (disjoint) fleet's tallies -- the
+    /// sharding primitive: shard snapshots sum into one deployment view.
+    /// Drop alarms concatenate; session ids are per-shard, so callers
+    /// merging shards that share an id space must namespace them first.
+    fleet_snapshot& operator+=(const fleet_snapshot& o);
 };
 
 class fleet_stats {

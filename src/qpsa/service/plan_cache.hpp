@@ -14,8 +14,8 @@
 #pragma once
 
 #include <memory>
-#include <string>
 
+#include "qpsa/core/engine_spec.hpp"
 #include "qpsa/core/psa_system.hpp"
 #include "qpsa/util/memo.hpp"
 
@@ -38,7 +38,9 @@ public:
     void clear() { memo_.clear(); }
 
 private:
-    util::shared_memo<std::string, lomb::fft_engine> memo_;
+    util::shared_memo<core::engine_key, lomb::fft_engine,
+                      core::engine_key_hash>
+        memo_;
 };
 
 /// The process-wide instance every session_manager uses by default.

@@ -32,7 +32,7 @@ std::size_t session::drain(fleet_stats& fleet) {
         } catch (const contract_error&) {
             // Malformed beat (non-positive RR, non-monotonic time): a
             // fleet node drops it rather than poisoning the worker.
-            ++beats_rejected_;
+            beats_rejected_.fetch_add(1, std::memory_order_relaxed);
         }
     }
     std::size_t completed = 0;

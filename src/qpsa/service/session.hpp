@@ -8,6 +8,7 @@
 // session to two tasks concurrently).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -87,8 +88,11 @@ public:
     std::uint64_t beats_ingested() const noexcept { return beats_ingested_; }
     std::uint64_t beats_dropped() const noexcept { return ring_.dropped(); }
     /// Beats discarded because they violated the monitor's contract
-    /// (non-positive RR, non-monotonic time).
-    std::uint64_t beats_rejected() const noexcept { return beats_rejected_; }
+    /// (non-positive RR, non-monotonic time).  Atomic so the fleet
+    /// snapshot can read it while a worker drains.
+    std::uint64_t beats_rejected() const noexcept {
+        return beats_rejected_.load(std::memory_order_relaxed);
+    }
     std::uint64_t windows_completed() const noexcept { return windows_; }
 
 private:
@@ -98,7 +102,7 @@ private:
     core::streaming_monitor monitor_;
     std::vector<core::window_report> reports_;
     std::uint64_t beats_ingested_ = 0;
-    std::uint64_t beats_rejected_ = 0;
+    std::atomic<std::uint64_t> beats_rejected_{0};
     std::uint64_t windows_ = 0;
 };
 

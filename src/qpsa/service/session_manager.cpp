@@ -52,6 +52,24 @@ std::size_t session_manager::pump() {
     return scheduler_.run_once({sessions_.data(), session_count()}, stats_);
 }
 
+fleet_snapshot session_manager::fleet() const {
+    fleet_snapshot snap = stats_.snapshot();
+    // Ingest-health columns come from the sessions themselves (the ring
+    // counts drops where they happen); both counters are atomics, so this
+    // is safe against concurrent producers and workers.
+    const std::size_t n = session_count();
+    for (std::size_t i = 0; i < n; ++i) {
+        const session& s = *sessions_[i];
+        const std::uint64_t dropped = s.beats_dropped();
+        const std::uint64_t rejected = s.beats_rejected();
+        snap.beats_dropped += dropped;
+        snap.beats_rejected += rejected;
+        if (dropped > 0 || rejected > 0)
+            snap.drop_alarms.push_back({s.id(), dropped, rejected});
+    }
+    return snap;
+}
+
 std::size_t session_manager::drain_all() {
     std::size_t total = 0;
     for (;;) {

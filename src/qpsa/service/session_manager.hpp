@@ -89,7 +89,10 @@ public:
     /// can build matching serial systems from the same cache.
     core::system_factory factory();
 
-    fleet_snapshot fleet() const { return stats_.snapshot(); }
+    /// Fleet tallies plus the ingest-health columns (per-session drop and
+    /// reject counts folded in from the live sessions).  Safe to call
+    /// concurrently with ingest and pump.
+    fleet_snapshot fleet() const;
     plan_cache_stats cache_stats() const { return cache_->stats(); }
     std::size_t worker_count() const noexcept { return pool_.size(); }
 

@@ -96,4 +96,12 @@ std::vector<T> to_vector(std::span<const T> s) {
     return std::vector<T>(s.begin(), s.end());
 }
 
+/// Lambda-overload set for std::visit.
+template <typename... Fs>
+struct overloaded : Fs... {
+    using Fs::operator()...;
+};
+template <typename... Fs>
+overloaded(Fs...) -> overloaded<Fs...>;
+
 }  // namespace qpsa

@@ -48,6 +48,26 @@ public:
 
     const config& get_config() const noexcept { return cfg_; }
 
+    /// Combine terms evaluated per forward(): 2 (band drop) or 4 diagonal
+    /// factors per output pair, n/2 pairs.
+    std::size_t combine_terms() const noexcept {
+        return (cfg_.band_drop ? 2 : 4) * (cfg_.n / 2);
+    }
+
+    /// Of those, how many are skipped by the static factor pruning (the
+    /// quantile threshold folded into the tables at construction).
+    std::size_t pruned_terms() const noexcept {
+        auto count = [](const std::vector<bool>& v) {
+            std::size_t c = 0;
+            for (const bool p : v)
+                if (p) ++c;
+            return c;
+        };
+        std::size_t total = count(pruned_a_) + count(pruned_c_);
+        if (!cfg_.band_drop) total += count(pruned_b_) + count(pruned_d_);
+        return total;
+    }
+
     /// Forward transform; in/out sized n.  Output scale is 1/N relative
     /// to the mathematical DFT when interstage_shift is on.
     void forward(std::span<const fcplx> in, std::span<fcplx> out) const {

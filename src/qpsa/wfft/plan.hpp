@@ -43,6 +43,8 @@ struct plan {
     bool use_db2_lifting = true;
     prune_config prune;
 
+    bool operator==(const plan&) const = default;
+
     /// The conventional comparison point is a split-radix FFT, not a plan.
     /// These factories produce the paper's named configurations:
     static plan exact(std::size_t n, wavelet::basis b,

@@ -80,6 +80,8 @@ struct prune_config {
     /// of the savings at lower distortion.
     double dynamic_factor_fraction = 0.0;
 
+    bool operator==(const prune_config&) const = default;
+
     static prune_config exact() { return {}; }
 
     /// Paper's static configuration: band drop + Set{1,2,3}.

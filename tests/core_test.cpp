@@ -29,18 +29,18 @@ const qp::rr_record& healthy_record() {
 
 TEST(PsaConfigTest, FactoriesAndValidation) {
     const auto conv = qcore::psa_config::conventional();
-    EXPECT_EQ(conv.engine, qcore::engine_kind::conventional);
+    EXPECT_EQ(conv.kind(), qcore::engine_class::conventional);
     EXPECT_EQ(conv.lomb.mesh_size, 512u);
     EXPECT_NE(conv.describe().find("split-radix"), std::string::npos);
 
     const auto prop = qcore::psa_config::proposed(
         qf::plan::static_pruned(512, qw::basis::haar, qf::twiddle_set::set3));
-    EXPECT_EQ(prop.engine, qcore::engine_kind::wavelet);
+    EXPECT_EQ(prop.kind(), qcore::engine_class::wavelet);
     EXPECT_NE(prop.describe().find("haar"), std::string::npos);
     EXPECT_NE(prop.describe().find("60%"), std::string::npos);
 
     auto bad = prop;
-    bad.lomb.mesh_size = 256;  // mismatch with wplan.n
+    bad.lomb.mesh_size = 256;  // mismatch with the wavelet plan's n
     EXPECT_THROW(bad.validate(), qpsa::contract_error);
 }
 

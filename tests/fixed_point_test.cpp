@@ -90,6 +90,53 @@ TEST(FixedPointTest, QuantizeRoundtripErrorShrinksWithPrecision) {
     EXPECT_LT(e20, e12 / 50.0);
 }
 
+// Wide formats (Q1.31 on a 64-bit raw with 128-bit intermediates): the
+// service's q31 engine runs on this instantiation.
+using q31 = qf::fixed_point<31>;
+
+TEST(FixedPointTest, Q31RoundTripAndResolution) {
+    static_assert(sizeof(q31::raw_type) == 8);
+    EXPECT_DOUBLE_EQ(q31::resolution(), 1.0 / 2147483648.0);
+    EXPECT_LT(q31::resolution(), q15::resolution());
+    for (double v : {0.0, 0.5, -0.5, 0.123456789, -0.987654321}) {
+        EXPECT_NEAR(q31(v).to_double(), v, q31::resolution());
+    }
+}
+
+TEST(FixedPointTest, Q31ArithmeticMatchesDoubleClosely) {
+    const q31 a(0.31830988618);   // 1/pi
+    const q31 b(-0.57721566490);  // -gamma
+    EXPECT_NEAR((a * b).to_double(), 0.31830988618 * -0.57721566490,
+                4.0 * q31::resolution());
+    EXPECT_NEAR((a + b).to_double(), 0.31830988618 - 0.57721566490,
+                2.0 * q31::resolution());
+    EXPECT_NEAR((a / b).to_double(), 0.31830988618 / -0.57721566490,
+                8.0 * q31::resolution());
+}
+
+TEST(FixedPointTest, Q31SaturatesInsteadOfWrapping) {
+    // 3e9 is representable (max ~4.29e9) but 6e9 is not: the sum must
+    // clamp to the format ceiling, not wrap.
+    const q31 a(3.0e9);
+    EXPECT_NEAR(a.to_double(), 3.0e9, q31::resolution());
+    EXPECT_NEAR((a + a).to_double(), q31::max_value(), 1.0);
+    EXPECT_NEAR((-a - a).to_double(), -q31::max_value(), 2.0);
+}
+
+TEST(FixedPointTest, WideConversionSaturatesOutOfRangeDoubles) {
+    // Out-of-range *conversions* must clamp too.  For the wide formats
+    // the scaled value leaves the long long range exactly at the format
+    // ceiling, where llround alone would sign-flip.
+    EXPECT_NEAR(q31(5.0e9).to_double(), q31::max_value(), 1.0);
+    EXPECT_NEAR(q31(-5.0e9).to_double(), -q31::max_value(), 2.0);
+    using q62 = qf::fixed_point<62>;
+    EXPECT_NEAR(q62(3.5).to_double(), q62::max_value(), q62::resolution());
+    EXPECT_NEAR(q62(-3.5).to_double(), -q62::max_value(),
+                2.0 * q62::resolution());
+    // Narrow formats were already saturating; keep them that way.
+    EXPECT_NEAR(q15(1.0e9).to_double(), q15::max_value(), q15::resolution());
+}
+
 // Property sweep: a*b == b*a and (a+b)-b == a within one LSB across a grid.
 class FixedPointPropertyTest : public ::testing::TestWithParam<double> {};
 

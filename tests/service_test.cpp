@@ -247,19 +247,22 @@ TEST(SessionTest, QdesControllerSelectsModeWithinBudget) {
     cfg.controller = controller;
     cfg.qdes_error_pct = 10.0;  // generous budget -> pruned mode
     const auto id = mgr.add_session(std::move(cfg));
-    EXPECT_EQ(mgr.at(id).config().engine, qcore::engine_kind::wavelet);
-    EXPECT_EQ(mgr.at(id).config().wplan.prune.twiddle_fraction, 0.40);
+    const auto active_plan = [&] {
+        return std::get<qcore::wavelet_spec>(mgr.at(id).config().spec).plan;
+    };
+    EXPECT_EQ(mgr.at(id).config().kind(), qcore::engine_class::wavelet);
+    EXPECT_EQ(active_plan().prune.twiddle_fraction, 0.40);
 
     // Tightening the budget to below the pruned mode's distortion must
     // fall back to the exact mode, via the shared cache.
     mgr.at(id).set_quality_budget(1.0);
-    EXPECT_EQ(mgr.at(id).config().wplan.prune.twiddle_fraction, 0.0);
+    EXPECT_EQ(active_plan().prune.twiddle_fraction, 0.0);
 
     // Budget <= 0 disables QDES: back to the originally configured mode.
     mgr.at(id).set_quality_budget(10.0);
-    EXPECT_EQ(mgr.at(id).config().engine, qcore::engine_kind::wavelet);
+    EXPECT_EQ(mgr.at(id).config().kind(), qcore::engine_class::wavelet);
     mgr.at(id).set_quality_budget(0.0);
-    EXPECT_EQ(mgr.at(id).config().engine, qcore::engine_kind::conventional);
+    EXPECT_EQ(mgr.at(id).config().kind(), qcore::engine_class::conventional);
 }
 
 TEST(SessionTest, AdmissionConcurrentWithIngestAndPump) {
@@ -348,6 +351,209 @@ TEST(FleetTest, EightMixedSessionsBitIdenticalToSerial) {
     EXPECT_EQ(cs.entries, 4u);
     EXPECT_EQ(cs.misses, 4u);
     EXPECT_GE(cs.hits, 4u);
+}
+
+TEST(FleetTest, MixedEngineKindsShareCacheAndMatchSerial) {
+    // The acceptance scenario of the engine_spec redesign: one fleet
+    // concurrently running five engine kinds -- conventional, wavelet,
+    // Q15 and Q31 fixed point, and Burg AR -- over one plan cache, every
+    // session bit-identical to its serial reference.
+    const real seconds = 480.0;
+    const std::vector<qcore::psa_config> configs = {
+        qcore::psa_config::conventional(),
+        qcore::psa_config::proposed(qf::plan::exact(512, qw::basis::haar)),
+        qcore::psa_config::fixed_wavelet(qcore::fixed_format::q15),
+        qcore::psa_config::fixed_wavelet(qcore::fixed_format::q31),
+        qcore::psa_config::burg_ar(),
+    };
+    const qcore::engine_class classes[] = {
+        qcore::engine_class::conventional, qcore::engine_class::wavelet,
+        qcore::engine_class::fixed_q15,    qcore::engine_class::fixed_q31,
+        qcore::engine_class::burg,
+    };
+
+    qs::service_options opt;
+    opt.threads = 4;
+    opt.scheduler.batch_size = 2;
+    qs::plan_cache cache;
+    qs::session_manager mgr(opt, &cache);
+
+    constexpr unsigned n_sessions = 10;
+    std::vector<qp::rr_record> records;
+    for (unsigned i = 0; i < n_sessions; ++i) {
+        const auto group =
+            i % 2 == 0 ? qp::cohort::sinus_arrhythmia : qp::cohort::healthy;
+        records.push_back(qp::record_for(qp::make_patient(group, i), seconds));
+        mgr.add_session(
+            patient_session(group, i, configs[i % configs.size()]));
+    }
+
+    std::size_t max_beats = 0;
+    for (const auto& r : records) max_beats = std::max(max_beats, r.beats());
+    for (std::size_t b = 0; b < max_beats; ++b) {
+        for (unsigned i = 0; i < n_sessions; ++i)
+            if (b < records[i].beats())
+                ASSERT_TRUE(
+                    mgr.ingest(i, records[i].beat_time_s[b], records[i].rr_s[b]));
+        if (b % 50 == 0) mgr.pump();
+    }
+    mgr.drain_all();
+
+    // Every session -- double, fixed point and AR alike -- is
+    // deterministic, so the fleet run must reproduce the serial monitor
+    // bit for bit.
+    std::uint64_t total_windows = 0;
+    for (unsigned i = 0; i < n_sessions; ++i) {
+        const auto want = serial_reports(records[i], configs[i % configs.size()]);
+        expect_reports_identical(mgr.at(i).reports(), want);
+        total_windows += mgr.at(i).windows_completed();
+    }
+
+    // Engine sharing: 5 distinct specs -> 5 engines, every second session
+    // construction a cache hit.
+    const auto cs = mgr.cache_stats();
+    EXPECT_EQ(cs.entries, configs.size());
+    EXPECT_EQ(cs.misses, configs.size());
+    EXPECT_GE(cs.hits, n_sessions - configs.size());
+
+    // Per-engine-kind roll-up: all five classes produced windows, and the
+    // per-class tallies sum to the fleet totals.
+    const auto fleet = mgr.fleet();
+    EXPECT_EQ(fleet.windows, total_windows);
+    std::uint64_t by_engine_windows = 0;
+    real by_engine_energy = 0.0;
+    for (const auto& slot : fleet.by_engine) {
+        by_engine_windows += slot.windows;
+        by_engine_energy += slot.energy_nominal_j;
+    }
+    EXPECT_EQ(by_engine_windows, fleet.windows);
+    EXPECT_NEAR(by_engine_energy, fleet.energy.energy_nominal_j, 1e-12);
+    for (const auto c : classes)
+        EXPECT_GT(fleet.engine(c).windows, 0u)
+            << qcore::engine_class_name(c);
+    EXPECT_EQ(fleet.engine(qcore::engine_class::resampled).windows, 0u);
+}
+
+TEST(FleetTest, FixedPointSessionsTrackDoubleSessions) {
+    // The Q15/Q31 parity check through the *service* path: one patient
+    // record analyzed by a double session and both fixed-point sessions
+    // in the same fleet; fixed band powers must stay within the
+    // fixed_wfft_test-style tolerances of the double result.
+    const auto rec =
+        qp::record_for(qp::make_patient(qp::cohort::healthy, 3), 600.0);
+
+    qs::plan_cache cache;
+    qs::session_manager mgr({}, &cache);
+    const std::vector<qcore::psa_config> configs = {
+        qcore::psa_config::conventional(),
+        qcore::psa_config::fixed_wavelet(qcore::fixed_format::q15),
+        qcore::psa_config::fixed_wavelet(qcore::fixed_format::q31),
+    };
+    for (unsigned i = 0; i < configs.size(); ++i)
+        mgr.add_session(patient_session(qp::cohort::healthy, 3, configs[i]));
+    for (std::size_t b = 0; b < rec.beats(); ++b)
+        for (unsigned i = 0; i < configs.size(); ++i)
+            ASSERT_TRUE(mgr.ingest(i, rec.beat_time_s[b], rec.rr_s[b]));
+    mgr.drain_all();
+
+    const auto dbl = mgr.at(0).reports();
+    const real tols[] = {0.05, 1e-4};  // q15, q31
+    for (unsigned i = 1; i <= 2; ++i) {
+        const auto fixed = mgr.at(i).reports();
+        ASSERT_EQ(fixed.size(), dbl.size());
+        for (std::size_t w = 0; w < dbl.size(); ++w) {
+            EXPECT_NEAR(fixed[w].bands.lf / dbl[w].bands.lf, 1.0, tols[i - 1])
+                << "session " << i << " window " << w;
+            EXPECT_NEAR(fixed[w].bands.hf / dbl[w].bands.hf, 1.0, tols[i - 1])
+                << "session " << i << " window " << w;
+            EXPECT_EQ(fixed[w].diagnosis, dbl[w].diagnosis);
+        }
+        // And the fleet path reproduces the standalone monitor exactly.
+        expect_reports_identical(fixed, serial_reports(rec, configs[i]));
+    }
+}
+
+// ------------------------------------------------- snapshot merging
+
+TEST(FleetStatsTest, SnapshotMergeIsLossless) {
+    // Two disjoint fleets (as two shards would be), merged via
+    // fleet_snapshot::operator+= -- every column must equal the sum.
+    auto run_shard = [](unsigned patient, qcore::psa_config cfg) {
+        qs::plan_cache cache;
+        qs::session_manager mgr({}, &cache);
+        const auto rec =
+            qp::record_for(qp::make_patient(qp::cohort::healthy, patient), 480.0);
+        const auto id = mgr.add_session(
+            patient_session(qp::cohort::healthy, patient, std::move(cfg)));
+        for (std::size_t b = 0; b < rec.beats(); ++b)
+            mgr.ingest(id, rec.beat_time_s[b], rec.rr_s[b]);
+        mgr.drain_all();
+        return mgr.fleet();
+    };
+
+    const auto a = run_shard(0, qcore::psa_config::conventional());
+    const auto b = run_shard(
+        1, qcore::psa_config::fixed_wavelet(qcore::fixed_format::q15));
+    ASSERT_GT(a.windows, 0u);
+    ASSERT_GT(b.windows, 0u);
+
+    qs::fleet_snapshot merged = a;
+    merged += b;
+    EXPECT_EQ(merged.windows, a.windows + b.windows);
+    EXPECT_EQ(merged.beats, a.beats + b.beats);
+    EXPECT_EQ(merged.arrhythmia_windows,
+              a.arrhythmia_windows + b.arrhythmia_windows);
+    EXPECT_EQ(merged.energy.windows, a.energy.windows + b.energy.windows);
+    EXPECT_EQ(merged.energy.ops.adds, a.energy.ops.adds + b.energy.ops.adds);
+    EXPECT_DOUBLE_EQ(merged.energy.energy_nominal_j,
+                     a.energy.energy_nominal_j + b.energy.energy_nominal_j);
+    EXPECT_DOUBLE_EQ(merged.energy.energy_vfs_j,
+                     a.energy.energy_vfs_j + b.energy.energy_vfs_j);
+    EXPECT_DOUBLE_EQ(merged.lf_sum, a.lf_sum + b.lf_sum);
+    EXPECT_DOUBLE_EQ(merged.hf_sum, a.hf_sum + b.hf_sum);
+    EXPECT_DOUBLE_EQ(merged.ratio_sum, a.ratio_sum + b.ratio_sum);
+    EXPECT_EQ(merged.beats_dropped, a.beats_dropped + b.beats_dropped);
+    EXPECT_EQ(merged.beats_rejected, a.beats_rejected + b.beats_rejected);
+    EXPECT_EQ(merged.drop_alarms.size(),
+              a.drop_alarms.size() + b.drop_alarms.size());
+
+    // The per-engine split survives the merge: shard a ran conventional,
+    // shard b ran fixed-q15, and the merged view holds both.
+    EXPECT_EQ(merged.engine(qcore::engine_class::conventional).windows,
+              a.windows);
+    EXPECT_EQ(merged.engine(qcore::engine_class::fixed_q15).windows, b.windows);
+    for (std::size_t i = 0; i < merged.by_engine.size(); ++i)
+        EXPECT_EQ(merged.by_engine[i].windows,
+                  a.by_engine[i].windows + b.by_engine[i].windows);
+}
+
+TEST(FleetStatsTest, IngestDropsSurfaceInSnapshot) {
+    qs::plan_cache cache;
+    qs::session_manager mgr({}, &cache);
+    auto cfg = patient_session(qp::cohort::healthy, 0,
+                               qcore::psa_config::conventional());
+    cfg.ingest_capacity = 4;  // tiny ring -> guaranteed overflow
+    const auto id = mgr.add_session(std::move(cfg));
+    const auto quiet = mgr.add_session(patient_session(
+        qp::cohort::healthy, 1, qcore::psa_config::conventional()));
+
+    // Overflow the ring without pumping, then feed malformed beats.
+    for (int i = 0; i < 10; ++i)
+        mgr.ingest(id, 1.0 + 0.8 * i, 0.8);
+    mgr.drain_all();
+    mgr.ingest(id, 100.0, 0.8);
+    mgr.ingest(id, 50.0, 0.8);   // non-monotonic -> rejected
+    mgr.ingest(id, 101.0, -1.0); // negative RR -> rejected
+    mgr.drain_all();
+
+    const auto fleet = mgr.fleet();
+    EXPECT_EQ(fleet.beats_dropped, 6u);   // 10 pushed into a 4-slot ring
+    EXPECT_EQ(fleet.beats_rejected, 2u);
+    ASSERT_EQ(fleet.drop_alarms.size(), 1u);
+    EXPECT_EQ(fleet.drop_alarms[0].session_id, id);
+    EXPECT_EQ(fleet.drop_alarms[0].dropped, 6u);
+    EXPECT_EQ(fleet.drop_alarms[0].rejected, 2u);
+    EXPECT_EQ(mgr.at(quiet).beats_dropped(), 0u);
 }
 
 // --------------------------------------------------- concurrent smoke
