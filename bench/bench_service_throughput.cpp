@@ -7,16 +7,89 @@
 // shared plan-cache hit rate, the per-engine-kind window split and the
 // fleet energy roll-up, and verifies that every session's window series
 // is bit-identical (<= 1e-9) to a serial streaming_monitor run of the
-// same record.  Emits BENCH_service.json for the perf trajectory.
+// same record.
+//
+// Allocation accounting: this binary replaces the global operator new so
+// every heap allocation on every thread is counted.  Each fleet streams a
+// warm-up prefix first (arenas size themselves, vectors reach their
+// steady capacity, caches fill), then the remainder is measured and
+// reported as allocs_per_window -- the service's zero-allocation hot-path
+// budget (<= 1 per window, CI-enforced against the committed baseline).
+// Emits BENCH_service.json for the perf trajectory.
+#include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <new>
+#include <sstream>
+#include <string>
 
 #include "common.hpp"
 #include "qpsa/service/service.hpp"
 #include "qpsa/util/table.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: replacing these signatures in any TU of the
+// binary replaces them binary-wide, so library allocations are counted too.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+    throw std::bad_alloc{};
+}
+
+std::uint64_t heap_allocs() {
+    return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+void* counted_alloc_aligned(std::size_t size, std::align_val_t align) {
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    const auto a = static_cast<std::size_t>(align);
+    // aligned_alloc requires size to be a multiple of the alignment.
+    const std::size_t rounded = (std::max<std::size_t>(size, 1) + a - 1) / a * a;
+    if (void* p = std::aligned_alloc(a, rounded)) return p;
+    throw std::bad_alloc{};
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+    return counted_alloc_aligned(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return counted_alloc_aligned(size, align);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size != 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size != 0 ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+// ---------------------------------------------------------------------------
 
 using namespace qpsa;
 using clock_type = std::chrono::steady_clock;
@@ -40,8 +113,19 @@ struct fleet_result {
     double arrhythmia_fraction = 0.0;
     std::size_t workers = 0;
     std::uint64_t beats_dropped = 0;
+    /// Steady-state heap allocations per completed window (measured after
+    /// the warm-up prefix; all threads, all layers).
+    double allocs_per_window = 0.0;
+    std::uint64_t measured_windows = 0;
     std::array<qpsa::service::engine_tally, qpsa::core::engine_class_count>
         by_engine{};
+};
+
+/// Baseline values parsed from a previously committed BENCH_service.json.
+struct baseline_fleet {
+    bool found = false;
+    double windows_per_s = 0.0;
+    double allocs_per_window = -1.0;  ///< < 0: field absent in baseline
 };
 
 core::monitor_options paper_monitor() {
@@ -112,24 +196,54 @@ fleet_result run_fleet(unsigned n_patients, real record_seconds) {
 
     // Stream beats round-robin in bounded chunks, pumping between rounds
     // -- the arrival pattern of a real ingest edge, and it keeps every
-    // ring well under capacity.
+    // ring well under capacity.  Per-record ranges let the run split into
+    // a warm-up prefix and a measured steady-state remainder without
+    // changing any session's beat order.
     constexpr std::size_t chunk = 256;
-    std::size_t offset = 0;
-    bool remaining = true;
-    while (remaining) {
-        remaining = false;
-        for (unsigned i = 0; i < n_patients; ++i) {
-            const auto& rec = records[i];
-            const std::size_t end = std::min(offset + chunk, rec.beats());
-            for (std::size_t b = offset; b < end; ++b)
-                while (!mgr.ingest(i, rec.beat_time_s[b], rec.rr_s[b]))
-                    mgr.pump();
-            if (end < rec.beats()) remaining = true;
+    const auto stream_range = [&](double lo_frac, double hi_frac) {
+        std::size_t step = 0;
+        bool remaining = true;
+        while (remaining) {
+            remaining = false;
+            for (unsigned i = 0; i < n_patients; ++i) {
+                const auto& rec = records[i];
+                const auto lo = static_cast<std::size_t>(
+                    lo_frac * static_cast<double>(rec.beats()));
+                const auto hi = static_cast<std::size_t>(
+                    hi_frac * static_cast<double>(rec.beats()));
+                const std::size_t begin = std::min(lo + step * chunk, hi);
+                const std::size_t end = std::min(begin + chunk, hi);
+                for (std::size_t b = begin; b < end; ++b)
+                    while (!mgr.ingest(i, rec.beat_time_s[b], rec.rr_s[b]))
+                        mgr.pump();
+                if (end < hi) remaining = true;
+            }
+            ++step;
+            mgr.pump();
         }
-        offset += chunk;
-        mgr.pump();
-    }
+    };
+
+    const auto fleet_windows = [&] {
+        std::uint64_t w = 0;
+        for (unsigned i = 0; i < n_patients; ++i)
+            w += mgr.at(i).windows_completed();
+        return w;
+    };
+
+    // Warm-up: arenas reach their high-water marks, vectors their steady
+    // capacities, caches fill.  ~60 % of the record completes the first
+    // window of every session.
+    constexpr double warmup_fraction = 0.6;
+    stream_range(0.0, warmup_fraction);
     mgr.drain_all();
+    const std::uint64_t allocs0 = heap_allocs();
+    const std::uint64_t windows0 = fleet_windows();
+
+    // Measured steady state.
+    stream_range(warmup_fraction, 1.0);
+    mgr.drain_all();
+    const std::uint64_t allocs1 = heap_allocs();
+    const std::uint64_t windows1 = fleet_windows();
     const auto t1 = clock_type::now();
 
     fleet_result r;
@@ -140,6 +254,12 @@ fleet_result run_fleet(unsigned n_patients, real record_seconds) {
         std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
             t1 - t0)
             .count();
+    r.measured_windows = windows1 - windows0;
+    r.allocs_per_window =
+        r.measured_windows > 0
+            ? static_cast<double>(allocs1 - allocs0) /
+                  static_cast<double>(r.measured_windows)
+            : 0.0;
 
     const auto fleet = mgr.fleet();
     r.windows = fleet.windows;
@@ -180,6 +300,30 @@ fleet_result run_fleet(unsigned n_patients, real record_seconds) {
     return r;
 }
 
+/// Crude field scraper for the committed BENCH_service.json: finds the
+/// fleet object for `patients` and pulls two numeric fields.  Tolerant of
+/// missing files/fields (returns found = false / -1).
+baseline_fleet read_baseline(const std::string& path, unsigned patients) {
+    baseline_fleet b;
+    std::ifstream in(path);
+    if (!in) return b;
+    std::string line;
+    const std::string tag = "\"patients\": " + std::to_string(patients) + ",";
+    const auto field = [](const std::string& s, const std::string& key) {
+        const auto pos = s.find("\"" + key + "\": ");
+        if (pos == std::string::npos) return -1.0;
+        return std::atof(s.c_str() + pos + key.size() + 4);
+    };
+    while (std::getline(in, line)) {
+        if (line.find(tag) == std::string::npos) continue;
+        b.found = true;
+        b.windows_per_s = field(line, "windows_per_s");
+        b.allocs_per_window = field(line, "allocs_per_window");
+        return b;
+    }
+    return b;
+}
+
 }  // namespace
 
 int main() {
@@ -190,11 +334,17 @@ int main() {
     const real record_seconds = 300.0;
     const unsigned fleets[] = {1, 8, 64, 512};
 
+    // Snapshot the committed baseline before this run overwrites the file.
+    std::vector<baseline_fleet> baselines;
+    for (const unsigned n : fleets)
+        baselines.push_back(read_baseline("BENCH_service.json", n));
+
     util::table tab({"patients", "beats", "windows", "wall ms", "sessions/s",
-                     "windows/s", "beats/s", "cache hit", "engines",
-                     "max|diff|", "E nominal (mJ)", "E vfs (mJ)"});
+                     "windows/s", "beats/s", "allocs/win", "cache hit",
+                     "engines", "max|diff|", "E nominal (mJ)", "E vfs (mJ)"});
     std::vector<fleet_result> results;
-    for (const unsigned n : fleets) {
+    for (std::size_t fi = 0; fi < std::size(fleets); ++fi) {
+        const unsigned n = fleets[fi];
         const auto r = run_fleet(n, record_seconds);
         results.push_back(r);
         tab.add_row({util::table::fmt_int(r.patients),
@@ -204,6 +354,7 @@ int main() {
                      util::table::fmt(r.sessions_per_s, 1),
                      util::table::fmt(r.windows_per_s, 1),
                      util::table::fmt(r.beats_per_s, 0),
+                     util::table::fmt(r.allocs_per_window, 3),
                      util::table::fmt_pct(r.cache_hit_rate),
                      util::table::fmt_int(static_cast<long long>(r.cache_entries)),
                      util::table::fmt(r.max_abs_diff, 12),
@@ -218,6 +369,23 @@ int main() {
               << (all_identical ? "all sessions bit-identical to serial runs"
                                 : "MISMATCH vs serial runs")
               << "\n";
+
+    // Before/after against the committed baseline (windows/s is the
+    // throughput trajectory; allocs/window is the zero-allocation budget).
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        const auto& b = baselines[i];
+        if (!b.found) continue;
+        std::cout << "fleet " << r.patients << ": windows/s "
+                  << b.windows_per_s << " -> " << r.windows_per_s;
+        if (b.allocs_per_window >= 0.0)
+            std::cout << ", allocs/window " << b.allocs_per_window << " -> "
+                      << r.allocs_per_window;
+        else
+            std::cout << ", allocs/window (unmeasured) -> "
+                      << r.allocs_per_window;
+        std::cout << "\n";
+    }
 
     // Per-engine-kind split of the largest fleet (the mixed-engine
     // roll-up the service reports for capacity planning).
@@ -247,6 +415,8 @@ int main() {
              << ", \"sessions_per_s\": " << r.sessions_per_s
              << ", \"windows_per_s\": " << r.windows_per_s
              << ", \"beats_per_s\": " << r.beats_per_s
+             << ", \"allocs_per_window\": " << r.allocs_per_window
+             << ", \"measured_windows\": " << r.measured_windows
              << ", \"cache_hit_rate\": " << r.cache_hit_rate
              << ", \"cache_entries\": " << r.cache_entries
              << ", \"max_abs_diff\": " << r.max_abs_diff

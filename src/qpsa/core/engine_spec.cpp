@@ -67,10 +67,26 @@ std::size_t engine_key_hash::operator()(const engine_key& k) const {
         overloaded{
             [&](const conventional_spec&) {},
             [&](const wavelet_spec& s) {
-                // The plan's canonical serialization covers every field
-                // that affects the transform; hashing it keeps this in
-                // lockstep with plan equality without a second field list.
-                hash_combine(h, std::hash<std::string>{}(s.plan.cache_key()));
+                // Field-wise hash of every plan member that participates
+                // in plan equality -- hashing the cache_key() string would
+                // be equivalent but allocates, and this hash sits on the
+                // per-window workspace-lookup path of the service.
+                const wfft::plan& p = s.plan;
+                hash_combine(h, p.n);
+                hash_combine(h, static_cast<std::size_t>(p.basis));
+                hash_combine(h, static_cast<std::size_t>(p.tree));
+                hash_combine(h, p.leaf_size);
+                hash_combine(h, static_cast<std::size_t>(p.fold_haar_scale));
+                hash_combine(h, static_cast<std::size_t>(p.assume_real_input));
+                hash_combine(h, static_cast<std::size_t>(p.use_db2_lifting));
+                hash_combine(h, static_cast<std::size_t>(p.prune.mode));
+                hash_combine(h, p.prune.band_drop_levels);
+                hash_combine(h, hash_real(p.prune.twiddle_fraction));
+                hash_combine(h, static_cast<std::size_t>(
+                                    p.prune.dynamic_band_decision));
+                hash_combine(h, hash_real(p.prune.band_threshold));
+                hash_combine(h, hash_real(p.prune.data_threshold));
+                hash_combine(h, hash_real(p.prune.dynamic_factor_fraction));
             },
             [&](const fixed_wavelet_spec& s) {
                 hash_combine(h, static_cast<std::size_t>(s.format));

@@ -208,4 +208,11 @@ lomb::lomb_result psa_system::analyze_window(std::span<const real> t,
     return lomb::fast_lomb(t, x, *engine_, cfg_.lomb, bd);
 }
 
+void psa_system::analyze_window(std::span<const real> t,
+                                std::span<const real> x, lomb::workspace& ws,
+                                lomb::lomb_result& out,
+                                lomb::lomb_breakdown* bd) const {
+    lomb::fast_lomb(t, x, *engine_, cfg_.lomb, ws, out, bd);
+}
+
 }  // namespace qpsa::core

@@ -67,6 +67,13 @@ public:
                                      std::span<const real> x,
                                      lomb::lomb_breakdown* bd = nullptr) const;
 
+    /// Workspace-reusing variant (bit-identical): scratch is drawn from
+    /// `ws` and the result lands in `out`, whose vectors keep their
+    /// capacity -- the steady-state-zero-allocation path of the service.
+    void analyze_window(std::span<const real> t, std::span<const real> x,
+                        lomb::workspace& ws, lomb::lomb_result& out,
+                        lomb::lomb_breakdown* bd = nullptr) const;
+
 private:
     psa_config cfg_;
     std::shared_ptr<const lomb::fft_engine> engine_;

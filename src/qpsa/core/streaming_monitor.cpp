@@ -19,11 +19,16 @@ streaming_monitor::streaming_monitor(psa_config cfg, monitor_options opt,
     QPSA_EXPECTS(opt_.hop_seconds > 0.0);
     QPSA_EXPECTS(opt_.window_seconds >= opt_.hop_seconds);
     QPSA_EXPECTS(opt_.min_beats >= 8);
+    // Absorb early capacity doublings up front; the per-window hot path
+    // is budgeted at ~zero allocations in steady state.
+    history_.reserve(std::min<std::size_t>(opt_.history_limit, 64));
+    pending_.reserve(8);
 }
 
 void streaming_monitor::push_beat(real beat_time_s, real rr_s) {
     QPSA_EXPECTS(rr_s > 0.0);
-    if (!buffer_.empty()) QPSA_EXPECTS(beat_time_s > buffer_.back().first);
+    if (buffer_head_ < buffer_.size())
+        QPSA_EXPECTS(beat_time_s > buffer_.back().first);
     if (!started_) {
         started_ = true;
         next_window_start_ = beat_time_s;
@@ -33,33 +38,41 @@ void streaming_monitor::push_beat(real beat_time_s, real rr_s) {
     try_close_windows();
 }
 
+lomb::workspace& streaming_monitor::window_workspace() {
+    if (scratch_cache_ != nullptr)
+        return scratch_cache_->get(system_->config().engine_key());
+    return own_workspace_;
+}
+
 void streaming_monitor::try_close_windows() {
     // A window [w0, w0 + W) closes once a beat arrives at or beyond its
     // end; hop defines the next start.
-    while (started_ &&
+    while (started_ && buffer_head_ < buffer_.size() &&
            buffer_.back().first >= next_window_start_ + opt_.window_seconds) {
         const real w0 = next_window_start_;
         const real w1 = w0 + opt_.window_seconds;
 
-        std::vector<real> t;
-        std::vector<real> x;
-        for (const auto& [bt, rr] : buffer_) {
+        win_t_.clear();
+        win_x_.clear();
+        for (std::size_t i = buffer_head_; i < buffer_.size(); ++i) {
+            const auto& [bt, rr] = buffer_[i];
             if (bt < w0) continue;
             if (bt >= w1) break;
-            t.push_back(bt);
-            x.push_back(rr);
+            win_t_.push_back(bt);
+            win_x_.push_back(rr);
         }
 
-        if (t.size() >= opt_.min_beats) {
+        if (win_t_.size() >= opt_.min_beats) {
             window_report rep;
             rep.t_start = w0;
             rep.t_end = w1;
-            rep.beats = t.size();
+            rep.beats = win_t_.size();
             rep.engine = system_->config().kind();
             lomb::lomb_breakdown bd;
             try {
-                const auto res = system_->analyze_window(t, x, &bd);
-                rep.bands = hrv::compute_band_powers(res.spectrum,
+                system_->analyze_window(win_t_, win_x_, window_workspace(),
+                                        win_result_, &bd);
+                rep.bands = hrv::compute_band_powers(win_result_.spectrum,
                                                      system_->config().bands);
                 rep.diagnosis = hrv::classify(rep.bands);
                 rep.ops = bd.total();
@@ -75,16 +88,39 @@ void streaming_monitor::try_close_windows() {
         }
         next_window_start_ += opt_.hop_seconds;
 
-        // Drop beats no future window can use.
-        while (!buffer_.empty() && buffer_.front().first < next_window_start_)
-            buffer_.pop_front();
+        // Drop beats no future window can use; compact the dead prefix
+        // once it dominates so the buffer's capacity is reused instead of
+        // growing without bound.
+        while (buffer_head_ < buffer_.size() &&
+               buffer_[buffer_head_].first < next_window_start_)
+            ++buffer_head_;
+        if (buffer_head_ == buffer_.size()) {
+            buffer_.clear();
+            buffer_head_ = 0;
+        } else if (buffer_head_ > buffer_.size() / 2) {
+            buffer_.erase(buffer_.begin(),
+                          buffer_.begin() +
+                              static_cast<std::ptrdiff_t>(buffer_head_));
+            buffer_head_ = 0;
+        }
     }
 }
 
 std::optional<window_report> streaming_monitor::poll() {
-    if (pending_.empty()) return std::nullopt;
-    window_report rep = pending_.front();
-    pending_.pop_front();
+    if (pending_head_ == pending_.size()) return std::nullopt;
+    window_report rep = pending_[pending_head_];
+    ++pending_head_;
+    if (pending_head_ == pending_.size()) {
+        pending_.clear();
+        pending_head_ = 0;
+    } else if (pending_head_ > pending_.size() / 2) {
+        // Same compaction policy as the beat buffer: a consumer that
+        // never fully drains must not leave an ever-growing dead prefix.
+        pending_.erase(pending_.begin(),
+                       pending_.begin() +
+                           static_cast<std::ptrdiff_t>(pending_head_));
+        pending_head_ = 0;
+    }
     return rep;
 }
 

@@ -7,11 +7,11 @@
 // "prune & adjust based on accepted distortion" loop of Fig. 9).
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <optional>
 
 #include "qpsa/core/psa_system.hpp"
+#include "qpsa/core/workspace_cache.hpp"
 
 namespace qpsa::core {
 
@@ -64,6 +64,13 @@ public:
     /// effect from the next window.  Routed through the injected factory,
     /// so cached engines are reused.
     void set_config(psa_config cfg);
+
+    /// Inject a per-worker workspace cache: window analysis then draws its
+    /// scratch from the cache entry for the current engine key instead of
+    /// the monitor's private workspace.  May change between drains (a
+    /// session migrates across workers); nullptr reverts to the private
+    /// workspace.  Results are bit-identical either way.
+    void set_scratch(workspace_cache* cache) noexcept { scratch_cache_ = cache; }
     const psa_config& config() const noexcept { return system_->config(); }
     /// The (shared, immutable) analysis system currently in use.
     const psa_system& system() const noexcept { return *system_; }
@@ -76,13 +83,33 @@ public:
 
 private:
     void try_close_windows();
+    lomb::workspace& window_workspace();
 
     monitor_options opt_;
     system_factory factory_;
     std::shared_ptr<const psa_system> system_;
-    std::deque<std::pair<real, real>> buffer_;  ///< (beat time, rr)
-    std::deque<window_report> pending_;
+
+    // Beat buffer: a contiguous FIFO (vector + head index, compacted when
+    // the dead prefix dominates) instead of a deque -- steady state then
+    // performs no per-beat/per-window heap traffic, which the service's
+    // allocs_per_window budget relies on.
+    std::vector<std::pair<real, real>> buffer_;  ///< (beat time, rr)
+    std::size_t buffer_head_ = 0;
+
+    // Completed reports awaiting poll(), same vector-FIFO scheme.
+    std::vector<window_report> pending_;
+    std::size_t pending_head_ = 0;
+
     std::vector<window_report> history_;
+
+    // Reused per-window scratch: the cut window, its spectrum, and the
+    // fallback workspace used when no per-worker cache is injected.
+    std::vector<real> win_t_;
+    std::vector<real> win_x_;
+    lomb::lomb_result win_result_;
+    lomb::workspace own_workspace_;
+    workspace_cache* scratch_cache_ = nullptr;
+
     real next_window_start_ = 0.0;
     bool started_ = false;
     std::size_t completed_ = 0;

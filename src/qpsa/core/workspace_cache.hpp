@@ -1,0 +1,44 @@
+// Per-worker cache of reusable analysis workspaces, keyed by engine.
+//
+// The service's plan cache shares one immutable engine per distinct
+// configuration across the whole process; workspaces are its mutable
+// counterpart and therefore cannot be shared -- each scheduler worker owns
+// one cache and hands the right arena to whatever session it is currently
+// draining.  Keying by core::engine_key (not by session) is what makes
+// plan-locality batching pay off: a worker draining a run of same-plan
+// sessions hits one hot arena the entire run, and a fleet serving K
+// distinct engine shapes holds exactly K workspaces per worker no matter
+// how many thousand sessions it runs.
+//
+// Not thread-safe by design (one owner thread); see service::thread_pool.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "qpsa/core/engine_spec.hpp"
+#include "qpsa/lomb/workspace.hpp"
+
+namespace qpsa::core {
+
+class workspace_cache {
+public:
+    /// The workspace for an engine identity (created and pre-sized from
+    /// the key's mesh on first use; stable address thereafter).
+    lomb::workspace& get(const engine_key& key) {
+        auto it = map_.find(key);
+        if (it == map_.end())
+            it = map_.emplace(key, std::make_unique<lomb::workspace>(key.mesh))
+                     .first;
+        return *it->second;
+    }
+
+    std::size_t size() const noexcept { return map_.size(); }
+
+private:
+    std::unordered_map<engine_key, std::unique_ptr<lomb::workspace>,
+                       engine_key_hash>
+        map_;
+};
+
+}  // namespace qpsa::core

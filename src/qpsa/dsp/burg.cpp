@@ -1,5 +1,6 @@
 #include "qpsa/dsp/burg.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "qpsa/counting/op_counter.hpp"
@@ -7,6 +8,12 @@
 namespace qpsa::dsp {
 
 burg_model burg_fit(std::span<const real> x, std::size_t order) {
+    util::arena scratch;
+    return burg_fit(x, order, scratch);
+}
+
+burg_model burg_fit(std::span<const real> x, std::size_t order,
+                    util::arena& scratch) {
     const std::size_t n = x.size();
     QPSA_EXPECTS(order >= 1);
     QPSA_EXPECTS(n > 2 * order);
@@ -14,11 +21,15 @@ burg_model burg_fit(std::span<const real> x, std::size_t order) {
     burg_model model;
     model.a.assign(order, 0.0);
 
+    util::arena::frame frame(scratch);
     // Forward/backward prediction errors.
-    std::vector<real> f(x.begin(), x.end());
-    std::vector<real> b(x.begin(), x.end());
-    std::vector<real> a(order + 1, 0.0);
+    std::span<real> f = scratch.alloc<real>(n);
+    std::span<real> b = scratch.alloc<real>(n);
+    std::copy(x.begin(), x.end(), f.begin());
+    std::copy(x.begin(), x.end(), b.begin());
+    std::span<real> a = scratch.alloc_zero<real>(order + 1);
     a[0] = 1.0;
+    std::span<real> prev = scratch.alloc<real>(order);
 
     real e = 0.0;
     for (real v : x) e += v * v;
@@ -38,7 +49,8 @@ burg_model burg_fit(std::span<const real> x, std::size_t order) {
         counting::count_divs(1);
 
         // Update AR coefficients: a'_j = a_j + k a_{m-j}.
-        std::vector<real> prev(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(m));
+        std::copy(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(m),
+                  prev.begin());
         for (std::size_t j = 1; j <= m; ++j) {
             const real rev = (j == m) ? 1.0 : prev[m - j];
             a[j] = (j < m ? prev[j] : 0.0) + k * rev;
@@ -69,10 +81,17 @@ burg_model burg_fit(std::span<const real> x, std::size_t order) {
 
 dsp::sampled_spectrum burg_psd(const burg_model& model, real fs_hz,
                                std::span<const real> freqs_hz) {
-    QPSA_EXPECTS(fs_hz > 0.0);
     dsp::sampled_spectrum s;
     s.freq_hz.assign(freqs_hz.begin(), freqs_hz.end());
     s.power.resize(freqs_hz.size());
+    burg_psd(model, fs_hz, freqs_hz, s.power);
+    return s;
+}
+
+void burg_psd(const burg_model& model, real fs_hz,
+              std::span<const real> freqs_hz, std::span<real> power) {
+    QPSA_EXPECTS(fs_hz > 0.0);
+    QPSA_EXPECTS(power.size() == freqs_hz.size());
     for (std::size_t i = 0; i < freqs_hz.size(); ++i) {
         const real w = two_pi * freqs_hz[i] / fs_hz;
         cplx den{1.0, 0.0};
@@ -84,10 +103,9 @@ dsp::sampled_spectrum burg_psd(const burg_model& model, real fs_hz,
         counting::count_muls(2 * model.order());
         counting::count_adds(2 * model.order());
         const real mag2 = std::max(sqr_mag(den), real{1e-15});
-        s.power[i] = model.noise_var / (fs_hz * mag2);
+        power[i] = model.noise_var / (fs_hz * mag2);
         counting::count_divs(1);
     }
-    return s;
 }
 
 }  // namespace qpsa::dsp

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "qpsa/dsp/spectrum.hpp"
+#include "qpsa/util/arena.hpp"
 #include "qpsa/util/common.hpp"
 
 namespace qpsa::dsp {
@@ -25,8 +26,19 @@ struct burg_model {
 /// longer than 2p.
 burg_model burg_fit(std::span<const real> x, std::size_t order);
 
+/// Same fit with the prediction-error and coefficient scratch drawn from
+/// `scratch` (the streaming service path; no steady-state allocation
+/// beyond the returned model's coefficient vector).
+burg_model burg_fit(std::span<const real> x, std::size_t order,
+                    util::arena& scratch);
+
 /// Evaluate the AR PSD at the given frequencies for sample rate fs.
 dsp::sampled_spectrum burg_psd(const burg_model& model, real fs_hz,
                                std::span<const real> freqs_hz);
+
+/// Evaluate into caller-provided power storage (power.size() must equal
+/// freqs_hz.size(); the frequency grid stays with the caller).
+void burg_psd(const burg_model& model, real fs_hz,
+              std::span<const real> freqs_hz, std::span<real> power);
 
 }  // namespace qpsa::dsp

@@ -21,6 +21,16 @@ void fft_split_radix::forward(std::span<const cplx> in, std::span<cplx> out) con
     recurse(in.data(), 1, out.data(), n_, scratch.data());
 }
 
+void fft_split_radix::forward(std::span<const cplx> in, std::span<cplx> out,
+                              util::arena& scratch) const {
+    QPSA_EXPECTS(in.size() == n_);
+    QPSA_EXPECTS(out.size() == n_);
+    // Every scratch element is written by a child recursion before the
+    // parent reads it, so uninitialized arena storage is safe here.
+    util::arena::frame frame(scratch);
+    recurse(in.data(), 1, out.data(), n_, scratch.alloc<cplx>(2 * n_).data());
+}
+
 std::vector<cplx> fft_split_radix::forward_copy(std::span<const cplx> in) const {
     std::vector<cplx> out(n_);
     forward(in, out);

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "qpsa/util/arena.hpp"
 #include "qpsa/util/common.hpp"
 
 namespace qpsa::dsp {
@@ -32,6 +33,11 @@ public:
 
     /// Out-of-place forward transform; counts ops into the active scope.
     void forward(std::span<const cplx> in, std::span<cplx> out) const;
+
+    /// Same transform with recursion scratch drawn from `scratch` (2n
+    /// complex values per call) -- allocation-free in steady state.
+    void forward(std::span<const cplx> in, std::span<cplx> out,
+                 util::arena& scratch) const;
 
     std::vector<cplx> forward_copy(std::span<const cplx> in) const;
 

@@ -5,11 +5,17 @@
 namespace qpsa::dsp {
 
 std::vector<cplx> pack_real_pair(std::span<const real> a, std::span<const real> b) {
-    QPSA_EXPECTS(a.size() == b.size());
     QPSA_EXPECTS(!a.empty());
     std::vector<cplx> z(a.size());
-    for (std::size_t i = 0; i < a.size(); ++i) z[i] = cplx{a[i], b[i]};
+    pack_real_pair(a, b, z);
     return z;
+}
+
+void pack_real_pair(std::span<const real> a, std::span<const real> b,
+                    std::span<cplx> out) {
+    QPSA_EXPECTS(a.size() == b.size());
+    QPSA_EXPECTS(out.size() == a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = cplx{a[i], b[i]};
 }
 
 real_pair_bin unpack_bin(std::span<const cplx> z, std::size_t k) {

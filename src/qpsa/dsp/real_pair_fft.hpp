@@ -24,6 +24,10 @@ namespace qpsa::dsp {
 /// (z[i] = a[i] + i*b[i]).
 std::vector<cplx> pack_real_pair(std::span<const real> a, std::span<const real> b);
 
+/// Interleave into a caller-provided buffer (out.size() == a.size()).
+void pack_real_pair(std::span<const real> a, std::span<const real> b,
+                    std::span<cplx> out);
+
 /// Recover spectrum bin k of both packed arrays from the transform z of
 /// the packed sequence.  k in [0, z.size()).  Counts 8 adds + 4 muls.
 struct real_pair_bin {

@@ -15,12 +15,12 @@ namespace qpsa::lomb {
 
 namespace {
 
-std::vector<real> grid_freqs(const estimate_grid& grid) {
+/// Fill the pipeline grid f_k = (k+1) * df into a reused vector.
+void fill_grid_freqs(const estimate_grid& grid, std::vector<real>& f) {
     QPSA_EXPECTS(grid.df > 0.0 && grid.nout >= 1);
-    std::vector<real> f(grid.nout);
+    f.resize(grid.nout);
     for (std::size_t k = 0; k < grid.nout; ++k)
         f[k] = static_cast<real>(k + 1) * grid.df;
-    return f;
 }
 
 /// Count into the engine's stats sink in addition to the caller's active
@@ -41,17 +41,19 @@ std::string burg_engine::name() const {
     return "burg-ar(order=" + std::to_string(order_) + ")";
 }
 
-dsp::sampled_spectrum burg_engine::estimate(std::span<const real> t,
-                                            std::span<const real> x,
-                                            const estimate_grid& grid,
-                                            wfft::exec_stats* stats) const {
+void burg_engine::estimate(std::span<const real> t, std::span<const real> x,
+                           const estimate_grid& grid, wfft::exec_stats* stats,
+                           util::arena& scratch,
+                           dsp::sampled_spectrum& out) const {
     stats_scope scope(stats);
-    const auto freqs = grid_freqs(grid);
+    util::arena::frame frame(scratch);
+    fill_grid_freqs(grid, out.freq_hz);
+    out.power.resize(grid.nout);
 
     // Uniform resampling (AR models need evenly spaced data), then mean
     // removal -- Burg assumes a zero-mean process.
-    std::vector<real> series =
-        resample_linear(t, x, resample_hz_, 8 * size());
+    std::span<real> series =
+        resample_linear(t, x, resample_hz_, 8 * size(), scratch);
     const real mu = util::mean(series);
     for (real& v : series) v -= mu;
     counting::count_adds(2 * series.size());
@@ -59,8 +61,9 @@ dsp::sampled_spectrum burg_engine::estimate(std::span<const real> t,
 
     // Clamp the order so short windows stay inside burg_fit's contract.
     const std::size_t max_order = series.size() / 2 - 1;
-    const auto model = dsp::burg_fit(series, std::min(order_, max_order));
-    dsp::sampled_spectrum s = dsp::burg_psd(model, resample_hz_, freqs);
+    const dsp::burg_model model =
+        dsp::burg_fit(series, std::min(order_, max_order), scratch);
+    dsp::burg_psd(model, resample_hz_, out.freq_hz, out.power);
 
     // Match the Fast-Lomb output convention (normalized periodogram:
     // PSD * N / (2 sigma^2) of the analyzed window) so the Welch layer's
@@ -68,29 +71,34 @@ dsp::sampled_spectrum burg_engine::estimate(std::span<const real> t,
     const real var = util::variance(x);
     QPSA_EXPECTS(var > 0.0);
     const real norm = static_cast<real>(x.size()) / (2.0 * var);
-    for (real& p : s.power) p *= norm;
-    counting::count_muls(s.power.size());
+    for (real& p : out.power) p *= norm;
+    counting::count_muls(out.power.size());
     counting::count_divs(1);
-    return s;
 }
 
-dsp::sampled_spectrum direct_lomb_engine::estimate(
-    std::span<const real> t, std::span<const real> x,
-    const estimate_grid& grid, wfft::exec_stats* stats) const {
+void direct_lomb_engine::estimate(std::span<const real> t,
+                                  std::span<const real> x,
+                                  const estimate_grid& grid,
+                                  wfft::exec_stats* stats, util::arena&,
+                                  dsp::sampled_spectrum& out) const {
     stats_scope scope(stats);
-    const auto freqs = grid_freqs(grid);
+    fill_grid_freqs(grid, out.freq_hz);
     // lomb_direct already emits the normalized periodogram on its grid.
-    return lomb_direct(t, x, freqs);
+    // Copy (not move) into the caller's buffer so its steady-state
+    // capacity survives the window.
+    const dsp::sampled_spectrum s = lomb_direct(t, x, out.freq_hz);
+    out.power.assign(s.power.begin(), s.power.end());
 }
 
 std::string resampled_engine::name() const {
     return "resampled(" + std::to_string(resample_hz_) + "Hz)";
 }
 
-dsp::sampled_spectrum resampled_engine::estimate(std::span<const real> t,
-                                                 std::span<const real> x,
-                                                 const estimate_grid& grid,
-                                                 wfft::exec_stats* stats) const {
+void resampled_engine::estimate(std::span<const real> t,
+                                std::span<const real> x,
+                                const estimate_grid& grid,
+                                wfft::exec_stats* stats, util::arena&,
+                                dsp::sampled_spectrum& out) const {
     stats_scope scope(stats);
     resampled_psd_options opt;
     opt.resample_hz = resample_hz_;
@@ -104,14 +112,13 @@ dsp::sampled_spectrum resampled_engine::estimate(std::span<const real> t,
     QPSA_EXPECTS(var > 0.0);
     const real norm = static_cast<real>(x.size()) / (2.0 * var);
 
-    dsp::sampled_spectrum s;
-    s.freq_hz = grid_freqs(grid);
-    s.power.resize(s.freq_hz.size());
+    fill_grid_freqs(grid, out.freq_hz);
+    out.power.resize(out.freq_hz.size());
     const real raw_df = raw.freq_hz.size() >= 2
                             ? raw.freq_hz[1] - raw.freq_hz[0]
                             : grid.df;
-    for (std::size_t k = 0; k < s.freq_hz.size(); ++k) {
-        const real f = s.freq_hz[k];
+    for (std::size_t k = 0; k < out.freq_hz.size(); ++k) {
+        const real f = out.freq_hz[k];
         const real pos = f / raw_df;
         const auto lo = static_cast<std::size_t>(pos);
         real p;
@@ -121,12 +128,11 @@ dsp::sampled_spectrum resampled_engine::estimate(std::span<const real> t,
             const real u = pos - static_cast<real>(lo);
             p = raw.power[lo] * (1.0 - u) + raw.power[lo + 1] * u;
         }
-        s.power[k] = p * norm;
+        out.power[k] = p * norm;
     }
-    counting::count_muls(3 * s.power.size());
-    counting::count_adds(2 * s.power.size());
-    counting::count_divs(s.power.size() + 1);
-    return s;
+    counting::count_muls(3 * out.power.size());
+    counting::count_adds(2 * out.power.size());
+    counting::count_divs(out.power.size() + 1);
 }
 
 }  // namespace qpsa::lomb

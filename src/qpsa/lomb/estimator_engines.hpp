@@ -21,6 +21,7 @@ public:
     explicit whole_window_engine(std::size_t mesh) : mesh_(mesh) {}
     std::size_t size() const noexcept final { return mesh_; }
     bool whole_window() const noexcept final { return true; }
+    using fft_engine::estimate;
     void forward(std::span<const cplx>, std::span<cplx>,
                  wfft::exec_stats*) const final {
         QPSA_EXPECTS(false);  // whole-window engines have no mesh-FFT path
@@ -37,10 +38,10 @@ public:
     burg_engine(std::size_t mesh, std::size_t order, real resample_hz)
         : whole_window_engine(mesh), order_(order), resample_hz_(resample_hz) {}
     std::string name() const override;
-    dsp::sampled_spectrum estimate(std::span<const real> t,
-                                   std::span<const real> x,
-                                   const estimate_grid& grid,
-                                   wfft::exec_stats* stats) const override;
+    void estimate(std::span<const real> t, std::span<const real> x,
+                  const estimate_grid& grid, wfft::exec_stats* stats,
+                  util::arena& scratch,
+                  dsp::sampled_spectrum& out) const override;
 
 private:
     std::size_t order_;
@@ -53,10 +54,10 @@ public:
     explicit direct_lomb_engine(std::size_t mesh)
         : whole_window_engine(mesh) {}
     std::string name() const override { return "direct-lomb"; }
-    dsp::sampled_spectrum estimate(std::span<const real> t,
-                                   std::span<const real> x,
-                                   const estimate_grid& grid,
-                                   wfft::exec_stats* stats) const override;
+    void estimate(std::span<const real> t, std::span<const real> x,
+                  const estimate_grid& grid, wfft::exec_stats* stats,
+                  util::arena& scratch,
+                  dsp::sampled_spectrum& out) const override;
 };
 
 /// Traditional estimator: interpolation + resampling + tapered FFT
@@ -68,10 +69,10 @@ public:
           resample_hz_(resample_hz),
           taper_(taper) {}
     std::string name() const override;
-    dsp::sampled_spectrum estimate(std::span<const real> t,
-                                   std::span<const real> x,
-                                   const estimate_grid& grid,
-                                   wfft::exec_stats* stats) const override;
+    void estimate(std::span<const real> t, std::span<const real> x,
+                  const estimate_grid& grid, wfft::exec_stats* stats,
+                  util::arena& scratch,
+                  dsp::sampled_spectrum& out) const override;
 
 private:
     real resample_hz_;

@@ -1,5 +1,6 @@
 #include "qpsa/lomb/extirpolate.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 
@@ -92,10 +93,18 @@ void spread(real y, std::span<real> mesh, real x, int order) {
 
 std::vector<real> extirpolate(std::span<const real> t, std::span<const real> v,
                               std::size_t mesh_size, int order, real t0, real span) {
+    std::vector<real> mesh(mesh_size);
+    extirpolate(t, v, mesh, order, t0, span);
+    return mesh;
+}
+
+void extirpolate(std::span<const real> t, std::span<const real> v,
+                 std::span<real> mesh, int order, real t0, real span) {
+    const std::size_t mesh_size = mesh.size();
     QPSA_EXPECTS(t.size() == v.size());
     QPSA_EXPECTS(span > 0.0);
     QPSA_EXPECTS(mesh_size >= static_cast<std::size_t>(order));
-    std::vector<real> mesh(mesh_size, 0.0);
+    std::fill(mesh.begin(), mesh.end(), 0.0);
     const real fac = static_cast<real>(mesh_size) / span;
     for (std::size_t j = 0; j < t.size(); ++j) {
         real x = (t[j] - t0) * fac;
@@ -107,7 +116,6 @@ std::vector<real> extirpolate(std::span<const real> t, std::span<const real> v,
         counting::count_muls(1);
         counting::count_adds(1);
     }
-    return mesh;
 }
 
 std::vector<real> redistribute_hold(std::span<const real> values, std::size_t m) {

@@ -30,6 +30,11 @@ void spread(real y, std::span<real> mesh, real x, int order);
 std::vector<real> extirpolate(std::span<const real> t, std::span<const real> v,
                               std::size_t mesh_size, int order, real t0, real span);
 
+/// Same redistribution into a caller-provided mesh (zeroed here first) --
+/// the workspace-reuse path of the streaming pipeline.
+void extirpolate(std::span<const real> t, std::span<const real> v,
+                 std::span<real> mesh, int order, real t0, real span);
+
 /// Zero-order staircase: resample a beat-indexed series onto m points by
 /// index (sample-and-hold).  Matches the visual "extrapolation" of the
 /// paper's Fig. 3(a) and is the cheapest redistribution possible.

@@ -9,13 +9,18 @@
 
 namespace qpsa::lomb {
 
+std::size_t fast_lomb_mesh_size(std::size_t n_samples,
+                                const fast_lomb_options& opt) {
+    return opt.mesh_size != 0
+               ? opt.mesh_size
+               : 2 * next_pow2(static_cast<std::size_t>(
+                         opt.ofac * opt.hifac *
+                         static_cast<real>(n_samples) *
+                         static_cast<real>(opt.macc)));
+}
+
 std::size_t fast_lomb_nout(std::size_t n_samples, const fast_lomb_options& opt) {
-    const std::size_t mesh = opt.mesh_size != 0
-                                 ? opt.mesh_size
-                                 : 2 * next_pow2(static_cast<std::size_t>(
-                                           opt.ofac * opt.hifac *
-                                           static_cast<real>(n_samples) *
-                                           static_cast<real>(opt.macc)));
+    const std::size_t mesh = fast_lomb_mesh_size(n_samples, opt);
     const std::size_t by_data =
         opt.nout_override != 0
             ? opt.nout_override
@@ -27,6 +32,15 @@ std::size_t fast_lomb_nout(std::size_t n_samples, const fast_lomb_options& opt) 
 lomb_result fast_lomb(std::span<const real> t, std::span<const real> x,
                       const fft_engine& engine, const fast_lomb_options& opt,
                       lomb_breakdown* breakdown) {
+    workspace ws;
+    lomb_result res;
+    fast_lomb(t, x, engine, opt, ws, res, breakdown);
+    return res;
+}
+
+void fast_lomb(std::span<const real> t, std::span<const real> x,
+               const fft_engine& engine, const fast_lomb_options& opt,
+               workspace& ws, lomb_result& res, lomb_breakdown* breakdown) {
     QPSA_EXPECTS(t.size() == x.size());
     QPSA_EXPECTS(t.size() >= 2);
     QPSA_EXPECTS(opt.ofac >= 1.0);
@@ -34,6 +48,9 @@ lomb_result fast_lomb(std::span<const real> t, std::span<const real> x,
 
     lomb_breakdown local;
     lomb_breakdown& bd = breakdown ? *breakdown : local;
+
+    util::arena& mem = ws.scratch();
+    util::arena::frame frame(mem);
 
     // --- moments of the window ------------------------------------------
     real avg = 0.0;
@@ -52,12 +69,7 @@ lomb_result fast_lomb(std::span<const real> t, std::span<const real> x,
     const real span = opt.span_override > 0.0 ? opt.span_override : t.back() - t0;
     QPSA_EXPECTS(span > 0.0);
 
-    const std::size_t mesh =
-        opt.mesh_size != 0
-            ? opt.mesh_size
-            : 2 * next_pow2(static_cast<std::size_t>(
-                      opt.ofac * opt.hifac * static_cast<real>(n) *
-                      static_cast<real>(opt.macc)));
+    const std::size_t mesh = fast_lomb_mesh_size(n, opt);
     QPSA_EXPECTS(is_pow2(mesh));
     QPSA_EXPECTS(engine.size() == mesh);
 
@@ -69,23 +81,21 @@ lomb_result fast_lomb(std::span<const real> t, std::span<const real> x,
     // periodogram on the same grid directly; the mesh pipeline below is
     // exclusive to forward()-style FFT engines.
     if (engine.whole_window()) {
-        lomb_result res;
         res.n_samples = n;
         res.mesh_span = span;
         counting::count_scope scope(bd.fft);
-        res.spectrum =
-            engine.estimate(t, x, {1.0 / (span * opt.ofac), nout},
-                            &bd.fft_stats);
+        engine.estimate(t, x, {1.0 / (span * opt.ofac), nout}, &bd.fft_stats,
+                        mem, res.spectrum);
         QPSA_ENSURES(res.spectrum.power.size() == nout);
-        return res;
+        return;
     }
 
     // --- redistribution onto the oversampled periodic mesh ----------------
     // The mesh covers span * ofac seconds so that df = 1 / (span * ofac).
     const bool staircase = opt.mesh == mesh_mode::staircase_hold;
     std::size_t n_eff = n;  // sample count entering the Lomb denominators
-    std::vector<real> wk1;
-    std::vector<real> wk2;
+    std::span<real> wk1 = mem.alloc<real>(mesh);
+    std::span<real> wk2 = mem.alloc<real>(mesh);
     {
         counting::count_scope scope(bd.extirpolation);
         if (staircase) {
@@ -95,8 +105,8 @@ lomb_result fast_lomb(std::span<const real> t, std::span<const real> x,
                 static_cast<std::size_t>(static_cast<real>(mesh) / opt.ofac);
             QPSA_EXPECTS(n_data >= 8 && n_data <= mesh);
             const real delta = span / static_cast<real>(n_data);
-            wk1.assign(mesh, 0.0);
-            wk2.assign(mesh, 0.0);
+            std::fill(wk1.begin(), wk1.end(), 0.0);
+            std::fill(wk2.begin(), wk2.end(), 0.0);
             std::size_t j = 0;
             for (std::size_t p = 0; p < n_data; ++p) {
                 const real tp = t0 + static_cast<real>(p) * delta;
@@ -109,46 +119,47 @@ lomb_result fast_lomb(std::span<const real> t, std::span<const real> x,
             counting::count_adds(2 * n_data);
             n_eff = n_data;
         } else {
-            std::vector<real> centered(n);
+            std::span<real> centered = mem.alloc<real>(n);
             for (std::size_t j = 0; j < n; ++j) centered[j] = x[j] - avg;
             counting::count_adds(n);
-            wk1 = extirpolate(t, centered, mesh, opt.macc, t0, span * opt.ofac);
+            extirpolate(t, centered, wk1, opt.macc, t0, span * opt.ofac);
             // Unit weights at doubled angle positions (for the 2*w*t sums).
-            std::vector<real> t2(n);
-            std::vector<real> ones(n, 1.0);
+            std::span<real> t2 = mem.alloc<real>(n);
+            std::span<real> ones = mem.alloc<real>(n);
+            std::fill(ones.begin(), ones.end(), 1.0);
             for (std::size_t j = 0; j < n; ++j) t2[j] = 2.0 * (t[j] - t0);
             counting::count_adds(n);
             counting::count_muls(n);
-            wk2 = extirpolate(t2, ones, mesh, opt.macc, 0.0, span * opt.ofac);
+            extirpolate(t2, ones, wk2, opt.macc, 0.0, span * opt.ofac);
         }
     }
 
     // --- transform the two meshes -----------------------------------------
     // The engine counts into its stats sink, and nested count scopes
     // propagate outward, so bd.fft receives the same operations.
-    std::vector<cplx> zfft;   // packed_single result
-    std::vector<cplx> z1fft;  // two_transforms results
-    std::vector<cplx> z2fft;
+    std::span<cplx> zfft;   // packed_single result
+    std::span<cplx> z1fft;  // two_transforms results
+    std::span<cplx> z2fft;
     const bool packed = opt.packing == fft_packing::packed_single;
     {
         counting::count_scope scope(bd.fft);
         if (packed) {
-            zfft.resize(mesh);
-            const std::vector<cplx> z = dsp::pack_real_pair(wk1, wk2);
-            engine.forward(z, zfft, &bd.fft_stats);
+            zfft = mem.alloc<cplx>(mesh);
+            std::span<cplx> z = mem.alloc<cplx>(mesh);
+            dsp::pack_real_pair(wk1, wk2, z);
+            engine.forward(z, zfft, &bd.fft_stats, mem);
         } else {
-            z1fft.resize(mesh);
-            z2fft.resize(mesh);
-            std::vector<cplx> z(mesh);
+            z1fft = mem.alloc<cplx>(mesh);
+            z2fft = mem.alloc<cplx>(mesh);
+            std::span<cplx> z = mem.alloc<cplx>(mesh);
             for (std::size_t i = 0; i < mesh; ++i) z[i] = cplx{wk1[i], 0.0};
-            engine.forward(z, z1fft, &bd.fft_stats);
+            engine.forward(z, z1fft, &bd.fft_stats, mem);
             for (std::size_t i = 0; i < mesh; ++i) z[i] = cplx{wk2[i], 0.0};
-            engine.forward(z, z2fft, &bd.fft_stats);
+            engine.forward(z, z2fft, &bd.fft_stats, mem);
         }
     }
 
     // --- Lomb calculator ---------------------------------------------------
-    lomb_result res;
     res.n_samples = n;
     res.mesh_span = span;
     res.spectrum.freq_hz.resize(nout);
@@ -195,7 +206,6 @@ lomb_result fast_lomb(std::span<const real> t, std::span<const real> x,
             counting::count_divs(4);
         }
     }
-    return res;
 }
 
 }  // namespace qpsa::lomb

@@ -14,6 +14,7 @@
 #include "qpsa/counting/op_counter.hpp"
 #include "qpsa/dsp/spectrum.hpp"
 #include "qpsa/lomb/fft_engine.hpp"
+#include "qpsa/lomb/workspace.hpp"
 #include "qpsa/util/common.hpp"
 
 namespace qpsa::lomb {
@@ -87,6 +88,21 @@ struct lomb_result {
 lomb_result fast_lomb(std::span<const real> t, std::span<const real> x,
                       const fft_engine& engine, const fast_lomb_options& opt,
                       lomb_breakdown* breakdown = nullptr);
+
+/// Workspace-reusing variant: all mesh/FFT scratch is drawn from `ws` and
+/// the result is written into `out` (whose vectors keep their capacity
+/// across calls).  Bit-identical to the allocating overload -- it is the
+/// same arithmetic; only buffer provenance differs.  This is the
+/// steady-state-zero-allocation path the streaming service runs.
+void fast_lomb(std::span<const real> t, std::span<const real> x,
+               const fft_engine& engine, const fast_lomb_options& opt,
+               workspace& ws, lomb_result& out,
+               lomb_breakdown* breakdown = nullptr);
+
+/// Effective power-of-two FFT mesh size for a configuration and sample
+/// count (opt.mesh_size, or derived from ofac/hifac/macc when 0).
+std::size_t fast_lomb_mesh_size(std::size_t n_samples,
+                                const fast_lomb_options& opt);
 
 /// Number of output frequencies for a given configuration and sample
 /// count (bounded by the mesh's usable bins).

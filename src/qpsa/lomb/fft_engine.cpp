@@ -5,12 +5,20 @@
 
 namespace qpsa::lomb {
 
-dsp::sampled_spectrum fft_engine::estimate(std::span<const real>,
-                                           std::span<const real>,
-                                           const estimate_grid&,
-                                           wfft::exec_stats*) const {
+void fft_engine::estimate(std::span<const real>, std::span<const real>,
+                          const estimate_grid&, wfft::exec_stats*,
+                          util::arena&, dsp::sampled_spectrum&) const {
     QPSA_EXPECTS(whole_window());  // mesh-FFT engines have no estimator path
-    return {};
+}
+
+dsp::sampled_spectrum fft_engine::estimate(std::span<const real> t,
+                                           std::span<const real> x,
+                                           const estimate_grid& grid,
+                                           wfft::exec_stats* stats) const {
+    util::arena scratch;
+    dsp::sampled_spectrum out;
+    estimate(t, x, grid, stats, scratch, out);
+    return out;
 }
 
 void split_radix_engine::forward(std::span<const cplx> in, std::span<cplx> out,
@@ -20,6 +28,17 @@ void split_radix_engine::forward(std::span<const cplx> in, std::span<cplx> out,
         fft_.forward(in, out);
     } else {
         fft_.forward(in, out);
+    }
+}
+
+void split_radix_engine::forward(std::span<const cplx> in, std::span<cplx> out,
+                                 wfft::exec_stats* stats,
+                                 util::arena& scratch) const {
+    if (stats != nullptr) {
+        counting::count_scope scope(stats->ops);
+        fft_.forward(in, out, scratch);
+    } else {
+        fft_.forward(in, out, scratch);
     }
 }
 
@@ -49,6 +68,12 @@ std::string wavelet_engine::name() const {
 void wavelet_engine::forward(std::span<const cplx> in, std::span<cplx> out,
                              wfft::exec_stats* stats) const {
     fft_.forward(in, out, stats);
+}
+
+void wavelet_engine::forward(std::span<const cplx> in, std::span<cplx> out,
+                             wfft::exec_stats* stats,
+                             util::arena& scratch) const {
+    fft_.forward(in, out, stats, scratch);
 }
 
 std::unique_ptr<fft_engine> make_split_radix_engine(std::size_t n) {

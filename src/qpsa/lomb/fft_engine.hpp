@@ -12,6 +12,7 @@
 
 #include "qpsa/dsp/fft_split_radix.hpp"
 #include "qpsa/dsp/spectrum.hpp"
+#include "qpsa/util/arena.hpp"
 #include "qpsa/util/common.hpp"
 #include "qpsa/wfft/wavelet_fft.hpp"
 
@@ -38,6 +39,17 @@ public:
     virtual void forward(std::span<const cplx> in, std::span<cplx> out,
                          wfft::exec_stats* stats) const = 0;
 
+    /// Scratch-aware forward: implementations draw internal buffers from
+    /// `scratch` so a reused workspace makes the transform allocation-free
+    /// in steady state.  The default ignores the arena and runs the
+    /// allocating path, so external engine subclasses keep working (and
+    /// stay bit-identical) without opting in.
+    virtual void forward(std::span<const cplx> in, std::span<cplx> out,
+                         wfft::exec_stats* stats, util::arena& scratch) const {
+        (void)scratch;
+        forward(in, out, stats);
+    }
+
     /// Whole-window estimators (Burg AR, direct Lomb, resampled
     /// periodogram) are not mesh FFTs: they see the raw (t, x) window and
     /// return the normalized periodogram on the grid directly, bypassing
@@ -45,10 +57,21 @@ public:
     /// is live per engine: whole_window() selects which, and the inactive
     /// entry point is a contract violation.
     virtual bool whole_window() const noexcept { return false; }
-    virtual dsp::sampled_spectrum estimate(std::span<const real> t,
-                                           std::span<const real> x,
-                                           const estimate_grid& grid,
-                                           wfft::exec_stats* stats) const;
+
+    /// Whole-window estimate into a caller-owned spectrum (vector capacity
+    /// is reused across windows) with internal scratch drawn from the
+    /// arena.  This is the customization point; the allocating overload
+    /// below wraps it.  Contract-fails on mesh-FFT engines.
+    virtual void estimate(std::span<const real> t, std::span<const real> x,
+                          const estimate_grid& grid, wfft::exec_stats* stats,
+                          util::arena& scratch,
+                          dsp::sampled_spectrum& out) const;
+
+    /// Allocating convenience wrapper around the virtual above.
+    dsp::sampled_spectrum estimate(std::span<const real> t,
+                                   std::span<const real> x,
+                                   const estimate_grid& grid,
+                                   wfft::exec_stats* stats) const;
 };
 
 /// Conventional engine: split-radix FFT (the paper's baseline).
@@ -57,8 +80,11 @@ public:
     explicit split_radix_engine(std::size_t n) : fft_(n) {}
     std::size_t size() const noexcept override { return fft_.size(); }
     std::string name() const override { return "split-radix"; }
+    using fft_engine::forward;
     void forward(std::span<const cplx> in, std::span<cplx> out,
                  wfft::exec_stats* stats) const override;
+    void forward(std::span<const cplx> in, std::span<cplx> out,
+                 wfft::exec_stats* stats, util::arena& scratch) const override;
 
 private:
     dsp::fft_split_radix fft_;
@@ -70,8 +96,11 @@ public:
     explicit wavelet_engine(wfft::plan p) : fft_(std::move(p)) {}
     std::size_t size() const noexcept override { return fft_.size(); }
     std::string name() const override;
+    using fft_engine::forward;
     void forward(std::span<const cplx> in, std::span<cplx> out,
                  wfft::exec_stats* stats) const override;
+    void forward(std::span<const cplx> in, std::span<cplx> out,
+                 wfft::exec_stats* stats, util::arena& scratch) const override;
     const wfft::wavelet_fft& transform() const noexcept { return fft_; }
 
 private:

@@ -41,18 +41,33 @@ public:
     }
 
     std::string name() const override {
+        // Built with repeated += (not operator+ chains): GCC 12's
+        // -Wrestrict false positive (PR 105651) fires on the rvalue
+        // "literal" + string form when inlined into other TUs.
         const auto& c = fft_.get_config();
-        std::string n = "fixed-wavelet-q" + std::to_string(FracBits);
+        std::string n = "fixed-wavelet-q";
+        n += std::to_string(FracBits);
         if (c.band_drop) n += ",band-drop";
-        if (c.twiddle_fraction > 0.0)
-            n += "," +
-                 std::to_string(static_cast<int>(c.twiddle_fraction * 100.0)) +
-                 "%";
-        return n + "(" + std::to_string(c.n) + ")";
+        if (c.twiddle_fraction > 0.0) {
+            n += ",";
+            n += std::to_string(static_cast<int>(c.twiddle_fraction * 100.0));
+            n += "%";
+        }
+        n += "(";
+        n += std::to_string(c.n);
+        n += ")";
+        return n;
+    }
+
+    using fft_engine::forward;
+    void forward(std::span<const cplx> in, std::span<cplx> out,
+                 wfft::exec_stats* stats) const override {
+        util::arena scratch;
+        forward(in, out, stats, scratch);
     }
 
     void forward(std::span<const cplx> in, std::span<cplx> out,
-                 wfft::exec_stats* stats) const override {
+                 wfft::exec_stats* stats, util::arena& scratch) const override {
         const std::size_t n = size();
         QPSA_EXPECTS(in.size() == n && out.size() == n);
 
@@ -63,12 +78,15 @@ public:
             peak = std::max({peak, std::abs(v.real()), std::abs(v.imag())});
         const real scale = peak > 0.0 ? 0.2 / peak : 1.0;
 
-        std::vector<typename transform::fcplx> fin(n);
+        util::arena::frame frame(scratch);
+        const std::span<typename transform::fcplx> fin =
+            scratch.template alloc<typename transform::fcplx>(n);
         for (std::size_t i = 0; i < n; ++i)
             fin[i] = {typename transform::scalar(in[i].real() * scale),
                       typename transform::scalar(in[i].imag() * scale)};
-        std::vector<typename transform::fcplx> fout(n);
-        fft_.forward(fin, fout);
+        const std::span<typename transform::fcplx> fout =
+            scratch.template alloc<typename transform::fcplx>(n);
+        fft_.forward(fin, fout, scratch);
 
         // Undo the input scale and the transform's 1/N block-floating
         // scale so downstream sees the mathematical DFT.

@@ -1,5 +1,6 @@
 #include "qpsa/lomb/resampled_psd.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "qpsa/counting/op_counter.hpp"
@@ -8,17 +9,12 @@
 
 namespace qpsa::lomb {
 
-std::vector<real> resample_linear(std::span<const real> t,
-                                  std::span<const real> x, real rate_hz,
-                                  std::size_t max_points) {
-    QPSA_EXPECTS(t.size() == x.size());
-    QPSA_EXPECTS(t.size() >= 2);
-    QPSA_EXPECTS(rate_hz > 0.0);
+namespace {
+
+void resample_linear_into(std::span<const real> t, std::span<const real> x,
+                          real rate_hz, std::span<real> out) {
     const real t0 = t.front();
-    const real t1 = t.back();
-    const auto count = std::min<std::size_t>(
-        max_points, static_cast<std::size_t>((t1 - t0) * rate_hz) + 1);
-    std::vector<real> out(count);
+    const std::size_t count = out.size();
     std::size_t j = 0;
     for (std::size_t i = 0; i < count; ++i) {
         const real ti = t0 + static_cast<real>(i) / rate_hz;
@@ -35,6 +31,34 @@ std::vector<real> resample_linear(std::span<const real> t,
         counting::count_divs(1);
         counting::count_cmps(1);
     }
+}
+
+std::size_t resample_count(std::span<const real> t, std::span<const real> x,
+                           real rate_hz, std::size_t max_points) {
+    QPSA_EXPECTS(t.size() == x.size());
+    QPSA_EXPECTS(t.size() >= 2);
+    QPSA_EXPECTS(rate_hz > 0.0);
+    return std::min<std::size_t>(
+        max_points,
+        static_cast<std::size_t>((t.back() - t.front()) * rate_hz) + 1);
+}
+
+}  // namespace
+
+std::vector<real> resample_linear(std::span<const real> t,
+                                  std::span<const real> x, real rate_hz,
+                                  std::size_t max_points) {
+    std::vector<real> out(resample_count(t, x, rate_hz, max_points));
+    resample_linear_into(t, x, rate_hz, out);
+    return out;
+}
+
+std::span<real> resample_linear(std::span<const real> t,
+                                std::span<const real> x, real rate_hz,
+                                std::size_t max_points, util::arena& scratch) {
+    std::span<real> out =
+        scratch.alloc<real>(resample_count(t, x, rate_hz, max_points));
+    resample_linear_into(t, x, rate_hz, out);
     return out;
 }
 

@@ -13,6 +13,7 @@
 
 #include "qpsa/dsp/spectrum.hpp"
 #include "qpsa/dsp/window.hpp"
+#include "qpsa/util/arena.hpp"
 #include "qpsa/util/common.hpp"
 
 namespace qpsa::lomb {
@@ -27,6 +28,12 @@ struct resampled_psd_options {
 std::vector<real> resample_linear(std::span<const real> t,
                                   std::span<const real> x, real rate_hz,
                                   std::size_t max_points);
+
+/// Same resampling with the output drawn from `scratch`; the span lives
+/// until the caller's enclosing arena frame unwinds.
+std::span<real> resample_linear(std::span<const real> t,
+                                std::span<const real> x, real rate_hz,
+                                std::size_t max_points, util::arena& scratch);
 
 /// One-sided PSD of the unevenly sampled series via the traditional
 /// resample + FFT route.  Counts operations like the other estimators.

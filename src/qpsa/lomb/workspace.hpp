@@ -1,0 +1,46 @@
+// Reusable scratch workspace for the window->spectrum hot path.
+//
+// One fast_lomb call needs a handful of mesh-sized buffers (the two
+// extirpolated meshes, the packed complex sequence, the FFT outputs) plus
+// whatever per-recursion-level scratch the engine's transform wants.  A
+// workspace owns all of it as a single bump arena: the first window
+// through a given engine shape sizes the arena, and every later window of
+// that shape runs without touching the heap.
+//
+// Sharing contract: a workspace is engine-shaped, not window-shaped --
+// windows with different beat counts but the same engine key reuse one
+// workspace (buffers are cursor-bumped per call, so per-window size
+// variation is free).  It is single-threaded state: the service layer
+// keys one workspace per (worker, engine_key) via core::workspace_cache,
+// and results are bit-identical to the allocating path because the
+// arithmetic is the same code either way.
+#pragma once
+
+#include <cstddef>
+
+#include "qpsa/util/arena.hpp"
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::lomb {
+
+class workspace {
+public:
+    workspace() = default;
+
+    /// Pre-size for a mesh-FFT engine of the given transform size: the
+    /// Fast-Lomb pipeline buffers (two real meshes + packed sequence +
+    /// spectrum) plus generous transform recursion scratch.
+    explicit workspace(std::size_t mesh_size)
+        : mem_(mesh_size * (4 * sizeof(real) + 8 * sizeof(cplx))) {}
+
+    util::arena& scratch() noexcept { return mem_; }
+
+    /// Heap the workspace currently owns (diagnostics; stops growing once
+    /// the engine's steady-state shape has been seen).
+    std::size_t capacity_bytes() const noexcept { return mem_.capacity_bytes(); }
+
+private:
+    util::arena mem_;
+};
+
+}  // namespace qpsa::lomb

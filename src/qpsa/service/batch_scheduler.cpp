@@ -1,7 +1,9 @@
 #include "qpsa/service/batch_scheduler.hpp"
 
+#include <algorithm>
 #include <atomic>
-#include <vector>
+
+#include "qpsa/core/engine_spec.hpp"
 
 namespace qpsa::service {
 
@@ -12,21 +14,36 @@ batch_scheduler::batch_scheduler(thread_pool& pool, scheduler_options opt)
 
 std::size_t batch_scheduler::run_once(
     std::span<const std::unique_ptr<session>> sessions, fleet_stats& fleet) {
-    std::vector<session*> ready;
-    ready.reserve(sessions.size());
+    ready_.clear();
     for (const auto& s : sessions)
-        if (s->has_pending()) ready.push_back(s.get());
-    if (ready.empty()) return 0;
+        if (s->has_pending()) {
+            const std::size_t order =
+                opt_.sort_by_engine
+                    ? core::engine_key_hash{}(s->config().engine_key())
+                    : 0;
+            ready_.push_back({order, s.get()});
+        }
+    if (ready_.empty()) return 0;
+
+    // Plan locality: cluster same-engine sessions so each batch (and each
+    // worker's run of batches) hammers one engine shape.  stable_sort
+    // keeps admission order within a group, so batch composition is
+    // deterministic run to run.
+    if (opt_.sort_by_engine)
+        std::stable_sort(ready_.begin(), ready_.end(),
+                         [](const ready_entry& a, const ready_entry& b) {
+                             return a.engine_order < b.engine_order;
+                         });
 
     std::atomic<std::size_t> windows{0};
-    for (std::size_t begin = 0; begin < ready.size(); begin += opt_.batch_size) {
+    for (std::size_t begin = 0; begin < ready_.size(); begin += opt_.batch_size) {
         const std::size_t end =
-            std::min(begin + opt_.batch_size, ready.size());
+            std::min(begin + opt_.batch_size, ready_.size());
         ++batches_;
-        pool_.submit([&, begin, end] {
+        pool_.submit([this, &fleet, &windows, begin, end] {
             std::size_t local = 0;
             for (std::size_t i = begin; i < end; ++i)
-                local += ready[i]->drain(fleet);
+                local += ready_[i].s->drain(fleet);
             windows.fetch_add(local, std::memory_order_relaxed);
         });
     }

@@ -7,11 +7,20 @@
 // comes from running different patients on different workers, which is
 // safe because all heavy analysis state (FFT engines, twiddle tables) is
 // shared immutably via the plan cache.
+//
+// Plan-locality batching: within a pass, ready sessions are ordered by
+// engine identity before batches are sliced, so a worker drains runs of
+// same-plan sessions back-to-back -- the engine's twiddle tables stay hot
+// in cache and the worker's per-engine workspace arena is reused window
+// after window.  Per-session outputs are order-independent (each session
+// is drained whole, in its own ingest order), so results stay
+// bit-identical to any other schedule.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "qpsa/service/fleet_stats.hpp"
 #include "qpsa/service/session.hpp"
@@ -24,6 +33,10 @@ struct scheduler_options {
     /// overhead; smaller ones balance better when a few sessions are much
     /// busier than the rest.
     std::size_t batch_size = 16;
+
+    /// Order ready sessions by engine key before slicing batches (see
+    /// header comment).  Off preserves admission order within each pass.
+    bool sort_by_engine = true;
 };
 
 class batch_scheduler {
@@ -32,15 +45,23 @@ public:
 
     /// One pass: dispatch every session with pending ingest, wait for the
     /// batch barrier, return the number of windows completed fleet-wide.
+    /// Callers serialize passes (session_manager::pump_mu_), so the pass
+    /// scratch below is reused without locking.
     std::size_t run_once(std::span<const std::unique_ptr<session>> sessions,
                          fleet_stats& fleet);
 
     std::size_t batches_dispatched() const noexcept { return batches_; }
 
 private:
+    struct ready_entry {
+        std::size_t engine_order;  ///< engine-key hash (grouping key)
+        session* s;
+    };
+
     thread_pool& pool_;
     scheduler_options opt_;
     std::size_t batches_ = 0;
+    std::vector<ready_entry> ready_;  ///< pass scratch, capacity reused
 };
 
 }  // namespace qpsa::service

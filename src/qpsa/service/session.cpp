@@ -1,6 +1,7 @@
 #include "qpsa/service/session.hpp"
 
 #include "qpsa/service/fleet_stats.hpp"
+#include "qpsa/service/thread_pool.hpp"
 
 namespace qpsa::service {
 
@@ -21,9 +22,19 @@ session::session(std::uint64_t id, session_config cfg,
     : id_(id),
       cfg_(std::move(cfg)),
       ring_(cfg_.ingest_capacity),
-      monitor_(initial_config(cfg_), cfg_.monitor, std::move(factory)) {}
+      monitor_(initial_config(cfg_), cfg_.monitor, std::move(factory)) {
+    // Absorb the first few capacity doublings at admission time -- the
+    // steady-state drain path is budgeted at ~zero allocations per window.
+    if (cfg_.keep_reports) reports_.reserve(64);
+}
 
 std::size_t session::drain(fleet_stats& fleet) {
+    // Analysis scratch comes from the worker currently draining us (the
+    // session may land on a different worker next pass; the monitor
+    // re-resolves per window, so migration is safe).  Off-pool callers
+    // (tests draining inline) pass nullptr and use the monitor's private
+    // workspace -- results are bit-identical either way.
+    monitor_.set_scratch(thread_pool::current_workspace_cache());
     beat_sample s;
     while (ring_.pop(s)) {
         try {

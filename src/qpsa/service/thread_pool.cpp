@@ -4,12 +4,22 @@
 
 namespace qpsa::service {
 
+namespace {
+/// Set for the lifetime of a worker thread's loop; read by sessions via
+/// current_workspace_cache() while they drain on that worker.
+thread_local core::workspace_cache* g_worker_cache = nullptr;
+}  // namespace
+
 thread_pool::thread_pool(std::size_t threads) {
     if (threads == 0)
         threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    caches_.reserve(threads);
     workers_.reserve(threads);
-    for (std::size_t i = 0; i < threads; ++i)
-        workers_.emplace_back([this] { worker_loop(); });
+    for (std::size_t i = 0; i < threads; ++i) {
+        caches_.push_back(std::make_unique<core::workspace_cache>());
+        core::workspace_cache* cache = caches_.back().get();
+        workers_.emplace_back([this, cache] { worker_loop(cache); });
+    }
 }
 
 thread_pool::~thread_pool() {
@@ -34,7 +44,12 @@ void thread_pool::wait_idle() {
     cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void thread_pool::worker_loop() {
+core::workspace_cache* thread_pool::current_workspace_cache() noexcept {
+    return g_worker_cache;
+}
+
+void thread_pool::worker_loop(core::workspace_cache* cache) {
+    g_worker_cache = cache;
     for (;;) {
         std::function<void()> task;
         {

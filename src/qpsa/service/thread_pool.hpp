@@ -4,15 +4,24 @@
 // until the queue is drained AND every worker is parked.  The scheduler
 // uses wait_idle() as its batch barrier, so tasks must not submit further
 // tasks.
+//
+// Each worker additionally owns a core::workspace_cache -- the mutable
+// per-thread counterpart of the shared immutable plan cache.  A task
+// reaches its worker's cache through current_workspace_cache(), so
+// sessions drained by that worker reuse hot analysis arenas without any
+// locking (the cache never crosses threads).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "qpsa/core/workspace_cache.hpp"
 
 namespace qpsa::service {
 
@@ -34,8 +43,13 @@ public:
     /// Block until the queue is empty and all workers are parked.
     void wait_idle();
 
+    /// The calling pool worker's workspace cache; nullptr on any thread
+    /// that is not a pool worker (callers then fall back to private
+    /// workspaces, keeping serial paths identical).
+    static core::workspace_cache* current_workspace_cache() noexcept;
+
 private:
-    void worker_loop();
+    void worker_loop(core::workspace_cache* cache);
 
     std::mutex mu_;
     std::condition_variable cv_work_;   ///< signals workers: work or stop
@@ -43,6 +57,9 @@ private:
     std::deque<std::function<void()>> queue_;
     std::size_t active_ = 0;  ///< tasks currently executing
     bool stop_ = false;
+    /// One workspace cache per worker (stable addresses; owned here so
+    /// arenas outlive every task the worker will ever run).
+    std::vector<std::unique_ptr<core::workspace_cache>> caches_;
     std::vector<std::thread> workers_;
 };
 

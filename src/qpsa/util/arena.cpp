@@ -1,0 +1,59 @@
+#include "qpsa/util/arena.hpp"
+
+#include <algorithm>
+
+namespace qpsa::util {
+
+namespace {
+
+constexpr std::size_t k_min_chunk_bytes = 4096;
+
+constexpr std::size_t align_up(std::size_t v, std::size_t align) noexcept {
+    return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+arena::arena(std::size_t initial_bytes) {
+    if (initial_bytes > 0) {
+        const std::size_t size = std::max(initial_bytes, k_min_chunk_bytes);
+        chunks_.push_back({std::make_unique<std::byte[]>(size), size});
+    }
+}
+
+void* arena::raw_alloc(std::size_t bytes, std::size_t align) {
+    QPSA_EXPECTS(align > 0 && (align & (align - 1)) == 0);
+    // operator new[] on std::byte guarantees alignof(std::max_align_t);
+    // the library only stores fundamental/trivial types, which all fit.
+    QPSA_EXPECTS(align <= alignof(std::max_align_t));
+    for (;;) {
+        if (cur_ < chunks_.size()) {
+            const std::size_t off = align_up(used_, align);
+            if (off + bytes <= chunks_[cur_].size) {
+                used_ = off + bytes;
+                return chunks_[cur_].data.get() + off;
+            }
+            // The remainder of this chunk is too small; move on.  The
+            // skipped tail is reclaimed when the enclosing frame unwinds.
+            ++cur_;
+            used_ = 0;
+            continue;
+        }
+        // High-water mark still rising: grow geometrically so a steady
+        // workload converges to zero heap traffic after a few calls.
+        const std::size_t prev = chunks_.empty() ? 0 : chunks_.back().size;
+        const std::size_t size =
+            std::max({bytes + align, 2 * prev, k_min_chunk_bytes});
+        chunks_.push_back({std::make_unique<std::byte[]>(size), size});
+        cur_ = chunks_.size() - 1;
+        used_ = 0;
+    }
+}
+
+std::size_t arena::capacity_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const chunk& c : chunks_) total += c.size;
+    return total;
+}
+
+}  // namespace qpsa::util

@@ -1,0 +1,97 @@
+// Chunked bump allocator for steady-state zero-allocation hot paths.
+//
+// The window->spectrum pipeline runs the same transform shape thousands of
+// times per second; its scratch needs are identical from call to call, so
+// heap traffic there is pure overhead.  An arena hands out typed spans by
+// bumping a cursor through stable chunks: memory is requested from the
+// heap only while the high-water mark is still rising, after which every
+// call is served from memory the arena already owns.
+//
+// Properties the hot path relies on:
+//   * chunks never move -- a span stays valid until its frame unwinds,
+//     even if later allocations force the arena to grow;
+//   * frames are LIFO (RAII): a kernel opens a frame, allocates freely,
+//     and the destructor returns everything in one cursor rewind, so
+//     recursive kernels (the wavelet FFT tree) nest naturally;
+//   * only trivially destructible element types are accepted -- rewinding
+//     runs no destructors.
+//
+// Not thread-safe: each arena belongs to one thread at a time (the service
+// layer keys arenas per worker, see core::workspace_cache).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::util {
+
+class arena {
+public:
+    /// `initial_bytes` pre-reserves the first chunk (0 defers to first use).
+    explicit arena(std::size_t initial_bytes = 0);
+
+    arena(const arena&) = delete;
+    arena& operator=(const arena&) = delete;
+
+    /// Uninitialized storage for `count` elements of T.  Contents are
+    /// whatever a previous frame left behind: callers must fully write the
+    /// span before reading it (or use alloc_zero).
+    template <typename T>
+    std::span<T> alloc(std::size_t count) {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena memory is reclaimed without running destructors");
+        if (count == 0) return {};
+        void* p = raw_alloc(count * sizeof(T), alignof(T));
+        return {static_cast<T*>(p), count};
+    }
+
+    /// Storage value-initialized to T{} (zero for arithmetic types).
+    template <typename T>
+    std::span<T> alloc_zero(std::size_t count) {
+        std::span<T> s = alloc<T>(count);
+        for (T& v : s) v = T{};
+        return s;
+    }
+
+    /// RAII mark/rewind: everything allocated while the frame is alive is
+    /// reclaimed when it dies.  Frames must unwind in LIFO order, which
+    /// scoping guarantees.
+    class frame {
+    public:
+        explicit frame(arena& a) noexcept
+            : arena_(&a), chunk_(a.cur_), used_(a.used_) {}
+        ~frame() {
+            arena_->cur_ = chunk_;
+            arena_->used_ = used_;
+        }
+        frame(const frame&) = delete;
+        frame& operator=(const frame&) = delete;
+
+    private:
+        arena* arena_;
+        std::size_t chunk_;
+        std::size_t used_;
+    };
+
+    /// Total bytes owned (the high-water mark, rounded up to chunks).
+    std::size_t capacity_bytes() const noexcept;
+
+private:
+    void* raw_alloc(std::size_t bytes, std::size_t align);
+
+    struct chunk {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+    };
+
+    std::vector<chunk> chunks_;
+    std::size_t cur_ = 0;   ///< index of the chunk being bumped
+    std::size_t used_ = 0;  ///< bytes consumed in that chunk
+};
+
+}  // namespace qpsa::util

@@ -1,6 +1,8 @@
 #include "qpsa/wavelet/dwt.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "qpsa/counting/op_counter.hpp"
 
@@ -104,33 +106,45 @@ dwt_result dwt(std::span<const real> x, basis b, std::size_t levels) {
     r.input_size = x.size();
     r.coeffs.resize(x.size());
 
-    std::vector<real> cur(x.begin(), x.end());
-    // Fill detail bands from the back of the layout (finest first).
+    // Two ping-pong buffers instead of fresh a/d vectors per level: each
+    // level reads the shrinking approximation from one buffer, writes the
+    // next approximation into the other and its detail band straight into
+    // the output layout.
+    std::vector<real> ping(x.begin(), x.end());
+    std::vector<real> pong(x.size() / 2);
+    std::size_t len = x.size();
     std::size_t write_end = x.size();
     for (std::size_t l = 1; l <= levels; ++l) {
-        const std::size_t half = cur.size() / 2;
-        std::vector<real> a(half);
-        std::vector<real> d(half);
-        dwt_level(cur, b, a, d);
-        std::copy(d.begin(), d.end(), r.coeffs.begin() + static_cast<std::ptrdiff_t>(write_end - half));
+        const std::size_t half = len / 2;
+        const std::span<real> d{r.coeffs.data() + (write_end - half), half};
+        dwt_level(std::span<const real>{ping.data(), len}, b,
+                  {pong.data(), half}, d);
         write_end -= half;
-        cur = std::move(a);
+        len = half;
+        std::swap(ping, pong);
     }
-    std::copy(cur.begin(), cur.end(), r.coeffs.begin());
+    std::copy(ping.begin(), ping.begin() + static_cast<std::ptrdiff_t>(len),
+              r.coeffs.begin());
     return r;
 }
 
 std::vector<real> idwt(const dwt_result& r, basis b) {
-    std::vector<real> cur(r.approx().begin(), r.approx().end());
+    // Same ping-pong scheme in reverse: both buffers are sized once at the
+    // final length and the growing approximation alternates between them.
+    std::vector<real> ping(r.input_size);
+    std::vector<real> pong(r.input_size);
+    std::size_t len = r.input_size >> r.levels;
+    std::copy(r.approx().begin(), r.approx().end(), ping.begin());
     for (std::size_t l = r.levels; l >= 1; --l) {
         const auto d = r.detail(l);
-        QPSA_EXPECTS(d.size() == cur.size());
-        std::vector<real> next(2 * cur.size());
-        idwt_level(cur, d, b, next);
-        cur = std::move(next);
+        QPSA_EXPECTS(d.size() == len);
+        idwt_level(std::span<const real>{ping.data(), len}, d, b,
+                   {pong.data(), 2 * len});
+        len *= 2;
+        std::swap(ping, pong);
     }
-    QPSA_ENSURES(cur.size() == r.input_size);
-    return cur;
+    QPSA_ENSURES(len == r.input_size);
+    return ping;
 }
 
 real approx_energy_fraction(const dwt_result& r) {

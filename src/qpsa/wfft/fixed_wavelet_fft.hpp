@@ -15,10 +15,12 @@
 // the interstage shifts below are enabled).
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "qpsa/fixedpoint/fixed_point.hpp"
+#include "qpsa/util/arena.hpp"
 #include "qpsa/util/common.hpp"
 #include "qpsa/wfft/prune.hpp"
 #include "qpsa/wfft/twiddle_tables.hpp"
@@ -71,14 +73,23 @@ public:
     /// Forward transform; in/out sized n.  Output scale is 1/N relative
     /// to the mathematical DFT when interstage_shift is on.
     void forward(std::span<const fcplx> in, std::span<fcplx> out) const {
+        util::arena scratch;
+        forward(in, out, scratch);
+    }
+
+    /// Forward transform with subband scratch drawn from `scratch`
+    /// (allocation-free in steady state; bit-identical to the above).
+    void forward(std::span<const fcplx> in, std::span<fcplx> out,
+                 util::arena& scratch) const {
         QPSA_EXPECTS(in.size() == cfg_.n);
         QPSA_EXPECTS(out.size() == cfg_.n);
         const std::size_t half = cfg_.n / 2;
 
+        util::arena::frame frame(scratch);
         // Haar stage, folded (the 1/sqrt(2) lives in the factor tables);
         // with interstage shifting the butterfly halves instead.
-        std::vector<fcplx> a(half);
-        std::vector<fcplx> d(half);
+        std::span<fcplx> a = scratch.alloc<fcplx>(half);
+        std::span<fcplx> d = scratch.alloc<fcplx>(half);
         const scalar h(0.5);
         for (std::size_t k = 0; k < half; ++k) {
             fcplx s{in[2 * k].re + in[2 * k + 1].re,
@@ -93,11 +104,11 @@ public:
             d[k] = t;
         }
 
-        std::vector<fcplx> a_fft(half);
+        std::span<fcplx> a_fft = scratch.alloc<fcplx>(half);
         sub_fft(a, a_fft);
-        std::vector<fcplx> d_fft;
+        std::span<fcplx> d_fft;
         if (!cfg_.band_drop) {
-            d_fft.resize(half);
+            d_fft = scratch.alloc<fcplx>(half);
             sub_fft(d, d_fft);
         }
 
@@ -173,9 +184,13 @@ private:
     void build_tables() {
         const std::size_t half = cfg_.n / 2;
         // Double-precision reference tables, folded Haar scaling; divide
-        // by 2 once more when the Haar butterfly itself was halved.
-        const twiddle_tables ref =
-            make_twiddle_tables(wavelet::basis::haar, cfg_.n, true);
+        // by 2 once more when the Haar butterfly itself was halved.  The
+        // reference derivation costs two direct length-n DFTs, so it comes
+        // from the process-wide memo (shared with every wavelet_fft of the
+        // same shape) instead of being rebuilt per engine.
+        const std::shared_ptr<const twiddle_tables> shared =
+            shared_twiddle_tables(wavelet::basis::haar, cfg_.n, true);
+        const twiddle_tables& ref = *shared;
         const std::vector<real> mags =
             factor_magnitudes(ref, !cfg_.band_drop);
         const real thr = magnitude_threshold(mags, cfg_.twiddle_fraction);

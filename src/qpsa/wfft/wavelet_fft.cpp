@@ -128,7 +128,7 @@ wavelet_fft::wavelet_fft(plan p) : plan_(std::move(p)) {
 }
 
 void wavelet_fft::dwt_stage(std::span<const cplx> x, std::span<cplx> a,
-                            std::span<cplx> d) const {
+                            std::span<cplx> d, util::arena& scratch) const {
     const std::size_t n = x.size();
     const std::size_t half = n / 2;
     const bool real_in = plan_.assume_real_input;
@@ -154,9 +154,10 @@ void wavelet_fft::dwt_stage(std::span<const cplx> x, std::span<cplx> a,
     if (plan_.basis == wavelet::basis::db2 && plan_.use_db2_lifting && n >= 4) {
         // Lifting factorization: 5 muls + 4 adds per output pair (per real
         // lane), re-indexed to the convolution convention.
-        std::vector<real> lane(n);
-        std::vector<real> la(half);
-        std::vector<real> ld(half);
+        util::arena::frame frame(scratch);
+        std::span<real> lane = scratch.alloc<real>(n);
+        std::span<real> la = scratch.alloc<real>(half);
+        std::span<real> ld = scratch.alloc<real>(half);
         for (std::size_t i = 0; i < n; ++i) lane[i] = x[i].real();
         wavelet::lifting_db2_analysis_conv(lane, la, ld);
         if (real_in) {
@@ -165,8 +166,8 @@ void wavelet_fft::dwt_stage(std::span<const cplx> x, std::span<cplx> a,
                 d[k] = cplx{ld[k], 0.0};
             }
         } else {
-            std::vector<real> lai(half);
-            std::vector<real> ldi(half);
+            std::span<real> lai = scratch.alloc<real>(half);
+            std::span<real> ldi = scratch.alloc<real>(half);
             for (std::size_t i = 0; i < n; ++i) lane[i] = x[i].imag();
             wavelet::lifting_db2_analysis_conv(lane, lai, ldi);
             for (std::size_t k = 0; k < half; ++k) {
@@ -241,22 +242,22 @@ void wavelet_fft::dwt_stage_lowpass(std::span<const cplx> x,
 }
 
 void wavelet_fft::sub_transform_a(std::span<const cplx> in, std::span<cplx> out,
-                                  exec_stats& stats) const {
+                                  exec_stats& stats, util::arena& scratch) const {
     if (plan_.tree == tree_mode::single_level) {
-        sub_split_radix_->forward(in, out);
+        sub_split_radix_->forward(in, out, scratch);
     } else if (sub_a_) {
-        sub_a_->forward_impl(in, out, stats);
+        sub_a_->forward_impl(in, out, stats, scratch);
     } else {
         leaf_dft(in, out);
     }
 }
 
 void wavelet_fft::sub_transform_d(std::span<const cplx> in, std::span<cplx> out,
-                                  exec_stats& stats) const {
+                                  exec_stats& stats, util::arena& scratch) const {
     if (plan_.tree == tree_mode::single_level) {
-        sub_split_radix_->forward(in, out);
+        sub_split_radix_->forward(in, out, scratch);
     } else if (sub_d_) {
-        sub_d_->forward_impl(in, out, stats);
+        sub_d_->forward_impl(in, out, stats, scratch);
     } else {
         leaf_dft(in, out);
     }
@@ -346,7 +347,7 @@ void wavelet_fft::combine(std::span<const cplx> a_fft, const cplx* d_fft,
 }
 
 void wavelet_fft::forward_impl(std::span<const cplx> in, std::span<cplx> out,
-                               exec_stats& stats) const {
+                               exec_stats& stats, util::arena& scratch) const {
     const std::size_t n = plan_.n;
     QPSA_EXPECTS(in.size() == n);
     QPSA_EXPECTS(out.size() == n);
@@ -355,22 +356,23 @@ void wavelet_fft::forward_impl(std::span<const cplx> in, std::span<cplx> out,
     }
     const std::size_t half = n / 2;
 
-    std::vector<cplx> a(half);
-    std::vector<cplx> a_fft(half);
+    util::arena::frame frame(scratch);
+    std::span<cplx> a = scratch.alloc<cplx>(half);
+    std::span<cplx> a_fft = scratch.alloc<cplx>(half);
 
     const bool drop_cfg = plan_.prune.band_drop_levels >= 1;
     const bool dynamic_band =
         plan_.prune.mode == prune_mode::dynamic && plan_.prune.dynamic_band_decision;
 
     bool drop = false;
-    std::vector<cplx> d;
+    std::span<cplx> d;
     if (drop_cfg && !dynamic_band) {
         // Static drop: the highpass half-band is never computed.
         dwt_stage_lowpass(in, a);
         drop = true;
     } else {
-        d.resize(half);
-        dwt_stage(in, a, d);
+        d = scratch.alloc<cplx>(half);
+        dwt_stage(in, a, d, scratch);
         if (drop_cfg && dynamic_band) {
             // Run-time decision from the live mean L1 |d| (paper V.A:
             // "based on the specific samples we could also apply such a
@@ -389,23 +391,29 @@ void wavelet_fft::forward_impl(std::span<const cplx> in, std::span<cplx> out,
     }
     stats.band_dropped = drop || stats.band_dropped;
 
-    sub_transform_a(a, a_fft, stats);
+    sub_transform_a(a, a_fft, stats, scratch);
 
     if (drop) {
         combine(a_fft, nullptr, out, stats);
         return;
     }
-    std::vector<cplx> d_fft(half);
-    sub_transform_d(d, d_fft, stats);
+    std::span<cplx> d_fft = scratch.alloc<cplx>(half);
+    sub_transform_d(d, d_fft, stats, scratch);
     combine(a_fft, d_fft.data(), out, stats);
 }
 
 void wavelet_fft::forward(std::span<const cplx> in, std::span<cplx> out,
                           exec_stats* stats) const {
+    util::arena scratch;
+    forward(in, out, stats, scratch);
+}
+
+void wavelet_fft::forward(std::span<const cplx> in, std::span<cplx> out,
+                          exec_stats* stats, util::arena& scratch) const {
     exec_stats local;
     exec_stats& st = stats ? *stats : local;
     counting::count_scope scope(st.ops);
-    forward_impl(in, out, st);
+    forward_impl(in, out, st, scratch);
 }
 
 std::vector<cplx> wavelet_fft::forward_copy(std::span<const cplx> in,

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "qpsa/dsp/fft_split_radix.hpp"
+#include "qpsa/util/arena.hpp"
 #include "qpsa/util/common.hpp"
 #include "qpsa/wfft/plan.hpp"
 #include "qpsa/wfft/twiddle_tables.hpp"
@@ -57,6 +58,11 @@ public:
     void forward(std::span<const cplx> in, std::span<cplx> out,
                  exec_stats* stats = nullptr) const;
 
+    /// Same transform with all per-recursion-level subband/sub-spectrum
+    /// buffers drawn from `scratch` -- allocation-free in steady state.
+    void forward(std::span<const cplx> in, std::span<cplx> out,
+                 exec_stats* stats, util::arena& scratch) const;
+
     std::vector<cplx> forward_copy(std::span<const cplx> in,
                                    exec_stats* stats = nullptr) const;
 
@@ -73,14 +79,14 @@ public:
 
 private:
     void forward_impl(std::span<const cplx> in, std::span<cplx> out,
-                      exec_stats& stats) const;
+                      exec_stats& stats, util::arena& scratch) const;
     void dwt_stage(std::span<const cplx> x, std::span<cplx> a,
-                   std::span<cplx> d) const;
+                   std::span<cplx> d, util::arena& scratch) const;
     void dwt_stage_lowpass(std::span<const cplx> x, std::span<cplx> a) const;
     void sub_transform_a(std::span<const cplx> in, std::span<cplx> out,
-                         exec_stats& stats) const;
+                         exec_stats& stats, util::arena& scratch) const;
     void sub_transform_d(std::span<const cplx> in, std::span<cplx> out,
-                         exec_stats& stats) const;
+                         exec_stats& stats, util::arena& scratch) const;
     void combine(std::span<const cplx> a_fft, const cplx* d_fft,
                  std::span<cplx> out, exec_stats& stats) const;
 
