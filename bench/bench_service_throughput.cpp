@@ -25,9 +25,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <new>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common.hpp"
 #include "qpsa/service/service.hpp"
@@ -117,6 +119,25 @@ struct fleet_result {
     /// the warm-up prefix; all threads, all layers).
     double allocs_per_window = 0.0;
     std::uint64_t measured_windows = 0;
+    /// Governor mode switches across the fleet (0 for ungoverned runs).
+    std::uint64_t mode_switches = 0;
+    std::array<qpsa::service::engine_tally, qpsa::core::engine_class_count>
+        by_engine{};
+};
+
+/// Battery-drain scenario: a governed fleet degrading double -> Q15 ->
+/// pruned as simulated charge falls (the paper's Fig. 2 loop, closed).
+struct governed_result {
+    unsigned patients = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t mode_switches = 0;
+    double wall_ms = 0.0;
+    double windows_per_s = 0.0;
+    double allocs_per_window = 0.0;
+    std::uint64_t measured_windows = 0;
+    double battery_fraction_min = 1.0;
+    /// Every session walked the whole ladder (2 switches, ends pruned).
+    bool ladder_complete = true;
     std::array<qpsa::service::engine_tally, qpsa::core::engine_class_count>
         by_engine{};
 };
@@ -273,6 +294,7 @@ fleet_result run_fleet(unsigned n_patients, real record_seconds) {
     r.energy_vfs_j = fleet.energy.energy_vfs_j;
     r.arrhythmia_fraction = fleet.arrhythmia_fraction();
     r.beats_dropped = fleet.beats_dropped;
+    r.mode_switches = fleet.mode_switches;
     r.by_engine = fleet.by_engine;
 
     // Verification pass (untimed): every session must match its serial
@@ -298,6 +320,134 @@ fleet_result run_fleet(unsigned n_patients, real record_seconds) {
     }
     if (r.max_abs_diff > 1e-9) r.identical = false;
     return r;
+}
+
+/// The degradation ladder of the governed scenario: exact double -> Q15
+/// fixed point -> pruned wavelet, with hand-set calibration numbers
+/// (monotone distortion, monotone savings) -- what a design-time
+/// build_quality_controller run would produce, without its cost.
+std::shared_ptr<const core::quality_controller> degradation_ladder() {
+    std::vector<core::mode_profile> table(3);
+    table[0].name = "conventional";
+    table[0].spec = core::conventional_spec{};
+    table[1].name = "fixed-q15";
+    table[1].spec = core::fixed_wavelet_spec{core::fixed_format::q15};
+    table[1].expected_error_pct = 2.0;
+    table[1].expected_savings_vfs = 0.35;
+    table[2].name = "pruned";
+    table[2].spec = core::wavelet_spec{wfft::plan::static_pruned(
+        512, wavelet::basis::haar, wfft::twiddle_set::set2)};
+    table[2].expected_error_pct = 7.0;
+    table[2].expected_savings_vfs = 0.6;
+    return std::make_shared<const core::quality_controller>(std::move(table));
+}
+
+governed_result run_governed_fleet(unsigned n_patients, real record_seconds) {
+    const auto ladder = degradation_ladder();
+
+    std::vector<physio::rr_record> records;
+    records.reserve(n_patients);
+    for (unsigned i = 0; i < n_patients; ++i) {
+        const auto group = i % 2 == 0 ? physio::cohort::sinus_arrhythmia
+                                      : physio::cohort::healthy;
+        records.push_back(physio::record_for(
+            physio::make_patient(group, i % 64), record_seconds));
+    }
+
+    service::service_options opt;
+    opt.vfs_deadline_s = paper_monitor().hop_seconds;
+    service::plan_cache cache;
+    service::session_manager mgr(opt, &cache);
+
+    const auto t0 = clock_type::now();
+    for (unsigned i = 0; i < n_patients; ++i) {
+        service::session_config cfg;
+        cfg.patient_id = "governed-" + std::to_string(i);
+        cfg.analysis = core::psa_config::conventional();
+        cfg.monitor = paper_monitor();
+        cfg.ingest_capacity = 512;
+        cfg.quality.controller = ladder;
+        cfg.quality.governed = true;
+        cfg.quality.governor.reselect_every = 1;
+        cfg.quality.governor.min_dwell = 2;
+        cfg.quality.governor.switch_margin = 0.02;
+        cfg.quality.governor.budget_empty_pct = 10.0;
+        // A battery the duty-cycle overhead (~2.8e-4 J/window) walks
+        // through both mode boundaries within the record.
+        cfg.battery.capacity_j = 2.6e-3;
+        mgr.add_session(std::move(cfg));
+    }
+
+    const auto stream_range = [&](double lo_frac, double hi_frac) {
+        constexpr std::size_t chunk = 256;
+        std::size_t step = 0;
+        bool remaining = true;
+        while (remaining) {
+            remaining = false;
+            for (unsigned i = 0; i < n_patients; ++i) {
+                const auto& rec = records[i];
+                const auto lo = static_cast<std::size_t>(
+                    lo_frac * static_cast<double>(rec.beats()));
+                const auto hi = static_cast<std::size_t>(
+                    hi_frac * static_cast<double>(rec.beats()));
+                const std::size_t begin = std::min(lo + step * chunk, hi);
+                const std::size_t end = std::min(begin + chunk, hi);
+                for (std::size_t b = begin; b < end; ++b)
+                    while (!mgr.ingest(i, rec.beat_time_s[b], rec.rr_s[b]))
+                        mgr.pump();
+                if (end < hi) remaining = true;
+            }
+            ++step;
+            mgr.pump();
+        }
+    };
+
+    // Warm-up covers the first ladder rung; the measured remainder holds
+    // the steady state plus the deeper switches (switching itself must
+    // stay within the allocation budget -- it is a cache lookup).
+    constexpr double warmup_fraction = 0.5;
+    stream_range(0.0, warmup_fraction);
+    mgr.drain_all();
+    const std::uint64_t allocs0 = heap_allocs();
+    const auto windows_at = [&] {
+        std::uint64_t w = 0;
+        for (unsigned i = 0; i < n_patients; ++i)
+            w += mgr.at(i).windows_completed();
+        return w;
+    };
+    const std::uint64_t windows0 = windows_at();
+
+    stream_range(warmup_fraction, 1.0);
+    mgr.drain_all();
+    const std::uint64_t allocs1 = heap_allocs();
+    const auto t1 = clock_type::now();
+
+    governed_result g;
+    g.patients = n_patients;
+    g.wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            t1 - t0)
+            .count();
+    g.measured_windows = windows_at() - windows0;
+    g.allocs_per_window =
+        g.measured_windows > 0
+            ? static_cast<double>(allocs1 - allocs0) /
+                  static_cast<double>(g.measured_windows)
+            : 0.0;
+
+    const auto fleet = mgr.fleet();
+    g.windows = fleet.windows;
+    g.windows_per_s = fleet.windows / (g.wall_ms / 1000.0);
+    g.mode_switches = fleet.mode_switches;
+    g.battery_fraction_min = fleet.battery_fraction_min;
+    g.by_engine = fleet.by_engine;
+    for (unsigned i = 0; i < n_patients; ++i) {
+        const auto log = mgr.at(i).switch_log();
+        const bool walked =
+            log.size() == 2 && log[0].mode_index == 1 && log[1].mode_index == 2;
+        g.ladder_complete = g.ladder_complete && walked;
+    }
+    return g;
 }
 
 /// Crude field scraper for the committed BENCH_service.json: finds the
@@ -404,6 +554,40 @@ int main() {
         std::cout << " windows; dropped beats: " << big.beats_dropped << "\n";
     }
 
+    // Battery-drain scenario: the largest fleet again, now governed -- the
+    // closed QDES loop degrades every node double -> Q15 -> pruned as its
+    // simulated charge falls.
+    util::print_section(std::cout,
+                        "Adaptive QDES -- governed 512-patient fleet under "
+                        "battery drain");
+    const auto governed = run_governed_fleet(512, record_seconds * 2);
+    {
+        std::cout << "mode switches: " << governed.mode_switches << " across "
+                  << governed.patients << " patients ("
+                  << (governed.ladder_complete
+                          ? "every session walked double->Q15->pruned"
+                          : "INCOMPLETE ladder walks")
+                  << ")\n"
+                  << "windows: " << governed.windows << " ("
+                  << util::table::fmt(governed.windows_per_s, 1)
+                  << "/s), allocs/window "
+                  << util::table::fmt(governed.allocs_per_window, 3)
+                  << ", min battery fraction "
+                  << util::table::fmt(governed.battery_fraction_min, 3) << "\n"
+                  << "governed engine mix: ";
+        bool first = true;
+        for (std::size_t i = 0; i < governed.by_engine.size(); ++i) {
+            if (governed.by_engine[i].windows == 0) continue;
+            if (!first) std::cout << ", ";
+            std::cout << qpsa::core::engine_class_name(
+                             static_cast<qpsa::core::engine_class>(i))
+                      << "=" << governed.by_engine[i].windows;
+            first = false;
+        }
+        std::cout << " windows\n";
+    }
+    all_identical = all_identical && governed.ladder_complete;
+
     std::ofstream json("BENCH_service.json");
     json << "{\n  \"bench\": \"service_throughput\",\n  \"record_seconds\": "
          << record_seconds << ",\n  \"workers\": " << results.front().workers
@@ -425,6 +609,7 @@ int main() {
              << ", \"energy_vfs_j\": " << r.energy_vfs_j
              << ", \"arrhythmia_fraction\": " << r.arrhythmia_fraction
              << ", \"beats_dropped\": " << r.beats_dropped
+             << ", \"mode_switches\": " << r.mode_switches
              << ", \"engine_windows\": {";
         bool first = true;
         for (std::size_t e = 0; e < r.by_engine.size(); ++e) {
@@ -438,7 +623,30 @@ int main() {
         }
         json << "}}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
-    json << "  ]\n}\n";
+    json << "  ],\n  \"governed\": {\"patients\": " << governed.patients
+         << ", \"windows\": " << governed.windows
+         << ", \"mode_switches\": " << governed.mode_switches
+         << ", \"ladder_complete\": "
+         << (governed.ladder_complete ? "true" : "false")
+         << ", \"wall_ms\": " << governed.wall_ms
+         << ", \"windows_per_s\": " << governed.windows_per_s
+         << ", \"allocs_per_window\": " << governed.allocs_per_window
+         << ", \"measured_windows\": " << governed.measured_windows
+         << ", \"battery_fraction_min\": " << governed.battery_fraction_min
+         << ", \"engine_windows\": {";
+    {
+        bool first = true;
+        for (std::size_t e = 0; e < governed.by_engine.size(); ++e) {
+            if (governed.by_engine[e].windows == 0) continue;
+            if (!first) json << ", ";
+            json << "\""
+                 << qpsa::core::engine_class_name(
+                        static_cast<qpsa::core::engine_class>(e))
+                 << "\": " << governed.by_engine[e].windows;
+            first = false;
+        }
+    }
+    json << "}}\n}\n";
     std::cout << "wrote BENCH_service.json\n";
 
     return all_identical ? 0 : 1;

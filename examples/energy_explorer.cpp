@@ -26,9 +26,11 @@ int main(int argc, char** argv) {
     const auto controller = core::build_quality_controller(opt, node);
 
     std::cout << "measured mode table (design-time calibration):\n";
-    util::table t({"mode", "err%", "savings", "savings+VFS", "detection"});
+    util::table t({"mode", "engine", "err%", "savings", "savings+VFS",
+                   "detection"});
     for (const auto& m : controller.profiles()) {
-        t.add_row({m.name, util::table::fmt(m.expected_error_pct, 2),
+        t.add_row({m.name, std::string(core::engine_class_name(m.kind())),
+                   util::table::fmt(m.expected_error_pct, 2),
                    util::table::fmt_pct(m.expected_savings),
                    util::table::fmt_pct(m.expected_savings_vfs),
                    util::table::fmt_pct(m.detection_agreement)});

@@ -52,28 +52,62 @@ lomb::welch_options welch_options_of(const psa_config& cfg) {
     return w;
 }
 
+/// Strict-weak-order for mode selection: deeper VFS savings first, then
+/// lower expected distortion, then name -- a total order over distinct
+/// profiles, so selection is independent of table iteration order.
+bool deeper_saving(const mode_profile& a, const mode_profile& b) {
+    if (a.expected_savings_vfs != b.expected_savings_vfs)
+        return a.expected_savings_vfs > b.expected_savings_vfs;
+    if (a.expected_error_pct != b.expected_error_pct)
+        return a.expected_error_pct < b.expected_error_pct;
+    return a.name < b.name;
+}
+
+/// Fallback order when nothing fits the budget: least distortion first,
+/// same deterministic tie-breaking.
+bool less_distorting(const mode_profile& a, const mode_profile& b) {
+    if (a.expected_error_pct != b.expected_error_pct)
+        return a.expected_error_pct < b.expected_error_pct;
+    if (a.expected_savings_vfs != b.expected_savings_vfs)
+        return a.expected_savings_vfs > b.expected_savings_vfs;
+    return a.name < b.name;
+}
+
 }  // namespace
+
+psa_config mode_profile::apply_to(psa_config base) const {
+    base.spec = spec;
+    if (const auto* w = std::get_if<wavelet_spec>(&spec))
+        base.lomb.mesh_size = w->plan.n;
+    else if (mesh != 0)
+        base.lomb.mesh_size = mesh;
+    base.validate();
+    return base;
+}
 
 quality_controller::quality_controller(std::vector<mode_profile> table)
     : table_(std::move(table)) {
     QPSA_EXPECTS(!table_.empty());
 }
 
-const mode_profile& quality_controller::select(real qdes_error_pct) const {
+std::size_t quality_controller::select_index(real qdes_error_pct) const {
     const mode_profile* best = nullptr;
     for (const auto& m : table_) {
         if (m.expected_error_pct > qdes_error_pct) continue;
-        if (best == nullptr || m.expected_savings_vfs > best->expected_savings_vfs)
-            best = &m;
+        if (best == nullptr || deeper_saving(m, *best)) best = &m;
     }
     // The least aggressive mode is the fallback when even it violates the
     // budget (caller asked for tighter quality than any mode delivers).
     if (best == nullptr) {
         best = &table_.front();
         for (const auto& m : table_)
-            if (m.expected_error_pct < best->expected_error_pct) best = &m;
+            if (less_distorting(m, *best)) best = &m;
     }
-    return *best;
+    return static_cast<std::size_t>(best - table_.data());
+}
+
+const mode_profile& quality_controller::select(real qdes_error_pct) const {
+    return table_[select_index(qdes_error_pct)];
 }
 
 quality_controller build_quality_controller(const controller_build_options& opt,
@@ -112,25 +146,41 @@ quality_controller build_quality_controller(const controller_build_options& opt,
     // --- assemble the mode list --------------------------------------------
     struct mode_def {
         std::string name;
-        wfft::plan plan;
+        psa_config config;
     };
     std::vector<mode_def> defs;
-    defs.push_back({"exact-wavelet", exact_plan});
-    defs.push_back({"band-drop", wfft::plan::band_dropped(opt.mesh, opt.basis)});
+    defs.push_back({"exact-wavelet", psa_config::proposed(exact_plan)});
+    defs.push_back({"band-drop", psa_config::proposed(wfft::plan::band_dropped(
+                                     opt.mesh, opt.basis))});
     const wfft::twiddle_set sets[] = {wfft::twiddle_set::set1,
                                       wfft::twiddle_set::set2,
                                       wfft::twiddle_set::set3};
     for (const auto s : sets)
         defs.push_back({std::string("static+") + wfft::set_name(s),
-                        wfft::plan::static_pruned(opt.mesh, opt.basis, s)});
+                        psa_config::proposed(wfft::plan::static_pruned(
+                            opt.mesh, opt.basis, s))});
     if (opt.include_dynamic) {
         for (const auto s : sets) {
             wfft::plan p = wfft::plan::dynamic_pruned(
                 opt.mesh, opt.basis, s, /*data_thr=*/0.0, cal.band_threshold);
             p.prune.data_threshold = wfft::tune_data_threshold(
                 p, wfft::set_fraction(s), ref.fft_inputs, cal);
-            defs.push_back({std::string("dynamic+") + wfft::set_name(s), p});
+            defs.push_back({std::string("dynamic+") + wfft::set_name(s),
+                            psa_config::proposed(p)});
         }
+    }
+    // The non-wavelet registry kinds: same pipeline, different engine --
+    // what lets the run-time governor switch a node off the double
+    // datapath entirely (e.g. to Q15 under battery pressure).
+    if (opt.include_fixed_point) {
+        defs.push_back({"fixed-q15", psa_config::fixed_wavelet(
+                                         fixed_format::q15, opt.mesh)});
+        defs.push_back({"fixed-q31", psa_config::fixed_wavelet(
+                                         fixed_format::q31, opt.mesh)});
+    }
+    if (opt.include_estimators) {
+        defs.push_back({"burg-ar", psa_config::burg_ar(16, opt.mesh)});
+        defs.push_back({"resampled", psa_config::resampled(4.0, opt.mesh)});
     }
 
     // --- measure every mode -------------------------------------------------
@@ -138,8 +188,9 @@ quality_controller build_quality_controller(const controller_build_options& opt,
     for (const auto& def : defs) {
         mode_profile prof;
         prof.name = def.name;
-        prof.config = psa_config::proposed(def.plan);
-        const psa_system sys(prof.config);
+        prof.spec = def.config.normalized_spec();
+        prof.mesh = def.config.lomb.mesh_size;
+        const psa_system sys(def.config);
 
         std::vector<real> errors;
         std::vector<real> savings;

@@ -5,9 +5,13 @@
 // At design time, a calibration run measures every approximation mode's
 // expected LFP/HFP distortion and energy savings over a training cohort.
 // At run time, the controller picks the deepest-saving mode whose expected
-// distortion stays within the caller's quality budget.
+// distortion stays within the caller's quality budget.  A mode is an
+// engine_spec -- any estimator servable through core::engine_registry --
+// so the controller can switch engine *kinds* (double -> Q15 -> pruned),
+// not just pruning depth.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -19,11 +23,24 @@ namespace qpsa::core {
 
 struct mode_profile {
     std::string name;
-    psa_config config;
+    /// The engine this mode runs (normalized; any registry kind).
+    engine_spec spec = conventional_spec{};
+    /// Mesh size the mode was calibrated at (wavelet specs carry their
+    /// own n inside the plan; this covers the other kinds).
+    std::size_t mesh = 512;
     real expected_error_pct = 0.0;     ///< mean LFP/HFP ratio error
     real expected_savings = 0.0;       ///< energy savings (nominal V/f)
     real expected_savings_vfs = 0.0;   ///< energy savings with VFS
     real detection_agreement = 1.0;    ///< diagnosis agreement fraction
+
+    /// Fleet roll-up slot of this mode's engine.
+    engine_class kind() const { return classify(spec); }
+
+    /// The mode's engine applied to a pipeline configuration: the spec is
+    /// swapped in and the mesh kept consistent (a wavelet plan brings its
+    /// own n); everything else -- windowing, bands, packing -- is the
+    /// caller's.  This is what a session deploys on a mode switch.
+    psa_config apply_to(psa_config base) const;
 };
 
 class quality_controller {
@@ -31,8 +48,15 @@ public:
     explicit quality_controller(std::vector<mode_profile> table);
 
     /// Deepest-saving mode with expected_error_pct <= qdes_error_pct
-    /// (VFS-aware ordering).  The exact mode always qualifies.
+    /// (VFS-aware ordering).  The exact mode always qualifies.  Ties on
+    /// savings break deterministically -- lower expected distortion, then
+    /// lexicographic name -- so the selection never depends on the
+    /// calibration's iteration order.
     const mode_profile& select(real qdes_error_pct) const;
+
+    /// Index of select()'s result in profiles() (stable mode identity for
+    /// switch logs and serial replay).
+    std::size_t select_index(real qdes_error_pct) const;
 
     std::span<const mode_profile> profiles() const noexcept { return table_; }
 
@@ -46,10 +70,17 @@ struct controller_build_options {
     wavelet::basis basis = wavelet::basis::haar;
     std::size_t mesh = 512;
     bool include_dynamic = true;
+    /// Calibrate the Q15/Q31 fixed-point wavelet engines too (registry
+    /// kinds; what lets the governor drop a node from double to Q15).
+    bool include_fixed_point = true;
+    /// Calibrate the whole-window estimators (Burg AR, resampled FFT).
+    bool include_estimators = true;
 };
 
 /// Measure all paper modes (exact wavelet, band drop, band+Set1..3 static
-/// and dynamic) against the conventional system and assemble a controller.
+/// and dynamic) -- plus, by default, the fixed-point and whole-window
+/// estimator kinds -- against the conventional system and assemble a
+/// controller.  Every mode is built through core::engine_registry.
 quality_controller build_quality_controller(const controller_build_options& opt,
                                             const energy::node_model& node);
 

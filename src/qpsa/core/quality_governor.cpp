@@ -1,0 +1,86 @@
+#include "qpsa/core/quality_governor.hpp"
+
+#include <algorithm>
+
+namespace qpsa::core {
+
+real quality_policy::budget_at(real charge_fraction) const {
+    const real depleted =
+        std::clamp(1.0 - charge_fraction, real(0.0), real(1.0));
+    return governor.budget_full_pct +
+           (governor.budget_empty_pct - governor.budget_full_pct) * depleted;
+}
+
+quality_governor::quality_governor(quality_policy policy)
+    : policy_(std::move(policy)) {
+    if (policy_.governed) {
+        QPSA_EXPECTS(policy_.controller != nullptr);
+        QPSA_EXPECTS(policy_.governor.reselect_every >= 1);
+        QPSA_EXPECTS(policy_.governor.budget_empty_pct >=
+                     policy_.governor.budget_full_pct);
+    }
+}
+
+const mode_profile* quality_governor::current() const {
+    if (current_ == npos) return nullptr;
+    return &policy_.controller->profiles()[current_];
+}
+
+std::optional<psa_config> quality_governor::initial_config(
+    const psa_config& base) {
+    if (policy_.controller == nullptr) return std::nullopt;
+    if (runtime_enabled()) {
+        // Full charge at admission; the loop takes over from window 1.
+        current_ = policy_.controller->select_index(policy_.budget_at(1.0));
+        return policy_.controller->profiles()[current_].apply_to(base);
+    }
+    if (policy_.qdes_error_pct > 0.0) {
+        current_ =
+            policy_.controller->select_index(policy_.qdes_error_pct);
+        return policy_.controller->profiles()[current_].apply_to(base);
+    }
+    return std::nullopt;
+}
+
+const mode_profile* quality_governor::on_window(real battery_fraction) {
+    if (!runtime_enabled()) return nullptr;
+    ++windows_seen_;
+    ++windows_since_switch_;
+    if (windows_seen_ % policy_.governor.reselect_every != 0) return nullptr;
+
+    const real budget = policy_.budget_at(battery_fraction);
+    const std::size_t cand_idx = policy_.controller->select_index(budget);
+    if (cand_idx == current_) return nullptr;
+    if (windows_since_switch_ < policy_.governor.min_dwell) return nullptr;
+
+    const auto profiles = policy_.controller->profiles();
+    const mode_profile& cand = profiles[cand_idx];
+    if (current_ != npos) {
+        const mode_profile& cur = profiles[current_];
+        // An upgrade (deeper savings) must clear the margin; a downgrade
+        // forced because the current mode no longer fits the budget
+        // skips the margin (min_dwell above still bounds its rate).
+        const bool current_violates = cur.expected_error_pct > budget;
+        if (!current_violates &&
+            cand.expected_savings_vfs <
+                cur.expected_savings_vfs + policy_.governor.switch_margin)
+            return nullptr;
+    }
+    current_ = cand_idx;
+    windows_since_switch_ = 0;
+    ++switches_;
+    return &cand;
+}
+
+const mode_profile* quality_governor::set_static_budget(real qdes_error_pct) {
+    policy_.qdes_error_pct = qdes_error_pct;
+    if (policy_.controller == nullptr || runtime_enabled()) return nullptr;
+    if (qdes_error_pct <= 0.0) {
+        current_ = npos;
+        return nullptr;
+    }
+    current_ = policy_.controller->select_index(qdes_error_pct);
+    return &policy_.controller->profiles()[current_];
+}
+
+}  // namespace qpsa::core

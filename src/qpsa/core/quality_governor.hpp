@@ -1,0 +1,103 @@
+// Run-time QDES governor: the closed loop of the paper's Fig. 2.
+//
+// The quality_controller is a static table (design-time calibration); the
+// governor is the piece that consults it *while the node runs*.  Every
+// completed analysis window it is fed the node's live battery fraction,
+// maps it to a distortion budget (low charge -> wider budget), and every
+// N windows re-selects the deepest-saving qualifying mode.  Hysteresis --
+// a minimum dwell between switches plus a savings margin for upgrades --
+// keeps the loop from flapping when the budget oscillates around a mode
+// boundary.  One governor per session; all methods are called from the
+// single thread currently draining that session.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+
+#include "qpsa/core/quality_controller.hpp"
+
+namespace qpsa::core {
+
+struct governor_options {
+    /// Re-evaluate the mode every this many completed windows.
+    std::size_t reselect_every = 4;
+    /// Minimum completed windows between two switches (flap damper).
+    std::size_t min_dwell = 8;
+    /// A deeper-saving candidate must beat the current mode's expected
+    /// VFS savings by this margin to justify a switch.  Downgrades forced
+    /// by a tightened budget are exempt from the margin -- but not from
+    /// min_dwell, which bounds the switch rate in both directions (else
+    /// an oscillating budget would flap via forced downgrades).
+    real switch_margin = 0.02;
+    /// Distortion budget (QDES, % LFP/HFP ratio error) at full charge...
+    real budget_full_pct = 0.0;
+    /// ...widening linearly to this as the battery empties.
+    real budget_empty_pct = 10.0;
+};
+
+/// Per-session quality policy: which controller (if any), the static
+/// admission budget, and whether the run-time loop is closed.
+struct quality_policy {
+    std::shared_ptr<const quality_controller> controller;
+    /// Admission-time distortion budget (the paper's one-shot QDES).
+    /// Used when `governed` is false; ignored by the live loop, which
+    /// derives its budget from battery charge instead.
+    real qdes_error_pct = 0.0;
+    /// Close the loop: re-select from live battery state every N windows.
+    bool governed = false;
+    governor_options governor;
+
+    /// Distortion budget for a battery charge fraction in [0, 1].
+    real budget_at(real charge_fraction) const;
+};
+
+class quality_governor {
+public:
+    static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+    quality_governor() = default;
+    explicit quality_governor(quality_policy policy);
+
+    /// True when the run-time loop is active (controller + governed).
+    bool runtime_enabled() const noexcept {
+        return policy_.controller != nullptr && policy_.governed &&
+               policy_.governor.reselect_every > 0;
+    }
+    bool has_controller() const noexcept {
+        return policy_.controller != nullptr;
+    }
+
+    /// Admission-time mode applied to `base`: the static QDES selection,
+    /// or the governor's full-charge mode when the loop is closed.
+    /// nullopt when no controller or no budget -> run `base` unchanged.
+    std::optional<psa_config> initial_config(const psa_config& base);
+
+    /// Record one completed window with the node's live battery charge
+    /// fraction; returns the newly selected mode when a re-selection is
+    /// due and clears hysteresis, nullptr otherwise.
+    const mode_profile* on_window(real battery_fraction);
+
+    /// Replace the static budget (governed sessions ignore it); returns
+    /// the re-selected mode when a controller is present and the loop is
+    /// open, nullptr otherwise.  A budget <= 0 disables static QDES.
+    const mode_profile* set_static_budget(real qdes_error_pct);
+
+    const quality_policy& policy() const noexcept { return policy_; }
+    /// Index of the active mode in the controller's table (npos: none --
+    /// the session runs its configured analysis).
+    std::size_t current_index() const noexcept { return current_; }
+    const mode_profile* current() const;
+    std::uint64_t switches() const noexcept { return switches_; }
+    std::uint64_t windows_seen() const noexcept { return windows_seen_; }
+
+private:
+    quality_policy policy_;
+    std::size_t current_ = npos;
+    std::uint64_t windows_seen_ = 0;
+    std::uint64_t windows_since_switch_ = 0;
+    std::uint64_t switches_ = 0;
+};
+
+}  // namespace qpsa::core

@@ -7,6 +7,8 @@
 // PSA share -- the thing the paper optimizes -- is explicit.
 #pragma once
 
+#include <atomic>
+
 #include "qpsa/energy/node_model.hpp"
 
 namespace qpsa::energy {
@@ -48,5 +50,50 @@ lifetime_estimate estimate_lifetime_vfs(const node_model& node,
                                         const counting::op_counts& window_ops,
                                         real deadline_s,
                                         const battery_config& cfg = {});
+
+/// Mutable run-time battery of one duty-cycled node -- the live input of
+/// the QDES governor loop (paper Fig. 2: battery state feeds the mode
+/// selection).  Drained once per completed analysis window with that
+/// window's priced PSA energy plus the fixed duty-cycle overheads.
+///
+/// Threading: one writer at a time (the worker currently draining the
+/// owning session); charge is an atomic so fleet snapshots may read it
+/// concurrently without a lock.
+class battery_state {
+public:
+    explicit battery_state(battery_config cfg = {})
+        : cfg_(cfg), charge_j_(cfg.capacity_j) {
+        QPSA_EXPECTS(cfg_.capacity_j > 0.0);
+    }
+
+    const battery_config& config() const noexcept { return cfg_; }
+
+    /// Account one completed window: the PSA energy (from the fleet
+    /// pricer) plus acquisition, radio and the sleep floor over one
+    /// window period.  Charge clamps at zero.
+    void drain_window(real psa_j) noexcept {
+        drain(psa_j + cfg_.acquisition_j + cfg_.radio_j +
+              cfg_.sleep_power_w * cfg_.window_period_s);
+    }
+
+    /// Remove `joules` from the remaining charge (clamped at zero).
+    void drain(real joules) noexcept {
+        const real now = charge_j_.load(std::memory_order_relaxed);
+        const real next = now > joules ? now - joules : 0.0;
+        charge_j_.store(next, std::memory_order_relaxed);
+    }
+
+    real charge_remaining_j() const noexcept {
+        return charge_j_.load(std::memory_order_relaxed);
+    }
+    /// Remaining charge as a fraction of capacity, in [0, 1].
+    real charge_fraction() const noexcept {
+        return charge_remaining_j() / cfg_.capacity_j;
+    }
+
+private:
+    battery_config cfg_;
+    std::atomic<real> charge_j_;
+};
 
 }  // namespace qpsa::energy

@@ -58,9 +58,13 @@ std::string wavelet_engine::name() const {
             break;
     }
     if (p.prune.band_drop_levels > 0) n += ",band-drop";
-    if (p.prune.twiddle_fraction > 0.0)
-        n += "," + std::to_string(static_cast<int>(p.prune.twiddle_fraction * 100.0)) +
-             "%";
+    if (p.prune.twiddle_fraction > 0.0) {
+        // Appended piecewise: GCC 12's -Wrestrict false-fires (PR105329)
+        // on the char* + string&& operator+ chain under -O3.
+        n += ",";
+        n += std::to_string(static_cast<int>(p.prune.twiddle_fraction * 100.0));
+        n += "%";
+    }
     n += ")";
     return n;
 }

@@ -41,9 +41,14 @@ std::size_t batch_scheduler::run_once(
             std::min(begin + opt_.batch_size, ready_.size());
         ++batches_;
         pool_.submit([this, &fleet, &windows, begin, end] {
+            // Per-task partial: every window in the batch accumulates
+            // lock-free, and the fleet mutex is taken once at the batch
+            // barrier (fleet_partial merge) instead of once per window.
+            fleet_partial partial = fleet.make_partial();
             std::size_t local = 0;
             for (std::size_t i = begin; i < end; ++i)
-                local += ready_[i].s->drain(fleet);
+                local += ready_[i].s->drain(partial);
+            fleet.merge(partial);
             windows.fetch_add(local, std::memory_order_relaxed);
         });
     }

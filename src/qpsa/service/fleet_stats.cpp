@@ -1,5 +1,7 @@
 #include "qpsa/service/fleet_stats.hpp"
 
+#include <algorithm>
+
 namespace qpsa::service {
 
 fleet_snapshot& fleet_snapshot::operator+=(const fleet_snapshot& o) {
@@ -11,38 +13,50 @@ fleet_snapshot& fleet_snapshot::operator+=(const fleet_snapshot& o) {
         by_engine[i] += o.by_engine[i];
     beats_dropped += o.beats_dropped;
     beats_rejected += o.beats_rejected;
+    beats_overwritten += o.beats_overwritten;
     drop_alarms.insert(drop_alarms.end(), o.drop_alarms.begin(),
                        o.drop_alarms.end());
+    mode_switches += o.mode_switches;
+    battery_fraction_min = std::min(battery_fraction_min, o.battery_fraction_min);
+    quality.insert(quality.end(), o.quality.begin(), o.quality.end());
     lf_sum += o.lf_sum;
     hf_sum += o.hf_sum;
     ratio_sum += o.ratio_sum;
     return *this;
 }
 
-fleet_stats::fleet_stats(energy::node_model node, real vfs_deadline_s)
-    : pricer_(node, vfs_deadline_s) {}
+real fleet_partial::add_report(const core::window_report& rep) {
+    const energy::fleet_energy_totals priced = pricer_->price_window(rep.ops);
 
-void fleet_stats::add_report(const core::window_report& rep) {
-    // Price the window outside the tally lock (pure computation), then
-    // fold everything -- energy included -- under the one mutex, so a
-    // snapshot never sees the band tallies and the energy column at
-    // different window counts.
-    const energy::fleet_energy_totals priced = pricer_.price_window(rep.ops);
-
-    std::lock_guard<std::mutex> lock(mu_);
-    ++agg_.windows;
-    agg_.beats += rep.beats;
+    ++snap_.windows;
+    snap_.beats += rep.beats;
     if (rep.diagnosis == hrv::diagnosis::sinus_arrhythmia)
-        ++agg_.arrhythmia_windows;
-    agg_.lf_sum += rep.bands.lf;
-    agg_.hf_sum += rep.bands.hf;
-    agg_.ratio_sum += rep.ratio();
-    agg_.energy += priced;
+        ++snap_.arrhythmia_windows;
+    snap_.lf_sum += rep.bands.lf;
+    snap_.hf_sum += rep.bands.hf;
+    snap_.ratio_sum += rep.ratio();
+    snap_.energy += priced;
 
-    engine_tally& slot = agg_.by_engine[static_cast<std::size_t>(rep.engine)];
+    engine_tally& slot = snap_.by_engine[static_cast<std::size_t>(rep.engine)];
     ++slot.windows;
     slot.beats += rep.beats;
     slot.energy_nominal_j += priced.energy_nominal_j;
+    return priced.energy_nominal_j;
+}
+
+fleet_stats::fleet_stats(energy::node_model node, real vfs_deadline_s)
+    : pricer_(node, vfs_deadline_s) {}
+
+void fleet_stats::merge(const fleet_partial& partial) {
+    if (partial.empty()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    agg_ += partial.snap_;
+}
+
+void fleet_stats::add_report(const core::window_report& rep) {
+    fleet_partial partial = make_partial();
+    partial.add_report(rep);
+    merge(partial);
 }
 
 fleet_snapshot fleet_stats::snapshot() const {

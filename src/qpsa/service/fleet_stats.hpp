@@ -2,11 +2,12 @@
 //
 // Every window any session completes lands here: op counts and energy
 // (priced on the shared node model, nominal and VFS), band-power sums,
-// the arrhythmia census, and per-engine-kind tallies.  One mutex guards
-// the tallies -- a window arrives every ~60 s per patient, so even a
-// million-patient fleet averages well under 20k add_report() calls per
-// second.  Snapshots are mergeable (operator+=), which is what lets
-// sharded deployments roll K managers up losslessly.
+// the arrhythmia census, per-engine-kind tallies and the adaptive-QDES
+// columns (mode switches, battery state).  Workers do not take a lock per
+// window: each batch task accumulates into a private fleet_partial and
+// merges it once at the batch barrier, so the one mutex is contended
+// per-batch, not per-window.  Snapshots are mergeable (operator+=), which
+// is what lets sharded deployments roll K managers up losslessly.
 #pragma once
 
 #include <array>
@@ -35,11 +36,23 @@ struct engine_tally {
 };
 
 /// Ingest-health alarm for one session: beats the ring rejected on
-/// overflow plus beats the monitor rejected as malformed.
+/// overflow, beats evicted unread (overwrite-oldest rings), and beats the
+/// monitor rejected as malformed.
 struct session_drop_alarm {
     std::uint64_t session_id = 0;
     std::uint64_t dropped = 0;
     std::uint64_t rejected = 0;
+    std::uint64_t overwritten = 0;
+};
+
+/// Adaptive-QDES state of one governed session: how often its governor
+/// has switched modes, which engine kind it is running now, and its
+/// node's remaining battery fraction.
+struct session_quality {
+    std::uint64_t session_id = 0;
+    std::uint64_t mode_switches = 0;
+    core::engine_class current_mode = core::engine_class::conventional;
+    real battery_fraction = 1.0;
 };
 
 /// Consistent snapshot of the fleet tallies.  The summed op counts live
@@ -58,8 +71,17 @@ struct fleet_snapshot {
     /// fleet_stats snapshots have no ingest visibility and report 0).
     std::uint64_t beats_dropped = 0;
     std::uint64_t beats_rejected = 0;
+    std::uint64_t beats_overwritten = 0;
     /// Per-session alarms for every session with a nonzero drop count.
     std::vector<session_drop_alarm> drop_alarms;
+
+    /// Adaptive-QDES roll-up (also filled by session_manager::fleet()):
+    /// total governor mode switches, the lowest battery fraction of any
+    /// node in the fleet, and per-session quality state for every session
+    /// running under a quality policy.
+    std::uint64_t mode_switches = 0;
+    real battery_fraction_min = 1.0;
+    std::vector<session_quality> quality;
 
     // Sums over windows; use the mean_* helpers for averages.
     real lf_sum = 0.0;
@@ -80,10 +102,37 @@ struct fleet_snapshot {
     }
 
     /// Lossless merge of another (disjoint) fleet's tallies -- the
-    /// sharding primitive: shard snapshots sum into one deployment view.
-    /// Drop alarms concatenate; session ids are per-shard, so callers
-    /// merging shards that share an id space must namespace them first.
+    /// sharding primitive: shard snapshots sum into one deployment view
+    /// (counts add, battery_fraction_min takes the min, per-session lists
+    /// concatenate).  Session ids are per-shard, so callers merging
+    /// shards that share an id space must namespace them first.
     fleet_snapshot& operator+=(const fleet_snapshot& o);
+};
+
+class fleet_stats;
+
+/// Single-threaded window accumulator: a batch task prices and folds its
+/// windows here (no lock) and merges the total into fleet_stats once at
+/// the batch barrier.  Construction is allocation-free (the embedded
+/// snapshot's vectors start empty), so the scheduler can stack one per
+/// task without touching the per-window heap budget.
+class fleet_partial {
+public:
+    /// Price one completed window and fold it in; returns the window's
+    /// nominal PSA energy (the session's battery-drain feed).
+    real add_report(const core::window_report& rep);
+
+    const fleet_snapshot& data() const noexcept { return snap_; }
+    bool empty() const noexcept { return snap_.windows == 0; }
+
+private:
+    friend class fleet_stats;
+    explicit fleet_partial(
+        const energy::fleet_energy_accumulator* pricer) noexcept
+        : pricer_(pricer) {}
+
+    const energy::fleet_energy_accumulator* pricer_;
+    fleet_snapshot snap_;
 };
 
 class fleet_stats {
@@ -93,7 +142,17 @@ public:
     explicit fleet_stats(energy::node_model node = energy::node_model{},
                          real vfs_deadline_s = 0.0);
 
-    /// Thread-safe: called by scheduler workers as windows complete.
+    /// A fresh per-task accumulator bound to this fleet's pricer.
+    fleet_partial make_partial() const noexcept {
+        return fleet_partial(&pricer_);
+    }
+
+    /// Fold a batch's partial into the shared tallies (one lock per
+    /// batch; the per-window path never touches the mutex).
+    void merge(const fleet_partial& partial);
+
+    /// Convenience single-window path for off-pool callers (tests, tools
+    /// pricing a window inline); the batch path goes through partials.
     void add_report(const core::window_report& rep);
 
     fleet_snapshot snapshot() const;

@@ -8,10 +8,11 @@ namespace qpsa::service {
 namespace {
 
 /// Resolve the configuration a session starts with: the QDES-selected
-/// mode when a controller and budget are present, else the configured one.
-core::psa_config initial_config(const session_config& cfg) {
-    if (cfg.controller && cfg.qdes_error_pct > 0.0)
-        return cfg.controller->select(cfg.qdes_error_pct).config;
+/// mode when the policy provides one, else the configured analysis.
+core::psa_config initial_config(const session_config& cfg,
+                                core::quality_governor& governor) {
+    if (auto selected = governor.initial_config(cfg.analysis))
+        return *std::move(selected);
     return cfg.analysis;
 }
 
@@ -21,14 +22,41 @@ session::session(std::uint64_t id, session_config cfg,
                  core::system_factory factory)
     : id_(id),
       cfg_(std::move(cfg)),
-      ring_(cfg_.ingest_capacity),
-      monitor_(initial_config(cfg_), cfg_.monitor, std::move(factory)) {
+      governor_(cfg_.quality),
+      ring_(cfg_.ingest_capacity, cfg_.overflow),
+      monitor_(initial_config(cfg_, governor_), cfg_.monitor,
+               std::move(factory)),
+      battery_(cfg_.battery) {
+    current_mode_.store(monitor_.config().kind(), std::memory_order_relaxed);
     // Absorb the first few capacity doublings at admission time -- the
     // steady-state drain path is budgeted at ~zero allocations per window.
     if (cfg_.keep_reports) reports_.reserve(64);
+    if (governor_.runtime_enabled())
+        switch_log_.reserve(cfg_.quality.controller->profiles().size() * 2);
 }
 
-std::size_t session::drain(fleet_stats& fleet) {
+std::size_t session::collect_windows(fleet_partial& acc) {
+    std::size_t completed = 0;
+    while (auto rep = monitor_.poll()) {
+        ++completed;
+        ++windows_;
+        const real psa_j = acc.add_report(*rep);
+        battery_.drain_window(psa_j);
+        if (cfg_.keep_reports) reports_.push_back(std::move(*rep));
+        if (const core::mode_profile* mode =
+                governor_.on_window(battery_.charge_fraction())) {
+            // Engine-kind switch through the shared plan cache (a hash
+            // lookup -- the engines themselves are already built).
+            monitor_.set_config(mode->apply_to(cfg_.analysis));
+            current_mode_.store(mode->kind(), std::memory_order_relaxed);
+            switches_.store(governor_.switches(), std::memory_order_relaxed);
+            switch_log_.push_back({windows_, governor_.current_index()});
+        }
+    }
+    return completed;
+}
+
+std::size_t session::drain(fleet_partial& acc) {
     // Analysis scratch comes from the worker currently draining us (the
     // session may land on a different worker next pass; the monitor
     // re-resolves per window, so migration is safe).  Off-pool callers
@@ -36,6 +64,12 @@ std::size_t session::drain(fleet_stats& fleet) {
     // workspace -- results are bit-identical either way.
     monitor_.set_scratch(thread_pool::current_workspace_cache());
     beat_sample s;
+    std::size_t completed = 0;
+    // One beat at a time, windows collected after every push: the
+    // governor then reacts at exact window boundaries in *beat* order, so
+    // a governed session's mode schedule is a pure function of its beat
+    // stream -- independent of pump cadence, batch shape or worker count
+    // (and replayable serially from the switch log, bit for bit).
     while (ring_.pop(s)) {
         try {
             monitor_.push_beat(s.t, s.rr);
@@ -45,25 +79,33 @@ std::size_t session::drain(fleet_stats& fleet) {
             // fleet node drops it rather than poisoning the worker.
             beats_rejected_.fetch_add(1, std::memory_order_relaxed);
         }
-    }
-    std::size_t completed = 0;
-    while (auto rep = monitor_.poll()) {
-        ++completed;
-        ++windows_;
-        fleet.add_report(*rep);
-        if (cfg_.keep_reports) reports_.push_back(std::move(*rep));
+        completed += collect_windows(acc);
     }
     return completed;
 }
 
+std::size_t session::drain(fleet_stats& fleet) {
+    fleet_partial acc = fleet.make_partial();
+    const std::size_t completed = drain(acc);
+    fleet.merge(acc);
+    return completed;
+}
+
 void session::set_quality_budget(real qdes_error_pct) {
-    cfg_.qdes_error_pct = qdes_error_pct;
-    if (!cfg_.controller) return;
-    // Budget <= 0 disables QDES entirely: back to the configured mode,
-    // mirroring what a freshly admitted session would run.
-    monitor_.set_config(qdes_error_pct > 0.0
-                            ? cfg_.controller->select(qdes_error_pct).config
-                            : cfg_.analysis);
+    if (const core::mode_profile* mode =
+            governor_.set_static_budget(qdes_error_pct)) {
+        monitor_.set_config(mode->apply_to(cfg_.analysis));
+        current_mode_.store(mode->kind(), std::memory_order_relaxed);
+        return;
+    }
+    // Budget <= 0 disables static QDES entirely: back to the configured
+    // mode, mirroring what a freshly admitted session would run.  (A
+    // governed session ignores static budgets; its loop stays closed.)
+    if (governor_.has_controller() && !governor_.runtime_enabled() &&
+        qdes_error_pct <= 0.0) {
+        monitor_.set_config(cfg_.analysis);
+        current_mode_.store(cfg_.analysis.kind(), std::memory_order_relaxed);
+    }
 }
 
 }  // namespace qpsa::service

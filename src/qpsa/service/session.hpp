@@ -1,11 +1,14 @@
 // One monitored patient inside the service.
 //
 // A session owns the patient's ingest ring, their streaming_monitor (built
-// over shared cached engines) and their QDES quality state.  Threading
+// over shared cached engines), their simulated node battery and their QDES
+// governor (the paper's Fig. 2 loop, closed at run time).  Threading
 // contract: the ingest edge (one producer thread) calls ingest();
 // everything else -- drain(), mode changes, accessors below -- runs on at
 // most one scheduler worker at a time (the batch scheduler never assigns a
-// session to two tasks concurrently).
+// session to two tasks concurrently).  The quality/battery columns read by
+// fleet snapshots are atomics, so session_manager::fleet() may run
+// concurrently with a draining worker.
 #pragma once
 
 #include <atomic>
@@ -14,14 +17,16 @@
 #include <string>
 #include <vector>
 
-#include "qpsa/core/quality_controller.hpp"
+#include "qpsa/core/quality_governor.hpp"
 #include "qpsa/core/streaming_monitor.hpp"
+#include "qpsa/energy/battery.hpp"
 #include "qpsa/service/ring_buffer.hpp"
 #include "qpsa/util/random.hpp"
 
 namespace qpsa::service {
 
 class fleet_stats;
+class fleet_partial;
 
 struct session_config {
     std::string patient_id;
@@ -29,14 +34,22 @@ struct session_config {
     core::psa_config analysis;
     core::monitor_options monitor;
 
-    /// Optional per-patient QDES state: when a controller is present and
-    /// the budget is positive, the session runs the deepest-saving mode
-    /// whose expected distortion fits the budget (paper Fig. 2 loop).
-    std::shared_ptr<const core::quality_controller> controller;
-    real qdes_error_pct = 0.0;
+    /// Per-patient quality policy.  With a controller and a positive
+    /// static budget the session starts in the deepest-saving mode whose
+    /// expected distortion fits; with `quality.governed` the governor
+    /// additionally re-selects from live battery state every N windows
+    /// (and may switch engine *kinds*, not just pruning depth).
+    core::quality_policy quality;
 
-    /// Ingest ring capacity (rounded up to a power of two).
+    /// Simulated node battery driving the governor's budget input; the
+    /// default CR2032-class cell barely moves over a test run, so
+    /// adaptive scenarios configure a smaller capacity.
+    energy::battery_config battery;
+
+    /// Ingest ring capacity (rounded up to a power of two) and overflow
+    /// policy (reject keeps history, overwrite_oldest keeps freshness).
     std::size_t ingest_capacity = 1024;
+    overflow_policy overflow = overflow_policy::reject;
 
     /// Per-session random stream seed; 0 lets the manager derive one from
     /// its base seed and the session id (util::derive_stream_seed), so a
@@ -47,6 +60,15 @@ struct session_config {
     /// bench compare them against serial runs).  Long-running deployments
     /// turn this off and read the bounded monitor history instead.
     bool keep_reports = true;
+};
+
+/// One applied governor re-selection: after completed window number
+/// `window_index` (1-based), the session switched to the controller mode
+/// at `mode_index`.  Replaying this schedule against a serial monitor
+/// reproduces the governed session bit for bit.
+struct mode_switch_event {
+    std::uint64_t window_index = 0;
+    std::size_t mode_index = 0;
 };
 
 class session {
@@ -61,7 +83,7 @@ public:
     }
 
     /// Producer side: enqueue one beat.  Never blocks; returns false when
-    /// the ring is full (the beat is dropped and counted).
+    /// a reject-policy ring is full (the beat is dropped and counted).
     bool ingest(real beat_time_s, real rr_s) noexcept {
         return ring_.push({beat_time_s, rr_s});
     }
@@ -69,24 +91,41 @@ public:
     /// Beats waiting in the ring (cheap; the scheduler polls this).
     bool has_pending() const noexcept { return !ring_.empty(); }
 
-    /// Consumer side: pop all buffered beats into the monitor, collect
-    /// every window that completed into `fleet` (and the local report log
-    /// when keep_reports).  Returns the number of windows completed.
+    /// Consumer side: pop buffered beats into the monitor one at a time,
+    /// folding every completed window into `acc` (and the local report
+    /// log when keep_reports), draining the battery and running the
+    /// governor at each window boundary.  Returns windows completed.
+    std::size_t drain(fleet_partial& acc);
+
+    /// Convenience for off-pool callers: accumulates into a private
+    /// partial and merges it into `fleet` before returning.
     std::size_t drain(fleet_stats& fleet);
 
-    /// Re-select the analysis mode for a new distortion budget via the
-    /// session's controller (no-op without one); takes effect from the
-    /// next window.  Scheduler-thread only.
+    /// Re-select the analysis mode for a new static distortion budget via
+    /// the session's controller (no-op without one; governed sessions
+    /// derive their budget from battery state instead).  Takes effect
+    /// from the next window.  Scheduler-thread only.
     void set_quality_budget(real qdes_error_pct);
 
     const core::streaming_monitor& monitor() const noexcept { return monitor_; }
     const core::psa_config& config() const noexcept { return monitor_.config(); }
+    const core::quality_governor& governor() const noexcept { return governor_; }
+    bool governed() const noexcept { return governor_.runtime_enabled(); }
 
     std::span<const core::window_report> reports() const noexcept {
         return {reports_.data(), reports_.size()};
     }
+    /// Applied governor switches in order (scheduler-thread only; the
+    /// serial-replay schedule).
+    std::span<const mode_switch_event> switch_log() const noexcept {
+        return {switch_log_.data(), switch_log_.size()};
+    }
+
     std::uint64_t beats_ingested() const noexcept { return beats_ingested_; }
     std::uint64_t beats_dropped() const noexcept { return ring_.dropped(); }
+    std::uint64_t beats_overwritten() const noexcept {
+        return ring_.overwritten();
+    }
     /// Beats discarded because they violated the monitor's contract
     /// (non-positive RR, non-monotonic time).  Atomic so the fleet
     /// snapshot can read it while a worker drains.
@@ -95,15 +134,35 @@ public:
     }
     std::uint64_t windows_completed() const noexcept { return windows_; }
 
+    // Quality columns for fleet snapshots (safe concurrently with drain).
+    std::uint64_t mode_switches() const noexcept {
+        return switches_.load(std::memory_order_relaxed);
+    }
+    core::engine_class current_mode() const noexcept {
+        return current_mode_.load(std::memory_order_relaxed);
+    }
+    real battery_fraction() const noexcept {
+        return battery_.charge_fraction();
+    }
+    const energy::battery_state& battery() const noexcept { return battery_; }
+
 private:
+    /// Poll completed windows: accumulate, drain battery, run governor.
+    std::size_t collect_windows(fleet_partial& acc);
+
     std::uint64_t id_;
     session_config cfg_;
+    core::quality_governor governor_;
     beat_ring ring_;
     core::streaming_monitor monitor_;
+    energy::battery_state battery_;
     std::vector<core::window_report> reports_;
+    std::vector<mode_switch_event> switch_log_;
     std::uint64_t beats_ingested_ = 0;
     std::atomic<std::uint64_t> beats_rejected_{0};
     std::uint64_t windows_ = 0;
+    std::atomic<std::uint64_t> switches_{0};
+    std::atomic<core::engine_class> current_mode_;
 };
 
 }  // namespace qpsa::service

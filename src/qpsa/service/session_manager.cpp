@@ -1,5 +1,7 @@
 #include "qpsa/service/session_manager.hpp"
 
+#include <algorithm>
+
 namespace qpsa::service {
 
 session_manager::session_manager(service_options opt, plan_cache* cache)
@@ -54,18 +56,29 @@ std::size_t session_manager::pump() {
 
 fleet_snapshot session_manager::fleet() const {
     fleet_snapshot snap = stats_.snapshot();
-    // Ingest-health columns come from the sessions themselves (the ring
-    // counts drops where they happen); both counters are atomics, so this
-    // is safe against concurrent producers and workers.
+    // Ingest-health and adaptive-QDES columns come from the sessions
+    // themselves (the ring counts drops where they happen; battery and
+    // switch counts live on the session); every counter read here is an
+    // atomic, so this is safe against concurrent producers and workers.
     const std::size_t n = session_count();
     for (std::size_t i = 0; i < n; ++i) {
         const session& s = *sessions_[i];
         const std::uint64_t dropped = s.beats_dropped();
         const std::uint64_t rejected = s.beats_rejected();
+        const std::uint64_t overwritten = s.beats_overwritten();
         snap.beats_dropped += dropped;
         snap.beats_rejected += rejected;
-        if (dropped > 0 || rejected > 0)
-            snap.drop_alarms.push_back({s.id(), dropped, rejected});
+        snap.beats_overwritten += overwritten;
+        if (dropped > 0 || rejected > 0 || overwritten > 0)
+            snap.drop_alarms.push_back({s.id(), dropped, rejected, overwritten});
+
+        const std::uint64_t switches = s.mode_switches();
+        const real charge = s.battery_fraction();
+        snap.mode_switches += switches;
+        snap.battery_fraction_min = std::min(snap.battery_fraction_min, charge);
+        if (s.governed())
+            snap.quality.push_back(
+                {s.id(), switches, s.current_mode(), charge});
     }
     return snap;
 }

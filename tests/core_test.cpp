@@ -2,7 +2,9 @@
 // conventional-vs-proposed agreement, quality controller.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string_view>
 
 #include "qpsa/core/psa_system.hpp"
 #include "qpsa/core/quality_controller.hpp"
@@ -141,6 +143,63 @@ TEST(QualityControllerTest, FallsBackToLeastDistortion) {
     EXPECT_EQ(ctl.select(1.0).name, "b");
 }
 
+TEST(QualityControllerTest, TieBreakIsDeterministicAndOrderIndependent) {
+    // Two modes with identical VFS savings: selection must not depend on
+    // the calibration's iteration order.  Lower expected distortion wins;
+    // a full tie falls back to the lexicographically smaller name.
+    std::vector<qcore::mode_profile> table(3);
+    table[0].name = "exact";
+    table[1].name = "deep-b";
+    table[1].expected_error_pct = 5.0;
+    table[1].expected_savings_vfs = 0.6;
+    table[2].name = "deep-a";
+    table[2].expected_error_pct = 3.0;
+    table[2].expected_savings_vfs = 0.6;
+
+    const qcore::quality_controller fwd(table);
+    std::reverse(table.begin(), table.end());
+    const qcore::quality_controller rev(table);
+    EXPECT_EQ(fwd.select(10.0).name, "deep-a");  // equal savings, less error
+    EXPECT_EQ(rev.select(10.0).name, "deep-a");
+
+    // Full tie (same savings, same error): name breaks it, both orders.
+    std::vector<qcore::mode_profile> tied(2);
+    tied[0].name = "mode-b";
+    tied[0].expected_error_pct = 2.0;
+    tied[0].expected_savings_vfs = 0.5;
+    tied[1] = tied[0];
+    tied[1].name = "mode-a";
+    const qcore::quality_controller t1(tied);
+    std::swap(tied[0], tied[1]);
+    const qcore::quality_controller t2(tied);
+    EXPECT_EQ(t1.select(10.0).name, "mode-a");
+    EXPECT_EQ(t2.select(10.0).name, "mode-a");
+
+    // select_index points at the selected profile in table order.
+    EXPECT_EQ(&t2.profiles()[t2.select_index(10.0)], &t2.select(10.0));
+}
+
+TEST(QualityControllerTest, ApplyToSwapsEngineAndKeepsPipeline) {
+    qcore::mode_profile prof;
+    prof.name = "fixed-q15";
+    prof.spec = qcore::fixed_wavelet_spec{qcore::fixed_format::q15};
+    prof.mesh = 512;
+
+    auto base = qcore::psa_config::conventional();
+    base.window_seconds = 90.0;  // caller's pipeline shape must survive
+    const auto applied = prof.apply_to(base);
+    EXPECT_EQ(applied.kind(), qcore::engine_class::fixed_q15);
+    EXPECT_EQ(applied.window_seconds, 90.0);
+    EXPECT_EQ(applied.lomb.mesh_size, 512u);
+
+    // A wavelet mode brings its own mesh via the plan.
+    qcore::mode_profile wav;
+    wav.spec = qcore::wavelet_spec{qf::plan::exact(256, qw::basis::haar)};
+    const auto applied_wav = wav.apply_to(qcore::psa_config::conventional(512));
+    EXPECT_EQ(applied_wav.kind(), qcore::engine_class::wavelet);
+    EXPECT_EQ(applied_wav.lomb.mesh_size, 256u);
+}
+
 TEST(QualityControllerTest, BuildMeasuresAllModes) {
     // Small build (2 patients, short records) to keep the test fast; the
     // full-size build is exercised by the benches.
@@ -148,6 +207,8 @@ TEST(QualityControllerTest, BuildMeasuresAllModes) {
     opt.training_patients = 2;
     opt.record_seconds = 400.0;
     opt.include_dynamic = false;
+    opt.include_fixed_point = false;
+    opt.include_estimators = false;
     const qpsa::energy::node_model node;
     const auto ctl = qcore::build_quality_controller(opt, node);
 
@@ -164,4 +225,48 @@ TEST(QualityControllerTest, BuildMeasuresAllModes) {
     const auto& chosen = ctl.select(100.0);
     EXPECT_GE(chosen.expected_savings_vfs,
               profiles[1].expected_savings_vfs - 1e-12);
+}
+
+TEST(QualityControllerTest, BuildCalibratesRegistryKindsToo) {
+    // The extended table: fixed-point and whole-window estimator kinds
+    // calibrated through core::engine_registry next to the wavelet modes
+    // -- the profiles the run-time governor switches between.
+    qcore::controller_build_options opt;
+    opt.training_patients = 2;
+    opt.record_seconds = 400.0;
+    opt.include_dynamic = false;
+    const qpsa::energy::node_model node;
+    const auto ctl = qcore::build_quality_controller(opt, node);
+
+    const auto profiles = ctl.profiles();
+    ASSERT_EQ(profiles.size(), 9u);  // 5 wavelet + q15/q31 + burg/resampled
+
+    const auto find = [&](std::string_view name) -> const qcore::mode_profile* {
+        for (const auto& p : profiles)
+            if (p.name == name) return &p;
+        return nullptr;
+    };
+    const auto* q15 = find("fixed-q15");
+    const auto* q31 = find("fixed-q31");
+    const auto* burg = find("burg-ar");
+    const auto* resampled = find("resampled");
+    ASSERT_NE(q15, nullptr);
+    ASSERT_NE(q31, nullptr);
+    ASSERT_NE(burg, nullptr);
+    ASSERT_NE(resampled, nullptr);
+
+    EXPECT_EQ(q15->kind(), qcore::engine_class::fixed_q15);
+    EXPECT_EQ(q31->kind(), qcore::engine_class::fixed_q31);
+    EXPECT_EQ(burg->kind(), qcore::engine_class::burg);
+    EXPECT_EQ(resampled->kind(), qcore::engine_class::resampled);
+
+    // Q31 tracks the double reference far tighter than Q15; both stay
+    // finite and their measured configs deploy through apply_to.
+    EXPECT_LT(q31->expected_error_pct, q15->expected_error_pct + 1e-9);
+    for (const auto* p : {q15, q31, burg, resampled}) {
+        EXPECT_TRUE(std::isfinite(p->expected_error_pct)) << p->name;
+        EXPECT_TRUE(std::isfinite(p->expected_savings_vfs)) << p->name;
+        const auto cfg = p->apply_to(qcore::psa_config::conventional());
+        EXPECT_EQ(cfg.kind(), p->kind()) << p->name;
+    }
 }

@@ -17,7 +17,12 @@ TEST_P(WindowKindTest, EndpointsAndPeak) {
     const real wm = qd::window_value(kind, 0.5);
     EXPECT_NEAR(w0, w1, 1e-12) << "window must be symmetric at endpoints";
     EXPECT_GE(wm, w0);
-    if (kind != qd::window_kind::rectangular) EXPECT_GT(wm, 0.9 * wm);
+    if (kind != qd::window_kind::rectangular) {
+        // Tapered windows peak at the midpoint (hann/hamming/blackman
+        // all reach 1.0 there); anything under 0.9 means the peak
+        // normalization broke.
+        EXPECT_GT(wm, 0.9);
+    }
 }
 
 TEST_P(WindowKindTest, ValuesInUnitRange) {

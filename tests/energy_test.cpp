@@ -62,8 +62,9 @@ TEST(VfsTest, MinVoltageInvertsMaxFrequency) {
         EXPECT_GE(qe::max_frequency_hz(p, v), f * (1.0 - 1e-9));
         // Must be minimal: a slightly lower voltage misses the deadline
         // (unless clamped at v_min).
-        if (v > p.v_min + 1e-6)
+        if (v > p.v_min + 1e-6) {
             EXPECT_LT(qe::max_frequency_hz(p, v - 0.01), f);
+        }
     }
 }
 

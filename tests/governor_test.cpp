@@ -1,0 +1,205 @@
+// Run-time QDES governor + battery state tests: budget mapping, switch
+// hysteresis (no flapping under oscillating budgets), battery drain
+// monotonicity, and the admission-time selection paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "qpsa/core/quality_governor.hpp"
+#include "qpsa/energy/battery.hpp"
+#include "quality_ladder.hpp"
+
+using qpsa::real;
+using qpsa::test::degradation_ladder;
+namespace qcore = qpsa::core;
+namespace qe = qpsa::energy;
+
+namespace {
+
+qcore::quality_policy governed_policy(
+    std::shared_ptr<const qcore::quality_controller> ctl,
+    std::size_t reselect_every = 1, std::size_t min_dwell = 1,
+    real margin = 0.02) {
+    qcore::quality_policy policy;
+    policy.controller = std::move(ctl);
+    policy.governed = true;
+    policy.governor.reselect_every = reselect_every;
+    policy.governor.min_dwell = min_dwell;
+    policy.governor.switch_margin = margin;
+    policy.governor.budget_full_pct = 0.0;
+    policy.governor.budget_empty_pct = 10.0;
+    return policy;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- battery
+
+TEST(BatteryStateTest, DrainIsMonotonicAndClampsAtZero) {
+    qe::battery_config cfg;
+    cfg.capacity_j = 1e-3;
+    qe::battery_state bat(cfg);
+    EXPECT_EQ(bat.charge_remaining_j(), cfg.capacity_j);
+    EXPECT_EQ(bat.charge_fraction(), 1.0);
+
+    real prev = bat.charge_fraction();
+    for (int w = 0; w < 20; ++w) {
+        bat.drain_window(/*psa_j=*/1e-6);
+        const real now = bat.charge_fraction();
+        EXPECT_LE(now, prev);         // monotone non-increasing
+        EXPECT_GE(now, 0.0);          // clamped
+        EXPECT_LE(now, 1.0);
+        prev = now;
+    }
+    // 20 windows x (1e-6 + 1.2e-5 + 2.5e-5 + 4e-6*60) J >> 1 mJ: empty.
+    EXPECT_EQ(bat.charge_remaining_j(), 0.0);
+    bat.drain(1.0);  // draining an empty battery stays at zero
+    EXPECT_EQ(bat.charge_fraction(), 0.0);
+}
+
+TEST(BatteryStateTest, WindowDrainIncludesDutyCycleOverheads) {
+    qe::battery_config cfg;
+    cfg.capacity_j = 1.0;
+    qe::battery_state bat(cfg);
+    bat.drain_window(0.0);  // even a free PSA window costs the duty cycle
+    const real expected = cfg.acquisition_j + cfg.radio_j +
+                          cfg.sleep_power_w * cfg.window_period_s;
+    EXPECT_NEAR(bat.charge_remaining_j(), 1.0 - expected, 1e-15);
+}
+
+// ------------------------------------------------------- budget mapping
+
+TEST(QualityPolicyTest, BudgetWidensAsChargeFalls) {
+    qcore::quality_policy policy;
+    policy.governor.budget_full_pct = 1.0;
+    policy.governor.budget_empty_pct = 9.0;
+    EXPECT_DOUBLE_EQ(policy.budget_at(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(policy.budget_at(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(policy.budget_at(0.0), 9.0);
+    // Out-of-range fractions clamp.
+    EXPECT_DOUBLE_EQ(policy.budget_at(1.5), 1.0);
+    EXPECT_DOUBLE_EQ(policy.budget_at(-0.2), 9.0);
+}
+
+// ------------------------------------------------------------ governor
+
+TEST(QualityGovernorTest, WalksTheLadderAsBatteryFalls) {
+    qcore::quality_governor gov(governed_policy(degradation_ladder()));
+    ASSERT_TRUE(gov.runtime_enabled());
+
+    const auto initial = gov.initial_config(qcore::psa_config::conventional());
+    ASSERT_TRUE(initial.has_value());
+    EXPECT_EQ(initial->kind(), qcore::engine_class::conventional);
+    EXPECT_EQ(gov.current_index(), 0u);
+
+    // Battery falls 5 % per window: budget crosses 2 % (q15) at
+    // fraction 0.8 and 7 % (pruned) at fraction 0.3.
+    std::vector<std::size_t> switch_targets;
+    for (int w = 1; w <= 20; ++w) {
+        const real fraction = 1.0 - 0.05 * w;
+        if (const auto* m = gov.on_window(fraction))
+            switch_targets.push_back(static_cast<std::size_t>(
+                m - gov.policy().controller->profiles().data()));
+    }
+    ASSERT_EQ(switch_targets.size(), 2u);
+    EXPECT_EQ(switch_targets[0], 1u);  // -> fixed-q15
+    EXPECT_EQ(switch_targets[1], 2u);  // -> pruned
+    EXPECT_EQ(gov.switches(), 2u);
+    EXPECT_EQ(gov.current_index(), 2u);
+    EXPECT_EQ(gov.current()->name, "pruned");
+}
+
+TEST(QualityGovernorTest, MinDwellDampsOscillatingBudget) {
+    // Battery fraction oscillates every window across the q15 boundary
+    // (budget 1.5 % <-> 2.5 %).  With min_dwell = 6 the governor may
+    // switch at most once per 6 windows no matter how hard the input
+    // flaps; margin 0 so only the dwell is under test.
+    qcore::quality_governor gov(
+        governed_policy(degradation_ladder(), 1, 6, 0.0));
+    (void)gov.initial_config(qcore::psa_config::conventional());
+
+    std::size_t switches = 0;
+    constexpr int windows = 60;
+    for (int w = 0; w < windows; ++w) {
+        const real fraction = (w % 2 == 0) ? 0.85 : 0.75;
+        if (gov.on_window(fraction) != nullptr) ++switches;
+    }
+    EXPECT_LE(switches, windows / 6 + 1);
+    EXPECT_GE(switches, 1u);  // it still reacts, it just cannot flap
+}
+
+TEST(QualityGovernorTest, SwitchMarginSuppressesMarginalUpgrades) {
+    // Ladder where the q15 -> pruned savings step (0.6 - 0.35 = 0.25)
+    // is below an exaggerated margin: the upgrade must never fire, while
+    // the budget-violating downgrade path stays available.
+    qcore::quality_governor gov(
+        governed_policy(degradation_ladder(), 1, 1, /*margin=*/0.3));
+    (void)gov.initial_config(qcore::psa_config::conventional());
+
+    // Drain to where q15 qualifies (budget 3 %): upgrade step 0.35 >= 0.3
+    // margin over conventional's 0.0 -> allowed.
+    const auto* m1 = gov.on_window(0.7);
+    ASSERT_NE(m1, nullptr);
+    EXPECT_EQ(m1->name, "fixed-q15");
+
+    // Budget 8 %: pruned qualifies but its 0.25 advantage is under the
+    // margin -> hold the current mode, every window.
+    for (int w = 0; w < 10; ++w)
+        EXPECT_EQ(gov.on_window(0.2), nullptr);
+    EXPECT_EQ(gov.current()->name, "fixed-q15");
+
+    // Recharge to full: q15's 2 % error violates the 0 % budget -- the
+    // forced downgrade ignores the margin.
+    const auto* m2 = gov.on_window(1.0);
+    ASSERT_NE(m2, nullptr);
+    EXPECT_EQ(m2->name, "conventional");
+}
+
+TEST(QualityGovernorTest, ReselectEveryThrottlesEvaluations) {
+    qcore::quality_governor gov(
+        governed_policy(degradation_ladder(), /*reselect_every=*/5, 1, 0.0));
+    (void)gov.initial_config(qcore::psa_config::conventional());
+
+    // Deep-discharge input from window 1; the first evaluation happens at
+    // window 5, not before.
+    for (int w = 1; w <= 4; ++w)
+        EXPECT_EQ(gov.on_window(0.0), nullptr) << "window " << w;
+    const auto* m = gov.on_window(0.0);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->name, "pruned");  // budget 10 %: straight to the deepest
+}
+
+TEST(QualityGovernorTest, StaticPolicySelectsOnceAndIgnoresWindows) {
+    qcore::quality_policy policy;
+    policy.controller = degradation_ladder();
+    policy.qdes_error_pct = 3.0;  // q15 fits, pruned does not
+    qcore::quality_governor gov(policy);
+    EXPECT_FALSE(gov.runtime_enabled());
+
+    const auto initial = gov.initial_config(qcore::psa_config::conventional());
+    ASSERT_TRUE(initial.has_value());
+    EXPECT_EQ(initial->kind(), qcore::engine_class::fixed_q15);
+
+    // The open-loop governor never reacts to windows...
+    EXPECT_EQ(gov.on_window(0.0), nullptr);
+    EXPECT_EQ(gov.switches(), 0u);
+
+    // ...but honors explicit budget changes (the admission-time API).
+    const auto* m = gov.set_static_budget(10.0);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->name, "pruned");
+    EXPECT_EQ(gov.set_static_budget(0.0), nullptr);  // budget off
+    EXPECT_EQ(gov.current_index(), qcore::quality_governor::npos);
+}
+
+TEST(QualityGovernorTest, NoControllerMeansNoSelection) {
+    qcore::quality_governor gov{qcore::quality_policy{}};
+    EXPECT_FALSE(gov.runtime_enabled());
+    EXPECT_FALSE(gov.has_controller());
+    EXPECT_FALSE(
+        gov.initial_config(qcore::psa_config::conventional()).has_value());
+    EXPECT_EQ(gov.on_window(0.0), nullptr);
+    EXPECT_EQ(gov.current(), nullptr);
+}

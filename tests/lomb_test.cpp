@@ -78,8 +78,11 @@ TEST(SpreadTest, IntegralPositionDepositsExactly) {
     std::vector<real> mesh(16, 0.0);
     ql::spread(2.5, mesh, 4.0, 4);
     EXPECT_DOUBLE_EQ(mesh[4], 2.5);
-    for (std::size_t i = 0; i < mesh.size(); ++i)
-        if (i != 4) EXPECT_DOUBLE_EQ(mesh[i], 0.0);
+    for (std::size_t i = 0; i < mesh.size(); ++i) {
+        if (i != 4) {
+            EXPECT_DOUBLE_EQ(mesh[i], 0.0);
+        }
+    }
 }
 
 TEST(SpreadTest, MassIsConserved) {

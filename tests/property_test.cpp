@@ -122,9 +122,10 @@ TEST(WfftFuzzTest, RandomPruneConfigsAreSane) {
             EXPECT_TRUE(std::isfinite(v.imag())) << "trial " << trial;
         }
         EXPECT_LE(st.pruned_fraction(), 1.0);
-        if (p.prune.mode != qf::prune_mode::dynamic)
+        if (p.prune.mode != qf::prune_mode::dynamic) {
             EXPECT_LE(ops.arithmetic(), exact_ops.arithmetic())
                 << "static pruning must never add arithmetic";
+        }
     }
 }
 

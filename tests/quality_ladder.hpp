@@ -1,0 +1,34 @@
+// Shared test fixture: the degradation ladder the governed scenarios
+// run -- exact double -> Q15 fixed point -> pruned wavelet, with
+// hand-set calibration numbers (monotone distortion, monotone savings).
+// Several tests key their expected switch windows to these constants
+// (q15 boundary at 2 % budget / battery fraction 0.8, pruned at 7 % /
+// 0.3), so there is exactly one copy.  The bench and the example build
+// their own tables on purpose: both are standalone listings of what a
+// design-time calibration would hand a deployment.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "qpsa/core/quality_controller.hpp"
+
+namespace qpsa::test {
+
+inline std::shared_ptr<const core::quality_controller> degradation_ladder() {
+    std::vector<core::mode_profile> table(3);
+    table[0].name = "conventional";
+    table[0].spec = core::conventional_spec{};
+    table[1].name = "fixed-q15";
+    table[1].spec = core::fixed_wavelet_spec{core::fixed_format::q15};
+    table[1].expected_error_pct = 2.0;
+    table[1].expected_savings_vfs = 0.35;
+    table[2].name = "pruned";
+    table[2].spec = core::wavelet_spec{wfft::plan::static_pruned(
+        512, wavelet::basis::haar, wfft::twiddle_set::set2)};
+    table[2].expected_error_pct = 7.0;
+    table[2].expected_savings_vfs = 0.6;
+    return std::make_shared<const core::quality_controller>(std::move(table));
+}
+
+}  // namespace qpsa::test

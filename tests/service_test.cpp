@@ -8,6 +8,7 @@
 
 #include "qpsa/physio/patients.hpp"
 #include "qpsa/service/service.hpp"
+#include "quality_ladder.hpp"
 
 using qpsa::real;
 namespace qcore = qpsa::core;
@@ -63,6 +64,54 @@ void expect_reports_identical(std::span<const qcore::window_report> got,
     }
 }
 
+using qpsa::test::degradation_ladder;
+
+/// Session config running the ladder under a tiny battery: the fixed
+/// duty-cycle overhead (~2.8e-4 J/window) walks the charge through the
+/// q15 boundary (budget 2 %, fraction 0.8) around window 2 and the
+/// pruned boundary (budget 7 %, fraction 0.3) around window 7.
+qs::session_config governed_session(
+    qp::cohort group, unsigned index,
+    std::shared_ptr<const qcore::quality_controller> ladder) {
+    auto cfg =
+        patient_session(group, index, qcore::psa_config::conventional());
+    cfg.quality.controller = std::move(ladder);
+    cfg.quality.governed = true;
+    cfg.quality.governor.reselect_every = 1;
+    cfg.quality.governor.min_dwell = 2;
+    cfg.quality.governor.switch_margin = 0.02;
+    cfg.quality.governor.budget_full_pct = 0.0;
+    cfg.quality.governor.budget_empty_pct = 10.0;
+    cfg.battery.capacity_j = 2.6e-3;
+    return cfg;
+}
+
+/// Serial replay of a governed session: the same beats through a
+/// standalone monitor, applying the recorded mode switches after the
+/// recorded window indices.  Must reproduce the fleet run bit for bit.
+std::vector<qcore::window_report> replay_schedule(
+    const qp::rr_record& rec, const qcore::psa_config& base,
+    const qcore::quality_controller& ladder,
+    std::span<const qs::mode_switch_event> log) {
+    // A governed session starts in the full-charge mode (budget_full = 0).
+    qcore::streaming_monitor mon(
+        ladder.select(0.0).apply_to(base), paper_monitor());
+    std::vector<qcore::window_report> out;
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < rec.beats(); ++i) {
+        mon.push_beat(rec.beat_time_s[i], rec.rr_s[i]);
+        while (auto rep = mon.poll()) {
+            out.push_back(*rep);
+            if (next < log.size() && out.size() == log[next].window_index) {
+                mon.set_config(
+                    ladder.profiles()[log[next].mode_index].apply_to(base));
+                ++next;
+            }
+        }
+    }
+    return out;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- ring
@@ -102,6 +151,50 @@ TEST(BeatRingTest, SpscThreaded) {
     producer.join();
     // dropped() counts rejected push attempts; the busy-retrying producer
     // may have generated some, but no accepted beat was lost or reordered.
+}
+
+TEST(BeatRingTest, OverwriteOldestKeepsFreshest) {
+    qs::beat_ring ring(4, qs::overflow_policy::overwrite_oldest);
+    EXPECT_EQ(ring.policy(), qs::overflow_policy::overwrite_oldest);
+    for (int i = 0; i < 6; ++i)
+        EXPECT_TRUE(ring.push({static_cast<real>(i), 0.8}));  // never rejects
+    EXPECT_EQ(ring.overwritten(), 2u);  // beats 0 and 1 evicted
+    EXPECT_EQ(ring.dropped(), 0u);
+    EXPECT_EQ(ring.size(), 4u);
+
+    qs::beat_sample s;
+    for (int i = 2; i < 6; ++i) {
+        ASSERT_TRUE(ring.pop(s));
+        EXPECT_EQ(s.t, static_cast<real>(i));  // freshest 4, still FIFO
+    }
+    EXPECT_FALSE(ring.pop(s));
+}
+
+TEST(BeatRingTest, OverwriteSpscThreaded) {
+    // A fast producer laps a small ring while the consumer drains: every
+    // consumed beat must still come out in strictly increasing order, and
+    // nothing is lost silently -- every pushed beat is either consumed or
+    // counted as overwritten.
+    qs::beat_ring ring(64, qs::overflow_policy::overwrite_oldest);
+    constexpr int n = 20000;
+    std::atomic<bool> done{false};
+    std::thread producer([&] {
+        for (int i = 0; i < n; ++i)
+            ASSERT_TRUE(ring.push({static_cast<real>(i), 1.0}));
+        done.store(true);
+    });
+    std::uint64_t consumed = 0;
+    real last = -1.0;
+    qs::beat_sample s;
+    while (!done.load() || !ring.empty()) {
+        if (ring.pop(s)) {
+            ASSERT_GT(s.t, last);
+            last = s.t;
+            ++consumed;
+        }
+    }
+    producer.join();
+    EXPECT_EQ(consumed + ring.overwritten(), static_cast<std::uint64_t>(n));
 }
 
 // ----------------------------------------------------------------- pool
@@ -227,12 +320,11 @@ TEST(SessionTest, QdesControllerSelectsModeWithinBudget) {
     // expected distortion and 40 % savings.
     qcore::mode_profile exact;
     exact.name = "exact";
-    exact.config = qcore::psa_config::proposed(
-        qf::plan::exact(512, qw::basis::haar));
+    exact.spec = qcore::wavelet_spec{qf::plan::exact(512, qw::basis::haar)};
     qcore::mode_profile pruned;
     pruned.name = "band+set2";
-    pruned.config = qcore::psa_config::proposed(
-        qf::plan::static_pruned(512, qw::basis::haar, qf::twiddle_set::set2));
+    pruned.spec = qcore::wavelet_spec{
+        qf::plan::static_pruned(512, qw::basis::haar, qf::twiddle_set::set2)};
     pruned.expected_error_pct = 5.0;
     pruned.expected_savings = 0.4;
     pruned.expected_savings_vfs = 0.7;  // select() orders by VFS savings
@@ -244,8 +336,8 @@ TEST(SessionTest, QdesControllerSelectsModeWithinBudget) {
 
     auto cfg = patient_session(qp::cohort::healthy, 2,
                                qcore::psa_config::conventional());
-    cfg.controller = controller;
-    cfg.qdes_error_pct = 10.0;  // generous budget -> pruned mode
+    cfg.quality.controller = controller;
+    cfg.quality.qdes_error_pct = 10.0;  // generous budget -> pruned mode
     const auto id = mgr.add_session(std::move(cfg));
     const auto active_plan = [&] {
         return std::get<qcore::wavelet_spec>(mgr.at(id).config().spec).plan;
@@ -391,10 +483,12 @@ TEST(FleetTest, MixedEngineKindsShareCacheAndMatchSerial) {
     std::size_t max_beats = 0;
     for (const auto& r : records) max_beats = std::max(max_beats, r.beats());
     for (std::size_t b = 0; b < max_beats; ++b) {
-        for (unsigned i = 0; i < n_sessions; ++i)
-            if (b < records[i].beats())
+        for (unsigned i = 0; i < n_sessions; ++i) {
+            if (b < records[i].beats()) {
                 ASSERT_TRUE(
                     mgr.ingest(i, records[i].beat_time_s[b], records[i].rr_s[b]));
+            }
+        }
         if (b % 50 == 0) mgr.pump();
     }
     mgr.drain_all();
@@ -554,6 +648,230 @@ TEST(FleetStatsTest, IngestDropsSurfaceInSnapshot) {
     EXPECT_EQ(fleet.drop_alarms[0].dropped, 6u);
     EXPECT_EQ(fleet.drop_alarms[0].rejected, 2u);
     EXPECT_EQ(mgr.at(quiet).beats_dropped(), 0u);
+}
+
+// ------------------------------------------------- overwrite-oldest mode
+
+TEST(FleetStatsTest, OverwrittenBeatsSurfaceInSnapshot) {
+    qs::plan_cache cache;
+    qs::session_manager mgr({}, &cache);
+    auto cfg = patient_session(qp::cohort::healthy, 0,
+                               qcore::psa_config::conventional());
+    cfg.ingest_capacity = 4;  // tiny ring -> guaranteed eviction
+    cfg.overflow = qs::overflow_policy::overwrite_oldest;
+    const auto id = mgr.add_session(std::move(cfg));
+
+    // 10 beats into a 4-slot freshness ring without pumping: the first 6
+    // are evicted, nothing is rejected, and the survivors still form a
+    // monotone beat stream the monitor accepts.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(mgr.ingest(id, 1.0 + 0.8 * i, 0.8));
+    mgr.drain_all();
+
+    EXPECT_EQ(mgr.at(id).beats_overwritten(), 6u);
+    EXPECT_EQ(mgr.at(id).beats_dropped(), 0u);
+    EXPECT_EQ(mgr.at(id).beats_ingested(), 4u);
+    EXPECT_EQ(mgr.at(id).beats_rejected(), 0u);
+
+    const auto fleet = mgr.fleet();
+    EXPECT_EQ(fleet.beats_overwritten, 6u);
+    EXPECT_EQ(fleet.beats_dropped, 0u);
+    ASSERT_EQ(fleet.drop_alarms.size(), 1u);
+    EXPECT_EQ(fleet.drop_alarms[0].session_id, id);
+    EXPECT_EQ(fleet.drop_alarms[0].overwritten, 6u);
+    EXPECT_EQ(fleet.drop_alarms[0].dropped, 0u);
+}
+
+TEST(FleetStatsTest, SnapshotMergePreservesQualityColumns) {
+    qs::fleet_snapshot a;
+    a.mode_switches = 3;
+    a.battery_fraction_min = 0.7;
+    a.beats_overwritten = 2;
+    a.quality.push_back({1, 3, qcore::engine_class::fixed_q15, 0.7});
+
+    qs::fleet_snapshot b;
+    b.mode_switches = 5;
+    b.battery_fraction_min = 0.4;
+    b.quality.push_back({2, 5, qcore::engine_class::wavelet, 0.4});
+    b.quality.push_back({3, 0, qcore::engine_class::conventional, 0.9});
+
+    qs::fleet_snapshot merged = a;
+    merged += b;
+    EXPECT_EQ(merged.mode_switches, 8u);
+    EXPECT_DOUBLE_EQ(merged.battery_fraction_min, 0.4);  // min, not sum
+    EXPECT_EQ(merged.beats_overwritten, 2u);
+    ASSERT_EQ(merged.quality.size(), 3u);
+    EXPECT_EQ(merged.quality[0].session_id, 1u);
+    EXPECT_EQ(merged.quality[1].current_mode, qcore::engine_class::wavelet);
+    EXPECT_DOUBLE_EQ(merged.quality[2].battery_fraction, 0.9);
+}
+
+// ------------------------------------------------- adaptive QDES fleet
+
+TEST(GovernedFleetTest, SwitchesKindsAndReplaysSerially) {
+    // Four governed sessions drain under a depleting battery; each one's
+    // recorded mode schedule, replayed serially beat by beat, must
+    // reproduce the fleet run bit for bit -- the determinism contract of
+    // the closed QDES loop.
+    const auto ladder = degradation_ladder();
+    const real seconds = 600.0;
+
+    qs::service_options opt;
+    opt.threads = 2;
+    opt.scheduler.batch_size = 2;
+    qs::plan_cache cache;
+    qs::session_manager mgr(opt, &cache);
+
+    std::vector<qp::rr_record> records;
+    for (unsigned i = 0; i < 4; ++i) {
+        const auto group =
+            i % 2 == 0 ? qp::cohort::sinus_arrhythmia : qp::cohort::healthy;
+        records.push_back(qp::record_for(qp::make_patient(group, i), seconds));
+        mgr.add_session(governed_session(group, i, ladder));
+    }
+
+    // Interleaved ingest with frequent pumps: worst case for any hidden
+    // dependence of the governed schedule on pump cadence.
+    std::size_t max_beats = 0;
+    for (const auto& r : records) max_beats = std::max(max_beats, r.beats());
+    for (std::size_t b = 0; b < max_beats; ++b) {
+        for (unsigned i = 0; i < 4; ++i) {
+            if (b < records[i].beats()) {
+                ASSERT_TRUE(
+                    mgr.ingest(i, records[i].beat_time_s[b], records[i].rr_s[b]));
+            }
+        }
+        if (b % 37 == 0) mgr.pump();
+    }
+    mgr.drain_all();
+
+    std::uint64_t total_switches = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        const auto& sess = mgr.at(i);
+        // Every session walked the full ladder: double -> Q15 -> pruned.
+        const auto log = sess.switch_log();
+        ASSERT_EQ(log.size(), 2u) << "session " << i;
+        EXPECT_EQ(log[0].mode_index, 1u);
+        EXPECT_EQ(log[1].mode_index, 2u);
+        EXPECT_GT(log[1].window_index, log[0].window_index);
+        EXPECT_EQ(sess.mode_switches(), 2u);
+        EXPECT_EQ(sess.current_mode(), qcore::engine_class::wavelet);
+        EXPECT_LT(sess.battery_fraction(), 0.3);
+        total_switches += sess.mode_switches();
+
+        // Bit-identity against the serial replay of the same schedule.
+        const auto want = replay_schedule(
+            records[i], qcore::psa_config::conventional(), *ladder, log);
+        expect_reports_identical(sess.reports(), want);
+    }
+
+    const auto fleet = mgr.fleet();
+    EXPECT_EQ(fleet.mode_switches, total_switches);
+    EXPECT_LT(fleet.battery_fraction_min, 0.3);
+    ASSERT_EQ(fleet.quality.size(), 4u);
+    for (const auto& q : fleet.quality) {
+        EXPECT_EQ(q.mode_switches, 2u);
+        EXPECT_EQ(q.current_mode, qcore::engine_class::wavelet);
+    }
+    // All three rungs produced windows, through one shared plan cache.
+    EXPECT_GT(fleet.engine(qcore::engine_class::conventional).windows, 0u);
+    EXPECT_GT(fleet.engine(qcore::engine_class::fixed_q15).windows, 0u);
+    EXPECT_GT(fleet.engine(qcore::engine_class::wavelet).windows, 0u);
+    EXPECT_EQ(mgr.cache_stats().entries, 3u);
+}
+
+TEST(GovernedFleetTest, FiveTwelvePatientFleetDegradesDisabledIsIdentical) {
+    // The acceptance scenario: a 512-patient governed fleet degrades
+    // double -> Q15 -> pruned as simulated battery charge falls; the same
+    // fleet with the governor disabled performs zero switches and stays
+    // bit-identical to serial monitor runs.
+    constexpr unsigned n_sessions = 512;
+    constexpr unsigned n_records = 64;
+    const real seconds = 600.0;
+    const auto ladder = degradation_ladder();
+
+    std::vector<qp::rr_record> records;
+    const auto group_of = [](unsigned r) {
+        return r % 2 == 0 ? qp::cohort::sinus_arrhythmia : qp::cohort::healthy;
+    };
+    for (unsigned r = 0; r < n_records; ++r)
+        records.push_back(
+            qp::record_for(qp::make_patient(group_of(r), r), seconds));
+
+    const auto stream_fleet = [&](qs::session_manager& mgr) {
+        constexpr std::size_t chunk = 256;
+        bool remaining = true;
+        for (std::size_t step = 0; remaining; ++step) {
+            remaining = false;
+            for (unsigned i = 0; i < n_sessions; ++i) {
+                const auto& rec = records[i % n_records];
+                const std::size_t begin =
+                    std::min(step * chunk, rec.beats());
+                const std::size_t end =
+                    std::min(begin + chunk, rec.beats());
+                for (std::size_t b = begin; b < end; ++b)
+                    ASSERT_TRUE(
+                        mgr.ingest(i, rec.beat_time_s[b], rec.rr_s[b]));
+                if (end < rec.beats()) remaining = true;
+            }
+            mgr.pump();
+        }
+        mgr.drain_all();
+    };
+
+    qs::service_options opt;
+    opt.threads = 4;
+    opt.scheduler.batch_size = 16;
+
+    // --- governed run ----------------------------------------------------
+    qs::plan_cache governed_cache;
+    qs::session_manager governed(opt, &governed_cache);
+    for (unsigned i = 0; i < n_sessions; ++i)
+        governed.add_session(
+            governed_session(group_of(i % n_records), i % n_records, ladder));
+    stream_fleet(governed);
+
+    const auto gsnap = governed.fleet();
+    EXPECT_EQ(gsnap.mode_switches, 2u * n_sessions);
+    EXPECT_LT(gsnap.battery_fraction_min, 0.3);
+    ASSERT_EQ(gsnap.quality.size(), n_sessions);
+    for (unsigned i = 0; i < n_sessions; ++i) {
+        const auto log = governed.at(i).switch_log();
+        ASSERT_EQ(log.size(), 2u) << "session " << i;
+        EXPECT_EQ(log[0].mode_index, 1u);  // -> fixed-q15
+        EXPECT_EQ(log[1].mode_index, 2u);  // -> pruned wavelet
+        EXPECT_EQ(governed.at(i).current_mode(),
+                  qcore::engine_class::wavelet);
+    }
+    // The fleet produced windows on every rung of the ladder.
+    EXPECT_GT(gsnap.engine(qcore::engine_class::conventional).windows, 0u);
+    EXPECT_GT(gsnap.engine(qcore::engine_class::fixed_q15).windows, 0u);
+    EXPECT_GT(gsnap.engine(qcore::engine_class::wavelet).windows, 0u);
+    EXPECT_EQ(governed_cache.stats().entries, 3u);
+
+    // --- governor disabled: zero switches, bit-identical to serial ------
+    qs::plan_cache plain_cache;
+    qs::session_manager plain(opt, &plain_cache);
+    for (unsigned i = 0; i < n_sessions; ++i)
+        plain.add_session(patient_session(group_of(i % n_records),
+                                          i % n_records,
+                                          qcore::psa_config::conventional()));
+    stream_fleet(plain);
+
+    const auto psnap = plain.fleet();
+    EXPECT_EQ(psnap.mode_switches, 0u);
+    EXPECT_TRUE(psnap.quality.empty());
+    EXPECT_EQ(psnap.engine(qcore::engine_class::fixed_q15).windows, 0u);
+
+    std::vector<std::vector<qcore::window_report>> serial(n_records);
+    for (unsigned r = 0; r < n_records; ++r)
+        serial[r] =
+            serial_reports(records[r], qcore::psa_config::conventional());
+    for (unsigned i = 0; i < n_sessions; ++i) {
+        ASSERT_EQ(plain.at(i).mode_switches(), 0u);
+        expect_reports_identical(plain.at(i).reports(),
+                                 serial[i % n_records]);
+    }
 }
 
 // --------------------------------------------------- concurrent smoke

@@ -63,7 +63,9 @@ TEST_P(BasisTest, ShiftOrthogonality) {
                   fb.highpass[static_cast<std::size_t>(n + 2 * m)];
         }
         EXPECT_NEAR(hh, m == 0 ? 1.0 : 0.0, 1e-10);
-        if (m == 0) EXPECT_NEAR(hg, 0.0, 1e-10);
+        if (m == 0) {
+            EXPECT_NEAR(hg, 0.0, 1e-10);
+        }
     }
 }
 
