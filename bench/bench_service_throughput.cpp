@@ -7,7 +7,10 @@
 // shared plan-cache hit rate, the per-engine-kind window split and the
 // fleet energy roll-up, and verifies that every session's window series
 // is bit-identical (<= 1e-9) to a serial streaming_monitor run of the
-// same record.
+// same record.  A sharded scenario re-runs the 512-patient cohort behind
+// the consistent-hash shard_router at K = 1/2/4/8, asserting the merged
+// fleet stays bit-identical to serial and that the per-shard snapshot
+// wire format round-trips losslessly under merge.
 //
 // Allocation accounting: this binary replaces the global operator new so
 // every heap allocation on every thread is counted.  Each fleet streams a
@@ -450,6 +453,178 @@ governed_result run_governed_fleet(unsigned n_patients, real record_seconds) {
     return g;
 }
 
+/// One sharded-fleet run: the same 512-patient cohort partitioned across
+/// K session_manager shards by the consistent-hash router.
+struct shard_result {
+    unsigned shards = 0;
+    unsigned patients = 0;
+    std::uint64_t windows = 0;
+    double wall_ms = 0.0;
+    double windows_per_s = 0.0;
+    double allocs_per_window = 0.0;
+    std::uint64_t measured_windows = 0;
+    double cache_hit_rate = 0.0;
+    /// Every session's window series bit-identical to its serial
+    /// reference, and the merged snapshot's integer tallies equal the
+    /// per-session sums.
+    bool identical = true;
+    /// serialize -> deserialize -> merge of the per-shard snapshots
+    /// equals the in-process merge bit for bit.
+    bool wire_roundtrip_identical = true;
+    std::vector<std::uint64_t> per_shard_windows;
+    std::vector<double> per_shard_windows_per_s;
+};
+
+/// Cohort shared by every K so the serial references are computed once.
+struct shard_cohort {
+    std::vector<physio::rr_record> records;
+    std::vector<core::psa_config> configs;
+    std::vector<std::vector<core::window_report>> serial;
+};
+
+shard_cohort make_shard_cohort(unsigned n_patients, real record_seconds) {
+    shard_cohort c;
+    const auto configs = mode_mix();
+    c.records.reserve(n_patients);
+    c.configs.reserve(n_patients);
+    c.serial.reserve(n_patients);
+    for (unsigned i = 0; i < n_patients; ++i) {
+        const auto group = i % 2 == 0 ? physio::cohort::sinus_arrhythmia
+                                      : physio::cohort::healthy;
+        c.records.push_back(physio::record_for(
+            physio::make_patient(group, i % 64), record_seconds));
+        c.configs.push_back(configs[i % configs.size()]);
+        c.serial.push_back(serial_reports(c.records.back(), c.configs.back()));
+    }
+    return c;
+}
+
+shard_result run_sharded_fleet(const shard_cohort& cohort, unsigned shards) {
+    const auto n_patients = static_cast<unsigned>(cohort.records.size());
+
+    service::router_options opt;
+    opt.shards = shards;
+    opt.shard.vfs_deadline_s = paper_monitor().hop_seconds;
+    service::plan_cache cache;
+    service::shard_router router(opt, &cache);
+
+    const auto t0 = clock_type::now();
+    for (unsigned i = 0; i < n_patients; ++i) {
+        service::session_config cfg;
+        cfg.patient_id = "shard-patient-" + std::to_string(i);
+        cfg.analysis = cohort.configs[i];
+        cfg.monitor = paper_monitor();
+        cfg.ingest_capacity = 512;
+        router.add_session(std::move(cfg));
+    }
+
+    constexpr std::size_t chunk = 256;
+    const auto stream_range = [&](double lo_frac, double hi_frac) {
+        std::size_t step = 0;
+        bool remaining = true;
+        while (remaining) {
+            remaining = false;
+            for (unsigned i = 0; i < n_patients; ++i) {
+                const auto& rec = cohort.records[i];
+                const auto lo = static_cast<std::size_t>(
+                    lo_frac * static_cast<double>(rec.beats()));
+                const auto hi = static_cast<std::size_t>(
+                    hi_frac * static_cast<double>(rec.beats()));
+                const std::size_t begin = std::min(lo + step * chunk, hi);
+                const std::size_t end = std::min(begin + chunk, hi);
+                for (std::size_t b = begin; b < end; ++b)
+                    while (!router.ingest(i, rec.beat_time_s[b], rec.rr_s[b]))
+                        router.pump();
+                if (end < hi) remaining = true;
+            }
+            ++step;
+            router.pump();
+        }
+    };
+    const auto fleet_windows = [&] {
+        std::uint64_t w = 0;
+        for (unsigned i = 0; i < n_patients; ++i)
+            w += router.at(i).windows_completed();
+        return w;
+    };
+
+    constexpr double warmup_fraction = 0.6;
+    stream_range(0.0, warmup_fraction);
+    router.drain_all();
+    const std::uint64_t allocs0 = heap_allocs();
+    const std::uint64_t windows0 = fleet_windows();
+
+    stream_range(warmup_fraction, 1.0);
+    router.drain_all();
+    const std::uint64_t allocs1 = heap_allocs();
+    const std::uint64_t windows1 = fleet_windows();
+    const auto t1 = clock_type::now();
+
+    shard_result r;
+    r.shards = shards;
+    r.patients = n_patients;
+    r.wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            t1 - t0)
+            .count();
+    r.measured_windows = windows1 - windows0;
+    r.allocs_per_window =
+        r.measured_windows > 0
+            ? static_cast<double>(allocs1 - allocs0) /
+                  static_cast<double>(r.measured_windows)
+            : 0.0;
+    r.cache_hit_rate = router.cache_stats().hit_rate();
+
+    const auto merged = router.fleet();
+    r.windows = merged.windows;
+    r.windows_per_s = merged.windows / (r.wall_ms / 1000.0);
+    for (unsigned k = 0; k < shards; ++k) {
+        const auto shard_snap = router.shard_fleet(k);
+        r.per_shard_windows.push_back(shard_snap.windows);
+        r.per_shard_windows_per_s.push_back(shard_snap.windows /
+                                            (r.wall_ms / 1000.0));
+    }
+
+    // Determinism bar 1 (untimed): every session bit-identical to its
+    // serial reference, shard count notwithstanding, and the merged
+    // snapshot's integer tallies consistent with the per-session sums.
+    std::uint64_t serial_windows = 0;
+    for (unsigned i = 0; i < n_patients; ++i) {
+        const auto& want = cohort.serial[i];
+        const auto got = router.at(i).reports();
+        serial_windows += want.size();
+        if (got.size() != want.size()) {
+            r.identical = false;
+            break;
+        }
+        for (std::size_t w = 0; w < want.size(); ++w)
+            if (got[w].bands.lf != want[w].bands.lf ||
+                got[w].bands.hf != want[w].bands.hf ||
+                got[w].bands.total != want[w].bands.total ||
+                got[w].ops != want[w].ops)
+                r.identical = false;
+    }
+    if (merged.windows != serial_windows) r.identical = false;
+    std::uint64_t shard_sum = 0;
+    for (const auto w : r.per_shard_windows) shard_sum += w;
+    if (shard_sum != merged.windows) r.identical = false;
+
+    // Determinism bar 2: the wire round trip.  Serializing every shard's
+    // snapshot, deserializing and merging must reproduce the in-process
+    // merge bit for bit (doubles included).
+    service::fleet_snapshot wired;
+    for (unsigned k = 0; k < shards; ++k) {
+        const auto bytes = router.shard_fleet(k).serialize();
+        const auto snap = service::fleet_snapshot::deserialize(bytes);
+        if (k == 0)
+            wired = snap;
+        else
+            wired += snap;
+    }
+    r.wire_roundtrip_identical = wired == merged;
+    return r;
+}
+
 /// Crude field scraper for the committed BENCH_service.json: finds the
 /// fleet object for `patients` and pulls two numeric fields.  Tolerant of
 /// missing files/fields (returns found = false / -1).
@@ -588,6 +763,42 @@ int main() {
     }
     all_identical = all_identical && governed.ladder_complete;
 
+    // Sharded fleet: the same 512-patient cohort behind the consistent-
+    // hash shard router at K = 1/2/4/8, merged through fleet_snapshot
+    // (and through its wire format) -- the scale-out topology must hold
+    // the exact determinism bar of the serial engine.
+    util::print_section(std::cout,
+                        "Sharded fleet -- 512 patients across K "
+                        "session_manager shards (consistent-hash router)");
+    const auto cohort = make_shard_cohort(512, record_seconds);
+    const unsigned shard_counts[] = {1, 2, 4, 8};
+    std::vector<shard_result> sharded;
+    util::table stab({"shards", "windows", "wall ms", "windows/s",
+                      "allocs/win", "cache hit", "min shard w/s",
+                      "max shard w/s", "identical", "wire ok"});
+    for (const unsigned k : shard_counts) {
+        const auto r = run_sharded_fleet(cohort, k);
+        sharded.push_back(r);
+        const auto [mn, mx] =
+            std::minmax_element(r.per_shard_windows_per_s.begin(),
+                                r.per_shard_windows_per_s.end());
+        stab.add_row({util::table::fmt_int(r.shards),
+                      util::table::fmt_int(static_cast<long long>(r.windows)),
+                      util::table::fmt(r.wall_ms, 1),
+                      util::table::fmt(r.windows_per_s, 1),
+                      util::table::fmt(r.allocs_per_window, 3),
+                      util::table::fmt_pct(r.cache_hit_rate),
+                      util::table::fmt(*mn, 1), util::table::fmt(*mx, 1),
+                      r.identical ? "yes" : "NO",
+                      r.wire_roundtrip_identical ? "yes" : "NO"});
+        all_identical =
+            all_identical && r.identical && r.wire_roundtrip_identical;
+    }
+    stab.print(std::cout);
+    std::cout << "verification: merged sharded fleets "
+              << "bit-identical to serial baseline, wire round trip "
+              << "lossless (see flags above)\n";
+
     std::ofstream json("BENCH_service.json");
     json << "{\n  \"bench\": \"service_throughput\",\n  \"record_seconds\": "
          << record_seconds << ",\n  \"workers\": " << results.front().workers
@@ -622,6 +833,28 @@ int main() {
             first = false;
         }
         json << "}}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n  \"sharded\": [\n";
+    for (std::size_t i = 0; i < sharded.size(); ++i) {
+        const auto& r = sharded[i];
+        json << "    {\"shards\": " << r.shards
+             << ", \"patients\": " << r.patients
+             << ", \"windows\": " << r.windows
+             << ", \"wall_ms\": " << r.wall_ms
+             << ", \"windows_per_s\": " << r.windows_per_s
+             << ", \"allocs_per_window\": " << r.allocs_per_window
+             << ", \"measured_windows\": " << r.measured_windows
+             << ", \"cache_hit_rate\": " << r.cache_hit_rate
+             << ", \"identical\": " << (r.identical ? "true" : "false")
+             << ", \"wire_roundtrip_identical\": "
+             << (r.wire_roundtrip_identical ? "true" : "false")
+             << ", \"per_shard_windows\": [";
+        for (std::size_t k = 0; k < r.per_shard_windows.size(); ++k)
+            json << (k ? ", " : "") << r.per_shard_windows[k];
+        json << "], \"per_shard_windows_per_s\": [";
+        for (std::size_t k = 0; k < r.per_shard_windows_per_s.size(); ++k)
+            json << (k ? ", " : "") << r.per_shard_windows_per_s[k];
+        json << "]}" << (i + 1 < sharded.size() ? "," : "") << "\n";
     }
     json << "  ],\n  \"governed\": {\"patients\": " << governed.patients
          << ", \"windows\": " << governed.windows

@@ -36,6 +36,7 @@ engine_class classify(const engine_spec& spec) {
             [](const burg_spec&) { return engine_class::burg; },
             [](const direct_lomb_spec&) { return engine_class::direct_lomb; },
             [](const resampled_spec&) { return engine_class::resampled; },
+            [](const welch_spec&) { return engine_class::welch; },
         },
         spec);
 }
@@ -56,6 +57,8 @@ std::string_view engine_class_name(engine_class c) {
             return "direct-lomb";
         case engine_class::resampled:
             return "resampled";
+        case engine_class::welch:
+            return "welch";
     }
     return "unknown";
 }
@@ -100,6 +103,12 @@ std::size_t engine_key_hash::operator()(const engine_key& k) const {
             [&](const direct_lomb_spec&) {},
             [&](const resampled_spec& s) {
                 hash_combine(h, hash_real(s.resample_hz));
+                hash_combine(h, static_cast<std::size_t>(s.taper));
+            },
+            [&](const welch_spec& s) {
+                hash_combine(h, hash_real(s.resample_hz));
+                hash_combine(h, hash_real(s.segment_seconds));
+                hash_combine(h, hash_real(s.segment_overlap));
                 hash_combine(h, static_cast<std::size_t>(s.taper));
             },
         },

@@ -75,9 +75,23 @@ struct resampled_spec {
     bool operator==(const resampled_spec&) const = default;
 };
 
+/// Welch-averaged PSD on the uniformly resampled grid: the analysis
+/// window is cut into overlapping sub-segments, each one linearly
+/// interpolated onto a uniform grid, tapered and FFT'd (the
+/// lomb::resampled_psd pieces), and the per-segment periodograms averaged
+/// -- the textbook Welch estimator, servable by the fleet like the
+/// Lomb-family engines.
+struct welch_spec {
+    real resample_hz = 4.0;
+    real segment_seconds = 60.0;  ///< sub-segment length within the window
+    real segment_overlap = 0.5;   ///< fractional sub-segment overlap, <= 0.95
+    dsp::window_kind taper = dsp::window_kind::hann;
+    bool operator==(const welch_spec&) const = default;
+};
+
 using engine_spec =
     std::variant<conventional_spec, wavelet_spec, fixed_wavelet_spec,
-                 burg_spec, direct_lomb_spec, resampled_spec>;
+                 burg_spec, direct_lomb_spec, resampled_spec, welch_spec>;
 
 namespace detail {
 template <typename T, typename V>
@@ -110,9 +124,10 @@ enum class engine_class : std::uint8_t {
     burg,
     direct_lomb,
     resampled,
+    welch,
 };
 
-inline constexpr std::size_t engine_class_count = 7;
+inline constexpr std::size_t engine_class_count = 8;
 
 engine_class classify(const engine_spec& spec);
 std::string_view engine_class_name(engine_class c);

@@ -52,6 +52,9 @@ struct psa_config {
     static psa_config burg_ar(std::size_t order = 16, std::size_t mesh = 512);
     static psa_config direct_lomb(std::size_t mesh = 512);
     static psa_config resampled(real resample_hz = 4.0, std::size_t mesh = 512);
+    static psa_config welch(real resample_hz = 4.0,
+                            real segment_seconds = 60.0,
+                            std::size_t mesh = 512);
 
     /// Fleet roll-up slot of the configured engine.
     engine_class kind() const { return classify(spec); }

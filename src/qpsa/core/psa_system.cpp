@@ -59,6 +59,15 @@ psa_config psa_config::resampled(real resample_hz, std::size_t mesh) {
     return c;
 }
 
+psa_config psa_config::welch(real resample_hz, real segment_seconds,
+                             std::size_t mesh) {
+    psa_config c = base_config(mesh);
+    c.spec = welch_spec{resample_hz, segment_seconds, 0.5,
+                        dsp::window_kind::hann};
+    c.validate();
+    return c;
+}
+
 void psa_config::validate() const {
     QPSA_EXPECTS(lomb.mesh_size >= 64 && is_pow2(lomb.mesh_size));
     QPSA_EXPECTS(window_seconds > 10.0);
@@ -83,6 +92,17 @@ void psa_config::validate() const {
             },
             [](const direct_lomb_spec&) {},
             [](const resampled_spec& s) { QPSA_EXPECTS(s.resample_hz > 0.0); },
+            [&](const welch_spec& s) {
+                QPSA_EXPECTS(s.resample_hz > 0.0);
+                QPSA_EXPECTS(s.segment_seconds > 1.0 &&
+                             s.segment_seconds <= window_seconds);
+                // Overlap capped well below 1: the hop is
+                // segment_seconds * (1 - overlap), and an overlap
+                // arbitrarily close to 1 would make the per-window
+                // segment count unbounded.
+                QPSA_EXPECTS(s.segment_overlap >= 0.0 &&
+                             s.segment_overlap <= 0.95);
+            },
         },
         spec);
 }
@@ -132,6 +152,10 @@ std::string psa_config::describe() const {
             [&](const resampled_spec& s) {
                 ss << "resampled(" << s.resample_hz << "Hz,"
                    << lomb.mesh_size << ")";
+            },
+            [&](const welch_spec& s) {
+                ss << "welch(" << s.resample_hz << "Hz," << s.segment_seconds
+                   << "s," << lomb.mesh_size << ")";
             },
         },
         spec);

@@ -37,6 +37,7 @@ struct fleet_energy_totals {
     }
 
     fleet_energy_totals& operator+=(const fleet_energy_totals& o);
+    bool operator==(const fleet_energy_totals&) const = default;
 };
 
 /// Thread-safe roll-up: many scheduler workers price windows concurrently

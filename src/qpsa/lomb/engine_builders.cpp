@@ -4,6 +4,7 @@
 #include "qpsa/core/psa_config.hpp"
 #include "qpsa/lomb/estimator_engines.hpp"
 #include "qpsa/lomb/fixed_engine.hpp"
+#include "qpsa/lomb/welch_psd_engine.hpp"
 
 namespace qpsa::lomb {
 
@@ -49,6 +50,8 @@ void register_builtin_engines(core::engine_registry& reg) {
         return engine_ptr(std::make_shared<const resampled_engine>(
             cfg.lomb.mesh_size, s.resample_hz, s.taper));
     });
+    // Leaf-file engines register themselves through their own hook.
+    register_welch_engine(reg);
 }
 
 }  // namespace qpsa::lomb

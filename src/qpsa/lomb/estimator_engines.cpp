@@ -23,19 +23,36 @@ void fill_grid_freqs(const estimate_grid& grid, std::vector<real>& f) {
         f[k] = static_cast<real>(k + 1) * grid.df;
 }
 
-/// Count into the engine's stats sink in addition to the caller's active
-/// scopes (mirrors what forward() engines do via count_scope).
-class stats_scope {
-public:
-    explicit stats_scope(wfft::exec_stats* stats) {
-        if (stats != nullptr) scope_.emplace(stats->ops);
-    }
-
-private:
-    std::optional<counting::count_scope> scope_;
-};
-
 }  // namespace
+
+void map_uniform_psd_onto_grid(std::span<const real> power, real raw_df,
+                               const estimate_grid& grid,
+                               std::span<const real> x,
+                               dsp::sampled_spectrum& out) {
+    QPSA_EXPECTS(!power.empty() && raw_df > 0.0);
+    const real var = util::variance(x);
+    QPSA_EXPECTS(var > 0.0);
+    const real norm = static_cast<real>(x.size()) / (2.0 * var);
+
+    fill_grid_freqs(grid, out.freq_hz);
+    out.power.resize(out.freq_hz.size());
+    for (std::size_t k = 0; k < out.freq_hz.size(); ++k) {
+        const real f = out.freq_hz[k];
+        const real pos = f / raw_df;
+        const auto lo = static_cast<std::size_t>(pos);
+        real p;
+        if (lo + 1 >= power.size()) {
+            p = power.back();
+        } else {
+            const real u = pos - static_cast<real>(lo);
+            p = power[lo] * (1.0 - u) + power[lo + 1] * u;
+        }
+        out.power[k] = p * norm;
+    }
+    counting::count_muls(3 * out.power.size());
+    counting::count_adds(2 * out.power.size());
+    counting::count_divs(out.power.size() + 1);
+}
 
 std::string burg_engine::name() const {
     return "burg-ar(order=" + std::to_string(order_) + ")";
@@ -45,7 +62,7 @@ void burg_engine::estimate(std::span<const real> t, std::span<const real> x,
                            const estimate_grid& grid, wfft::exec_stats* stats,
                            util::arena& scratch,
                            dsp::sampled_spectrum& out) const {
-    stats_scope scope(stats);
+    estimator_stats_scope scope(stats);
     util::arena::frame frame(scratch);
     fill_grid_freqs(grid, out.freq_hz);
     out.power.resize(grid.nout);
@@ -81,7 +98,7 @@ void direct_lomb_engine::estimate(std::span<const real> t,
                                   const estimate_grid& grid,
                                   wfft::exec_stats* stats, util::arena&,
                                   dsp::sampled_spectrum& out) const {
-    stats_scope scope(stats);
+    estimator_stats_scope scope(stats);
     fill_grid_freqs(grid, out.freq_hz);
     // lomb_direct already emits the normalized periodogram on its grid.
     // Copy (not move) into the caller's buffer so its steady-state
@@ -99,40 +116,17 @@ void resampled_engine::estimate(std::span<const real> t,
                                 const estimate_grid& grid,
                                 wfft::exec_stats* stats, util::arena&,
                                 dsp::sampled_spectrum& out) const {
-    stats_scope scope(stats);
+    estimator_stats_scope scope(stats);
     resampled_psd_options opt;
     opt.resample_hz = resample_hz_;
     opt.taper = taper_;
     opt.fft_size = size();
     const dsp::sampled_spectrum raw = resampled_psd(t, x, opt);
 
-    // Interpolate the uniform-rate PSD onto the pipeline grid and apply
-    // the same normalized-periodogram convention as the Burg engine.
-    const real var = util::variance(x);
-    QPSA_EXPECTS(var > 0.0);
-    const real norm = static_cast<real>(x.size()) / (2.0 * var);
-
-    fill_grid_freqs(grid, out.freq_hz);
-    out.power.resize(out.freq_hz.size());
     const real raw_df = raw.freq_hz.size() >= 2
                             ? raw.freq_hz[1] - raw.freq_hz[0]
                             : grid.df;
-    for (std::size_t k = 0; k < out.freq_hz.size(); ++k) {
-        const real f = out.freq_hz[k];
-        const real pos = f / raw_df;
-        const auto lo = static_cast<std::size_t>(pos);
-        real p;
-        if (lo + 1 >= raw.power.size()) {
-            p = raw.power.back();
-        } else {
-            const real u = pos - static_cast<real>(lo);
-            p = raw.power[lo] * (1.0 - u) + raw.power[lo + 1] * u;
-        }
-        out.power[k] = p * norm;
-    }
-    counting::count_muls(3 * out.power.size());
-    counting::count_adds(2 * out.power.size());
-    counting::count_divs(out.power.size() + 1);
+    map_uniform_psd_onto_grid(raw.power, raw_df, grid, x, out);
 }
 
 }  // namespace qpsa::lomb

@@ -9,10 +9,36 @@
 // convention, same operation accounting.
 #pragma once
 
+#include <optional>
+
+#include "qpsa/counting/op_counter.hpp"
 #include "qpsa/dsp/window.hpp"
 #include "qpsa/lomb/fft_engine.hpp"
 
 namespace qpsa::lomb {
+
+/// Count into an engine's stats sink in addition to the caller's active
+/// scopes (mirrors what forward() engines do via count_scope); shared by
+/// every whole-window estimator.
+class estimator_stats_scope {
+public:
+    explicit estimator_stats_scope(wfft::exec_stats* stats) {
+        if (stats != nullptr) scope_.emplace(stats->ops);
+    }
+
+private:
+    std::optional<counting::count_scope> scope_;
+};
+
+/// Interpolate a uniform-rate one-sided PSD (bin spacing `raw_df`) onto
+/// the pipeline grid f_k = (k+1) * grid.df and apply the shared
+/// normalized-periodogram convention (PSD * N / (2 sigma^2) of the
+/// analyzed window `x`).  One implementation so the resampled and Welch
+/// estimators cannot drift apart.
+void map_uniform_psd_onto_grid(std::span<const real> power, real raw_df,
+                               const estimate_grid& grid,
+                               std::span<const real> x,
+                               dsp::sampled_spectrum& out);
 
 /// Common scaffolding: nominal size() (the pipeline mesh the engine is
 /// keyed to), contract-failing forward().

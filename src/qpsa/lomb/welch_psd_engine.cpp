@@ -1,0 +1,92 @@
+#include "qpsa/lomb/welch_psd_engine.hpp"
+
+#include <algorithm>
+
+#include "qpsa/core/engine_registry.hpp"
+#include "qpsa/core/psa_config.hpp"
+#include "qpsa/counting/op_counter.hpp"
+#include "qpsa/lomb/resampled_psd.hpp"
+
+namespace qpsa::lomb {
+
+std::string welch_psd_engine::name() const {
+    return "welch(" + std::to_string(resample_hz_) + "Hz," +
+           std::to_string(segment_seconds_) + "s)";
+}
+
+void welch_psd_engine::estimate(std::span<const real> t,
+                                std::span<const real> x,
+                                const estimate_grid& grid,
+                                wfft::exec_stats* stats,
+                                util::arena& scratch,
+                                dsp::sampled_spectrum& out) const {
+    QPSA_EXPECTS(grid.df > 0.0 && grid.nout >= 1);
+    estimator_stats_scope scope(stats);
+    util::arena::frame frame(scratch);
+
+    resampled_psd_options seg_opt;
+    seg_opt.resample_hz = resample_hz_;
+    seg_opt.taper = taper_;
+    seg_opt.fft_size = size();
+
+    // Welch segmentation by time, like welch_lomb: segments of
+    // segment_seconds_ advanced by the overlap-derived hop.  A segment
+    // must hold enough beats (and span) for the per-segment resampler;
+    // too-sparse segments are skipped.  Short windows degenerate to a
+    // single whole-window segment, i.e. the plain resampled estimator.
+    const real t0 = t.front();
+    const real t_end = t.back();
+    const real hop = segment_seconds_ * (1.0 - segment_overlap_);
+    constexpr std::size_t min_seg_beats = 8;
+
+    // Summed per-segment periodograms; resampled_psd always returns
+    // fft_size / 2 one-sided bins, so the accumulator comes straight
+    // from the caller's arena.  (The per-segment resampled_psd calls
+    // themselves still allocate, like the plain resampled engine -- an
+    // arena-threaded resampled_psd is the shared fix for both.)
+    std::span<real> avg = scratch.alloc<real>(seg_opt.fft_size / 2);
+    std::fill(avg.begin(), avg.end(), 0.0);
+    std::size_t segments = 0;
+    std::size_t begin = 0;  // segments advance monotonically in time
+    for (real start = t0; start + segment_seconds_ <= t_end + 1e-9;
+         start += hop) {
+        const real stop = start + segment_seconds_;
+        while (begin < t.size() && t[begin] < start) ++begin;
+        std::size_t end = begin;
+        while (end < t.size() && t[end] <= stop) ++end;
+        const std::size_t count = end - begin;
+        if (count < min_seg_beats) continue;
+        if ((t[end - 1] - t[begin]) * resample_hz_ < 8.0) continue;
+        const dsp::sampled_spectrum seg = resampled_psd(
+            t.subspan(begin, count), x.subspan(begin, count), seg_opt);
+        for (std::size_t k = 0; k < avg.size(); ++k) avg[k] += seg.power[k];
+        counting::count_adds(avg.size());
+        ++segments;
+    }
+    if (segments == 0) {
+        const dsp::sampled_spectrum whole = resampled_psd(t, x, seg_opt);
+        std::copy(whole.power.begin(), whole.power.end(), avg.begin());
+        segments = 1;
+    }
+    const real inv_segments = 1.0 / static_cast<real>(segments);
+    for (real& p : avg) p *= inv_segments;
+    counting::count_divs(1);
+    counting::count_muls(avg.size());
+
+    // Averaged uniform-rate PSD onto the pipeline grid, through the
+    // normalization shared with the resampled engine.
+    const real raw_df = resample_hz_ / static_cast<real>(seg_opt.fft_size);
+    map_uniform_psd_onto_grid(avg, raw_df, grid, x, out);
+}
+
+void register_welch_engine(core::engine_registry& reg) {
+    reg.register_spec<core::welch_spec>([](const core::psa_config& cfg) {
+        const auto& s = std::get<core::welch_spec>(cfg.spec);
+        return std::shared_ptr<const fft_engine>(
+            std::make_shared<const welch_psd_engine>(
+                cfg.lomb.mesh_size, s.resample_hz, s.segment_seconds,
+                s.segment_overlap, s.taper));
+    });
+}
+
+}  // namespace qpsa::lomb

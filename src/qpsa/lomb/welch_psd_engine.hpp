@@ -1,0 +1,52 @@
+// Welch PSD on the resampled grid, as a registry engine (leaf file).
+//
+// The classic Welch estimator for HRV: the analysis window is cut into
+// overlapping sub-segments, each sub-segment is linearly interpolated
+// onto a uniform grid, tapered and passed through an FFT periodogram
+// (exactly the resampled_psd pieces), and the per-segment periodograms
+// are averaged.  Averaging trades frequency resolution for variance --
+// the smoother spectrum a long-term monitoring dashboard wants.
+//
+// The engine is a whole-window estimator behind the fft_engine seam, so
+// the streaming monitor, sessions and the fleet scheduler serve it like
+// every other kind; register_welch_engine() installs its builder, making
+// the whole estimator a leaf-file addition per the engine_spec contract.
+#pragma once
+
+#include "qpsa/dsp/window.hpp"
+#include "qpsa/lomb/estimator_engines.hpp"
+
+namespace qpsa::core {
+class engine_registry;
+}
+
+namespace qpsa::lomb {
+
+class welch_psd_engine final : public whole_window_engine {
+public:
+    welch_psd_engine(std::size_t mesh, real resample_hz, real segment_seconds,
+                     real segment_overlap, dsp::window_kind taper)
+        : whole_window_engine(mesh),
+          resample_hz_(resample_hz),
+          segment_seconds_(segment_seconds),
+          segment_overlap_(segment_overlap),
+          taper_(taper) {}
+
+    std::string name() const override;
+    void estimate(std::span<const real> t, std::span<const real> x,
+                  const estimate_grid& grid, wfft::exec_stats* stats,
+                  util::arena& scratch,
+                  dsp::sampled_spectrum& out) const override;
+
+private:
+    real resample_hz_;
+    real segment_seconds_;
+    real segment_overlap_;
+    dsp::window_kind taper_;
+};
+
+/// Install the welch_spec builder (called once from the built-in engine
+/// registration; replaceable at runtime like any other builder).
+void register_welch_engine(core::engine_registry& reg);
+
+}  // namespace qpsa::lomb

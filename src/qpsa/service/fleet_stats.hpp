@@ -13,6 +13,8 @@
 #include <array>
 #include <cstdint>
 #include <mutex>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "qpsa/core/streaming_monitor.hpp"
@@ -20,6 +22,21 @@
 #include "qpsa/hrv/detector.hpp"
 
 namespace qpsa::service {
+
+/// Thrown by fleet_snapshot::deserialize on malformed or incompatible
+/// wire bytes (bad magic, unknown version, truncation, invalid enums).
+class wire_error : public std::runtime_error {
+public:
+    explicit wire_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Wire-format version written by fleet_snapshot::serialize.  Versioning
+/// rules: additive layout changes bump this and the deserializer keeps
+/// accepting every older version it ever shipped; engine_class_count is
+/// recorded in the header, so a snapshot from a build with fewer engine
+/// kinds (an older leaf-engine set) loads into the wider table while one
+/// with more kinds than the reader knows is rejected loudly.
+inline constexpr std::uint16_t fleet_wire_version = 1;
 
 /// Per-engine-kind tally (one slot per core::engine_class).
 struct engine_tally {
@@ -33,6 +50,7 @@ struct engine_tally {
         energy_nominal_j += o.energy_nominal_j;
         return *this;
     }
+    bool operator==(const engine_tally&) const = default;
 };
 
 /// Ingest-health alarm for one session: beats the ring rejected on
@@ -43,6 +61,7 @@ struct session_drop_alarm {
     std::uint64_t dropped = 0;
     std::uint64_t rejected = 0;
     std::uint64_t overwritten = 0;
+    bool operator==(const session_drop_alarm&) const = default;
 };
 
 /// Adaptive-QDES state of one governed session: how often its governor
@@ -53,6 +72,7 @@ struct session_quality {
     std::uint64_t mode_switches = 0;
     core::engine_class current_mode = core::engine_class::conventional;
     real battery_fraction = 1.0;
+    bool operator==(const session_quality&) const = default;
 };
 
 /// Consistent snapshot of the fleet tallies.  The summed op counts live
@@ -105,8 +125,21 @@ struct fleet_snapshot {
     /// sharding primitive: shard snapshots sum into one deployment view
     /// (counts add, battery_fraction_min takes the min, per-session lists
     /// concatenate).  Session ids are per-shard, so callers merging
-    /// shards that share an id space must namespace them first.
+    /// shards that share an id space must namespace them first
+    /// (shard_router::shard_fleet does).
     fleet_snapshot& operator+=(const fleet_snapshot& o);
+
+    bool operator==(const fleet_snapshot&) const = default;
+
+    /// Versioned little-endian binary encoding -- the cross-process
+    /// transport primitive: a shard process serializes its snapshot, the
+    /// aggregator deserializes and operator+=s it, and the result is
+    /// bit-identical to an in-process merge (doubles travel as raw IEEE
+    /// bits, so the round trip is lossless).
+    std::vector<std::uint8_t> serialize() const;
+    /// Parse bytes produced by serialize(); throws wire_error on
+    /// malformed input.  Implemented in wire.cpp.
+    static fleet_snapshot deserialize(std::span<const std::uint8_t> bytes);
 };
 
 class fleet_stats;

@@ -28,11 +28,31 @@ session::session(std::uint64_t id, session_config cfg,
                std::move(factory)),
       battery_(cfg_.battery) {
     current_mode_.store(monitor_.config().kind(), std::memory_order_relaxed);
+    if (cfg_.on_high_water) {
+        QPSA_EXPECTS(cfg_.high_water_fraction > 0.0 &&
+                     cfg_.high_water_fraction <= 1.0);
+        // Occupancy mark on the *rounded* ring capacity; at least one
+        // beat so a crossing is always observable.
+        high_water_mark_ = std::max<std::size_t>(
+            1, static_cast<std::size_t>(cfg_.high_water_fraction *
+                                        static_cast<real>(ring_.capacity())));
+    }
     // Absorb the first few capacity doublings at admission time -- the
     // steady-state drain path is budgeted at ~zero allocations per window.
     if (cfg_.keep_reports) reports_.reserve(64);
     if (governor_.runtime_enabled())
         switch_log_.reserve(cfg_.quality.controller->profiles().size() * 2);
+}
+
+void session::notify_high_water() noexcept {
+    const std::size_t buffered = ring_.size();
+    if (buffered < high_water_mark_) return;
+    // One alarm per congestion episode: the exchange makes the producer
+    // the only thread that can fire until a drain re-arms the flag.
+    if (high_water_armed_.exchange(false, std::memory_order_acq_rel)) {
+        high_water_alarms_.fetch_add(1, std::memory_order_relaxed);
+        cfg_.on_high_water(id_, buffered, ring_.capacity());
+    }
 }
 
 std::size_t session::collect_windows(fleet_partial& acc) {
@@ -81,6 +101,11 @@ std::size_t session::drain(fleet_partial& acc) {
         }
         completed += collect_windows(acc);
     }
+    // Re-arm the backpressure alarm once the drain has brought occupancy
+    // back below the mark (here: the ring is empty, the loop's exit
+    // condition, so any configured mark is satisfied).
+    if (high_water_mark_ != 0 && ring_.size() < high_water_mark_)
+        high_water_armed_.store(true, std::memory_order_release);
     return completed;
 }
 

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -51,6 +52,17 @@ struct session_config {
     std::size_t ingest_capacity = 1024;
     overflow_policy overflow = overflow_policy::reject;
 
+    /// Ingest backpressure: when set, fires on the producer thread the
+    /// first time ring occupancy reaches high_water_fraction of capacity,
+    /// then re-arms once a drain brings occupancy back below the mark --
+    /// one alarm per congestion episode, so the ingest edge can shed or
+    /// reroute load *before* the ring starts rejecting/evicting.  The
+    /// callback runs inside ingest() and must be cheap and noexcept.
+    std::function<void(std::uint64_t session_id, std::size_t buffered,
+                       std::size_t capacity)>
+        on_high_water;
+    real high_water_fraction = 0.75;  ///< crossing mark, in (0, 1]
+
     /// Per-session random stream seed; 0 lets the manager derive one from
     /// its base seed and the session id (util::derive_stream_seed), so a
     /// fleet is reproducible regardless of scheduling order.
@@ -84,8 +96,17 @@ public:
 
     /// Producer side: enqueue one beat.  Never blocks; returns false when
     /// a reject-policy ring is full (the beat is dropped and counted).
+    /// Fires the session's high-water callback on the crossing beat.
     bool ingest(real beat_time_s, real rr_s) noexcept {
-        return ring_.push({beat_time_s, rr_s});
+        const bool accepted = ring_.push({beat_time_s, rr_s});
+        if (high_water_mark_ != 0) notify_high_water();
+        return accepted;
+    }
+
+    /// Times the high-water callback has fired (one per congestion
+    /// episode; safe to read from any thread).
+    std::uint64_t high_water_alarms() const noexcept {
+        return high_water_alarms_.load(std::memory_order_relaxed);
     }
 
     /// Beats waiting in the ring (cheap; the scheduler polls this).
@@ -150,6 +171,10 @@ private:
     /// Poll completed windows: accumulate, drain battery, run governor.
     std::size_t collect_windows(fleet_partial& acc);
 
+    /// Producer-side slow path of ingest(): fire the callback once per
+    /// crossing of the high-water mark (drain() re-arms below it).
+    void notify_high_water() noexcept;
+
     std::uint64_t id_;
     session_config cfg_;
     core::quality_governor governor_;
@@ -158,6 +183,12 @@ private:
     energy::battery_state battery_;
     std::vector<core::window_report> reports_;
     std::vector<mode_switch_event> switch_log_;
+    /// Ring occupancy (in beats) at which the backpressure alarm fires;
+    /// 0 when no callback is configured.
+    std::size_t high_water_mark_ = 0;
+    /// Armed until the mark is crossed; drain() re-arms below the mark.
+    std::atomic<bool> high_water_armed_{true};
+    std::atomic<std::uint64_t> high_water_alarms_{0};
     std::uint64_t beats_ingested_ = 0;
     std::atomic<std::uint64_t> beats_rejected_{0};
     std::uint64_t windows_ = 0;

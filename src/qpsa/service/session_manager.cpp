@@ -28,7 +28,8 @@ std::uint64_t session_manager::add_session(session_config cfg) {
     QPSA_EXPECTS(sessions_.size() < opt_.max_sessions);
     const std::uint64_t id = sessions_.size();
     if (cfg.seed == 0)
-        cfg.seed = util::derive_stream_seed(opt_.base_seed, id);
+        cfg.seed =
+            util::derive_stream_seed(opt_.base_seed, opt_.stream_offset + id);
     sessions_.push_back(
         std::make_unique<session>(id, std::move(cfg), factory()));
     // Publish after the slot is fully constructed; ingest()/pump() pair

@@ -1,0 +1,94 @@
+#include "qpsa/service/shard_map.hpp"
+
+#include <algorithm>
+
+#include "qpsa/util/random.hpp"
+
+namespace qpsa::service {
+
+namespace {
+
+/// Weight of `key` on the shard whose weight stream is `seed`: one
+/// splitmix64 scramble of the pair -- uniform, independent across
+/// shards, and stable across processes.
+std::uint64_t weight(std::uint64_t key, std::uint64_t seed) noexcept {
+    return util::splitmix64(key ^ seed);
+}
+
+}  // namespace
+
+shard_map::shard_map(std::size_t shards, shard_map_options opt) : opt_(opt) {
+    QPSA_EXPECTS(shards >= 1);
+    QPSA_EXPECTS(opt_.ring_vnodes >= 1);
+    seeds_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) add_shard();
+}
+
+bool shard_map::is_active(std::size_t shard) const {
+    QPSA_EXPECTS(shard < seeds_.size());
+    return alive_[shard];
+}
+
+std::size_t shard_map::shard_for_key(std::uint64_t key) const {
+    QPSA_EXPECTS(active_ >= 1);
+    if (opt_.strategy == shard_strategy::ring) {
+        // First virtual point clockwise of the key (wrapping).
+        auto it = std::upper_bound(
+            ring_.begin(), ring_.end(), key,
+            [](std::uint64_t k, const ring_point& p) { return k < p.point; });
+        if (it == ring_.end()) it = ring_.begin();
+        return it->shard;
+    }
+    std::size_t best = 0;
+    std::uint64_t best_w = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < seeds_.size(); ++i) {
+        if (!alive_[i]) continue;
+        const std::uint64_t w = weight(key, seeds_[i]);
+        // Ties broken by index so the winner is unambiguous everywhere.
+        if (!found || w > best_w) {
+            found = true;
+            best = i;
+            best_w = w;
+        }
+    }
+    return best;
+}
+
+std::size_t shard_map::add_shard() {
+    const std::size_t index = seeds_.size();
+    // Per-slot weight stream derived from (salt, slot): reproducible, and
+    // re-adding capacity later continues the same sequence.
+    seeds_.push_back(util::derive_stream_seed(opt_.salt, index));
+    alive_.push_back(true);
+    ++active_;
+    if (opt_.strategy == shard_strategy::ring) rebuild_ring();
+    return index;
+}
+
+void shard_map::remove_shard(std::size_t shard) {
+    QPSA_EXPECTS(shard < seeds_.size());
+    QPSA_EXPECTS(alive_[shard]);
+    QPSA_EXPECTS(active_ >= 2);  // a fleet always has somewhere to route
+    alive_[shard] = false;
+    --active_;
+    if (opt_.strategy == shard_strategy::ring) rebuild_ring();
+}
+
+void shard_map::rebuild_ring() {
+    ring_.clear();
+    ring_.reserve(active_ * opt_.ring_vnodes);
+    for (std::size_t i = 0; i < seeds_.size(); ++i) {
+        if (!alive_[i]) continue;
+        for (std::size_t v = 0; v < opt_.ring_vnodes; ++v)
+            ring_.push_back({weight(0x72696e67ULL + v, seeds_[i]),
+                             static_cast<std::uint32_t>(i)});
+    }
+    std::sort(ring_.begin(), ring_.end(),
+              [](const ring_point& a, const ring_point& b) {
+                  return a.point < b.point ||
+                         (a.point == b.point && a.shard < b.shard);
+              });
+}
+
+}  // namespace qpsa::service

@@ -1,0 +1,121 @@
+#include "qpsa/service/shard_router.hpp"
+
+#include <thread>
+
+namespace qpsa::service {
+
+shard_router::shard_router(router_options opt, plan_cache* cache)
+    : opt_(opt),
+      cache_(cache != nullptr ? cache : &global_plan_cache()),
+      map_(opt.shards, opt.placement) {
+    QPSA_EXPECTS(opt_.shards >= 1);
+    service_options shard_opt = opt_.shard;
+    if (shard_opt.threads == 0) {
+        // Split the machine across shards rather than oversubscribing it
+        // K-fold; a shard always gets at least one worker.
+        const std::size_t hw = std::max<std::size_t>(
+            1, std::thread::hardware_concurrency());
+        shard_opt.threads = std::max<std::size_t>(1, hw / opt_.shards);
+    }
+    shards_.reserve(opt_.shards);
+    for (std::size_t k = 0; k < opt_.shards; ++k)
+        shards_.push_back(
+            std::make_unique<session_manager>(shard_opt, cache_));
+    // Reserved once: ingest() indexes this storage lock-free while
+    // add_session() runs, so it must never reallocate.  The global
+    // ceiling is the sum of the shard ceilings -- adding shards raises
+    // fleet capacity (16 bytes per reserved route).
+    routes_.reserve(opt_.shards * shard_opt.max_sessions);
+}
+
+std::uint64_t shard_router::add_session(session_config cfg) {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    QPSA_EXPECTS(routes_.size() < routes_.capacity());
+    const std::uint64_t global_id = routes_.size();
+    // Topology-independent stream seed: derived from the global id, i.e.
+    // exactly what a single serial manager would assign in the same
+    // admission order (the shard manager keeps a nonzero seed as-is).
+    if (cfg.seed == 0)
+        cfg.seed = util::derive_stream_seed(opt_.shard.base_seed, global_id);
+    const std::size_t shard = map_.shard_for(cfg.patient_id);
+    const std::uint64_t local = shards_[shard]->add_session(std::move(cfg));
+    routes_.push_back({static_cast<std::uint32_t>(shard), local});
+    // Publish after the route is fully written; ingest()/at() pair this
+    // with an acquire load.
+    session_count_.store(routes_.size(), std::memory_order_release);
+    return global_id;
+}
+
+session& shard_router::at(std::uint64_t id) {
+    QPSA_EXPECTS(id < session_count());
+    const route r = routes_[id];
+    return shards_[r.shard]->at(r.local);
+}
+
+const session& shard_router::at(std::uint64_t id) const {
+    QPSA_EXPECTS(id < session_count());
+    const route r = routes_[id];
+    return shards_[r.shard]->at(r.local);
+}
+
+std::size_t shard_router::shard_of(std::uint64_t id) const {
+    QPSA_EXPECTS(id < session_count());
+    return routes_[id].shard;
+}
+
+std::size_t shard_router::pump() {
+    std::size_t windows = 0;
+    for (const auto& shard : shards_) windows += shard->pump();
+    return windows;
+}
+
+std::size_t shard_router::drain_all() {
+    // Shards are independent (no cross-shard sessions), so each one's
+    // own drain loop terminating is fleet-wide termination.
+    std::size_t windows = 0;
+    for (const auto& shard : shards_) windows += shard->drain_all();
+    return windows;
+}
+
+core::system_factory shard_router::factory() {
+    plan_cache* cache = cache_;
+    return [cache](const core::psa_config& cfg) {
+        return cache->system_for(cfg);
+    };
+}
+
+fleet_snapshot shard_router::shard_fleet(std::size_t k) const {
+    QPSA_EXPECTS(k < shards_.size());
+    // Serialized against add_session(): the shard publishes its local
+    // slot before the router publishes the route, so an unsynchronized
+    // snapshot could see a session whose global id does not exist yet.
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    fleet_snapshot snap = shards_[k]->fleet();
+    // Remap the per-session rows from shard-local ids to global ids.
+    // Local ids are dense per shard, so a local -> global table falls
+    // out of one scan over the routes.
+    const std::size_t n = routes_.size();
+    std::vector<std::uint64_t> to_global(shards_[k]->session_count(), 0);
+    for (std::uint64_t g = 0; g < n; ++g) {
+        const route r = routes_[g];
+        if (r.shard == k) to_global[r.local] = g;
+    }
+    for (session_drop_alarm& a : snap.drop_alarms)
+        a.session_id = to_global[a.session_id];
+    for (session_quality& q : snap.quality)
+        q.session_id = to_global[q.session_id];
+    return snap;
+}
+
+fleet_snapshot shard_router::fleet() const {
+    fleet_snapshot merged;
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+        if (k == 0)
+            merged = shard_fleet(0);
+        else
+            merged += shard_fleet(k);
+    }
+    return merged;
+}
+
+}  // namespace qpsa::service

@@ -1,0 +1,125 @@
+// Shard-aware fleet topology: K session_manager shards behind one
+// topology-blind facade.
+//
+// The router partitions patients across K independent shards by
+// consistent hashing on the (first-class) patient_id -- see shard_map --
+// and exposes the same ingest/drain/fleet surface as a single
+// session_manager, so callers never learn the topology.  Each shard owns
+// its own batch_scheduler and worker pool (no cross-shard locks anywhere
+// on the hot path); all shards share one plan_cache and therefore the
+// process-wide twiddle memo, so a 4-shard fleet running the standard
+// mode mix still builds each engine exactly once.
+//
+// Identity:
+//   * session ids are global and dense in admission order -- exactly the
+//     ids a single serial manager would have assigned, so code written
+//     against session_manager ports unchanged;
+//   * per-session stream seeds derive from the *global* id
+//     (util::derive_stream_seed(base_seed, global_id)), so a session's
+//     random stream is identical under any shard count, K = 1 included;
+//   * merged fleet snapshots carry global ids (shard_fleet remaps the
+//     per-shard rows before handing bytes or merges out).
+//
+// Threading contract matches session_manager's: ingest() is lock-free
+// and safe concurrently with add_session() and pump(); pump()/drain_all()
+// may be driven by one thread per shard via shard(k).pump() -- shards
+// never share mutable state, which the tsan suite exercises.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "qpsa/service/session_manager.hpp"
+#include "qpsa/service/shard_map.hpp"
+
+namespace qpsa::service {
+
+struct router_options {
+    /// Shard count (fixed for the router's lifetime; key-movement under
+    /// re-sharding is a shard_map property, exercised in its tests).
+    std::size_t shards = 1;
+    shard_map_options placement;
+
+    /// Per-shard service options.  threads == 0 divides the hardware
+    /// threads evenly across shards (min 1 each) instead of giving every
+    /// shard a full-size pool; max_sessions is the per-shard admission
+    /// ceiling, and the router's global ceiling is shards * max_sessions
+    /// (consistent hashing keeps shard loads near-even, so the fleet
+    /// ceiling is realizable, not just nominal).
+    service_options shard;
+};
+
+class shard_router {
+public:
+    /// `cache == nullptr` uses the process-wide global_plan_cache();
+    /// either way every shard shares the one cache.
+    explicit shard_router(router_options opt = {}, plan_cache* cache = nullptr);
+
+    std::size_t shard_count() const noexcept { return shards_.size(); }
+    session_manager& shard(std::size_t k) { return *shards_[k]; }
+    const session_manager& shard(std::size_t k) const { return *shards_[k]; }
+    const shard_map& placement() const noexcept { return map_; }
+
+    /// Admit a patient on the shard its patient_id hashes to; returns the
+    /// global session id (dense, admission order).  When cfg.seed == 0 a
+    /// stream seed is derived from the global id, so seeds are
+    /// topology-independent.
+    std::uint64_t add_session(session_config cfg);
+
+    std::size_t session_count() const noexcept {
+        return session_count_.load(std::memory_order_acquire);
+    }
+    session& at(std::uint64_t id);
+    const session& at(std::uint64_t id) const;
+    /// Shard the session with global id `id` lives on.
+    std::size_t shard_of(std::uint64_t id) const;
+
+    /// Producer-side ingest by global session id (lock-free; forwards to
+    /// the owning shard).  Unknown ids are rejected like a full ring.
+    bool ingest(std::uint64_t id, real beat_time_s, real rr_s) noexcept {
+        if (id >= session_count()) return false;
+        const route r = routes_[id];
+        return shards_[r.shard]->ingest(r.local, beat_time_s, rr_s);
+    }
+
+    /// One scheduler pass per shard; returns windows completed fleet-wide.
+    /// Shards are pumped in sequence here -- a deployment wanting shard
+    /// parallelism drives shard(k).pump() from one thread per shard.
+    std::size_t pump();
+    /// Drain every shard until no session has buffered ingest.
+    std::size_t drain_all();
+
+    /// Engine factory over the shared cache (same as any shard's).
+    core::system_factory factory();
+
+    /// One shard's snapshot with session ids remapped to global ids --
+    /// the unit of cross-process transport (serialize this, ship it,
+    /// deserialize and operator+= on the aggregator).
+    fleet_snapshot shard_fleet(std::size_t k) const;
+    /// Merged deployment view: shard_fleet(0) += ... += shard_fleet(K-1).
+    fleet_snapshot fleet() const;
+
+    plan_cache_stats cache_stats() const { return cache_->stats(); }
+
+private:
+    struct route {
+        std::uint32_t shard = 0;
+        std::uint64_t local = 0;  ///< dense id inside the owning shard
+    };
+
+    router_options opt_;
+    plan_cache* cache_;
+    shard_map map_;
+    std::vector<std::unique_ptr<session_manager>> shards_;
+    /// Serializes add_session() and the snapshot id remapping (fleet
+    /// reads must not observe a shard-published session whose global
+    /// route is not out yet).
+    mutable std::mutex admit_mu_;
+    std::vector<route> routes_;         ///< reserved, no realloc
+    std::atomic<std::size_t> session_count_{0};  ///< published size
+};
+
+}  // namespace qpsa::service

@@ -1,0 +1,251 @@
+// fleet_snapshot binary wire format (fleet_stats.hpp declares the API).
+//
+// Layout (all integers little-endian, doubles as raw IEEE-754 bits):
+//
+//   u32  magic "QPFS"
+//   u16  version (fleet_wire_version)
+//   u16  engine-kind slot count at serialization time
+//   u64  windows, beats, arrhythmia_windows
+//   energy totals: u64 windows; 8 x u64 op counts (adds, muls, divs,
+//        sqrts, cmps, trigs, loads, stores); f64 cycles, time_nominal_s,
+//        energy_nominal_j, energy_vfs_j
+//   per-engine tallies: slot-count x { u64 windows, u64 beats, f64 energy }
+//   u64  beats_dropped, beats_rejected, beats_overwritten
+//   drop alarms: u64 n; n x { u64 session_id, dropped, rejected,
+//        overwritten }
+//   u64  mode_switches; f64 battery_fraction_min
+//   quality rows: u64 n; n x { u64 session_id, u64 mode_switches,
+//        u8 current_mode, f64 battery_fraction }
+//   f64  lf_sum, hf_sum, ratio_sum
+//
+// A snapshot serialized by a build with fewer engine kinds than the
+// reader loads into the wider table (new kinds tally zero); one with
+// more kinds than the reader knows is rejected -- the reader cannot
+// represent those rows losslessly.
+#include <bit>
+#include <cstring>
+
+#include "qpsa/service/fleet_stats.hpp"
+
+namespace qpsa::service {
+
+namespace {
+
+constexpr std::uint32_t wire_magic = 0x53465051;  // "QPFS" little-endian
+
+class writer {
+public:
+    explicit writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+    void u8(std::uint8_t v) { out_.push_back(v); }
+    void u16(std::uint16_t v) { raw(v); }
+    void u32(std::uint32_t v) { raw(v); }
+    void u64(std::uint64_t v) { raw(v); }
+    void f64(double v) { raw(std::bit_cast<std::uint64_t>(v)); }
+
+private:
+    template <typename T>
+    void raw(T v) {
+        for (std::size_t i = 0; i < sizeof(T); ++i)
+            out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    std::vector<std::uint8_t>& out_;
+};
+
+class reader {
+public:
+    explicit reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+    std::uint8_t u8() { return take<std::uint8_t>(); }
+    std::uint16_t u16() { return take<std::uint16_t>(); }
+    std::uint32_t u32() { return take<std::uint32_t>(); }
+    std::uint64_t u64() { return take<std::uint64_t>(); }
+    double f64() { return std::bit_cast<double>(take<std::uint64_t>()); }
+
+    /// Guard for vector counts: each entry needs at least
+    /// `entry_bytes`, so a count the remaining payload cannot hold is
+    /// corruption, not a huge allocation request.
+    std::uint64_t count(std::size_t entry_bytes) {
+        const std::uint64_t n = u64();
+        if (entry_bytes != 0 && n > remaining() / entry_bytes)
+            throw wire_error("fleet_snapshot wire: element count exceeds payload");
+        return n;
+    }
+
+    std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+
+    void expect_exhausted() const {
+        if (pos_ != bytes_.size())
+            throw wire_error("fleet_snapshot wire: trailing bytes");
+    }
+
+private:
+    template <typename T>
+    T take() {
+        if (bytes_.size() - pos_ < sizeof(T))
+            throw wire_error("fleet_snapshot wire: truncated payload");
+        T v{};
+        for (std::size_t i = 0; i < sizeof(T); ++i)
+            v = static_cast<T>(v | (static_cast<T>(bytes_[pos_ + i]) << (8 * i)));
+        pos_ += sizeof(T);
+        return v;
+    }
+
+    std::span<const std::uint8_t> bytes_;
+    std::size_t pos_ = 0;
+};
+
+void write_ops(writer& w, const counting::op_counts& ops) {
+    w.u64(ops.adds);
+    w.u64(ops.muls);
+    w.u64(ops.divs);
+    w.u64(ops.sqrts);
+    w.u64(ops.cmps);
+    w.u64(ops.trigs);
+    w.u64(ops.loads);
+    w.u64(ops.stores);
+}
+
+counting::op_counts read_ops(reader& r) {
+    counting::op_counts ops;
+    ops.adds = r.u64();
+    ops.muls = r.u64();
+    ops.divs = r.u64();
+    ops.sqrts = r.u64();
+    ops.cmps = r.u64();
+    ops.trigs = r.u64();
+    ops.loads = r.u64();
+    ops.stores = r.u64();
+    return ops;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> fleet_snapshot::serialize() const {
+    std::vector<std::uint8_t> out;
+    // Header + scalars + typical alarm/quality payloads fit well under
+    // this for fleets of a few hundred sessions; one reserve avoids the
+    // doubling churn.
+    out.reserve(256 + 37 * drop_alarms.size() + 25 * quality.size());
+    writer w(out);
+
+    w.u32(wire_magic);
+    w.u16(fleet_wire_version);
+    w.u16(static_cast<std::uint16_t>(core::engine_class_count));
+
+    w.u64(windows);
+    w.u64(beats);
+    w.u64(arrhythmia_windows);
+
+    w.u64(energy.windows);
+    write_ops(w, energy.ops);
+    w.f64(energy.cycles);
+    w.f64(energy.time_nominal_s);
+    w.f64(energy.energy_nominal_j);
+    w.f64(energy.energy_vfs_j);
+
+    for (const engine_tally& tally : by_engine) {
+        w.u64(tally.windows);
+        w.u64(tally.beats);
+        w.f64(tally.energy_nominal_j);
+    }
+
+    w.u64(beats_dropped);
+    w.u64(beats_rejected);
+    w.u64(beats_overwritten);
+    w.u64(drop_alarms.size());
+    for (const session_drop_alarm& a : drop_alarms) {
+        w.u64(a.session_id);
+        w.u64(a.dropped);
+        w.u64(a.rejected);
+        w.u64(a.overwritten);
+    }
+
+    w.u64(mode_switches);
+    w.f64(battery_fraction_min);
+    w.u64(quality.size());
+    for (const session_quality& q : quality) {
+        w.u64(q.session_id);
+        w.u64(q.mode_switches);
+        w.u8(static_cast<std::uint8_t>(q.current_mode));
+        w.f64(q.battery_fraction);
+    }
+
+    w.f64(lf_sum);
+    w.f64(hf_sum);
+    w.f64(ratio_sum);
+    return out;
+}
+
+fleet_snapshot fleet_snapshot::deserialize(
+    std::span<const std::uint8_t> bytes) {
+    reader r(bytes);
+
+    if (r.u32() != wire_magic)
+        throw wire_error("fleet_snapshot wire: bad magic");
+    const std::uint16_t version = r.u16();
+    if (version != fleet_wire_version)
+        throw wire_error("fleet_snapshot wire: unknown version " +
+                         std::to_string(version));
+    const std::uint16_t kinds = r.u16();
+    if (kinds > core::engine_class_count)
+        throw wire_error(
+            "fleet_snapshot wire: snapshot carries " + std::to_string(kinds) +
+            " engine kinds, this build knows " +
+            std::to_string(core::engine_class_count));
+
+    fleet_snapshot snap;
+    snap.windows = r.u64();
+    snap.beats = r.u64();
+    snap.arrhythmia_windows = r.u64();
+
+    snap.energy.windows = r.u64();
+    snap.energy.ops = read_ops(r);
+    snap.energy.cycles = r.f64();
+    snap.energy.time_nominal_s = r.f64();
+    snap.energy.energy_nominal_j = r.f64();
+    snap.energy.energy_vfs_j = r.f64();
+
+    for (std::uint16_t i = 0; i < kinds; ++i) {
+        engine_tally& tally = snap.by_engine[i];
+        tally.windows = r.u64();
+        tally.beats = r.u64();
+        tally.energy_nominal_j = r.f64();
+    }
+
+    snap.beats_dropped = r.u64();
+    snap.beats_rejected = r.u64();
+    snap.beats_overwritten = r.u64();
+    const std::uint64_t n_alarms = r.count(4 * sizeof(std::uint64_t));
+    snap.drop_alarms.resize(n_alarms);
+    for (session_drop_alarm& a : snap.drop_alarms) {
+        a.session_id = r.u64();
+        a.dropped = r.u64();
+        a.rejected = r.u64();
+        a.overwritten = r.u64();
+    }
+
+    snap.mode_switches = r.u64();
+    snap.battery_fraction_min = r.f64();
+    const std::uint64_t n_quality = r.count(3 * sizeof(std::uint64_t) + 1);
+    snap.quality.resize(n_quality);
+    for (session_quality& q : snap.quality) {
+        q.session_id = r.u64();
+        q.mode_switches = r.u64();
+        const std::uint8_t mode = r.u8();
+        if (mode >= core::engine_class_count)
+            throw wire_error("fleet_snapshot wire: invalid engine class " +
+                             std::to_string(mode));
+        q.current_mode = static_cast<core::engine_class>(mode);
+        q.battery_fraction = r.f64();
+    }
+
+    snap.lf_sum = r.f64();
+    snap.hf_sum = r.f64();
+    snap.ratio_sum = r.f64();
+    r.expect_exhausted();
+    return snap;
+}
+
+}  // namespace qpsa::service

@@ -15,6 +15,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace qpsa {
@@ -72,6 +73,18 @@ constexpr std::size_t next_pow2(std::size_t n) noexcept {
     std::size_t p = 1;
     while (p < n) p <<= 1;
     return p;
+}
+
+/// Process- and platform-stable 64-bit FNV-1a over bytes.  Used wherever
+/// a hash must agree across processes (consistent-hash shard placement,
+/// wire formats) -- std::hash makes no such guarantee.
+constexpr std::uint64_t stable_hash64(std::string_view s) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
 }
 
 /// Euclidean modulo that is non-negative for negative arguments.

@@ -28,6 +28,7 @@ std::vector<qcore::psa_config> all_kinds() {
         qcore::psa_config::burg_ar(),
         qcore::psa_config::direct_lomb(),
         qcore::psa_config::resampled(),
+        qcore::psa_config::welch(),
     };
 }
 
@@ -64,7 +65,9 @@ TEST(EngineSpecTest, KeysDistinguishAllEngineKinds) {
                     .engine_key());
     keys.insert(qcore::psa_config::burg_ar(/*order=*/24).engine_key());
     keys.insert(qcore::psa_config::conventional(256).engine_key());
-    EXPECT_EQ(keys.size(), all_kinds().size() + 3);
+    keys.insert(
+        qcore::psa_config::welch(4.0, /*segment_seconds=*/40.0).engine_key());
+    EXPECT_EQ(keys.size(), all_kinds().size() + 4);
 }
 
 TEST(EngineSpecTest, EquivalentConfigsShareAKey) {
@@ -85,7 +88,7 @@ TEST(EngineSpecTest, ClassificationCoversEveryKind) {
         qcore::engine_class::conventional, qcore::engine_class::wavelet,
         qcore::engine_class::fixed_q15,    qcore::engine_class::fixed_q31,
         qcore::engine_class::burg,         qcore::engine_class::direct_lomb,
-        qcore::engine_class::resampled,
+        qcore::engine_class::resampled,    qcore::engine_class::welch,
     };
     for (std::size_t i = 0; i < cfgs.size(); ++i) {
         EXPECT_EQ(cfgs[i].kind(), want[i]) << cfgs[i].describe();
@@ -142,7 +145,8 @@ TEST(WholeWindowEngineTest, EstimatorsCountOperations) {
     tone_window(t, x);
     for (const auto& cfg : {qcore::psa_config::burg_ar(),
                             qcore::psa_config::direct_lomb(),
-                            qcore::psa_config::resampled()}) {
+                            qcore::psa_config::resampled(),
+                            qcore::psa_config::welch()}) {
         const qcore::psa_system sys(cfg);
         qpsa::lomb::lomb_breakdown bd;
         (void)sys.analyze_window(t, x, &bd);

@@ -650,6 +650,70 @@ TEST(FleetStatsTest, IngestDropsSurfaceInSnapshot) {
     EXPECT_EQ(mgr.at(quiet).beats_dropped(), 0u);
 }
 
+TEST(FleetStatsTest, HighWaterCallbackFiresOncePerEpisode) {
+    qs::plan_cache cache;
+    qs::session_manager mgr({}, &cache);
+    auto cfg = patient_session(qp::cohort::healthy, 0,
+                               qcore::psa_config::conventional());
+    cfg.ingest_capacity = 8;
+    cfg.high_water_fraction = 0.5;  // alarm at 4 buffered beats
+    std::vector<std::pair<std::size_t, std::size_t>> alarms;
+    cfg.on_high_water = [&alarms](std::uint64_t, std::size_t buffered,
+                                  std::size_t capacity) {
+        alarms.emplace_back(buffered, capacity);
+    };
+    const auto id = mgr.add_session(std::move(cfg));
+
+    // Below the mark: no alarm.
+    for (int i = 0; i < 3; ++i) mgr.ingest(id, 1.0 + 0.8 * i, 0.8);
+    EXPECT_TRUE(alarms.empty());
+
+    // Crossing beat fires exactly once, further beats stay silent even
+    // as the ring fills to rejection.
+    for (int i = 3; i < 12; ++i) mgr.ingest(id, 1.0 + 0.8 * i, 0.8);
+    ASSERT_EQ(alarms.size(), 1u);
+    EXPECT_EQ(alarms[0].first, 4u);
+    EXPECT_EQ(alarms[0].second, 8u);
+    EXPECT_EQ(mgr.at(id).high_water_alarms(), 1u);
+
+    // Draining below the mark re-arms; the next crossing fires again.
+    mgr.drain_all();
+    for (int i = 12; i < 20; ++i) mgr.ingest(id, 1.0 + 0.8 * i, 0.8);
+    EXPECT_EQ(alarms.size(), 2u);
+    EXPECT_EQ(mgr.at(id).high_water_alarms(), 2u);
+    mgr.drain_all();
+}
+
+TEST(FleetStatsTest, HighWaterCallbackShedsLoadBeforeRejection) {
+    // The intended deployment shape: the ingest edge pumps on the alarm
+    // instead of waiting for the ring to reject beats.
+    qs::plan_cache cache;
+    qs::session_manager mgr({}, &cache);
+    auto cfg = patient_session(qp::cohort::healthy, 0,
+                               qcore::psa_config::conventional());
+    cfg.ingest_capacity = 64;
+    cfg.high_water_fraction = 0.75;
+    std::atomic<bool> shed{false};
+    cfg.on_high_water = [&shed](std::uint64_t, std::size_t, std::size_t) {
+        shed.store(true, std::memory_order_release);
+    };
+    const auto id = mgr.add_session(std::move(cfg));
+
+    const auto rec = qp::record_for(
+        qp::make_patient(qp::cohort::healthy, 0), 600.0);
+    for (std::size_t b = 0; b < rec.beats(); ++b) {
+        ASSERT_TRUE(mgr.ingest(id, rec.beat_time_s[b], rec.rr_s[b]));
+        if (shed.exchange(false, std::memory_order_acq_rel)) mgr.pump();
+    }
+    mgr.drain_all();
+
+    // Backpressure was exercised, and because the edge reacted to it the
+    // ring never had to reject or evict a single beat.
+    EXPECT_GT(mgr.at(id).high_water_alarms(), 0u);
+    EXPECT_EQ(mgr.at(id).beats_dropped(), 0u);
+    EXPECT_EQ(mgr.fleet().beats_dropped, 0u);
+}
+
 // ------------------------------------------------- overwrite-oldest mode
 
 TEST(FleetStatsTest, OverwrittenBeatsSurfaceInSnapshot) {
@@ -1000,4 +1064,36 @@ TEST(RandomStreamTest, DerivedSeedsAreStableAndDistinct) {
     auto r1 = a.at(ida).make_rng(7);
     auto r2 = a.at(ida).make_rng(7);
     EXPECT_EQ(r1.uniform(0.0, 1.0), r2.uniform(0.0, 1.0));
+}
+
+TEST(RandomStreamTest, StreamOffsetPartitionsOneSeedSpace) {
+    // Two standalone managers with disjoint stream_offset ranges assign
+    // exactly the seeds one big manager would: the composition contract
+    // that lets K managers share a base seed without a router.
+    qs::plan_cache cache;
+    const auto cfg = [](unsigned i) {
+        qs::session_config c;
+        // Built in two steps: GCC 12's -Wrestrict misfires on the
+        // one-line "p" + std::to_string(i) concatenation under -O2.
+        c.patient_id = "p";
+        c.patient_id += std::to_string(i);
+        c.analysis = qcore::psa_config::conventional();
+        c.monitor = paper_monitor();
+        return c;
+    };
+    qs::session_manager whole({}, &cache);
+    for (unsigned i = 0; i < 6; ++i) whole.add_session(cfg(i));
+
+    qs::service_options lo_opt;
+    qs::service_options hi_opt;
+    hi_opt.stream_offset = 3;
+    qs::session_manager lo(lo_opt, &cache);
+    qs::session_manager hi(hi_opt, &cache);
+    for (unsigned i = 0; i < 3; ++i) lo.add_session(cfg(i));
+    for (unsigned i = 3; i < 6; ++i) hi.add_session(cfg(i));
+
+    for (unsigned i = 0; i < 3; ++i) {
+        EXPECT_EQ(lo.at(i).seed(), whole.at(i).seed());
+        EXPECT_EQ(hi.at(i).seed(), whole.at(3 + i).seed());
+    }
 }

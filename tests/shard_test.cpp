@@ -1,0 +1,498 @@
+// Sharded fleet core tests: consistent-hash placement properties
+// (distribution balance, bounded key movement), the shard_router's
+// topology-blind determinism vs a serial baseline, the fleet_snapshot
+// wire format round trip, and a multi-shard concurrent drain (the tsan
+// job runs this binary).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "qpsa/physio/patients.hpp"
+#include "qpsa/service/service.hpp"
+
+using qpsa::real;
+namespace qcore = qpsa::core;
+namespace qp = qpsa::physio;
+namespace qs = qpsa::service;
+namespace qf = qpsa::wfft;
+namespace qw = qpsa::wavelet;
+
+namespace {
+
+qcore::monitor_options paper_monitor() {
+    qcore::monitor_options opt;
+    opt.window_seconds = 120.0;
+    opt.hop_seconds = 60.0;
+    return opt;
+}
+
+/// The engine mix the sharded fleets run (covers mesh-FFT, fixed-point
+/// and whole-window kinds, including the new Welch estimator).
+std::vector<qcore::psa_config> mode_mix() {
+    return {
+        qcore::psa_config::conventional(),
+        qcore::psa_config::proposed(qf::plan::exact(512, qw::basis::haar)),
+        qcore::psa_config::fixed_wavelet(qcore::fixed_format::q15),
+        qcore::psa_config::burg_ar(),
+        qcore::psa_config::welch(),
+    };
+}
+
+std::vector<qcore::window_report> serial_reports(const qp::rr_record& rec,
+                                                 qcore::psa_config cfg) {
+    qcore::streaming_monitor mon(std::move(cfg), paper_monitor());
+    for (std::size_t i = 0; i < rec.beats(); ++i)
+        mon.push_beat(rec.beat_time_s[i], rec.rr_s[i]);
+    std::vector<qcore::window_report> out;
+    while (auto rep = mon.poll()) out.push_back(*rep);
+    return out;
+}
+
+void expect_reports_identical(std::span<const qcore::window_report> got,
+                              std::span<const qcore::window_report> want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].beats, want[i].beats);
+        EXPECT_EQ(got[i].bands.lf, want[i].bands.lf);
+        EXPECT_EQ(got[i].bands.hf, want[i].bands.hf);
+        EXPECT_EQ(got[i].bands.total, want[i].bands.total);
+        EXPECT_EQ(got[i].ops, want[i].ops);
+    }
+}
+
+std::string patient_name(unsigned i) {
+    return "patient-" + std::to_string(i);
+}
+
+/// Placement census of `keys` synthetic patient ids over the map.
+std::vector<std::size_t> census(const qs::shard_map& map, std::size_t keys) {
+    std::vector<std::size_t> counts(map.slot_count(), 0);
+    for (std::size_t i = 0; i < keys; ++i)
+        ++counts[map.shard_for(patient_name(static_cast<unsigned>(i)))];
+    return counts;
+}
+
+/// A fully populated snapshot exercising every wire field.
+qs::fleet_snapshot fat_snapshot() {
+    qs::fleet_snapshot s;
+    s.windows = 1234;
+    s.beats = 98765;
+    s.arrhythmia_windows = 17;
+    s.energy.windows = 1234;
+    s.energy.ops.adds = 11;
+    s.energy.ops.muls = 22;
+    s.energy.ops.divs = 33;
+    s.energy.ops.sqrts = 44;
+    s.energy.ops.cmps = 55;
+    s.energy.ops.trigs = 66;
+    s.energy.ops.loads = 77;
+    s.energy.ops.stores = 88;
+    s.energy.cycles = 1.25e9;
+    s.energy.time_nominal_s = 0.125;
+    s.energy.energy_nominal_j = 3.0e-3;
+    s.energy.energy_vfs_j = 1.0e-3;
+    for (std::size_t i = 0; i < s.by_engine.size(); ++i) {
+        s.by_engine[i].windows = 10 + i;
+        s.by_engine[i].beats = 100 + i;
+        s.by_engine[i].energy_nominal_j = 1e-4 * static_cast<real>(i + 1);
+    }
+    s.beats_dropped = 3;
+    s.beats_rejected = 2;
+    s.beats_overwritten = 1;
+    s.drop_alarms = {{7, 3, 2, 1}, {12, 0, 5, 0}};
+    s.mode_switches = 9;
+    s.battery_fraction_min = 0.3125;
+    s.quality = {{7, 2, qcore::engine_class::fixed_q15, 0.75},
+                 {12, 1, qcore::engine_class::welch, 0.5}};
+    s.lf_sum = 1.0 / 3.0;  // non-representable decimals: bit-exactness
+    s.hf_sum = 2.0 / 7.0;  // matters, not round-tripping via text
+    s.ratio_sum = 1.0e-17;
+    return s;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- shard_map
+
+TEST(ShardMapTest, RendezvousDistributionIsBalanced) {
+    const qs::shard_map map(8);
+    const auto counts = census(map, 20000);
+    const real mean = 20000.0 / 8.0;
+    for (std::size_t k = 0; k < counts.size(); ++k) {
+        EXPECT_GT(static_cast<real>(counts[k]), 0.8 * mean) << "shard " << k;
+        EXPECT_LT(static_cast<real>(counts[k]), 1.2 * mean) << "shard " << k;
+    }
+}
+
+TEST(ShardMapTest, RingDistributionIsBalanced) {
+    qs::shard_map_options opt;
+    opt.strategy = qs::shard_strategy::ring;
+    opt.ring_vnodes = 256;
+    const qs::shard_map map(8, opt);
+    const auto counts = census(map, 20000);
+    const real mean = 20000.0 / 8.0;
+    // Ring balance is vnode-limited; 256 points per shard keeps every
+    // shard within ~35 % of fair share with high margin.
+    for (std::size_t k = 0; k < counts.size(); ++k) {
+        EXPECT_GT(static_cast<real>(counts[k]), 0.65 * mean) << "shard " << k;
+        EXPECT_LT(static_cast<real>(counts[k]), 1.35 * mean) << "shard " << k;
+    }
+}
+
+TEST(ShardMapTest, AddingAShardMovesOnlyKeysItWins) {
+    for (const auto strategy :
+         {qs::shard_strategy::rendezvous, qs::shard_strategy::ring}) {
+        qs::shard_map_options opt;
+        opt.strategy = strategy;
+        qs::shard_map map(7, opt);
+        constexpr std::size_t keys = 20000;
+
+        std::vector<std::size_t> before(keys);
+        for (std::size_t i = 0; i < keys; ++i)
+            before[i] = map.shard_for(patient_name(static_cast<unsigned>(i)));
+
+        const std::size_t added = map.add_shard();
+        EXPECT_EQ(added, 7u);
+        EXPECT_EQ(map.shard_count(), 8u);
+
+        std::size_t moved = 0;
+        for (std::size_t i = 0; i < keys; ++i) {
+            const std::size_t now =
+                map.shard_for(patient_name(static_cast<unsigned>(i)));
+            if (now != before[i]) {
+                ++moved;
+                // A key only ever moves *to* the new shard.
+                EXPECT_EQ(now, added);
+            }
+        }
+        // Expected movement is 1/8 of the keys; allow 2x as the bound.
+        EXPECT_GT(moved, 0u);
+        EXPECT_LT(static_cast<real>(moved), 2.0 * keys / 8.0)
+            << "strategy " << static_cast<int>(strategy);
+    }
+}
+
+TEST(ShardMapTest, RemovingAShardMovesOnlyItsOwnKeys) {
+    for (const auto strategy :
+         {qs::shard_strategy::rendezvous, qs::shard_strategy::ring}) {
+        qs::shard_map_options opt;
+        opt.strategy = strategy;
+        qs::shard_map map(8, opt);
+        constexpr std::size_t keys = 20000;
+
+        std::vector<std::size_t> before(keys);
+        for (std::size_t i = 0; i < keys; ++i)
+            before[i] = map.shard_for(patient_name(static_cast<unsigned>(i)));
+
+        map.remove_shard(3);
+        EXPECT_EQ(map.shard_count(), 7u);
+        EXPECT_FALSE(map.is_active(3));
+
+        for (std::size_t i = 0; i < keys; ++i) {
+            const std::size_t now =
+                map.shard_for(patient_name(static_cast<unsigned>(i)));
+            EXPECT_NE(now, 3u);
+            // Keys on surviving shards do not move at all.
+            if (before[i] != 3) {
+                EXPECT_EQ(now, before[i]);
+            }
+        }
+    }
+}
+
+TEST(ShardMapTest, PlacementIsAPureFunctionOfIdAndSalt) {
+    const qs::shard_map a(5);
+    const qs::shard_map b(5);
+    for (unsigned i = 0; i < 500; ++i)
+        EXPECT_EQ(a.shard_for(patient_name(i)), b.shard_for(patient_name(i)));
+
+    qs::shard_map_options salted;
+    salted.salt = 0x1234;
+    const qs::shard_map c(5, salted);
+    std::size_t differs = 0;
+    for (unsigned i = 0; i < 500; ++i)
+        if (a.shard_for(patient_name(i)) != c.shard_for(patient_name(i)))
+            ++differs;
+    EXPECT_GT(differs, 0u);
+}
+
+// ---------------------------------------------------------- wire format
+
+TEST(FleetWireTest, RoundTripIsLossless) {
+    const qs::fleet_snapshot snap = fat_snapshot();
+    const std::vector<std::uint8_t> bytes = snap.serialize();
+    const qs::fleet_snapshot back = qs::fleet_snapshot::deserialize(bytes);
+    EXPECT_EQ(back, snap);
+    // Default-constructed snapshots round-trip too (empty vectors).
+    const qs::fleet_snapshot empty;
+    EXPECT_EQ(qs::fleet_snapshot::deserialize(empty.serialize()), empty);
+}
+
+TEST(FleetWireTest, RoundTripIsLosslessUnderMerge) {
+    // serialize -> deserialize -> merge must equal the in-process merge,
+    // bit for bit (the cross-process aggregation path).
+    qs::fleet_snapshot a = fat_snapshot();
+    qs::fleet_snapshot b = fat_snapshot();
+    b.windows = 4321;
+    b.battery_fraction_min = 0.125;
+    b.lf_sum = 5.0 / 11.0;
+    b.quality[0].session_id = 99;
+
+    qs::fleet_snapshot direct = a;
+    direct += b;
+
+    qs::fleet_snapshot wired =
+        qs::fleet_snapshot::deserialize(a.serialize());
+    wired += qs::fleet_snapshot::deserialize(b.serialize());
+    EXPECT_EQ(wired, direct);
+}
+
+TEST(FleetWireTest, MalformedBytesAreRejected) {
+    const qs::fleet_snapshot snap = fat_snapshot();
+    std::vector<std::uint8_t> bytes = snap.serialize();
+
+    // Truncation at every prefix length must throw, never crash or
+    // silently succeed.
+    for (std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{11},
+                            bytes.size() / 2, bytes.size() - 1}) {
+        const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                               bytes.begin() + cut);
+        EXPECT_THROW(qs::fleet_snapshot::deserialize(prefix), qs::wire_error)
+            << "cut " << cut;
+    }
+
+    auto corrupt = bytes;
+    corrupt[0] ^= 0xFF;  // magic
+    EXPECT_THROW(qs::fleet_snapshot::deserialize(corrupt), qs::wire_error);
+
+    corrupt = bytes;
+    corrupt[4] = 0x77;  // version
+    EXPECT_THROW(qs::fleet_snapshot::deserialize(corrupt), qs::wire_error);
+
+    corrupt = bytes;
+    corrupt[6] = 0xFF;  // engine-kind count beyond this build
+    EXPECT_THROW(qs::fleet_snapshot::deserialize(corrupt), qs::wire_error);
+
+    corrupt = bytes;
+    corrupt.push_back(0);  // trailing garbage
+    EXPECT_THROW(qs::fleet_snapshot::deserialize(corrupt), qs::wire_error);
+}
+
+// --------------------------------------------------------- shard_router
+
+namespace {
+
+struct sharded_fixture {
+    std::vector<qp::rr_record> records;
+    std::vector<qcore::psa_config> configs;
+    std::vector<std::vector<qcore::window_report>> serial;
+
+    explicit sharded_fixture(unsigned patients, real seconds = 400.0) {
+        const auto mix = mode_mix();
+        for (unsigned i = 0; i < patients; ++i) {
+            records.push_back(qp::record_for(
+                qp::make_patient(i % 2 == 0 ? qp::cohort::sinus_arrhythmia
+                                            : qp::cohort::healthy,
+                                 i % 64),
+                seconds));
+            configs.push_back(mix[i % mix.size()]);
+            serial.push_back(serial_reports(records.back(), configs.back()));
+        }
+    }
+
+    qs::session_config session(unsigned i) const {
+        qs::session_config cfg;
+        cfg.patient_id = patient_name(i);
+        cfg.analysis = configs[i];
+        cfg.monitor = paper_monitor();
+        cfg.ingest_capacity = 4096;
+        return cfg;
+    }
+};
+
+}  // namespace
+
+TEST(ShardRouterTest, TopologyBlindAndBitIdenticalToSerial) {
+    const sharded_fixture fx(12);
+    qs::plan_cache cache;
+
+    // Serial baseline fleet: one manager, same admission order.
+    qs::service_options serial_opt;
+    qs::session_manager serial_mgr(serial_opt, &cache);
+    for (unsigned i = 0; i < fx.records.size(); ++i)
+        serial_mgr.add_session(fx.session(i));
+
+    qs::router_options opt;
+    opt.shards = 3;
+    qs::shard_router router(opt, &cache);
+    EXPECT_EQ(router.shard_count(), 3u);
+
+    for (unsigned i = 0; i < fx.records.size(); ++i) {
+        const auto id = router.add_session(fx.session(i));
+        EXPECT_EQ(id, i);
+        // Placement agrees with the router's published map.
+        EXPECT_EQ(router.shard_of(id),
+                  router.placement().shard_for(patient_name(i)));
+        // Stream seeds are topology-blind: derived from the global id
+        // exactly as the serial manager derives them.
+        EXPECT_EQ(router.at(id).seed(), serial_mgr.at(id).seed());
+    }
+    // Every shard got someone (12 patients over 3 shards).
+    for (std::size_t k = 0; k < router.shard_count(); ++k)
+        EXPECT_GT(router.shard(k).session_count(), 0u);
+
+    for (unsigned i = 0; i < fx.records.size(); ++i) {
+        const auto& rec = fx.records[i];
+        for (std::size_t b = 0; b < rec.beats(); ++b) {
+            ASSERT_TRUE(router.ingest(i, rec.beat_time_s[b], rec.rr_s[b]));
+            ASSERT_TRUE(serial_mgr.ingest(i, rec.beat_time_s[b], rec.rr_s[b]));
+        }
+    }
+    router.drain_all();
+    serial_mgr.drain_all();
+
+    std::uint64_t serial_windows = 0;
+    for (unsigned i = 0; i < fx.records.size(); ++i) {
+        expect_reports_identical(router.at(i).reports(), fx.serial[i]);
+        serial_windows += fx.serial[i].size();
+    }
+
+    // Merged snapshot counts equal the serial fleet's (sums of reals are
+    // merge-order-dependent in the last bits, so the determinism bar is
+    // per-session reports + integer tallies).
+    const auto merged = router.fleet();
+    const auto want = serial_mgr.fleet();
+    EXPECT_EQ(merged.windows, serial_windows);
+    EXPECT_EQ(merged.windows, want.windows);
+    EXPECT_EQ(merged.beats, want.beats);
+    EXPECT_EQ(merged.arrhythmia_windows, want.arrhythmia_windows);
+    EXPECT_EQ(merged.energy.ops, want.energy.ops);
+    for (std::size_t e = 0; e < merged.by_engine.size(); ++e) {
+        EXPECT_EQ(merged.by_engine[e].windows, want.by_engine[e].windows);
+        EXPECT_EQ(merged.by_engine[e].beats, want.by_engine[e].beats);
+    }
+    // The Welch engine served windows through the fleet.
+    EXPECT_GT(merged.engine(qcore::engine_class::welch).windows, 0u);
+
+    // Per-shard window counts partition the fleet total.
+    std::uint64_t shard_sum = 0;
+    for (std::size_t k = 0; k < router.shard_count(); ++k)
+        shard_sum += router.shard_fleet(k).windows;
+    EXPECT_EQ(shard_sum, merged.windows);
+
+    // All shards shared one plan cache: distinct engines built once.
+    EXPECT_EQ(router.cache_stats().entries, mode_mix().size());
+}
+
+TEST(ShardRouterTest, GlobalCeilingIsTheSumOfShardCeilings) {
+    // Adding shards raises fleet capacity: the router's routing table
+    // holds shards * max_sessions entries, so a fleet can admit more
+    // patients than any single shard's ceiling.
+    qs::router_options opt;
+    opt.shards = 2;
+    opt.shard.max_sessions = 12;
+    qs::plan_cache cache;
+    qs::shard_router router(opt, &cache);
+    for (unsigned i = 0; i < 13; ++i) {
+        qs::session_config cfg;
+        cfg.patient_id = patient_name(i);
+        cfg.analysis = qcore::psa_config::conventional();
+        cfg.monitor = paper_monitor();
+        EXPECT_EQ(router.add_session(std::move(cfg)), i);
+    }
+    EXPECT_EQ(router.session_count(), 13u);
+    EXPECT_EQ(router.shard(0).session_count() +
+                  router.shard(1).session_count(),
+              13u);
+}
+
+TEST(ShardRouterTest, WireRoundTripOfShardSnapshotsEqualsInProcessMerge) {
+    const sharded_fixture fx(8);
+    qs::router_options opt;
+    opt.shards = 4;
+    qs::plan_cache cache;
+    qs::shard_router router(opt, &cache);
+    for (unsigned i = 0; i < fx.records.size(); ++i)
+        router.add_session(fx.session(i));
+    for (unsigned i = 0; i < fx.records.size(); ++i) {
+        const auto& rec = fx.records[i];
+        for (std::size_t b = 0; b < rec.beats(); ++b)
+            ASSERT_TRUE(router.ingest(i, rec.beat_time_s[b], rec.rr_s[b]));
+    }
+    router.drain_all();
+
+    // Ship every shard's snapshot through the wire and merge on the
+    // "aggregator" side; the result must equal the in-process merge
+    // bit for bit, including per-engine tallies and per-session rows.
+    qs::fleet_snapshot wired;
+    for (std::size_t k = 0; k < router.shard_count(); ++k) {
+        const auto bytes = router.shard_fleet(k).serialize();
+        const auto snap = qs::fleet_snapshot::deserialize(bytes);
+        if (k == 0)
+            wired = snap;
+        else
+            wired += snap;
+    }
+    EXPECT_EQ(wired, router.fleet());
+
+    // Global session ids in the remapped rows stay within the global
+    // id space (local ids would collide across shards).
+    for (const auto& q : wired.quality)
+        EXPECT_LT(q.session_id, router.session_count());
+}
+
+TEST(ShardRouterTest, ConcurrentMultiShardDrain) {
+    // One producer thread per patient ingesting while one pumper thread
+    // per shard drains its own shard -- the cross-shard independence
+    // contract under tsan.  A snapshot thread stresses fleet() against
+    // concurrent admission-published state.
+    const sharded_fixture fx(16, 300.0);
+    qs::router_options opt;
+    opt.shards = 4;
+    opt.shard.threads = 1;
+    qs::plan_cache cache;
+    qs::shard_router router(opt, &cache);
+    for (unsigned i = 0; i < fx.records.size(); ++i)
+        router.add_session(fx.session(i));
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> pumpers;
+    for (std::size_t k = 0; k < router.shard_count(); ++k)
+        pumpers.emplace_back([&router, &stop, k] {
+            while (!stop.load(std::memory_order_acquire)) {
+                router.shard(k).pump();
+                std::this_thread::yield();
+            }
+        });
+    std::thread snapshotter([&router, &stop] {
+        while (!stop.load(std::memory_order_acquire)) {
+            const auto snap = router.fleet();
+            (void)snap.windows;
+            std::this_thread::yield();
+        }
+    });
+
+    {
+        std::vector<std::thread> producers;
+        for (unsigned i = 0; i < fx.records.size(); ++i)
+            producers.emplace_back([&router, &fx, i] {
+                const auto& rec = fx.records[i];
+                for (std::size_t b = 0; b < rec.beats(); ++b)
+                    while (!router.ingest(i, rec.beat_time_s[b], rec.rr_s[b]))
+                        std::this_thread::yield();
+            });
+        for (auto& t : producers) t.join();
+    }
+
+    stop.store(true, std::memory_order_release);
+    for (auto& t : pumpers) t.join();
+    snapshotter.join();
+    router.drain_all();
+
+    for (unsigned i = 0; i < fx.records.size(); ++i)
+        expect_reports_identical(router.at(i).reports(), fx.serial[i]);
+}
