@@ -1,9 +1,10 @@
 // Service-layer throughput: concurrent multi-patient HRV analysis.
 //
 // Drives the qpsa::service engine with fleets of 1, 8, 64 and 512
-// simulated patients (physio::patients records) over a six-kind engine
+// simulated patients (physio::patients records) over an eight-kind engine
 // mix (double conventional/wavelet/pruned, Q15 and Q31 fixed point, Burg
-// AR), measures sessions/sec, windows/sec and beats/sec, reports the
+// AR, resampled FFT and Welch), measures sessions/sec, windows/sec and
+// beats/sec, reports the
 // shared plan-cache hit rate, the per-engine-kind window split and the
 // fleet energy roll-up, and verifies that every session's window series
 // is bit-identical (<= 1e-9) to a serial streaming_monitor run of the
@@ -26,15 +27,22 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <sys/resource.h>
+
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <new>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common.hpp"
+#include "qpsa/journal/replay_driver.hpp"
+#include "qpsa/journal/report_reader.hpp"
 #include "qpsa/service/service.hpp"
 #include "qpsa/util/table.hpp"
 
@@ -160,8 +168,10 @@ core::monitor_options paper_monitor() {
 }
 
 /// The standard mode mix a fleet would actually run: the paper's double
-/// pair plus a pruned mode, both fixed-point wordlengths and the Burg AR
-/// baseline -- six engine kinds through one plan cache.
+/// pair plus a pruned mode, both fixed-point wordlengths, the Burg AR
+/// baseline and the two uniform-resampling estimators (arena-threaded
+/// like everything else, so they sit inside the alloc-gated mix) --
+/// eight engine kinds through one plan cache.
 std::vector<core::psa_config> mode_mix() {
     return {
         core::psa_config::conventional(),
@@ -171,6 +181,8 @@ std::vector<core::psa_config> mode_mix() {
         core::psa_config::fixed_wavelet(core::fixed_format::q15),
         core::psa_config::fixed_wavelet(core::fixed_format::q31),
         core::psa_config::burg_ar(),
+        core::psa_config::resampled(),
+        core::psa_config::welch(),
     };
 }
 
@@ -625,6 +637,202 @@ shard_result run_sharded_fleet(const shard_cohort& cohort, unsigned shards) {
     return r;
 }
 
+/// Durability scenario: the cohort again behind a 2-shard router with the
+/// append-only journal attached, against an identical unjournaled run --
+/// the journal's throughput overhead, its bytes/window footprint, and the
+/// two recovery bars (bit-identical rebuild, bit-identical same-spec
+/// replay) in one place.
+struct journal_bench_result {
+    unsigned patients = 0;
+    std::uint64_t windows = 0;
+    double wall_ms = 0.0;
+    /// One-time shutdown cost: footer + final fsync per shard.  Kept out
+    /// of the streaming wall above -- the throughput ratio measures the
+    /// steady-state hot-path overhead, not this filesystem's fsync
+    /// latency (which the fsync cadence amortizes in a real deployment).
+    double close_ms = 0.0;
+    double windows_per_s = 0.0;
+    double unjournaled_windows_per_s = 0.0;
+    /// journaled / unjournaled streaming throughput (CI gates >= 0.95).
+    double throughput_ratio = 1.0;
+    std::uint64_t journal_appends = 0;
+    std::uint64_t journal_bytes = 0;
+    std::uint64_t journal_fsyncs = 0;
+    double bytes_per_window = 0.0;
+    /// rebuild_fleet_snapshot(dir) == the live merged snapshot, bit for
+    /// bit (operator== over every column, double sums included).
+    bool rebuild_identical = false;
+    /// Replaying the journaled beat streams under the original configs
+    /// reproduced every window report bit for bit.
+    bool replay_identical = false;
+};
+
+struct journal_pass_times {
+    double stream_ms = 0.0;  ///< admit + ingest + drain + buffer flush
+    double close_ms = 0.0;   ///< footer + final fsync (zero unjournaled)
+    /// Process CPU time (user + sys, all threads) over the streaming
+    /// phase.  The fleet saturates every core, so journaling overhead
+    /// shows up 1:1 in CPU time -- and unlike wall clock, CPU time is
+    /// immune to the scheduler/steal noise of a shared CI runner.
+    double stream_cpu_ms = 0.0;
+};
+
+double process_cpu_ms() {
+    rusage u{};
+    getrusage(RUSAGE_SELF, &u);
+    const auto tv_ms = [](const timeval& tv) {
+        return static_cast<double>(tv.tv_sec) * 1000.0 +
+               static_cast<double>(tv.tv_usec) / 1000.0;
+    };
+    return tv_ms(u.ru_utime) + tv_ms(u.ru_stime);
+}
+
+/// One streaming pass of the cohort through a 2-shard router; journals to
+/// `dir` when non-empty.  Returns the phase timings and the post-close
+/// snapshot.
+journal_pass_times journal_pass(const shard_cohort& cohort,
+                                const std::string& dir,
+                                service::fleet_snapshot& live_out) {
+    const auto n_patients = static_cast<unsigned>(cohort.records.size());
+    service::router_options opt;
+    opt.shards = 2;
+    opt.shard.vfs_deadline_s = paper_monitor().hop_seconds;
+    opt.journal_dir = dir;
+    service::plan_cache cache;
+    service::shard_router router(opt, &cache);
+
+    const double cpu0 = process_cpu_ms();
+    const auto t0 = clock_type::now();
+    for (unsigned i = 0; i < n_patients; ++i) {
+        service::session_config cfg;
+        cfg.patient_id = "journal-patient-" + std::to_string(i);
+        cfg.analysis = cohort.configs[i];
+        cfg.monitor = paper_monitor();
+        // Rebuild equality requires a drop-free run (the drain-side log
+        // cannot see the ingest edge): size the rings for the whole record.
+        cfg.ingest_capacity = 4096;
+        router.add_session(std::move(cfg));
+    }
+    constexpr std::size_t chunk = 256;
+    std::size_t step = 0;
+    bool remaining = true;
+    while (remaining) {
+        remaining = false;
+        for (unsigned i = 0; i < n_patients; ++i) {
+            const auto& rec = cohort.records[i];
+            const std::size_t begin = std::min(step * chunk, rec.beats());
+            const std::size_t end = std::min(begin + chunk, rec.beats());
+            for (std::size_t b = begin; b < end; ++b)
+                while (!router.ingest(i, rec.beat_time_s[b], rec.rr_s[b]))
+                    router.pump();
+            if (end < rec.beats()) remaining = true;
+        }
+        ++step;
+        router.pump();
+    }
+    router.drain_all();
+    router.flush_journals(false);
+    const auto t1 = clock_type::now();
+    const double cpu1 = process_cpu_ms();
+    router.close_journals();
+    const auto t2 = clock_type::now();
+    live_out = router.fleet();
+    const auto ms = [](auto a, auto b) {
+        return std::chrono::duration_cast<
+                   std::chrono::duration<double, std::milli>>(b - a)
+            .count();
+    };
+    return {ms(t0, t1), ms(t1, t2), cpu1 - cpu0};
+}
+
+journal_bench_result run_journaled_fleet(const shard_cohort& cohort) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "qpsa-bench-journal";
+    fs::remove_all(dir);
+
+    journal_bench_result r;
+    r.patients = static_cast<unsigned>(cohort.records.size());
+
+    // Six ABBA groups (plain, journaled, journaled, plain), ratio taken
+    // on process CPU time from the *quietest* group.  Both arms are
+    // deterministic in their results, so timing differences are noise --
+    // a shared CI runner drifts by ~10% over the seconds a pass takes
+    // (whichever arm ran second in a plain pair measured ~5% slower with
+    // a *no-op* writer, more than the journaling cost itself).  The fleet
+    // saturates every core, so real overhead shows up 1:1 in CPU time,
+    // which scheduler/steal noise cannot inflate -- but memory-stall
+    // noise from neighbor tenants still can.  In a quiet window all four
+    // passes agree to ~1%, so the group with the smallest internal
+    // spread is the measurement taken when the machine was actually
+    // still; its ratio is the honest estimate of the true overhead.
+    // Adaptive: groups are sampled (at least three, at most twelve) until
+    // one lands in a window quiet enough that all four passes agree to
+    // ~1% -- there the ratio is within ~1% of the truth, which is what
+    // lets a >= 0.95 gate separate a real 5% regression from noise.
+    service::fleet_snapshot unjournaled, live;
+    double plain_ms = std::numeric_limits<double>::infinity();
+    r.wall_ms = std::numeric_limits<double>::infinity();
+    double best_spread = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 12 && !(rep >= 3 && best_spread <= 1.01);
+         ++rep) {
+        const auto p1 = journal_pass(cohort, "", unjournaled);
+        const auto j1 = journal_pass(cohort, dir.string(), live);
+        const auto j2 = journal_pass(cohort, dir.string(), live);
+        const auto p2 = journal_pass(cohort, "", unjournaled);
+        const std::array<double, 4> cpu = {p1.stream_cpu_ms, j1.stream_cpu_ms,
+                                           j2.stream_cpu_ms, p2.stream_cpu_ms};
+        const auto [mn, mx] = std::minmax_element(cpu.begin(), cpu.end());
+        const double spread = *mx / *mn;
+        if (spread < best_spread) {
+            best_spread = spread;
+            r.throughput_ratio = (p1.stream_cpu_ms + p2.stream_cpu_ms) /
+                                 (j1.stream_cpu_ms + j2.stream_cpu_ms);
+        }
+        plain_ms = std::min({plain_ms, p1.stream_ms, p2.stream_ms});
+        r.wall_ms = std::min({r.wall_ms, j1.stream_ms, j2.stream_ms});
+        r.close_ms = j2.close_ms;
+    }
+    r.unjournaled_windows_per_s =
+        static_cast<double>(unjournaled.windows) / (plain_ms / 1000.0);
+    r.windows = live.windows;
+    r.windows_per_s = static_cast<double>(live.windows) / (r.wall_ms / 1000.0);
+    r.journal_appends = live.journal_appends;
+    r.journal_bytes = live.journal_bytes;
+    r.journal_fsyncs = live.journal_fsyncs;
+    r.bytes_per_window =
+        live.windows > 0
+            ? static_cast<double>(live.journal_bytes) /
+                  static_cast<double>(live.windows)
+            : 0.0;
+
+    // Recovery bar 1 (untimed): scanning the on-disk logs reconstructs
+    // the live merged snapshot bit for bit.
+    const auto rebuilt = journal::rebuild_fleet_snapshot(dir.string());
+    r.rebuild_identical = rebuilt == live;
+
+    // Recovery bar 2: replaying the journaled beat streams under the
+    // original per-patient configs reproduces every report bit for bit.
+    std::unordered_map<std::string, const core::psa_config*> by_patient;
+    for (unsigned i = 0; i < r.patients; ++i)
+        by_patient["journal-patient-" + std::to_string(i)] =
+            &cohort.configs[i];
+    const journal::replay_driver driver(dir.string());
+    const journal::replay_result replay = driver.run(
+        [&by_patient](const journal::session_meta& meta) {
+            service::session_config cfg;
+            cfg.patient_id = meta.patient_id;
+            cfg.analysis = *by_patient.at(meta.patient_id);
+            cfg.monitor = meta.monitor;
+            cfg.ingest_capacity = 4096;
+            return cfg;
+        });
+    r.replay_identical =
+        replay.all_identical && replay.windows == live.windows;
+
+    fs::remove_all(dir);
+    return r;
+}
+
 /// Crude field scraper for the committed BENCH_service.json: finds the
 /// fleet object for `patients` and pulls two numeric fields.  Tolerant of
 /// missing files/fields (returns found = false / -1).
@@ -799,6 +1007,28 @@ int main() {
               << "bit-identical to serial baseline, wire round trip "
               << "lossless (see flags above)\n";
 
+    // Durable journal: the same cohort behind a 2-shard router with the
+    // append-only report log attached, vs an identical unjournaled run.
+    util::print_section(std::cout,
+                        "Durable journal -- 512 patients, K = 2 shards, "
+                        "append-only log + crash-recovery rebuild + replay");
+    const auto jr = run_journaled_fleet(cohort);
+    std::cout << "windows/s: " << util::table::fmt(jr.unjournaled_windows_per_s, 1)
+              << " unjournaled -> " << util::table::fmt(jr.windows_per_s, 1)
+              << " journaled (cpu-time ratio "
+              << util::table::fmt(jr.throughput_ratio, 3) << "), close+fsync "
+              << util::table::fmt(jr.close_ms, 1) << " ms\n"
+              << "journal: " << jr.journal_appends << " records, "
+              << jr.journal_bytes << " bytes ("
+              << util::table::fmt(jr.bytes_per_window, 1)
+              << " bytes/window), " << jr.journal_fsyncs << " fsyncs\n"
+              << "recovery: rebuild "
+              << (jr.rebuild_identical ? "bit-identical" : "MISMATCH")
+              << ", same-spec replay "
+              << (jr.replay_identical ? "bit-identical" : "MISMATCH") << "\n";
+    all_identical =
+        all_identical && jr.rebuild_identical && jr.replay_identical;
+
     std::ofstream json("BENCH_service.json");
     json << "{\n  \"bench\": \"service_throughput\",\n  \"record_seconds\": "
          << record_seconds << ",\n  \"workers\": " << results.front().workers
@@ -856,7 +1086,23 @@ int main() {
             json << (k ? ", " : "") << r.per_shard_windows_per_s[k];
         json << "]}" << (i + 1 < sharded.size() ? "," : "") << "\n";
     }
-    json << "  ],\n  \"governed\": {\"patients\": " << governed.patients
+    json << "  ],\n  \"journal\": {\"patients\": " << jr.patients
+         << ", \"shards\": 2"
+         << ", \"windows\": " << jr.windows
+         << ", \"wall_ms\": " << jr.wall_ms
+         << ", \"close_ms\": " << jr.close_ms
+         << ", \"windows_per_s\": " << jr.windows_per_s
+         << ", \"unjournaled_windows_per_s\": " << jr.unjournaled_windows_per_s
+         << ", \"throughput_ratio\": " << jr.throughput_ratio
+         << ", \"journal_appends\": " << jr.journal_appends
+         << ", \"journal_bytes\": " << jr.journal_bytes
+         << ", \"journal_fsyncs\": " << jr.journal_fsyncs
+         << ", \"bytes_per_window\": " << jr.bytes_per_window
+         << ", \"rebuild_identical\": "
+         << (jr.rebuild_identical ? "true" : "false")
+         << ", \"replay_identical\": "
+         << (jr.replay_identical ? "true" : "false") << "},\n";
+    json << "  \"governed\": {\"patients\": " << governed.patients
          << ", \"windows\": " << governed.windows
          << ", \"mode_switches\": " << governed.mode_switches
          << ", \"ladder_complete\": "

@@ -20,6 +20,8 @@ struct monitor_options {
     real hop_seconds = 60.0;       ///< 50 % overlap of the paper
     std::size_t min_beats = 32;
     std::size_t history_limit = 256;  ///< retained window results
+
+    bool operator==(const monitor_options&) const = default;
 };
 
 /// Result of one completed analysis window.
@@ -34,6 +36,10 @@ struct window_report {
     engine_class engine = engine_class::conventional;
 
     real ratio() const { return bands.lf_hf_ratio(); }
+
+    /// Bitwise-exact field comparison -- what "deterministic replay"
+    /// means throughout the service and journal layers.
+    bool operator==(const window_report&) const = default;
 };
 
 /// Builds (or fetches from a cache) the analysis system for a config.

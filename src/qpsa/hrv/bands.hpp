@@ -41,6 +41,8 @@ struct band_powers {
         const real den = lf + hf;
         return den > 0.0 ? hf / den : 0.0;
     }
+
+    bool operator==(const band_powers&) const = default;
 };
 
 /// Integrate band powers from a sampled spectrum.

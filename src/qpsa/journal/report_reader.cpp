@@ -1,0 +1,336 @@
+#include "qpsa/journal/report_reader.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <filesystem>
+#include <fstream>
+#include <unordered_map>
+
+#include "qpsa/util/crc32.hpp"
+
+namespace qpsa::journal {
+
+using service::wire_error;
+
+namespace {
+
+/// Bounds-checked little-endian field decoder (truncation inside a
+/// CRC-valid record is corruption the checksum cannot see -- reject it).
+class cursor {
+public:
+    explicit cursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+    std::uint8_t u8() { return take<std::uint8_t>(); }
+    std::uint16_t u16() { return take<std::uint16_t>(); }
+    std::uint32_t u32() { return take<std::uint32_t>(); }
+    std::uint64_t u64() { return take<std::uint64_t>(); }
+    double f64() { return std::bit_cast<double>(take<std::uint64_t>()); }
+
+    std::span<const std::uint8_t> bytes(std::size_t n) {
+        if (bytes_.size() - pos_ < n)
+            throw wire_error("journal: truncated record body");
+        const auto s = bytes_.subspan(pos_, n);
+        pos_ += n;
+        return s;
+    }
+
+    std::span<const std::uint8_t> rest() {
+        const auto s = bytes_.subspan(pos_);
+        pos_ = bytes_.size();
+        return s;
+    }
+
+    void expect_exhausted() const {
+        if (pos_ != bytes_.size())
+            throw wire_error("journal: trailing bytes in record body");
+    }
+
+private:
+    template <typename T>
+    T take() {
+        if (bytes_.size() - pos_ < sizeof(T))
+            throw wire_error("journal: truncated record body");
+        T v{};
+        for (std::size_t i = 0; i < sizeof(T); ++i)
+            v = static_cast<T>(v | (static_cast<T>(bytes_[pos_ + i]) << (8 * i)));
+        pos_ += sizeof(T);
+        return v;
+    }
+
+    std::span<const std::uint8_t> bytes_;
+    std::size_t pos_ = 0;
+};
+
+counting::op_counts read_ops(cursor& c) {
+    counting::op_counts ops;
+    ops.adds = c.u64();
+    ops.muls = c.u64();
+    ops.divs = c.u64();
+    ops.sqrts = c.u64();
+    ops.cmps = c.u64();
+    ops.trigs = c.u64();
+    ops.loads = c.u64();
+    ops.stores = c.u64();
+    return ops;
+}
+
+core::engine_class read_engine_class(cursor& c) {
+    const std::uint8_t v = c.u8();
+    if (v >= core::engine_class_count)
+        throw wire_error("journal: invalid engine class " + std::to_string(v));
+    return static_cast<core::engine_class>(v);
+}
+
+session_meta decode_session_meta(cursor c) {
+    session_meta m;
+    m.session_id = c.u64();
+    m.seed = c.u64();
+    m.monitor.window_seconds = c.f64();
+    m.monitor.hop_seconds = c.f64();
+    m.monitor.min_beats = c.u64();
+    m.monitor.history_limit = c.u64();
+    const std::uint8_t governed = c.u8();
+    if (governed > 1)
+        throw wire_error("journal: invalid governed flag");
+    m.governed = governed != 0;
+    m.initial_mode = read_engine_class(c);
+    const std::uint16_t len = c.u16();
+    const auto id = c.bytes(len);
+    m.patient_id.assign(reinterpret_cast<const char*>(id.data()), id.size());
+    c.expect_exhausted();
+    return m;
+}
+
+beat_event decode_beat(cursor c) {
+    beat_event b;
+    b.session_id = c.u64();
+    b.beat_time_s = c.f64();
+    b.rr_s = c.f64();
+    c.expect_exhausted();
+    return b;
+}
+
+report_event decode_report(cursor c) {
+    report_event ev;
+    ev.session_id = c.u64();
+    ev.report.t_start = c.f64();
+    ev.report.t_end = c.f64();
+    ev.report.bands.ulf = c.f64();
+    ev.report.bands.lf = c.f64();
+    ev.report.bands.hf = c.f64();
+    ev.report.bands.total = c.f64();
+    const std::uint8_t diag = c.u8();
+    if (diag > static_cast<std::uint8_t>(hrv::diagnosis::normal))
+        throw wire_error("journal: invalid diagnosis " + std::to_string(diag));
+    ev.report.diagnosis = static_cast<hrv::diagnosis>(diag);
+    ev.report.ops = read_ops(c);
+    ev.report.beats = c.u64();
+    ev.report.engine = read_engine_class(c);
+    ev.battery_fraction = c.f64();
+    ev.mode_switches = c.u64();
+    ev.mode_after = read_engine_class(c);
+    c.expect_exhausted();
+    return ev;
+}
+
+journal_footer decode_footer(cursor c) {
+    journal_footer f;
+    f.records = c.u64();
+    f.bytes = c.u64();
+    f.fsyncs = c.u64();
+    c.expect_exhausted();
+    return f;
+}
+
+}  // namespace
+
+journal_scan scan_journal_bytes(std::span<const std::uint8_t> bytes) {
+    journal_scan scan;
+    if (bytes.size() < journal_header_bytes) {
+        // A crash before (or during) the header write: nothing usable,
+        // but nothing provably corrupt either.
+        scan.torn_tail = !bytes.empty();
+        return scan;
+    }
+    cursor hdr(bytes.first(journal_header_bytes));
+    if (hdr.u32() != journal_magic)
+        throw wire_error("journal: bad magic");
+    const std::uint16_t version = hdr.u16();
+    if (version == 0 || version > journal_wire_version)
+        throw wire_error("journal: unknown version " + std::to_string(version));
+    hdr.u16();  // reserved
+    scan.shard_index = hdr.u32();
+    scan.shard_count = hdr.u32();
+    if (scan.shard_count == 0 || scan.shard_index >= scan.shard_count)
+        throw wire_error("journal: invalid shard header");
+    scan.header_present = true;
+
+    std::size_t pos = journal_header_bytes;
+    bool saw_footer = false;
+    while (pos < bytes.size()) {
+        if (bytes.size() - pos < journal_frame_bytes) {
+            scan.torn_tail = true;  // partial frame header
+            break;
+        }
+        cursor frame(bytes.subspan(pos, journal_frame_bytes));
+        const std::uint32_t len = frame.u32();
+        const std::uint32_t crc = frame.u32();
+        if (len == 0 || len > journal_max_record_bytes)
+            throw wire_error("journal: bad record length " +
+                             std::to_string(len));
+        if (bytes.size() - pos - journal_frame_bytes < len) {
+            scan.torn_tail = true;  // record extends past EOF
+            break;
+        }
+        const auto payload = bytes.subspan(pos + journal_frame_bytes, len);
+        if (util::crc32(payload) != crc)
+            throw wire_error("journal: record CRC mismatch at byte " +
+                             std::to_string(pos));
+        if (saw_footer)
+            throw wire_error("journal: record after footer");
+
+        cursor body(payload.subspan(1));
+        switch (static_cast<record_type>(payload[0])) {
+            case record_type::session_meta:
+                scan.sessions.push_back(decode_session_meta(body));
+                break;
+            case record_type::beat:
+                scan.beats.push_back(decode_beat(body));
+                break;
+            case record_type::report:
+                scan.reports.push_back(decode_report(body));
+                break;
+            case record_type::stats_delta:
+                // Re-merge exactly as fleet_stats::merge did live: same
+                // deltas, same order, same operator+= -- so every double
+                // sum re-associates identically.
+                scan.stats += service::fleet_snapshot::deserialize(body.rest());
+                break;
+            case record_type::footer:
+                scan.footer = decode_footer(body);
+                saw_footer = true;
+                break;
+            default:
+                throw wire_error("journal: unknown record type " +
+                                 std::to_string(payload[0]));
+        }
+        ++scan.records;
+        scan.record_bytes += journal_frame_bytes + len;
+        pos += journal_frame_bytes + len;
+    }
+
+    if (saw_footer) {
+        constexpr std::uint64_t footer_frame =
+            journal_frame_bytes + 1 + 24;  // frame + type + 3 x u64
+        if (scan.footer.records != scan.records - 1 ||
+            scan.footer.bytes != scan.record_bytes - footer_frame)
+            throw wire_error(
+                "journal: footer counters disagree with scan");
+        scan.clean_close = !scan.torn_tail;
+    }
+    return scan;
+}
+
+journal_scan scan_journal(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw journal_error("journal: cannot read " + path);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    if (in.bad()) throw journal_error("journal: read failed on " + path);
+    return scan_journal_bytes(bytes);
+}
+
+std::vector<std::string> journal_files(const std::string& dir) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        throw journal_error("journal: no such directory " + dir);
+    std::vector<std::string> files;
+    for (const fs::directory_entry& e : fs::directory_iterator(dir, ec)) {
+        if (e.is_regular_file() &&
+            e.path().extension() == journal_file_extension)
+            files.push_back(e.path().string());
+    }
+    if (ec) throw journal_error("journal: cannot list " + dir);
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+service::fleet_snapshot rebuild_shard_snapshot(const journal_scan& scan) {
+    service::fleet_snapshot snap = scan.stats;
+
+    // Per-session columns, assembled exactly like session_manager::fleet()
+    // assembles the live ones: sessions in id order, state taken from the
+    // last journaled post-window record (battery and governor state only
+    // change at window boundaries, so "last report" == "live now").
+    std::unordered_map<std::uint64_t, const report_event*> last;
+    last.reserve(scan.sessions.size());
+    for (const report_event& r : scan.reports) last[r.session_id] = &r;
+    for (const session_meta& m : scan.sessions) {
+        const auto it = last.find(m.session_id);
+        const report_event* lr = it != last.end() ? it->second : nullptr;
+        const std::uint64_t switches = lr != nullptr ? lr->mode_switches : 0;
+        const real fraction = lr != nullptr ? lr->battery_fraction : 1.0;
+        const core::engine_class mode =
+            lr != nullptr ? lr->mode_after : m.initial_mode;
+        snap.mode_switches += switches;
+        snap.battery_fraction_min =
+            std::min(snap.battery_fraction_min, fraction);
+        if (m.governed)
+            snap.quality.push_back({m.session_id, switches, mode, fraction});
+    }
+
+    snap.journal_appends += scan.records;
+    snap.journal_bytes += scan.record_bytes;
+    if (scan.clean_close) snap.journal_fsyncs += scan.footer.fsyncs;
+    if (scan.torn_tail) snap.journal_torn_tails += 1;
+    return snap;
+}
+
+service::fleet_snapshot rebuild_fleet_snapshot(const std::string& dir) {
+    std::vector<journal_scan> scans;
+    for (const std::string& path : journal_files(dir))
+        scans.push_back(scan_journal(path));
+
+    // Headerless scans (a crash before the header landed) carry no
+    // topology; they can only contribute their torn-tail count.
+    std::vector<journal_scan*> shards;
+    service::fleet_snapshot merged;
+    bool first = true;
+    for (journal_scan& s : scans) {
+        if (s.header_present) {
+            shards.push_back(&s);
+        } else if (s.torn_tail) {
+            merged.journal_torn_tails += 1;
+        }
+    }
+    if (shards.empty()) return merged;
+
+    // Merge in shard-index order -- the order shard_router::fleet() uses
+    // -- after validating the topology is complete and consistent.
+    std::sort(shards.begin(), shards.end(),
+              [](const journal_scan* a, const journal_scan* b) {
+                  return a->shard_index < b->shard_index;
+              });
+    const std::uint32_t count = shards.front()->shard_count;
+    if (shards.size() != count)
+        throw wire_error("journal: directory holds " +
+                         std::to_string(shards.size()) +
+                         " shard logs, header says " + std::to_string(count));
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+        if (shards[k]->shard_count != count ||
+            shards[k]->shard_index != static_cast<std::uint32_t>(k))
+            throw wire_error("journal: inconsistent shard headers");
+        if (first) {
+            const std::uint64_t torn = merged.journal_torn_tails;
+            merged = rebuild_shard_snapshot(*shards[k]);
+            merged.journal_torn_tails += torn;
+            first = false;
+        } else {
+            merged += rebuild_shard_snapshot(*shards[k]);
+        }
+    }
+    return merged;
+}
+
+}  // namespace qpsa::journal

@@ -1,0 +1,307 @@
+#include "qpsa/journal/report_writer.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+#include "qpsa/util/crc32.hpp"
+
+namespace qpsa::journal {
+
+namespace {
+
+/// Little-endian field encoder over a caller-owned buffer.
+class cursor {
+public:
+    explicit cursor(std::span<std::uint8_t> buf) : buf_(buf) {}
+
+    void u8(std::uint8_t v) { buf_[pos_++] = v; }
+    void u16(std::uint16_t v) { raw(v); }
+    void u32(std::uint32_t v) { raw(v); }
+    void u64(std::uint64_t v) { raw(v); }
+    void f64(double v) { raw(std::bit_cast<std::uint64_t>(v)); }
+    void bytes(std::span<const std::uint8_t> b) {
+        if (!b.empty()) std::memcpy(buf_.data() + pos_, b.data(), b.size());
+        pos_ += b.size();
+    }
+
+    std::span<const std::uint8_t> done() const { return buf_.first(pos_); }
+
+private:
+    template <typename T>
+    void raw(T v) {
+        QPSA_EXPECTS(buf_.size() - pos_ >= sizeof(T));
+        for (std::size_t i = 0; i < sizeof(T); ++i)
+            buf_[pos_ + i] = static_cast<std::uint8_t>(v >> (8 * i));
+        pos_ += sizeof(T);
+    }
+
+    std::span<std::uint8_t> buf_;
+    std::size_t pos_ = 0;
+};
+
+void write_ops(cursor& c, const counting::op_counts& ops) {
+    c.u64(ops.adds);
+    c.u64(ops.muls);
+    c.u64(ops.divs);
+    c.u64(ops.sqrts);
+    c.u64(ops.cmps);
+    c.u64(ops.trigs);
+    c.u64(ops.loads);
+    c.u64(ops.stores);
+}
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+    throw journal_error("journal: " + what + " " + path + ": " +
+                        std::strerror(errno));
+}
+
+}  // namespace
+
+report_writer::report_writer(std::string path, writer_options opt)
+    : path_(std::move(path)), opt_(opt), arena_(opt.staging_bytes) {
+    QPSA_EXPECTS(opt_.staging_bytes >= 4096);
+    QPSA_EXPECTS(opt_.shard_count >= 1 &&
+                 opt_.shard_index < opt_.shard_count);
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                 0644);
+    if (fd_ < 0) throw_errno("cannot open", path_);
+    staging_ = arena_.alloc<std::uint8_t>(opt_.staging_bytes);
+
+    // The header goes to disk immediately: even a crash before the first
+    // record leaves a scannable (empty) journal behind.
+    std::uint8_t hdr[journal_header_bytes];
+    cursor c({hdr, journal_header_bytes});
+    c.u32(journal_magic);
+    c.u16(journal_wire_version);
+    c.u16(0);  // reserved
+    c.u32(opt_.shard_index);
+    c.u32(opt_.shard_count);
+    std::lock_guard<std::mutex> lock(mu_);
+    write_raw(c.done());
+}
+
+report_writer::~report_writer() {
+    try {
+        close();
+    } catch (...) {
+        // Destructors must not throw; an incomplete close leaves a torn
+        // tail, which the reader is built to recover from.
+    }
+}
+
+void report_writer::append_session_meta(const session_meta& meta) {
+    QPSA_EXPECTS(meta.patient_id.size() <= 0xFFFF);
+    std::vector<std::uint8_t> buf(52 + meta.patient_id.size());
+    cursor c(buf);
+    c.u64(meta.session_id);
+    c.u64(meta.seed);
+    c.f64(meta.monitor.window_seconds);
+    c.f64(meta.monitor.hop_seconds);
+    c.u64(meta.monitor.min_beats);
+    c.u64(meta.monitor.history_limit);
+    c.u8(meta.governed ? 1 : 0);
+    c.u8(static_cast<std::uint8_t>(meta.initial_mode));
+    c.u16(static_cast<std::uint16_t>(meta.patient_id.size()));
+    c.bytes({reinterpret_cast<const std::uint8_t*>(meta.patient_id.data()),
+             meta.patient_id.size()});
+    std::lock_guard<std::mutex> lock(mu_);
+    put_record(record_type::session_meta, c.done());
+}
+
+void report_writer::append_beat(std::uint64_t session_id, real beat_time_s,
+                                real rr_s) {
+    std::uint8_t buf[24];
+    cursor c({buf, sizeof buf});
+    c.u64(session_id);
+    c.f64(beat_time_s);
+    c.f64(rr_s);
+    std::lock_guard<std::mutex> lock(mu_);
+    put_record(record_type::beat, c.done());
+}
+
+void report_writer::append_beats(std::span<const beat_event> beats) {
+    // Beats are framed (header + CRC) into a stack block *outside* the
+    // writer mutex, so the per-record work runs concurrently across
+    // workers; the critical section is one block memcpy into staging.
+    constexpr std::size_t framed = journal_frame_bytes + 25;  // 1 + 24 body
+    constexpr std::size_t max_batch = 256;
+    while (!beats.empty()) {
+        const std::size_t n = std::min(beats.size(), max_batch);
+        std::uint8_t block[max_batch * framed];
+        std::size_t used = 0;
+        for (const beat_event& b : beats.first(n)) {
+            std::uint8_t* frame = block + used;
+            std::uint8_t* payload = frame + journal_frame_bytes;
+            payload[0] = static_cast<std::uint8_t>(record_type::beat);
+            if constexpr (std::endian::native == std::endian::little) {
+                // The wire format is little-endian, so on LE hosts the
+                // field encode is three raw copies (doubles ship as their
+                // IEEE bit patterns either way).
+                std::memcpy(payload + 1, &b.session_id, 8);
+                std::memcpy(payload + 9, &b.beat_time_s, 8);
+                std::memcpy(payload + 17, &b.rr_s, 8);
+            } else {
+                cursor c({payload + 1, framed - journal_frame_bytes - 1});
+                c.u64(b.session_id);
+                c.f64(b.beat_time_s);
+                c.f64(b.rr_s);
+            }
+            const std::uint32_t len = 25;
+            const std::uint32_t crc = util::crc32({payload, len});
+            for (std::size_t i = 0; i < 4; ++i)
+                frame[i] = static_cast<std::uint8_t>(len >> (8 * i));
+            for (std::size_t i = 0; i < 4; ++i)
+                frame[4 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+            used += framed;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            put_framed_block({block, used}, n);
+        }
+        beats = beats.subspan(n);
+    }
+}
+
+void report_writer::append_report(const report_event& ev) {
+    std::uint8_t buf[147];
+    cursor c({buf, sizeof buf});
+    c.u64(ev.session_id);
+    c.f64(ev.report.t_start);
+    c.f64(ev.report.t_end);
+    c.f64(ev.report.bands.ulf);
+    c.f64(ev.report.bands.lf);
+    c.f64(ev.report.bands.hf);
+    c.f64(ev.report.bands.total);
+    c.u8(static_cast<std::uint8_t>(ev.report.diagnosis));
+    write_ops(c, ev.report.ops);
+    c.u64(ev.report.beats);
+    c.u8(static_cast<std::uint8_t>(ev.report.engine));
+    c.f64(ev.battery_fraction);
+    c.u64(ev.mode_switches);
+    c.u8(static_cast<std::uint8_t>(ev.mode_after));
+    std::lock_guard<std::mutex> lock(mu_);
+    put_record(record_type::report, c.done());
+}
+
+void report_writer::append_stats_delta(const service::fleet_snapshot& delta) {
+    const std::vector<std::uint8_t> body = delta.serialize();
+    std::lock_guard<std::mutex> lock(mu_);
+    put_record(record_type::stats_delta, body);
+}
+
+void report_writer::put_record(record_type type,
+                               std::span<const std::uint8_t> body) {
+    QPSA_EXPECTS(!closed_);
+    const auto type_b = static_cast<std::uint8_t>(type);
+    const auto len = static_cast<std::uint32_t>(1 + body.size());
+    QPSA_EXPECTS(len <= journal_max_record_bytes);
+    std::uint32_t crc = util::crc32({&type_b, 1});
+    crc = util::crc32_append(crc, body);
+
+    const std::size_t need = journal_frame_bytes + len;
+    if (staged_ + need > staging_.size()) flush_locked(true);
+
+    std::uint8_t frame[journal_frame_bytes + 1];
+    for (std::size_t i = 0; i < 4; ++i)
+        frame[i] = static_cast<std::uint8_t>(len >> (8 * i));
+    for (std::size_t i = 0; i < 4; ++i)
+        frame[4 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+    frame[8] = type_b;
+
+    if (need <= staging_.size()) {
+        std::memcpy(staging_.data() + staged_, frame, sizeof frame);
+        if (!body.empty())
+            std::memcpy(staging_.data() + staged_ + sizeof frame, body.data(),
+                        body.size());
+        staged_ += need;
+    } else {
+        // Oversized record (a stats_delta from a gigantic fleet): staging
+        // is already flushed, bypass it.
+        write_raw({frame, sizeof frame});
+        write_raw(body);
+    }
+    appends_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(need, std::memory_order_relaxed);
+}
+
+void report_writer::put_framed_block(std::span<const std::uint8_t> block,
+                                     std::uint64_t records) {
+    QPSA_EXPECTS(!closed_);
+    if (staged_ + block.size() > staging_.size()) flush_locked(true);
+    if (block.size() <= staging_.size()) {
+        std::memcpy(staging_.data() + staged_, block.data(), block.size());
+        staged_ += block.size();
+    } else {
+        write_raw(block);
+    }
+    appends_.fetch_add(records, std::memory_order_relaxed);
+    bytes_.fetch_add(block.size(), std::memory_order_relaxed);
+}
+
+void report_writer::write_raw(std::span<const std::uint8_t> bytes) {
+    const std::uint8_t* p = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+        const ssize_t n = ::write(fd_, p, left);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("write failed on", path_);
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+        unsynced_ += static_cast<std::size_t>(n);
+    }
+}
+
+void report_writer::flush_locked(bool allow_cadence_sync) {
+    if (staged_ != 0) {
+        write_raw(staging_.first(staged_));
+        staged_ = 0;
+    }
+    if (allow_cadence_sync && opt_.fsync_interval_bytes != 0 &&
+        unsynced_ >= opt_.fsync_interval_bytes)
+        sync_locked();
+}
+
+void report_writer::sync_locked() {
+    if (::fsync(fd_) != 0) throw_errno("fsync failed on", path_);
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    unsynced_ = 0;
+}
+
+void report_writer::flush(bool sync) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    flush_locked(false);
+    if (sync) sync_locked();
+}
+
+void report_writer::close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    flush_locked(false);
+
+    // Footer counters exclude the footer itself (put_record below bumps
+    // them after the body is encoded); the fsync count *includes* the
+    // final sync issued right after, so a graceful close leaves the live
+    // counters equal to what a recovery scan reconstructs.
+    std::uint8_t buf[24];
+    cursor c({buf, sizeof buf});
+    c.u64(appends_.load(std::memory_order_relaxed));
+    c.u64(bytes_.load(std::memory_order_relaxed));
+    c.u64(fsyncs_.load(std::memory_order_relaxed) + 1);
+    put_record(record_type::footer, c.done());
+    flush_locked(false);
+    sync_locked();
+
+    closed_ = true;
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) throw_errno("close failed on", path_);
+}
+
+}  // namespace qpsa::journal

@@ -114,19 +114,20 @@ std::string resampled_engine::name() const {
 void resampled_engine::estimate(std::span<const real> t,
                                 std::span<const real> x,
                                 const estimate_grid& grid,
-                                wfft::exec_stats* stats, util::arena&,
+                                wfft::exec_stats* stats, util::arena& scratch,
                                 dsp::sampled_spectrum& out) const {
     estimator_stats_scope scope(stats);
+    util::arena::frame frame(scratch);
     resampled_psd_options opt;
     opt.resample_hz = resample_hz_;
     opt.taper = taper_;
     opt.fft_size = size();
-    const dsp::sampled_spectrum raw = resampled_psd(t, x, opt);
+    std::span<real> power = scratch.alloc<real>(opt.fft_size / 2);
+    resampled_psd(t, x, opt, fft_, scratch, power);
 
-    const real raw_df = raw.freq_hz.size() >= 2
-                            ? raw.freq_hz[1] - raw.freq_hz[0]
-                            : grid.df;
-    map_uniform_psd_onto_grid(raw.power, raw_df, grid, x, out);
+    const real raw_df =
+        opt.resample_hz / static_cast<real>(opt.fft_size);
+    map_uniform_psd_onto_grid(power, raw_df, grid, x, out);
 }
 
 }  // namespace qpsa::lomb

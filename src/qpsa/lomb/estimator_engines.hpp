@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "qpsa/counting/op_counter.hpp"
+#include "qpsa/dsp/fft_split_radix.hpp"
 #include "qpsa/dsp/window.hpp"
 #include "qpsa/lomb/fft_engine.hpp"
 
@@ -93,7 +94,8 @@ public:
     resampled_engine(std::size_t mesh, real resample_hz, dsp::window_kind taper)
         : whole_window_engine(mesh),
           resample_hz_(resample_hz),
-          taper_(taper) {}
+          taper_(taper),
+          fft_(mesh) {}
     std::string name() const override;
     void estimate(std::span<const real> t, std::span<const real> x,
                   const estimate_grid& grid, wfft::exec_stats* stats,
@@ -103,6 +105,10 @@ public:
 private:
     real resample_hz_;
     dsp::window_kind taper_;
+    /// Owned transform (immutable, so shared across workers like the
+    /// engine itself): per-window scratch then comes entirely from the
+    /// worker arena -- the alloc budget the service bench gates on.
+    dsp::fft_split_radix fft_;
 };
 
 }  // namespace qpsa::lomb

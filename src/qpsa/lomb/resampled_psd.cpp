@@ -62,12 +62,16 @@ std::span<real> resample_linear(std::span<const real> t,
     return out;
 }
 
-dsp::sampled_spectrum resampled_psd(std::span<const real> t,
-                                    std::span<const real> x,
-                                    const resampled_psd_options& opt) {
+void resampled_psd(std::span<const real> t, std::span<const real> x,
+                   const resampled_psd_options& opt,
+                   const dsp::fft_split_radix& fft, util::arena& scratch,
+                   std::span<real> out_power) {
     QPSA_EXPECTS(is_pow2(opt.fft_size));
-    std::vector<real> grid =
-        resample_linear(t, x, opt.resample_hz, opt.fft_size);
+    QPSA_EXPECTS(fft.size() == opt.fft_size);
+    QPSA_EXPECTS(out_power.size() == opt.fft_size / 2);
+    util::arena::frame frame(scratch);
+    std::span<real> grid =
+        resample_linear(t, x, opt.resample_hz, opt.fft_size, scratch);
     QPSA_EXPECTS(grid.size() >= 8);
 
     // Detrend (remove mean), taper, zero-pad to the transform size.
@@ -79,26 +83,42 @@ dsp::sampled_spectrum resampled_psd(std::span<const real> t,
     counting::count_adds(grid.size());
     counting::count_muls(grid.size());
 
-    std::vector<cplx> buf(opt.fft_size, cplx{0.0, 0.0});
+    std::span<cplx> buf = scratch.alloc<cplx>(opt.fft_size);
     for (std::size_t i = 0; i < grid.size(); ++i) buf[i] = cplx{grid[i], 0.0};
-    dsp::fft_split_radix fft(opt.fft_size);
-    const auto spec = fft.forward_copy(buf);
+    for (std::size_t i = grid.size(); i < opt.fft_size; ++i)
+        buf[i] = cplx{0.0, 0.0};
+    std::span<cplx> spec = scratch.alloc<cplx>(opt.fft_size);
+    fft.forward(buf, spec, scratch);
 
     // One-sided PSD up to Nyquist, normalized by the taper power gain and
     // the effective record length.
-    const real df = opt.resample_hz / static_cast<real>(opt.fft_size);
     const real norm = 2.0 / (opt.resample_hz * static_cast<real>(grid.size()) *
                              dsp::window_power_gain(opt.taper));
-    dsp::sampled_spectrum out;
-    const std::size_t half = opt.fft_size / 2;
-    out.freq_hz.resize(half);
-    out.power.resize(half);
-    for (std::size_t k = 0; k < half; ++k) {
-        out.freq_hz[k] = static_cast<real>(k) * df;
-        out.power[k] = sqr_mag(spec[k]) * norm;
+    for (std::size_t k = 0; k < out_power.size(); ++k) {
+        out_power[k] = sqr_mag(spec[k]) * norm;
         counting::count_muls(3);
         counting::count_adds(1);
     }
+}
+
+dsp::sampled_spectrum resampled_psd(std::span<const real> t,
+                                    std::span<const real> x,
+                                    const resampled_psd_options& opt) {
+    QPSA_EXPECTS(is_pow2(opt.fft_size));
+    // Convenience wrapper for one-shot callers (ablation benches, tools):
+    // builds a private transform and arena per call.  Hot paths hold both
+    // and call the core above.
+    const dsp::fft_split_radix fft(opt.fft_size);
+    util::arena scratch;
+    dsp::sampled_spectrum out;
+    const std::size_t half = opt.fft_size / 2;
+    out.power.resize(half);
+    resampled_psd(t, x, opt, fft, scratch, out.power);
+
+    const real df = opt.resample_hz / static_cast<real>(opt.fft_size);
+    out.freq_hz.resize(half);
+    for (std::size_t k = 0; k < half; ++k)
+        out.freq_hz[k] = static_cast<real>(k) * df;
     return out;
 }
 

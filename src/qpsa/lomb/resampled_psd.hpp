@@ -16,6 +16,10 @@
 #include "qpsa/util/arena.hpp"
 #include "qpsa/util/common.hpp"
 
+namespace qpsa::dsp {
+class fft_split_radix;
+}
+
 namespace qpsa::lomb {
 
 struct resampled_psd_options {
@@ -40,5 +44,17 @@ std::span<real> resample_linear(std::span<const real> t,
 dsp::sampled_spectrum resampled_psd(std::span<const real> t,
                                     std::span<const real> x,
                                     const resampled_psd_options& opt = {});
+
+/// Allocation-free core of the same estimator: the one-sided PSD
+/// (fft_size / 2 bins; bin k sits at k * resample_hz / fft_size) lands
+/// in `out_power`, every intermediate comes from `scratch`, and the
+/// caller supplies the transform (`fft.size() == opt.fft_size`) so
+/// engines build their twiddles once instead of once per window.  Values
+/// and operation counts are bit-identical to the vector overload, which
+/// is now a wrapper over this.
+void resampled_psd(std::span<const real> t, std::span<const real> x,
+                   const resampled_psd_options& opt,
+                   const dsp::fft_split_radix& fft, util::arena& scratch,
+                   std::span<real> out_power);
 
 }  // namespace qpsa::lomb

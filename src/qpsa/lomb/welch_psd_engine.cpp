@@ -39,12 +39,12 @@ void welch_psd_engine::estimate(std::span<const real> t,
     const real hop = segment_seconds_ * (1.0 - segment_overlap_);
     constexpr std::size_t min_seg_beats = 8;
 
-    // Summed per-segment periodograms; resampled_psd always returns
-    // fft_size / 2 one-sided bins, so the accumulator comes straight
-    // from the caller's arena.  (The per-segment resampled_psd calls
-    // themselves still allocate, like the plain resampled engine -- an
-    // arena-threaded resampled_psd is the shared fix for both.)
+    // Summed per-segment periodograms; the arena-threaded resampled_psd
+    // core always emits fft_size / 2 one-sided bins, so the accumulator
+    // and the per-segment buffer both come straight from the caller's
+    // arena and the whole window is allocation-free.
     std::span<real> avg = scratch.alloc<real>(seg_opt.fft_size / 2);
+    std::span<real> seg = scratch.alloc<real>(seg_opt.fft_size / 2);
     std::fill(avg.begin(), avg.end(), 0.0);
     std::size_t segments = 0;
     std::size_t begin = 0;  // segments advance monotonically in time
@@ -57,15 +57,14 @@ void welch_psd_engine::estimate(std::span<const real> t,
         const std::size_t count = end - begin;
         if (count < min_seg_beats) continue;
         if ((t[end - 1] - t[begin]) * resample_hz_ < 8.0) continue;
-        const dsp::sampled_spectrum seg = resampled_psd(
-            t.subspan(begin, count), x.subspan(begin, count), seg_opt);
-        for (std::size_t k = 0; k < avg.size(); ++k) avg[k] += seg.power[k];
+        resampled_psd(t.subspan(begin, count), x.subspan(begin, count),
+                      seg_opt, fft_, scratch, seg);
+        for (std::size_t k = 0; k < avg.size(); ++k) avg[k] += seg[k];
         counting::count_adds(avg.size());
         ++segments;
     }
     if (segments == 0) {
-        const dsp::sampled_spectrum whole = resampled_psd(t, x, seg_opt);
-        std::copy(whole.power.begin(), whole.power.end(), avg.begin());
+        resampled_psd(t, x, seg_opt, fft_, scratch, avg);
         segments = 1;
     }
     const real inv_segments = 1.0 / static_cast<real>(segments);

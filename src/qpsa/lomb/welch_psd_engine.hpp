@@ -30,7 +30,8 @@ public:
           resample_hz_(resample_hz),
           segment_seconds_(segment_seconds),
           segment_overlap_(segment_overlap),
-          taper_(taper) {}
+          taper_(taper),
+          fft_(mesh) {}
 
     std::string name() const override;
     void estimate(std::span<const real> t, std::span<const real> x,
@@ -43,6 +44,10 @@ private:
     real segment_seconds_;
     real segment_overlap_;
     dsp::window_kind taper_;
+    /// One transform for every segment (segments share fft_size), built
+    /// once at engine construction; per-segment scratch comes from the
+    /// worker arena, keeping the window allocation-free.
+    dsp::fft_split_radix fft_;
 };
 
 /// Install the welch_spec builder (called once from the built-in engine

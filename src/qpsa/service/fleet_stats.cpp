@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "qpsa/journal/report_writer.hpp"
+
 namespace qpsa::service {
 
 fleet_snapshot& fleet_snapshot::operator+=(const fleet_snapshot& o) {
@@ -19,6 +21,11 @@ fleet_snapshot& fleet_snapshot::operator+=(const fleet_snapshot& o) {
     mode_switches += o.mode_switches;
     battery_fraction_min = std::min(battery_fraction_min, o.battery_fraction_min);
     quality.insert(quality.end(), o.quality.begin(), o.quality.end());
+    high_water_alarms += o.high_water_alarms;
+    journal_appends += o.journal_appends;
+    journal_bytes += o.journal_bytes;
+    journal_fsyncs += o.journal_fsyncs;
+    journal_torn_tails += o.journal_torn_tails;
     lf_sum += o.lf_sum;
     hf_sum += o.hf_sum;
     ratio_sum += o.ratio_sum;
@@ -51,6 +58,11 @@ void fleet_stats::merge(const fleet_partial& partial) {
     if (partial.empty()) return;
     std::lock_guard<std::mutex> lock(mu_);
     agg_ += partial.snap_;
+    // Journal the delta inside the same critical section: the log then
+    // holds the exact operator+= sequence the live aggregate performed,
+    // which is what makes a recovery rebuild bit-identical (floating-
+    // point sums re-associate the same way).
+    if (journal_ != nullptr) journal_->append_stats_delta(partial.snap_);
 }
 
 void fleet_stats::add_report(const core::window_report& rep) {

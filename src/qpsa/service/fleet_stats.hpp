@@ -21,6 +21,10 @@
 #include "qpsa/energy/fleet.hpp"
 #include "qpsa/hrv/detector.hpp"
 
+namespace qpsa::journal {
+class report_writer;
+}
+
 namespace qpsa::service {
 
 /// Thrown by fleet_snapshot::deserialize on malformed or incompatible
@@ -36,7 +40,10 @@ public:
 /// recorded in the header, so a snapshot from a build with fewer engine
 /// kinds (an older leaf-engine set) loads into the wider table while one
 /// with more kinds than the reader knows is rejected loudly.
-inline constexpr std::uint16_t fleet_wire_version = 1;
+/// History: v1 = PR 5 layout; v2 appends the high-water and journal
+/// telemetry columns after ratio_sum (a v1 payload still loads, the new
+/// columns default to zero).
+inline constexpr std::uint16_t fleet_wire_version = 2;
 
 /// Per-engine-kind tally (one slot per core::engine_class).
 struct engine_tally {
@@ -102,6 +109,21 @@ struct fleet_snapshot {
     std::uint64_t mode_switches = 0;
     real battery_fraction_min = 1.0;
     std::vector<session_quality> quality;
+
+    /// Ingest backpressure roll-up: high-water alarm firings across the
+    /// fleet.  Like the drop columns this is live-only producer-edge
+    /// telemetry (session_manager::fleet() fills it; a journal rebuild
+    /// reports zero -- the drain-side log cannot see the ingest edge).
+    std::uint64_t high_water_alarms = 0;
+
+    /// Journal telemetry: records appended, framed bytes on disk, fsyncs
+    /// issued, torn tails encountered.  Filled from the attached
+    /// report_writer by session_manager::fleet() (torn tails by the
+    /// recovery scan); zero when no journal is attached.
+    std::uint64_t journal_appends = 0;
+    std::uint64_t journal_bytes = 0;
+    std::uint64_t journal_fsyncs = 0;
+    std::uint64_t journal_torn_tails = 0;
 
     // Sums over windows; use the mean_* helpers for averages.
     real lf_sum = 0.0;
@@ -188,6 +210,13 @@ public:
     /// pricing a window inline); the batch path goes through partials.
     void add_report(const core::window_report& rep);
 
+    /// Attach a journal sink: every merged partial is also appended to
+    /// `j` as a stats_delta record, under the stats mutex and therefore
+    /// in merge order -- the ordering the bit-identical crash-recovery
+    /// rebuild replays.  Wire it up before pumping (the setter itself is
+    /// not synchronized against concurrent merges); nullptr detaches.
+    void set_journal(journal::report_writer* j) noexcept { journal_ = j; }
+
     fleet_snapshot snapshot() const;
     const energy::node_model& node() const noexcept { return pricer_.model(); }
 
@@ -198,6 +227,7 @@ private:
     energy::fleet_energy_accumulator pricer_;
     mutable std::mutex mu_;
     fleet_snapshot agg_;
+    journal::report_writer* journal_ = nullptr;
 };
 
 }  // namespace qpsa::service

@@ -1,5 +1,6 @@
 #include "qpsa/service/session.hpp"
 
+#include "qpsa/journal/report_writer.hpp"
 #include "qpsa/service/fleet_stats.hpp"
 #include "qpsa/service/thread_pool.hpp"
 
@@ -16,6 +17,11 @@ core::psa_config initial_config(const session_config& cfg,
     return cfg.analysis;
 }
 
+/// Staged beats per batched journal append: large enough to amortize the
+/// writer mutex across a drain pass, small enough that the per-session
+/// stage stays a few KiB.
+constexpr std::size_t journal_stage_cap = 256;
+
 }  // namespace
 
 session::session(std::uint64_t id, session_config cfg,
@@ -27,6 +33,7 @@ session::session(std::uint64_t id, session_config cfg,
       monitor_(initial_config(cfg_, governor_), cfg_.monitor,
                std::move(factory)),
       battery_(cfg_.battery) {
+    journal_id_ = cfg_.journal_id == journal_id_auto ? id_ : cfg_.journal_id;
     current_mode_.store(monitor_.config().kind(), std::memory_order_relaxed);
     if (cfg_.on_high_water) {
         QPSA_EXPECTS(cfg_.high_water_fraction > 0.0 &&
@@ -40,6 +47,7 @@ session::session(std::uint64_t id, session_config cfg,
     // Absorb the first few capacity doublings at admission time -- the
     // steady-state drain path is budgeted at ~zero allocations per window.
     if (cfg_.keep_reports) reports_.reserve(64);
+    if (cfg_.journal != nullptr) journal_stage_.reserve(journal_stage_cap);
     if (governor_.runtime_enabled())
         switch_log_.reserve(cfg_.quality.controller->profiles().size() * 2);
 }
@@ -62,7 +70,6 @@ std::size_t session::collect_windows(fleet_partial& acc) {
         ++windows_;
         const real psa_j = acc.add_report(*rep);
         battery_.drain_window(psa_j);
-        if (cfg_.keep_reports) reports_.push_back(std::move(*rep));
         if (const core::mode_profile* mode =
                 governor_.on_window(battery_.charge_fraction())) {
             // Engine-kind switch through the shared plan cache (a hash
@@ -72,6 +79,21 @@ std::size_t session::collect_windows(fleet_partial& acc) {
             switches_.store(governor_.switches(), std::memory_order_relaxed);
             switch_log_.push_back({windows_, governor_.current_index()});
         }
+        // Journal after the governor so the record carries the session's
+        // *post-window* state -- battery and mode only change at window
+        // boundaries, so the last record's post-state is exactly what a
+        // live fleet snapshot would read, which is what lets a recovery
+        // scan rebuild the quality columns bit for bit.  Staged beats go
+        // out first so the beats that produced this window precede it in
+        // the log.
+        if (cfg_.journal != nullptr) {
+            flush_journal_stage();
+            cfg_.journal->append_report(
+                {journal_id_, *rep, battery_.charge_fraction(),
+                 switches_.load(std::memory_order_relaxed),
+                 current_mode_.load(std::memory_order_relaxed)});
+        }
+        if (cfg_.keep_reports) reports_.push_back(std::move(*rep));
     }
     return completed;
 }
@@ -91,6 +113,16 @@ std::size_t session::drain(fleet_partial& acc) {
     // stream -- independent of pump cadence, batch shape or worker count
     // (and replayable serially from the switch log, bit for bit).
     while (ring_.pop(s)) {
+        // Journal the beat before the monitor sees it: rejected beats
+        // are recorded too, so a replay reproduces the reject counts and
+        // every downstream window identically.  Beats are staged locally
+        // and appended in batches -- taking the shard writer's mutex per
+        // beat is measurably slower than the analysis itself.
+        if (cfg_.journal != nullptr) {
+            journal_stage_.push_back({journal_id_, s.t, s.rr});
+            if (journal_stage_.size() >= journal_stage_cap)
+                flush_journal_stage();
+        }
         try {
             monitor_.push_beat(s.t, s.rr);
             ++beats_ingested_;
@@ -101,12 +133,19 @@ std::size_t session::drain(fleet_partial& acc) {
         }
         completed += collect_windows(acc);
     }
+    if (cfg_.journal != nullptr) flush_journal_stage();
     // Re-arm the backpressure alarm once the drain has brought occupancy
     // back below the mark (here: the ring is empty, the loop's exit
     // condition, so any configured mark is satisfied).
     if (high_water_mark_ != 0 && ring_.size() < high_water_mark_)
         high_water_armed_.store(true, std::memory_order_release);
     return completed;
+}
+
+void session::flush_journal_stage() {
+    if (journal_stage_.empty()) return;
+    cfg_.journal->append_beats(journal_stage_);
+    journal_stage_.clear();
 }
 
 std::size_t session::drain(fleet_stats& fleet) {

@@ -21,13 +21,23 @@
 #include "qpsa/core/quality_governor.hpp"
 #include "qpsa/core/streaming_monitor.hpp"
 #include "qpsa/energy/battery.hpp"
+#include "qpsa/journal/journal_format.hpp"
 #include "qpsa/service/ring_buffer.hpp"
 #include "qpsa/util/random.hpp"
+
+namespace qpsa::journal {
+class report_writer;
+}
 
 namespace qpsa::service {
 
 class fleet_stats;
 class fleet_partial;
+
+/// Sentinel for session_config::journal_id: use the locally assigned
+/// session id (shard_router presets the global id instead, so journal
+/// records always carry fleet-wide ids).
+inline constexpr std::uint64_t journal_id_auto = ~std::uint64_t{0};
 
 struct session_config {
     std::string patient_id;
@@ -63,6 +73,16 @@ struct session_config {
         on_high_water;
     real high_water_fraction = 0.75;  ///< crossing mark, in (0, 1]
 
+    /// Durability sink: when set, the drain loop appends every popped
+    /// beat and every completed window report (with post-window battery
+    /// and governor state) to this journal.  Owned by the service layer
+    /// and shared by every session on the shard; session_manager wires
+    /// it from service_options::journal.
+    journal::report_writer* journal = nullptr;
+    /// Session id stamped into journal records; journal_id_auto uses the
+    /// local id (shard_router presets the global id before forwarding).
+    std::uint64_t journal_id = journal_id_auto;
+
     /// Per-session random stream seed; 0 lets the manager derive one from
     /// its base seed and the session id (util::derive_stream_seed), so a
     /// fleet is reproducible regardless of scheduling order.
@@ -88,6 +108,9 @@ public:
     session(std::uint64_t id, session_config cfg, core::system_factory factory);
 
     std::uint64_t id() const noexcept { return id_; }
+    /// Id this session stamps into journal records (== id() unless the
+    /// router preset a global one).
+    std::uint64_t journal_id() const noexcept { return journal_id_; }
     const std::string& patient_id() const noexcept { return cfg_.patient_id; }
     std::uint64_t seed() const noexcept { return cfg_.seed; }
     util::rng make_rng(std::uint64_t stream) const {
@@ -171,18 +194,28 @@ private:
     /// Poll completed windows: accumulate, drain battery, run governor.
     std::size_t collect_windows(fleet_partial& acc);
 
+    /// Hand staged beats to the journal in one batched append (no-op when
+    /// nothing is staged).  Called before any report record and at drain
+    /// exit, so journaled beats always precede the reports they produced
+    /// and the stage is empty whenever the session is idle.
+    void flush_journal_stage();
+
     /// Producer-side slow path of ingest(): fire the callback once per
     /// crossing of the high-water mark (drain() re-arms below it).
     void notify_high_water() noexcept;
 
     std::uint64_t id_;
     session_config cfg_;
+    std::uint64_t journal_id_ = 0;
     core::quality_governor governor_;
     beat_ring ring_;
     core::streaming_monitor monitor_;
     energy::battery_state battery_;
     std::vector<core::window_report> reports_;
     std::vector<mode_switch_event> switch_log_;
+    /// Beats popped since the last batched journal append; bounded by the
+    /// stage cap in session.cpp, reserved up front when journaling.
+    std::vector<journal::beat_event> journal_stage_;
     /// Ring occupancy (in beats) at which the backpressure alarm fires;
     /// 0 when no callback is configured.
     std::size_t high_water_mark_ = 0;

@@ -14,6 +14,7 @@ session_manager::session_manager(service_options opt, plan_cache* cache)
     // Reserved once: ingest() indexes this storage without a lock, so it
     // must never reallocate while sessions are being admitted.
     sessions_.reserve(opt_.max_sessions);
+    stats_.set_journal(opt_.journal.get());
 }
 
 core::system_factory session_manager::factory() {
@@ -30,8 +31,21 @@ std::uint64_t session_manager::add_session(session_config cfg) {
     if (cfg.seed == 0)
         cfg.seed =
             util::derive_stream_seed(opt_.base_seed, opt_.stream_offset + id);
+    if (opt_.journal != nullptr && cfg.journal == nullptr)
+        cfg.journal = opt_.journal.get();
+    const core::monitor_options monitor_opt = cfg.monitor;
     sessions_.push_back(
         std::make_unique<session>(id, std::move(cfg), factory()));
+    // Admission-ordered session_meta records (still under admit_mu_, so
+    // the journal's meta order is its id order -- the order a recovery
+    // scan rebuilds the per-session quality columns in, matching
+    // fleet()).  current_mode() before any window is the initial mode.
+    if (opt_.journal != nullptr) {
+        const session& s = *sessions_.back();
+        opt_.journal->append_session_meta({s.journal_id(), s.seed(),
+                                           monitor_opt, s.governed(),
+                                           s.current_mode(), s.patient_id()});
+    }
     // Publish after the slot is fully constructed; ingest()/pump() pair
     // this with an acquire load.
     session_count_.store(sessions_.size(), std::memory_order_release);
@@ -80,6 +94,14 @@ fleet_snapshot session_manager::fleet() const {
         if (s.governed())
             snap.quality.push_back(
                 {s.id(), switches, s.current_mode(), charge});
+
+        snap.high_water_alarms += s.high_water_alarms();
+    }
+    if (opt_.journal != nullptr) {
+        const journal::writer_counters c = opt_.journal->counters();
+        snap.journal_appends += c.appends;
+        snap.journal_bytes += c.bytes;
+        snap.journal_fsyncs += c.fsyncs;
     }
     return snap;
 }

@@ -25,6 +25,7 @@
 #include <mutex>
 #include <vector>
 
+#include "qpsa/journal/report_writer.hpp"
 #include "qpsa/service/batch_scheduler.hpp"
 #include "qpsa/service/fleet_stats.hpp"
 #include "qpsa/service/plan_cache.hpp"
@@ -57,6 +58,13 @@ struct service_options {
     /// lock-free ingest path can index it while add_session() runs
     /// (8 bytes per reserved slot).
     std::size_t max_sessions = 1 << 16;
+
+    /// Durability: when set, every admitted session journals its beats
+    /// and window reports here, fleet_stats journals its merged batch
+    /// partials, and fleet() surfaces the writer's counters.  Shared
+    /// ownership so a caller can keep scanning the log after the manager
+    /// dies (shard_router owns one writer per shard).
+    std::shared_ptr<journal::report_writer> journal;
 };
 
 class session_manager {
@@ -106,6 +114,10 @@ public:
     fleet_snapshot fleet() const;
     plan_cache_stats cache_stats() const { return cache_->stats(); }
     std::size_t worker_count() const noexcept { return pool_.size(); }
+    /// The attached journal writer, if any.
+    journal::report_writer* journal() const noexcept {
+        return opt_.journal.get();
+    }
 
 private:
     service_options opt_;

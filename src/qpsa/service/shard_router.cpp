@@ -1,5 +1,6 @@
 #include "qpsa/service/shard_router.hpp"
 
+#include <filesystem>
 #include <thread>
 
 namespace qpsa::service {
@@ -17,10 +18,22 @@ shard_router::shard_router(router_options opt, plan_cache* cache)
             1, std::thread::hardware_concurrency());
         shard_opt.threads = std::max<std::size_t>(1, hw / opt_.shards);
     }
+    if (!opt_.journal_dir.empty())
+        std::filesystem::create_directories(opt_.journal_dir);
     shards_.reserve(opt_.shards);
-    for (std::size_t k = 0; k < opt_.shards; ++k)
+    for (std::size_t k = 0; k < opt_.shards; ++k) {
+        if (!opt_.journal_dir.empty()) {
+            journal::writer_options jw = opt_.journal;
+            jw.shard_index = static_cast<std::uint32_t>(k);
+            jw.shard_count = static_cast<std::uint32_t>(opt_.shards);
+            shard_opt.journal = std::make_shared<journal::report_writer>(
+                opt_.journal_dir + "/shard-" + std::to_string(k) +
+                    journal::journal_file_extension,
+                jw);
+        }
         shards_.push_back(
             std::make_unique<session_manager>(shard_opt, cache_));
+    }
     // Reserved once: ingest() indexes this storage lock-free while
     // add_session() runs, so it must never reallocate.  The global
     // ceiling is the sum of the shard ceilings -- adding shards raises
@@ -37,6 +50,9 @@ std::uint64_t shard_router::add_session(session_config cfg) {
     // admission order (the shard manager keeps a nonzero seed as-is).
     if (cfg.seed == 0)
         cfg.seed = util::derive_stream_seed(opt_.shard.base_seed, global_id);
+    // Journal records carry global ids, so logs from different shards
+    // merge (and replay) into one fleet-wide id space.
+    if (cfg.journal_id == journal_id_auto) cfg.journal_id = global_id;
     const std::size_t shard = map_.shard_for(cfg.patient_id);
     const std::uint64_t local = shards_[shard]->add_session(std::move(cfg));
     routes_.push_back({static_cast<std::uint32_t>(shard), local});
@@ -75,6 +91,16 @@ std::size_t shard_router::drain_all() {
     std::size_t windows = 0;
     for (const auto& shard : shards_) windows += shard->drain_all();
     return windows;
+}
+
+void shard_router::flush_journals(bool sync) {
+    for (const auto& shard : shards_)
+        if (journal::report_writer* j = shard->journal()) j->flush(sync);
+}
+
+void shard_router::close_journals() {
+    for (const auto& shard : shards_)
+        if (journal::report_writer* j = shard->journal()) j->close();
 }
 
 core::system_factory shard_router::factory() {

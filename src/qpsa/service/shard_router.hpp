@@ -50,6 +50,16 @@ struct router_options {
     /// (consistent hashing keeps shard loads near-even, so the fleet
     /// ceiling is realizable, not just nominal).
     service_options shard;
+
+    /// Durability: when non-empty, the router creates the directory and
+    /// journals shard k to <journal_dir>/shard-<k>.qpsaj (headers carry
+    /// the topology, records carry *global* session ids), and
+    /// journal::rebuild_fleet_snapshot(journal_dir) reconstructs fleet()
+    /// bit for bit.  Overrides any journal set in `shard`.
+    std::string journal_dir;
+    /// Writer tuning for the per-shard journals (index/count are set by
+    /// the router).
+    journal::writer_options journal;
 };
 
 class shard_router {
@@ -101,6 +111,17 @@ public:
     fleet_snapshot shard_fleet(std::size_t k) const;
     /// Merged deployment view: shard_fleet(0) += ... += shard_fleet(K-1).
     fleet_snapshot fleet() const;
+
+    /// Shard k's journal writer (nullptr when journaling is off).
+    journal::report_writer* journal(std::size_t k) const {
+        return shards_[k]->journal();
+    }
+    /// Flush (and optionally fsync) every shard journal.
+    void flush_journals(bool sync = true);
+    /// Gracefully close every shard journal (footer + final fsync); the
+    /// step between "producers stopped, fleet drained" and "the on-disk
+    /// logs equal the live snapshot".  Idempotent.
+    void close_journals();
 
     plan_cache_stats cache_stats() const { return cache_->stats(); }
 

@@ -17,11 +17,15 @@
 //   quality rows: u64 n; n x { u64 session_id, u64 mode_switches,
 //        u8 current_mode, f64 battery_fraction }
 //   f64  lf_sum, hf_sum, ratio_sum
+//   v2+: u64 high_water_alarms; u64 journal_appends, journal_bytes,
+//        journal_fsyncs, journal_torn_tails
 //
 // A snapshot serialized by a build with fewer engine kinds than the
 // reader loads into the wider table (new kinds tally zero); one with
 // more kinds than the reader knows is rejected -- the reader cannot
-// represent those rows losslessly.
+// represent those rows losslessly.  Version skew follows the additive
+// rule: a v1 payload (no telemetry tail) still loads, the new columns
+// default to zero; versions newer than the build are rejected.
 #include <bit>
 #include <cstring>
 
@@ -175,6 +179,13 @@ std::vector<std::uint8_t> fleet_snapshot::serialize() const {
     w.f64(lf_sum);
     w.f64(hf_sum);
     w.f64(ratio_sum);
+
+    // v2 telemetry tail.
+    w.u64(high_water_alarms);
+    w.u64(journal_appends);
+    w.u64(journal_bytes);
+    w.u64(journal_fsyncs);
+    w.u64(journal_torn_tails);
     return out;
 }
 
@@ -185,7 +196,7 @@ fleet_snapshot fleet_snapshot::deserialize(
     if (r.u32() != wire_magic)
         throw wire_error("fleet_snapshot wire: bad magic");
     const std::uint16_t version = r.u16();
-    if (version != fleet_wire_version)
+    if (version == 0 || version > fleet_wire_version)
         throw wire_error("fleet_snapshot wire: unknown version " +
                          std::to_string(version));
     const std::uint16_t kinds = r.u16();
@@ -244,6 +255,14 @@ fleet_snapshot fleet_snapshot::deserialize(
     snap.lf_sum = r.f64();
     snap.hf_sum = r.f64();
     snap.ratio_sum = r.f64();
+
+    if (version >= 2) {
+        snap.high_water_alarms = r.u64();
+        snap.journal_appends = r.u64();
+        snap.journal_bytes = r.u64();
+        snap.journal_fsyncs = r.u64();
+        snap.journal_torn_tails = r.u64();
+    }
     r.expect_exhausted();
     return snap;
 }
