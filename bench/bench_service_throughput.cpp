@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <sys/resource.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -37,13 +38,20 @@
 #include <new>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common.hpp"
 #include "qpsa/journal/replay_driver.hpp"
 #include "qpsa/journal/report_reader.hpp"
+#include "qpsa/net/aggregator.hpp"
+#include "qpsa/net/ingest_client.hpp"
+#include "qpsa/net/ingest_server.hpp"
+#include "qpsa/net/snapshot_publisher.hpp"
 #include "qpsa/service/service.hpp"
+#include "qpsa/util/random.hpp"
 #include "qpsa/util/table.hpp"
 
 // ---------------------------------------------------------------------------
@@ -833,6 +841,258 @@ journal_bench_result run_journaled_fleet(const shard_cohort& cohort) {
     return r;
 }
 
+/// Cross-process transport scenario: the fleet split across two
+/// ingest_server shards behind unix-domain sockets, driven by one
+/// ingest_client front-end, with a snapshot_publisher per shard feeding
+/// an aggregator daemon -- qpsa::net's three-tier topology inside one
+/// benchmark process (threads stand in for processes; the wire between
+/// them is the real thing).  Includes one live mid-stream migration over
+/// the socket.  The two determinism bars CI gates on: the aggregator's
+/// merged snapshot and the client's merged stats both bit-identical to
+/// an in-process shard_router running the identical schedule, and the
+/// migrated session bit-identical to an unmigrated solo run.
+struct transport_result {
+    unsigned patients = 0;
+    unsigned shards = 0;
+    std::uint64_t beats = 0;
+    std::uint64_t windows = 0;
+    double wall_ms = 0.0;
+    double beats_per_s = 0.0;
+    std::uint64_t snapshots_published = 0;
+    double snapshots_per_s = 0.0;
+    std::uint64_t wire_bytes_sent = 0;      ///< client + both publishers
+    std::uint64_t wire_bytes_received = 0;  ///< at the aggregator
+    double wire_bytes_per_beat = 0.0;
+    bool merge_identical = false;
+    bool migration_identical = false;
+};
+
+/// The config registry both socket shards and the in-process reference
+/// resolve admit tokens through (configs never cross the wire).
+service::session_config transport_config(std::string_view token,
+                                         std::string_view patient_id) {
+    service::session_config cfg;
+    cfg.patient_id = std::string(patient_id);
+    cfg.analysis = core::psa_config::conventional();
+    cfg.monitor = paper_monitor();
+    cfg.ingest_capacity = 4096;
+    if (token == "governed") {
+        cfg.quality.controller = degradation_ladder();
+        cfg.quality.governed = true;
+        cfg.quality.governor.reselect_every = 1;
+        cfg.quality.governor.min_dwell = 2;
+        cfg.quality.governor.switch_margin = 0.02;
+        cfg.quality.governor.budget_full_pct = 0.0;
+        cfg.quality.governor.budget_empty_pct = 10.0;
+        cfg.battery.capacity_j = 2.6e-3;
+    }
+    return cfg;
+}
+
+transport_result run_transport_fleet(unsigned n_patients,
+                                     real record_seconds) {
+    namespace qn = qpsa::net;
+    const auto sock = [](const char* tag) {
+        qn::endpoint ep;
+        ep.transport = qn::endpoint::kind::unix_path;
+        ep.path = "/tmp/qpsa-bench-" + std::to_string(::getpid()) + "-" +
+                  tag + ".sock";
+        return ep;
+    };
+
+    transport_result r;
+    r.patients = n_patients;
+    r.shards = 2;
+
+    // Aggregator tier first so the publishers' first dial lands.
+    qn::aggregator_options aopt;
+    aopt.listen = sock("agg");
+    qn::aggregator agg(aopt);
+    agg.start();
+
+    // Two shard servers, deterministic profile (threads = 1, drain only
+    // on flush frames), each with a cadence publisher shipping its
+    // global-id snapshot view to the aggregator while beats stream.
+    service::plan_cache cache0, cache1;
+    qn::ingest_server_options s0;
+    s0.listen = sock("shard0");
+    s0.shard_index = 0;
+    s0.shard_count = 2;
+    s0.service.threads = 1;
+    qn::ingest_server_options s1 = s0;
+    s1.listen = sock("shard1");
+    s1.shard_index = 1;
+    qn::ingest_server srv0(s0, transport_config, &cache0);
+    qn::ingest_server srv1(s1, transport_config, &cache1);
+    srv0.start();
+    srv1.start();
+
+    qn::publisher_options p0;
+    p0.aggregator = agg.local();
+    p0.shard_index = 0;
+    p0.shard_count = 2;
+    p0.cadence_ms = 20;
+    qn::publisher_options p1 = p0;
+    p1.shard_index = 1;
+    qn::snapshot_publisher pub0(p0, [&srv0] { return srv0.fleet_global(); });
+    qn::snapshot_publisher pub1(p1, [&srv1] { return srv1.fleet_global(); });
+    pub0.start();
+    pub1.start();
+
+    qn::ingest_client_options copt;
+    copt.shards = {srv0.local(), srv1.local()};
+    qn::ingest_client client(copt);
+    client.connect();
+
+    // In-process reference running the identical schedule (same tokens,
+    // same ids, same seeds, same drain barriers).
+    service::router_options ropt;
+    ropt.shards = 2;
+    ropt.shard.threads = 1;
+    service::plan_cache ref_cache;
+    service::shard_router ref(ropt, &ref_cache);
+
+    struct member {
+        physio::rr_record rec;
+        std::string token;
+        std::uint64_t id = 0;
+    };
+    std::vector<member> cohort;
+    cohort.reserve(n_patients);
+    for (unsigned i = 0; i < n_patients; ++i) {
+        const auto patient = physio::make_patient(
+            i % 2 ? physio::cohort::healthy : physio::cohort::sinus_arrhythmia,
+            i % 64);
+        member m{physio::record_for(patient, record_seconds),
+                 i % 2 ? std::string("governed") : std::string("plain")};
+        cohort.push_back(std::move(m));
+    }
+
+    const auto t0 = clock_type::now();
+    bool schedule_identical = true;
+    for (unsigned i = 0; i < n_patients; ++i) {
+        auto& m = cohort[i];
+        const std::string pid = "transport-" + std::to_string(i);
+        m.id = client.add_session(pid, m.token);
+        const auto rid = ref.add_session(transport_config(m.token, pid));
+        schedule_identical = schedule_identical && m.id == rid &&
+                             client.shard_of(m.id) == ref.shard_of(rid);
+        r.beats += m.rec.beats();
+    }
+
+    // Phase 1: half of every record, then a drain barrier on both sides.
+    for (auto& m : cohort)
+        for (std::size_t i = 0; i < m.rec.beats() / 2; ++i) {
+            client.ingest(m.id, m.rec.beat_time_s[i], m.rec.rr_s[i]);
+            ref.ingest(m.id, m.rec.beat_time_s[i], m.rec.rr_s[i]);
+        }
+    client.flush();
+    ref.drain_all();
+
+    // Live migration of a governed session over the socket, mirrored in
+    // the reference (mid-stream, mid-governor-dwell).
+    const std::uint64_t moving = cohort[1].id;  // governed
+    const std::size_t target = 1 - client.shard_of(moving);
+    client.migrate(moving, target);
+    ref.migrate_session(moving, target);
+
+    // Phase 2: the rest, drain barrier again.
+    for (auto& m : cohort)
+        for (std::size_t i = m.rec.beats() / 2; i < m.rec.beats(); ++i) {
+            client.ingest(m.id, m.rec.beat_time_s[i], m.rec.rr_s[i]);
+            ref.ingest(m.id, m.rec.beat_time_s[i], m.rec.rr_s[i]);
+        }
+    client.flush();
+    ref.drain_all();
+    const auto t1 = clock_type::now();
+
+    // Final synchronous publish, then wait for the aggregator to hold
+    // both shards' post-drain snapshots (cadence publishes may still be
+    // in flight; snapshots are whole-state, so the last one wins).
+    pub0.publish_now();
+    pub1.publish_now();
+    const service::fleet_snapshot want = ref.fleet();
+    const auto deadline = clock_type::now() + std::chrono::seconds(10);
+    bool agg_identical = false;
+    while (clock_type::now() < deadline) {
+        if (agg.shards_reporting() == 2 && agg.merged() == want) {
+            agg_identical = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        pub0.publish_now();
+        pub1.publish_now();
+    }
+    r.merge_identical =
+        schedule_identical && agg_identical && client.merged_stats() == want;
+
+    // Migration bar: the moved session's spectra and switch log match
+    // the reference's and an unmigrated solo run with the same derived
+    // seed -- migration left no computational trace.
+    const qn::session_report moved = client.query_session(moving);
+    service::service_options solo_opt;
+    solo_opt.threads = 1;
+    service::plan_cache solo_cache;
+    service::session_manager solo(solo_opt, &solo_cache);
+    auto solo_cfg = transport_config(cohort[1].token, "ignored");
+    solo_cfg.patient_id = ref.at(moving).patient_id();
+    solo_cfg.seed = util::derive_stream_seed(copt.base_seed, moving);
+    const auto solo_id = solo.add_session(std::move(solo_cfg));
+    for (std::size_t i = 0; i < cohort[1].rec.beats(); ++i)
+        solo.ingest(solo_id, cohort[1].rec.beat_time_s[i],
+                    cohort[1].rec.rr_s[i]);
+    solo.drain_all();
+    r.migration_identical = moved.found && client.migrations() == 1;
+    for (const auto* side : {&ref.at(moving), &solo.at(solo_id)}) {
+        const auto want_reports = side->reports();
+        const auto want_log = side->switch_log();
+        if (moved.reports.size() != want_reports.size() ||
+            moved.switch_log.size() != want_log.size()) {
+            r.migration_identical = false;
+            break;
+        }
+        for (std::size_t i = 0; i < want_reports.size(); ++i)
+            if (moved.reports[i].bands.lf != want_reports[i].bands.lf ||
+                moved.reports[i].bands.hf != want_reports[i].bands.hf ||
+                moved.reports[i].bands.total != want_reports[i].bands.total ||
+                moved.reports[i].ops != want_reports[i].ops)
+                r.migration_identical = false;
+        for (std::size_t i = 0; i < want_log.size(); ++i)
+            if (!(moved.switch_log[i] == want_log[i]))
+                r.migration_identical = false;
+    }
+    // A governed record long enough to switch modes makes the switch-log
+    // comparison non-vacuous.
+    if (moved.switch_log.empty()) r.migration_identical = false;
+
+    r.windows = want.windows;
+    r.wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            t1 - t0)
+            .count();
+    r.beats_per_s = static_cast<double>(r.beats) / (r.wall_ms / 1000.0);
+    r.snapshots_published =
+        pub0.snapshots_published() + pub1.snapshots_published();
+    r.snapshots_per_s =
+        static_cast<double>(r.snapshots_published) / (r.wall_ms / 1000.0);
+    r.wire_bytes_sent =
+        client.bytes_sent() + pub0.bytes_sent() + pub1.bytes_sent();
+    r.wire_bytes_received = agg.bytes_received();
+    r.wire_bytes_per_beat =
+        r.beats > 0
+            ? static_cast<double>(client.bytes_sent()) /
+                  static_cast<double>(r.beats)
+            : 0.0;
+
+    client.close();
+    pub0.stop();
+    pub1.stop();
+    srv0.stop();
+    srv1.stop();
+    agg.stop();
+    return r;
+}
+
 /// Crude field scraper for the committed BENCH_service.json: finds the
 /// fleet object for `patients` and pulls two numeric fields.  Tolerant of
 /// missing files/fields (returns found = false / -1).
@@ -1029,6 +1289,31 @@ int main() {
     all_identical =
         all_identical && jr.rebuild_identical && jr.replay_identical;
 
+    // Cross-process transport: the fleet behind qpsa::net's three-tier
+    // topology (front-end -> 2 shard servers -> aggregator) over unix
+    // sockets, with one live socket migration mid-stream.
+    util::print_section(std::cout,
+                        "Transport -- ingest client + 2 socket shards + "
+                        "snapshot aggregator, live migration over the wire");
+    const auto tr = run_transport_fleet(32, record_seconds * 2);
+    std::cout << "patients: " << tr.patients << " across " << tr.shards
+              << " socket shards; " << tr.beats << " beats ("
+              << util::table::fmt(tr.beats_per_s, 0) << "/s over the wire), "
+              << tr.windows << " windows\n"
+              << "snapshots: " << tr.snapshots_published << " published ("
+              << util::table::fmt(tr.snapshots_per_s, 1) << "/s)\n"
+              << "wire: " << tr.wire_bytes_sent << " bytes sent ("
+              << util::table::fmt(tr.wire_bytes_per_beat, 1)
+              << " ingest bytes/beat), " << tr.wire_bytes_received
+              << " bytes into the aggregator\n"
+              << "verification: merged snapshot "
+              << (tr.merge_identical ? "bit-identical" : "MISMATCH")
+              << " vs in-process router, migrated session "
+              << (tr.migration_identical ? "bit-identical" : "MISMATCH")
+              << " vs unmigrated run\n";
+    all_identical =
+        all_identical && tr.merge_identical && tr.migration_identical;
+
     std::ofstream json("BENCH_service.json");
     json << "{\n  \"bench\": \"service_throughput\",\n  \"record_seconds\": "
          << record_seconds << ",\n  \"workers\": " << results.front().workers
@@ -1102,6 +1387,21 @@ int main() {
          << (jr.rebuild_identical ? "true" : "false")
          << ", \"replay_identical\": "
          << (jr.replay_identical ? "true" : "false") << "},\n";
+    json << "  \"transport\": {\"patients\": " << tr.patients
+         << ", \"shards\": " << tr.shards
+         << ", \"beats\": " << tr.beats
+         << ", \"windows\": " << tr.windows
+         << ", \"wall_ms\": " << tr.wall_ms
+         << ", \"beats_per_s\": " << tr.beats_per_s
+         << ", \"snapshots_published\": " << tr.snapshots_published
+         << ", \"snapshots_per_s\": " << tr.snapshots_per_s
+         << ", \"wire_bytes_sent\": " << tr.wire_bytes_sent
+         << ", \"wire_bytes_received\": " << tr.wire_bytes_received
+         << ", \"wire_bytes_per_beat\": " << tr.wire_bytes_per_beat
+         << ", \"merge_identical\": "
+         << (tr.merge_identical ? "true" : "false")
+         << ", \"migration_identical\": "
+         << (tr.migration_identical ? "true" : "false") << "},\n";
     json << "  \"governed\": {\"patients\": " << governed.patients
          << ", \"windows\": " << governed.windows
          << ", \"mode_switches\": " << governed.mode_switches

@@ -1,0 +1,65 @@
+// fleet_aggregator -- the fleet's roll-up daemon.
+//
+// Listens for shard-node snapshot publishers, keeps the latest snapshot
+// per shard and answers stats queries with the merged fleet view --
+// bit-identical to what a single-process shard_router would report for
+// the same fleet (the front-end's --verify mode asserts exactly that).
+//
+// Usage: fleet_aggregator <endpoint> [--heartbeat-timeout-ms N]
+//   endpoint  tcp:host:port (port 0 = ephemeral, printed) or unix:/path
+//
+// Runs until SIGINT/SIGTERM, printing a one-line summary on exit.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include "qpsa/net/aggregator.hpp"
+
+namespace {
+std::atomic<bool> g_stop{false};
+void on_signal(int) { g_stop.store(true); }
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace qpsa;
+    if (argc < 2) {
+        std::cerr << "usage: fleet_aggregator <endpoint> "
+                     "[--heartbeat-timeout-ms N]\n";
+        return 2;
+    }
+
+    net::aggregator_options opt;
+    try {
+        opt.listen = net::endpoint::parse(argv[1]);
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--heartbeat-timeout-ms") == 0 &&
+                i + 1 < argc)
+                opt.heartbeat_timeout_ms = std::atoi(argv[++i]);
+        }
+
+        std::signal(SIGINT, on_signal);
+        std::signal(SIGTERM, on_signal);
+
+        net::aggregator agg(opt);
+        agg.start();
+        std::cout << "aggregator listening on " << agg.local().to_string()
+                  << std::endl;
+
+        while (!g_stop.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+        const auto snap = agg.merged();
+        std::cout << "aggregator exiting: " << agg.shards_reporting()
+                  << " shards, " << agg.snapshots_received()
+                  << " snapshots received, merged windows=" << snap.windows
+                  << " beats=" << snap.beats << std::endl;
+        agg.stop();
+    } catch (const std::exception& e) {
+        std::cerr << "fleet_aggregator: " << e.what() << std::endl;
+        return 1;
+    }
+    return 0;
+}

@@ -72,6 +72,31 @@ const mode_profile* quality_governor::on_window(real battery_fraction) {
     return &cand;
 }
 
+governor_state quality_governor::export_state() const noexcept {
+    governor_state st;
+    st.current_index =
+        current_ == npos ? ~std::uint64_t{0}
+                         : static_cast<std::uint64_t>(current_);
+    st.windows_seen = windows_seen_;
+    st.windows_since_switch = windows_since_switch_;
+    st.switches = switches_;
+    return st;
+}
+
+void quality_governor::restore_state(const governor_state& st) {
+    if (st.current_index == ~std::uint64_t{0}) {
+        current_ = npos;
+    } else {
+        QPSA_EXPECTS(policy_.controller != nullptr);
+        QPSA_EXPECTS(st.current_index <
+                     policy_.controller->profiles().size());
+        current_ = static_cast<std::size_t>(st.current_index);
+    }
+    windows_seen_ = st.windows_seen;
+    windows_since_switch_ = st.windows_since_switch;
+    switches_ = st.switches;
+}
+
 const mode_profile* quality_governor::set_static_budget(real qdes_error_pct) {
     policy_.qdes_error_pct = qdes_error_pct;
     if (policy_.controller == nullptr || runtime_enabled()) return nullptr;

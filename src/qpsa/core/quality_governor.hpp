@@ -53,6 +53,20 @@ struct quality_policy {
     real budget_at(real charge_fraction) const;
 };
 
+/// Hysteresis state of a running governor -- what must travel with a
+/// migrating session so the mode schedule continues bit-identically on
+/// the adopting shard.  The policy itself does not travel (it is part of
+/// the session config, rebuilt locally); only the loop's position does.
+struct governor_state {
+    /// Active mode index, or ~0 for "none" (quality_governor::npos).
+    std::uint64_t current_index = ~std::uint64_t{0};
+    std::uint64_t windows_seen = 0;
+    std::uint64_t windows_since_switch = 0;
+    std::uint64_t switches = 0;
+
+    bool operator==(const governor_state&) const = default;
+};
+
 class quality_governor {
 public:
     static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
@@ -91,6 +105,13 @@ public:
     const mode_profile* current() const;
     std::uint64_t switches() const noexcept { return switches_; }
     std::uint64_t windows_seen() const noexcept { return windows_seen_; }
+
+    /// Snapshot the loop position for migration.
+    governor_state export_state() const noexcept;
+
+    /// Restore a loop position exported by a governor with the same
+    /// policy.  The mode index must be valid for this controller.
+    void restore_state(const governor_state& st);
 
 private:
     quality_policy policy_;

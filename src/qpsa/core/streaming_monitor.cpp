@@ -129,6 +129,34 @@ void streaming_monitor::set_config(psa_config cfg) {
     QPSA_EXPECTS(system_ != nullptr);
 }
 
+monitor_state streaming_monitor::export_state() const {
+    monitor_state st;
+    st.buffered.assign(
+        buffer_.begin() + static_cast<std::ptrdiff_t>(buffer_head_),
+        buffer_.end());
+    st.pending.assign(
+        pending_.begin() + static_cast<std::ptrdiff_t>(pending_head_),
+        pending_.end());
+    st.history = history_;
+    st.next_window_start = next_window_start_;
+    st.started = started_;
+    st.windows_completed = completed_;
+    st.beats_seen = beats_seen_;
+    return st;
+}
+
+void streaming_monitor::restore_state(const monitor_state& st) {
+    buffer_ = st.buffered;
+    buffer_head_ = 0;
+    pending_ = st.pending;
+    pending_head_ = 0;
+    history_ = st.history;
+    next_window_start_ = st.next_window_start;
+    started_ = st.started;
+    completed_ = static_cast<std::size_t>(st.windows_completed);
+    beats_seen_ = static_cast<std::size_t>(st.beats_seen);
+}
+
 real streaming_monitor::arrhythmia_fraction() const {
     if (history_.empty()) return 0.0;
     std::size_t flagged = 0;

@@ -48,6 +48,25 @@ struct window_report {
 using system_factory =
     std::function<std::shared_ptr<const psa_system>(const psa_config&)>;
 
+/// Complete streaming state of a monitor between two push_beat calls --
+/// the unit of live session migration.  A monitor restored from an
+/// exported state continues the beat stream bit-identically to the
+/// monitor that exported it: the live beat window, the un-polled pending
+/// reports, the bounded history and the window phase all travel.  The
+/// analysis configuration does NOT travel (it is owned by the session's
+/// config/governor, which re-applies it on the adopting side).
+struct monitor_state {
+    std::vector<std::pair<real, real>> buffered;  ///< live (time, rr) window
+    std::vector<window_report> pending;           ///< completed, not yet polled
+    std::vector<window_report> history;           ///< bounded report history
+    real next_window_start = 0.0;
+    bool started = false;
+    std::uint64_t windows_completed = 0;
+    std::uint64_t beats_seen = 0;
+
+    bool operator==(const monitor_state&) const = default;
+};
+
 class streaming_monitor {
 public:
     streaming_monitor(psa_config cfg, monitor_options opt = {},
@@ -86,6 +105,17 @@ public:
 
     std::size_t windows_completed() const noexcept { return completed_; }
     std::size_t beats_seen() const noexcept { return beats_seen_; }
+
+    /// Snapshot the full streaming state (live window, pending reports,
+    /// history, window phase).  Pure read; the monitor keeps running.
+    monitor_state export_state() const;
+
+    /// Replace the streaming state with an exported one.  The analysis
+    /// configuration is untouched -- callers restore config first (via
+    /// set_config) and state second.  After restore the monitor is
+    /// bit-identical to the exporter: the next push_beat continues the
+    /// same window with the same phase.
+    void restore_state(const monitor_state& st);
 
 private:
     void try_close_windows();

@@ -86,6 +86,15 @@ public:
     real charge_remaining_j() const noexcept {
         return charge_j_.load(std::memory_order_relaxed);
     }
+
+    /// Overwrite the remaining charge -- session migration restores the
+    /// node's live charge on the adopting shard.  Clamped to
+    /// [0, capacity].
+    void restore_charge(real joules) noexcept {
+        const real hi = cfg_.capacity_j;
+        const real c = joules < 0.0 ? 0.0 : (joules > hi ? hi : joules);
+        charge_j_.store(c, std::memory_order_relaxed);
+    }
     /// Remaining charge as a fraction of capacity, in [0, 1].
     real charge_fraction() const noexcept {
         return charge_remaining_j() / cfg_.capacity_j;

@@ -31,6 +31,14 @@
 //   footer        u64 records; u64 bytes (both excluding the footer
 //                 record itself); u64 fsyncs (including the final fsync
 //                 close() issues right after the footer)
+//   migration     u64 session_id; u8 direction (0 = out, 1 = in); then a
+//                 checkpoint of the session's quality columns at the
+//                 moment of the move: f64 battery_fraction;
+//                 u64 mode_switches; u8 mode_after.  (v2+.)  An "out"
+//                 record retires the session from this shard's rebuild;
+//                 an "in" record (preceded by a fresh session_meta whose
+//                 initial_mode is the *restored* mode) is the session's
+//                 state until its first post-adopt report.
 //
 // Versioning rules mirror the snapshot wire rules: additive changes bump
 // journal_wire_version and the reader keeps accepting every older
@@ -67,7 +75,9 @@ public:
 };
 
 inline constexpr std::uint32_t journal_magic = 0x4C4A5051;  // "QPJL" LE
-inline constexpr std::uint16_t journal_wire_version = 1;
+/// v1 = PR 6 record set; v2 adds the migration record (live session
+/// moves).  The reader accepts every version it ever shipped.
+inline constexpr std::uint16_t journal_wire_version = 2;
 inline constexpr std::size_t journal_header_bytes = 16;
 inline constexpr std::size_t journal_frame_bytes = 8;  ///< u32 len + u32 crc
 /// Records larger than this are corruption, not data (the largest real
@@ -82,6 +92,14 @@ enum class record_type : std::uint8_t {
     report = 3,
     stats_delta = 4,
     footer = 5,
+    migration = 6,  ///< v2+: a session left or joined this shard
+};
+
+/// Which way a migration record's session moved relative to the shard
+/// whose log holds the record (the log's own header names the shard).
+enum class migration_direction : std::uint8_t {
+    out = 0,  ///< extracted here, resumes elsewhere
+    in = 1,   ///< adopted here, extracted elsewhere
 };
 
 /// Admission-time facts about one session: everything a replay needs to
@@ -120,6 +138,21 @@ struct report_event {
     core::engine_class mode_after = core::engine_class::conventional;
 
     bool operator==(const report_event&) const = default;
+};
+
+/// One live session move, logged on both sides (an "out" record in the
+/// source shard's journal, a session_meta + "in" record in the
+/// destination's).  The checkpoint fields carry the quality columns at
+/// the moment of the move: for an adopted session they are what a
+/// rebuild reports until its first post-adopt window report.
+struct migration_event {
+    std::uint64_t session_id = 0;  ///< global (fleet-wide) id
+    migration_direction direction = migration_direction::out;
+    real battery_fraction = 1.0;
+    std::uint64_t mode_switches = 0;
+    core::engine_class mode_after = core::engine_class::conventional;
+
+    bool operator==(const migration_event&) const = default;
 };
 
 /// Trailer written by a graceful close(); its presence marks a clean

@@ -133,6 +133,21 @@ report_event decode_report(cursor c) {
     return ev;
 }
 
+migration_event decode_migration(cursor c) {
+    migration_event ev;
+    ev.session_id = c.u64();
+    const std::uint8_t dir = c.u8();
+    if (dir > 1)
+        throw wire_error("journal: invalid migration direction " +
+                         std::to_string(dir));
+    ev.direction = static_cast<migration_direction>(dir);
+    ev.battery_fraction = c.f64();
+    ev.mode_switches = c.u64();
+    ev.mode_after = read_engine_class(c);
+    c.expect_exhausted();
+    return ev;
+}
+
 journal_footer decode_footer(cursor c) {
     journal_footer f;
     f.records = c.u64();
@@ -206,6 +221,10 @@ journal_scan scan_journal_bytes(std::span<const std::uint8_t> bytes) {
                 // sum re-associates identically.
                 scan.stats += service::fleet_snapshot::deserialize(body.rest());
                 break;
+            case record_type::migration:
+                scan.migrations.push_back(
+                    {decode_migration(body), scan.reports.size()});
+                break;
             case record_type::footer:
                 scan.footer = decode_footer(body);
                 saw_footer = true;
@@ -263,16 +282,54 @@ service::fleet_snapshot rebuild_shard_snapshot(const journal_scan& scan) {
     // assembles the live ones: sessions in id order, state taken from the
     // last journaled post-window record (battery and governor state only
     // change at window boundaries, so "last report" == "live now").
+    // Migration reshapes that picture: a session whose last migration is
+    // an "out" has left this shard (the destination's log reports it); an
+    // "in" checkpoint is its state until a newer report, and a session
+    // that left and came back carries a second meta, so metas dedupe.
     std::unordered_map<std::uint64_t, const report_event*> last;
+    std::unordered_map<std::uint64_t, std::uint64_t> last_index;
     last.reserve(scan.sessions.size());
-    for (const report_event& r : scan.reports) last[r.session_id] = &r;
+    for (std::size_t i = 0; i < scan.reports.size(); ++i) {
+        const report_event& r = scan.reports[i];
+        last[r.session_id] = &r;
+        last_index[r.session_id] = i;
+    }
+    std::unordered_map<std::uint64_t, const journal_scan::scanned_migration*>
+        last_mig;
+    for (const auto& m : scan.migrations) {
+        last_mig[m.event.session_id] = &m;
+        if (m.event.direction == migration_direction::in)
+            ++snap.sessions_migrated_in;
+        else
+            ++snap.sessions_migrated_out;
+    }
+    std::unordered_map<std::uint64_t, bool> seen;
     for (const session_meta& m : scan.sessions) {
+        if (seen[m.session_id]) continue;
+        seen[m.session_id] = true;
+
         const auto it = last.find(m.session_id);
         const report_event* lr = it != last.end() ? it->second : nullptr;
-        const std::uint64_t switches = lr != nullptr ? lr->mode_switches : 0;
-        const real fraction = lr != nullptr ? lr->battery_fraction : 1.0;
-        const core::engine_class mode =
+        std::uint64_t switches = lr != nullptr ? lr->mode_switches : 0;
+        real fraction = lr != nullptr ? lr->battery_fraction : 1.0;
+        core::engine_class mode =
             lr != nullptr ? lr->mode_after : m.initial_mode;
+
+        if (const auto mig_it = last_mig.find(m.session_id);
+            mig_it != last_mig.end()) {
+            const journal_scan::scanned_migration& mig = *mig_it->second;
+            // A tombstone never drains, so no report can follow an "out".
+            if (mig.event.direction == migration_direction::out) continue;
+            // "in": the checkpoint stands until a report postdates it.
+            const bool report_after =
+                lr != nullptr &&
+                last_index[m.session_id] >= mig.reports_before;
+            if (!report_after) {
+                switches = mig.event.mode_switches;
+                fraction = mig.event.battery_fraction;
+                mode = mig.event.mode_after;
+            }
+        }
         snap.mode_switches += switches;
         snap.battery_fraction_min =
             std::min(snap.battery_fraction_min, fraction);

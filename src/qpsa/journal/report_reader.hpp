@@ -37,6 +37,14 @@ struct journal_scan {
     std::vector<session_meta> sessions;  ///< admission (= id) order
     std::vector<beat_event> beats;       ///< drain order
     std::vector<report_event> reports;   ///< completion order
+    /// Migration records in log order, each remembering how many reports
+    /// preceded it -- enough chronology to decide whether a session's
+    /// last state is a report or a migration checkpoint.
+    struct scanned_migration {
+        migration_event event;
+        std::uint64_t reports_before = 0;
+    };
+    std::vector<scanned_migration> migrations;
     /// Journaled batch partials merged in record order -- the same
     /// operator+= sequence the live fleet_stats performed.
     service::fleet_snapshot stats;

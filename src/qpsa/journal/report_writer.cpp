@@ -187,6 +187,18 @@ void report_writer::append_report(const report_event& ev) {
     put_record(record_type::report, c.done());
 }
 
+void report_writer::append_migration(const migration_event& ev) {
+    std::uint8_t buf[26];
+    cursor c({buf, sizeof buf});
+    c.u64(ev.session_id);
+    c.u8(static_cast<std::uint8_t>(ev.direction));
+    c.f64(ev.battery_fraction);
+    c.u64(ev.mode_switches);
+    c.u8(static_cast<std::uint8_t>(ev.mode_after));
+    std::lock_guard<std::mutex> lock(mu_);
+    put_record(record_type::migration, c.done());
+}
+
 void report_writer::append_stats_delta(const service::fleet_snapshot& delta) {
     const std::vector<std::uint8_t> body = delta.serialize();
     std::lock_guard<std::mutex> lock(mu_);

@@ -72,6 +72,9 @@ public:
     /// cannot afford.
     void append_beats(std::span<const beat_event> beats);
     void append_report(const report_event& ev);
+    /// Append one migration record (session_manager logs an "out" on
+    /// extraction and a session_meta + "in" pair on adoption).
+    void append_migration(const migration_event& ev);
     /// Append one merged batch partial.  Called by fleet_stats::merge
     /// under the stats mutex, in merge order -- the ordering contract the
     /// bit-identical rebuild rests on.

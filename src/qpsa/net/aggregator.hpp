@@ -1,0 +1,106 @@
+// Aggregator daemon core: accepts N snapshot publishers and rolls their
+// shard snapshots into one fleet view -- the cross-process analogue of
+// shard_router::fleet().
+//
+// Each publisher connection is handled on its own thread: hello names
+// the shard, every snapshot frame replaces that shard's latest state
+// (snapshots are whole-state, so only the newest matters), heartbeats
+// refresh liveness, and a peer that goes silent past the heartbeat
+// timeout is dropped (it will redial; see snapshot_publisher).  Query
+// connections ask stats_query and get the merged snapshot back as a
+// stats_reply.
+//
+// Merge identity: merged() deserializes nothing and re-sorts nothing --
+// it operator+=s the per-shard snapshots in shard-index order, exactly
+// the order shard_router::fleet() merges in-process shards, so a fleet
+// split across processes rolls up bit-identically to the same fleet in
+// one process (CI asserts this).  The per-shard snapshots themselves
+// arrive with rows already remapped to global session ids (publishers
+// ship shard_fleet()-equivalent views; see ingest_server::fleet_global).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "qpsa/net/socket.hpp"
+#include "qpsa/service/fleet_stats.hpp"
+
+namespace qpsa::net {
+
+struct aggregator_options {
+    endpoint listen;
+    /// Drop a connection silent for longer than this (a live publisher
+    /// heartbeats or publishes well inside it).
+    int heartbeat_timeout_ms = 5000;
+};
+
+class aggregator {
+public:
+    explicit aggregator(aggregator_options opt);
+    ~aggregator();
+
+    aggregator(const aggregator&) = delete;
+    aggregator& operator=(const aggregator&) = delete;
+
+    /// Begin accepting connections (idempotent).
+    void start();
+    /// Stop accepting, close every connection, join all threads.
+    void stop();
+
+    /// The bound address (ephemeral TCP ports resolved).
+    const endpoint& local() const noexcept { return listener_.local(); }
+
+    /// Latest-per-shard snapshots merged in shard-index order.
+    service::fleet_snapshot merged() const;
+    /// Shards that have published at least once.
+    std::size_t shards_reporting() const;
+
+    std::uint64_t snapshots_received() const noexcept {
+        return snapshots_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t connections_accepted() const noexcept {
+        return accepted_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t heartbeats_received() const noexcept {
+        return heartbeats_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t bytes_received() const noexcept {
+        return bytes_received_.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct connection {
+        socket_conn conn;
+        std::thread thread;
+    };
+
+    void accept_loop();
+    void serve(socket_conn& conn);
+    /// Reap finished connection threads; caller holds conns_mu_.
+    void reap_locked();
+
+    aggregator_options opt_;
+    listener listener_;
+
+    std::thread accept_thread_;
+    std::atomic<bool> stop_{false};
+
+    mutable std::mutex snap_mu_;
+    /// Latest snapshot per shard index (ordered -- merge order).
+    std::map<std::uint32_t, service::fleet_snapshot> latest_;
+
+    std::mutex conns_mu_;
+    std::vector<std::unique_ptr<connection>> conns_;
+
+    std::atomic<std::uint64_t> snapshots_{0};
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> heartbeats_{0};
+    std::atomic<std::uint64_t> bytes_received_{0};
+};
+
+}  // namespace qpsa::net

@@ -1,0 +1,148 @@
+// Ingest server: one shard process's front door.  Owns a
+// session_manager and exposes it over qpsa::net frames -- admits,
+// beat batches, drain barriers, stats, and both ends of a live session
+// migration.
+//
+// Identity across the socket: clients speak *global* session ids (the
+// dense fleet-wide ids an in-process shard_router would have assigned).
+// The server keeps the global<->local mapping, stamps the global id
+// into journal records (cfg.journal_id) and remaps snapshot rows back
+// to global ids in fleet_global() -- exactly what shard_router::
+// shard_fleet() does in-process, which is what makes the aggregated
+// multi-process snapshot bit-identical to the single-process merge.
+//
+// Configs never cross the socket (they hold live process resources; see
+// session_state.hpp).  An admit carries a config *token*, resolved
+// through the make_config callback -- the application's config registry.
+// Migration ships the token with the state so the destination shard
+// resolves the same config locally.
+//
+// Determinism: with pump_interval_ms == 0 the manager drains only on a
+// flush frame, so a client's ingest -> flush -> query sequence is a
+// program-order pipeline and (with threads = 1) bit-identical to the
+// same sequence against an in-process manager.  A positive interval
+// adds a free-running pumper thread for throughput deployments, at the
+// cost of that determinism.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "qpsa/net/socket.hpp"
+#include "qpsa/service/session_manager.hpp"
+
+namespace qpsa::net {
+
+struct ingest_server_options {
+    endpoint listen;
+    std::uint32_t shard_index = 0;
+    std::uint32_t shard_count = 1;
+    /// The owned manager's options (threads = 1 for deterministic runs).
+    service::service_options service;
+    /// 0 = drain only on flush frames (deterministic); > 0 runs a
+    /// background pumper on this cadence.
+    int pump_interval_ms = 0;
+    /// Per-connection I/O deadline; also the liveness bound on idle
+    /// client connections.
+    int io_timeout_ms = 5000;
+};
+
+class ingest_server {
+public:
+    /// `make_config` resolves a config token (+ patient id) to a full
+    /// session_config -- the application's config registry.  Called on
+    /// connection-handler threads; must be thread-safe.
+    ingest_server(
+        ingest_server_options opt,
+        std::function<service::session_config(std::string_view token,
+                                              std::string_view patient_id)>
+            make_config,
+        service::plan_cache* cache = nullptr);
+    ~ingest_server();
+
+    ingest_server(const ingest_server&) = delete;
+    ingest_server& operator=(const ingest_server&) = delete;
+
+    void start();
+    void stop();
+
+    const endpoint& local() const noexcept { return listener_.local(); }
+    service::session_manager& manager() noexcept { return mgr_; }
+
+    /// The shard snapshot with per-session rows remapped to global ids
+    /// (the shard_fleet() analogue; what stats_reply and publishers
+    /// should ship).
+    service::fleet_snapshot fleet_global() const;
+
+    std::uint64_t beats_ingested() const noexcept {
+        return beats_in_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t beats_rejected() const noexcept {
+        return beats_rejected_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t admits() const noexcept {
+        return admits_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t flushes() const noexcept {
+        return flushes_.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct connection {
+        socket_conn conn;
+        std::thread thread;
+    };
+
+    void accept_loop();
+    void serve(socket_conn& conn);
+    void pump_loop();
+    void reap_locked();
+
+    /// Local id for a global id; ~0 when unknown/not resident.
+    std::uint64_t local_of(std::uint64_t global_id) const;
+
+    void handle_admit(socket_conn& conn, const frame& f);
+    void handle_beat_batch(const frame& f);
+    void handle_flush(socket_conn& conn);
+    void handle_migrate_out(socket_conn& conn, const frame& f);
+    void handle_adopt(socket_conn& conn, const frame& f);
+    void handle_session_query(socket_conn& conn, const frame& f);
+
+    ingest_server_options opt_;
+    std::function<service::session_config(std::string_view,
+                                          std::string_view)>
+        make_config_;
+    service::session_manager mgr_;
+    listener listener_;
+
+    std::thread accept_thread_;
+    std::thread pump_thread_;
+    std::atomic<bool> stop_{false};
+
+    /// Identity maps; guarded by map_mu_ (admit/adopt/migrate mutate,
+    /// beat batches read).  local -> global is dense (local admission
+    /// order); tombstoned locals keep their last global id, which the
+    /// global -> local map no longer points at.
+    mutable std::mutex map_mu_;
+    std::unordered_map<std::uint64_t, std::uint64_t> global_to_local_;
+    std::vector<std::uint64_t> local_to_global_;
+    std::unordered_map<std::uint64_t, std::string> token_of_global_;
+
+    std::mutex conns_mu_;
+    std::vector<std::unique_ptr<connection>> conns_;
+
+    std::atomic<std::uint64_t> beats_in_{0};
+    std::atomic<std::uint64_t> beats_rejected_{0};
+    std::atomic<std::uint64_t> admits_{0};
+    std::atomic<std::uint64_t> flushes_{0};
+};
+
+}  // namespace qpsa::net

@@ -1,0 +1,92 @@
+// Snapshot publisher: ships one shard's fleet_snapshot to an aggregator
+// daemon on a cadence (or on demand), surviving aggregator restarts.
+//
+// The publisher owns one outbound connection and a background thread:
+// dial with exponential backoff, announce with hello, then alternate
+// snapshot frames (every cadence_ms) with heartbeats.  Any transport
+// error tears the connection down and re-enters the dial loop -- the
+// shard keeps computing regardless, and the aggregator's view is simply
+// stale until the next successful publish (snapshots are idempotent
+// state, not deltas, so a dropped one costs freshness, never
+// correctness).
+//
+// publish_now() pushes one snapshot synchronously on the caller's
+// thread; the CI identity check drives publishing this way (cadence 0,
+// no background thread) so "every shard published its final state" is a
+// program-order fact rather than a sleep.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "qpsa/net/socket.hpp"
+#include "qpsa/service/fleet_stats.hpp"
+
+namespace qpsa::net {
+
+struct publisher_options {
+    endpoint aggregator;
+    std::uint32_t shard_index = 0;
+    std::uint32_t shard_count = 1;
+    /// Publish cadence; 0 = no background thread, publish_now() only.
+    int cadence_ms = 0;
+    dial_options dial;
+};
+
+class snapshot_publisher {
+public:
+    /// `source` is called on whatever thread publishes (the background
+    /// thread or a publish_now() caller) and must be safe to call
+    /// concurrently with the shard's pump -- fleet() is.
+    snapshot_publisher(publisher_options opt,
+                       std::function<service::fleet_snapshot()> source);
+    ~snapshot_publisher();
+
+    snapshot_publisher(const snapshot_publisher&) = delete;
+    snapshot_publisher& operator=(const snapshot_publisher&) = delete;
+
+    /// Start the cadence thread (no-op when cadence_ms == 0).
+    void start();
+    /// Publish one snapshot synchronously; dials (with backoff) if not
+    /// connected.  Throws net_error when the aggregator stays down.
+    void publish_now();
+    /// Send bye, stop the thread, close the connection.  Idempotent.
+    void stop();
+
+    std::uint64_t snapshots_published() const noexcept {
+        return published_.load(std::memory_order_relaxed);
+    }
+    /// Times the connection was (re)established after the first.
+    std::uint64_t reconnects() const noexcept {
+        return reconnects_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t bytes_sent() const noexcept {
+        return bytes_sent_.load(std::memory_order_relaxed);
+    }
+
+private:
+    /// Ensure conn_ is connected and hello'd; caller holds mu_.
+    void connect_locked();
+    /// One snapshot over the live connection; caller holds mu_.  Throws
+    /// on transport failure after closing the connection.
+    void publish_locked();
+    void run();
+
+    publisher_options opt_;
+    std::function<service::fleet_snapshot()> source_;
+
+    std::mutex mu_;  ///< serializes conn_ use (thread vs publish_now)
+    socket_conn conn_;
+    bool ever_connected_ = false;
+
+    std::thread thread_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> published_{0};
+    std::atomic<std::uint64_t> reconnects_{0};
+    std::atomic<std::uint64_t> bytes_sent_{0};
+};
+
+}  // namespace qpsa::net

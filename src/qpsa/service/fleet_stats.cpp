@@ -26,6 +26,8 @@ fleet_snapshot& fleet_snapshot::operator+=(const fleet_snapshot& o) {
     journal_bytes += o.journal_bytes;
     journal_fsyncs += o.journal_fsyncs;
     journal_torn_tails += o.journal_torn_tails;
+    sessions_migrated_in += o.sessions_migrated_in;
+    sessions_migrated_out += o.sessions_migrated_out;
     lf_sum += o.lf_sum;
     hf_sum += o.hf_sum;
     ratio_sum += o.ratio_sum;

@@ -41,9 +41,10 @@ public:
 /// kinds (an older leaf-engine set) loads into the wider table while one
 /// with more kinds than the reader knows is rejected loudly.
 /// History: v1 = PR 5 layout; v2 appends the high-water and journal
-/// telemetry columns after ratio_sum (a v1 payload still loads, the new
-/// columns default to zero).
-inline constexpr std::uint16_t fleet_wire_version = 2;
+/// telemetry columns after ratio_sum; v3 appends the live-migration
+/// columns (sessions_migrated_in/out).  Older payloads still load with
+/// the missing trailing columns zero.
+inline constexpr std::uint16_t fleet_wire_version = 3;
 
 /// Per-engine-kind tally (one slot per core::engine_class).
 struct engine_tally {
@@ -125,6 +126,12 @@ struct fleet_snapshot {
     std::uint64_t journal_fsyncs = 0;
     std::uint64_t journal_torn_tails = 0;
 
+    /// Live-migration telemetry: sessions this fleet has shipped out /
+    /// adopted (filled by session_manager::fleet()).  In a fully
+    /// consistent merged view every out has a matching in.
+    std::uint64_t sessions_migrated_in = 0;
+    std::uint64_t sessions_migrated_out = 0;
+
     // Sums over windows; use the mean_* helpers for averages.
     real lf_sum = 0.0;
     real hf_sum = 0.0;
@@ -158,9 +165,16 @@ struct fleet_snapshot {
     /// aggregator deserializes and operator+=s it, and the result is
     /// bit-identical to an in-process merge (doubles travel as raw IEEE
     /// bits, so the round trip is lossless).
-    std::vector<std::uint8_t> serialize() const;
+    std::vector<std::uint8_t> serialize() const {
+        return serialize(fleet_wire_version);
+    }
+    /// Serialize as an explicit (older) wire version -- the layout that
+    /// version actually shipped, trailing columns omitted.  Lets tests
+    /// and mixed-version deployments exercise genuine version skew.
+    std::vector<std::uint8_t> serialize(std::uint16_t version) const;
     /// Parse bytes produced by serialize(); throws wire_error on
-    /// malformed input.  Implemented in wire.cpp.
+    /// malformed input.  Columns a payload's (older) version predates
+    /// load as zero.  Implemented in wire.cpp.
     static fleet_snapshot deserialize(std::span<const std::uint8_t> bytes);
 };
 

@@ -31,6 +31,8 @@ namespace qpsa::service {
 struct beat_sample {
     real t = 0.0;
     real rr = 0.0;
+
+    bool operator==(const beat_sample&) const = default;
 };
 
 /// What a full ring does with the next beat.

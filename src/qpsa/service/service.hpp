@@ -8,6 +8,7 @@
 #include "qpsa/service/ring_buffer.hpp"
 #include "qpsa/service/session.hpp"
 #include "qpsa/service/session_manager.hpp"
+#include "qpsa/service/session_state.hpp"
 #include "qpsa/service/shard_map.hpp"
 #include "qpsa/service/shard_router.hpp"
 #include "qpsa/service/thread_pool.hpp"

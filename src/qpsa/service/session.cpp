@@ -2,6 +2,7 @@
 
 #include "qpsa/journal/report_writer.hpp"
 #include "qpsa/service/fleet_stats.hpp"
+#include "qpsa/service/session_state.hpp"
 #include "qpsa/service/thread_pool.hpp"
 
 namespace qpsa::service {
@@ -50,6 +51,62 @@ session::session(std::uint64_t id, session_config cfg,
     if (cfg_.journal != nullptr) journal_stage_.reserve(journal_stage_cap);
     if (governor_.runtime_enabled())
         switch_log_.reserve(cfg_.quality.controller->profiles().size() * 2);
+}
+
+session::session(std::uint64_t id, session_config cfg,
+                 core::system_factory factory,
+                 const session_runtime_state& st)
+    : session(id, std::move(cfg), std::move(factory)) {
+    // Identity first: the restored governor position decides the analysis
+    // config, which must be applied before the monitor state lands (the
+    // monitor's next window then runs the mode the old shard was in).
+    governor_.restore_state(st.governor);
+    if (const core::mode_profile* mode = governor_.current()) {
+        monitor_.set_config(mode->apply_to(cfg_.analysis));
+        current_mode_.store(mode->kind(), std::memory_order_relaxed);
+    }
+    switches_.store(governor_.switches(), std::memory_order_relaxed);
+    monitor_.restore_state(st.monitor);
+    battery_.restore_charge(st.battery_charge_j);
+    // Buffered beats re-enter through the ring so the next drain pass
+    // replays them in order.  They fit by construction: the same-capacity
+    // ring on the old shard held them.
+    for (const beat_sample& s : st.ring) ring_.push(s);
+    beats_ingested_ = st.beats_ingested;
+    beats_rejected_.store(st.beats_rejected, std::memory_order_relaxed);
+    windows_ = st.windows_completed;
+    dropped_carry_ = st.beats_dropped;
+    overwritten_carry_ = st.beats_overwritten;
+    high_water_alarms_.store(st.high_water_alarms, std::memory_order_relaxed);
+    switch_log_ = st.switch_log;
+    if (cfg_.keep_reports) reports_ = st.reports;
+}
+
+session_runtime_state session::extract() {
+    QPSA_EXPECTS(!extracted_.load(std::memory_order_relaxed));
+    // Drains never run concurrently with extract (the manager holds its
+    // pump mutex), so the journal stage is always flushed here.
+    QPSA_EXPECTS(journal_stage_.empty());
+    extracted_.store(true, std::memory_order_release);
+
+    session_runtime_state st;
+    st.global_id = journal_id_;
+    st.patient_id = cfg_.patient_id;
+    st.seed = cfg_.seed;
+    beat_sample s;
+    while (ring_.pop(s)) st.ring.push_back(s);
+    st.monitor = monitor_.export_state();
+    st.governor = governor_.export_state();
+    st.battery_charge_j = battery_.charge_remaining_j();
+    st.beats_ingested = beats_ingested_;
+    st.beats_rejected = beats_rejected_.load(std::memory_order_relaxed);
+    st.beats_dropped = beats_dropped();
+    st.beats_overwritten = beats_overwritten();
+    st.windows_completed = windows_;
+    st.high_water_alarms = high_water_alarms_.load(std::memory_order_relaxed);
+    st.switch_log = switch_log_;
+    st.reports = reports_;
+    return st;
 }
 
 void session::notify_high_water() noexcept {

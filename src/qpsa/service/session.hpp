@@ -101,11 +101,24 @@ struct session_config {
 struct mode_switch_event {
     std::uint64_t window_index = 0;
     std::size_t mode_index = 0;
+
+    bool operator==(const mode_switch_event&) const = default;
 };
+
+struct session_runtime_state;
 
 class session {
 public:
     session(std::uint64_t id, session_config cfg, core::system_factory factory);
+
+    /// Adoption constructor: build the session and then restore the full
+    /// run-time state an extract() on another shard produced (monitor
+    /// window, governor hysteresis, battery charge, buffered beats and
+    /// every counter).  `cfg.seed` / `cfg.journal_id` should already
+    /// carry the migrating session's identity (session_manager::
+    /// adopt_session presets them from the state).
+    session(std::uint64_t id, session_config cfg, core::system_factory factory,
+            const session_runtime_state& st);
 
     std::uint64_t id() const noexcept { return id_; }
     /// Id this session stamps into journal records (== id() unless the
@@ -121,6 +134,10 @@ public:
     /// a reject-policy ring is full (the beat is dropped and counted).
     /// Fires the session's high-water callback on the crossing beat.
     bool ingest(real beat_time_s, real rr_s) noexcept {
+        // An extracted session rejects like a full ring: its state has
+        // left this shard, so accepting a beat here would lose it.  (The
+        // producer is quiesced before extraction; this is the backstop.)
+        if (extracted_.load(std::memory_order_relaxed)) return false;
         const bool accepted = ring_.push({beat_time_s, rr_s});
         if (high_water_mark_ != 0) notify_high_water();
         return accepted;
@@ -133,7 +150,25 @@ public:
     }
 
     /// Beats waiting in the ring (cheap; the scheduler polls this).
-    bool has_pending() const noexcept { return !ring_.empty(); }
+    /// Extracted sessions report none -- the scheduler then never assigns
+    /// them, without knowing migration exists.
+    bool has_pending() const noexcept {
+        return !extracted_.load(std::memory_order_relaxed) && !ring_.empty();
+    }
+
+    /// Migration: snapshot the complete run-time state and retire this
+    /// session (ring drained into the state; further ingest rejected;
+    /// has_pending() false forever).  Caller must hold the manager's
+    /// scheduler quiescent (session_manager::extract_session does) and
+    /// have stopped this session's producer.  One-shot.
+    session_runtime_state extract();
+    bool extracted() const noexcept {
+        return extracted_.load(std::memory_order_relaxed);
+    }
+
+    /// The configuration this session was admitted with (hand it to the
+    /// adopting manager together with the extracted state).
+    const session_config& session_cfg() const noexcept { return cfg_; }
 
     /// Consumer side: pop buffered beats into the monitor one at a time,
     /// folding every completed window into `acc` (and the local report
@@ -166,9 +201,13 @@ public:
     }
 
     std::uint64_t beats_ingested() const noexcept { return beats_ingested_; }
-    std::uint64_t beats_dropped() const noexcept { return ring_.dropped(); }
+    /// Drop/evict counts include the lifetime carried in by an adoption
+    /// (the ring itself starts fresh on the new shard).
+    std::uint64_t beats_dropped() const noexcept {
+        return dropped_carry_ + ring_.dropped();
+    }
     std::uint64_t beats_overwritten() const noexcept {
-        return ring_.overwritten();
+        return overwritten_carry_ + ring_.overwritten();
     }
     /// Beats discarded because they violated the monitor's contract
     /// (non-positive RR, non-monotonic time).  Atomic so the fleet
@@ -227,6 +266,12 @@ private:
     std::uint64_t windows_ = 0;
     std::atomic<std::uint64_t> switches_{0};
     std::atomic<core::engine_class> current_mode_;
+    /// Lifetime drop/evict counts carried in by an adoption (the new
+    /// ring's own counters start at zero and add on top).
+    std::uint64_t dropped_carry_ = 0;
+    std::uint64_t overwritten_carry_ = 0;
+    /// Set once by extract(); the session is a tombstone afterwards.
+    std::atomic<bool> extracted_{false};
 };
 
 }  // namespace qpsa::service

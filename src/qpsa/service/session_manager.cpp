@@ -69,6 +69,60 @@ std::size_t session_manager::pump() {
     return scheduler_.run_once({sessions_.data(), session_count()}, stats_);
 }
 
+extracted_session session_manager::extract_session(std::uint64_t id) {
+    // Quiesce the analysis plane first (no worker is mid-drain on any
+    // session while pump_mu_ is held), then freeze admission so the id
+    // space is stable while the tombstone is cut.
+    std::scoped_lock lock(pump_mu_, admit_mu_);
+    QPSA_EXPECTS(id < sessions_.size());
+    session& s = *sessions_[id];
+    QPSA_EXPECTS(!s.extracted());
+    extracted_session out;
+    out.config = s.session_cfg();
+    // The source shard's journal stays behind; the adopting manager wires
+    // its own (adopt_session overrides both journal fields anyway).
+    out.config.journal = nullptr;
+    out.state = s.extract();
+    migrations_out_.fetch_add(1, std::memory_order_relaxed);
+    if (opt_.journal != nullptr)
+        opt_.journal->append_migration(
+            {out.state.global_id, journal::migration_direction::out,
+             s.battery_fraction(), s.mode_switches(), s.current_mode()});
+    return out;
+}
+
+std::uint64_t session_manager::adopt_session(session_config cfg,
+                                             const session_runtime_state& st) {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    QPSA_EXPECTS(sessions_.size() < opt_.max_sessions);
+    const std::uint64_t id = sessions_.size();
+    // Identity travels with the state: seed (== random stream position)
+    // and the fleet-wide journal id are never re-derived on adoption.
+    cfg.seed = st.seed;
+    cfg.journal_id = st.global_id;
+    cfg.journal = opt_.journal.get();
+    const core::monitor_options monitor_opt = cfg.monitor;
+    sessions_.push_back(
+        std::make_unique<session>(id, std::move(cfg), factory(), st));
+    const session& s = *sessions_.back();
+    if (opt_.journal != nullptr) {
+        // Meta first (the reader's session table), then the migration
+        // checkpoint carrying the restored quality columns -- what a
+        // rebuild reports for this session until its first post-adopt
+        // window.  The meta's mode is the *restored* mode for the same
+        // reason.
+        opt_.journal->append_session_meta({s.journal_id(), s.seed(),
+                                           monitor_opt, s.governed(),
+                                           s.current_mode(), s.patient_id()});
+        opt_.journal->append_migration(
+            {s.journal_id(), journal::migration_direction::in,
+             s.battery_fraction(), s.mode_switches(), s.current_mode()});
+    }
+    migrations_in_.fetch_add(1, std::memory_order_relaxed);
+    session_count_.store(sessions_.size(), std::memory_order_release);
+    return id;
+}
+
 fleet_snapshot session_manager::fleet() const {
     fleet_snapshot snap = stats_.snapshot();
     // Ingest-health and adaptive-QDES columns come from the sessions
@@ -78,6 +132,10 @@ fleet_snapshot session_manager::fleet() const {
     const std::size_t n = session_count();
     for (std::size_t i = 0; i < n; ++i) {
         const session& s = *sessions_[i];
+        // Tombstones of migrated-out sessions: their columns travelled
+        // with the state and are reported by the adopting shard; counting
+        // them here too would double the merged view.
+        if (s.extracted()) continue;
         const std::uint64_t dropped = s.beats_dropped();
         const std::uint64_t rejected = s.beats_rejected();
         const std::uint64_t overwritten = s.beats_overwritten();
@@ -103,6 +161,8 @@ fleet_snapshot session_manager::fleet() const {
         snap.journal_bytes += c.bytes;
         snap.journal_fsyncs += c.fsyncs;
     }
+    snap.sessions_migrated_in += migrations_in();
+    snap.sessions_migrated_out += migrations_out();
     return snap;
 }
 

@@ -30,6 +30,7 @@
 #include "qpsa/service/fleet_stats.hpp"
 #include "qpsa/service/plan_cache.hpp"
 #include "qpsa/service/session.hpp"
+#include "qpsa/service/session_state.hpp"
 #include "qpsa/service/thread_pool.hpp"
 
 namespace qpsa::service {
@@ -100,6 +101,29 @@ public:
     /// same session to two workers.
     std::size_t pump();
 
+    /// Live migration, source side: retire session `id` and return its
+    /// config + full run-time state.  Takes the pump mutex (no worker is
+    /// mid-drain on the session) then the admit mutex; the caller must
+    /// have stopped the session's producer first.  The slot remains as a
+    /// tombstone -- ids stay dense, ingest to it is rejected, the
+    /// scheduler and fleet() skip it.
+    extracted_session extract_session(std::uint64_t id);
+
+    /// Live migration, destination side: admit a session that continues
+    /// from an extracted state.  Seed and journal id are taken from the
+    /// state (not re-derived), so the random stream and journal identity
+    /// survive the move.  Returns the new local id.
+    std::uint64_t adopt_session(session_config cfg,
+                                const session_runtime_state& st);
+
+    /// Sessions moved out of / into this manager (fleet() columns).
+    std::uint64_t migrations_out() const noexcept {
+        return migrations_out_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t migrations_in() const noexcept {
+        return migrations_in_.load(std::memory_order_relaxed);
+    }
+
     /// Pump until no session has buffered ingest (the batch barrier makes
     /// this terminate once producers stop).
     std::size_t drain_all();
@@ -129,6 +153,8 @@ private:
     std::mutex pump_mu_;   ///< serializes scheduler passes
     std::vector<std::unique_ptr<session>> sessions_;  ///< reserved, no realloc
     std::atomic<std::size_t> session_count_{0};       ///< published size
+    std::atomic<std::uint64_t> migrations_out_{0};
+    std::atomic<std::uint64_t> migrations_in_{0};
 };
 
 }  // namespace qpsa::service

@@ -1,6 +1,7 @@
 #include "qpsa/service/shard_router.hpp"
 
 #include <filesystem>
+#include <limits>
 #include <thread>
 
 namespace qpsa::service {
@@ -10,18 +11,21 @@ shard_router::shard_router(router_options opt, plan_cache* cache)
       cache_(cache != nullptr ? cache : &global_plan_cache()),
       map_(opt.shards, opt.placement) {
     QPSA_EXPECTS(opt_.shards >= 1);
-    service_options shard_opt = opt_.shard;
-    if (shard_opt.threads == 0) {
+    shard_opt_ = opt_.shard;
+    if (shard_opt_.threads == 0) {
         // Split the machine across shards rather than oversubscribing it
         // K-fold; a shard always gets at least one worker.
         const std::size_t hw = std::max<std::size_t>(
             1, std::thread::hardware_concurrency());
-        shard_opt.threads = std::max<std::size_t>(1, hw / opt_.shards);
+        shard_opt_.threads = std::max<std::size_t>(1, hw / opt_.shards);
     }
     if (!opt_.journal_dir.empty())
         std::filesystem::create_directories(opt_.journal_dir);
-    shards_.reserve(opt_.shards);
+    // Reserved once so ingest() can index shards_ lock-free while
+    // reshape() appends: room for growth without reallocation.
+    shards_.reserve(std::max<std::size_t>(opt_.shards * 2, 16));
     for (std::size_t k = 0; k < opt_.shards; ++k) {
+        service_options shard_opt = shard_opt_;
         if (!opt_.journal_dir.empty()) {
             journal::writer_options jw = opt_.journal;
             jw.shard_index = static_cast<std::uint32_t>(k);
@@ -34,17 +38,19 @@ shard_router::shard_router(router_options opt, plan_cache* cache)
         shards_.push_back(
             std::make_unique<session_manager>(shard_opt, cache_));
     }
-    // Reserved once: ingest() indexes this storage lock-free while
-    // add_session() runs, so it must never reallocate.  The global
-    // ceiling is the sum of the shard ceilings -- adding shards raises
-    // fleet capacity (16 bytes per reserved route).
-    routes_.reserve(opt_.shards * shard_opt.max_sessions);
+    // Allocated once: ingest() indexes this storage lock-free while
+    // add_session() runs, so it must never move.  The global ceiling is
+    // the sum of the construction-time shard ceilings (8 bytes per
+    // reserved route); reshape() adds shards but not route capacity.
+    route_capacity_ = opt_.shards * shard_opt_.max_sessions;
+    routes_ = std::make_unique<std::atomic<std::uint64_t>[]>(route_capacity_);
 }
 
 std::uint64_t shard_router::add_session(session_config cfg) {
     std::lock_guard<std::mutex> lock(admit_mu_);
-    QPSA_EXPECTS(routes_.size() < routes_.capacity());
-    const std::uint64_t global_id = routes_.size();
+    const std::size_t count = session_count_.load(std::memory_order_relaxed);
+    QPSA_EXPECTS(count < route_capacity_);
+    const std::uint64_t global_id = count;
     // Topology-independent stream seed: derived from the global id, i.e.
     // exactly what a single serial manager would assign in the same
     // admission order (the shard manager keeps a nonzero seed as-is).
@@ -55,28 +61,101 @@ std::uint64_t shard_router::add_session(session_config cfg) {
     if (cfg.journal_id == journal_id_auto) cfg.journal_id = global_id;
     const std::size_t shard = map_.shard_for(cfg.patient_id);
     const std::uint64_t local = shards_[shard]->add_session(std::move(cfg));
-    routes_.push_back({static_cast<std::uint32_t>(shard), local});
+    QPSA_ENSURES(local <= std::numeric_limits<std::uint32_t>::max());
+    routes_[global_id].store(pack_route(static_cast<std::uint32_t>(shard),
+                                        static_cast<std::uint32_t>(local)),
+                             std::memory_order_release);
     // Publish after the route is fully written; ingest()/at() pair this
     // with an acquire load.
-    session_count_.store(routes_.size(), std::memory_order_release);
+    session_count_.store(count + 1, std::memory_order_release);
     return global_id;
 }
 
 session& shard_router::at(std::uint64_t id) {
     QPSA_EXPECTS(id < session_count());
-    const route r = routes_[id];
+    const route r = route_of(id);
     return shards_[r.shard]->at(r.local);
 }
 
 const session& shard_router::at(std::uint64_t id) const {
     QPSA_EXPECTS(id < session_count());
-    const route r = routes_[id];
+    const route r = route_of(id);
     return shards_[r.shard]->at(r.local);
 }
 
 std::size_t shard_router::shard_of(std::uint64_t id) const {
     QPSA_EXPECTS(id < session_count());
-    return routes_[id].shard;
+    return route_of(id).shard;
+}
+
+extracted_session shard_router::extract_session(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    QPSA_EXPECTS(id < session_count());
+    const route r = route_of(id);
+    return shards_[r.shard]->extract_session(r.local);
+}
+
+void shard_router::adopt_session(const extracted_session& es,
+                                 std::size_t target_shard) {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    QPSA_EXPECTS(target_shard < shards_.size());
+    const std::uint64_t id = es.state.global_id;
+    QPSA_EXPECTS(id < session_count());
+    const std::uint64_t local =
+        shards_[target_shard]->adopt_session(es.config, es.state);
+    QPSA_ENSURES(local <= std::numeric_limits<std::uint32_t>::max());
+    routes_[id].store(pack_route(static_cast<std::uint32_t>(target_shard),
+                                 static_cast<std::uint32_t>(local)),
+                      std::memory_order_release);
+}
+
+void shard_router::adopt_session(const extracted_session& es) {
+    adopt_session(es, map_.shard_for(es.state.patient_id));
+}
+
+void shard_router::move_route_locked(std::uint64_t id,
+                                     std::size_t target_shard) {
+    const route r = route_of(id);
+    if (r.shard == target_shard) return;
+    extracted_session es = shards_[r.shard]->extract_session(r.local);
+    const std::uint64_t local =
+        shards_[target_shard]->adopt_session(es.config, es.state);
+    QPSA_ENSURES(local <= std::numeric_limits<std::uint32_t>::max());
+    routes_[id].store(pack_route(static_cast<std::uint32_t>(target_shard),
+                                 static_cast<std::uint32_t>(local)),
+                      std::memory_order_release);
+}
+
+void shard_router::migrate_session(std::uint64_t id,
+                                   std::size_t target_shard) {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    QPSA_EXPECTS(id < session_count());
+    QPSA_EXPECTS(target_shard < shards_.size());
+    move_route_locked(id, target_shard);
+}
+
+void shard_router::reshape(std::size_t new_shards) {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    QPSA_EXPECTS(new_shards >= shards_.size());
+    // Journal headers stamp the admission-time topology; growing a
+    // journaled fleet in place would orphan the on-disk shard count.
+    QPSA_EXPECTS(opt_.journal_dir.empty());
+    QPSA_EXPECTS(new_shards <= shards_.capacity());
+    if (new_shards == shards_.size()) return;
+    while (shards_.size() < new_shards) {
+        map_.add_shard();
+        shards_.push_back(
+            std::make_unique<session_manager>(shard_opt_, cache_));
+    }
+    // Consistent hashing moves only the keys the new shards win; every
+    // moved session resumes bit-identically from its extracted state.
+    const std::size_t n = session_count_.load(std::memory_order_relaxed);
+    for (std::uint64_t id = 0; id < n; ++id) {
+        const route r = route_of(id);
+        const session& s = shards_[r.shard]->at(r.local);
+        if (s.extracted()) continue;
+        move_route_locked(id, map_.shard_for(s.patient_id()));
+    }
 }
 
 std::size_t shard_router::pump() {
@@ -119,11 +198,12 @@ fleet_snapshot shard_router::shard_fleet(std::size_t k) const {
     fleet_snapshot snap = shards_[k]->fleet();
     // Remap the per-session rows from shard-local ids to global ids.
     // Local ids are dense per shard, so a local -> global table falls
-    // out of one scan over the routes.
-    const std::size_t n = routes_.size();
+    // out of one scan over the routes.  (Tombstone slots left behind by
+    // migration keep the zero default; no live row references them.)
+    const std::size_t n = session_count_.load(std::memory_order_acquire);
     std::vector<std::uint64_t> to_global(shards_[k]->session_count(), 0);
     for (std::uint64_t g = 0; g < n; ++g) {
-        const route r = routes_[g];
+        const route r = route_of(g);
         if (r.shard == k) to_global[r.local] = g;
     }
     for (session_drop_alarm& a : snap.drop_alarms)

@@ -89,11 +89,42 @@ public:
 
     /// Producer-side ingest by global session id (lock-free; forwards to
     /// the owning shard).  Unknown ids are rejected like a full ring.
+    /// Routes are single 64-bit atomics, so a migration updating one
+    /// concurrently is seen either entirely-old or entirely-new, never
+    /// torn (beats racing the move land on the tombstone and are
+    /// rejected; producers are quiesced for lossless migration).
     bool ingest(std::uint64_t id, real beat_time_s, real rr_s) noexcept {
         if (id >= session_count()) return false;
-        const route r = routes_[id];
+        const route r =
+            unpack_route(routes_[id].load(std::memory_order_acquire));
         return shards_[r.shard]->ingest(r.local, beat_time_s, rr_s);
     }
+
+    /// Live migration, source side: retire the session with global id
+    /// `id` on its current shard and return its config + run-time state.
+    /// Serialized against add_session, snapshots and other migrations by
+    /// the router admission mutex; the caller must have stopped the
+    /// session's producer.
+    extracted_session extract_session(std::uint64_t id);
+
+    /// Live migration, destination side: resume an extracted session on
+    /// the shard `target_shard` (or, without one, wherever the current
+    /// map places its patient_id).  The session keeps its global id,
+    /// seed and journal identity; the route is swung atomically.
+    void adopt_session(const extracted_session& es, std::size_t target_shard);
+    void adopt_session(const extracted_session& es);
+
+    /// extract + adopt under one admission-mutex hold: move one session
+    /// to an explicit shard.  No-op when it already lives there.
+    void migrate_session(std::uint64_t id, std::size_t target_shard);
+
+    /// Grow the fleet to `new_shards` (>= current) and move every session
+    /// the consistent-hash map now places elsewhere -- each moved session
+    /// resumes bit-identically (shard_map::add_shard moves only the keys
+    /// the new shards win).  Producers must be quiesced.  Not available
+    /// on journaled routers: the on-disk headers stamp the admission-time
+    /// topology.
+    void reshape(std::size_t new_shards);
 
     /// One scheduler pass per shard; returns windows completed fleet-wide.
     /// Shards are pumped in sequence here -- a deployment wanting shard
@@ -128,18 +159,43 @@ public:
 private:
     struct route {
         std::uint32_t shard = 0;
-        std::uint64_t local = 0;  ///< dense id inside the owning shard
+        std::uint32_t local = 0;  ///< dense id inside the owning shard
     };
 
+    /// Routes are packed into one u64 (shard high, local low) and stored
+    /// as atomics: migration rewrites a live route while ingest() reads
+    /// it lock-free, and a 16-byte struct cannot be read untorn.
+    static constexpr std::uint64_t pack_route(std::uint32_t shard,
+                                              std::uint32_t local) noexcept {
+        return (static_cast<std::uint64_t>(shard) << 32) | local;
+    }
+    static constexpr route unpack_route(std::uint64_t packed) noexcept {
+        return {static_cast<std::uint32_t>(packed >> 32),
+                static_cast<std::uint32_t>(packed)};
+    }
+
+    route route_of(std::uint64_t id) const noexcept {
+        return unpack_route(routes_[id].load(std::memory_order_acquire));
+    }
+
+    /// Swing one route to a new shard under admit_mu_ (extract on the
+    /// old manager, adopt on the new, atomic route publish).
+    void move_route_locked(std::uint64_t id, std::size_t target_shard);
+
     router_options opt_;
+    service_options shard_opt_;  ///< resolved per-shard options (threads set)
     plan_cache* cache_;
     shard_map map_;
     std::vector<std::unique_ptr<session_manager>> shards_;
-    /// Serializes add_session() and the snapshot id remapping (fleet
-    /// reads must not observe a shard-published session whose global
-    /// route is not out yet).
+    /// Serializes add_session(), migration (extract/adopt/reshape) and
+    /// the snapshot id remapping: a fleet read must not observe a
+    /// shard-published session whose global route is not out yet, and a
+    /// migration must not swing routes mid-remap.
     mutable std::mutex admit_mu_;
-    std::vector<route> routes_;         ///< reserved, no realloc
+    /// Fixed-capacity atomic route table (allocated once; a vector of
+    /// atomics cannot push_back).
+    std::unique_ptr<std::atomic<std::uint64_t>[]> routes_;
+    std::size_t route_capacity_ = 0;
     std::atomic<std::size_t> session_count_{0};  ///< published size
 };
 

@@ -492,18 +492,15 @@ TEST(FleetWireV2Test, TelemetryColumnsRoundTripAndOldPayloadsLoad) {
     EXPECT_EQ(twice.journal_torn_tails, 2u);
 
     // A v1 payload (the PR 5 layout: no trailing telemetry block) still
-    // loads, with the new columns zero.  Fabricate one by dropping the
-    // five trailing u64s and patching the header version.
+    // loads, with the new columns zero.  Emit one through the versioned
+    // serializer -- the same path an older peer would use.
     qs::fleet_snapshot v1_content = snap;
     v1_content.high_water_alarms = 0;
     v1_content.journal_appends = 0;
     v1_content.journal_bytes = 0;
     v1_content.journal_fsyncs = 0;
     v1_content.journal_torn_tails = 0;
-    std::vector<std::uint8_t> v1_bytes = v1_content.serialize();
-    // The telemetry block is the trailing five u64s on the wire.
-    v1_bytes.erase(v1_bytes.end() - 40, v1_bytes.end());
-    v1_bytes[4] = 1;  // version u16 low byte
+    const std::vector<std::uint8_t> v1_bytes = snap.serialize(1);
     EXPECT_EQ(qs::fleet_snapshot::deserialize(v1_bytes), v1_content);
 }
 

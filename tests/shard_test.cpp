@@ -1,8 +1,11 @@
 // Sharded fleet core tests: consistent-hash placement properties
 // (distribution balance, bounded key movement), the shard_router's
 // topology-blind determinism vs a serial baseline, the fleet_snapshot
-// wire format round trip, and a multi-shard concurrent drain (the tsan
-// job runs this binary).
+// wire format round trip (including genuine version skew via the
+// serialize(version) overload), live session migration
+// (extract/adopt bit-identity mid-window and mid-governor-dwell,
+// K=1 -> 2 -> 4 reshapes), and multi-shard concurrency -- drains and
+// snapshot-vs-migration races (the tsan job runs this binary).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -13,6 +16,7 @@
 
 #include "qpsa/physio/patients.hpp"
 #include "qpsa/service/service.hpp"
+#include "quality_ladder.hpp"
 
 using qpsa::real;
 namespace qcore = qpsa::core;
@@ -495,4 +499,303 @@ TEST(ShardRouterTest, ConcurrentMultiShardDrain) {
 
     for (unsigned i = 0; i < fx.records.size(); ++i)
         expect_reports_identical(router.at(i).reports(), fx.serial[i]);
+}
+
+// --------------------------------------------------------- version skew
+
+namespace {
+
+/// fat_snapshot() plus the columns later wire versions appended, so
+/// skew tests can see them zeroed by older encodings.
+qs::fleet_snapshot fat_snapshot_v3() {
+    qs::fleet_snapshot s = fat_snapshot();
+    s.high_water_alarms = 4;   // v2 columns
+    s.journal_appends = 100;
+    s.journal_bytes = 6400;
+    s.journal_fsyncs = 10;
+    s.journal_torn_tails = 1;
+    s.sessions_migrated_in = 2;  // v3 columns
+    s.sessions_migrated_out = 3;
+    return s;
+}
+
+}  // namespace
+
+TEST(FleetWireVersionSkewTest, OlderEncodingsLoadWithNewColumnsZeroed) {
+    const qs::fleet_snapshot snap = fat_snapshot_v3();
+
+    // A v2 peer's payload: migration columns did not exist yet.
+    qs::fleet_snapshot want_v2 = snap;
+    want_v2.sessions_migrated_in = 0;
+    want_v2.sessions_migrated_out = 0;
+    EXPECT_EQ(qs::fleet_snapshot::deserialize(snap.serialize(2)), want_v2);
+
+    // A v1 peer: no high-water/journal telemetry either.
+    qs::fleet_snapshot want_v1 = want_v2;
+    want_v1.high_water_alarms = 0;
+    want_v1.journal_appends = 0;
+    want_v1.journal_bytes = 0;
+    want_v1.journal_fsyncs = 0;
+    want_v1.journal_torn_tails = 0;
+    EXPECT_EQ(qs::fleet_snapshot::deserialize(snap.serialize(1)), want_v1);
+
+    // Older payloads are smaller, not just zero-padded.
+    EXPECT_LT(snap.serialize(1).size(), snap.serialize(2).size());
+    EXPECT_LT(snap.serialize(2).size(), snap.serialize().size());
+}
+
+TEST(FleetWireVersionSkewTest, MixedVersionMergeEqualsInProcessMerge) {
+    // An aggregator fed by one current shard and one v2 shard must merge
+    // exactly like the in-process merge of the same (v2-truncated) data.
+    const qs::fleet_snapshot current = fat_snapshot_v3();
+    qs::fleet_snapshot old_peer = fat_snapshot_v3();
+    old_peer.windows = 4321;
+    old_peer.lf_sum = 5.0 / 11.0;
+
+    qs::fleet_snapshot direct = current;
+    direct += qs::fleet_snapshot::deserialize(old_peer.serialize(2));
+
+    qs::fleet_snapshot wired =
+        qs::fleet_snapshot::deserialize(current.serialize());
+    wired += qs::fleet_snapshot::deserialize(old_peer.serialize(2));
+    EXPECT_EQ(wired, direct);
+}
+
+TEST(FleetWireVersionSkewTest, FutureVersionIsRejected) {
+    // Accept-older, reject-newer: a payload stamped one version past
+    // this build must throw, not misparse.
+    std::vector<std::uint8_t> bytes = fat_snapshot_v3().serialize();
+    bytes[4] = static_cast<std::uint8_t>(qs::fleet_wire_version + 1);
+    bytes[5] = 0;
+    EXPECT_THROW(qs::fleet_snapshot::deserialize(bytes), qs::wire_error);
+}
+
+// ------------------------------------------------------- live migration
+
+TEST(MigrationTest, ExtractAdoptMidWindowIsBitIdentical) {
+    // Move a session whose ring is non-empty and whose monitor is mid-
+    // window -- the hardest extraction point -- and finish the record on
+    // the new shard.  Reports must equal the never-migrated serial run.
+    const sharded_fixture fx(4);
+    qs::router_options opt;
+    opt.shards = 2;
+    opt.shard.threads = 1;
+    qs::plan_cache cache;
+    qs::shard_router router(opt, &cache);
+    for (unsigned i = 0; i < fx.records.size(); ++i)
+        router.add_session(fx.session(i));
+
+    // Ingest 60 % of every record with NO drain: rings hold beats.
+    for (unsigned i = 0; i < fx.records.size(); ++i) {
+        const auto& rec = fx.records[i];
+        for (std::size_t b = 0; b < rec.beats() * 3 / 5; ++b)
+            ASSERT_TRUE(router.ingest(i, rec.beat_time_s[b], rec.rr_s[b]));
+    }
+
+    const std::uint64_t moving = 1;
+    const std::size_t source = router.shard_of(moving);
+    qs::extracted_session es = router.extract_session(moving);
+    EXPECT_EQ(es.state.global_id, moving);
+    EXPECT_FALSE(es.state.ring.empty());  // genuinely mid-stream
+    // The state survives its own wire format on the way over.
+    es.state = qs::session_runtime_state::deserialize(es.state.serialize());
+    router.adopt_session(es, 1 - source);
+    EXPECT_EQ(router.shard_of(moving), 1 - source);
+
+    for (unsigned i = 0; i < fx.records.size(); ++i) {
+        const auto& rec = fx.records[i];
+        for (std::size_t b = rec.beats() * 3 / 5; b < rec.beats(); ++b)
+            ASSERT_TRUE(router.ingest(i, rec.beat_time_s[b], rec.rr_s[b]));
+    }
+    router.drain_all();
+
+    for (unsigned i = 0; i < fx.records.size(); ++i)
+        expect_reports_identical(router.at(i).reports(), fx.serial[i]);
+
+    const auto fleet = router.fleet();
+    EXPECT_EQ(fleet.sessions_migrated_out, 1u);
+    EXPECT_EQ(fleet.sessions_migrated_in, 1u);
+}
+
+TEST(MigrationTest, MidDwellGovernorMigrationPreservesSwitchSchedule) {
+    // A governed session migrated mid-stream (inside a governor dwell
+    // window) must keep the exact switch schedule and reports of an
+    // unmigrated run: governor hysteresis and battery travel with it.
+    const auto make_governed = [] {
+        qs::session_config cfg;
+        cfg.patient_id = "governed-0";
+        cfg.analysis = qcore::psa_config::conventional();
+        cfg.monitor = paper_monitor();
+        cfg.ingest_capacity = 4096;
+        cfg.quality.controller = qpsa::test::degradation_ladder();
+        cfg.quality.governed = true;
+        cfg.quality.governor.reselect_every = 1;
+        cfg.quality.governor.min_dwell = 2;
+        cfg.quality.governor.switch_margin = 0.02;
+        cfg.quality.governor.budget_full_pct = 0.0;
+        cfg.quality.governor.budget_empty_pct = 10.0;
+        cfg.battery.capacity_j = 2.6e-3;
+        return cfg;
+    };
+    const auto rec = qp::record_for(
+        qp::make_patient(qp::cohort::sinus_arrhythmia, 5), 1200.0);
+
+    // Unmigrated baseline (global id 0 -> same derived seed as below).
+    qs::service_options sopt;
+    sopt.threads = 1;
+    qs::plan_cache solo_cache;
+    qs::session_manager solo(sopt, &solo_cache);
+    const auto solo_id = solo.add_session(make_governed());
+    for (std::size_t b = 0; b < rec.beats(); ++b)
+        ASSERT_TRUE(solo.ingest(solo_id, rec.beat_time_s[b], rec.rr_s[b]));
+    solo.drain_all();
+    ASSERT_GT(solo.at(solo_id).switch_log().size(), 0u);
+
+    qs::router_options opt;
+    opt.shards = 2;
+    opt.shard.threads = 1;
+    qs::plan_cache cache;
+    qs::shard_router router(opt, &cache);
+    const auto id = router.add_session(make_governed());
+    ASSERT_EQ(router.at(id).seed(), solo.at(solo_id).seed());
+
+    // Run to just past a switch so the dwell counter is mid-flight, then
+    // migrate with beats still buffered.
+    const std::size_t split = rec.beats() / 3;
+    for (std::size_t b = 0; b < split; ++b)
+        ASSERT_TRUE(router.ingest(id, rec.beat_time_s[b], rec.rr_s[b]));
+    router.migrate_session(id, 1 - router.shard_of(id));
+    for (std::size_t b = split; b < rec.beats(); ++b)
+        ASSERT_TRUE(router.ingest(id, rec.beat_time_s[b], rec.rr_s[b]));
+    router.drain_all();
+
+    const auto& migrated = router.at(id);
+    const auto& baseline = solo.at(solo_id);
+    expect_reports_identical(migrated.reports(), baseline.reports());
+    ASSERT_EQ(migrated.switch_log().size(), baseline.switch_log().size());
+    for (std::size_t i = 0; i < migrated.switch_log().size(); ++i) {
+        EXPECT_EQ(migrated.switch_log()[i].window_index,
+                  baseline.switch_log()[i].window_index);
+        EXPECT_EQ(migrated.switch_log()[i].mode_index,
+                  baseline.switch_log()[i].mode_index);
+    }
+}
+
+TEST(MigrationTest, ReshapeGrowsTheFleetWithoutDisturbingSessions) {
+    // K=1 -> 2 -> 4, mid-stream both times.  Every session the new map
+    // places elsewhere moves (bit-identically); the rest stay put.
+    const sharded_fixture fx(8);
+    qs::router_options opt;
+    opt.shards = 1;
+    opt.shard.threads = 1;
+    qs::plan_cache cache;
+    qs::shard_router router(opt, &cache);
+    for (unsigned i = 0; i < fx.records.size(); ++i)
+        router.add_session(fx.session(i));
+
+    const auto ingest_range = [&](std::size_t den, std::size_t lo,
+                                  std::size_t hi) {
+        for (unsigned i = 0; i < fx.records.size(); ++i) {
+            const auto& rec = fx.records[i];
+            for (std::size_t b = rec.beats() * lo / den;
+                 b < rec.beats() * hi / den; ++b)
+                ASSERT_TRUE(
+                    router.ingest(i, rec.beat_time_s[b], rec.rr_s[b]));
+        }
+    };
+
+    ingest_range(3, 0, 1);
+    router.reshape(2);
+    EXPECT_EQ(router.shard_count(), 2u);
+    ingest_range(3, 1, 2);
+    router.reshape(4);
+    EXPECT_EQ(router.shard_count(), 4u);
+    ingest_range(3, 2, 3);
+    router.drain_all();
+
+    // Placement now matches the 4-shard map, and ids survived.
+    std::size_t populated = 0;
+    for (unsigned i = 0; i < fx.records.size(); ++i)
+        EXPECT_EQ(router.shard_of(i),
+                  router.placement().shard_for(patient_name(i)));
+    for (std::size_t k = 0; k < router.shard_count(); ++k)
+        populated += router.shard(k).session_count() > 0 ? 1 : 0;
+    EXPECT_GT(populated, 1u);
+
+    std::uint64_t windows = 0;
+    for (unsigned i = 0; i < fx.records.size(); ++i) {
+        expect_reports_identical(router.at(i).reports(), fx.serial[i]);
+        windows += fx.serial[i].size();
+    }
+    EXPECT_EQ(router.fleet().windows, windows);
+    // Each reshape migrates only what the map moved; merged telemetry
+    // stays balanced.
+    EXPECT_EQ(router.fleet().sessions_migrated_in,
+              router.fleet().sessions_migrated_out);
+}
+
+TEST(MigrationTest, ConcurrentSnapshotsAndMigrationsDoNotRace) {
+    // tsan coverage for the admission-mutex contract: migrations swing a
+    // live route while per-shard pumpers drain, producers ingest other
+    // sessions, and a snapshot thread merges fleet state.  Session 0's
+    // producer is the migrating thread itself (the quiesced-producer
+    // rule), so the run must still be bit-identical to serial.
+    const sharded_fixture fx(6, 300.0);
+    qs::router_options opt;
+    opt.shards = 2;
+    opt.shard.threads = 1;
+    qs::plan_cache cache;
+    qs::shard_router router(opt, &cache);
+    for (unsigned i = 0; i < fx.records.size(); ++i)
+        router.add_session(fx.session(i));
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> pumpers;
+    for (std::size_t k = 0; k < router.shard_count(); ++k)
+        pumpers.emplace_back([&router, &stop, k] {
+            while (!stop.load(std::memory_order_acquire)) {
+                router.shard(k).pump();
+                std::this_thread::yield();
+            }
+        });
+    std::thread snapshotter([&router, &stop] {
+        while (!stop.load(std::memory_order_acquire)) {
+            const auto snap = router.fleet();
+            (void)snap.windows;
+            std::this_thread::yield();
+        }
+    });
+
+    std::vector<std::thread> producers;
+    for (unsigned i = 1; i < fx.records.size(); ++i)
+        producers.emplace_back([&router, &fx, i] {
+            const auto& rec = fx.records[i];
+            for (std::size_t b = 0; b < rec.beats(); ++b)
+                while (!router.ingest(i, rec.beat_time_s[b], rec.rr_s[b]))
+                    std::this_thread::yield();
+        });
+
+    // Main thread: interleave session 0's beats with migrations.
+    const auto& rec0 = fx.records[0];
+    const std::size_t chunk = rec0.beats() / 32 + 1;
+    std::size_t next = 0;
+    std::size_t moves = 0;
+    while (next < rec0.beats()) {
+        const std::size_t end = std::min(next + chunk, rec0.beats());
+        for (; next < end; ++next)
+            while (!router.ingest(0, rec0.beat_time_s[next],
+                                  rec0.rr_s[next]))
+                std::this_thread::yield();
+        router.migrate_session(0, moves++ % 2);
+    }
+
+    for (auto& t : producers) t.join();
+    stop.store(true, std::memory_order_release);
+    for (auto& t : pumpers) t.join();
+    snapshotter.join();
+    router.drain_all();
+
+    for (unsigned i = 0; i < fx.records.size(); ++i)
+        expect_reports_identical(router.at(i).reports(), fx.serial[i]);
+    EXPECT_GT(router.fleet().sessions_migrated_out, 1u);
 }
