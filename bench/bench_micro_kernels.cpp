@@ -10,6 +10,8 @@
 #include "qpsa/dsp/fft_split_radix.hpp"
 #include "qpsa/lomb/extirpolate.hpp"
 #include "qpsa/lomb/fast_lomb.hpp"
+#include "qpsa/simd/kernels.hpp"
+#include "qpsa/util/arena.hpp"
 #include "qpsa/util/random.hpp"
 #include "qpsa/wavelet/dwt.hpp"
 #include "qpsa/wfft/wavelet_fft.hpp"
@@ -17,6 +19,36 @@
 using namespace qpsa;
 
 namespace {
+
+/// Pin the kernel table to the ISA a benchmark row requests; restores the
+/// process default on scope exit so rows are independent.
+struct isa_scope {
+    explicit isa_scope(benchmark::State& state, simd::isa which)
+        : prev_(simd::active_isa()) {
+        if (!simd::set_active_isa(which)) {
+            state.SkipWithError("ISA not available on this CPU/build");
+            ok_ = false;
+        }
+    }
+    ~isa_scope() { simd::set_active_isa(prev_); }
+    bool ok() const noexcept { return ok_; }
+
+private:
+    simd::isa prev_;
+    bool ok_ = true;
+};
+
+/// Register one row per ISA available on this machine (scalar first, so
+/// the A/B speedup baseline is always present).
+void per_isa(benchmark::internal::Benchmark* b) {
+    for (const simd::isa which : simd::available_isas())
+        b->Arg(static_cast<long>(which));
+}
+
+void set_isa_label(benchmark::State& state) {
+    state.SetLabel(
+        simd::isa_name(static_cast<simd::isa>(state.range(0))));
+}
 
 std::vector<cplx> random_signal(std::size_t n) {
     util::rng r(42);
@@ -133,6 +165,118 @@ void bm_fast_lomb_window(benchmark::State& state) {
     }
 }
 BENCHMARK(bm_fast_lomb_window)->Arg(0)->Arg(1);
+
+// ---- scalar-vs-dispatched A/B rows (one per available ISA) -------------
+
+void bm_split_radix_isa(benchmark::State& state) {
+    isa_scope scope(state, static_cast<simd::isa>(state.range(0)));
+    if (!scope.ok()) return;
+    set_isa_label(state);
+    const std::size_t n = 512;
+    const auto x = random_signal(n);
+    dsp::fft_split_radix fft(n);
+    std::vector<cplx> out(n);
+    for (auto _ : state) {
+        fft.forward(x, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(bm_split_radix_isa)->Apply(per_isa);
+
+void bm_wavelet_fft_isa(benchmark::State& state) {
+    isa_scope scope(state, static_cast<simd::isa>(state.range(0)));
+    if (!scope.ok()) return;
+    set_isa_label(state);
+    const wfft::wavelet_fft fft(wfft::plan::exact(512, wavelet::basis::haar));
+    const auto x = random_signal(512);
+    std::vector<cplx> out(512);
+    for (auto _ : state) {
+        fft.forward(x, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(bm_wavelet_fft_isa)->Apply(per_isa);
+
+void bm_lifting_db2_isa(benchmark::State& state) {
+    isa_scope scope(state, static_cast<simd::isa>(state.range(0)));
+    if (!scope.ok()) return;
+    set_isa_label(state);
+    util::rng r(4);
+    std::vector<real> x(512);
+    for (auto& v : x) v = r.uniform(-1, 1);
+    std::vector<real> a(256);
+    std::vector<real> d(256);
+    for (auto _ : state) {
+        wavelet::dwt_level(std::span<const real>(x), wavelet::basis::db2, a,
+                           d);
+        benchmark::DoNotOptimize(a.data());
+    }
+}
+BENCHMARK(bm_lifting_db2_isa)->Apply(per_isa);
+
+void bm_extirpolate_isa(benchmark::State& state) {
+    isa_scope scope(state, static_cast<simd::isa>(state.range(0)));
+    if (!scope.ok()) return;
+    set_isa_label(state);
+    util::rng r(2);
+    std::vector<real> t;
+    std::vector<real> v;
+    real acc = 0.0;
+    for (int i = 0; i < 140; ++i) {
+        acc += r.uniform(0.6, 1.0);
+        t.push_back(acc);
+        v.push_back(r.uniform(-1, 1));
+    }
+    for (auto _ : state) {
+        auto mesh = lomb::extirpolate(t, v, 512, 4, t.front(), acc * 2.0);
+        benchmark::DoNotOptimize(mesh.data());
+    }
+}
+BENCHMARK(bm_extirpolate_isa)->Apply(per_isa);
+
+/// Lane-batched multi-window transform vs the same windows sequentially:
+/// range(1) == 0 runs W sequential forwards, 1 runs one batched call of
+/// the active table's lane width.
+void bm_forward_batched(benchmark::State& state) {
+    isa_scope scope(state, static_cast<simd::isa>(state.range(0)));
+    if (!scope.ok()) return;
+    const bool batched = state.range(1) != 0;
+    const std::size_t n = 512;
+    const std::size_t w = std::max<std::size_t>(2, simd::kernels().lanes);
+    dsp::fft_split_radix fft(n);
+    std::vector<std::vector<cplx>> ins;
+    std::vector<std::vector<cplx>> outs(w);
+    std::vector<const cplx*> in_ptrs;
+    std::vector<cplx*> out_ptrs;
+    for (std::size_t i = 0; i < w; ++i) {
+        ins.push_back(random_signal(n));
+        outs[i].resize(n);
+        in_ptrs.push_back(ins[i].data());
+        out_ptrs.push_back(outs[i].data());
+    }
+    util::arena scratch;
+    std::string label(simd::isa_name(simd::active_isa()));
+    label += batched ? "/batched" : "/sequential";
+    state.SetLabel(label);
+    for (auto _ : state) {
+        if (batched) {
+            fft.forward_batched(in_ptrs, out_ptrs, scratch);
+        } else {
+            for (std::size_t i = 0; i < w; ++i)
+                fft.forward(ins[i], outs[i]);
+        }
+        benchmark::DoNotOptimize(outs[0].data());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n * w));
+}
+void per_isa_ab(benchmark::internal::Benchmark* b) {
+    for (const simd::isa which : simd::available_isas()) {
+        b->Args({static_cast<long>(which), 0});
+        b->Args({static_cast<long>(which), 1});
+    }
+}
+BENCHMARK(bm_forward_batched)->Apply(per_isa_ab);
 
 }  // namespace
 

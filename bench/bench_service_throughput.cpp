@@ -43,8 +43,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include <cstring>
+
 #include "common.hpp"
+#include "qpsa/dsp/fft_split_radix.hpp"
 #include "qpsa/journal/replay_driver.hpp"
+#include "qpsa/simd/kernels.hpp"
+#include "qpsa/util/arena.hpp"
+#include "qpsa/wavelet/dwt.hpp"
+#include "qpsa/wfft/wavelet_fft.hpp"
 #include "qpsa/journal/report_reader.hpp"
 #include "qpsa/net/aggregator.hpp"
 #include "qpsa/net/ingest_client.hpp"
@@ -1093,6 +1100,113 @@ transport_result run_transport_fleet(unsigned n_patients,
     return r;
 }
 
+// ---------------------------------------------------------- SIMD probe
+
+/// In-process scalar-vs-dispatched A/B of the vector kernel layer: the
+/// ISA the dispatcher chose, the batched lane width, and per-kernel
+/// wall-clock speedups (same inputs, outputs verified bit-identical).
+struct simd_probe {
+    std::string isa_chosen;
+    std::size_t batched_lane_width = 1;
+    double split_radix_speedup = 1.0;
+    double wavelet_speedup = 1.0;
+    double lifting_speedup = 1.0;
+    double batched_fft_speedup = 1.0;  ///< lane-batched vs W sequential
+    bool identical = true;
+};
+
+template <typename F>
+double time_best_of_ms(F&& body, int reps, int iters) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = clock_type::now();
+        for (int i = 0; i < iters; ++i) body();
+        const auto t1 = clock_type::now();
+        best = std::min(
+            best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    return best;
+}
+
+simd_probe run_simd_probe() {
+    simd_probe p;
+    const simd::isa native = simd::active_isa();
+    p.isa_chosen = simd::isa_name(native);
+    p.batched_lane_width = simd::kernels().lanes;
+
+    util::rng r(1234);
+    const std::size_t n = 512;
+    std::vector<cplx> sig(n);
+    for (auto& v : sig) v = cplx{r.uniform(-1, 1), r.uniform(-1, 1)};
+    std::vector<real> lane(n);
+    for (auto& v : lane) v = r.uniform(-1, 1);
+
+    const dsp::fft_split_radix fft(n);
+    const wfft::wavelet_fft wfft_haar(wfft::plan::exact(n, wavelet::basis::haar));
+    std::vector<cplx> out(n), ref(n);
+    std::vector<real> a(n / 2), d(n / 2), a_ref(n / 2), d_ref(n / 2);
+
+    constexpr int reps = 5, iters = 400;
+    const auto ab = [&](auto&& body) {
+        simd::set_active_isa(simd::isa::scalar);
+        const double scalar_ms = time_best_of_ms(body, reps, iters);
+        simd::set_active_isa(native);
+        const double native_ms = time_best_of_ms(body, reps, iters);
+        return native_ms > 0.0 ? scalar_ms / native_ms : 1.0;
+    };
+
+    p.split_radix_speedup = ab([&] { fft.forward(sig, out); });
+    simd::set_active_isa(simd::isa::scalar);
+    fft.forward(sig, ref);
+    simd::set_active_isa(native);
+    fft.forward(sig, out);
+    p.identical = p.identical &&
+                  std::memcmp(ref.data(), out.data(), n * sizeof(cplx)) == 0;
+
+    p.wavelet_speedup = ab([&] { wfft_haar.forward(sig, out); });
+    p.lifting_speedup = ab([&] {
+        wavelet::dwt_level(std::span<const real>(lane), wavelet::basis::db2,
+                           a, d);
+    });
+    simd::set_active_isa(simd::isa::scalar);
+    wavelet::dwt_level(std::span<const real>(lane), wavelet::basis::db2,
+                       a_ref, d_ref);
+    simd::set_active_isa(native);
+    wavelet::dwt_level(std::span<const real>(lane), wavelet::basis::db2, a, d);
+    p.identical = p.identical && a == a_ref && d == d_ref;
+
+    // Lane-batched multi-window FFT vs the same W windows sequentially,
+    // both on the native ISA.
+    const std::size_t w = std::max<std::size_t>(2, p.batched_lane_width);
+    std::vector<std::vector<cplx>> ins, outs(w), seq(w);
+    std::vector<const cplx*> in_ptrs;
+    std::vector<cplx*> out_ptrs;
+    for (std::size_t i = 0; i < w; ++i) {
+        ins.push_back(sig);
+        for (auto& v : ins.back())
+            v += cplx{r.uniform(-0.1, 0.1), r.uniform(-0.1, 0.1)};
+        outs[i].resize(n);
+        seq[i].resize(n);
+        in_ptrs.push_back(ins[i].data());
+        out_ptrs.push_back(outs[i].data());
+    }
+    util::arena scratch;
+    const double seq_ms = time_best_of_ms(
+        [&] {
+            for (std::size_t i = 0; i < w; ++i) fft.forward(ins[i], seq[i]);
+        },
+        reps, iters / 2);
+    const double bat_ms = time_best_of_ms(
+        [&] { fft.forward_batched(in_ptrs, out_ptrs, scratch); }, reps,
+        iters / 2);
+    p.batched_fft_speedup = bat_ms > 0.0 ? seq_ms / bat_ms : 1.0;
+    for (std::size_t i = 0; i < w; ++i)
+        p.identical = p.identical &&
+                      std::memcmp(seq[i].data(), outs[i].data(),
+                                  n * sizeof(cplx)) == 0;
+    return p;
+}
+
 /// Crude field scraper for the committed BENCH_service.json: finds the
 /// fleet object for `patients` and pulls two numeric fields.  Tolerant of
 /// missing files/fields (returns found = false / -1).
@@ -1123,6 +1237,16 @@ int main() {
     util::print_section(std::cout,
                         "Service throughput -- concurrent multi-patient HRV "
                         "analysis over the shared plan cache");
+
+    const simd_probe sp = run_simd_probe();
+    std::cout << "simd: " << sp.isa_chosen << " (batched lane width "
+              << sp.batched_lane_width << "); speedup vs scalar: split-radix "
+              << util::table::fmt(sp.split_radix_speedup, 2) << "x, wavelet "
+              << util::table::fmt(sp.wavelet_speedup, 2) << "x, db2 lifting "
+              << util::table::fmt(sp.lifting_speedup, 2)
+              << "x; lane-batched FFT vs sequential "
+              << util::table::fmt(sp.batched_fft_speedup, 2) << "x; outputs "
+              << (sp.identical ? "bit-identical" : "MISMATCH") << "\n";
 
     const real record_seconds = 300.0;
     const unsigned fleets[] = {1, 8, 64, 512};
@@ -1156,7 +1280,7 @@ int main() {
     }
     tab.print(std::cout);
 
-    bool all_identical = true;
+    bool all_identical = sp.identical;
     for (const auto& r : results) all_identical = all_identical && r.identical;
     std::cout << "\nverification: "
               << (all_identical ? "all sessions bit-identical to serial runs"
@@ -1317,7 +1441,14 @@ int main() {
     std::ofstream json("BENCH_service.json");
     json << "{\n  \"bench\": \"service_throughput\",\n  \"record_seconds\": "
          << record_seconds << ",\n  \"workers\": " << results.front().workers
-         << ",\n  \"fleets\": [\n";
+         << ",\n  \"simd\": {\"isa\": \"" << sp.isa_chosen
+         << "\", \"batched_lane_width\": " << sp.batched_lane_width
+         << ", \"split_radix_speedup\": " << sp.split_radix_speedup
+         << ", \"wavelet_speedup\": " << sp.wavelet_speedup
+         << ", \"lifting_speedup\": " << sp.lifting_speedup
+         << ", \"batched_fft_speedup\": " << sp.batched_fft_speedup
+         << ", \"identical\": " << (sp.identical ? "true" : "false")
+         << "},\n  \"fleets\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const auto& r = results[i];
         json << "    {\"patients\": " << r.patients << ", \"beats\": " << r.beats

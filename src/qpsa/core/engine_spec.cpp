@@ -37,6 +37,7 @@ engine_class classify(const engine_spec& spec) {
             [](const direct_lomb_spec&) { return engine_class::direct_lomb; },
             [](const resampled_spec&) { return engine_class::resampled; },
             [](const welch_spec&) { return engine_class::welch; },
+            [](const fftw_spec&) { return engine_class::fftw; },
         },
         spec);
 }
@@ -59,6 +60,8 @@ std::string_view engine_class_name(engine_class c) {
             return "resampled";
         case engine_class::welch:
             return "welch";
+        case engine_class::fftw:
+            return "fftw";
     }
     return "unknown";
 }
@@ -111,6 +114,7 @@ std::size_t engine_key_hash::operator()(const engine_key& k) const {
                 hash_combine(h, hash_real(s.segment_overlap));
                 hash_combine(h, static_cast<std::size_t>(s.taper));
             },
+            [&](const fftw_spec&) {},
         },
         k.spec);
     return h;

@@ -89,9 +89,20 @@ struct welch_spec {
     bool operator==(const welch_spec&) const = default;
 };
 
+/// Vendor-FFT leaf engine: the Fast-Lomb mesh transform delegated to
+/// FFTW3.  The spec (and the configs naming it) exists in every build so
+/// fleet snapshots mentioning it always parse; the builder is only
+/// registered when the build found FFTW3 (QPSA_HAVE_FFTW3), and
+/// construction fails with the registry's missing-builder contract error
+/// otherwise -- see lomb::fftw_engine_available().
+struct fftw_spec {
+    bool operator==(const fftw_spec&) const = default;
+};
+
 using engine_spec =
     std::variant<conventional_spec, wavelet_spec, fixed_wavelet_spec,
-                 burg_spec, direct_lomb_spec, resampled_spec, welch_spec>;
+                 burg_spec, direct_lomb_spec, resampled_spec, welch_spec,
+                 fftw_spec>;
 
 namespace detail {
 template <typename T, typename V>
@@ -125,9 +136,11 @@ enum class engine_class : std::uint8_t {
     direct_lomb,
     resampled,
     welch,
+    fftw,  ///< optional vendor FFT; appended last so journaled u8 values
+           ///< from older builds keep their meaning
 };
 
-inline constexpr std::size_t engine_class_count = 8;
+inline constexpr std::size_t engine_class_count = 9;
 
 engine_class classify(const engine_spec& spec);
 std::string_view engine_class_name(engine_class c);

@@ -55,6 +55,9 @@ struct psa_config {
     static psa_config welch(real resample_hz = 4.0,
                             real segment_seconds = 60.0,
                             std::size_t mesh = 512);
+    /// Vendor-FFT configuration; servable only in builds that found FFTW3
+    /// (lomb::fftw_engine_available()), a contract error elsewhere.
+    static psa_config fftw(std::size_t mesh = 512);
 
     /// Fleet roll-up slot of the configured engine.
     engine_class kind() const { return classify(spec); }

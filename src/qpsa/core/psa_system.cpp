@@ -68,6 +68,13 @@ psa_config psa_config::welch(real resample_hz, real segment_seconds,
     return c;
 }
 
+psa_config psa_config::fftw(std::size_t mesh) {
+    psa_config c = base_config(mesh);
+    c.spec = fftw_spec{};
+    c.validate();
+    return c;
+}
+
 void psa_config::validate() const {
     QPSA_EXPECTS(lomb.mesh_size >= 64 && is_pow2(lomb.mesh_size));
     QPSA_EXPECTS(window_seconds > 10.0);
@@ -103,6 +110,7 @@ void psa_config::validate() const {
                 QPSA_EXPECTS(s.segment_overlap >= 0.0 &&
                              s.segment_overlap <= 0.95);
             },
+            [](const fftw_spec&) {},
         },
         spec);
 }
@@ -156,6 +164,9 @@ std::string psa_config::describe() const {
             [&](const welch_spec& s) {
                 ss << "welch(" << s.resample_hz << "Hz," << s.segment_seconds
                    << "s," << lomb.mesh_size << ")";
+            },
+            [&](const fftw_spec&) {
+                ss << "fftw(" << lomb.mesh_size << ")";
             },
         },
         spec);
@@ -237,6 +248,11 @@ void psa_system::analyze_window(std::span<const real> t,
                                 lomb::lomb_result& out,
                                 lomb::lomb_breakdown* bd) const {
     lomb::fast_lomb(t, x, *engine_, cfg_.lomb, ws, out, bd);
+}
+
+void psa_system::analyze_window_batched(std::span<lomb::window_job> jobs,
+                                        lomb::workspace& ws) const {
+    lomb::fast_lomb_batched(jobs, *engine_, cfg_.lomb, ws);
 }
 
 }  // namespace qpsa::core

@@ -74,6 +74,14 @@ public:
                         lomb::workspace& ws, lomb::lomb_result& out,
                         lomb::lomb_breakdown* bd = nullptr) const;
 
+    /// Analyze several windows of THIS system in one pass, interleaving
+    /// their mesh FFTs one per SIMD lane when the engine supports it.
+    /// Each job's result is bit-identical to analyze_window on the same
+    /// window; jobs failing their data contracts get ok = false (the
+    /// sequential path would have thrown).
+    void analyze_window_batched(std::span<lomb::window_job> jobs,
+                                lomb::workspace& ws) const;
+
 private:
     psa_config cfg_;
     std::shared_ptr<const lomb::fft_engine> engine_;

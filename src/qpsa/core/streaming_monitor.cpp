@@ -26,6 +26,10 @@ streaming_monitor::streaming_monitor(psa_config cfg, monitor_options opt,
 }
 
 void streaming_monitor::push_beat(real beat_time_s, real rr_s) {
+    // A staged window must be finished before more beats arrive -- the
+    // next beat could close further windows whose analysis would have to
+    // run *after* the staged one to preserve window order.
+    QPSA_EXPECTS(!staged_);
     QPSA_EXPECTS(rr_s > 0.0);
     if (buffer_head_ < buffer_.size())
         QPSA_EXPECTS(beat_time_s > buffer_.back().first);
@@ -63,6 +67,15 @@ void streaming_monitor::try_close_windows() {
         }
 
         if (win_t_.size() >= opt_.min_beats) {
+            if (staging_) {
+                // Hand the cut window to the caller for (possibly
+                // SIMD-batched) analysis; finish_staged resumes here.
+                // next_window_start_ stays at w0 so the report can be
+                // rebuilt from it.
+                staged_ = true;
+                staged_bd_ = {};
+                return;
+            }
             window_report rep;
             rep.t_start = w0;
             rep.t_end = w1;
@@ -86,24 +99,69 @@ void streaming_monitor::try_close_windows() {
                 // as a node would.
             }
         }
-        next_window_start_ += opt_.hop_seconds;
+        advance_window();
+    }
+}
 
-        // Drop beats no future window can use; compact the dead prefix
-        // once it dominates so the buffer's capacity is reused instead of
-        // growing without bound.
-        while (buffer_head_ < buffer_.size() &&
-               buffer_[buffer_head_].first < next_window_start_)
-            ++buffer_head_;
-        if (buffer_head_ == buffer_.size()) {
-            buffer_.clear();
-            buffer_head_ = 0;
-        } else if (buffer_head_ > buffer_.size() / 2) {
-            buffer_.erase(buffer_.begin(),
-                          buffer_.begin() +
-                              static_cast<std::ptrdiff_t>(buffer_head_));
-            buffer_head_ = 0;
+void streaming_monitor::advance_window() {
+    next_window_start_ += opt_.hop_seconds;
+
+    // Drop beats no future window can use; compact the dead prefix
+    // once it dominates so the buffer's capacity is reused instead of
+    // growing without bound.
+    while (buffer_head_ < buffer_.size() &&
+           buffer_[buffer_head_].first < next_window_start_)
+        ++buffer_head_;
+    if (buffer_head_ == buffer_.size()) {
+        buffer_.clear();
+        buffer_head_ = 0;
+    } else if (buffer_head_ > buffer_.size() / 2) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() +
+                          static_cast<std::ptrdiff_t>(buffer_head_));
+        buffer_head_ = 0;
+    }
+}
+
+lomb::window_job streaming_monitor::staged_job() noexcept {
+    lomb::window_job job;
+    job.t = win_t_;
+    job.x = win_x_;
+    job.out = &win_result_;
+    job.bd = &staged_bd_;
+    return job;
+}
+
+void streaming_monitor::finish_staged(bool ok) {
+    QPSA_EXPECTS(staged_);
+    staged_ = false;
+    if (ok) {
+        // Mirror the inline path's report construction exactly (same
+        // fields from the same values; compute_band_powers/classify run
+        // on the batched spectrum, which is bit-identical to sequential).
+        window_report rep;
+        rep.t_start = next_window_start_;
+        rep.t_end = next_window_start_ + opt_.window_seconds;
+        rep.beats = win_t_.size();
+        rep.engine = system_->config().kind();
+        try {
+            rep.bands = hrv::compute_band_powers(win_result_.spectrum,
+                                                 system_->config().bands);
+            rep.diagnosis = hrv::classify(rep.bands);
+            rep.ops = staged_bd_.total();
+            pending_.push_back(rep);
+            ++completed_;
+            history_.push_back(rep);
+            if (history_.size() > opt_.history_limit)
+                history_.erase(history_.begin());
+        } catch (const contract_error&) {
+            // Same skip the inline path applies to a degenerate window.
         }
     }
+    advance_window();
+    // The same last beat may close further (overlapping) windows; they
+    // stage again one at a time, preserving window order.
+    try_close_windows();
 }
 
 std::optional<window_report> streaming_monitor::poll() {

@@ -75,7 +75,37 @@ public:
     /// Feed one beat (absolute time + RR interval).  Returns a report
     /// whenever a window completes (possibly referencing several pending
     /// windows; they are queued and returned one per call to poll()).
+    /// In staging mode a closable window is *staged* instead of analyzed
+    /// (see set_staging); no further beats may be pushed until the staged
+    /// window is finished.
     void push_beat(real beat_time_s, real rr_s);
+
+    // ---- staged window analysis (cross-monitor SIMD batching) --------
+    //
+    // The batch scheduler interleaves the mesh FFTs of several same-plan
+    // monitors one per SIMD lane.  To do that it needs to *take over* the
+    // analyze step: with staging on, try_close_windows stops at the first
+    // closable window and exposes it as a lomb::window_job instead of
+    // analyzing it.  The caller runs the job (alone or batched -- results
+    // are bit-identical either way) and hands control back through
+    // finish_staged, which builds the report exactly as the inline path
+    // would and resumes window closing (possibly staging the next window
+    // of the same beat immediately).
+
+    /// Toggle staging.  Must not be called while a window is staged.
+    void set_staging(bool on) {
+        QPSA_EXPECTS(!staged_);
+        staging_ = on;
+    }
+    /// A window is cut and waiting for its analysis to be run.
+    bool has_staged() const noexcept { return staged_; }
+    /// The staged window as a batchable job (spans into monitor scratch;
+    /// valid until finish_staged).
+    lomb::window_job staged_job() noexcept;
+    /// Complete the staged window: `ok` is the job's post-analysis flag
+    /// (false = the window failed its data contracts and is skipped, as
+    /// the inline path's catch would).  Resumes window closing.
+    void finish_staged(bool ok);
 
     /// Next completed window report, if any.
     std::optional<window_report> poll();
@@ -119,6 +149,9 @@ public:
 
 private:
     void try_close_windows();
+    /// Advance to the next hop and prune/compact beats no future window
+    /// can use (the tail of one try_close_windows iteration).
+    void advance_window();
     lomb::workspace& window_workspace();
 
     monitor_options opt_;
@@ -145,6 +178,11 @@ private:
     lomb::lomb_result win_result_;
     lomb::workspace own_workspace_;
     workspace_cache* scratch_cache_ = nullptr;
+
+    // Staging mode (cross-monitor SIMD batching; see set_staging).
+    bool staging_ = false;
+    bool staged_ = false;
+    lomb::lomb_breakdown staged_bd_;
 
     real next_window_start_ = 0.0;
     bool started_ = false;

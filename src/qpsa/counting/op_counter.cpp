@@ -51,6 +51,10 @@ count_scope::count_scope(op_counts& sink) : sink_(&sink), parent_(g_top) {
 
 count_scope::~count_scope() { g_top = parent_; }
 
+pause_scope::pause_scope() noexcept : saved_(g_top) { g_top = nullptr; }
+
+pause_scope::~pause_scope() { g_top = saved_; }
+
 bool counting_active() noexcept { return g_top != nullptr; }
 
 void add_to_active(const op_counts& delta) noexcept {

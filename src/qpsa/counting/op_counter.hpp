@@ -66,6 +66,21 @@ private:
     friend bool counting_active() noexcept;
 };
 
+/// RAII scope that suspends counting on this thread: all scopes active at
+/// construction stop receiving counts until destruction.  Used by batched
+/// kernels that attribute closed-form tallies per lane instead of letting
+/// an internal scalar fallback count the same work twice.
+class pause_scope {
+public:
+    pause_scope() noexcept;
+    ~pause_scope();
+    pause_scope(const pause_scope&) = delete;
+    pause_scope& operator=(const pause_scope&) = delete;
+
+private:
+    count_scope* saved_;
+};
+
 /// True iff at least one count_scope is active on this thread.
 bool counting_active() noexcept;
 

@@ -1,8 +1,10 @@
 #include "qpsa/dsp/fft_split_radix.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "qpsa/counting/op_counter.hpp"
+#include "qpsa/simd/kernels.hpp"
 
 namespace qpsa::dsp {
 
@@ -12,6 +14,13 @@ fft_split_radix::fft_split_radix(std::size_t n) : n_(n), wtab_(n) {
         const real ang = -two_pi * static_cast<real>(k) / static_cast<real>(n);
         wtab_[k] = cplx{std::cos(ang), std::sin(ang)};
     }
+    // Memoize the per-transform operation tally with a dry run: counts
+    // depend only on n, and forward_batched attributes this per lane.
+    std::vector<cplx> buf(2 * n_);
+    counting::pause_scope pause;
+    counting::count_scope scope(tally_);
+    forward(std::span<const cplx>(buf.data(), n_),
+            std::span<cplx>(buf.data() + n_, n_));
 }
 
 void fft_split_radix::forward(std::span<const cplx> in, std::span<cplx> out) const {
@@ -67,37 +76,63 @@ void fft_split_radix::recurse(const cplx* x, std::size_t stride, cplx* out,
     recurse(x + 3 * stride, 4 * stride, o3, q, child);
 
     const std::size_t tstep = n_ / n;  // twiddle stride for this level
-    for (std::size_t k = 0; k < q; ++k) {
-        cplx t1;
-        cplx t3;
-        if (k == 0) {
-            t1 = o1[0];
-            t3 = o3[0];
-        } else if (8 * k == n) {
-            // W^(N/8) = (1 - i)/sqrt(2): (a+bi)(1-i)/sqrt2 needs 2 muls, 2 adds.
-            const cplx z1 = o1[k];
-            t1 = cplx{inv_sqrt2 * (z1.real() + z1.imag()),
-                      inv_sqrt2 * (z1.imag() - z1.real())};
-            // W^(3N/8) = (-1 - i)/sqrt(2).
-            const cplx z3 = o3[k];
-            t3 = cplx{inv_sqrt2 * (z3.imag() - z3.real()),
-                      inv_sqrt2 * (-z3.real() - z3.imag())};
-            count_muls(4);
-            count_adds(4);
-        } else {
-            t1 = wtab_[k * tstep] * o1[k];
-            t3 = wtab_[3 * k * tstep] * o3[k];
-            count_cmul(2);
-        }
-        const cplx s = t1 + t3;
-        const cplx d = t1 - t3;
-        const cplx jd{d.imag(), -d.real()};  // -i * d: free rotation
-        out[k] = e[k] + s;
-        out[k + h] = e[k] - s;
-        out[k + q] = e[k + q] + jd;
-        out[k + 3 * q] = e[k + q] - jd;
-        count_cadd(6);
+    // The whole combine pass (k == 0 copy, the W^(N/8) = (1-i)/sqrt(2)
+    // 2-mul special at 8k == n, generic twiddle bins) runs through the
+    // dispatched kernel; the tally below is the closed form of the
+    // per-iteration counts the scalar loop used to record.
+    simd::kernels().sr_combine(e, o1, o3, out, n, wtab_.data(), tstep);
+    count_cadd(6 * q);
+    if (n >= 8) {
+        count_muls(4);
+        count_adds(4);
     }
+    count_cmul(2 * (q - 1 - (n >= 8 ? 1 : 0)));
+}
+
+void fft_split_radix::forward_batched(std::span<const cplx* const> ins,
+                                      std::span<cplx* const> outs,
+                                      util::arena& scratch) const {
+    QPSA_EXPECTS(ins.size() == outs.size());
+    // No counting in here: a lane-batched walk cannot attribute work to a
+    // single transform.  Callers add op_tally() once per transform, which
+    // also covers the scalar fallbacks below (the tally is exact for any
+    // input).
+    counting::pause_scope pause;
+    const simd::kernel_table& kt = simd::kernels();
+    const std::size_t w = kt.lanes;
+    std::size_t i = 0;
+    if (w >= 2) {
+        util::arena::frame frame(scratch);
+        std::span<real> xre = scratch.alloc<real>(n_ * w);
+        std::span<real> xim = scratch.alloc<real>(n_ * w);
+        std::span<real> ore = scratch.alloc<real>(n_ * w);
+        std::span<real> oim = scratch.alloc<real>(n_ * w);
+        std::span<real> sre = scratch.alloc<real>(2 * n_ * w);
+        std::span<real> sim = scratch.alloc<real>(2 * n_ * w);
+        while (ins.size() - i >= 2) {
+            const std::size_t chunk = std::min(w, ins.size() - i);
+            // Transpose AoS inputs into SoA lane planes; short chunks pad
+            // by repeating lane 0 (their outputs are discarded).
+            for (std::size_t l = 0; l < w; ++l) {
+                const cplx* src = ins[i + (l < chunk ? l : 0)];
+                for (std::size_t e = 0; e < n_; ++e) {
+                    xre[e * w + l] = src[e].real();
+                    xim[e * w + l] = src[e].imag();
+                }
+            }
+            kt.sr_batched(xre.data(), xim.data(), ore.data(), oim.data(),
+                          sre.data(), sim.data(), n_, wtab_.data());
+            for (std::size_t l = 0; l < chunk; ++l) {
+                cplx* dst = outs[i + l];
+                for (std::size_t e = 0; e < n_; ++e)
+                    dst[e] = cplx{ore[e * w + l], oim[e * w + l]};
+            }
+            i += chunk;
+        }
+    }
+    for (; i < ins.size(); ++i)
+        forward(std::span<const cplx>(ins[i], n_), std::span<cplx>(outs[i], n_),
+                scratch);
 }
 
 }  // namespace qpsa::dsp

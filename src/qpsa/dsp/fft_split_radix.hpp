@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "qpsa/counting/op_counter.hpp"
 #include "qpsa/util/arena.hpp"
 #include "qpsa/util/common.hpp"
 
@@ -41,12 +42,26 @@ public:
 
     std::vector<cplx> forward_copy(std::span<const cplx> in) const;
 
+    /// Batched forward: up to simd::kernels().lanes same-plan transforms
+    /// interleaved one per SIMD lane through a single recursion walk.
+    /// Each output is bit-identical to a scalar forward of its input.
+    /// Performs NO operation counting (a lane-batched walk cannot count
+    /// per-transform); callers attribute op_tally() per transform instead.
+    void forward_batched(std::span<const cplx* const> ins,
+                         std::span<cplx* const> outs,
+                         util::arena& scratch) const;
+
+    /// The exact per-transform operation tally (input-independent;
+    /// memoized by a dry run at construction).
+    const counting::op_counts& op_tally() const noexcept { return tally_; }
+
 private:
     void recurse(const cplx* x, std::size_t stride, cplx* out, std::size_t n,
                  cplx* scratch) const;
 
     std::size_t n_;
     std::vector<cplx> wtab_;  ///< W_N^k for k in [0, N)
+    counting::op_counts tally_;
 };
 
 }  // namespace qpsa::dsp

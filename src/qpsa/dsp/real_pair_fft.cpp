@@ -1,6 +1,7 @@
 #include "qpsa/dsp/real_pair_fft.hpp"
 
 #include "qpsa/counting/op_counter.hpp"
+#include "qpsa/simd/kernels.hpp"
 
 namespace qpsa::dsp {
 
@@ -15,7 +16,7 @@ void pack_real_pair(std::span<const real> a, std::span<const real> b,
                     std::span<cplx> out) {
     QPSA_EXPECTS(a.size() == b.size());
     QPSA_EXPECTS(out.size() == a.size());
-    for (std::size_t i = 0; i < a.size(); ++i) out[i] = cplx{a[i], b[i]};
+    simd::kernels().pack_real_pair(a.data(), b.data(), out.data(), a.size());
 }
 
 real_pair_bin unpack_bin(std::span<const cplx> z, std::size_t k) {

@@ -3,6 +3,7 @@
 #include "qpsa/core/engine_registry.hpp"
 #include "qpsa/core/psa_config.hpp"
 #include "qpsa/lomb/estimator_engines.hpp"
+#include "qpsa/lomb/fftw_engine.hpp"
 #include "qpsa/lomb/fixed_engine.hpp"
 #include "qpsa/lomb/welch_psd_engine.hpp"
 
@@ -52,6 +53,7 @@ void register_builtin_engines(core::engine_registry& reg) {
     });
     // Leaf-file engines register themselves through their own hook.
     register_welch_engine(reg);
+    register_fftw_engine(reg);  // no-op in builds without FFTW3
 }
 
 }  // namespace qpsa::lomb

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "qpsa/counting/op_counter.hpp"
+#include "qpsa/simd/kernels.hpp"
 
 namespace qpsa::lomb {
 
@@ -47,18 +48,7 @@ void spread(real y, std::span<real> mesh, real x, int order) {
         // would use (and the default of the PSA pipeline).
         const auto i0 = static_cast<std::ptrdiff_t>(std::floor(x));
         const real u = x - static_cast<real>(i0);
-        const real up1 = u + 1.0;
-        const real um1 = u - 1.0;
-        const real um2 = u - 2.0;
-        const real m12 = um1 * um2;
-        const real p01 = up1 * u;
-        constexpr real sixth = 1.0 / 6.0;
-        const real ym = y * sixth;
-        const real yh = y * 0.5;
-        mesh[static_cast<std::size_t>(mod_floor(i0 - 1, n))] += -ym * u * m12;
-        mesh[static_cast<std::size_t>(mod_floor(i0, n))] += yh * up1 * m12;
-        mesh[static_cast<std::size_t>(mod_floor(i0 + 1, n))] += -yh * p01 * um2;
-        mesh[static_cast<std::size_t>(mod_floor(i0 + 2, n))] += ym * p01 * um1;
+        simd::kernels().spread4(y, mesh.data(), mesh.size(), i0, u);
         counting::count_muls(12);
         counting::count_adds(9);
         return;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "qpsa/dsp/real_pair_fft.hpp"
 #include "qpsa/lomb/extirpolate.hpp"
+#include "qpsa/simd/kernels.hpp"
 #include "qpsa/util/stats.hpp"
 
 namespace qpsa::lomb {
@@ -29,6 +31,158 @@ std::size_t fast_lomb_nout(std::size_t n_samples, const fast_lomb_options& opt) 
     return std::min(by_data, mesh / 2 - 1);
 }
 
+namespace {
+
+// The pipeline below is split into phase helpers shared by the sequential
+// and the batched entry points, so both execute the identical arithmetic
+// (the batched path reorders only the engine forwards, which are
+// lane-exact by the kernel contract).
+
+/// Window-level facts established by the contract checks + moment pass.
+struct window_prep {
+    real avg = 0.0;
+    real var = 0.0;
+    real t0 = 0.0;
+    real span = 0.0;
+    std::size_t mesh = 0;
+    std::size_t nout = 0;
+};
+
+window_prep window_moments(std::span<const real> t, std::span<const real> x,
+                           const fft_engine& engine,
+                           const fast_lomb_options& opt, lomb_breakdown& bd) {
+    QPSA_EXPECTS(t.size() == x.size());
+    QPSA_EXPECTS(t.size() >= 2);
+    QPSA_EXPECTS(opt.ofac >= 1.0);
+    const std::size_t n = t.size();
+
+    window_prep prep;
+    {
+        counting::count_scope scope(bd.moments);
+        prep.avg = util::mean(x);
+        prep.var = util::variance(x);
+        counting::count_adds(3 * n);
+        counting::count_muls(n);
+        counting::count_divs(2);
+    }
+    QPSA_EXPECTS(prep.var > 0.0);
+
+    prep.t0 = t.front();
+    prep.span =
+        opt.span_override > 0.0 ? opt.span_override : t.back() - prep.t0;
+    QPSA_EXPECTS(prep.span > 0.0);
+
+    prep.mesh = fast_lomb_mesh_size(n, opt);
+    QPSA_EXPECTS(is_pow2(prep.mesh));
+    QPSA_EXPECTS(engine.size() == prep.mesh);
+
+    prep.nout = fast_lomb_nout(n, opt);
+    QPSA_EXPECTS(prep.nout >= 1);
+    return prep;
+}
+
+/// Redistribution onto the oversampled periodic mesh.  The mesh covers
+/// span * ofac seconds so that df = 1 / (span * ofac).  Returns n_eff, the
+/// sample count entering the Lomb denominators.
+std::size_t fill_meshes(std::span<const real> t, std::span<const real> x,
+                        const window_prep& prep, const fast_lomb_options& opt,
+                        util::arena& mem, lomb_breakdown& bd,
+                        std::span<real> wk1, std::span<real> wk2) {
+    const std::size_t n = t.size();
+    const std::size_t mesh = prep.mesh;
+    std::size_t n_eff = n;
+    counting::count_scope scope(bd.extirpolation);
+    if (opt.mesh == mesh_mode::staircase_hold) {
+        // Sample-and-hold onto mesh/ofac even cells; the remaining
+        // (ofac-1)/ofac of the mesh stays zero (spectral oversampling).
+        const auto n_data =
+            static_cast<std::size_t>(static_cast<real>(mesh) / opt.ofac);
+        QPSA_EXPECTS(n_data >= 8 && n_data <= mesh);
+        const real delta = prep.span / static_cast<real>(n_data);
+        std::fill(wk1.begin(), wk1.end(), 0.0);
+        std::fill(wk2.begin(), wk2.end(), 0.0);
+        std::size_t j = 0;
+        for (std::size_t p = 0; p < n_data; ++p) {
+            const real tp = prep.t0 + static_cast<real>(p) * delta;
+            while (j + 1 < n && t[j + 1] <= tp) ++j;
+            wk1[p] = x[j] - prep.avg;
+            wk2[(2 * p) % mesh] += 1.0;
+        }
+        // Per cell: hold-advance compare, centering add, weight add.
+        counting::count_cmps(n_data);
+        counting::count_adds(2 * n_data);
+        n_eff = n_data;
+    } else {
+        std::span<real> centered = mem.alloc<real>(n);
+        for (std::size_t j = 0; j < n; ++j) centered[j] = x[j] - prep.avg;
+        counting::count_adds(n);
+        extirpolate(t, centered, wk1, opt.macc, prep.t0, prep.span * opt.ofac);
+        // Unit weights at doubled angle positions (for the 2*w*t sums).
+        std::span<real> t2 = mem.alloc<real>(n);
+        std::span<real> ones = mem.alloc<real>(n);
+        std::fill(ones.begin(), ones.end(), 1.0);
+        for (std::size_t j = 0; j < n; ++j) t2[j] = 2.0 * (t[j] - prep.t0);
+        counting::count_adds(n);
+        counting::count_muls(n);
+        extirpolate(t2, ones, wk2, opt.macc, 0.0, prep.span * opt.ofac);
+    }
+    return n_eff;
+}
+
+/// The Lomb calculator: combine the transform bins into the normalized
+/// periodogram.  zfft is the packed_single spectrum (packed == true), or
+/// z1fft/z2fft the two_transforms pair.
+void lomb_combine(bool packed, std::span<const cplx> zfft,
+                  std::span<const cplx> z1fft, std::span<const cplx> z2fft,
+                  const window_prep& prep, std::size_t n_eff,
+                  const fast_lomb_options& opt, lomb_result& res,
+                  lomb_breakdown& bd) {
+    res.spectrum.freq_hz.resize(prep.nout);
+    res.spectrum.power.resize(prep.nout);
+    const real df = 1.0 / (prep.span * opt.ofac);
+    const auto nf = static_cast<real>(n_eff);
+    counting::count_scope scope(bd.combine);
+    for (std::size_t k = 1; k <= prep.nout; ++k) {
+        cplx s1;
+        cplx s2;
+        if (packed) {
+            const dsp::real_pair_bin bin = dsp::unpack_bin(zfft, k);
+            s1 = bin.a;
+            s2 = bin.b;
+        } else {
+            s1 = z1fft[k];
+            s2 = z2fft[k];
+        }
+        // Our FFT kernel uses exp(-i...): sum cos = Re, sum sin = -Im.
+        const real re1 = s1.real();
+        const real im1 = -s1.imag();
+        const real re2 = s2.real();
+        const real im2 = -s2.imag();
+
+        real hypo = std::sqrt(re2 * re2 + im2 * im2);
+        if (hypo < 1e-12) hypo = 1e-12;
+        const real hc2wt = 0.5 * re2 / hypo;
+        const real hs2wt = 0.5 * im2 / hypo;
+        const real cwt = std::sqrt(0.5 + hc2wt);
+        const real swt = std::copysign(std::sqrt(0.5 - hc2wt), hs2wt);
+        real den = 0.5 * nf + hc2wt * re2 + hs2wt * im2;
+        den = std::max(den, 1e-9);
+        const real cterm = (cwt * re1 + swt * im1) * (cwt * re1 + swt * im1) / den;
+        const real den2 = std::max(nf - den, 1e-9);
+        const real sterm =
+            (cwt * im1 - swt * re1) * (cwt * im1 - swt * re1) / den2;
+
+        res.spectrum.freq_hz[k - 1] = static_cast<real>(k) * df;
+        res.spectrum.power[k - 1] = (cterm + sterm) / (2.0 * prep.var);
+        counting::count_sqrts(3);
+        counting::count_muls(13);
+        counting::count_adds(10);
+        counting::count_divs(4);
+    }
+}
+
+}  // namespace
+
 lomb_result fast_lomb(std::span<const real> t, std::span<const real> x,
                       const fft_engine& engine, const fast_lomb_options& opt,
                       lomb_breakdown* breakdown) {
@@ -41,9 +195,6 @@ lomb_result fast_lomb(std::span<const real> t, std::span<const real> x,
 void fast_lomb(std::span<const real> t, std::span<const real> x,
                const fft_engine& engine, const fast_lomb_options& opt,
                workspace& ws, lomb_result& res, lomb_breakdown* breakdown) {
-    QPSA_EXPECTS(t.size() == x.size());
-    QPSA_EXPECTS(t.size() >= 2);
-    QPSA_EXPECTS(opt.ofac >= 1.0);
     const std::size_t n = t.size();
 
     lomb_breakdown local;
@@ -52,29 +203,8 @@ void fast_lomb(std::span<const real> t, std::span<const real> x,
     util::arena& mem = ws.scratch();
     util::arena::frame frame(mem);
 
-    // --- moments of the window ------------------------------------------
-    real avg = 0.0;
-    real var = 0.0;
-    {
-        counting::count_scope scope(bd.moments);
-        avg = util::mean(x);
-        var = util::variance(x);
-        counting::count_adds(3 * n);
-        counting::count_muls(n);
-        counting::count_divs(2);
-    }
-    QPSA_EXPECTS(var > 0.0);
-
-    const real t0 = t.front();
-    const real span = opt.span_override > 0.0 ? opt.span_override : t.back() - t0;
-    QPSA_EXPECTS(span > 0.0);
-
-    const std::size_t mesh = fast_lomb_mesh_size(n, opt);
-    QPSA_EXPECTS(is_pow2(mesh));
-    QPSA_EXPECTS(engine.size() == mesh);
-
-    const std::size_t nout = fast_lomb_nout(n, opt);
-    QPSA_EXPECTS(nout >= 1);
+    const window_prep prep = window_moments(t, x, engine, opt, bd);
+    const std::size_t mesh = prep.mesh;
 
     // --- whole-window estimators (AR, direct Lomb, resampled) -------------
     // These engines consume the raw window and produce the normalized
@@ -82,57 +212,17 @@ void fast_lomb(std::span<const real> t, std::span<const real> x,
     // exclusive to forward()-style FFT engines.
     if (engine.whole_window()) {
         res.n_samples = n;
-        res.mesh_span = span;
+        res.mesh_span = prep.span;
         counting::count_scope scope(bd.fft);
-        engine.estimate(t, x, {1.0 / (span * opt.ofac), nout}, &bd.fft_stats,
-                        mem, res.spectrum);
-        QPSA_ENSURES(res.spectrum.power.size() == nout);
+        engine.estimate(t, x, {1.0 / (prep.span * opt.ofac), prep.nout},
+                        &bd.fft_stats, mem, res.spectrum);
+        QPSA_ENSURES(res.spectrum.power.size() == prep.nout);
         return;
     }
 
-    // --- redistribution onto the oversampled periodic mesh ----------------
-    // The mesh covers span * ofac seconds so that df = 1 / (span * ofac).
-    const bool staircase = opt.mesh == mesh_mode::staircase_hold;
-    std::size_t n_eff = n;  // sample count entering the Lomb denominators
     std::span<real> wk1 = mem.alloc<real>(mesh);
     std::span<real> wk2 = mem.alloc<real>(mesh);
-    {
-        counting::count_scope scope(bd.extirpolation);
-        if (staircase) {
-            // Sample-and-hold onto mesh/ofac even cells; the remaining
-            // (ofac-1)/ofac of the mesh stays zero (spectral oversampling).
-            const auto n_data =
-                static_cast<std::size_t>(static_cast<real>(mesh) / opt.ofac);
-            QPSA_EXPECTS(n_data >= 8 && n_data <= mesh);
-            const real delta = span / static_cast<real>(n_data);
-            std::fill(wk1.begin(), wk1.end(), 0.0);
-            std::fill(wk2.begin(), wk2.end(), 0.0);
-            std::size_t j = 0;
-            for (std::size_t p = 0; p < n_data; ++p) {
-                const real tp = t0 + static_cast<real>(p) * delta;
-                while (j + 1 < n && t[j + 1] <= tp) ++j;
-                wk1[p] = x[j] - avg;
-                wk2[(2 * p) % mesh] += 1.0;
-            }
-            // Per cell: hold-advance compare, centering add, weight add.
-            counting::count_cmps(n_data);
-            counting::count_adds(2 * n_data);
-            n_eff = n_data;
-        } else {
-            std::span<real> centered = mem.alloc<real>(n);
-            for (std::size_t j = 0; j < n; ++j) centered[j] = x[j] - avg;
-            counting::count_adds(n);
-            extirpolate(t, centered, wk1, opt.macc, t0, span * opt.ofac);
-            // Unit weights at doubled angle positions (for the 2*w*t sums).
-            std::span<real> t2 = mem.alloc<real>(n);
-            std::span<real> ones = mem.alloc<real>(n);
-            std::fill(ones.begin(), ones.end(), 1.0);
-            for (std::size_t j = 0; j < n; ++j) t2[j] = 2.0 * (t[j] - t0);
-            counting::count_adds(n);
-            counting::count_muls(n);
-            extirpolate(t2, ones, wk2, opt.macc, 0.0, span * opt.ofac);
-        }
-    }
+    const std::size_t n_eff = fill_meshes(t, x, prep, opt, mem, bd, wk1, wk2);
 
     // --- transform the two meshes -----------------------------------------
     // The engine counts into its stats sink, and nested count scopes
@@ -148,63 +238,122 @@ void fast_lomb(std::span<const real> t, std::span<const real> x,
             std::span<cplx> z = mem.alloc<cplx>(mesh);
             dsp::pack_real_pair(wk1, wk2, z);
             engine.forward(z, zfft, &bd.fft_stats, mem);
+        } else if (engine.batch_width() >= 2) {
+            // Same-plan pair: both mesh transforms ride one lane-batched
+            // walk (bit-identical per lane, attributed per transform).
+            z1fft = mem.alloc<cplx>(mesh);
+            z2fft = mem.alloc<cplx>(mesh);
+            std::span<cplx> za = mem.alloc<cplx>(mesh);
+            std::span<cplx> zb = mem.alloc<cplx>(mesh);
+            simd::kernels().widen_real(wk1.data(), za.data(), mesh);
+            simd::kernels().widen_real(wk2.data(), zb.data(), mesh);
+            const fft_engine::batch_item items[2] = {
+                {za, z1fft, &bd.fft_stats}, {zb, z2fft, &bd.fft_stats}};
+            engine.forward_batched(items, mem);
         } else {
             z1fft = mem.alloc<cplx>(mesh);
             z2fft = mem.alloc<cplx>(mesh);
             std::span<cplx> z = mem.alloc<cplx>(mesh);
-            for (std::size_t i = 0; i < mesh; ++i) z[i] = cplx{wk1[i], 0.0};
+            simd::kernels().widen_real(wk1.data(), z.data(), mesh);
             engine.forward(z, z1fft, &bd.fft_stats, mem);
-            for (std::size_t i = 0; i < mesh; ++i) z[i] = cplx{wk2[i], 0.0};
+            simd::kernels().widen_real(wk2.data(), z.data(), mesh);
             engine.forward(z, z2fft, &bd.fft_stats, mem);
         }
     }
 
     // --- Lomb calculator ---------------------------------------------------
     res.n_samples = n;
-    res.mesh_span = span;
-    res.spectrum.freq_hz.resize(nout);
-    res.spectrum.power.resize(nout);
-    const real df = 1.0 / (span * opt.ofac);
-    const auto nf = static_cast<real>(n_eff);
-    {
-        counting::count_scope scope(bd.combine);
-        for (std::size_t k = 1; k <= nout; ++k) {
-            cplx s1;
-            cplx s2;
-            if (packed) {
-                const dsp::real_pair_bin bin = dsp::unpack_bin(zfft, k);
-                s1 = bin.a;
-                s2 = bin.b;
-            } else {
-                s1 = z1fft[k];
-                s2 = z2fft[k];
+    res.mesh_span = prep.span;
+    lomb_combine(packed, zfft, z1fft, z2fft, prep, n_eff, opt, res, bd);
+}
+
+void fast_lomb_batched(std::span<window_job> jobs, const fft_engine& engine,
+                       const fast_lomb_options& opt, workspace& ws) {
+    // No batching win (or nothing to batch): run the exact sequential
+    // path, converting per-window contract violations into ok = false.
+    if (jobs.size() < 2 || engine.whole_window() || engine.batch_width() < 2) {
+        for (window_job& job : jobs) {
+            QPSA_EXPECTS(job.out != nullptr && job.bd != nullptr);
+            try {
+                fast_lomb(job.t, job.x, engine, opt, ws, *job.out, job.bd);
+                job.ok = true;
+            } catch (const contract_error&) {
+                job.ok = false;
             }
-            // Our FFT kernel uses exp(-i...): sum cos = Re, sum sin = -Im.
-            const real re1 = s1.real();
-            const real im1 = -s1.imag();
-            const real re2 = s2.real();
-            const real im2 = -s2.imag();
-
-            real hypo = std::sqrt(re2 * re2 + im2 * im2);
-            if (hypo < 1e-12) hypo = 1e-12;
-            const real hc2wt = 0.5 * re2 / hypo;
-            const real hs2wt = 0.5 * im2 / hypo;
-            const real cwt = std::sqrt(0.5 + hc2wt);
-            const real swt = std::copysign(std::sqrt(0.5 - hc2wt), hs2wt);
-            real den = 0.5 * nf + hc2wt * re2 + hs2wt * im2;
-            den = std::max(den, 1e-9);
-            const real cterm = (cwt * re1 + swt * im1) * (cwt * re1 + swt * im1) / den;
-            const real den2 = std::max(nf - den, 1e-9);
-            const real sterm =
-                (cwt * im1 - swt * re1) * (cwt * im1 - swt * re1) / den2;
-
-            res.spectrum.freq_hz[k - 1] = static_cast<real>(k) * df;
-            res.spectrum.power[k - 1] = (cterm + sterm) / (2.0 * var);
-            counting::count_sqrts(3);
-            counting::count_muls(13);
-            counting::count_adds(10);
-            counting::count_divs(4);
         }
+        return;
+    }
+
+    util::arena& mem = ws.scratch();
+    util::arena::frame frame(mem);
+
+    struct job_state {
+        window_prep prep;
+        std::size_t n_eff = 0;
+        std::span<cplx> zfft;
+        std::span<cplx> z1fft;
+        std::span<cplx> z2fft;
+        counting::op_counts fft_pre;
+    };
+    // thread_local so steady-state batched drains stay allocation-free.
+    thread_local std::vector<job_state> states;
+    thread_local std::vector<fft_engine::batch_item> items;
+    states.clear();
+    states.resize(jobs.size());
+    items.clear();
+
+    const bool packed = opt.packing == fft_packing::packed_single;
+
+    // Phase A: per-window moments + mesh redistribution + input packing.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        window_job& job = jobs[i];
+        QPSA_EXPECTS(job.out != nullptr && job.bd != nullptr);
+        job_state& st = states[i];
+        try {
+            st.prep = window_moments(job.t, job.x, engine, opt, *job.bd);
+            const std::size_t mesh = st.prep.mesh;
+            std::span<real> wk1 = mem.alloc<real>(mesh);
+            std::span<real> wk2 = mem.alloc<real>(mesh);
+            st.n_eff = fill_meshes(job.t, job.x, st.prep, opt, mem, *job.bd,
+                                   wk1, wk2);
+            counting::count_scope scope(job.bd->fft);
+            if (packed) {
+                st.zfft = mem.alloc<cplx>(mesh);
+                std::span<cplx> z = mem.alloc<cplx>(mesh);
+                dsp::pack_real_pair(wk1, wk2, z);
+                items.push_back({z, st.zfft, &job.bd->fft_stats});
+            } else {
+                st.z1fft = mem.alloc<cplx>(mesh);
+                st.z2fft = mem.alloc<cplx>(mesh);
+                std::span<cplx> za = mem.alloc<cplx>(mesh);
+                std::span<cplx> zb = mem.alloc<cplx>(mesh);
+                simd::kernels().widen_real(wk1.data(), za.data(), mesh);
+                simd::kernels().widen_real(wk2.data(), zb.data(), mesh);
+                items.push_back({za, st.z1fft, &job.bd->fft_stats});
+                items.push_back({zb, st.z2fft, &job.bd->fft_stats});
+            }
+            st.fft_pre = job.bd->fft_stats.ops;
+            job.ok = true;
+        } catch (const contract_error&) {
+            job.ok = false;
+        }
+    }
+
+    // Phase B: one lane-batched walk over every surviving transform.
+    engine.forward_batched(items, mem);
+
+    // Phase C+D: attribute the engine ops to each window's fft phase (the
+    // engine is the sole counter inside that scope, so the fft_stats delta
+    // IS the scalar bd.fft contribution), then combine.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        window_job& job = jobs[i];
+        if (!job.ok) continue;
+        const job_state& st = states[i];
+        job.bd->fft += job.bd->fft_stats.ops - st.fft_pre;
+        job.out->n_samples = job.t.size();
+        job.out->mesh_span = st.prep.span;
+        lomb_combine(packed, st.zfft, st.z1fft, st.z2fft, st.prep, st.n_eff,
+                     opt, *job.out, *job.bd);
     }
 }
 

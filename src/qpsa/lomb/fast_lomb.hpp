@@ -61,6 +61,10 @@ struct fast_lomb_options {
     /// count (0.5 * ofac * hifac * n).  Welch segmentation fixes it so all
     /// segments share one grid.
     std::size_t nout_override = 0;
+
+    /// Equal options + the same engine = the same arithmetic: the batch
+    /// scheduler groups windows across sessions on exactly this.
+    bool operator==(const fast_lomb_options&) const = default;
 };
 
 /// Per-phase operation breakdown (for the Fig. 1(b) profiling experiment).
@@ -98,6 +102,25 @@ void fast_lomb(std::span<const real> t, std::span<const real> x,
                const fft_engine& engine, const fast_lomb_options& opt,
                workspace& ws, lomb_result& out,
                lomb_breakdown* breakdown = nullptr);
+
+/// One window of a batched Fast-Lomb run.  `out`/`bd` must be non-null;
+/// `ok` reports whether the window passed its data contracts (windows
+/// failing them are skipped exactly as the scalar path would throw).
+struct window_job {
+    std::span<const real> t;
+    std::span<const real> x;
+    lomb_result* out = nullptr;
+    lomb_breakdown* bd = nullptr;
+    bool ok = false;
+};
+
+/// Analyze several same-plan windows, interleaving their mesh FFTs one per
+/// SIMD lane through engine.forward_batched().  Every job's spectrum and
+/// per-phase op breakdown is bit-identical to a sequential fast_lomb call;
+/// engines without batching (batch_width() == 1, whole-window estimators)
+/// fall back to exactly that sequence.
+void fast_lomb_batched(std::span<window_job> jobs, const fft_engine& engine,
+                       const fast_lomb_options& opt, workspace& ws);
 
 /// Effective power-of-two FFT mesh size for a configuration and sample
 /// count (opt.mesh_size, or derived from ofac/hifac/macc when 0).

@@ -1,6 +1,9 @@
 #include "qpsa/lomb/fft_engine.hpp"
 
+#include <vector>
+
 #include "qpsa/counting/op_counter.hpp"
+#include "qpsa/simd/kernels.hpp"
 #include "qpsa/wavelet/filters.hpp"
 
 namespace qpsa::lomb {
@@ -42,6 +45,37 @@ void split_radix_engine::forward(std::span<const cplx> in, std::span<cplx> out,
     }
 }
 
+std::size_t split_radix_engine::batch_width() const noexcept {
+    return simd::kernels().lanes;
+}
+
+void split_radix_engine::forward_batched(std::span<const batch_item> items,
+                                         util::arena& scratch) const {
+    // One lane-batched walk for all items (uncounted), then the memoized
+    // per-transform tally attributed per item -- both into the item's own
+    // stats sink and into whatever scopes are active at the call, exactly
+    // as a sequence of scalar forwards would have counted.
+    thread_local std::vector<const cplx*> ins;
+    thread_local std::vector<cplx*> outs;
+    ins.clear();
+    outs.clear();
+    for (const batch_item& it : items) {
+        QPSA_EXPECTS(it.in.size() == fft_.size());
+        QPSA_EXPECTS(it.out.size() == fft_.size());
+        ins.push_back(it.in.data());
+        outs.push_back(it.out.data());
+    }
+    fft_.forward_batched(ins, outs, scratch);
+    for (const batch_item& it : items) {
+        if (it.stats != nullptr) {
+            counting::count_scope scope(it.stats->ops);
+            counting::add_to_active(fft_.op_tally());
+        } else {
+            counting::add_to_active(fft_.op_tally());
+        }
+    }
+}
+
 std::string wavelet_engine::name() const {
     const auto& p = fft_.get_plan();
     std::string n = "wavelet-fft(";
@@ -78,6 +112,25 @@ void wavelet_engine::forward(std::span<const cplx> in, std::span<cplx> out,
                              wfft::exec_stats* stats,
                              util::arena& scratch) const {
     fft_.forward(in, out, stats, scratch);
+}
+
+std::size_t wavelet_engine::batch_width() const noexcept {
+    // Lane batching reaches the wavelet FFT through its half-size
+    // split-radix sub-transforms; multi-level trees end in tiny leaf
+    // DFTs with nothing to interleave, so they stay width-1.
+    return fft_.lane_batchable() ? simd::kernels().lanes : 1;
+}
+
+void wavelet_engine::forward_batched(std::span<const batch_item> items,
+                                     util::arena& scratch) const {
+    thread_local std::vector<wfft::wavelet_fft::batch_io> ios;
+    ios.clear();
+    for (const batch_item& it : items) {
+        QPSA_EXPECTS(it.in.size() == fft_.size());
+        QPSA_EXPECTS(it.out.size() == fft_.size());
+        ios.push_back({it.in.data(), it.out.data(), it.stats});
+    }
+    fft_.forward_batched(ios, scratch);
 }
 
 std::unique_ptr<fft_engine> make_split_radix_engine(std::size_t n) {

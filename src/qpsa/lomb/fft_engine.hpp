@@ -50,6 +50,29 @@ public:
         forward(in, out, stats);
     }
 
+    /// One transform of a batched forward: same-plan input/output pair
+    /// plus the stats sink its operations are attributed to.
+    struct batch_item {
+        std::span<const cplx> in;
+        std::span<cplx> out;
+        wfft::exec_stats* stats = nullptr;
+    };
+
+    /// Number of same-plan transforms a single batched walk can interleave
+    /// (1 = no batching win; callers then run items sequentially).
+    virtual std::size_t batch_width() const noexcept { return 1; }
+
+    /// Forward-transform every item.  The default runs them sequentially
+    /// through forward() -- trivially bit-identical for any engine kind --
+    /// and SIMD-capable engines override it to interleave batch_width()
+    /// items one per vector lane (each lane executes the scalar schedule,
+    /// so per-item outputs and op counts stay bit-identical either way).
+    virtual void forward_batched(std::span<const batch_item> items,
+                                 util::arena& scratch) const {
+        for (const batch_item& it : items)
+            forward(it.in, it.out, it.stats, scratch);
+    }
+
     /// Whole-window estimators (Burg AR, direct Lomb, resampled
     /// periodogram) are not mesh FFTs: they see the raw (t, x) window and
     /// return the normalized periodogram on the grid directly, bypassing
@@ -85,6 +108,9 @@ public:
                  wfft::exec_stats* stats) const override;
     void forward(std::span<const cplx> in, std::span<cplx> out,
                  wfft::exec_stats* stats, util::arena& scratch) const override;
+    std::size_t batch_width() const noexcept override;
+    void forward_batched(std::span<const batch_item> items,
+                         util::arena& scratch) const override;
 
 private:
     dsp::fft_split_radix fft_;
@@ -101,6 +127,9 @@ public:
                  wfft::exec_stats* stats) const override;
     void forward(std::span<const cplx> in, std::span<cplx> out,
                  wfft::exec_stats* stats, util::arena& scratch) const override;
+    std::size_t batch_width() const noexcept override;
+    void forward_batched(std::span<const batch_item> items,
+                         util::arena& scratch) const override;
     const wfft::wavelet_fft& transform() const noexcept { return fft_; }
 
 private:

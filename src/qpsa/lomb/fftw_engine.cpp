@@ -1,0 +1,132 @@
+#include "qpsa/lomb/fftw_engine.hpp"
+
+#include "qpsa/core/engine_registry.hpp"
+#include "qpsa/core/psa_config.hpp"
+
+#if defined(QPSA_HAVE_FFTW3)
+
+#include <fftw3.h>
+
+#include <algorithm>
+#include <bit>
+#include <mutex>
+#include <type_traits>
+
+#include "qpsa/counting/op_counter.hpp"
+
+namespace qpsa::lomb {
+namespace {
+
+// fftw_complex is double[2]; std::complex<double> is layout-compatible
+// per the standard's array-oriented access guarantee.
+static_assert(std::is_same_v<real, double>,
+              "the FFTW3 delegate assumes the double-precision datapath");
+
+std::mutex& planner_mutex() {
+    static std::mutex mu;
+    return mu;
+}
+
+class fftw_engine final : public fft_engine {
+public:
+    explicit fftw_engine(std::size_t n) : n_(n) {
+        QPSA_EXPECTS(n >= 2);
+        // FFTW's planner is not thread-safe; construction is rare
+        // (plan_cache shares one engine per key), so a global mutex is
+        // cheap.  Planning buffers come from fftw_alloc so the plan may
+        // assume SIMD alignment; execution then runs on 64-byte arena
+        // buffers, which sit in the same alignment class.
+        fftw_complex* a = fftw_alloc_complex(n);
+        fftw_complex* b = fftw_alloc_complex(n);
+        {
+            std::lock_guard<std::mutex> lock(planner_mutex());
+            plan_ = fftw_plan_dft_1d(static_cast<int>(n), a, b, FFTW_FORWARD,
+                                     FFTW_ESTIMATE);
+        }
+        fftw_free(a);
+        fftw_free(b);
+        QPSA_ENSURES(plan_ != nullptr);
+        // Nominal radix-2 flop model attributed per transform: FFTW's
+        // actual algorithm varies by size and host, so the count is the
+        // textbook one -- stable across machines, comparable across
+        // engine kinds in the energy roll-ups.
+        const auto log2n = static_cast<std::size_t>(std::bit_width(n) - 1);
+        model_muls_ = 2 * n * log2n;
+        model_adds_ = 3 * n * log2n;
+    }
+    ~fftw_engine() override {
+        std::lock_guard<std::mutex> lock(planner_mutex());
+        fftw_destroy_plan(plan_);
+    }
+    fftw_engine(const fftw_engine&) = delete;
+    fftw_engine& operator=(const fftw_engine&) = delete;
+
+    std::size_t size() const noexcept override { return n_; }
+    std::string name() const override { return "fftw3"; }
+
+    using fft_engine::forward;
+    void forward(std::span<const cplx> in, std::span<cplx> out,
+                 wfft::exec_stats* stats) const override {
+        util::arena scratch;
+        forward(in, out, stats, scratch);
+    }
+
+    void forward(std::span<const cplx> in, std::span<cplx> out,
+                 wfft::exec_stats* stats,
+                 util::arena& scratch) const override {
+        QPSA_EXPECTS(in.size() == n_ && out.size() == n_);
+        util::arena::frame frame(scratch);
+        // Staging through 64-byte arena buffers guarantees the alignment
+        // class the plan was created with regardless of caller storage;
+        // fftw_execute_dft (new-array execution) is thread-safe on the
+        // shared const plan.
+        std::span<cplx> a = scratch.alloc_aligned<cplx>(n_);
+        std::span<cplx> b = scratch.alloc_aligned<cplx>(n_);
+        std::copy(in.begin(), in.end(), a.begin());
+        fftw_execute_dft(plan_, reinterpret_cast<fftw_complex*>(a.data()),
+                         reinterpret_cast<fftw_complex*>(b.data()));
+        std::copy(b.begin(), b.end(), out.begin());
+        if (stats != nullptr) {
+            counting::count_scope scope(stats->ops);
+            counting::count_adds(model_adds_);
+            counting::count_muls(model_muls_);
+        } else {
+            counting::count_adds(model_adds_);
+            counting::count_muls(model_muls_);
+        }
+    }
+
+private:
+    std::size_t n_;
+    fftw_plan plan_ = nullptr;
+    std::size_t model_adds_ = 0;
+    std::size_t model_muls_ = 0;
+};
+
+}  // namespace
+
+bool fftw_engine_available() noexcept { return true; }
+
+void register_fftw_engine(core::engine_registry& reg) {
+    reg.register_spec<core::fftw_spec>([](const core::psa_config& cfg) {
+        return std::shared_ptr<const fft_engine>(
+            std::make_shared<const fftw_engine>(cfg.lomb.mesh_size));
+    });
+}
+
+}  // namespace qpsa::lomb
+
+#else  // !QPSA_HAVE_FFTW3
+
+namespace qpsa::lomb {
+
+bool fftw_engine_available() noexcept { return false; }
+
+// Without the library there is nothing to install: fftw_spec configs
+// fail engine construction with the registry's missing-builder contract
+// error, which callers probe with fftw_engine_available() first.
+void register_fftw_engine(core::engine_registry&) {}
+
+}  // namespace qpsa::lomb
+
+#endif  // QPSA_HAVE_FFTW3

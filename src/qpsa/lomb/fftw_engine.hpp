@@ -1,0 +1,33 @@
+// Optional vendor-FFT leaf engine (FFTW3) behind the fft_engine seam.
+//
+// Reproduction baseline: the paper compares its wavelet FFT against "the
+// FFT" as deployed practice, and deployed practice on hosts with memory
+// to spare is a vendor library.  This leaf delegates the Fast-Lomb mesh
+// transform to FFTW3 when the build found it, giving the bench a third
+// point next to split-radix and the wavelet family.
+//
+// Availability is a build-time fact (QPSA_HAVE_FFTW3 from CMake's
+// find_package(FFTW3)).  The engine_spec alternative and psa_config
+// factory exist unconditionally so configurations and snapshots naming
+// the engine always parse; in builds without the library the builder is
+// simply never registered and construction fails with the registry's
+// missing-builder contract error.
+#pragma once
+
+#include "qpsa/lomb/fft_engine.hpp"
+
+namespace qpsa::core {
+class engine_registry;
+}
+
+namespace qpsa::lomb {
+
+/// True when this build compiled the FFTW3 delegate (callers use this to
+/// skip vendor-engine paths cleanly instead of tripping the registry).
+bool fftw_engine_available() noexcept;
+
+/// Install the fftw_spec builder when FFTW3 is compiled in; a no-op
+/// otherwise.  Called once from register_builtin_engines.
+void register_fftw_engine(core::engine_registry& reg);
+
+}  // namespace qpsa::lomb

@@ -5,6 +5,7 @@
 
 #include "qpsa/counting/op_counter.hpp"
 #include "qpsa/dsp/fft_split_radix.hpp"
+#include "qpsa/simd/kernels.hpp"
 #include "qpsa/util/stats.hpp"
 
 namespace qpsa::lomb {
@@ -94,11 +95,10 @@ void resampled_psd(std::span<const real> t, std::span<const real> x,
     // the effective record length.
     const real norm = 2.0 / (opt.resample_hz * static_cast<real>(grid.size()) *
                              dsp::window_power_gain(opt.taper));
-    for (std::size_t k = 0; k < out_power.size(); ++k) {
-        out_power[k] = sqr_mag(spec[k]) * norm;
-        counting::count_muls(3);
-        counting::count_adds(1);
-    }
+    simd::kernels().power_norm(spec.data(), out_power.data(), norm,
+                               out_power.size());
+    counting::count_muls(3 * out_power.size());
+    counting::count_adds(out_power.size());
 }
 
 dsp::sampled_spectrum resampled_psd(std::span<const real> t,

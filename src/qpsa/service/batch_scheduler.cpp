@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "qpsa/core/engine_spec.hpp"
+#include "qpsa/core/workspace_cache.hpp"
 
 namespace qpsa::service {
 
@@ -46,14 +47,87 @@ std::size_t batch_scheduler::run_once(
             // barrier (fleet_partial merge) instead of once per window.
             fleet_partial partial = fleet.make_partial();
             std::size_t local = 0;
-            for (std::size_t i = begin; i < end; ++i)
-                local += ready_[i].s->drain(partial);
+            if (opt_.batch_transforms) {
+                local = drain_batch_staged(
+                    std::span<const ready_entry>(ready_.data() + begin,
+                                                 end - begin),
+                    partial);
+            } else {
+                for (std::size_t i = begin; i < end; ++i)
+                    local += ready_[i].s->drain(partial);
+            }
             fleet.merge(partial);
             windows.fetch_add(local, std::memory_order_relaxed);
         });
     }
     pool_.wait_idle();
     return windows.load(std::memory_order_relaxed);
+}
+
+std::size_t batch_scheduler::drain_batch_staged(
+    std::span<const ready_entry> batch, fleet_partial& partial) {
+    // Round scratch, reused across batches on the same worker so the
+    // steady-state allocs-per-window budget is untouched.
+    thread_local std::vector<session*> active;
+    thread_local std::vector<session*> group;
+    thread_local std::vector<lomb::window_job> jobs;
+    thread_local std::vector<char> claimed;
+    // Off-pool backstop (inline schedulers in tests): workers normally
+    // provide their own cache via thread_pool::current_workspace_cache.
+    thread_local core::workspace_cache fallback_cache;
+
+    std::size_t completed = 0;
+    active.clear();
+    for (const ready_entry& e : batch) active.push_back(e.s);
+
+    while (!active.empty()) {
+        // Pump every session that does not hold a staged window until it
+        // stages one or runs dry (dry sessions leave the lockstep).  A
+        // session whose previous window staged again inside finish_staged
+        // keeps its window for this round untouched.
+        std::size_t w = 0;
+        for (session* s : active) {
+            if (!s->has_staged_window() &&
+                s->pump_to_stage(partial, completed) ==
+                    session::pump_status::idle)
+                continue;
+            active[w++] = s;
+        }
+        active.resize(w);
+
+        // Group staged windows by batch compatibility (same plan-cached
+        // engine object + equal lomb options: the systems then perform
+        // identical arithmetic) and run each group in one batched call.
+        // Groups of one, and engines that cannot batch, execute the
+        // sequential arithmetic inside fast_lomb_batched -- bit-identical
+        // either way.
+        claimed.assign(active.size(), 0);
+        for (std::size_t a = 0; a < active.size(); ++a) {
+            if (claimed[a]) continue;
+            const core::psa_system* sys = active[a]->staged_system();
+            group.clear();
+            jobs.clear();
+            group.push_back(active[a]);
+            jobs.push_back(active[a]->staged_job());
+            for (std::size_t b = a + 1; b < active.size(); ++b) {
+                if (claimed[b] == 0 &&
+                    session::batch_compatible(*sys,
+                                              *active[b]->staged_system())) {
+                    claimed[b] = 1;
+                    group.push_back(active[b]);
+                    jobs.push_back(active[b]->staged_job());
+                }
+            }
+            core::workspace_cache* wc = thread_pool::current_workspace_cache();
+            lomb::workspace& ws =
+                (wc != nullptr ? *wc : fallback_cache)
+                    .get(sys->config().engine_key());
+            sys->analyze_window_batched(jobs, ws);
+            for (std::size_t g = 0; g < group.size(); ++g)
+                group[g]->finish_staged(jobs[g].ok);
+        }
+    }
+    return completed;
 }
 
 }  // namespace qpsa::service

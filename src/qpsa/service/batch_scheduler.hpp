@@ -37,6 +37,18 @@ struct scheduler_options {
     /// Order ready sessions by engine key before slicing batches (see
     /// header comment).  Off preserves admission order within each pass.
     bool sort_by_engine = true;
+
+    /// SIMD transform batching: instead of draining each session of a
+    /// batch to completion one after another, pump them in lockstep to
+    /// their next analysis window, group the staged windows by analysis
+    /// system, and run each group through psa_system::
+    /// analyze_window_batched -- the mesh FFTs of up to simd-lane-count
+    /// same-plan windows execute interleaved one per vector lane.
+    /// Per-session outputs (reports, governor schedule, journal order)
+    /// are bit-identical to the sequential drain; sort_by_engine makes
+    /// the groups large.  Engines that cannot batch fall back to the
+    /// sequential arithmetic inside the same code path.
+    bool batch_transforms = true;
 };
 
 class batch_scheduler {
@@ -57,6 +69,11 @@ private:
         std::size_t engine_order;  ///< engine-key hash (grouping key)
         session* s;
     };
+
+    /// Staged lockstep drain of one batch (batch_transforms mode); runs
+    /// on a pool worker.  Returns windows completed.
+    static std::size_t drain_batch_staged(std::span<const ready_entry> batch,
+                                          fleet_partial& partial);
 
     thread_pool& pool_;
     scheduler_options opt_;

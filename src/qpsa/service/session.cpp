@@ -199,6 +199,39 @@ std::size_t session::drain(fleet_partial& acc) {
     return completed;
 }
 
+session::pump_status session::pump_to_stage(fleet_partial& acc,
+                                            std::size_t& completed) {
+    QPSA_EXPECTS(!monitor_.has_staged());
+    monitor_.set_scratch(thread_pool::current_workspace_cache());
+    monitor_.set_staging(true);
+    // Windows the previous batched round finished are collected here --
+    // the exact point drain() would have polled them (right after the
+    // push_beat that closed them, before the next beat of this session).
+    completed += collect_windows(acc);
+    beat_sample s;
+    while (ring_.pop(s)) {
+        // Same journaling/push/reject sequence as drain(); see there.
+        if (cfg_.journal != nullptr) {
+            journal_stage_.push_back({journal_id_, s.t, s.rr});
+            if (journal_stage_.size() >= journal_stage_cap)
+                flush_journal_stage();
+        }
+        try {
+            monitor_.push_beat(s.t, s.rr);
+            ++beats_ingested_;
+        } catch (const contract_error&) {
+            beats_rejected_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (monitor_.has_staged()) return pump_status::staged;
+        completed += collect_windows(acc);
+    }
+    monitor_.set_staging(false);
+    if (cfg_.journal != nullptr) flush_journal_stage();
+    if (high_water_mark_ != 0 && ring_.size() < high_water_mark_)
+        high_water_armed_.store(true, std::memory_order_release);
+    return pump_status::idle;
+}
+
 void session::flush_journal_stage() {
     if (journal_stage_.empty()) return;
     cfg_.journal->append_beats(journal_stage_);

@@ -176,6 +176,46 @@ public:
     /// governor at each window boundary.  Returns windows completed.
     std::size_t drain(fleet_partial& acc);
 
+    // ---- staged drain (cross-session SIMD transform batching) --------
+    //
+    // Incremental alternative to drain(): the scheduler pumps each
+    // session of a batch until it *stages* a cut window, groups staged
+    // windows by analysis system, runs each group through
+    // psa_system::analyze_window_batched (mesh FFTs interleaved one per
+    // SIMD lane), then finishes every staged window and pumps again.
+    // Per-session results -- reports, governor schedule, journal order,
+    // battery trace -- are bit-identical to drain(): beats are pushed in
+    // the same order, every window is analyzed before the next beat of
+    // its session lands, and windows are polled in completion order.
+
+    enum class pump_status {
+        staged,  ///< a window is cut and awaiting analysis
+        idle,    ///< ring drained, nothing staged: this pass is done
+    };
+
+    /// Pop beats until a window stages or the ring empties.  Resumes
+    /// report collection after previously finished windows.  Scheduler-
+    /// thread only, like drain().
+    pump_status pump_to_stage(fleet_partial& acc, std::size_t& completed);
+
+    bool has_staged_window() const noexcept { return monitor_.has_staged(); }
+    /// The staged window as a batchable job (valid until finish_staged).
+    lomb::window_job staged_job() noexcept { return monitor_.staged_job(); }
+    /// System currently analyzing this session's windows.  Two sessions
+    /// may batch together when their systems run the same (plan-cached)
+    /// engine object with equal lomb options -- then either system's
+    /// analyze_window_batched performs the other's exact arithmetic.
+    const core::psa_system* staged_system() const noexcept {
+        return &monitor_.system();
+    }
+    static bool batch_compatible(const core::psa_system& a,
+                                 const core::psa_system& b) noexcept {
+        return &a.engine() == &b.engine() &&
+               a.config().lomb == b.config().lomb;
+    }
+    /// Complete the staged window with the job's post-analysis ok flag.
+    void finish_staged(bool ok) { monitor_.finish_staged(ok); }
+
     /// Convenience for off-pool callers: accumulates into a private
     /// partial and merges it into `fleet` before returning.
     std::size_t drain(fleet_stats& fleet);

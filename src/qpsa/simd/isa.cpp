@@ -1,0 +1,120 @@
+#include "qpsa/simd/isa.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "qpsa/simd/kernels.hpp"
+
+namespace qpsa::simd {
+namespace {
+
+bool cpu_supports(isa which) noexcept {
+    switch (which) {
+        case isa::scalar:
+            return true;
+        case isa::sse2:
+            // SSE2 is part of the x86-64 baseline; compiled-in implies
+            // usable.
+            return detail::sse2_table() != nullptr;
+        case isa::avx2:
+#if defined(__x86_64__) || defined(_M_X64)
+            return detail::avx2_table() != nullptr &&
+                   __builtin_cpu_supports("avx2");
+#else
+            return false;
+#endif
+        case isa::neon:
+            // NEON is mandatory on aarch64.
+            return detail::neon_table() != nullptr;
+    }
+    return false;
+}
+
+const kernel_table* table_if_usable(isa which) noexcept {
+    if (!cpu_supports(which)) return nullptr;
+    switch (which) {
+        case isa::scalar:
+            return detail::scalar_table();
+        case isa::sse2:
+            return detail::sse2_table();
+        case isa::avx2:
+            return detail::avx2_table();
+        case isa::neon:
+            return detail::neon_table();
+    }
+    return nullptr;
+}
+
+bool parse_isa(const char* name, isa& out) noexcept {
+    if (name == nullptr) return false;
+    if (std::strcmp(name, "scalar") == 0) out = isa::scalar;
+    else if (std::strcmp(name, "sse2") == 0) out = isa::sse2;
+    else if (std::strcmp(name, "avx2") == 0) out = isa::avx2;
+    else if (std::strcmp(name, "neon") == 0) out = isa::neon;
+    else return false;
+    return true;
+}
+
+const kernel_table* resolve_initial() noexcept {
+    isa forced;
+    if (parse_isa(std::getenv("QPSA_FORCE_ISA"), forced)) {
+        if (const kernel_table* t = table_if_usable(forced)) return t;
+        // Unusable override: fall through to auto-detection rather than
+        // crash a deployment on a mis-set variable.
+    }
+    for (isa cand : {isa::avx2, isa::neon, isa::sse2}) {
+        if (const kernel_table* t = table_if_usable(cand)) return t;
+    }
+    return detail::scalar_table();
+}
+
+std::atomic<const kernel_table*>& active_table() noexcept {
+    static std::atomic<const kernel_table*> table{resolve_initial()};
+    return table;
+}
+
+}  // namespace
+
+const char* isa_name(isa which) noexcept {
+    switch (which) {
+        case isa::scalar:
+            return "scalar";
+        case isa::sse2:
+            return "sse2";
+        case isa::avx2:
+            return "avx2";
+        case isa::neon:
+            return "neon";
+    }
+    return "?";
+}
+
+isa active_isa() noexcept {
+    return active_table().load(std::memory_order_acquire)->which;
+}
+
+std::vector<isa> available_isas() {
+    std::vector<isa> out;
+    for (isa cand : {isa::scalar, isa::sse2, isa::avx2, isa::neon}) {
+        if (table_if_usable(cand) != nullptr) out.push_back(cand);
+    }
+    return out;
+}
+
+bool set_active_isa(isa which) noexcept {
+    const kernel_table* t = table_if_usable(which);
+    if (t == nullptr) return false;
+    active_table().store(t, std::memory_order_release);
+    return true;
+}
+
+const kernel_table& kernels() noexcept {
+    return *active_table().load(std::memory_order_acquire);
+}
+
+const kernel_table* kernels_for(isa which) noexcept {
+    return table_if_usable(which);
+}
+
+}  // namespace qpsa::simd

@@ -1,0 +1,111 @@
+// Dispatched vector kernels for the arithmetic core.
+//
+// One table of function pointers per compiled ISA; simd::kernels() returns
+// the active one (see isa.hpp for how it is chosen).  Kernels perform no
+// operation counting -- callers add the closed-form tally of the loop they
+// replaced, so instrumented totals stay bit-identical to the scalar path.
+//
+// Bit-identity contract (what every non-scalar implementation must keep):
+//   * each output element is produced by exactly the scalar operation
+//     sequence (same multiplies, adds, negations, in the same order);
+//   * no FMA contraction, no reassociated sums -- lane-parallel loops only;
+//   * sequential reductions (Lomb denominators, band integrals) are NOT in
+//     this table on purpose: vectorizing them would reassociate.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "qpsa/simd/isa.hpp"
+#include "qpsa/util/common.hpp"
+
+namespace qpsa::simd {
+
+using util_real = qpsa::real;
+
+/// Db2 lifting constants, shared by the scalar reference
+/// (wavelet/lifting.cpp) and every vector kernel: computed identically so
+/// the lanes multiply by bitwise-equal factors.
+inline const real k_lift_sqrt3 = std::sqrt(3.0);
+inline const real k_lift_c1 = k_lift_sqrt3 / 4.0;
+inline const real k_lift_c2 = (k_lift_sqrt3 - 2.0) / 4.0;
+inline const real k_lift_sa = (k_lift_sqrt3 - 1.0) / sqrt2;
+inline const real k_lift_sd = (k_lift_sqrt3 + 1.0) / sqrt2;
+
+struct kernel_table {
+    isa which = isa::scalar;
+    /// Doubles per vector register == lane width of the batched transform
+    /// (1 scalar, 2 SSE2/NEON, 4 AVX2).
+    std::size_t lanes = 1;
+
+    // -- split-radix FFT --------------------------------------------------
+    /// One combine pass (all k in [0, n/4)) of the recursive split-radix
+    /// decomposition: e = half-size even transform, o1/o3 = quarter-size
+    /// odd transforms, twiddles from wtab with stride tstep.  Includes the
+    /// k == 0 and 8k == n multiplication-free specials.
+    void (*sr_combine)(const cplx* e, const cplx* o1, const cplx* o3,
+                       cplx* out, std::size_t n, const cplx* wtab,
+                       std::size_t tstep) = nullptr;
+
+    /// Complete batched split-radix walk: `lanes` interleaved transforms in
+    /// SoA planes, element i of lane l at index [i * lanes + l].  xre/xim
+    /// and outre/outim hold n elements, sre/sim 2n recursion scratch.
+    /// Twiddles broadcast (same plan in every lane); each lane executes
+    /// exactly the scalar schedule, so lane l's output is bit-identical to
+    /// a scalar forward of lane l's input.
+    void (*sr_batched)(const real* xre, const real* xim, real* outre,
+                       real* outim, real* sre, real* sim, std::size_t n,
+                       const cplx* wtab) = nullptr;
+
+    // -- wavelet: folded Haar butterflies ---------------------------------
+    /// a[k] = x[2k] + x[2k+1], d[k] = x[2k] - x[2k+1]; the _real variants
+    /// use only the real parts and write exact 0.0 imaginaries.
+    void (*haar_stage_real)(const cplx* x, cplx* a, cplx* d,
+                            std::size_t half) = nullptr;
+    void (*haar_stage_cplx)(const cplx* x, cplx* a, cplx* d,
+                            std::size_t half) = nullptr;
+    void (*haar_lowpass_real)(const cplx* x, cplx* a,
+                              std::size_t half) = nullptr;
+    void (*haar_lowpass_cplx)(const cplx* x, cplx* a,
+                              std::size_t half) = nullptr;
+
+    // -- wavelet: Db2 lifting analysis ------------------------------------
+    /// The three lifting passes over one real lane of length 2*half
+    /// (s1/d1 are caller scratch of `half` each); circular wrap elements
+    /// are computed scalar inside the kernel, interiors vectorize.
+    void (*lifting_db2)(const real* x, real* s1, real* d1, real* out_a,
+                        real* out_d, std::size_t half) = nullptr;
+
+    // -- extirpolation: order-4 Lagrange spread ---------------------------
+    /// Deposit y at fractional mesh position i0 + u (u in [0,1)) with the
+    /// division-free cubic weights; mesh wraps circularly at n.
+    void (*spread4)(real y, real* mesh, std::size_t n, std::ptrdiff_t i0,
+                    real u) = nullptr;
+
+    // -- packing / spectrum power -----------------------------------------
+    /// out[i] = cplx{a[i], b[i]} (the real-pair FFT packing).
+    void (*pack_real_pair)(const real* a, const real* b, cplx* out,
+                           std::size_t n) = nullptr;
+    /// out[i] = cplx{a[i], 0.0} (real mesh -> complex FFT input).
+    void (*widen_real)(const real* a, cplx* out, std::size_t n) = nullptr;
+    /// out[k] = (re^2 + im^2) * norm -- the one-sided PSD power loop.
+    void (*power_norm)(const cplx* spec, real* out, real norm,
+                       std::size_t n) = nullptr;
+};
+
+/// The table for the active ISA (resolved once; see isa.hpp).
+const kernel_table& kernels() noexcept;
+
+/// The table for a specific ISA; nullptr when not compiled into this
+/// binary (test/bench comparison entry point -- callers must still gate
+/// execution on available_isas() for CPU support).
+const kernel_table* kernels_for(isa which) noexcept;
+
+namespace detail {
+const kernel_table* scalar_table() noexcept;
+const kernel_table* sse2_table() noexcept;   // nullptr off x86-64
+const kernel_table* avx2_table() noexcept;   // nullptr off x86-64
+const kernel_table* neon_table() noexcept;   // nullptr off aarch64
+}  // namespace detail
+
+}  // namespace qpsa::simd

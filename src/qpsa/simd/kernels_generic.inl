@@ -1,0 +1,184 @@
+// Generic (vector-type-templated) kernel bodies, instantiated once per
+// compiled ISA.  The vector concept V provides:
+//
+//   static constexpr std::size_t width;     // doubles per vector
+//   static V load(const real*);             // contiguous unaligned load
+//   static V load_even(const real*);        // p[0], p[2], ... p[2(W-1)]
+//   static V load_odd(const real*);         // p[1], p[3], ...
+//   void store(real*) const;
+//   static V broadcast(real);
+//   V operator+(V), operator-(V), operator*(V);  // lane-wise IEEE ops
+//   V neg() const;                          // exact sign flip
+//
+// Every lane executes exactly the scalar operation sequence, so each
+// instantiation is bit-identical to the scalar reference per element.
+// This file is included (not compiled) by the per-ISA kernel TUs.
+#pragma once
+
+#include <cstddef>
+
+#include "qpsa/simd/kernels.hpp"
+
+namespace qpsa::simd::generic {
+
+// ---------------------------------------------------------------- batched
+// Batched split-radix walk: V::width interleaved transforms in SoA planes
+// (element i of lane l at [i * W + l]).  Mirrors the scalar recursion in
+// dsp::fft_split_radix::recurse exactly -- same decomposition, same
+// twiddle specials, same operation order -- with the twiddles broadcast
+// across lanes (same plan in every lane).
+template <class V>
+void sr_batched_recurse(const real* xre, const real* xim, std::size_t stride,
+                        real* ore, real* oim, std::size_t n, real* sre,
+                        real* sim, const cplx* wtab, std::size_t ntot) {
+    constexpr std::size_t W = V::width;
+    if (n == 1) {
+        V::load(xre).store(ore);
+        V::load(xim).store(oim);
+        return;
+    }
+    if (n == 2) {
+        const V x0r = V::load(xre);
+        const V x0i = V::load(xim);
+        const V x1r = V::load(xre + stride * W);
+        const V x1i = V::load(xim + stride * W);
+        (x0r + x1r).store(ore);
+        (x0i + x1i).store(oim);
+        (x0r - x1r).store(ore + W);
+        (x0i - x1i).store(oim + W);
+        return;
+    }
+
+    const std::size_t q = n / 4;
+    const std::size_t h = n / 2;
+    real* const ere = sre;
+    real* const eim = sim;
+    real* const o1re = sre + h * W;
+    real* const o1im = sim + h * W;
+    real* const o3re = sre + (h + q) * W;
+    real* const o3im = sim + (h + q) * W;
+    real* const chre = sre + n * W;
+    real* const chim = sim + n * W;
+
+    sr_batched_recurse<V>(xre, xim, 2 * stride, ere, eim, h, chre, chim, wtab,
+                          ntot);
+    sr_batched_recurse<V>(xre + stride * W, xim + stride * W, 4 * stride, o1re,
+                          o1im, q, chre, chim, wtab, ntot);
+    sr_batched_recurse<V>(xre + 3 * stride * W, xim + 3 * stride * W,
+                          4 * stride, o3re, o3im, q, chre, chim, wtab, ntot);
+
+    const std::size_t tstep = ntot / n;
+    const V c_inv_sqrt2 = V::broadcast(inv_sqrt2);
+    for (std::size_t k = 0; k < q; ++k) {
+        V t1r, t1i, t3r, t3i;
+        if (k == 0) {
+            t1r = V::load(o1re);
+            t1i = V::load(o1im);
+            t3r = V::load(o3re);
+            t3i = V::load(o3im);
+        } else if (8 * k == n) {
+            // W^(N/8) = (1 - i)/sqrt(2), W^(3N/8) = (-1 - i)/sqrt(2):
+            // same 2-mul/2-add forms as the scalar kernel, per lane.
+            const V z1r = V::load(o1re + k * W);
+            const V z1i = V::load(o1im + k * W);
+            const V z3r = V::load(o3re + k * W);
+            const V z3i = V::load(o3im + k * W);
+            t1r = c_inv_sqrt2 * (z1r + z1i);
+            t1i = c_inv_sqrt2 * (z1i - z1r);
+            t3r = c_inv_sqrt2 * (z3i - z3r);
+            t3i = c_inv_sqrt2 * (z3r.neg() - z3i);
+        } else {
+            const cplx w1 = wtab[k * tstep];
+            const cplx w3 = wtab[3 * k * tstep];
+            const V w1r = V::broadcast(w1.real());
+            const V w1i = V::broadcast(w1.imag());
+            const V w3r = V::broadcast(w3.real());
+            const V w3i = V::broadcast(w3.imag());
+            const V a1r = V::load(o1re + k * W);
+            const V a1i = V::load(o1im + k * W);
+            const V a3r = V::load(o3re + k * W);
+            const V a3i = V::load(o3im + k * W);
+            // (w.re*o.re - w.im*o.im, w.re*o.im + w.im*o.re): the
+            // textbook complex product, the order std::complex uses.
+            t1r = w1r * a1r - w1i * a1i;
+            t1i = w1r * a1i + w1i * a1r;
+            t3r = w3r * a3r - w3i * a3i;
+            t3i = w3r * a3i + w3i * a3r;
+        }
+        const V sr = t1r + t3r;
+        const V si = t1i + t3i;
+        const V dr = t1r - t3r;
+        const V di = t1i - t3i;
+        const V er = V::load(ere + k * W);
+        const V ei = V::load(eim + k * W);
+        const V e2r = V::load(ere + (k + q) * W);
+        const V e2i = V::load(eim + (k + q) * W);
+        (er + sr).store(ore + k * W);
+        (ei + si).store(oim + k * W);
+        (er - sr).store(ore + (k + h) * W);
+        (ei - si).store(oim + (k + h) * W);
+        // jd = -i*d = (d.im, -d.re); e + jd and e - jd lane-wise (the
+        // x - y == x + (-y) identity keeps this exactly the scalar ops).
+        (e2r + di).store(ore + (k + q) * W);
+        (e2i - dr).store(oim + (k + q) * W);
+        (e2r - di).store(ore + (k + 3 * q) * W);
+        (e2i + dr).store(oim + (k + 3 * q) * W);
+    }
+}
+
+template <class V>
+void sr_batched(const real* xre, const real* xim, real* outre, real* outim,
+                real* sre, real* sim, std::size_t n, const cplx* wtab) {
+    sr_batched_recurse<V>(xre, xim, 1, outre, outim, n, sre, sim, wtab, n);
+}
+
+// ---------------------------------------------------------------- lifting
+// Db2 lifting analysis, three passes over one real lane (the scalar
+// reference is wavelet::lifting_db2_analysis).  Circular wrap elements run
+// scalar; interiors vectorize lane-parallel.
+template <class V>
+void lifting_db2(const real* x, real* s1, real* d1, real* out_a, real* out_d,
+                 std::size_t half) {
+    constexpr std::size_t W = V::width;
+    const V c_sqrt3 = V::broadcast(k_lift_sqrt3);
+    const V c_c1 = V::broadcast(k_lift_c1);
+    const V c_c2 = V::broadcast(k_lift_c2);
+    const V c_sa = V::broadcast(k_lift_sa);
+    const V c_sd = V::broadcast(k_lift_sd);
+
+    // Pass 1: s1[l] = x[2l] + sqrt3 * x[2l+1].
+    std::size_t l = 0;
+    for (; l + W <= half; l += W) {
+        const V xe = V::load_even(x + 2 * l);
+        const V xo = V::load_odd(x + 2 * l);
+        (xe + c_sqrt3 * xo).store(s1 + l);
+    }
+    for (; l < half; ++l) s1[l] = x[2 * l] + k_lift_sqrt3 * x[2 * l + 1];
+
+    // Pass 2: d1[l] = x[2l+1] - c1*s1[l] - c2*s1[l-1] (l-1 wraps at 0).
+    d1[0] = x[1] - k_lift_c1 * s1[0] - k_lift_c2 * s1[half - 1];
+    for (l = 1; l + W <= half; l += W) {
+        const V xo = V::load_odd(x + 2 * l);
+        const V a = V::load(s1 + l);
+        const V b = V::load(s1 + l - 1);
+        ((xo - c_c1 * a) - c_c2 * b).store(d1 + l);
+    }
+    for (; l < half; ++l)
+        d1[l] = x[2 * l + 1] - k_lift_c1 * s1[l] - k_lift_c2 * s1[l - 1];
+
+    // Pass 3: out_a[l] = sa*(s1[l] - d1[l+1]) (l+1 wraps at half-1),
+    //         out_d[l] = sd*d1[l].
+    for (l = 0; l + W < half; l += W) {
+        const V a = V::load(s1 + l);
+        const V b = V::load(d1 + l + 1);
+        (c_sa * (a - b)).store(out_a + l);
+        (c_sd * V::load(d1 + l)).store(out_d + l);
+    }
+    for (; l < half; ++l) {
+        const std::size_t lp1 = (l + 1) % half;
+        out_a[l] = k_lift_sa * (s1[l] - d1[lp1]);
+        out_d[l] = k_lift_sd * d1[l];
+    }
+}
+
+}  // namespace qpsa::simd::generic

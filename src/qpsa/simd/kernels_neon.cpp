@@ -1,0 +1,59 @@
+// NEON kernel table (aarch64, 2 doubles per vector).
+//
+// The batched transform and the Db2 lifting lanes use the generic
+// templates; the remaining AoS kernels currently reuse the scalar
+// reference implementations (correct by construction, tuned later) --
+// batching is where the lane win is on this target anyway.
+#include "qpsa/simd/kernels.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cstddef>
+
+#include "qpsa/simd/kernels_generic.inl"
+
+namespace qpsa::simd {
+namespace {
+
+struct vn {
+    float64x2_t v;
+    static constexpr std::size_t width = 2;
+    static vn load(const real* p) { return {vld1q_f64(p)}; }
+    static vn load_even(const real* p) { return {vld2q_f64(p).val[0]}; }
+    static vn load_odd(const real* p) { return {vld2q_f64(p).val[1]}; }
+    void store(real* p) const { vst1q_f64(p, v); }
+    static vn broadcast(real x) { return {vdupq_n_f64(x)}; }
+    vn operator+(vn o) const { return {vaddq_f64(v, o.v)}; }
+    vn operator-(vn o) const { return {vsubq_f64(v, o.v)}; }
+    vn operator*(vn o) const { return {vmulq_f64(v, o.v)}; }
+    vn neg() const { return {vnegq_f64(v)}; }
+};
+
+}  // namespace
+
+namespace detail {
+
+const kernel_table* neon_table() noexcept {
+    static const kernel_table t = [] {
+        kernel_table k = *scalar_table();
+        k.which = isa::neon;
+        k.lanes = 2;
+        k.sr_batched = generic::sr_batched<vn>;
+        k.lifting_db2 = generic::lifting_db2<vn>;
+        return k;
+    }();
+    return &t;
+}
+
+}  // namespace detail
+}  // namespace qpsa::simd
+
+#else  // not aarch64
+
+namespace qpsa::simd::detail {
+const kernel_table* neon_table() noexcept { return nullptr; }
+}  // namespace qpsa::simd::detail
+
+#endif

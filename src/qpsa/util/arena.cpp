@@ -14,18 +14,24 @@ constexpr std::size_t align_up(std::size_t v, std::size_t align) noexcept {
 
 }  // namespace
 
+arena::chunk arena::make_chunk(std::size_t size) {
+    auto* p = static_cast<std::byte*>(
+        ::operator new(size, std::align_val_t{k_simd_align}));
+    return {std::unique_ptr<std::byte[], aligned_delete>{p}, size};
+}
+
 arena::arena(std::size_t initial_bytes) {
     if (initial_bytes > 0) {
         const std::size_t size = std::max(initial_bytes, k_min_chunk_bytes);
-        chunks_.push_back({std::make_unique<std::byte[]>(size), size});
+        chunks_.push_back(make_chunk(size));
     }
 }
 
 void* arena::raw_alloc(std::size_t bytes, std::size_t align) {
     QPSA_EXPECTS(align > 0 && (align & (align - 1)) == 0);
-    // operator new[] on std::byte guarantees alignof(std::max_align_t);
-    // the library only stores fundamental/trivial types, which all fit.
-    QPSA_EXPECTS(align <= alignof(std::max_align_t));
+    // Chunk bases are k_simd_align-aligned (make_chunk), so any power-of-two
+    // alignment up to that is satisfiable by rounding the cursor.
+    QPSA_EXPECTS(align <= k_simd_align);
     for (;;) {
         if (cur_ < chunks_.size()) {
             const std::size_t off = align_up(used_, align);
@@ -44,7 +50,7 @@ void* arena::raw_alloc(std::size_t bytes, std::size_t align) {
         const std::size_t prev = chunks_.empty() ? 0 : chunks_.back().size;
         const std::size_t size =
             std::max({bytes + align, 2 * prev, k_min_chunk_bytes});
-        chunks_.push_back({std::make_unique<std::byte[]>(size), size});
+        chunks_.push_back(make_chunk(size));
         cur_ = chunks_.size() - 1;
         used_ = 0;
     }

@@ -32,6 +32,11 @@ namespace qpsa::util {
 
 class arena {
 public:
+    /// Every chunk base is aligned to this (one cache line / the widest
+    /// SIMD vector the kernel layer uses), so alloc_aligned can hand out
+    /// vector-load-friendly spans without over-allocating.
+    static constexpr std::size_t k_simd_align = 64;
+
     /// `initial_bytes` pre-reserves the first chunk (0 defers to first use).
     explicit arena(std::size_t initial_bytes = 0);
 
@@ -47,6 +52,18 @@ public:
                       "arena memory is reclaimed without running destructors");
         if (count == 0) return {};
         void* p = raw_alloc(count * sizeof(T), alignof(T));
+        return {static_cast<T*>(p), count};
+    }
+
+    /// Uninitialized storage whose base is aligned to `align` bytes
+    /// (default 64: aligned SIMD loads/stores on any supported ISA).
+    template <typename T>
+    std::span<T> alloc_aligned(std::size_t count,
+                               std::size_t align = k_simd_align) {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena memory is reclaimed without running destructors");
+        if (count == 0) return {};
+        void* p = raw_alloc(count * sizeof(T), align);
         return {static_cast<T*>(p), count};
     }
 
@@ -84,10 +101,20 @@ public:
 private:
     void* raw_alloc(std::size_t bytes, std::size_t align);
 
+    /// Chunk storage comes from aligned operator new so every chunk base
+    /// is k_simd_align-aligned -- the invariant behind alloc_aligned.
+    struct aligned_delete {
+        void operator()(std::byte* p) const noexcept {
+            ::operator delete(p, std::align_val_t{k_simd_align});
+        }
+    };
+
     struct chunk {
-        std::unique_ptr<std::byte[]> data;
+        std::unique_ptr<std::byte[], aligned_delete> data;
         std::size_t size = 0;
     };
+
+    static chunk make_chunk(std::size_t size);
 
     std::vector<chunk> chunks_;
     std::size_t cur_ = 0;   ///< index of the chunk being bumped

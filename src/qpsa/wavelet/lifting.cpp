@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "qpsa/counting/op_counter.hpp"
+#include "qpsa/simd/kernels.hpp"
 
 namespace qpsa::wavelet {
 
@@ -22,18 +23,13 @@ void lifting_db2_analysis(std::span<const real> x, std::span<real> out_a,
     QPSA_EXPECTS(out_a.size() == half);
     QPSA_EXPECTS(out_d.size() == half);
 
+    // All three lifting passes run through the dispatched kernel (interior
+    // elements lane-parallel, circular wraps scalar); the closed-form tally
+    // matches the per-element counts of the original loops.
     std::vector<real> s1(half);
     std::vector<real> d1(half);
-    for (std::size_t l = 0; l < half; ++l) s1[l] = x[2 * l] + k_sqrt3 * x[2 * l + 1];
-    for (std::size_t l = 0; l < half; ++l) {
-        const std::size_t lm1 = (l + half - 1) % half;
-        d1[l] = x[2 * l + 1] - k_c1 * s1[l] - k_c2 * s1[lm1];
-    }
-    for (std::size_t l = 0; l < half; ++l) {
-        const std::size_t lp1 = (l + 1) % half;
-        out_a[l] = k_sa * (s1[l] - d1[lp1]);
-        out_d[l] = k_sd * d1[l];
-    }
+    simd::kernels().lifting_db2(x.data(), s1.data(), d1.data(), out_a.data(),
+                                out_d.data(), half);
     counting::count_muls(5 * half);
     counting::count_adds(4 * half);
 }

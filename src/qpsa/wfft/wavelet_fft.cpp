@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "qpsa/counting/op_counter.hpp"
+#include "qpsa/simd/kernels.hpp"
 #include "qpsa/wavelet/dwt.hpp"
 #include "qpsa/wavelet/lifting.hpp"
 
@@ -134,18 +135,13 @@ void wavelet_fft::dwt_stage(std::span<const cplx> x, std::span<cplx> a,
     const bool real_in = plan_.assume_real_input;
 
     if (tables_->folded) {
-        // Unnormalized Haar butterflies; the 1/sqrt(2) lives in the tables.
+        // Unnormalized Haar butterflies (dispatched; the 1/sqrt(2) lives
+        // in the tables).
         if (real_in) {
-            for (std::size_t k = 0; k < half; ++k) {
-                a[k] = cplx{x[2 * k].real() + x[2 * k + 1].real(), 0.0};
-                d[k] = cplx{x[2 * k].real() - x[2 * k + 1].real(), 0.0};
-            }
+            simd::kernels().haar_stage_real(x.data(), a.data(), d.data(), half);
             counting::count_adds(2 * half);
         } else {
-            for (std::size_t k = 0; k < half; ++k) {
-                a[k] = x[2 * k] + x[2 * k + 1];
-                d[k] = x[2 * k] - x[2 * k + 1];
-            }
+            simd::kernels().haar_stage_cplx(x.data(), a.data(), d.data(), half);
             counting::count_cadd(2 * half);
         }
         return;
@@ -207,11 +203,10 @@ void wavelet_fft::dwt_stage_lowpass(std::span<const cplx> x,
 
     if (tables_->folded) {
         if (real_in) {
-            for (std::size_t k = 0; k < half; ++k)
-                a[k] = cplx{x[2 * k].real() + x[2 * k + 1].real(), 0.0};
+            simd::kernels().haar_lowpass_real(x.data(), a.data(), half);
             counting::count_adds(half);
         } else {
-            for (std::size_t k = 0; k < half; ++k) a[k] = x[2 * k] + x[2 * k + 1];
+            simd::kernels().haar_lowpass_cplx(x.data(), a.data(), half);
             counting::count_cadd(half);
         }
         return;
@@ -351,9 +346,6 @@ void wavelet_fft::forward_impl(std::span<const cplx> in, std::span<cplx> out,
     const std::size_t n = plan_.n;
     QPSA_EXPECTS(in.size() == n);
     QPSA_EXPECTS(out.size() == n);
-    if (plan_.assume_real_input) {
-        for (const cplx& v : in) QPSA_EXPECTS(std::abs(v.imag()) < 1e-12);
-    }
     const std::size_t half = n / 2;
 
     util::arena::frame frame(scratch);
@@ -408,8 +400,122 @@ void wavelet_fft::forward(std::span<const cplx> in, std::span<cplx> out,
     forward(in, out, stats, scratch);
 }
 
+void wavelet_fft::forward_batched(std::span<const batch_io> items,
+                                  util::arena& scratch) const {
+    // No batching win below two items, and multi-level trees bottom out
+    // in tiny leaf DFTs where a lane walk has nothing to interleave: run
+    // the sequential transform per item -- identical by definition.
+    if (items.size() < 2 || !lane_batchable()) {
+        for (const batch_io& it : items)
+            forward(std::span<const cplx>(it.in, plan_.n),
+                    std::span<cplx>(it.out, plan_.n), it.stats, scratch);
+        return;
+    }
+
+    const std::size_t n = plan_.n;
+    const std::size_t half = n / 2;
+
+    // Top-level real-input contract, exactly as forward() applies it.
+    if (plan_.assume_real_input)
+        for (const batch_io& it : items)
+            for (std::size_t e = 0; e < n; ++e)
+                QPSA_EXPECTS(std::abs(it.in[e].imag()) < 1e-12);
+
+    struct item_state {
+        std::span<cplx> a, d, a_fft, d_fft;
+        exec_stats* st = nullptr;
+        bool drop = false;
+    };
+    // thread_local so steady-state batched drains stay allocation-free.
+    thread_local std::vector<item_state> states;
+    thread_local std::vector<exec_stats> locals;
+    thread_local std::vector<const cplx*> sub_ins;
+    thread_local std::vector<cplx*> sub_outs;
+    states.clear();
+    states.resize(items.size());
+    locals.clear();
+    locals.resize(items.size());  // sinks for items without a stats target
+
+    util::arena::frame frame(scratch);
+
+    const bool drop_cfg = plan_.prune.band_drop_levels >= 1;
+    const bool dynamic_band = plan_.prune.mode == prune_mode::dynamic &&
+                              plan_.prune.dynamic_band_decision;
+
+    // Stage 1, per item: DWT split + band decision -- the sequential code
+    // under that item's counting scope, so per-item counts and the
+    // decision itself are untouched by batching.
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        item_state& s = states[i];
+        s.st = items[i].stats != nullptr ? items[i].stats : &locals[i];
+        counting::count_scope scope(s.st->ops);
+        std::span<const cplx> in(items[i].in, n);
+        s.a = scratch.alloc<cplx>(half);
+        s.a_fft = scratch.alloc<cplx>(half);
+        if (drop_cfg && !dynamic_band) {
+            dwt_stage_lowpass(in, s.a);
+            s.drop = true;
+        } else {
+            s.d = scratch.alloc<cplx>(half);
+            dwt_stage(in, s.a, s.d, scratch);
+            if (drop_cfg && dynamic_band) {
+                const real thr = plan_.prune.band_threshold *
+                                 (tables_->folded ? sqrt2 : 1.0);
+                real acc = 0.0;
+                for (const cplx& v : s.d) acc += l1_mag(v);
+                counting::count_adds(2 * half - 1);
+                counting::count_divs(1);
+                counting::count_cmps(1);
+                s.drop = (acc / static_cast<real>(half)) < thr;
+            }
+        }
+        s.st->band_dropped = s.drop || s.st->band_dropped;
+        if (!s.drop) s.d_fft = scratch.alloc<cplx>(half);
+    }
+
+    // Stage 2: every surviving half-size sub-transform -- lowpass bands
+    // first, then the kept highpass bands -- through one lane-batched
+    // split-radix walk.  The walk is uncounted; the memoized per-transform
+    // tally (exact for any input) is attributed per item below, exactly
+    // what the sequential sub-FFT would have counted.
+    sub_ins.clear();
+    sub_outs.clear();
+    for (item_state& s : states) {
+        sub_ins.push_back(s.a.data());
+        sub_outs.push_back(s.a_fft.data());
+    }
+    for (item_state& s : states)
+        if (!s.drop) {
+            sub_ins.push_back(s.d.data());
+            sub_outs.push_back(s.d_fft.data());
+        }
+    sub_split_radix_->forward_batched(
+        std::span<const cplx* const>(sub_ins.data(), sub_ins.size()),
+        std::span<cplx* const>(sub_outs.data(), sub_outs.size()), scratch);
+    for (item_state& s : states) {
+        counting::count_scope scope(s.st->ops);
+        counting::add_to_active(sub_split_radix_->op_tally());
+        if (!s.drop) counting::add_to_active(sub_split_radix_->op_tally());
+    }
+
+    // Stage 3, per item: the diagonal combine (data-dependent pruning and
+    // its statistics), again the sequential code per item.
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        item_state& s = states[i];
+        counting::count_scope scope(s.st->ops);
+        combine(s.a_fft, s.drop ? nullptr : s.d_fft.data(),
+                std::span<cplx>(items[i].out, n), *s.st);
+    }
+}
+
 void wavelet_fft::forward(std::span<const cplx> in, std::span<cplx> out,
                           exec_stats* stats, util::arena& scratch) const {
+    // The real-input contract is checked once at the top level only: child
+    // transforms see structurally real data by construction, so re-checking
+    // at every recursion level would be O(n log n) of pure overhead.
+    if (plan_.assume_real_input) {
+        for (const cplx& v : in) QPSA_EXPECTS(std::abs(v.imag()) < 1e-12);
+    }
     exec_stats local;
     exec_stats& st = stats ? *stats : local;
     counting::count_scope scope(st.ops);

@@ -66,6 +66,32 @@ public:
     std::vector<cplx> forward_copy(std::span<const cplx> in,
                                    exec_stats* stats = nullptr) const;
 
+    /// One transform of a lane-batched walk (forward_batched).
+    struct batch_io {
+        const cplx* in = nullptr;
+        cplx* out = nullptr;
+        exec_stats* stats = nullptr;  ///< optional per-transform sink
+    };
+
+    /// True when the half-size sub-transforms run through the split-radix
+    /// FFT (single_level tree): a batched walk then interleaves them one
+    /// per SIMD lane.  Multi-level trees bottom out in tiny leaf DFTs
+    /// where lane batching has nothing to win, so callers should treat
+    /// them as width-1.
+    bool lane_batchable() const noexcept {
+        return sub_split_radix_ != nullptr;
+    }
+
+    /// Forward-transform every item, batching the half-size sub-FFTs
+    /// across items through fft_split_radix::forward_batched (one item
+    /// per SIMD lane).  The DWT stage, the per-window band decision and
+    /// the combine run per item with the sequential code, and the lane
+    /// walk executes the scalar sub-FFT schedule per lane, so outputs,
+    /// exec_stats and operation counts are bit-identical to calling
+    /// forward() per item in order.
+    void forward_batched(std::span<const batch_io> items,
+                         util::arena& scratch) const;
+
     /// Sub-spectrum of the lowpass band (A = F_{N/2} a) of the last
     /// forward() call is not retained; calibration instead uses
     /// subband_spectra() to observe intermediate magnitudes.

@@ -1,0 +1,72 @@
+// Optional vendor-FFT leaf engine: availability plumbing in every build,
+// numeric agreement with the split-radix reference when FFTW3 is there.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "qpsa/core/engine_registry.hpp"
+#include "qpsa/core/psa_system.hpp"
+#include "qpsa/lomb/fast_lomb.hpp"
+#include "qpsa/lomb/fftw_engine.hpp"
+#include "qpsa/util/random.hpp"
+
+using namespace qpsa;
+
+namespace {
+
+TEST(FftwEngine, AvailabilityMatchesRegistry) {
+    // The spec slot exists in every build; the builder only when the
+    // build found FFTW3.  The two must agree so callers can probe
+    // fftw_engine_available() instead of catching contract errors.
+    EXPECT_EQ(lomb::fftw_engine_available(),
+              core::engine_registry::instance().has_builder(
+                  core::engine_spec_index<core::fftw_spec>));
+}
+
+TEST(FftwEngine, ConfigDescribesAndClassifies) {
+    const core::psa_config cfg = core::psa_config::fftw();
+    EXPECT_EQ(cfg.kind(), core::engine_class::fftw);
+    EXPECT_EQ(cfg.describe(), "fftw(512)");
+    EXPECT_EQ(core::engine_class_name(core::engine_class::fftw), "fftw");
+}
+
+TEST(FftwEngine, MissingLibraryFailsCleanly) {
+    if (lomb::fftw_engine_available())
+        GTEST_SKIP() << "FFTW3 present; the missing-builder path is dead";
+    // Building a system from the vendor config must be an ordinary
+    // contract error (no crash, no partial construction).
+    EXPECT_THROW(core::psa_system{core::psa_config::fftw()},
+                 qpsa::contract_error);
+}
+
+TEST(FftwEngine, MatchesSplitRadixSpectrum) {
+    if (!lomb::fftw_engine_available())
+        GTEST_SKIP() << "FFTW3 not found at configure time";
+    // Same windows through the vendor FFT and the split-radix reference:
+    // different algorithms, same DFT, so spectra agree to rounding.
+    util::rng r(11);
+    std::vector<real> t;
+    std::vector<real> x;
+    real acc = 0.0;
+    for (int i = 0; i < 150; ++i) {
+        acc += 0.8 + r.uniform(-0.1, 0.1);
+        t.push_back(acc);
+        x.push_back(0.85 + 0.05 * std::sin(0.25 * acc) + r.gaussian(0.01));
+    }
+    const core::psa_system vendor(core::psa_config::fftw());
+    const core::psa_system reference(core::psa_config::conventional());
+    lomb::workspace ws_v(512);
+    lomb::workspace ws_r(512);
+    lomb::lomb_result got;
+    lomb::lomb_result want;
+    vendor.analyze_window(t, x, ws_v, got);
+    reference.analyze_window(t, x, ws_r, want);
+    ASSERT_EQ(got.spectrum.power.size(), want.spectrum.power.size());
+    for (std::size_t k = 0; k < want.spectrum.power.size(); ++k)
+        EXPECT_NEAR(got.spectrum.power[k], want.spectrum.power[k],
+                    1e-9 * (1.0 + std::abs(want.spectrum.power[k])))
+            << "bin " << k;
+}
+
+}  // namespace

@@ -132,6 +132,27 @@ TEST(Arena, ZeroFillAndAlignment) {
     EXPECT_TRUE(a.alloc<double>(0).empty());
 }
 
+TEST(Arena, SimdAlignmentGuaranteed) {
+    // Every chunk base is 64-byte aligned, so alloc_aligned must return
+    // 64-byte-aligned spans from any cursor position -- including right
+    // after odd-sized allocations and across chunk growth.
+    qu::arena a;
+    for (int round = 0; round < 8; ++round) {
+        (void)a.alloc<char>(1 + round * 13);  // scramble the cursor
+        std::span<double> s = a.alloc_aligned<double>(64 + round * 977);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(s.data()) %
+                      qu::arena::k_simd_align,
+                  0u)
+            << "round " << round;
+        s[0] = 1.0;
+        s[s.size() - 1] = 2.0;
+    }
+    // Explicit smaller alignments still honored.
+    std::span<cplx> z = a.alloc_aligned<cplx>(5, 32);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(z.data()) % 32u, 0u);
+    EXPECT_TRUE(a.alloc_aligned<double>(0).empty());
+}
+
 // ------------------------------------------------- kernel-level identity
 
 TEST(Workspace, ExtirpolateIntoMatchesAllocating) {
