@@ -79,6 +79,9 @@ void psa_config::validate() const {
     QPSA_EXPECTS(lomb.mesh_size >= 64 && is_pow2(lomb.mesh_size));
     QPSA_EXPECTS(window_seconds > 10.0);
     QPSA_EXPECTS(overlap >= 0.0 && overlap < 1.0);
+    // Hop-aligned arithmetic anchors positions on the global hop grid,
+    // which requires a data-independent frequency span.
+    if (lomb.hop_aligned) QPSA_EXPECTS(lomb.span_override > 0.0);
     std::visit(
         overloaded{
             [](const conventional_spec&) {},
@@ -246,8 +249,9 @@ lomb::lomb_result psa_system::analyze_window(std::span<const real> t,
 void psa_system::analyze_window(std::span<const real> t,
                                 std::span<const real> x, lomb::workspace& ws,
                                 lomb::lomb_result& out,
-                                lomb::lomb_breakdown* bd) const {
-    lomb::fast_lomb(t, x, *engine_, cfg_.lomb, ws, out, bd);
+                                lomb::lomb_breakdown* bd,
+                                const lomb::hop_ctx* ctx) const {
+    lomb::fast_lomb(t, x, *engine_, cfg_.lomb, ws, out, bd, ctx);
 }
 
 void psa_system::analyze_window_batched(std::span<lomb::window_job> jobs,

@@ -70,9 +70,12 @@ public:
     /// Workspace-reusing variant (bit-identical): scratch is drawn from
     /// `ws` and the result lands in `out`, whose vectors keep their
     /// capacity -- the steady-state-zero-allocation path of the service.
+    /// `ctx` (optional) carries the hop-alignment context + cache of the
+    /// owning monitor when cfg.lomb.hop_aligned is set.
     void analyze_window(std::span<const real> t, std::span<const real> x,
                         lomb::workspace& ws, lomb::lomb_result& out,
-                        lomb::lomb_breakdown* bd = nullptr) const;
+                        lomb::lomb_breakdown* bd = nullptr,
+                        const lomb::hop_ctx* ctx = nullptr) const;
 
     /// Analyze several windows of THIS system in one pass, interleaving
     /// their mesh FFTs one per SIMD lane when the engine supports it.

@@ -1,6 +1,7 @@
 #include "qpsa/core/streaming_monitor.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace qpsa::core {
 
@@ -36,6 +37,12 @@ void streaming_monitor::push_beat(real beat_time_s, real rr_s) {
     if (!started_) {
         started_ = true;
         next_window_start_ = beat_time_s;
+        // Hop-aligned mode snaps the window phase onto the global hop
+        // grid, so window starts (and the aligned-mesh decomposition they
+        // anchor) are pure functions of the grid, not of the first beat.
+        if (system_->config().lomb.hop_aligned)
+            next_window_start_ =
+                std::floor(beat_time_s / opt_.hop_seconds) * opt_.hop_seconds;
     }
     buffer_.emplace_back(beat_time_s, rr_s);
     ++beats_seen_;
@@ -48,6 +55,15 @@ lomb::workspace& streaming_monitor::window_workspace() {
     return own_workspace_;
 }
 
+void streaming_monitor::update_hop_ctx(real w0) {
+    hop_ctx_.cache = lomb::hop_cache_enabled() ? &hop_cache_ : nullptr;
+    hop_ctx_.window_index = std::llround(w0 / opt_.hop_seconds);
+    hop_ctx_.hop_seconds = opt_.hop_seconds;
+    hop_ctx_.window_start = w0;
+    hop_ctx_.window_seconds = opt_.window_seconds;
+    hop_ctx_.count_actual_ops = system_->config().lomb.count_actual_ops;
+}
+
 void streaming_monitor::try_close_windows() {
     // A window [w0, w0 + W) closes once a beat arrives at or beyond its
     // end; hop defines the next start.
@@ -55,6 +71,8 @@ void streaming_monitor::try_close_windows() {
            buffer_.back().first >= next_window_start_ + opt_.window_seconds) {
         const real w0 = next_window_start_;
         const real w1 = w0 + opt_.window_seconds;
+        const bool aligned = system_->config().lomb.hop_aligned;
+        if (aligned) update_hop_ctx(w0);
 
         win_t_.clear();
         win_x_.clear();
@@ -84,7 +102,8 @@ void streaming_monitor::try_close_windows() {
             lomb::lomb_breakdown bd;
             try {
                 system_->analyze_window(win_t_, win_x_, window_workspace(),
-                                        win_result_, &bd);
+                                        win_result_, &bd,
+                                        aligned ? &hop_ctx_ : nullptr);
                 rep.bands = hrv::compute_band_powers(win_result_.spectrum,
                                                      system_->config().bands);
                 rep.diagnosis = hrv::classify(rep.bands);
@@ -129,6 +148,8 @@ lomb::window_job streaming_monitor::staged_job() noexcept {
     job.x = win_x_;
     job.out = &win_result_;
     job.bd = &staged_bd_;
+    // hop_ctx_ was refreshed for this window when it was staged.
+    job.ctx = system_->config().lomb.hop_aligned ? &hop_ctx_ : nullptr;
     return job;
 }
 
@@ -185,6 +206,9 @@ std::optional<window_report> streaming_monitor::poll() {
 void streaming_monitor::set_config(psa_config cfg) {
     system_ = factory_(cfg);
     QPSA_EXPECTS(system_ != nullptr);
+    // Cached sub-results embed the previous config's arithmetic (engine
+    // kind, mesh, span); none survive a mode switch.
+    hop_cache_.invalidate();
 }
 
 monitor_state streaming_monitor::export_state() const {
@@ -213,6 +237,12 @@ void streaming_monitor::restore_state(const monitor_state& st) {
     started_ = st.started;
     completed_ = static_cast<std::size_t>(st.windows_completed);
     beats_seen_ = static_cast<std::size_t>(st.beats_seen);
+    // The hop cache never travels with monitor_state (an adopting monitor
+    // may hold stale entries of a *different* session); drop everything
+    // and rebuild during the first post-restore window.  Outputs stay
+    // bit-identical -- the cache only replays values the scratch path
+    // would recompute.
+    hop_cache_.invalidate();
 }
 
 real streaming_monitor::arrhythmia_fraction() const {

@@ -109,23 +109,27 @@ void fft_split_radix::forward_batched(std::span<const cplx* const> ins,
         std::span<real> oim = scratch.alloc<real>(n_ * w);
         std::span<real> sre = scratch.alloc<real>(2 * n_ * w);
         std::span<real> sim = scratch.alloc<real>(2 * n_ * w);
+        QPSA_EXPECTS(w <= 8);
         while (ins.size() - i >= 2) {
             const std::size_t chunk = std::min(w, ins.size() - i);
             // Transpose AoS inputs into SoA lane planes; short chunks pad
             // by repeating lane 0 (their outputs are discarded).
-            for (std::size_t l = 0; l < w; ++l) {
-                const cplx* src = ins[i + (l < chunk ? l : 0)];
-                for (std::size_t e = 0; e < n_; ++e) {
-                    xre[e * w + l] = src[e].real();
-                    xim[e * w + l] = src[e].imag();
-                }
-            }
+            const cplx* srcs[8];
+            for (std::size_t l = 0; l < w; ++l)
+                srcs[l] = ins[i + (l < chunk ? l : 0)];
+            kt.transpose_to_planes(srcs, xre.data(), xim.data(), n_, w);
             kt.sr_batched(xre.data(), xim.data(), ore.data(), oim.data(),
                           sre.data(), sim.data(), n_, wtab_.data());
-            for (std::size_t l = 0; l < chunk; ++l) {
-                cplx* dst = outs[i + l];
-                for (std::size_t e = 0; e < n_; ++e)
-                    dst[e] = cplx{ore[e * w + l], oim[e * w + l]};
+            if (chunk == w) {
+                cplx* dsts[8];
+                for (std::size_t l = 0; l < w; ++l) dsts[l] = outs[i + l];
+                kt.transpose_from_planes(ore.data(), oim.data(), dsts, n_, w);
+            } else {
+                for (std::size_t l = 0; l < chunk; ++l) {
+                    cplx* dst = outs[i + l];
+                    for (std::size_t e = 0; e < n_; ++e)
+                        dst[e] = cplx{ore[e * w + l], oim[e * w + l]};
+                }
             }
             i += chunk;
         }

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "qpsa/counting/op_counter.hpp"
 #include "qpsa/dsp/burg.hpp"
+#include "qpsa/lomb/hop_cache.hpp"
 #include "qpsa/lomb/lomb_direct.hpp"
 #include "qpsa/lomb/resampled_psd.hpp"
 #include "qpsa/util/stats.hpp"
@@ -127,6 +129,138 @@ void resampled_engine::estimate(std::span<const real> t,
 
     const real raw_df =
         opt.resample_hz / static_cast<real>(opt.fft_size);
+    map_uniform_psd_onto_grid(power, raw_df, grid, x, out);
+}
+
+void resampled_engine::estimate(std::span<const real> t,
+                                std::span<const real> x,
+                                const estimate_grid& grid,
+                                wfft::exec_stats* stats, util::arena& scratch,
+                                dsp::sampled_spectrum& out,
+                                const hop_ctx* ctx) const {
+    if (ctx == nullptr) {
+        estimate(t, x, grid, stats, scratch, out);
+        return;
+    }
+    estimator_stats_scope scope(stats);
+    util::arena::frame frame(scratch);
+    resampled_psd_options opt;
+    opt.resample_hz = resample_hz_;
+    opt.taper = taper_;
+    opt.fft_size = size();
+    const real rate = resample_hz_;
+
+    // Aligned uniform grid: points sit at global indices g with
+    // t_g = g / rate, covering [t.front(), t.back()].  A point's
+    // interpolated value depends only on (g, its bracketing beat pair),
+    // so the overlap range of consecutive windows interpolates to
+    // bitwise-equal series values -- which is what the series cache
+    // replays.  The float ceil/floor can land one index off; the adjust
+    // loops re-derive the bounds as pure functions of (t, rate).
+    auto g0 = static_cast<std::int64_t>(std::ceil(t.front() * rate));
+    while (static_cast<real>(g0) / rate < t.front()) ++g0;
+    while (static_cast<real>(g0 - 1) / rate >= t.front()) --g0;
+    auto g1 = static_cast<std::int64_t>(std::floor(t.back() * rate));
+    while (static_cast<real>(g1) / rate > t.back()) --g1;
+    while (static_cast<real>(g1 + 1) / rate <= t.back()) ++g1;
+    QPSA_EXPECTS(g1 >= g0);
+    const std::size_t count =
+        std::min<std::size_t>(opt.fft_size,
+                              static_cast<std::size_t>(g1 - g0) + 1);
+    std::span<real> series = scratch.alloc<real>(count);
+
+    hop_series_entry* entry =
+        ctx->cache != nullptr ? &ctx->cache->series() : nullptr;
+    const bool hit = entry != nullptr && entry->valid &&
+                     entry->window_index == ctx->window_index;
+    if (entry != nullptr) {
+        if (hit)
+            ctx->cache->count_hit();
+        else
+            ctx->cache->count_miss();
+    }
+
+    std::size_t cached_points = 0;
+    std::size_t clamp_from = count;  // first clamped (uncacheable) point
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::int64_t g = g0 + static_cast<std::int64_t>(i);
+        const real ti = static_cast<real>(g) / rate;
+        while (j + 1 < t.size() && t[j + 1] < ti) ++j;
+        if (hit && g >= entry->g_start &&
+            g < entry->g_start +
+                    static_cast<std::int64_t>(entry->values.size())) {
+            series[i] =
+                entry->values[static_cast<std::size_t>(g - entry->g_start)];
+            ++cached_points;
+            continue;
+        }
+        if (j + 1 >= t.size()) {
+            // Clamp (never fires for g <= g1 by construction, kept for
+            // parity with the plain resampler); clamped points count
+            // nothing and are never cached.
+            series[i] = x.back();
+            if (clamp_from == count) clamp_from = i;
+            continue;
+        }
+        const real span = t[j + 1] - t[j];
+        const real u = span > 0.0 ? (ti - t[j]) / span : 0.0;
+        series[i] = x[j] * (1.0 - u) + x[j + 1] * u;
+        counting::count_muls(2);
+        counting::count_adds(3);
+        counting::count_divs(1);
+        counting::count_cmps(1);
+    }
+    if (cached_points != 0 && !ctx->count_actual_ops) {
+        // Every cached point replaced one interpolation.
+        counting::op_counts ops;
+        ops.muls = 2 * cached_points;
+        ops.adds = 3 * cached_points;
+        ops.divs = cached_points;
+        ops.cmps = cached_points;
+        counting::add_to_active(ops);
+    }
+
+    // (Re)build the overlap range for window m+1: points at/after its
+    // first beat f interpolate from beat pairs both windows contain, so
+    // their values replay bitwise.  Consuming before rebuilding lets the
+    // single entry storage serve both roles.
+    if (entry != nullptr) {
+        entry->valid = false;
+        entry->window_index = ctx->window_index + 1;
+        entry->values.clear();
+        entry->g_start = 0;
+        const real mid = ctx->window_start + ctx->hop_seconds;
+        std::size_t fs = 0;
+        while (fs < t.size() && t[fs] < mid) ++fs;
+        if (fs < t.size()) {
+            const real f = t[fs];
+            auto gc = static_cast<std::int64_t>(std::ceil(f * rate));
+            while (static_cast<real>(gc) / rate < f) ++gc;
+            while (static_cast<real>(gc - 1) / rate >= f) --gc;
+            const std::int64_t g_last =
+                std::min(g0 + static_cast<std::int64_t>(clamp_from) - 1,
+                         g0 + static_cast<std::int64_t>(count) - 1);
+            if (gc >= g0 && gc <= g_last) {
+                entry->g_start = gc;
+                for (std::int64_t g = gc; g <= g_last; ++g)
+                    entry->values.push_back(
+                        series[static_cast<std::size_t>(g - g0)]);
+            }
+        }
+        entry->valid = true;
+    }
+
+    // Detrend + taper + transform + normalize + map: per window, exactly
+    // as the plain path runs them (the series is the only cached stage).
+    std::span<cplx> buf = scratch.alloc<cplx>(opt.fft_size);
+    const std::size_t grid_n = resampled_psd_prepare_series(series, opt, buf);
+    std::span<cplx> spec = scratch.alloc<cplx>(opt.fft_size);
+    fft_.forward(buf, spec, scratch);
+    std::span<real> power = scratch.alloc<real>(opt.fft_size / 2);
+    resampled_psd_finish(spec, grid_n, opt, power);
+
+    const real raw_df = opt.resample_hz / static_cast<real>(opt.fft_size);
     map_uniform_psd_onto_grid(power, raw_df, grid, x, out);
 }
 

@@ -101,6 +101,14 @@ public:
                   const estimate_grid& grid, wfft::exec_stats* stats,
                   util::arena& scratch,
                   dsp::sampled_spectrum& out) const override;
+    /// Hop-aligned estimate: the uniform grid sits at global indices g
+    /// (t = g / rate) instead of anchoring on the window's first beat, so
+    /// the interpolated series of the overlap range is bitwise stable
+    /// across windows and the hop cache can replay it.
+    void estimate(std::span<const real> t, std::span<const real> x,
+                  const estimate_grid& grid, wfft::exec_stats* stats,
+                  util::arena& scratch, dsp::sampled_spectrum& out,
+                  const hop_ctx* ctx) const override;
 
 private:
     real resample_hz_;

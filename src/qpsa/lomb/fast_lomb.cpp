@@ -81,13 +81,259 @@ window_prep window_moments(std::span<const real> t, std::span<const real> x,
     return prep;
 }
 
+// ---- hop-aligned mesh fill (canonical position decomposition) -----------
+//
+// The scratch extirpolation anchors mesh positions on the window's first
+// beat, so a beat lands at different fractional positions in the two
+// windows that contain it and nothing can be reused.  Hop alignment
+// anchors on the global hop grid instead: with q = floor(t / hop),
+// r = t - q * hop, fac = mesh / (span * ofac) and hc = hop * fac an
+// integer number of mesh cells, beat t deposits at
+//
+//     x0 + (q - m) * hc      where  x0 = r * fac  in [0, hc)
+//
+// in window m.  x0 -- and therefore every Lagrange weight -- is a pure
+// function of the beat itself, so the two windows containing a beat make
+// bitwise-equal deposits at integer-shifted cells.  That is what lets the
+// overlap half of window m+1's meshes be built (dual-deposit) while
+// window m's suffix beats run, and consumed on the next hop.  Centering
+// is decomposed the same way: three meshes accumulate raw values (mx),
+// unit weights (m1) and doubled-angle unit weights (m2 == wk2), and the
+// final wk1[c] = mx[c] - avg * m1[c] applies the window mean outside the
+// cacheable partials.
+//
+// Per-cell accumulation order equals global beat-time order in both the
+// hit and the scratch path, so the filled meshes are bit-identical
+// whether or not a cache is attached.
+
+struct aligned_mesh_plan {
+    bool aligned = false;   ///< canonical fill applies
+    bool cacheable = false; ///< suffix == next window's prefix (W == 2 hop)
+    std::int64_t hc = 0;    ///< mesh cells per hop
+};
+
+aligned_mesh_plan plan_aligned_mesh(const fast_lomb_options& opt,
+                                    const hop_ctx* ctx, std::size_t mesh) {
+    aligned_mesh_plan p;
+    if (ctx == nullptr || opt.mesh != mesh_mode::lagrange_extirpolation)
+        return p;
+    if (opt.span_override <= 0.0 || ctx->hop_seconds <= 0.0) return p;
+    if (opt.macc != 1 && opt.macc != 4) return p;
+    const real fac = static_cast<real>(mesh) / (opt.span_override * opt.ofac);
+    const real hc = ctx->hop_seconds * fac;
+    const auto ihc = static_cast<std::int64_t>(std::llround(hc));
+    // The hop must be an integer number of mesh cells (and leave room for
+    // new beats); otherwise the scratch path runs -- same arithmetic with
+    // or without a cache, just nothing to reuse.
+    if (ihc <= 0 || ihc >= static_cast<std::int64_t>(mesh)) return p;
+    if (std::abs(hc - static_cast<real>(ihc)) > 1e-9) return p;
+    p.aligned = true;
+    p.hc = ihc;
+    p.cacheable = std::abs(ctx->window_seconds - 2.0 * ctx->hop_seconds) < 1e-9;
+    return p;
+}
+
+/// Hop-grid coordinates of one beat: the hop cell offset d = q - m within
+/// the window, and the base positions x0 (in [0, hc)) / x2 = 2 x0 that are
+/// pure functions of the beat time.
+struct beat_pos {
+    std::int64_t d = 0;
+    real x0 = 0.0;
+    real x2 = 0.0;
+};
+
+beat_pos aligned_beat_pos(real t, std::int64_t m, real hop, real fac) {
+    auto q = static_cast<std::int64_t>(std::floor(t / hop));
+    real r = t - static_cast<real>(q) * hop;
+    // The division can land one cell off right at a hop boundary; the
+    // guards re-derive (q, r) so the result is a pure function of t.
+    if (r < 0.0) {
+        --q;
+        r = t - static_cast<real>(q) * hop;
+    }
+    if (r >= hop) {
+        ++q;
+        r = t - static_cast<real>(q) * hop;
+    }
+    beat_pos p;
+    p.d = q - m;
+    p.x0 = r * fac;
+    p.x2 = 2.0 * p.x0;
+    return p;
+}
+
+/// Deposit helper of the aligned fill: order-4 Lagrange weights evaluated
+/// from the base position x alone (spread4's shared sub-products), then
+/// deposited `shift` whole cells later -- so the deposit is bitwise
+/// shift-invariant, which is the cache's correctness contract.  `mate`
+/// (when non-null) receives unit-weight deposits at the same cells,
+/// sharing the one weight evaluation (the centering decomposition).
+/// `ops` accumulates the fixed per-beat tally; whether it is *counted*
+/// is the caller's business (cache-building duplicates are maintenance).
+void aligned_deposit(real y, std::span<real> mesh, std::span<real> mate,
+                     real x, std::int64_t shift, int order,
+                     counting::op_counts& ops) {
+    const auto n = static_cast<std::ptrdiff_t>(mesh.size());
+    const real xr = std::round(x);
+    // The early-exit test sees the pre-shift position, so both windows
+    // containing a beat take the same branch.
+    if (order == 1 || std::abs(x - xr) < 1e-9) {
+        const std::size_t idx = static_cast<std::size_t>(mod_floor(
+            static_cast<std::ptrdiff_t>(xr) + static_cast<std::ptrdiff_t>(shift),
+            n));
+        mesh[idx] += y;
+        ops.adds += 1;
+        if (!mate.empty()) {
+            mate[idx] += 1.0;
+            ops.adds += 1;
+        }
+        return;
+    }
+    const auto i0 = static_cast<std::ptrdiff_t>(std::floor(x));
+    const real u = x - static_cast<real>(i0);
+    const real up1 = u + 1.0;
+    const real um1 = u - 1.0;
+    const real um2 = u - 2.0;
+    const real m12 = um1 * um2;
+    const real p01 = up1 * u;
+    constexpr real sixth = 1.0 / 6.0;
+    const real w0 = -(sixth * u) * m12;
+    const real w1 = (0.5 * up1) * m12;
+    const real w2 = -(0.5 * p01) * um2;
+    const real w3 = (sixth * p01) * um1;
+    const std::ptrdiff_t base =
+        mod_floor(i0 + static_cast<std::ptrdiff_t>(shift), n);
+    const auto wrap = [n](std::ptrdiff_t i) {
+        if (i < 0) i += n;
+        if (i >= n) i -= n;
+        return static_cast<std::size_t>(i);
+    };
+    const std::size_t c0 = wrap(base - 1);
+    const std::size_t c1 = static_cast<std::size_t>(base);
+    const std::size_t c2 = wrap(base + 1);
+    const std::size_t c3 = wrap(base + 2);
+    mesh[c0] += y * w0;
+    mesh[c1] += y * w1;
+    mesh[c2] += y * w2;
+    mesh[c3] += y * w3;
+    ops.muls += 14;  // 10 weight products + 4 value scalings
+    ops.adds += 7;   // 3 offsets + 4 accumulates
+    if (!mate.empty()) {
+        mate[c0] += w0;
+        mate[c1] += w1;
+        mate[c2] += w2;
+        mate[c3] += w3;
+        ops.adds += 4;
+    }
+}
+
+/// Canonical hop-aligned fill.  With a cache attached the overlap half of
+/// the meshes is consumed from the previous window's dual-deposit and only
+/// the new hop's beats run; without one every beat runs -- identical
+/// deposits either way.
+std::size_t fill_meshes_aligned(std::span<const real> t,
+                                std::span<const real> x,
+                                const window_prep& prep,
+                                const fast_lomb_options& opt,
+                                const aligned_mesh_plan& plan,
+                                const hop_ctx& ctx, util::arena& mem,
+                                lomb_breakdown& bd, std::span<real> wk1,
+                                std::span<real> wk2) {
+    const std::size_t n = t.size();
+    const std::size_t mesh = prep.mesh;
+    const auto meshi = static_cast<std::int64_t>(mesh);
+    counting::count_scope scope(bd.extirpolation);
+
+    const real fac = static_cast<real>(mesh) / (opt.span_override * opt.ofac);
+    const real hop = ctx.hop_seconds;
+    const std::int64_t m = ctx.window_index;
+
+    // wk2 doubles as the m2 accumulator: unit weights at doubled angles
+    // need no centering pass.
+    std::span<real> mx = mem.alloc<real>(mesh);
+    std::span<real> m1 = mem.alloc<real>(mesh);
+    std::fill(mx.begin(), mx.end(), 0.0);
+    std::fill(m1.begin(), m1.end(), 0.0);
+    std::fill(wk2.begin(), wk2.end(), 0.0);
+
+    hop_mesh_entry* entry = nullptr;
+    bool hit = false;
+    if (plan.cacheable && ctx.cache != nullptr) {
+        entry = &ctx.cache->mesh();
+        hit = entry->valid && entry->window_index == m && entry->mesh == mesh;
+        if (hit) {
+            std::copy(entry->mesh_x.begin(), entry->mesh_x.end(), mx.begin());
+            std::copy(entry->mesh_1.begin(), entry->mesh_1.end(), m1.begin());
+            std::copy(entry->mesh_2.begin(), entry->mesh_2.end(), wk2.begin());
+            if (!ctx.count_actual_ops) counting::add_to_active(entry->ops);
+            ctx.cache->count_hit();
+        } else {
+            ctx.cache->count_miss();
+        }
+        // (Re)build the prefix meshes of window m+1 while this window's
+        // suffix deposits run; consuming before rebuilding lets one entry
+        // storage serve both roles.  valid stays false until the fill
+        // completes, so a window aborted by a data contract leaves a miss
+        // behind, never a half-built hit.
+        entry->valid = false;
+        entry->window_index = m + 1;
+        entry->mesh = mesh;
+        entry->mesh_x.assign(mesh, 0.0);
+        entry->mesh_1.assign(mesh, 0.0);
+        entry->mesh_2.assign(mesh, 0.0);
+        entry->ops = {};
+    }
+
+    counting::op_counts maintenance;  // dual-deposit duplicates, uncounted
+    for (std::size_t j = 0; j < n; ++j) {
+        const beat_pos p = aligned_beat_pos(t[j], m, hop, fac);
+        QPSA_EXPECTS(p.d >= 0 && p.d * plan.hc < meshi);
+        const bool suffix = p.d >= 1;
+        if (hit && !suffix) continue;  // prefix came from the cache
+        counting::op_counts ops;
+        ops.divs += 1;  // t / hop
+        ops.muls += 3;  // q * hop, r * fac, 2 * x0
+        ops.adds += 1;  // t - q * hop
+        const std::int64_t s1 = (p.d * plan.hc) % meshi;
+        const std::int64_t s2 = (p.d * 2 * plan.hc) % meshi;
+        aligned_deposit(x[j], mx, m1, p.x0, s1, opt.macc, ops);
+        aligned_deposit(1.0, wk2, {}, p.x2, s2, opt.macc, ops);
+        counting::add_to_active(ops);
+        if (entry != nullptr && p.d == 1) {
+            // Same beat, next window's coordinates (d - 1 == 0): reuse the
+            // identical weight evaluation, deposit unshifted.
+            aligned_deposit(x[j], entry->mesh_x, entry->mesh_1, p.x0, 0,
+                            opt.macc, maintenance);
+            aligned_deposit(1.0, entry->mesh_2, {}, p.x2, 0, opt.macc,
+                            maintenance);
+            // The tally this window counted for the beat is exactly what
+            // the next window's scratch path would count for it.
+            entry->ops += ops;
+        }
+    }
+    if (entry != nullptr) entry->valid = true;
+
+    // Apply the window mean outside the cached partials.
+    for (std::size_t c = 0; c < mesh; ++c) wk1[c] = mx[c] - prep.avg * m1[c];
+    counting::count_muls(mesh);
+    counting::count_adds(mesh);
+    return n;
+}
+
 /// Redistribution onto the oversampled periodic mesh.  The mesh covers
 /// span * ofac seconds so that df = 1 / (span * ofac).  Returns n_eff, the
 /// sample count entering the Lomb denominators.
 std::size_t fill_meshes(std::span<const real> t, std::span<const real> x,
                         const window_prep& prep, const fast_lomb_options& opt,
-                        util::arena& mem, lomb_breakdown& bd,
-                        std::span<real> wk1, std::span<real> wk2) {
+                        const hop_ctx* ctx, util::arena& mem,
+                        lomb_breakdown& bd, std::span<real> wk1,
+                        std::span<real> wk2) {
+    if (opt.hop_aligned) {
+        const aligned_mesh_plan plan = plan_aligned_mesh(opt, ctx, prep.mesh);
+        if (plan.aligned)
+            return fill_meshes_aligned(t, x, prep, opt, plan, *ctx, mem, bd,
+                                       wk1, wk2);
+    }
     const std::size_t n = t.size();
     const std::size_t mesh = prep.mesh;
     std::size_t n_eff = n;
@@ -194,7 +440,8 @@ lomb_result fast_lomb(std::span<const real> t, std::span<const real> x,
 
 void fast_lomb(std::span<const real> t, std::span<const real> x,
                const fft_engine& engine, const fast_lomb_options& opt,
-               workspace& ws, lomb_result& res, lomb_breakdown* breakdown) {
+               workspace& ws, lomb_result& res, lomb_breakdown* breakdown,
+               const hop_ctx* ctx) {
     const std::size_t n = t.size();
 
     lomb_breakdown local;
@@ -215,14 +462,15 @@ void fast_lomb(std::span<const real> t, std::span<const real> x,
         res.mesh_span = prep.span;
         counting::count_scope scope(bd.fft);
         engine.estimate(t, x, {1.0 / (prep.span * opt.ofac), prep.nout},
-                        &bd.fft_stats, mem, res.spectrum);
+                        &bd.fft_stats, mem, res.spectrum, ctx);
         QPSA_ENSURES(res.spectrum.power.size() == prep.nout);
         return;
     }
 
     std::span<real> wk1 = mem.alloc<real>(mesh);
     std::span<real> wk2 = mem.alloc<real>(mesh);
-    const std::size_t n_eff = fill_meshes(t, x, prep, opt, mem, bd, wk1, wk2);
+    const std::size_t n_eff =
+        fill_meshes(t, x, prep, opt, ctx, mem, bd, wk1, wk2);
 
     // --- transform the two meshes -----------------------------------------
     // The engine counts into its stats sink, and nested count scopes
@@ -275,7 +523,8 @@ void fast_lomb_batched(std::span<window_job> jobs, const fft_engine& engine,
         for (window_job& job : jobs) {
             QPSA_EXPECTS(job.out != nullptr && job.bd != nullptr);
             try {
-                fast_lomb(job.t, job.x, engine, opt, ws, *job.out, job.bd);
+                fast_lomb(job.t, job.x, engine, opt, ws, *job.out, job.bd,
+                          job.ctx);
                 job.ok = true;
             } catch (const contract_error&) {
                 job.ok = false;
@@ -314,8 +563,8 @@ void fast_lomb_batched(std::span<window_job> jobs, const fft_engine& engine,
             const std::size_t mesh = st.prep.mesh;
             std::span<real> wk1 = mem.alloc<real>(mesh);
             std::span<real> wk2 = mem.alloc<real>(mesh);
-            st.n_eff = fill_meshes(job.t, job.x, st.prep, opt, mem, *job.bd,
-                                   wk1, wk2);
+            st.n_eff = fill_meshes(job.t, job.x, st.prep, opt, job.ctx, mem,
+                                   *job.bd, wk1, wk2);
             counting::count_scope scope(job.bd->fft);
             if (packed) {
                 st.zfft = mem.alloc<cplx>(mesh);

@@ -14,6 +14,7 @@
 #include "qpsa/counting/op_counter.hpp"
 #include "qpsa/dsp/spectrum.hpp"
 #include "qpsa/lomb/fft_engine.hpp"
+#include "qpsa/lomb/hop_cache.hpp"
 #include "qpsa/lomb/workspace.hpp"
 #include "qpsa/util/common.hpp"
 
@@ -61,6 +62,19 @@ struct fast_lomb_options {
     /// count (0.5 * ofac * hifac * n).  Welch segmentation fixes it so all
     /// segments share one grid.
     std::size_t nout_override = 0;
+    /// Anchor window arithmetic on the monitor's global hop grid instead
+    /// of the window's first beat (requires span_override > 0).  Every
+    /// beat's mesh position becomes a pure function of the beat itself, so
+    /// the hop_cache can reuse the overlap half across windows; with
+    /// cache reuse off the aligned path still computes the identical
+    /// result -- that is the invariant the hopcache tests pin down.
+    bool hop_aligned = false;
+    /// Report real (post-reuse) operation counts on cache hits instead of
+    /// attributing the memoized scratch-path tally.  Off by default so
+    /// counted complexity -- and the QDES energy model -- is unchanged by
+    /// caching (the PR 8 batched-FFT precedent); a governor flips it on to
+    /// see the true savings.
+    bool count_actual_ops = false;
 
     /// Equal options + the same engine = the same arithmetic: the batch
     /// scheduler groups windows across sessions on exactly this.
@@ -101,7 +115,8 @@ lomb_result fast_lomb(std::span<const real> t, std::span<const real> x,
 void fast_lomb(std::span<const real> t, std::span<const real> x,
                const fft_engine& engine, const fast_lomb_options& opt,
                workspace& ws, lomb_result& out,
-               lomb_breakdown* breakdown = nullptr);
+               lomb_breakdown* breakdown = nullptr,
+               const hop_ctx* ctx = nullptr);
 
 /// One window of a batched Fast-Lomb run.  `out`/`bd` must be non-null;
 /// `ok` reports whether the window passed its data contracts (windows
@@ -111,6 +126,10 @@ struct window_job {
     std::span<const real> x;
     lomb_result* out = nullptr;
     lomb_breakdown* bd = nullptr;
+    /// Per-job hop-alignment context (jobs in one batch come from
+    /// different sessions, each with its own cache); null when the
+    /// configuration is not hop-aligned.
+    const hop_ctx* ctx = nullptr;
     bool ok = false;
 };
 

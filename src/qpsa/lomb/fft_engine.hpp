@@ -18,6 +18,8 @@
 
 namespace qpsa::lomb {
 
+struct hop_ctx;  // hop_cache.hpp: hop-alignment context of one window
+
 /// Frequency grid a whole-window estimator must fill: f_k = k * df for
 /// k = 1..nout (the Fast-Lomb grid, so every engine kind lands on the
 /// same bins and band integration is engine-agnostic).
@@ -89,6 +91,20 @@ public:
                           const estimate_grid& grid, wfft::exec_stats* stats,
                           util::arena& scratch,
                           dsp::sampled_spectrum& out) const;
+
+    /// Hop-aware whole-window estimate: engines that can anchor their
+    /// arithmetic on the monitor's global hop grid (Welch segmentation,
+    /// uniform resampling) override this to reuse sub-results across
+    /// overlapping windows via ctx->cache.  The default discards the
+    /// context and runs the plain path, so every other engine keeps its
+    /// exact behavior.
+    virtual void estimate(std::span<const real> t, std::span<const real> x,
+                          const estimate_grid& grid, wfft::exec_stats* stats,
+                          util::arena& scratch, dsp::sampled_spectrum& out,
+                          const hop_ctx* ctx) const {
+        (void)ctx;
+        estimate(t, x, grid, stats, scratch, out);
+    }
 
     /// Allocating convenience wrapper around the virtual above.
     dsp::sampled_spectrum estimate(std::span<const real> t,

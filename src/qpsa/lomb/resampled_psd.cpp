@@ -63,17 +63,12 @@ std::span<real> resample_linear(std::span<const real> t,
     return out;
 }
 
-void resampled_psd(std::span<const real> t, std::span<const real> x,
-                   const resampled_psd_options& opt,
-                   const dsp::fft_split_radix& fft, util::arena& scratch,
-                   std::span<real> out_power) {
-    QPSA_EXPECTS(is_pow2(opt.fft_size));
-    QPSA_EXPECTS(fft.size() == opt.fft_size);
-    QPSA_EXPECTS(out_power.size() == opt.fft_size / 2);
-    util::arena::frame frame(scratch);
-    std::span<real> grid =
-        resample_linear(t, x, opt.resample_hz, opt.fft_size, scratch);
+std::size_t resampled_psd_prepare_series(std::span<real> grid,
+                                         const resampled_psd_options& opt,
+                                         std::span<cplx> in) {
     QPSA_EXPECTS(grid.size() >= 8);
+    QPSA_EXPECTS(grid.size() <= opt.fft_size);
+    QPSA_EXPECTS(in.size() == opt.fft_size);
 
     // Detrend (remove mean), taper, zero-pad to the transform size.
     const real mu = util::mean(grid);
@@ -84,21 +79,48 @@ void resampled_psd(std::span<const real> t, std::span<const real> x,
     counting::count_adds(grid.size());
     counting::count_muls(grid.size());
 
-    std::span<cplx> buf = scratch.alloc<cplx>(opt.fft_size);
-    for (std::size_t i = 0; i < grid.size(); ++i) buf[i] = cplx{grid[i], 0.0};
+    for (std::size_t i = 0; i < grid.size(); ++i) in[i] = cplx{grid[i], 0.0};
     for (std::size_t i = grid.size(); i < opt.fft_size; ++i)
-        buf[i] = cplx{0.0, 0.0};
-    std::span<cplx> spec = scratch.alloc<cplx>(opt.fft_size);
-    fft.forward(buf, spec, scratch);
+        in[i] = cplx{0.0, 0.0};
+    return grid.size();
+}
 
+std::size_t resampled_psd_prepare(std::span<const real> t,
+                                  std::span<const real> x,
+                                  const resampled_psd_options& opt,
+                                  util::arena& scratch, std::span<cplx> in) {
+    std::span<real> grid =
+        resample_linear(t, x, opt.resample_hz, opt.fft_size, scratch);
+    return resampled_psd_prepare_series(grid, opt, in);
+}
+
+void resampled_psd_finish(std::span<const cplx> spec, std::size_t grid_n,
+                          const resampled_psd_options& opt,
+                          std::span<real> out_power) {
+    QPSA_EXPECTS(out_power.size() == opt.fft_size / 2);
     // One-sided PSD up to Nyquist, normalized by the taper power gain and
     // the effective record length.
-    const real norm = 2.0 / (opt.resample_hz * static_cast<real>(grid.size()) *
+    const real norm = 2.0 / (opt.resample_hz * static_cast<real>(grid_n) *
                              dsp::window_power_gain(opt.taper));
     simd::kernels().power_norm(spec.data(), out_power.data(), norm,
                                out_power.size());
     counting::count_muls(3 * out_power.size());
     counting::count_adds(out_power.size());
+}
+
+void resampled_psd(std::span<const real> t, std::span<const real> x,
+                   const resampled_psd_options& opt,
+                   const dsp::fft_split_radix& fft, util::arena& scratch,
+                   std::span<real> out_power) {
+    QPSA_EXPECTS(is_pow2(opt.fft_size));
+    QPSA_EXPECTS(fft.size() == opt.fft_size);
+    QPSA_EXPECTS(out_power.size() == opt.fft_size / 2);
+    util::arena::frame frame(scratch);
+    std::span<cplx> buf = scratch.alloc<cplx>(opt.fft_size);
+    const std::size_t grid_n = resampled_psd_prepare(t, x, opt, scratch, buf);
+    std::span<cplx> spec = scratch.alloc<cplx>(opt.fft_size);
+    fft.forward(buf, spec, scratch);
+    resampled_psd_finish(spec, grid_n, opt, out_power);
 }
 
 dsp::sampled_spectrum resampled_psd(std::span<const real> t,

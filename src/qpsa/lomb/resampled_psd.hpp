@@ -57,4 +57,32 @@ void resampled_psd(std::span<const real> t, std::span<const real> x,
                    const dsp::fft_split_radix& fft, util::arena& scratch,
                    std::span<real> out_power);
 
+// -- phase split of the core ----------------------------------------------
+// The core above is prepare -> forward -> finish.  The phases are exposed
+// so callers can interleave several estimates through one lane-batched
+// transform walk (Welch segments) or feed a series that came from
+// elsewhere (the hop cache's aligned resample grid); chaining them is
+// bit-identical to the one-call core.
+
+/// Resample + detrend + taper + zero-pad-pack into `in` (sized
+/// opt.fft_size; the resampled grid is drawn from `scratch` and lives
+/// until the caller's frame unwinds).  Returns the resampled grid size,
+/// which finish needs for normalization.
+std::size_t resampled_psd_prepare(std::span<const real> t,
+                                  std::span<const real> x,
+                                  const resampled_psd_options& opt,
+                                  util::arena& scratch, std::span<cplx> in);
+
+/// The tail of prepare for a caller-supplied uniform series: detrend +
+/// taper in place, pack zero-padded into `in`.  Returns series.size().
+std::size_t resampled_psd_prepare_series(std::span<real> series,
+                                         const resampled_psd_options& opt,
+                                         std::span<cplx> in);
+
+/// Normalize the forward transform of a prepared series into the
+/// one-sided PSD (fft_size / 2 bins).
+void resampled_psd_finish(std::span<const cplx> spec, std::size_t grid_n,
+                          const resampled_psd_options& opt,
+                          std::span<real> out_power);
+
 }  // namespace qpsa::lomb

@@ -38,6 +38,14 @@ public:
                   const estimate_grid& grid, wfft::exec_stats* stats,
                   util::arena& scratch,
                   dsp::sampled_spectrum& out) const override;
+    /// Hop-aligned estimate: segments anchor on the absolute k * seg_hop
+    /// grid (not the window's first beat), so a segment's periodogram is
+    /// keyed by k and reused across the windows that share it; the cache
+    /// misses of a window ride one lane-batched transform walk.
+    void estimate(std::span<const real> t, std::span<const real> x,
+                  const estimate_grid& grid, wfft::exec_stats* stats,
+                  util::arena& scratch, dsp::sampled_spectrum& out,
+                  const hop_ctx* ctx) const override;
 
 private:
     real resample_hz_;

@@ -28,6 +28,9 @@ fleet_snapshot& fleet_snapshot::operator+=(const fleet_snapshot& o) {
     journal_torn_tails += o.journal_torn_tails;
     sessions_migrated_in += o.sessions_migrated_in;
     sessions_migrated_out += o.sessions_migrated_out;
+    hop_hits += o.hop_hits;
+    hop_misses += o.hop_misses;
+    hop_bytes += o.hop_bytes;
     lf_sum += o.lf_sum;
     hf_sum += o.hf_sum;
     ratio_sum += o.ratio_sum;

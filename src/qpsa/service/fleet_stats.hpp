@@ -42,9 +42,10 @@ public:
 /// with more kinds than the reader knows is rejected loudly.
 /// History: v1 = PR 5 layout; v2 appends the high-water and journal
 /// telemetry columns after ratio_sum; v3 appends the live-migration
-/// columns (sessions_migrated_in/out).  Older payloads still load with
-/// the missing trailing columns zero.
-inline constexpr std::uint16_t fleet_wire_version = 3;
+/// columns (sessions_migrated_in/out); v4 appends the hop-cache columns
+/// (hop_hits/hop_misses/hop_bytes).  Older payloads still load with the
+/// missing trailing columns zero.
+inline constexpr std::uint16_t fleet_wire_version = 4;
 
 /// Per-engine-kind tally (one slot per core::engine_class).
 struct engine_tally {
@@ -131,6 +132,16 @@ struct fleet_snapshot {
     /// consistent merged view every out has a matching in.
     std::uint64_t sessions_migrated_in = 0;
     std::uint64_t sessions_migrated_out = 0;
+
+    /// Hop-cache telemetry: reuse hits / misses across the fleet's
+    /// monitors and the bytes their caches hold.  Like the drop columns
+    /// this is live-only telemetry (session_manager::fleet() reads each
+    /// live monitor's cache; extracted sessions and journal rebuilds
+    /// report zero).  Counts add under operator+=; hop_bytes is a sum of
+    /// point-in-time footprints, not a monotonic counter.
+    std::uint64_t hop_hits = 0;
+    std::uint64_t hop_misses = 0;
+    std::uint64_t hop_bytes = 0;
 
     // Sums over windows; use the mean_* helpers for averages.
     real lf_sum = 0.0;

@@ -20,6 +20,7 @@
 //   v2+: u64 high_water_alarms; u64 journal_appends, journal_bytes,
 //        journal_fsyncs, journal_torn_tails
 //   v3+: u64 sessions_migrated_in, sessions_migrated_out
+//   v4+: u64 hop_hits, hop_misses, hop_bytes
 //
 // A snapshot serialized by a build with fewer engine kinds than the
 // reader loads into the wider table (new kinds tally zero); one with
@@ -222,6 +223,11 @@ std::vector<std::uint8_t> fleet_snapshot::serialize(
         w.u64(sessions_migrated_in);
         w.u64(sessions_migrated_out);
     }
+    if (version >= 4) {
+        w.u64(hop_hits);
+        w.u64(hop_misses);
+        w.u64(hop_bytes);
+    }
     return out;
 }
 
@@ -302,6 +308,11 @@ fleet_snapshot fleet_snapshot::deserialize(
     if (version >= 3) {
         snap.sessions_migrated_in = r.u64();
         snap.sessions_migrated_out = r.u64();
+    }
+    if (version >= 4) {
+        snap.hop_hits = r.u64();
+        snap.hop_misses = r.u64();
+        snap.hop_bytes = r.u64();
     }
     r.expect_exhausted();
     return snap;

@@ -91,6 +91,18 @@ struct kernel_table {
     /// out[k] = (re^2 + im^2) * norm -- the one-sided PSD power loop.
     void (*power_norm)(const cplx* spec, real* out, real norm,
                        std::size_t n) = nullptr;
+
+    // -- batched-FFT lane transpose ---------------------------------------
+    /// AoS -> SoA scatter for the batched walk: element e of input lane l
+    /// (srcs[l][e]) lands at re/im[e * w + l].  Callers pass exactly
+    /// w == lanes source pointers (short chunks repeat a lane).  Pure data
+    /// movement -- trivially bit-identical on every ISA.
+    void (*transpose_to_planes)(const cplx* const* srcs, real* re, real* im,
+                                std::size_t n, std::size_t w) = nullptr;
+    /// SoA -> AoS gather of the lane planes back into w complex outputs.
+    void (*transpose_from_planes)(const real* re, const real* im,
+                                  cplx* const* dsts, std::size_t n,
+                                  std::size_t w) = nullptr;
 };
 
 /// The table for the active ISA (resolved once; see isa.hpp).

@@ -262,6 +262,67 @@ void power_norm_avx2(const cplx* spec, real* out, real norm, std::size_t n) {
     for (; k < n; ++k) out[k] = sqr_mag(spec[k]) * norm;
 }
 
+void transpose_to_planes_avx2(const cplx* const* srcs, real* re, real* im,
+                              std::size_t n, std::size_t w) {
+    if (w == 4) {
+        const auto* s0 = reinterpret_cast<const double*>(srcs[0]);
+        const auto* s1 = reinterpret_cast<const double*>(srcs[1]);
+        const auto* s2 = reinterpret_cast<const double*>(srcs[2]);
+        const auto* s3 = reinterpret_cast<const double*>(srcs[3]);
+        for (std::size_t e = 0; e < n; ++e) {
+            const __m128d a0 = _mm_loadu_pd(s0 + 2 * e);  // [re0, im0]
+            const __m128d a1 = _mm_loadu_pd(s1 + 2 * e);
+            const __m128d a2 = _mm_loadu_pd(s2 + 2 * e);
+            const __m128d a3 = _mm_loadu_pd(s3 + 2 * e);
+            const __m128d r01 = _mm_unpacklo_pd(a0, a1);  // [re0, re1]
+            const __m128d r23 = _mm_unpacklo_pd(a2, a3);  // [re2, re3]
+            const __m128d i01 = _mm_unpackhi_pd(a0, a1);  // [im0, im1]
+            const __m128d i23 = _mm_unpackhi_pd(a2, a3);  // [im2, im3]
+            _mm256_storeu_pd(
+                re + 4 * e,
+                _mm256_insertf128_pd(_mm256_castpd128_pd256(r01), r23, 1));
+            _mm256_storeu_pd(
+                im + 4 * e,
+                _mm256_insertf128_pd(_mm256_castpd128_pd256(i01), i23, 1));
+        }
+        return;
+    }
+    for (std::size_t l = 0; l < w; ++l) {
+        const cplx* src = srcs[l];
+        for (std::size_t e = 0; e < n; ++e) {
+            re[e * w + l] = src[e].real();
+            im[e * w + l] = src[e].imag();
+        }
+    }
+}
+
+void transpose_from_planes_avx2(const real* re, const real* im,
+                                cplx* const* dsts, std::size_t n,
+                                std::size_t w) {
+    if (w == 4) {
+        auto* d0 = reinterpret_cast<double*>(dsts[0]);
+        auto* d1 = reinterpret_cast<double*>(dsts[1]);
+        auto* d2 = reinterpret_cast<double*>(dsts[2]);
+        auto* d3 = reinterpret_cast<double*>(dsts[3]);
+        for (std::size_t e = 0; e < n; ++e) {
+            const __m256d vr = _mm256_loadu_pd(re + 4 * e);
+            const __m256d vi = _mm256_loadu_pd(im + 4 * e);
+            const __m256d lo = _mm256_unpacklo_pd(vr, vi);  // [r0,i0,r2,i2]
+            const __m256d hi = _mm256_unpackhi_pd(vr, vi);  // [r1,i1,r3,i3]
+            _mm_storeu_pd(d0 + 2 * e, _mm256_castpd256_pd128(lo));
+            _mm_storeu_pd(d1 + 2 * e, _mm256_castpd256_pd128(hi));
+            _mm_storeu_pd(d2 + 2 * e, _mm256_extractf128_pd(lo, 1));
+            _mm_storeu_pd(d3 + 2 * e, _mm256_extractf128_pd(hi, 1));
+        }
+        return;
+    }
+    for (std::size_t l = 0; l < w; ++l) {
+        cplx* dst = dsts[l];
+        for (std::size_t e = 0; e < n; ++e)
+            dst[e] = cplx{re[e * w + l], im[e * w + l]};
+    }
+}
+
 // Width-4 vector for the generic batched-transform and lifting templates.
 struct v4 {
     __m256d v;
@@ -307,6 +368,8 @@ const kernel_table* avx2_table() noexcept {
         k.pack_real_pair = pack_real_pair_avx2;
         k.widen_real = widen_real_avx2;
         k.power_norm = power_norm_avx2;
+        k.transpose_to_planes = transpose_to_planes_avx2;
+        k.transpose_from_planes = transpose_from_planes_avx2;
         return k;
     }();
     return &t;

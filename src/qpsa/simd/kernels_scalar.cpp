@@ -119,6 +119,27 @@ void power_norm_scalar(const cplx* spec, real* out, real norm, std::size_t n) {
     for (std::size_t k = 0; k < n; ++k) out[k] = sqr_mag(spec[k]) * norm;
 }
 
+void transpose_to_planes_scalar(const cplx* const* srcs, real* re, real* im,
+                                std::size_t n, std::size_t w) {
+    for (std::size_t l = 0; l < w; ++l) {
+        const cplx* src = srcs[l];
+        for (std::size_t e = 0; e < n; ++e) {
+            re[e * w + l] = src[e].real();
+            im[e * w + l] = src[e].imag();
+        }
+    }
+}
+
+void transpose_from_planes_scalar(const real* re, const real* im,
+                                  cplx* const* dsts, std::size_t n,
+                                  std::size_t w) {
+    for (std::size_t l = 0; l < w; ++l) {
+        cplx* dst = dsts[l];
+        for (std::size_t e = 0; e < n; ++e)
+            dst[e] = cplx{re[e * w + l], im[e * w + l]};
+    }
+}
+
 }  // namespace
 
 namespace detail {
@@ -139,6 +160,8 @@ const kernel_table* scalar_table() noexcept {
         k.pack_real_pair = pack_real_pair_scalar;
         k.widen_real = widen_real_scalar;
         k.power_norm = power_norm_scalar;
+        k.transpose_to_planes = transpose_to_planes_scalar;
+        k.transpose_from_planes = transpose_from_planes_scalar;
         return k;
     }();
     return &t;

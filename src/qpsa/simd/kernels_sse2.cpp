@@ -203,6 +203,49 @@ void power_norm_sse2(const cplx* spec, real* out, real norm, std::size_t n) {
     for (; k < n; ++k) out[k] = sqr_mag(spec[k]) * norm;
 }
 
+void transpose_to_planes_sse2(const cplx* const* srcs, real* re, real* im,
+                              std::size_t n, std::size_t w) {
+    if (w == 2) {
+        auto* const s0 = reinterpret_cast<const double*>(srcs[0]);
+        auto* const s1 = reinterpret_cast<const double*>(srcs[1]);
+        for (std::size_t e = 0; e < n; ++e) {
+            const __m128d a = _mm_loadu_pd(s0 + 2 * e);  // [re0, im0]
+            const __m128d b = _mm_loadu_pd(s1 + 2 * e);  // [re1, im1]
+            _mm_storeu_pd(re + 2 * e, _mm_unpacklo_pd(a, b));
+            _mm_storeu_pd(im + 2 * e, _mm_unpackhi_pd(a, b));
+        }
+        return;
+    }
+    for (std::size_t l = 0; l < w; ++l) {
+        const cplx* src = srcs[l];
+        for (std::size_t e = 0; e < n; ++e) {
+            re[e * w + l] = src[e].real();
+            im[e * w + l] = src[e].imag();
+        }
+    }
+}
+
+void transpose_from_planes_sse2(const real* re, const real* im,
+                                cplx* const* dsts, std::size_t n,
+                                std::size_t w) {
+    if (w == 2) {
+        auto* const d0 = reinterpret_cast<double*>(dsts[0]);
+        auto* const d1 = reinterpret_cast<double*>(dsts[1]);
+        for (std::size_t e = 0; e < n; ++e) {
+            const __m128d vr = _mm_loadu_pd(re + 2 * e);  // [re0, re1]
+            const __m128d vi = _mm_loadu_pd(im + 2 * e);  // [im0, im1]
+            _mm_storeu_pd(d0 + 2 * e, _mm_unpacklo_pd(vr, vi));
+            _mm_storeu_pd(d1 + 2 * e, _mm_unpackhi_pd(vr, vi));
+        }
+        return;
+    }
+    for (std::size_t l = 0; l < w; ++l) {
+        cplx* dst = dsts[l];
+        for (std::size_t e = 0; e < n; ++e)
+            dst[e] = cplx{re[e * w + l], im[e * w + l]};
+    }
+}
+
 // Width-2 vector for the generic batched-transform and lifting templates.
 struct v2 {
     __m128d v;
@@ -246,6 +289,8 @@ const kernel_table* sse2_table() noexcept {
         k.pack_real_pair = pack_real_pair_sse2;
         k.widen_real = widen_real_sse2;
         k.power_norm = power_norm_sse2;
+        k.transpose_to_planes = transpose_to_planes_sse2;
+        k.transpose_from_planes = transpose_from_planes_sse2;
         return k;
     }();
     return &t;

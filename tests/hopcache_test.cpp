@@ -1,0 +1,275 @@
+// Hop-cache tests: incremental recomputation across 50 %-overlapping
+// windows must be bit-identical to the scratch path for every engine
+// kind, fall back cleanly when the hop is mesh-misaligned, invalidate on
+// config switches, survive live migration by rebuilding, and surface its
+// telemetry losslessly through the fleet snapshot wire.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "qpsa/core/streaming_monitor.hpp"
+#include "qpsa/lomb/hop_cache.hpp"
+#include "qpsa/physio/patients.hpp"
+#include "qpsa/service/service.hpp"
+
+using qpsa::real;
+namespace qcore = qpsa::core;
+namespace ql = qpsa::lomb;
+namespace qp = qpsa::physio;
+namespace qs = qpsa::service;
+namespace qf = qpsa::wfft;
+namespace qw = qpsa::wavelet;
+
+namespace {
+
+/// Scoped runtime toggle: tests flip the cache off for A/B runs and must
+/// always restore it (the flag is process-global).
+struct cache_toggle {
+    explicit cache_toggle(bool on) { ql::set_hop_cache_enabled(on); }
+    ~cache_toggle() { ql::set_hop_cache_enabled(true); }
+};
+
+qcore::monitor_options paper_monitor() {
+    qcore::monitor_options opt;
+    opt.window_seconds = 120.0;
+    opt.hop_seconds = 60.0;
+    return opt;
+}
+
+/// Hop-aligned variant of a mesh-FFT config: Lagrange extirpolation on
+/// the fixed 120 s span (hop = 60 s * 512 / 120 s = 256 mesh cells).
+qcore::psa_config aligned_mesh(qcore::psa_config base) {
+    base.lomb.mesh = ql::mesh_mode::lagrange_extirpolation;
+    base.lomb.ofac = 1.0;
+    base.lomb.span_override = 120.0;
+    base.lomb.hop_aligned = true;
+    return base;
+}
+
+/// Hop-aligned variant of a whole-window estimator config (resampled /
+/// Welch): only the grid anchoring changes, the mesh mode is unused.
+qcore::psa_config aligned_whole(qcore::psa_config base) {
+    base.lomb.span_override = 120.0;
+    base.lomb.hop_aligned = true;
+    return base;
+}
+
+const qp::rr_record& long_record() {
+    static const qp::rr_record rec =
+        qp::record_for(qp::make_patient(qp::cohort::sinus_arrhythmia, 2), 900.0);
+    return rec;
+}
+
+struct stream_run {
+    std::vector<qcore::window_report> reports;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+stream_run run_stream(const qp::rr_record& rec, qcore::psa_config cfg,
+                      bool cache_on,
+                      qcore::monitor_options opt = paper_monitor()) {
+    cache_toggle toggle(cache_on);
+    qcore::streaming_monitor mon(std::move(cfg), opt);
+    for (std::size_t i = 0; i < rec.beats(); ++i)
+        mon.push_beat(rec.beat_time_s[i], rec.rr_s[i]);
+    stream_run out;
+    while (auto rep = mon.poll()) out.reports.push_back(*rep);
+    out.hits = mon.hop_cache().hits();
+    out.misses = mon.hop_cache().misses();
+    return out;
+}
+
+}  // namespace
+
+TEST(HopCacheTest, IncrementalMatchesScratchForEveryEngineKind) {
+    const std::vector<std::pair<const char*, qcore::psa_config>> configs = {
+        {"conventional", aligned_mesh(qcore::psa_config::conventional())},
+        {"wavelet-exact", aligned_mesh(qcore::psa_config::proposed(
+                              qf::plan::exact(512, qw::basis::haar)))},
+        {"fixed-q15", aligned_mesh(qcore::psa_config::fixed_wavelet(
+                          qcore::fixed_format::q15))},
+        {"resampled", aligned_whole(qcore::psa_config::resampled())},
+        {"welch", aligned_whole(qcore::psa_config::welch(4.0, 30.0))},
+    };
+    const auto& rec = long_record();
+    for (const auto& [name, cfg] : configs) {
+        SCOPED_TRACE(name);
+        const stream_run on = run_stream(rec, cfg, true);
+        const stream_run off = run_stream(rec, cfg, false);
+        ASSERT_GT(on.reports.size(), 5u);
+        // Bit-identical reports, op counts included: the hit path replays
+        // stored values and attributes the memoized scratch-path tally.
+        EXPECT_EQ(on.reports, off.reports);
+        // The cache genuinely engaged (every window after the first can
+        // reuse its overlap half) and the disabled run never touched it.
+        EXPECT_GT(on.hits, 0u);
+        EXPECT_EQ(off.hits, 0u);
+        EXPECT_EQ(off.misses, 0u);
+    }
+}
+
+TEST(HopCacheTest, MeshMisalignedHopFallsBackToScratch) {
+    // hop * mesh / span = 7 * 512 / 120 is not a whole number of mesh
+    // cells: the aligned-mesh plan rejects it, every window runs the
+    // legacy fill, and the cache records no traffic at all -- while the
+    // output still matches the cache-off run exactly.
+    qcore::monitor_options opt;
+    opt.window_seconds = 120.0;
+    opt.hop_seconds = 7.0;
+    const auto rec =
+        qp::record_for(qp::make_patient(qp::cohort::healthy, 1), 400.0);
+    const auto cfg = aligned_mesh(qcore::psa_config::conventional());
+    const stream_run on = run_stream(rec, cfg, true, opt);
+    const stream_run off = run_stream(rec, cfg, false, opt);
+    ASSERT_GT(on.reports.size(), 5u);
+    EXPECT_EQ(on.reports, off.reports);
+    EXPECT_EQ(on.hits, 0u);
+    EXPECT_EQ(on.misses, 0u);
+}
+
+TEST(HopCacheTest, SetConfigInvalidatesAcrossModeSwitches) {
+    // The governed ladder's switch sequence (exact double -> Q15 fixed
+    // point -> pruned wavelet) applied via set_config: each switch drops
+    // the cache, and the switched run must still equal the cache-off run
+    // of the same schedule bit for bit.
+    const auto& rec = long_record();
+    const auto drive = [&](bool cache_on) {
+        cache_toggle toggle(cache_on);
+        qcore::streaming_monitor mon(
+            aligned_mesh(qcore::psa_config::conventional()), paper_monitor());
+        stream_run out;
+        for (std::size_t i = 0; i < rec.beats(); ++i) {
+            mon.push_beat(rec.beat_time_s[i], rec.rr_s[i]);
+            while (auto rep = mon.poll()) {
+                out.reports.push_back(*rep);
+                if (out.reports.size() == 3)
+                    mon.set_config(aligned_mesh(
+                        qcore::psa_config::fixed_wavelet(
+                            qcore::fixed_format::q15)));
+                if (out.reports.size() == 6)
+                    mon.set_config(aligned_mesh(qcore::psa_config::proposed(
+                        qf::plan::static_pruned(512, qw::basis::haar,
+                                                qf::twiddle_set::set2))));
+            }
+        }
+        out.hits = mon.hop_cache().hits();
+        out.misses = mon.hop_cache().misses();
+        return out;
+    };
+    const stream_run on = drive(true);
+    const stream_run off = drive(false);
+    ASSERT_GT(on.reports.size(), 8u);
+    EXPECT_EQ(on.reports, off.reports);
+    EXPECT_GT(on.hits, 0u);
+    // The switches show up in the report stream (set_config takes effect
+    // from the next window) -- the cache did not blur mode boundaries.
+    EXPECT_EQ(on.reports[2].engine, qcore::engine_class::conventional);
+    EXPECT_EQ(on.reports[5].engine, qcore::engine_class::fixed_q15);
+    EXPECT_EQ(on.reports.back().engine, qcore::engine_class::wavelet);
+}
+
+TEST(HopCacheTest, MigrationDropsAndRebuildsBitIdentically) {
+    // A hop-aligned session extracted mid-stream and adopted elsewhere:
+    // the cache never travels, the adopter's first window misses and
+    // rebuilds, and the full report stream equals the never-migrated run.
+    cache_toggle toggle(true);
+    const auto rec =
+        qp::record_for(qp::make_patient(qp::cohort::sinus_arrhythmia, 4),
+                       1200.0);
+    const auto make_cfg = [] {
+        qs::session_config c;
+        c.patient_id = "hop-migrate";
+        c.analysis = aligned_mesh(qcore::psa_config::conventional());
+        c.monitor = paper_monitor();
+        c.ingest_capacity = 4096;
+        return c;
+    };
+    qs::service_options sopt;
+    sopt.threads = 1;
+
+    qs::plan_cache solo_cache;
+    qs::session_manager solo(sopt, &solo_cache);
+    const auto solo_id = solo.add_session(make_cfg());
+    for (std::size_t b = 0; b < rec.beats(); ++b)
+        ASSERT_TRUE(solo.ingest(solo_id, rec.beat_time_s[b], rec.rr_s[b]));
+    solo.drain_all();
+
+    qs::plan_cache cache;
+    qs::session_manager a(sopt, &cache);
+    qs::session_manager b(sopt, &cache);
+    const auto id_a = a.add_session(make_cfg());
+    const std::size_t split = rec.beats() * 3 / 5;
+    for (std::size_t i = 0; i < split; ++i)
+        ASSERT_TRUE(a.ingest(id_a, rec.beat_time_s[i], rec.rr_s[i]));
+    a.drain_all();
+    ASSERT_GT(a.fleet().hop_hits, 0u);  // cache warm at extraction time
+
+    qs::extracted_session es = a.extract_session(id_a);
+    es.state = qs::session_runtime_state::deserialize(es.state.serialize());
+    const auto id_b = b.adopt_session(es.config, es.state);
+    for (std::size_t i = split; i < rec.beats(); ++i)
+        ASSERT_TRUE(b.ingest(id_b, rec.beat_time_s[i], rec.rr_s[i]));
+    b.drain_all();
+
+    const auto got = b.at(id_b).reports();
+    const auto want = solo.at(solo_id).reports();
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], want[i]);
+    // The adopting side rebuilt its own cache and is hitting again.
+    EXPECT_GT(b.fleet().hop_hits, 0u);
+}
+
+TEST(HopCacheTest, CountActualOpsReportsRealSavings) {
+    // Default attribution keeps counted complexity unchanged (checked by
+    // the identity tests above); count_actual_ops flips to the true
+    // post-reuse counts: never more, strictly less on hit windows, with
+    // the spectra untouched.
+    const auto& rec = long_record();
+    auto cfg = aligned_mesh(qcore::psa_config::conventional());
+    const stream_run memoized = run_stream(rec, cfg, true);
+    cfg.lomb.count_actual_ops = true;
+    const stream_run actual = run_stream(rec, cfg, true);
+    ASSERT_EQ(memoized.reports.size(), actual.reports.size());
+    bool any_cheaper = false;
+    for (std::size_t i = 0; i < actual.reports.size(); ++i) {
+        EXPECT_EQ(actual.reports[i].bands, memoized.reports[i].bands);
+        EXPECT_LE(actual.reports[i].ops.muls, memoized.reports[i].ops.muls);
+        EXPECT_LE(actual.reports[i].ops.adds, memoized.reports[i].ops.adds);
+        any_cheaper |=
+            actual.reports[i].ops.muls < memoized.reports[i].ops.muls;
+    }
+    EXPECT_TRUE(any_cheaper);
+}
+
+TEST(HopCacheTest, FleetCountersMergeAndRoundTripTheWire) {
+    qs::fleet_snapshot s;
+    s.windows = 3;
+    s.hop_hits = 11;
+    s.hop_misses = 5;
+    s.hop_bytes = 65536;
+
+    // Current wire carries the columns losslessly.
+    EXPECT_EQ(qs::fleet_snapshot::deserialize(s.serialize()), s);
+
+    // A v3 peer's payload predates them: they load as zero.
+    qs::fleet_snapshot want_v3 = s;
+    want_v3.hop_hits = 0;
+    want_v3.hop_misses = 0;
+    want_v3.hop_bytes = 0;
+    EXPECT_EQ(qs::fleet_snapshot::deserialize(s.serialize(3)), want_v3);
+    EXPECT_LT(s.serialize(3).size(), s.serialize().size());
+
+    // operator+= sums them like every other counter column.
+    qs::fleet_snapshot sum = s;
+    qs::fleet_snapshot other;
+    other.hop_hits = 7;
+    other.hop_misses = 2;
+    other.hop_bytes = 1024;
+    sum += other;
+    EXPECT_EQ(sum.hop_hits, 18u);
+    EXPECT_EQ(sum.hop_misses, 7u);
+    EXPECT_EQ(sum.hop_bytes, 66560u);
+}
