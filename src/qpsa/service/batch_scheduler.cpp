@@ -5,13 +5,27 @@
 
 #include "qpsa/core/engine_spec.hpp"
 #include "qpsa/core/workspace_cache.hpp"
+#include "qpsa/simd/kernels.hpp"
 
 namespace qpsa::service {
 
-batch_scheduler::batch_scheduler(thread_pool& pool, scheduler_options opt)
-    : pool_(pool), opt_(opt) {
-    QPSA_EXPECTS(opt_.batch_size >= 1);
+namespace {
+
+/// Adaptive unit size (scheduler_options::batch_size == 0): see the
+/// header comment for the heuristic.  A pure function of the ready count
+/// and the SIMD lane width -- NOT the worker count -- so the unit
+/// partition (and every float merge order downstream of it) is identical
+/// for any pool size.
+std::size_t adaptive_unit_size(std::size_t ready) {
+    const std::size_t lane_floor =
+        std::max<std::size_t>(16, 4 * simd::kernels().lanes);
+    return std::clamp<std::size_t>(ready / 16, lane_floor, 128);
 }
+
+}  // namespace
+
+batch_scheduler::batch_scheduler(thread_pool& pool, scheduler_options opt)
+    : pool_(pool), opt_(opt), deques_(pool.size()) {}
 
 std::size_t batch_scheduler::run_once(
     std::span<const std::unique_ptr<session>> sessions, fleet_stats& fleet) {
@@ -26,9 +40,9 @@ std::size_t batch_scheduler::run_once(
         }
     if (ready_.empty()) return 0;
 
-    // Plan locality: cluster same-engine sessions so each batch (and each
-    // worker's run of batches) hammers one engine shape.  stable_sort
-    // keeps admission order within a group, so batch composition is
+    // Plan locality: cluster same-engine sessions so each unit (and each
+    // worker's run of units) hammers one engine shape.  stable_sort
+    // keeps admission order within a group, so unit composition is
     // deterministic run to run.
     if (opt_.sort_by_engine)
         std::stable_sort(ready_.begin(), ready_.end(),
@@ -36,15 +50,81 @@ std::size_t batch_scheduler::run_once(
                              return a.engine_order < b.engine_order;
                          });
 
+    if (!opt_.steal) return run_once_fixed(fleet);
+
+    const std::size_t unit_cap = opt_.batch_size != 0
+                                     ? opt_.batch_size
+                                     : adaptive_unit_size(ready_.size());
+
+    // Cut units inside engine groups only -- a unit never spans two
+    // engine keys -- so the staged drain fills lane groups from one
+    // fleet-wide engine run instead of whatever crossed a slice boundary.
+    units_.clear();
+    std::size_t group = 0;
+    while (group < ready_.size()) {
+        std::size_t gend = group + 1;
+        while (gend < ready_.size() &&
+               ready_[gend].engine_order == ready_[group].engine_order)
+            ++gend;
+        for (std::size_t u = group; u < gend; u += unit_cap)
+            units_.push_back({static_cast<std::uint32_t>(u),
+                              static_cast<std::uint32_t>(
+                                  std::min(u + unit_cap, gend)),
+                              false, 0, fleet.make_partial()});
+        group = gend;
+    }
+    batches_ += units_.size();
+
+    // Deal contiguous unit runs to the worker deques: contiguous so an
+    // owner's execution order is unit index order (cache-hot engine
+    // runs), and a thief's steal grabs from the far end of a neighbour.
+    const std::size_t workers = deques_.size();
+    for (std::size_t w = 0; w < workers; ++w)
+        deques_[w].reset(
+            static_cast<std::uint32_t>(units_.size() * w / workers),
+            static_cast<std::uint32_t>(units_.size() * (w + 1) / workers));
+
+    pool_.submit_per_worker([this](std::size_t w) { run_worker(w); });
+    pool_.wait_idle();
+
+    // Deterministic pass-end merge: unit index order == session-id order
+    // within each engine group, independent of worker count and steal
+    // interleaving.  Journal stats_delta appends (inside fleet.merge)
+    // inherit the same order, which is what keeps crash-recovery rebuilds
+    // and replay bit-identical under stealing.
+    std::size_t windows = 0;
+    std::uint64_t stolen = 0;
+    std::uint64_t filled = 0;
+    std::uint64_t offered = 0;
+    for (drain_unit& u : units_) {
+        const fleet_snapshot& d = u.partial.data();
+        stolen += d.windows_stolen;
+        filled += d.lane_slots_filled;
+        offered += d.lane_slots_offered;
+        fleet.merge(u.partial);
+        windows += u.windows;
+    }
+    windows_stolen_.fetch_add(stolen, std::memory_order_relaxed);
+    lane_slots_filled_.fetch_add(filled, std::memory_order_relaxed);
+    lane_slots_offered_.fetch_add(offered, std::memory_order_relaxed);
+    return windows;
+}
+
+std::size_t batch_scheduler::run_once_fixed(fleet_stats& fleet) {
+    // Pre-stealing execution (scheduler_options::steal == false): one
+    // pool task per fixed slice, per-task partials merged at completion.
+    // Kept as the A/B baseline; fleet float columns then depend on task
+    // completion order when the pool has more than one worker.
+    const std::size_t unit = opt_.batch_size != 0
+                                 ? opt_.batch_size
+                                 : adaptive_unit_size(ready_.size());
     std::atomic<std::size_t> windows{0};
-    for (std::size_t begin = 0; begin < ready_.size(); begin += opt_.batch_size) {
-        const std::size_t end =
-            std::min(begin + opt_.batch_size, ready_.size());
+    std::atomic<std::uint64_t> filled{0};
+    std::atomic<std::uint64_t> offered{0};
+    for (std::size_t begin = 0; begin < ready_.size(); begin += unit) {
+        const std::size_t end = std::min(begin + unit, ready_.size());
         ++batches_;
-        pool_.submit([this, &fleet, &windows, begin, end] {
-            // Per-task partial: every window in the batch accumulates
-            // lock-free, and the fleet mutex is taken once at the batch
-            // barrier (fleet_partial merge) instead of once per window.
+        pool_.submit([this, &fleet, &windows, &filled, &offered, begin, end] {
             fleet_partial partial = fleet.make_partial();
             std::size_t local = 0;
             if (opt_.batch_transforms) {
@@ -56,17 +136,64 @@ std::size_t batch_scheduler::run_once(
                 for (std::size_t i = begin; i < end; ++i)
                     local += ready_[i].s->drain(partial);
             }
+            const fleet_snapshot& d = partial.data();
+            filled.fetch_add(d.lane_slots_filled, std::memory_order_relaxed);
+            offered.fetch_add(d.lane_slots_offered, std::memory_order_relaxed);
             fleet.merge(partial);
             windows.fetch_add(local, std::memory_order_relaxed);
         });
     }
     pool_.wait_idle();
+    lane_slots_filled_.fetch_add(filled.load(std::memory_order_relaxed),
+                                 std::memory_order_relaxed);
+    lane_slots_offered_.fetch_add(offered.load(std::memory_order_relaxed),
+                                  std::memory_order_relaxed);
     return windows.load(std::memory_order_relaxed);
+}
+
+void batch_scheduler::run_worker(std::size_t self) {
+    std::uint32_t idx = 0;
+    for (;;) {
+        if (deques_[self].take(idx)) {
+            run_unit(units_[idx], false);
+            continue;
+        }
+        // Own range dry: steal from the back of the nearest non-empty
+        // neighbour.  The scan order only affects which worker drains a
+        // unit, never the merged result (pass-end merge is unit-ordered).
+        bool found = false;
+        for (std::size_t off = 1; off < deques_.size() && !found; ++off) {
+            const std::size_t victim = (self + off) % deques_.size();
+            if (deques_[victim].steal(idx)) {
+                run_unit(units_[idx], true);
+                found = true;
+            }
+        }
+        if (!found) return;
+    }
+}
+
+void batch_scheduler::run_unit(drain_unit& unit, bool stolen) {
+    unit.stolen = stolen;
+    if (opt_.batch_transforms) {
+        unit.windows = drain_batch_staged(
+            std::span<const ready_entry>(ready_.data() + unit.begin,
+                                         unit.end - unit.begin),
+            unit.partial);
+    } else {
+        for (std::size_t i = unit.begin; i < unit.end; ++i)
+            unit.windows += ready_[i].s->drain(unit.partial);
+    }
+    // Folded into the partial so windows_stolen travels in the journaled
+    // stats_delta record: the log holds what actually happened, and the
+    // rebuild reproduces it even though the steal pattern itself is not
+    // deterministic.
+    if (stolen) unit.partial.add_stolen_windows(unit.windows);
 }
 
 std::size_t batch_scheduler::drain_batch_staged(
     std::span<const ready_entry> batch, fleet_partial& partial) {
-    // Round scratch, reused across batches on the same worker so the
+    // Round scratch, reused across units on the same worker so the
     // steady-state allocs-per-window budget is untouched.
     thread_local std::vector<session*> active;
     thread_local std::vector<session*> group;
@@ -118,6 +245,15 @@ std::size_t batch_scheduler::drain_batch_staged(
                     jobs.push_back(active[b]->staged_job());
                 }
             }
+            // Lane-fill accounting, mirroring fast_lomb_batched's gate:
+            // a group only executes lane-interleaved when it has >= 2
+            // windows and a lane-capable (non-whole-window) engine.
+            const lomb::fft_engine& eng = sys->engine();
+            const std::size_t width = eng.batch_width();
+            if (jobs.size() >= 2 && width >= 2 && !eng.whole_window())
+                partial.add_lane_fill(
+                    jobs.size(),
+                    width * ((jobs.size() + width - 1) / width));
             core::workspace_cache* wc = thread_pool::current_workspace_cache();
             lomb::workspace& ws =
                 (wc != nullptr ? *wc : fallback_cache)

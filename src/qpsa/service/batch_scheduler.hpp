@@ -1,23 +1,37 @@
 // Batch scheduler: drains ready sessions across the fleet.
 //
-// Each pass scans for sessions with buffered ingest, groups them into
-// batches and dispatches one pool task per batch.  A session is always
-// drained whole by a single task, so its windows complete in ingest order
-// and its monitor state is never touched by two threads -- parallelism
-// comes from running different patients on different workers, which is
-// safe because all heavy analysis state (FFT engines, twiddle tables) is
-// shared immutably via the plan cache.
+// Each pass scans for sessions with buffered ingest, orders the ENTIRE
+// ready set by engine identity, cuts it into engine-pure drain units and
+// executes the units via per-worker work-stealing deques.  A session is
+// always drained whole by a single worker, so its windows complete in
+// ingest order and its monitor state is never touched by two threads --
+// parallelism comes from running different patients on different workers,
+// which is safe because all heavy analysis state (FFT engines, twiddle
+// tables) is shared immutably via the plan cache.
 //
-// Plan-locality batching: within a pass, ready sessions are ordered by
-// engine identity before batches are sliced, so a worker drains runs of
-// same-plan sessions back-to-back -- the engine's twiddle tables stay hot
-// in cache and the worker's per-engine workspace arena is reused window
-// after window.  Per-session outputs are order-independent (each session
-// is drained whole, in its own ingest order), so results stay
-// bit-identical to any other schedule.
+// Fleet-wide lane aggregation: because units are cut inside engine groups
+// (never across them), the staged lockstep drain fills SIMD lane groups
+// from anywhere in the fleet that runs the same plan -- not just from
+// whichever sessions landed in one fixed slice.  The lane_fill telemetry
+// (lane_slots_filled / lane_slots_offered) measures exactly this.
+//
+// Work stealing: units are dealt contiguously to per-worker deques
+// (work_deque.hpp); a worker drains its own range in index order and
+// steals from the back of a neighbour's when it runs dry, so one slow
+// whole-window estimator no longer idles the rest of the pool at a batch
+// barrier.  Determinism: per-unit fleet_partial accumulators are merged
+// at the pass barrier in UNIT INDEX order -- session-id order within each
+// engine group -- never in completion order, so fleet snapshots, journal
+// stats_delta ordering and replay are bit-identical for any worker count
+// and any steal interleaving.  (windows_stolen is the one exception by
+// design: it counts scheduling events, not analysis results.  It still
+// travels in the journaled partials -- a rebuild reproduces the recorded
+// value -- but cross-run comparisons must normalize it.)
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -25,21 +39,28 @@
 #include "qpsa/service/fleet_stats.hpp"
 #include "qpsa/service/session.hpp"
 #include "qpsa/service/thread_pool.hpp"
+#include "qpsa/service/work_deque.hpp"
 
 namespace qpsa::service {
 
 struct scheduler_options {
-    /// Sessions per dispatched task.  Larger batches amortize queue
-    /// overhead; smaller ones balance better when a few sessions are much
-    /// busier than the rest.
-    std::size_t batch_size = 16;
+    /// Sessions per drain unit.  0 (the default) sizes units adaptively:
+    /// clamp(ready / 16, max(16, 4 * simd lanes), 128).  The floor keeps
+    /// a unit wide enough to fill several SIMD lane groups from one
+    /// engine run, the ready/16 shape yields ~16 units per pass for the
+    /// deques to balance, and the cap bounds the latency cost of a steal
+    /// arriving late.  Deliberately independent of the worker count, so
+    /// the unit partition -- and with it every float merge order -- is
+    /// identical for any pool size.  An explicit value pins the unit size
+    /// (e.g. the pre-PR fixed batches of 16).
+    std::size_t batch_size = 0;
 
-    /// Order ready sessions by engine key before slicing batches (see
+    /// Order ready sessions by engine key before cutting units (see
     /// header comment).  Off preserves admission order within each pass.
     bool sort_by_engine = true;
 
     /// SIMD transform batching: instead of draining each session of a
-    /// batch to completion one after another, pump them in lockstep to
+    /// unit to completion one after another, pump them in lockstep to
     /// their next analysis window, group the staged windows by analysis
     /// system, and run each group through psa_system::
     /// analyze_window_batched -- the mesh FFTs of up to simd-lane-count
@@ -49,6 +70,12 @@ struct scheduler_options {
     /// the groups large.  Engines that cannot batch fall back to the
     /// sequential arithmetic inside the same code path.
     bool batch_transforms = true;
+
+    /// Execute units via per-worker work-stealing deques with the
+    /// deterministic pass-end merge (see header comment).  Off restores
+    /// the pre-stealing behaviour -- one pool task per unit, partials
+    /// merged at task completion -- kept for in-process A/B baselines.
+    bool steal = true;
 };
 
 class batch_scheduler {
@@ -56,13 +83,34 @@ public:
     batch_scheduler(thread_pool& pool, scheduler_options opt = {});
 
     /// One pass: dispatch every session with pending ingest, wait for the
-    /// batch barrier, return the number of windows completed fleet-wide.
+    /// pass barrier, return the number of windows completed fleet-wide.
     /// Callers serialize passes (session_manager::pump_mu_), so the pass
     /// scratch below is reused without locking.
     std::size_t run_once(std::span<const std::unique_ptr<session>> sessions,
                          fleet_stats& fleet);
 
+    /// Drain units dispatched over the scheduler's lifetime.
     std::size_t batches_dispatched() const noexcept { return batches_; }
+
+    /// Windows completed by a worker that stole the unit from another
+    /// worker's deque (scheduling telemetry; schedule-dependent).  The
+    /// same tallies ride the per-unit partials into fleet_stats, so the
+    /// fleet_snapshot columns carry them too; these accessors are the
+    /// lock-free convenience view for benches and tests.
+    std::uint64_t windows_stolen() const noexcept {
+        return windows_stolen_.load(std::memory_order_relaxed);
+    }
+    /// Staged windows that went through a batched (lane-interleaved)
+    /// analyze call, and the lane slots those calls offered; their ratio
+    /// is the fleet's lane_fill.  Deterministic for a given beat stream
+    /// (unit composition and lockstep grouping do not depend on the
+    /// schedule).
+    std::uint64_t lane_slots_filled() const noexcept {
+        return lane_slots_filled_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t lane_slots_offered() const noexcept {
+        return lane_slots_offered_.load(std::memory_order_relaxed);
+    }
 
 private:
     struct ready_entry {
@@ -70,15 +118,36 @@ private:
         session* s;
     };
 
-    /// Staged lockstep drain of one batch (batch_transforms mode); runs
-    /// on a pool worker.  Returns windows completed.
+    /// One engine-pure slice of the pass's ready set: drained whole by
+    /// exactly one worker, its results merged at the pass barrier in
+    /// unit index order.
+    struct drain_unit {
+        std::uint32_t begin;  ///< range in ready_
+        std::uint32_t end;
+        bool stolen;
+        std::size_t windows;
+        fleet_partial partial;  ///< results + scheduler telemetry columns
+    };
+
+    std::size_t run_once_fixed(fleet_stats& fleet);
+    void run_worker(std::size_t self);
+    void run_unit(drain_unit& unit, bool stolen);
+
+    /// Staged lockstep drain of one unit (batch_transforms mode); runs
+    /// on a pool worker.  Returns windows completed; the lane-fill
+    /// tallies of every batched analyze call fold into `partial`.
     static std::size_t drain_batch_staged(std::span<const ready_entry> batch,
                                           fleet_partial& partial);
 
     thread_pool& pool_;
     scheduler_options opt_;
     std::size_t batches_ = 0;
+    std::atomic<std::uint64_t> windows_stolen_{0};
+    std::atomic<std::uint64_t> lane_slots_filled_{0};
+    std::atomic<std::uint64_t> lane_slots_offered_{0};
     std::vector<ready_entry> ready_;  ///< pass scratch, capacity reused
+    std::vector<drain_unit> units_;   ///< pass scratch, capacity reused
+    std::vector<work_deque> deques_;  ///< one per pool worker
 };
 
 }  // namespace qpsa::service

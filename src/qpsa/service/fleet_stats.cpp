@@ -31,6 +31,9 @@ fleet_snapshot& fleet_snapshot::operator+=(const fleet_snapshot& o) {
     hop_hits += o.hop_hits;
     hop_misses += o.hop_misses;
     hop_bytes += o.hop_bytes;
+    windows_stolen += o.windows_stolen;
+    lane_slots_filled += o.lane_slots_filled;
+    lane_slots_offered += o.lane_slots_offered;
     lf_sum += o.lf_sum;
     hf_sum += o.hf_sum;
     ratio_sum += o.ratio_sum;

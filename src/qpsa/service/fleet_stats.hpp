@@ -43,9 +43,10 @@ public:
 /// History: v1 = PR 5 layout; v2 appends the high-water and journal
 /// telemetry columns after ratio_sum; v3 appends the live-migration
 /// columns (sessions_migrated_in/out); v4 appends the hop-cache columns
-/// (hop_hits/hop_misses/hop_bytes).  Older payloads still load with the
-/// missing trailing columns zero.
-inline constexpr std::uint16_t fleet_wire_version = 4;
+/// (hop_hits/hop_misses/hop_bytes); v5 appends the drain-scheduler
+/// columns (windows_stolen/lane_slots_filled/lane_slots_offered).  Older
+/// payloads still load with the missing trailing columns zero.
+inline constexpr std::uint16_t fleet_wire_version = 5;
 
 /// Per-engine-kind tally (one slot per core::engine_class).
 struct engine_tally {
@@ -143,6 +144,20 @@ struct fleet_snapshot {
     std::uint64_t hop_misses = 0;
     std::uint64_t hop_bytes = 0;
 
+    /// Drain-scheduler telemetry: windows completed on stolen drain
+    /// units, and the SIMD lane-fill tallies of the staged drains
+    /// (lane_fill = lane_slots_filled / lane_slots_offered).  Unlike the
+    /// drop columns these ride the per-unit fleet_partial accumulators,
+    /// so they land in the journaled stats_delta stream and a recovery
+    /// rebuild reproduces them exactly.  Lossless under operator+=.  The
+    /// lane columns are deterministic for a given beat stream;
+    /// windows_stolen counts scheduling events and so depends on the
+    /// steal interleaving by design (the journal records what happened --
+    /// cross-run comparisons must normalize it; a serial pool reports 0).
+    std::uint64_t windows_stolen = 0;
+    std::uint64_t lane_slots_filled = 0;
+    std::uint64_t lane_slots_offered = 0;
+
     // Sums over windows; use the mean_* helpers for averages.
     real lf_sum = 0.0;
     real hf_sum = 0.0;
@@ -202,8 +217,23 @@ public:
     /// nominal PSA energy (the session's battery-drain feed).
     real add_report(const core::window_report& rep);
 
+    /// Drain-scheduler telemetry fold-in (batch_scheduler): lane-fill
+    /// tallies of this unit's batched analyze calls, and its completed
+    /// windows when a thief drained it.  Riding the partial puts these
+    /// columns in the journaled stats_delta stream, so a crash-recovery
+    /// rebuild reproduces them bit-identically like every other column.
+    void add_lane_fill(std::uint64_t filled, std::uint64_t offered) noexcept {
+        snap_.lane_slots_filled += filled;
+        snap_.lane_slots_offered += offered;
+    }
+    void add_stolen_windows(std::uint64_t n) noexcept {
+        snap_.windows_stolen += n;
+    }
+
     const fleet_snapshot& data() const noexcept { return snap_; }
-    bool empty() const noexcept { return snap_.windows == 0; }
+    bool empty() const noexcept {
+        return snap_.windows == 0 && snap_.lane_slots_offered == 0;
+    }
 
 private:
     friend class fleet_stats;

@@ -171,6 +171,10 @@ fleet_snapshot session_manager::fleet() const {
     }
     snap.sessions_migrated_in += migrations_in();
     snap.sessions_migrated_out += migrations_out();
+    // Drain-scheduler telemetry (windows_stolen, lane_slots_*) needs no
+    // fill-in here: it rides the per-unit partials into stats_, so the
+    // base snapshot already carries it -- journaled and rebuildable like
+    // every other drain-side column.
     return snap;
 }
 

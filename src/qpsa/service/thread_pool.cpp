@@ -39,6 +39,16 @@ void thread_pool::submit(std::function<void()> task) {
     cv_work_.notify_one();
 }
 
+void thread_pool::submit_per_worker(
+    const std::function<void(std::size_t)>& task) {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (std::size_t i = 0; i < workers_.size(); ++i)
+            queue_.push_back([task, i] { task(i); });
+    }
+    cv_work_.notify_all();
+}
+
 void thread_pool::wait_idle() {
     std::unique_lock<std::mutex> lock(mu_);
     cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });

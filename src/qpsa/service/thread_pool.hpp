@@ -40,6 +40,12 @@ public:
     /// escaped exceptions) and must not call submit()/wait_idle().
     void submit(std::function<void()> task);
 
+    /// Enqueue size() copies of `task`, invoked as task(0) .. task(W-1),
+    /// under one lock with a single broadcast wake-up -- the scheduler's
+    /// per-pass worker runners.  Same contract as submit(); the index is
+    /// a dense per-pass slot (deque affinity), not a thread identity.
+    void submit_per_worker(const std::function<void(std::size_t)>& task);
+
     /// Block until the queue is empty and all workers are parked.
     void wait_idle();
 

@@ -21,6 +21,7 @@
 //        journal_fsyncs, journal_torn_tails
 //   v3+: u64 sessions_migrated_in, sessions_migrated_out
 //   v4+: u64 hop_hits, hop_misses, hop_bytes
+//   v5+: u64 windows_stolen, lane_slots_filled, lane_slots_offered
 //
 // A snapshot serialized by a build with fewer engine kinds than the
 // reader loads into the wider table (new kinds tally zero); one with
@@ -228,6 +229,11 @@ std::vector<std::uint8_t> fleet_snapshot::serialize(
         w.u64(hop_misses);
         w.u64(hop_bytes);
     }
+    if (version >= 5) {
+        w.u64(windows_stolen);
+        w.u64(lane_slots_filled);
+        w.u64(lane_slots_offered);
+    }
     return out;
 }
 
@@ -313,6 +319,11 @@ fleet_snapshot fleet_snapshot::deserialize(
         snap.hop_hits = r.u64();
         snap.hop_misses = r.u64();
         snap.hop_bytes = r.u64();
+    }
+    if (version >= 5) {
+        snap.windows_stolen = r.u64();
+        snap.lane_slots_filled = r.u64();
+        snap.lane_slots_offered = r.u64();
     }
     r.expect_exhausted();
     return snap;

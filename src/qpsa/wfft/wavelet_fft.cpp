@@ -1,6 +1,9 @@
 #include "qpsa/wfft/wavelet_fft.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "qpsa/counting/op_counter.hpp"
 #include "qpsa/simd/kernels.hpp"
@@ -33,7 +36,66 @@ cplx apply_factor(cplx f, cplx v, bool free) {
     return f * v;
 }
 
+/// apply_factor without the live op count: the lane walk attributes the
+/// memoized probe tally per item instead.  Value arithmetic is identical.
+cplx apply_factor_uncounted(cplx f, cplx v, bool free) {
+    if (free) {
+        if (std::abs(f.real()) > 0.5) return f.real() > 0.0 ? v : -v;
+        return f.imag() > 0.0 ? cplx{-v.imag(), v.real()} : cplx{v.imag(), -v.real()};
+    }
+    return f * v;
+}
+
+bool recursive_lanes_env_enabled() {
+    const char* v = std::getenv("QPSA_WFFT_LANES");
+    if (v == nullptr) return true;
+    return std::strcmp(v, "off") != 0 && std::strcmp(v, "OFF") != 0 &&
+           std::strcmp(v, "0") != 0 && std::strcmp(v, "false") != 0;
+}
+
+std::atomic<bool>& recursive_lanes_flag() {
+    static std::atomic<bool> on{true};
+    return on;
+}
+
+/// leaf_dft, elementwise over nl lane-interleaved slots (layout
+/// [element * nl + lane]): the same expression tree per lane, so each
+/// lane's values match a scalar leaf_dft bit for bit.  static_schedule_
+/// guarantees n is 1, 2 or 4.
+void leaf_dft_planes(const cplx* in, cplx* out, std::size_t n, std::size_t nl) {
+    if (n == 1) {
+        for (std::size_t l = 0; l < nl; ++l) out[l] = in[l];
+        return;
+    }
+    if (n == 2) {
+        for (std::size_t l = 0; l < nl; ++l) {
+            out[l] = in[l] + in[nl + l];
+            out[nl + l] = in[l] - in[nl + l];
+        }
+        return;
+    }
+    for (std::size_t l = 0; l < nl; ++l) {
+        const cplx s02 = in[l] + in[2 * nl + l];
+        const cplx d02 = in[l] - in[2 * nl + l];
+        const cplx s13 = in[nl + l] + in[3 * nl + l];
+        const cplx d13 = in[nl + l] - in[3 * nl + l];
+        out[l] = s02 + s13;
+        out[2 * nl + l] = s02 - s13;
+        out[nl + l] = d02 + cplx{d13.imag(), -d13.real()};
+        out[3 * nl + l] = d02 - cplx{d13.imag(), -d13.real()};
+    }
+}
+
 }  // namespace
+
+bool recursive_lane_batching_enabled() noexcept {
+    static const bool env = recursive_lanes_env_enabled();
+    return env && recursive_lanes_flag().load(std::memory_order_relaxed);
+}
+
+void set_recursive_lane_batching(bool on) noexcept {
+    recursive_lanes_flag().store(on, std::memory_order_relaxed);
+}
 
 void leaf_dft(std::span<const cplx> in, std::span<cplx> out) {
     const std::size_t n = in.size();
@@ -125,6 +187,25 @@ wavelet_fft::wavelet_fft(plan p) : plan_(std::move(p)) {
         plan child_d = child;
         child_d.prune = prune_config::exact();
         sub_d_ = std::make_unique<wavelet_fft>(child_d);
+    }
+
+    // A recursive tree whose whole schedule is input-independent -- no
+    // dynamic decisions anywhere in the subtree, folded-Haar stages and
+    // power-of-two leaves no larger than 4 -- executes the identical
+    // operation sequence for every input, so the lane walk can batch it
+    // and attribute one memoized tally per item.  The dry run mirrors
+    // fft_split_radix: counts (and the pruning statistics) depend only on
+    // the plan, never on the data.
+    static_schedule_ = plan_.tree == tree_mode::recursive &&
+                       tables_->folded && plan_.leaf_size <= 4 &&
+                       plan_.prune.mode != prune_mode::dynamic &&
+                       (sub_a_ == nullptr || sub_a_->static_schedule_) &&
+                       (sub_d_ == nullptr || sub_d_->static_schedule_);
+    if (static_schedule_) {
+        std::vector<cplx> buf(2 * plan_.n);
+        counting::pause_scope pause;
+        forward(std::span<const cplx>(buf.data(), plan_.n),
+                std::span<cplx>(buf.data() + plan_.n, plan_.n), &probe_stats_);
     }
 }
 
@@ -402,13 +483,18 @@ void wavelet_fft::forward(std::span<const cplx> in, std::span<cplx> out,
 
 void wavelet_fft::forward_batched(std::span<const batch_io> items,
                                   util::arena& scratch) const {
-    // No batching win below two items, and multi-level trees bottom out
-    // in tiny leaf DFTs where a lane walk has nothing to interleave: run
-    // the sequential transform per item -- identical by definition.
+    // No batching win below two items; trees that are neither
+    // single_level nor static-schedule recursive (dynamic pruning, wide
+    // leaves, unfolded bases) run the sequential transform per item --
+    // identical by definition.
     if (items.size() < 2 || !lane_batchable()) {
         for (const batch_io& it : items)
             forward(std::span<const cplx>(it.in, plan_.n),
                     std::span<cplx>(it.out, plan_.n), it.stats, scratch);
+        return;
+    }
+    if (sub_split_radix_ == nullptr) {
+        forward_batched_planes(items, scratch);
         return;
     }
 
@@ -505,6 +591,144 @@ void wavelet_fft::forward_batched(std::span<const batch_io> items,
         counting::count_scope scope(s.st->ops);
         combine(s.a_fft, s.drop ? nullptr : s.d_fft.data(),
                 std::span<cplx>(items[i].out, n), *s.st);
+    }
+}
+
+void wavelet_fft::forward_batched_planes(std::span<const batch_io> items,
+                                         util::arena& scratch) const {
+    const std::size_t n = plan_.n;
+    const std::size_t lanes = simd::kernels().lanes;
+
+    // Top-level real-input contract, exactly as forward() applies it.
+    if (plan_.assume_real_input)
+        for (const batch_io& it : items)
+            for (std::size_t e = 0; e < n; ++e)
+                QPSA_EXPECTS(std::abs(it.in[e].imag()) < 1e-12);
+
+    exec_stats sink;  // items without a stats target
+    for (std::size_t base = 0; base < items.size();) {
+        const std::size_t nl = std::min(lanes, items.size() - base);
+        if (nl < 2) {
+            // Lone remainder: the scalar walk is the lane walk of one.
+            forward(std::span<const cplx>(items[base].in, n),
+                    std::span<cplx>(items[base].out, n), items[base].stats,
+                    scratch);
+            ++base;
+            continue;
+        }
+
+        // AoS -> lane planes, the whole static-schedule recursion
+        // elementwise over the planes, planes -> AoS.  Every lane runs
+        // the scalar operation sequence, so outputs are bit-identical to
+        // forward() per item.
+        util::arena::frame frame(scratch);
+        std::span<cplx> in_planes = scratch.alloc<cplx>(n * nl);
+        std::span<cplx> out_planes = scratch.alloc<cplx>(n * nl);
+        for (std::size_t l = 0; l < nl; ++l)
+            for (std::size_t e = 0; e < n; ++e)
+                in_planes[e * nl + l] = items[base + l].in[e];
+        forward_planes(in_planes.data(), out_planes.data(), nl, scratch);
+        for (std::size_t l = 0; l < nl; ++l) {
+            const batch_io& it = items[base + l];
+            for (std::size_t e = 0; e < n; ++e)
+                it.out[e] = out_planes[e * nl + l];
+            // The walk is uncounted; attribute the memoized per-transform
+            // stats (exact for any input under a static schedule) per
+            // item, exactly what the sequential transform would have
+            // recorded.
+            exec_stats* st = it.stats != nullptr ? it.stats : &sink;
+            counting::count_scope scope(st->ops);
+            counting::add_to_active(probe_stats_.ops);
+            st->terms_total += probe_stats_.terms_total;
+            st->terms_pruned_factor += probe_stats_.terms_pruned_factor;
+            st->terms_pruned_data += probe_stats_.terms_pruned_data;
+            st->terms_structural_zero += probe_stats_.terms_structural_zero;
+            st->band_dropped = probe_stats_.band_dropped || st->band_dropped;
+        }
+        base += nl;
+    }
+}
+
+void wavelet_fft::forward_planes(const cplx* x, cplx* out, std::size_t nl,
+                                 util::arena& scratch) const {
+    const std::size_t half = plan_.n / 2;
+    const bool real_in = plan_.assume_real_input;
+    // static_schedule_ excludes dynamic mode, so a configured band drop
+    // is decided here, at plan time -- never from the data.
+    const bool drop = plan_.prune.band_drop_levels >= 1;
+
+    util::arena::frame frame(scratch);
+    std::span<cplx> a = scratch.alloc<cplx>(half * nl);
+    std::span<cplx> a_fft = scratch.alloc<cplx>(half * nl);
+    std::span<cplx> d, d_fft;
+    if (!drop) {
+        d = scratch.alloc<cplx>(half * nl);
+        d_fft = scratch.alloc<cplx>(half * nl);
+    }
+
+    // Folded-Haar butterflies, elementwise per lane slot.  The real-input
+    // stage writes a literal zero imaginary part exactly like
+    // haar_stage_real, so values match the scalar walk bit for bit.
+    for (std::size_t e = 0; e < half; ++e) {
+        const cplx* x0 = x + (2 * e) * nl;
+        const cplx* x1 = x + (2 * e + 1) * nl;
+        if (real_in) {
+            for (std::size_t l = 0; l < nl; ++l) {
+                a[e * nl + l] = cplx{x0[l].real() + x1[l].real(), 0.0};
+                if (!drop)
+                    d[e * nl + l] = cplx{x0[l].real() - x1[l].real(), 0.0};
+            }
+        } else {
+            for (std::size_t l = 0; l < nl; ++l) {
+                a[e * nl + l] = x0[l] + x1[l];
+                if (!drop) d[e * nl + l] = x0[l] - x1[l];
+            }
+        }
+    }
+
+    if (sub_a_ != nullptr)
+        sub_a_->forward_planes(a.data(), a_fft.data(), nl, scratch);
+    else
+        leaf_dft_planes(a.data(), a_fft.data(), half, nl);
+    if (!drop) {
+        if (sub_d_ != nullptr)
+            sub_d_->forward_planes(d.data(), d_fft.data(), nl, scratch);
+        else
+            leaf_dft_planes(d.data(), d_fft.data(), half, nl);
+    }
+    combine_planes(a_fft.data(), drop ? nullptr : d_fft.data(), out, nl);
+}
+
+void wavelet_fft::combine_planes(const cplx* a_fft, const cplx* d_fft,
+                                 cplx* out, std::size_t nl) const {
+    const std::size_t half = plan_.n / 2;
+    // Term selection is static (factor tables only; no dynamic mode
+    // here), so it hoists out of the lane loop; the per-lane arithmetic
+    // mirrors combine()'s term/sum structure exactly.
+    for (std::size_t m = 0; m < half; ++m) {
+        const bool ua = eff_a_[m] != cplx{0.0, 0.0};
+        const bool ub = d_fft != nullptr && eff_b_[m] != cplx{0.0, 0.0};
+        const bool uc = eff_c_[m] != cplx{0.0, 0.0};
+        const bool ud = d_fft != nullptr && eff_d_[m] != cplx{0.0, 0.0};
+        for (std::size_t l = 0; l < nl; ++l) {
+            const cplx va = a_fft[m * nl + l];
+            const cplx vd =
+                d_fft != nullptr ? d_fft[m * nl + l] : cplx{0.0, 0.0};
+            const cplx ta =
+                ua ? apply_factor_uncounted(eff_a_[m], va, free_a_[m])
+                   : cplx{0.0, 0.0};
+            const cplx tb =
+                ub ? apply_factor_uncounted(eff_b_[m], vd, free_b_[m])
+                   : cplx{0.0, 0.0};
+            out[m * nl + l] = ua && ub ? ta + tb : (ua ? ta : tb);
+            const cplx tc =
+                uc ? apply_factor_uncounted(eff_c_[m], va, free_c_[m])
+                   : cplx{0.0, 0.0};
+            const cplx td =
+                ud ? apply_factor_uncounted(eff_d_[m], vd, free_d_[m])
+                   : cplx{0.0, 0.0};
+            out[(m + half) * nl + l] = uc && ud ? tc + td : (uc ? tc : td);
+        }
     }
 }
 

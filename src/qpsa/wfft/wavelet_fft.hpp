@@ -30,6 +30,16 @@
 
 namespace qpsa::wfft {
 
+/// Process-wide switch for the multi-level (recursive-tree) lane walk:
+/// the QPSA_WFFT_LANES environment variable ("off"/"0"/"false" disables;
+/// read once) AND the runtime toggle below.  Controls only whether
+/// static-schedule recursive trees report themselves lane-batchable --
+/// never the arithmetic -- so flipping it keeps outputs bit-identical.
+bool recursive_lane_batching_enabled() noexcept;
+
+/// Runtime override for in-process A/B runs (benches, tests).
+void set_recursive_lane_batching(bool on) noexcept;
+
 class wavelet_fft {
 public:
     explicit wavelet_fft(plan p);
@@ -73,20 +83,33 @@ public:
         exec_stats* stats = nullptr;  ///< optional per-transform sink
     };
 
-    /// True when the half-size sub-transforms run through the split-radix
-    /// FFT (single_level tree): a batched walk then interleaves them one
-    /// per SIMD lane.  Multi-level trees bottom out in tiny leaf DFTs
-    /// where lane batching has nothing to win, so callers should treat
-    /// them as width-1.
+    /// True when forward_batched can interleave transforms one per SIMD
+    /// lane: either the half-size sub-transforms run through the
+    /// split-radix FFT (single_level tree), or the whole multi-level
+    /// recursion has a static schedule (see static_schedule()) and the
+    /// recursive lane walk is enabled.
     bool lane_batchable() const noexcept {
-        return sub_split_radix_ != nullptr;
+        return sub_split_radix_ != nullptr ||
+               (static_schedule_ && recursive_lane_batching_enabled());
     }
 
-    /// Forward-transform every item, batching the half-size sub-FFTs
-    /// across items through fft_split_radix::forward_batched (one item
-    /// per SIMD lane).  The DWT stage, the per-window band decision and
-    /// the combine run per item with the sequential code, and the lane
-    /// walk executes the scalar sub-FFT schedule per lane, so outputs,
+    /// True when every decision in the tree -- band drops, factor skips,
+    /// leaf shapes -- is fixed at plan time (no dynamic pruning anywhere
+    /// in the subtree, folded-Haar stages, leaves of size <= 4).  Such a
+    /// tree executes the identical operation sequence for every input,
+    /// which is what lets the multi-level lane walk batch each DWT level
+    /// and both sub-transforms across lane partners and attribute one
+    /// memoized op tally per item.
+    bool static_schedule() const noexcept { return static_schedule_; }
+
+    /// Forward-transform every item with transforms interleaved one per
+    /// SIMD lane.  single_level trees batch the two half-size sub-FFTs
+    /// through fft_split_radix::forward_batched while the DWT stage, the
+    /// per-window band decision and the combine run per item with the
+    /// sequential code; static-schedule recursive trees run the entire
+    /// multi-level recursion -- every DWT stage, leaf DFT and diagonal
+    /// combine -- elementwise over lane-interleaved planes.  Both walks
+    /// execute the scalar operation sequence per lane, so outputs,
     /// exec_stats and operation counts are bit-identical to calling
     /// forward() per item in order.
     void forward_batched(std::span<const batch_io> items,
@@ -106,6 +129,12 @@ public:
 private:
     void forward_impl(std::span<const cplx> in, std::span<cplx> out,
                       exec_stats& stats, util::arena& scratch) const;
+    void forward_batched_planes(std::span<const batch_io> items,
+                                util::arena& scratch) const;
+    void forward_planes(const cplx* x, cplx* out, std::size_t nl,
+                        util::arena& scratch) const;
+    void combine_planes(const cplx* a_fft, const cplx* d_fft, cplx* out,
+                        std::size_t nl) const;
     void dwt_stage(std::span<const cplx> x, std::span<cplx> a,
                    std::span<cplx> d, util::arena& scratch) const;
     void dwt_stage_lowpass(std::span<const cplx> x, std::span<cplx> a) const;
@@ -126,6 +155,12 @@ private:
     std::unique_ptr<dsp::fft_split_radix> sub_split_radix_;  // single_level
     std::unique_ptr<wavelet_fft> sub_a_;  // recursive lowpass child
     std::unique_ptr<wavelet_fft> sub_d_;  // recursive highpass child (exact)
+
+    bool static_schedule_ = false;
+    /// Exact per-transform stats of a static-schedule tree (memoized by a
+    /// dry run at construction; input-independent by definition).  The
+    /// lane walk attributes this per item instead of counting live.
+    exec_stats probe_stats_;
 };
 
 /// Direct small DFT used at recursion leaves (counted; sizes 2 and 4 are

@@ -507,7 +507,7 @@ namespace {
 
 /// fat_snapshot() plus the columns later wire versions appended, so
 /// skew tests can see them zeroed by older encodings.
-qs::fleet_snapshot fat_snapshot_v3() {
+qs::fleet_snapshot fat_snapshot_v5() {
     qs::fleet_snapshot s = fat_snapshot();
     s.high_water_alarms = 4;   // v2 columns
     s.journal_appends = 100;
@@ -516,16 +516,36 @@ qs::fleet_snapshot fat_snapshot_v3() {
     s.journal_torn_tails = 1;
     s.sessions_migrated_in = 2;  // v3 columns
     s.sessions_migrated_out = 3;
+    s.hop_hits = 48;  // v4 columns
+    s.hop_misses = 6;
+    s.hop_bytes = 32768;
+    s.windows_stolen = 5;  // v5 columns
+    s.lane_slots_filled = 620;
+    s.lane_slots_offered = 640;
     return s;
 }
 
 }  // namespace
 
 TEST(FleetWireVersionSkewTest, OlderEncodingsLoadWithNewColumnsZeroed) {
-    const qs::fleet_snapshot snap = fat_snapshot_v3();
+    const qs::fleet_snapshot snap = fat_snapshot_v5();
 
-    // A v2 peer's payload: migration columns did not exist yet.
-    qs::fleet_snapshot want_v2 = snap;
+    // A v4 peer's payload: the drain-scheduler columns did not exist yet.
+    qs::fleet_snapshot want_v4 = snap;
+    want_v4.windows_stolen = 0;
+    want_v4.lane_slots_filled = 0;
+    want_v4.lane_slots_offered = 0;
+    EXPECT_EQ(qs::fleet_snapshot::deserialize(snap.serialize(4)), want_v4);
+
+    // A v3 peer: no hop-cache telemetry either.
+    qs::fleet_snapshot want_v3 = want_v4;
+    want_v3.hop_hits = 0;
+    want_v3.hop_misses = 0;
+    want_v3.hop_bytes = 0;
+    EXPECT_EQ(qs::fleet_snapshot::deserialize(snap.serialize(3)), want_v3);
+
+    // A v2 peer: migration columns gone too.
+    qs::fleet_snapshot want_v2 = want_v3;
     want_v2.sessions_migrated_in = 0;
     want_v2.sessions_migrated_out = 0;
     EXPECT_EQ(qs::fleet_snapshot::deserialize(snap.serialize(2)), want_v2);
@@ -541,30 +561,32 @@ TEST(FleetWireVersionSkewTest, OlderEncodingsLoadWithNewColumnsZeroed) {
 
     // Older payloads are smaller, not just zero-padded.
     EXPECT_LT(snap.serialize(1).size(), snap.serialize(2).size());
-    EXPECT_LT(snap.serialize(2).size(), snap.serialize().size());
+    EXPECT_LT(snap.serialize(2).size(), snap.serialize(3).size());
+    EXPECT_LT(snap.serialize(3).size(), snap.serialize(4).size());
+    EXPECT_LT(snap.serialize(4).size(), snap.serialize().size());
 }
 
 TEST(FleetWireVersionSkewTest, MixedVersionMergeEqualsInProcessMerge) {
-    // An aggregator fed by one current shard and one v2 shard must merge
-    // exactly like the in-process merge of the same (v2-truncated) data.
-    const qs::fleet_snapshot current = fat_snapshot_v3();
-    qs::fleet_snapshot old_peer = fat_snapshot_v3();
+    // An aggregator fed by one current shard and one v4 shard must merge
+    // exactly like the in-process merge of the same (v4-truncated) data.
+    const qs::fleet_snapshot current = fat_snapshot_v5();
+    qs::fleet_snapshot old_peer = fat_snapshot_v5();
     old_peer.windows = 4321;
     old_peer.lf_sum = 5.0 / 11.0;
 
     qs::fleet_snapshot direct = current;
-    direct += qs::fleet_snapshot::deserialize(old_peer.serialize(2));
+    direct += qs::fleet_snapshot::deserialize(old_peer.serialize(4));
 
     qs::fleet_snapshot wired =
         qs::fleet_snapshot::deserialize(current.serialize());
-    wired += qs::fleet_snapshot::deserialize(old_peer.serialize(2));
+    wired += qs::fleet_snapshot::deserialize(old_peer.serialize(4));
     EXPECT_EQ(wired, direct);
 }
 
 TEST(FleetWireVersionSkewTest, FutureVersionIsRejected) {
     // Accept-older, reject-newer: a payload stamped one version past
     // this build must throw, not misparse.
-    std::vector<std::uint8_t> bytes = fat_snapshot_v3().serialize();
+    std::vector<std::uint8_t> bytes = fat_snapshot_v5().serialize();
     bytes[4] = static_cast<std::uint8_t>(qs::fleet_wire_version + 1);
     bytes[5] = 0;
     EXPECT_THROW(qs::fleet_snapshot::deserialize(bytes), qs::wire_error);

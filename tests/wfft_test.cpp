@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "qpsa/counting/op_counter.hpp"
 #include "qpsa/dsp/dft.hpp"
 #include "qpsa/dsp/fft_split_radix.hpp"
+#include "qpsa/util/arena.hpp"
 #include "qpsa/util/random.hpp"
 #include "qpsa/wfft/twiddle_tables.hpp"
 #include "qpsa/wfft/wavelet_fft.hpp"
@@ -217,4 +219,111 @@ TEST(WfftTest, WfftOpCountVsSplitRadixAt512) {
     EXPECT_GT(wavelet_ops.arithmetic(), sr_ops.arithmetic());
     EXPECT_LT(wavelet_ops.arithmetic(),
               static_cast<std::uint64_t>(1.6 * sr_ops.arithmetic()));
+}
+
+// --------------------------------------- recursive lane-batched walk
+
+namespace {
+
+/// forward_batched against per-item forward(): outputs, op counts and
+/// exec_stats must match bit for bit (the lane walk executes the scalar
+/// operation sequence per lane and attributes the memoized static-
+/// schedule tally per item).
+void expect_batched_identical(const qf::plan& base, bool real_in) {
+    qf::plan p = base;
+    p.assume_real_input = real_in;
+    const qf::wavelet_fft fft(p);
+    ASSERT_TRUE(fft.static_schedule());
+    ASSERT_TRUE(fft.lane_batchable());
+    qpsa::util::rng r(97 + p.n + (real_in ? 1 : 0));
+    // Counts around the lane width: pairs, exact multiples, ragged tails.
+    for (const std::size_t count : {2u, 3u, 4u, 5u, 9u}) {
+        std::vector<std::vector<cplx>> ins(count), seq(count), bat(count);
+        std::vector<qf::exec_stats> st_seq(count), st_bat(count);
+        for (auto& v : ins) {
+            v.resize(p.n);
+            for (auto& c : v)
+                c = cplx{r.uniform(-1.0, 1.0),
+                         real_in ? 0.0 : r.uniform(-1.0, 1.0)};
+        }
+        for (std::size_t i = 0; i < count; ++i) {
+            seq[i].resize(p.n);
+            bat[i].resize(p.n);
+            fft.forward(ins[i], seq[i], &st_seq[i]);
+        }
+        std::vector<qf::wavelet_fft::batch_io> ios;
+        for (std::size_t i = 0; i < count; ++i)
+            ios.push_back({ins[i].data(), bat[i].data(), &st_bat[i]});
+        qpsa::util::arena scratch;
+        fft.forward_batched(ios, scratch);
+        for (std::size_t i = 0; i < count; ++i) {
+            EXPECT_EQ(std::memcmp(seq[i].data(), bat[i].data(),
+                                  p.n * sizeof(cplx)),
+                      0)
+                << "n=" << p.n << " count=" << count << " item=" << i;
+            EXPECT_EQ(st_seq[i].ops, st_bat[i].ops)
+                << "count=" << count << " item=" << i;
+            EXPECT_EQ(st_seq[i].terms_total, st_bat[i].terms_total);
+            EXPECT_EQ(st_seq[i].terms_pruned_factor,
+                      st_bat[i].terms_pruned_factor);
+            EXPECT_EQ(st_seq[i].terms_pruned_data,
+                      st_bat[i].terms_pruned_data);
+            EXPECT_EQ(st_seq[i].terms_structural_zero,
+                      st_bat[i].terms_structural_zero);
+            EXPECT_EQ(st_seq[i].band_dropped, st_bat[i].band_dropped);
+        }
+    }
+}
+
+}  // namespace
+
+TEST(WfftRecursiveLaneTest, BatchedWalkBitIdenticalToSequential) {
+    using qf::tree_mode;
+    expect_batched_identical(
+        qf::plan::exact(512, qw::basis::haar, tree_mode::recursive), true);
+    expect_batched_identical(
+        qf::plan::exact(512, qw::basis::haar, tree_mode::recursive), false);
+    expect_batched_identical(
+        qf::plan::exact(64, qw::basis::haar, tree_mode::recursive), false);
+    expect_batched_identical(
+        qf::plan::exact(16, qw::basis::haar, tree_mode::recursive), false);
+    expect_batched_identical(
+        qf::plan::static_pruned(512, qw::basis::haar, qf::twiddle_set::set2,
+                                tree_mode::recursive),
+        true);
+    expect_batched_identical(
+        qf::plan::band_dropped(256, qw::basis::haar, tree_mode::recursive),
+        true);
+}
+
+TEST(WfftRecursiveLaneTest, StaticScheduleGateAndRuntimeToggle) {
+    // Dynamic pruning decides per window from the data: no static
+    // schedule, the batched walk must not claim it.
+    const qf::wavelet_fft dynamic(qf::plan::dynamic_pruned(
+        256, qw::basis::haar, qf::twiddle_set::set2, 0.1, 0.1,
+        qf::tree_mode::recursive));
+    EXPECT_FALSE(dynamic.static_schedule());
+
+    // Db2 tables are never folded-Haar, so the recursive walk stays off.
+    const qf::wavelet_fft db2(
+        qf::plan::exact(128, qw::basis::db2, qf::tree_mode::recursive));
+    EXPECT_FALSE(db2.static_schedule());
+
+    // The runtime kill switch (QPSA_WFFT_LANES=off equivalent) demotes a
+    // static-schedule tree to sequential batching without rebuilding it.
+    const qf::wavelet_fft rec(
+        qf::plan::exact(128, qw::basis::haar, qf::tree_mode::recursive));
+    ASSERT_TRUE(rec.static_schedule());
+    const bool was = qf::recursive_lane_batching_enabled();
+    qf::set_recursive_lane_batching(false);
+    EXPECT_FALSE(rec.lane_batchable());
+    qf::set_recursive_lane_batching(true);
+    EXPECT_TRUE(rec.lane_batchable());
+    qf::set_recursive_lane_batching(was);
+
+    // single_level trees lane-batch through the split-radix sub-FFTs
+    // regardless of the recursive-walk toggle.
+    const qf::wavelet_fft single(qf::plan::exact(128, qw::basis::haar));
+    EXPECT_FALSE(single.static_schedule());
+    EXPECT_TRUE(single.lane_batchable());
 }
